@@ -1,0 +1,86 @@
+// Ablation (§4.3): the aged-data block planner against the default n^0.6
+// block size.
+//
+// Example 3's claim: for the mean, the default block size costs O(1/n^0.4)
+// error where the optimum (beta ~ 1) costs O(1/n); for the median, the
+// optimum sits in between. This bench runs both configurations end to end
+// on the census ages and reports RMSE vs the true answer.
+
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "bench_util.h"
+
+namespace gupt {
+namespace {
+
+constexpr int kTrials = 80;
+
+int Run() {
+  bench::PrintHeader(
+      "Ablation: block planner vs default n^0.6",
+      "end-to-end RMSE of mean and median queries under both block policies",
+      "planner matches or beats the default for both queries; the mean "
+      "gains the most (optimal beta ~ 1, Example 3)");
+
+  synthetic::CensusAgeOptions gen;
+  Dataset data = synthetic::CensusAges(gen).value();
+
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e9;
+  opts.aged_fraction = 0.10;
+  if (!manager.Register("census", std::move(data), opts).ok()) return 1;
+  auto registered = manager.Get("census").value();
+  double true_mean = stats::Mean(registered->data().Column(0).value());
+  double true_median =
+      stats::Quantile(registered->data().Column(0).value(), 0.5).value();
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  auto rmse = [&](const ProgramFactory& program, double truth, bool optimize,
+                  double epsilon) {
+    double sq_sum = 0.0;
+    std::size_t beta = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      QuerySpec spec;
+      spec.program = program;
+      spec.epsilon = epsilon;
+      spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+      spec.optimize_block_size = optimize;
+      auto report = runtime.Execute("census", spec);
+      if (!report.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      double err = report->output[0] - truth;
+      sq_sum += err * err;
+      beta = report->block_size;
+    }
+    std::printf("  (beta = %zu)\n", beta);
+    return std::sqrt(sq_sum / kTrials);
+  };
+
+  const double epsilon = 0.5;
+  std::printf("epsilon per query: %.1f\n\n", epsilon);
+  bench::PrintRow({"query", "default_rmse", "planner_rmse"});
+  std::printf("mean:\n");
+  double mean_default =
+      rmse(analytics::MeanQuery(0), true_mean, false, epsilon);
+  double mean_planned = rmse(analytics::MeanQuery(0), true_mean, true, epsilon);
+  std::printf("median:\n");
+  double median_default =
+      rmse(analytics::MedianQuery(0), true_median, false, epsilon);
+  double median_planned =
+      rmse(analytics::MedianQuery(0), true_median, true, epsilon);
+  bench::PrintRow({"mean", bench::Fmt(mean_default, 4),
+                   bench::Fmt(mean_planned, 4)});
+  bench::PrintRow({"median", bench::Fmt(median_default, 4),
+                   bench::Fmt(median_planned, 4)});
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

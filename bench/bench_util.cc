@@ -1,0 +1,92 @@
+#include "bench_util.h"
+
+#include <cstdarg>
+#include <functional>
+
+namespace gupt {
+namespace bench {
+
+void PrintHeader(const std::string& figure_id, const std::string& caption,
+                 const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure_id.c_str(), caption.c_str());
+  std::printf("Paper expectation: %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-16s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+LifeSciencesBench MakeLifeSciencesBench(std::size_t num_rows) {
+  LifeSciencesBench bench;
+  if (num_rows != 0) bench.gen.num_rows = num_rows;
+  bench.data = synthetic::LifeSciences(bench.gen).value();
+
+  bench.cluster_dims = {0, 1};
+  bench.kmeans.k = bench.gen.num_clusters;
+  bench.kmeans.feature_dims = bench.cluster_dims;
+  bench.kmeans.max_iterations = 20;
+
+  bench.logreg.feature_dims.resize(bench.gen.num_features);
+  for (std::size_t d = 0; d < bench.gen.num_features; ++d) {
+    bench.logreg.feature_dims[d] = d;
+  }
+  bench.logreg.label_dim = bench.gen.num_features;
+  bench.logreg.max_iterations = 60;
+  bench.logreg_weight_ranges.assign(bench.gen.num_features + 1,
+                                    Range{-1.5, 1.5});
+
+  auto empirical = bench.data.EmpiricalRanges();
+  for (std::size_t c = 0; c < bench.kmeans.k; ++c) {
+    for (std::size_t d : bench.cluster_dims) {
+      bench.kmeans_tight_ranges.push_back(
+          Range{empirical[d].lo, empirical[d].hi});
+      // Paper §7.1.1: loose range is [min*2, max*2]. (For a negative min
+      // that widens downward, as intended.)
+      bench.kmeans_loose_ranges.push_back(
+          Range{empirical[d].lo * 2.0, empirical[d].hi * 2.0});
+    }
+  }
+
+  auto baseline = analytics::RunKMeans(bench.data, bench.kmeans).value();
+  bench.baseline_icv = analytics::IntraClusterVariance(
+                           bench.data, baseline.centers, bench.cluster_dims)
+                           .value();
+  auto model =
+      analytics::TrainLogisticRegression(bench.data, bench.logreg).value();
+  bench.baseline_accuracy =
+      analytics::ClassificationAccuracy(bench.data, model, bench.logreg)
+          .value();
+  return bench;
+}
+
+double NormalizedIcv(const LifeSciencesBench& bench, const Row& flat_centers) {
+  auto centers = analytics::UnflattenCenters(flat_centers, bench.kmeans.k,
+                                             bench.cluster_dims.size())
+                     .value();
+  double icv = analytics::IntraClusterVariance(bench.data, centers,
+                                               bench.cluster_dims)
+                   .value();
+  return icv / bench.baseline_icv * 100.0;
+}
+
+}  // namespace bench
+}  // namespace gupt

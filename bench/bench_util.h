@@ -1,0 +1,64 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (§7) and prints the same rows/series the paper plots, plus the
+// non-private anchors. Output is plain aligned text so the series can be
+// eyeballed or scraped.
+
+#ifndef GUPT_BENCH_BENCH_UTIL_H_
+#define GUPT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analytics/kmeans.h"
+#include "analytics/logistic_regression.h"
+#include "core/gupt.h"
+#include "data/dataset_manager.h"
+#include "data/synthetic.h"
+
+namespace gupt {
+namespace bench {
+
+/// Prints the figure banner: id, paper caption, what to look for.
+void PrintHeader(const std::string& figure_id, const std::string& caption,
+                 const std::string& expectation);
+
+/// Prints an aligned row of columns.
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Formats a double with `digits` decimals.
+std::string Fmt(double value, int digits = 3);
+
+/// Wall-clock seconds spent running `fn`.
+double TimeSeconds(const std::function<void()>& fn);
+
+/// The paper's life-sciences stand-in with its k-means/LR configuration.
+struct LifeSciencesBench {
+  Dataset data;
+  synthetic::LifeSciencesOptions gen;
+  std::vector<std::size_t> cluster_dims;  // PCs used for k-means
+  analytics::KMeansOptions kmeans;
+  analytics::LogisticRegressionOptions logreg;
+  std::vector<Range> kmeans_tight_ranges;  // empirical min/max per centre dim
+  std::vector<Range> kmeans_loose_ranges;  // paper: [2*min, 2*max]
+  std::vector<Range> logreg_weight_ranges;
+  double baseline_icv = 0.0;       // non-private k-means ICV
+  double baseline_accuracy = 0.0;  // non-private LR accuracy
+};
+
+/// Builds the life-sciences benchmark environment (shared by Figs 3-6).
+/// `num_rows` of 0 means the full 26,733-row replica.
+LifeSciencesBench MakeLifeSciencesBench(std::size_t num_rows = 0);
+
+/// ICV of GUPT's flattened k-means output against the bench dataset,
+/// normalised so the non-private baseline is 100.
+double NormalizedIcv(const LifeSciencesBench& bench, const Row& flat_centers);
+
+}  // namespace bench
+}  // namespace gupt
+
+#endif  // GUPT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,124 @@
+// Figure 5: total perturbation vs the number of k-means iterations, GUPT
+// against PINQ.
+//
+// PINQ must pre-declare the iteration count and split its budget across
+// iterations, so over-declaring (200 when 20 suffice) degrades the
+// clusters; GUPT perturbs only the final output, so its ICV is flat in the
+// iteration count. The paper runs PINQ at a *weaker* privacy constraint
+// (eps 2 and 4) than GUPT (eps 1 and 2) and GUPT still wins.
+
+#include "baselines/airavat.h"
+#include "baselines/pinq.h"
+#include "bench_util.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 5", "k-means ICV vs declared iteration count (GUPT vs PINQ)",
+      "PINQ ICV grows with the declared iteration count; GUPT ICV is flat "
+      "and lower even at half the privacy budget");
+
+  bench::LifeSciencesBench env = bench::MakeLifeSciencesBench();
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e7;
+  if (!manager.Register("ds1.10", env.data, opts).ok()) return 1;
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  std::vector<Range> feature_ranges;
+  for (std::size_t i = 0; i < env.cluster_dims.size(); ++i) {
+    feature_ranges.push_back(env.kmeans_tight_ranges[i]);
+  }
+
+  const int kTrials = 9;
+  auto pinq_icv = [&](std::size_t iterations, double epsilon,
+                      std::uint64_t seed) {
+    dp::PrivacyAccountant accountant(1e7);
+    Rng rng(seed);
+    baselines::PinqKMeansOptions pk;
+    pk.k = env.kmeans.k;
+    pk.iterations = iterations;
+    pk.total_epsilon = epsilon;
+    pk.feature_dims = env.cluster_dims;
+    pk.feature_ranges = feature_ranges;
+    double sum = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto centers =
+          baselines::PinqKMeans(env.data, pk, &accountant, &rng).value();
+      sum += analytics::IntraClusterVariance(env.data, centers,
+                                             env.cluster_dims)
+                 .value();
+    }
+    return sum / kTrials / env.baseline_icv * 100.0;
+  };
+
+  auto gupt_icv = [&](std::size_t iterations, double epsilon) {
+    analytics::KMeansOptions kmeans = env.kmeans;
+    kmeans.max_iterations = iterations;
+    kmeans.tolerance = 0.0;  // run all declared iterations, like the paper
+    double sum = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      QuerySpec spec;
+      spec.program = analytics::KMeansQuery(kmeans);
+      spec.epsilon = epsilon;
+      spec.accounting = BudgetAccounting::kPerDimension;  // as in Fig. 4
+      spec.range = OutputRangeSpec::Tight(env.kmeans_tight_ranges);
+      auto report = runtime.Execute("ds1.10", spec);
+      if (!report.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      sum += bench::NormalizedIcv(env, report->output);
+    }
+    return sum / kTrials;
+  };
+
+  // Extension beyond the paper's figure: Airavat expressed as one
+  // map-reduce job per iteration hits the same budget-splitting wall (§7.3
+  // discusses why; the paper does not plot it).
+  auto airavat_icv = [&](std::size_t iterations, double epsilon,
+                         std::uint64_t seed) {
+    dp::PrivacyAccountant accountant(1e7);
+    Rng rng(seed);
+    baselines::AiravatKMeansOptions ak;
+    ak.k = env.kmeans.k;
+    ak.iterations = iterations;
+    ak.total_epsilon = epsilon;
+    ak.feature_dims = env.cluster_dims;
+    ak.feature_ranges = feature_ranges;
+    double sum = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      auto centers =
+          baselines::AiravatKMeans(env.data, ak, &accountant, &rng).value();
+      sum += analytics::IntraClusterVariance(env.data, centers,
+                                             env.cluster_dims)
+                 .value();
+    }
+    return sum / kTrials / env.baseline_icv * 100.0;
+  };
+
+  std::printf("normalized ICV, baseline = 100\n\n");
+  bench::PrintRow({"iterations", "pinq_eps2", "pinq_eps4", "gupt_eps1",
+                   "gupt_eps2", "airavat_eps4*"});
+  for (std::size_t iterations : {20u, 80u, 200u}) {
+    bench::PrintRow({std::to_string(iterations),
+                     bench::Fmt(pinq_icv(iterations, 2.0, iterations), 1),
+                     bench::Fmt(pinq_icv(iterations, 4.0, iterations + 1), 1),
+                     bench::Fmt(gupt_icv(iterations, 1.0), 1),
+                     bench::Fmt(gupt_icv(iterations, 2.0), 1),
+                     bench::Fmt(airavat_icv(iterations, 4.0, iterations + 2),
+                                1)});
+  }
+  std::printf("\n* airavat column is an extension (not in the paper's "
+              "figure): one map-reduce job per iteration\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

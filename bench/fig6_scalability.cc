@@ -1,0 +1,90 @@
+// Figure 6: wall-clock time of k-means vs the iteration count, comparing
+// the non-private run against GUPT-helper and GUPT-loose.
+//
+// Paper shape: GUPT-helper pays the biggest fixed overhead (DP percentile
+// over all n inputs), GUPT-loose a smaller one (percentile over the ~n^0.4
+// block outputs); the private runs' time grows *more slowly* with the
+// iteration count because each instance works on a small block, so the
+// overhead amortises as computation grows.
+
+#include "baselines/nonprivate.h"
+#include "bench_util.h"
+
+namespace gupt {
+namespace {
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 6", "k-means completion time vs iteration count",
+      "private curves start above the non-private one (range-estimation "
+      "overhead, helper > loose) but grow more slowly with iterations");
+
+  bench::LifeSciencesBench env = bench::MakeLifeSciencesBench();
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e6;
+  // Owner-declared loose input ranges for the helper-mode translator.
+  auto empirical = env.data.EmpiricalRanges();
+  std::vector<Range> loose_inputs;
+  for (const Range& r : empirical) {
+    loose_inputs.push_back(Range{r.lo * 2.0, r.hi * 2.0});
+  }
+  opts.input_ranges = loose_inputs;
+  if (!manager.Register("ds1.10", env.data, opts).ok()) return 1;
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  // Helper translator: a centre coordinate for feature d lies inside that
+  // feature's (tight, privately estimated) input range.
+  std::size_t k = env.kmeans.k;
+  std::vector<std::size_t> dims = env.cluster_dims;
+  RangeTranslator translator =
+      [k, dims](const std::vector<Range>& input) -> Result<std::vector<Range>> {
+    std::vector<Range> out;
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t d : dims) {
+        out.push_back(input[d]);
+      }
+    }
+    return out;
+  };
+
+  bench::PrintRow({"iterations", "non_private_s", "gupt_loose_s",
+                   "gupt_helper_s"});
+  for (std::size_t iterations : {20u, 80u, 100u, 200u}) {
+    analytics::KMeansOptions kmeans = env.kmeans;
+    kmeans.max_iterations = iterations;
+    kmeans.tolerance = 0.0;
+
+    double non_private_s = bench::TimeSeconds([&] {
+      auto out = baselines::RunNonPrivate(analytics::KMeansQuery(kmeans),
+                                          env.data);
+      if (!out.ok()) std::exit(1);
+    });
+
+    auto run_gupt = [&](OutputRangeSpec range) {
+      return bench::TimeSeconds([&] {
+        QuerySpec spec;
+        spec.program = analytics::KMeansQuery(kmeans);
+        spec.epsilon = 2.0;
+        spec.range = std::move(range);
+        auto report = runtime.Execute("ds1.10", spec);
+        if (!report.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       report.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+    };
+    double loose_s = run_gupt(OutputRangeSpec::Loose(env.kmeans_loose_ranges));
+    double helper_s = run_gupt(OutputRangeSpec::Helper(translator));
+
+    bench::PrintRow({std::to_string(iterations), bench::Fmt(non_private_s),
+                     bench::Fmt(loose_s), bench::Fmt(helper_s)});
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

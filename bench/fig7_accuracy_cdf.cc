@@ -1,0 +1,113 @@
+// Figure 7: CDF of output accuracy for the average-age query on the census
+// dataset, comparing fixed privacy budgets against GUPT's variable budget
+// derived from an accuracy goal ("90% accuracy with 90% probability").
+//
+// Paper shape: the fixed eps=1 curve overshoots the goal (wasting budget),
+// fixed eps=0.3 undershoots it, and the variable-eps curve hugs the goal —
+// ~90% of queries at >= 90% accuracy, not much more.
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "bench_util.h"
+
+namespace gupt {
+namespace {
+
+constexpr double kGoalAccuracy = 0.90;
+constexpr double kGoalProbability = 0.90;
+constexpr std::size_t kBlockSize = 100;
+constexpr int kQueries = 150;
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 7",
+      "CDF of average-age query accuracy: fixed eps vs accuracy-goal eps",
+      "fixed eps=1 overshoots the 90% goal, eps=0.3 undershoots it, the "
+      "variable-eps curve meets it with the least budget");
+
+  synthetic::CensusAgeOptions gen;
+  Dataset data = synthetic::CensusAges(gen).value();
+  double true_mean = stats::Mean(data.Column(0).value());
+  std::printf("true average age: %s (paper: 38.5816)\n\n",
+              bench::Fmt(true_mean, 4).c_str());
+
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e6;
+  opts.aged_fraction = 0.10;  // paper: 10% assumed privacy-insensitive
+  opts.input_ranges = std::vector<Range>{{0.0, 150.0}};
+  if (!manager.Register("census", std::move(data), opts).ok()) return 1;
+  // The aged split shifts the private mean slightly; measure against it.
+  true_mean = stats::Mean(
+      manager.Get("census").value()->data().Column(0).value());
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  auto accuracies_for = [&](std::optional<double> epsilon) {
+    std::vector<double> accuracies;
+    double epsilon_used = 0.0;
+    for (int q = 0; q < kQueries; ++q) {
+      QuerySpec spec;
+      spec.program = analytics::MeanQuery(0);
+      spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+      spec.block_size = kBlockSize;
+      if (epsilon) {
+        spec.epsilon = *epsilon;
+      } else {
+        spec.accuracy_goal = AccuracyGoal{kGoalAccuracy, 1.0 - kGoalProbability};
+      }
+      auto report = runtime.Execute("census", spec);
+      if (!report.ok()) {
+        std::fprintf(stderr, "query failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      epsilon_used = report->epsilon_spent;
+      accuracies.push_back(
+          1.0 - std::fabs(report->output[0] - true_mean) / true_mean);
+    }
+    std::sort(accuracies.begin(), accuracies.end());
+    std::printf("  (per-query epsilon: %s)\n", bench::Fmt(epsilon_used, 4).c_str());
+    return accuracies;
+  };
+
+  std::printf("running %d queries per scheme...\n", kQueries);
+  std::printf("scheme: constant eps=1\n");
+  auto eps1 = accuracies_for(1.0);
+  std::printf("scheme: constant eps=0.3\n");
+  auto eps03 = accuracies_for(0.3);
+  std::printf("scheme: variable eps (goal: %.0f%% accuracy, %.0f%% of queries)\n",
+              kGoalAccuracy * 100, kGoalProbability * 100);
+  auto variable = accuracies_for(std::nullopt);
+
+  std::printf("\nCDF: result accuracy at each fraction of queries\n");
+  bench::PrintRow({"pct_queries", "eps_1.0", "eps_0.3", "variable_eps",
+                   "goal"});
+  for (int pct : {5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95}) {
+    std::size_t idx = static_cast<std::size_t>(
+        pct / 100.0 * static_cast<double>(kQueries - 1));
+    bench::PrintRow({std::to_string(pct), bench::Fmt(eps1[idx] * 100, 1),
+                     bench::Fmt(eps03[idx] * 100, 1),
+                     bench::Fmt(variable[idx] * 100, 1), "90.0"});
+  }
+
+  auto fraction_meeting = [&](const std::vector<double>& accuracies) {
+    std::size_t meeting = 0;
+    for (double a : accuracies) {
+      if (a >= kGoalAccuracy) ++meeting;
+    }
+    return static_cast<double>(meeting) / accuracies.size() * 100.0;
+  };
+  std::printf("\nfraction of queries meeting the 90%% accuracy goal:\n");
+  bench::PrintRow({"eps_1.0", "eps_0.3", "variable_eps", "target"});
+  bench::PrintRow({bench::Fmt(fraction_meeting(eps1), 1),
+                   bench::Fmt(fraction_meeting(eps03), 1),
+                   bench::Fmt(fraction_meeting(variable), 1), "90.0"});
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

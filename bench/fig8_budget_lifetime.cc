@@ -1,0 +1,78 @@
+// Figure 8: lifetime of the total privacy budget under different per-query
+// budget policies for the average-age query.
+//
+// Paper shape (normalized to constant eps=1): the accuracy-goal-driven
+// variable epsilon answers ~2.3x more queries; a fixed eps=0.3 answers
+// ~3.3x more but misses the accuracy goal (Fig. 7 shows its accuracy CDF
+// undershoots). Lifetime here is measured by actually running queries
+// against a real ledger until it is exhausted.
+
+#include "analytics/queries.h"
+#include "bench_util.h"
+
+namespace gupt {
+namespace {
+
+constexpr double kTotalBudget = 30.0;
+constexpr std::size_t kBlockSize = 100;
+
+int Run() {
+  bench::PrintHeader(
+      "Figure 8", "privacy budget lifetime under different query policies",
+      "variable eps answers ~2-3x the queries of constant eps=1 while still "
+      "meeting the accuracy goal; eps=0.3 answers more but misses the goal");
+
+  auto queries_until_exhaustion = [&](std::optional<double> epsilon) {
+    synthetic::CensusAgeOptions gen;
+    Dataset data = synthetic::CensusAges(gen).value();
+    DatasetManager manager;
+    DatasetOptions opts;
+    opts.total_epsilon = kTotalBudget;
+    opts.aged_fraction = 0.10;
+    opts.input_ranges = std::vector<Range>{{0.0, 150.0}};
+    if (!manager.Register("census", std::move(data), opts).ok()) std::exit(1);
+    GuptRuntime runtime(&manager, GuptOptions{});
+
+    int answered = 0;
+    for (;;) {
+      QuerySpec spec;
+      spec.program = analytics::MeanQuery(0);
+      spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+      spec.block_size = kBlockSize;
+      if (epsilon) {
+        spec.epsilon = *epsilon;
+      } else {
+        spec.accuracy_goal = AccuracyGoal{0.90, 0.10};
+      }
+      auto report = runtime.Execute("census", spec);
+      if (!report.ok()) {
+        if (report.status().code() == StatusCode::kBudgetExhausted) break;
+        std::fprintf(stderr, "query failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      ++answered;
+      if (answered > 100000) break;  // safety valve
+    }
+    return answered;
+  };
+
+  int n_eps1 = queries_until_exhaustion(1.0);
+  int n_eps03 = queries_until_exhaustion(0.3);
+  int n_variable = queries_until_exhaustion(std::nullopt);
+
+  std::printf("total budget per run: %.1f, one scheme per fresh dataset\n\n",
+              kTotalBudget);
+  bench::PrintRow({"scheme", "queries_answered", "normalized_lifetime"});
+  bench::PrintRow({"eps_1.0", std::to_string(n_eps1), "1.00"});
+  bench::PrintRow({"variable_eps", std::to_string(n_variable),
+                   bench::Fmt(static_cast<double>(n_variable) / n_eps1, 2)});
+  bench::PrintRow({"eps_0.3", std::to_string(n_eps03),
+                   bench::Fmt(static_cast<double>(n_eps03) / n_eps1, 2)});
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

@@ -1,0 +1,107 @@
+// Private k-means on a chemical-compound table (the paper's §7.1 workload).
+//
+// An analyst clusters compounds by their leading principal components.
+// The clustering package knows nothing about privacy; GUPT runs it on
+// blocks and releases noisy averaged centres. The example compares the
+// three output-range modes — tight, loose, and helper — and scores each
+// against the non-private baseline by intra-cluster variance.
+//
+// Build & run:  ./build/examples/private_clustering
+
+#include <cstdio>
+
+#include "analytics/kmeans.h"
+#include "core/gupt.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace gupt;
+
+  synthetic::LifeSciencesOptions gen;
+  gen.num_rows = 26733;  // ds1.10's size
+  Dataset compounds = synthetic::LifeSciences(gen).value();
+
+  analytics::KMeansOptions kmeans;
+  kmeans.k = 4;
+  kmeans.feature_dims = {0, 1};  // two leading PCs
+  kmeans.max_iterations = 20;
+
+  // Non-private baseline for reference.
+  auto baseline = analytics::RunKMeans(compounds, kmeans).value();
+  double baseline_icv =
+      analytics::IntraClusterVariance(compounds, baseline.centers,
+                                      kmeans.feature_dims)
+          .value();
+
+  // Owner registration with public input ranges (needed by helper mode).
+  auto empirical = compounds.EmpiricalRanges();
+  std::vector<Range> public_inputs;
+  for (const Range& r : empirical) {
+    public_inputs.push_back(Range{r.lo * 2.0, r.hi * 2.0});
+  }
+  DatasetManager manager;
+  DatasetOptions owner;
+  owner.total_epsilon = 50.0;
+  owner.input_ranges = public_inputs;
+  if (!manager.Register("compounds", compounds, owner).ok()) return 1;
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  // Range declarations per centre coordinate (k * |features| outputs).
+  std::vector<Range> tight, loose;
+  for (std::size_t c = 0; c < kmeans.k; ++c) {
+    for (std::size_t d : kmeans.feature_dims) {
+      tight.push_back(empirical[d]);
+      loose.push_back(Range{empirical[d].lo * 2.0, empirical[d].hi * 2.0});
+    }
+  }
+  // Helper: a centre coordinate for feature d lies in feature d's range.
+  std::size_t k = kmeans.k;
+  std::vector<std::size_t> dims = kmeans.feature_dims;
+  RangeTranslator translator =
+      [k, dims](const std::vector<Range>& input) -> Result<std::vector<Range>> {
+    std::vector<Range> out;
+    for (std::size_t c = 0; c < k; ++c) {
+      for (std::size_t d : dims) out.push_back(input[d]);
+    }
+    return out;
+  };
+
+  std::printf("baseline (non-private) ICV: %.3f\n\n", baseline_icv);
+  std::printf("%-14s%-10s%-12s%-12s\n", "mode", "epsilon", "icv",
+              "vs_baseline");
+
+  struct Mode {
+    const char* name;
+    OutputRangeSpec range;
+  };
+  Mode modes[] = {
+      {"GUPT-tight", OutputRangeSpec::Tight(tight)},
+      {"GUPT-loose", OutputRangeSpec::Loose(loose)},
+      {"GUPT-helper", OutputRangeSpec::Helper(translator)},
+  };
+  for (const Mode& mode : modes) {
+    QuerySpec spec;
+    spec.program = analytics::KMeansQuery(kmeans);
+    spec.epsilon = 2.0;
+    spec.accounting = BudgetAccounting::kPerDimension;  // paper's Fig. 4 mode
+    spec.range = mode.range;
+    auto report = runtime.Execute("compounds", spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", mode.name,
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    auto centers = analytics::UnflattenCenters(report->output, kmeans.k,
+                                               kmeans.feature_dims.size())
+                       .value();
+    double icv = analytics::IntraClusterVariance(compounds, centers,
+                                                 kmeans.feature_dims)
+                     .value();
+    std::printf("%-14s%-10.1f%-12.3f%-12.2fx\n", mode.name, 2.0, icv,
+                icv / baseline_icv);
+  }
+  std::printf("\nprivate centres never expose any single compound: each is\n"
+              "an average of ~%zu per-block clusterings plus Laplace noise.\n",
+              DefaultNumBlocks(compounds.num_rows()));
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "analytics/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+std::vector<std::size_t> ResolveFeatureDims(const Dataset& data,
+                                            const KMeansOptions& options) {
+  if (!options.feature_dims.empty()) return options.feature_dims;
+  std::vector<std::size_t> dims(data.num_dims());
+  for (std::size_t d = 0; d < dims.size(); ++d) dims[d] = d;
+  return dims;
+}
+
+Result<std::vector<Row>> ExtractFeatures(
+    const Dataset& data, const std::vector<std::size_t>& dims) {
+  for (std::size_t d : dims) {
+    if (d >= data.num_dims()) {
+      return Status::InvalidArgument("feature dim out of range");
+    }
+  }
+  std::vector<Row> points;
+  points.reserve(data.num_rows());
+  for (const Row& row : data.rows()) {
+    Row p(dims.size());
+    for (std::size_t i = 0; i < dims.size(); ++i) p[i] = row[dims[i]];
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::size_t NearestCenter(const Row& point, const std::vector<Row>& centers) {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    double d = vec::SquaredDistance(point, centers[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+// k-means++ seeding: first centre uniform, then proportional to squared
+// distance from the nearest chosen centre.
+std::vector<Row> SeedCenters(const std::vector<Row>& points, std::size_t k,
+                             Rng* rng) {
+  std::vector<Row> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng->UniformUint64(points.size())]);
+  std::vector<double> dist_sq(points.size());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist_sq[i] = vec::SquaredDistance(points[i],
+                                        centers[NearestCenter(points[i],
+                                                              centers)]);
+      total += dist_sq[i];
+    }
+    if (total == 0.0) {
+      // All points coincide with existing centres; duplicate one.
+      centers.push_back(centers.back());
+      continue;
+    }
+    centers.push_back(points[rng->Categorical(dist_sq)]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Dataset& data,
+                               const KMeansOptions& options) {
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  std::vector<std::size_t> dims = ResolveFeatureDims(data, options);
+  if (dims.empty()) {
+    return Status::InvalidArgument("no feature dimensions");
+  }
+  GUPT_ASSIGN_OR_RETURN(std::vector<Row> points, ExtractFeatures(data, dims));
+  if (points.size() < options.k) {
+    return Status::InvalidArgument(
+        "block has fewer rows than k; cannot cluster");
+  }
+
+  Rng rng(options.seed);
+  std::vector<Row> centers = SeedCenters(points, options.k, &rng);
+
+  KMeansResult result;
+  std::vector<std::size_t> assignment(points.size(), 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations_run;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      assignment[i] = NearestCenter(points[i], centers);
+    }
+    std::vector<Row> sums(options.k, Row(dims.size(), 0.0));
+    std::vector<std::size_t> counts(options.k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      vec::AddInPlace(&sums[assignment[i]], points[i]);
+      ++counts[assignment[i]];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) continue;  // keep the empty cluster's old centre
+      Row next = vec::Scale(sums[c], 1.0 / static_cast<double>(counts[c]));
+      movement += std::sqrt(vec::SquaredDistance(next, centers[c]));
+      centers[c] = std::move(next);
+    }
+    if (options.tolerance > 0.0 && movement < options.tolerance) break;
+  }
+
+  std::sort(centers.begin(), centers.end(),
+            [](const Row& a, const Row& b) { return a[0] < b[0]; });
+  result.centers = std::move(centers);
+  return result;
+}
+
+ProgramFactory KMeansQuery(const KMeansOptions& options) {
+  std::size_t feature_count = options.feature_dims.size();
+  // With empty feature_dims the arity depends on the data; the factory
+  // cannot know it, so require explicit dims for GUPT execution.
+  std::size_t output_dims = options.k * feature_count;
+  return MakeProgramFactory(
+      "kmeans[k=" + std::to_string(options.k) + "]", output_dims,
+      [options](const Dataset& block) -> Result<Row> {
+        if (options.feature_dims.empty()) {
+          return Status::InvalidArgument(
+              "KMeansQuery requires explicit feature_dims");
+        }
+        GUPT_ASSIGN_OR_RETURN(KMeansResult result, RunKMeans(block, options));
+        Row flat;
+        flat.reserve(options.k * options.feature_dims.size());
+        for (const Row& c : result.centers) {
+          flat.insert(flat.end(), c.begin(), c.end());
+        }
+        return flat;
+      });
+}
+
+Result<double> IntraClusterVariance(
+    const Dataset& data, const std::vector<Row>& centers,
+    const std::vector<std::size_t>& feature_dims) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("no centers");
+  }
+  std::vector<std::size_t> dims = feature_dims;
+  if (dims.empty()) {
+    dims.resize(data.num_dims());
+    for (std::size_t d = 0; d < dims.size(); ++d) dims[d] = d;
+  }
+  GUPT_ASSIGN_OR_RETURN(std::vector<Row> points, ExtractFeatures(data, dims));
+  for (const Row& c : centers) {
+    if (c.size() != dims.size()) {
+      return Status::InvalidArgument("center dimension mismatch");
+    }
+  }
+  double total = 0.0;
+  for (const Row& p : points) {
+    total += vec::SquaredDistance(p, centers[NearestCenter(p, centers)]);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+Result<std::vector<Row>> UnflattenCenters(const Row& flat, std::size_t k,
+                                          std::size_t dims) {
+  if (k == 0 || dims == 0 || flat.size() != k * dims) {
+    return Status::InvalidArgument("flat center arity mismatch");
+  }
+  std::vector<Row> centers(k, Row(dims));
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centers[c][d] = flat[c * dims + d];
+    }
+  }
+  return centers;
+}
+
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,64 @@
+// k-means clustering (Lloyd's algorithm with k-means++ seeding).
+//
+// Stands in for the scipy k-means package the paper runs as a black box
+// (§7.1.1). The program flattens the k centres into one output row, sorted
+// by first coordinate — the canonical ordering §8 prescribes so that
+// per-block outputs can be averaged meaningfully.
+
+#ifndef GUPT_ANALYTICS_KMEANS_H_
+#define GUPT_ANALYTICS_KMEANS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+struct KMeansOptions {
+  std::size_t k = 4;
+  std::size_t max_iterations = 20;
+  /// Convergence threshold on total centre movement; 0 disables early stop
+  /// (useful when a data-independent iteration count is wanted).
+  double tolerance = 1e-6;
+  /// Feature columns to cluster on; empty means all columns.
+  std::vector<std::size_t> feature_dims;
+  std::uint64_t seed = 7;
+};
+
+/// Result of one clustering run.
+struct KMeansResult {
+  /// k centres, sorted by first coordinate.
+  std::vector<Row> centers;
+  std::size_t iterations_run = 0;
+};
+
+/// Runs Lloyd's algorithm on the block. Errors when the block has fewer
+/// rows than k or the options are invalid.
+Result<KMeansResult> RunKMeans(const Dataset& data,
+                               const KMeansOptions& options);
+
+/// Program factory: output arity is k * |features| (flattened sorted
+/// centres).
+ProgramFactory KMeansQuery(const KMeansOptions& options);
+
+/// Intra-cluster variance (paper Fig. 4): (1/n) * sum over points of the
+/// squared distance to the nearest of `centers`, using the same feature
+/// columns as the clustering. Used to score private centres against data.
+Result<double> IntraClusterVariance(const Dataset& data,
+                                    const std::vector<Row>& centers,
+                                    const std::vector<std::size_t>& feature_dims);
+
+/// Unflattens a SAF output row back into k centres of dimension `dims`.
+Result<std::vector<Row>> UnflattenCenters(const Row& flat, std::size_t k,
+                                          std::size_t dims);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_KMEANS_H_

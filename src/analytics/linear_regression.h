@@ -1,0 +1,57 @@
+// Ordinary least squares linear regression.
+//
+// Regression estimators are the paper's canonical example of an
+// approximately normal statistic (§3.2 cites "estimators for regression
+// problems"), so per-block OLS coefficients average well under SAF.
+// Solved by normal equations with ridge damping for rank-deficient blocks.
+
+#ifndef GUPT_ANALYTICS_LINEAR_REGRESSION_H_
+#define GUPT_ANALYTICS_LINEAR_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+struct LinearRegressionOptions {
+  std::vector<std::size_t> feature_dims;
+  std::size_t target_dim = 0;
+  /// Ridge term added to the normal equations' diagonal; keeps tiny or
+  /// collinear blocks solvable (and is standard practice anyway).
+  double ridge_lambda = 1e-6;
+};
+
+/// Fitted coefficients: one per feature plus a trailing intercept.
+struct LinearModel {
+  Row coefficients;
+
+  double Predict(const Row& row,
+                 const std::vector<std::size_t>& feature_dims) const;
+};
+
+/// Fits OLS on the block. Errors on empty data or bad dims.
+Result<LinearModel> FitLinearRegression(const Dataset& data,
+                                        const LinearRegressionOptions& options);
+
+/// Mean squared prediction error of `model` on `data`.
+Result<double> MeanSquaredError(const Dataset& data, const LinearModel& model,
+                                const LinearRegressionOptions& options);
+
+/// Program factory: output arity |feature_dims| + 1.
+ProgramFactory LinearRegressionQuery(const LinearRegressionOptions& options);
+
+/// Solves the symmetric positive-definite system A x = b by Gaussian
+/// elimination with partial pivoting. Exposed for reuse and testing.
+/// `a` is row-major n x n. Errors when the system is singular.
+Result<Row> SolveLinearSystem(std::vector<Row> a, Row b);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_LINEAR_REGRESSION_H_

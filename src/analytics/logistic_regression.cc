@@ -1,0 +1,160 @@
+#include "analytics/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+double Sigmoid(double z) {
+  // Numerically stable in both tails.
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+Status ValidateDims(const Dataset& data,
+                    const LogisticRegressionOptions& options) {
+  if (options.feature_dims.empty()) {
+    return Status::InvalidArgument("no feature dimensions");
+  }
+  for (std::size_t d : options.feature_dims) {
+    if (d >= data.num_dims()) {
+      return Status::InvalidArgument("feature dim out of range");
+    }
+  }
+  if (options.label_dim >= data.num_dims()) {
+    return Status::InvalidArgument("label dim out of range");
+  }
+  return Status::OK();
+}
+
+double Margin(const Row& row, const Row& weights,
+              const std::vector<std::size_t>& feature_dims) {
+  double z = weights.back();  // bias
+  for (std::size_t i = 0; i < feature_dims.size(); ++i) {
+    z += weights[i] * row[feature_dims[i]];
+  }
+  return z;
+}
+
+// Regularised negative log-likelihood (averaged over rows).
+double Loss(const Dataset& data, const Row& weights,
+            const LogisticRegressionOptions& options) {
+  double loss = 0.0;
+  for (const Row& row : data.rows()) {
+    double z = Margin(row, weights, options.feature_dims);
+    double y = row[options.label_dim];
+    // log(1 + exp(-m)) with m = z for y=1 and m = -z for y=0, stably.
+    double m = (y > 0.5) ? z : -z;
+    loss += (m > 0.0) ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
+  }
+  loss /= static_cast<double>(data.num_rows());
+  double reg = 0.0;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    reg += weights[i] * weights[i];
+  }
+  return loss + 0.5 * options.l2_lambda * reg;
+}
+
+}  // namespace
+
+double LogisticModel::PredictProbability(
+    const Row& row, const std::vector<std::size_t>& feature_dims) const {
+  return Sigmoid(Margin(row, weights, feature_dims));
+}
+
+Result<LogisticModel> TrainLogisticRegression(
+    const Dataset& data, const LogisticRegressionOptions& options) {
+  GUPT_RETURN_IF_ERROR(ValidateDims(data, options));
+  for (const Row& row : data.rows()) {
+    double y = row[options.label_dim];
+    if (y != 0.0 && y != 1.0) {
+      return Status::InvalidArgument("labels must be 0 or 1");
+    }
+  }
+
+  const std::size_t dims = options.feature_dims.size();
+  Row weights(dims + 1, 0.0);
+  const double n = static_cast<double>(data.num_rows());
+
+  double step = 1.0;
+  double current_loss = Loss(data, weights, options);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Gradient of the averaged loss + L2 term (bias unregularised).
+    Row grad(dims + 1, 0.0);
+    for (const Row& row : data.rows()) {
+      double p = Sigmoid(Margin(row, weights, options.feature_dims));
+      double err = p - row[options.label_dim];
+      for (std::size_t i = 0; i < dims; ++i) {
+        grad[i] += err * row[options.feature_dims[i]];
+      }
+      grad[dims] += err;
+    }
+    vec::ScaleInPlace(&grad, 1.0 / n);
+    for (std::size_t i = 0; i < dims; ++i) {
+      grad[i] += options.l2_lambda * weights[i];
+    }
+    if (vec::Norm(grad) < options.gradient_tolerance) break;
+
+    // Backtracking line search on the loss.
+    bool improved = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      Row candidate = weights;
+      for (std::size_t i = 0; i < candidate.size(); ++i) {
+        candidate[i] -= step * grad[i];
+      }
+      double candidate_loss = Loss(data, candidate, options);
+      if (candidate_loss < current_loss) {
+        weights = std::move(candidate);
+        current_loss = candidate_loss;
+        step *= 1.2;  // be a little braver next time
+        improved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved) break;  // step shrank to nothing: converged
+  }
+
+  LogisticModel model;
+  model.weights = std::move(weights);
+  return model;
+}
+
+Result<double> ClassificationAccuracy(
+    const Dataset& data, const LogisticModel& model,
+    const LogisticRegressionOptions& options) {
+  GUPT_RETURN_IF_ERROR(ValidateDims(data, options));
+  if (model.weights.size() != options.feature_dims.size() + 1) {
+    return Status::InvalidArgument("model arity mismatch");
+  }
+  std::size_t correct = 0;
+  for (const Row& row : data.rows()) {
+    double p = model.PredictProbability(row, options.feature_dims);
+    bool predicted = p > 0.5;
+    bool actual = row[options.label_dim] > 0.5;
+    if (predicted == actual) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+ProgramFactory LogisticRegressionQuery(
+    const LogisticRegressionOptions& options) {
+  return MakeProgramFactory(
+      "logistic_regression[d=" + std::to_string(options.feature_dims.size()) +
+          "]",
+      options.feature_dims.size() + 1,
+      [options](const Dataset& block) -> Result<Row> {
+        GUPT_ASSIGN_OR_RETURN(LogisticModel model,
+                              TrainLogisticRegression(block, options));
+        return model.weights;
+      });
+}
+
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,60 @@
+// L2-regularised logistic regression.
+//
+// Stands in for the MSR Orthant-Wise L-BFGS package the paper classifies
+// carcinogens with (§7.1.1). Training is batch gradient descent with
+// backtracking line search; the GUPT program outputs the learned weight
+// vector (bias last), which SAF averages across blocks — the private model
+// is the noisy mean of per-block models.
+
+#ifndef GUPT_ANALYTICS_LOGISTIC_REGRESSION_H_
+#define GUPT_ANALYTICS_LOGISTIC_REGRESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+struct LogisticRegressionOptions {
+  /// Feature columns; the label column is separate.
+  std::vector<std::size_t> feature_dims;
+  /// Column holding 0/1 labels.
+  std::size_t label_dim = 0;
+  /// L2 regularisation strength.
+  double l2_lambda = 1e-3;
+  std::size_t max_iterations = 200;
+  /// Stop when the gradient norm falls below this.
+  double gradient_tolerance = 1e-5;
+};
+
+/// A trained model: weights for each feature plus a trailing bias term.
+struct LogisticModel {
+  Row weights;  // size = |feature_dims| + 1 (bias last)
+
+  /// P(label = 1 | row).
+  double PredictProbability(const Row& row,
+                            const std::vector<std::size_t>& feature_dims) const;
+};
+
+/// Trains on the block. Errors when the block is empty, a dim is out of
+/// range, or labels are not 0/1.
+Result<LogisticModel> TrainLogisticRegression(
+    const Dataset& data, const LogisticRegressionOptions& options);
+
+/// Fraction of rows whose thresholded prediction matches the label.
+Result<double> ClassificationAccuracy(const Dataset& data,
+                                      const LogisticModel& model,
+                                      const LogisticRegressionOptions& options);
+
+/// Program factory: output arity |feature_dims| + 1 (the weight vector).
+ProgramFactory LogisticRegressionQuery(const LogisticRegressionOptions& options);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,71 @@
+#include "analytics/pagerank.h"
+
+#include <cmath>
+#include <vector>
+
+namespace gupt {
+namespace analytics {
+
+Result<Row> ComputePageRank(const Dataset& edges,
+                            const PageRankOptions& options) {
+  const std::size_t n = options.num_nodes;
+  if (n == 0) {
+    return Status::InvalidArgument("num_nodes must be >= 1");
+  }
+  if (!(options.damping >= 0.0 && options.damping < 1.0)) {
+    return Status::InvalidArgument("damping must be in [0, 1)");
+  }
+  if (edges.num_dims() < 2) {
+    return Status::InvalidArgument("edge rows need (source, destination)");
+  }
+
+  // Adjacency as out-edge lists; ids must be integral and in range.
+  std::vector<std::vector<std::size_t>> out_edges(n);
+  for (const Row& row : edges.rows()) {
+    double src_d = row[0], dst_d = row[1];
+    if (src_d < 0 || dst_d < 0 ||
+        src_d != std::floor(src_d) || dst_d != std::floor(dst_d) ||
+        src_d >= static_cast<double>(n) || dst_d >= static_cast<double>(n)) {
+      return Status::InvalidArgument("edge endpoint outside node universe");
+    }
+    out_edges[static_cast<std::size_t>(src_d)].push_back(
+        static_cast<std::size_t>(dst_d));
+  }
+
+  Row scores(n, 1.0 / static_cast<double>(n));
+  Row next(n, 0.0);
+  const double teleport = (1.0 - options.damping) / static_cast<double>(n);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (out_edges[v].empty()) {
+        dangling_mass += scores[v];
+        continue;
+      }
+      double share = scores[v] / static_cast<double>(out_edges[v].size());
+      for (std::size_t dst : out_edges[v]) next[dst] += share;
+    }
+    double dangling_share =
+        options.damping * dangling_mass / static_cast<double>(n);
+    double delta = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      next[v] = teleport + options.damping * next[v] + dangling_share;
+      delta += std::fabs(next[v] - scores[v]);
+    }
+    scores.swap(next);
+    if (options.tolerance > 0.0 && delta < options.tolerance) break;
+  }
+  return scores;
+}
+
+ProgramFactory PageRankQuery(const PageRankOptions& options) {
+  return MakeProgramFactory(
+      "pagerank[n=" + std::to_string(options.num_nodes) + "]",
+      options.num_nodes, [options](const Dataset& block) -> Result<Row> {
+        return ComputePageRank(block, options);
+      });
+}
+
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,46 @@
+// PageRank over an edge-list dataset.
+//
+// The paper's §7.1.2 names PageRank as the canonical iterative algorithm
+// whose convergence-dependent iteration count defeats PINQ's per-iteration
+// budgeting — GUPT just runs it to convergence inside each block and pays
+// once. Rows are (source, destination) node-id pairs over a fixed public
+// node universe; the program releases the N-dimensional score vector
+// (summing to 1), which SAF averages across blocks.
+
+#ifndef GUPT_ANALYTICS_PAGERANK_H_
+#define GUPT_ANALYTICS_PAGERANK_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+struct PageRankOptions {
+  /// Fixed, public node universe: node ids are in [0, num_nodes).
+  std::size_t num_nodes = 0;
+  double damping = 0.85;
+  std::size_t max_iterations = 100;
+  /// Stop when the L1 change of the score vector falls below this;
+  /// 0 runs all iterations.
+  double tolerance = 1e-10;
+};
+
+/// Runs damped PageRank on the block's edges (column 0 = source id,
+/// column 1 = destination id; ids outside the universe are an error).
+/// Dangling nodes distribute their mass uniformly. Returns the score
+/// vector (length num_nodes, sums to 1).
+Result<Row> ComputePageRank(const Dataset& edges,
+                            const PageRankOptions& options);
+
+/// Program factory: output arity num_nodes.
+ProgramFactory PageRankQuery(const PageRankOptions& options);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_PAGERANK_H_

@@ -1,0 +1,114 @@
+#include "analytics/pca.h"
+
+#include <cmath>
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+Result<std::vector<Row>> CovarianceMatrix(
+    const Dataset& data, const std::vector<std::size_t>& dims) {
+  for (std::size_t d : dims) {
+    if (d >= data.num_dims()) {
+      return Status::InvalidArgument("feature dim out of range");
+    }
+  }
+  const std::size_t k = dims.size();
+  Row mean(k, 0.0);
+  for (const Row& row : data.rows()) {
+    for (std::size_t i = 0; i < k; ++i) mean[i] += row[dims[i]];
+  }
+  vec::ScaleInPlace(&mean, 1.0 / static_cast<double>(data.num_rows()));
+
+  std::vector<Row> cov(k, Row(k, 0.0));
+  Row centered(k);
+  for (const Row& row : data.rows()) {
+    for (std::size_t i = 0; i < k; ++i) centered[i] = row[dims[i]] - mean[i];
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        cov[i][j] += centered[i] * centered[j];
+      }
+    }
+  }
+  for (Row& row : cov) {
+    vec::ScaleInPlace(&row, 1.0 / static_cast<double>(data.num_rows()));
+  }
+  return cov;
+}
+
+void CanonicalizeSign(Row* v) {
+  std::size_t arg_max = 0;
+  for (std::size_t i = 1; i < v->size(); ++i) {
+    if (std::fabs((*v)[i]) > std::fabs((*v)[arg_max])) arg_max = i;
+  }
+  if ((*v)[arg_max] < 0.0) vec::ScaleInPlace(v, -1.0);
+}
+
+}  // namespace
+
+Result<PcaResult> ComputeTopComponent(const Dataset& data,
+                                      const PcaOptions& options) {
+  std::vector<std::size_t> dims = options.feature_dims;
+  if (dims.empty()) {
+    dims.resize(data.num_dims());
+    for (std::size_t d = 0; d < dims.size(); ++d) dims[d] = d;
+  }
+  if (data.num_rows() < 2) {
+    return Status::InvalidArgument("PCA needs at least two rows");
+  }
+  GUPT_ASSIGN_OR_RETURN(std::vector<Row> cov, CovarianceMatrix(data, dims));
+
+  const std::size_t k = dims.size();
+  // Deterministic start: a mildly uneven vector avoids being orthogonal to
+  // the top eigenvector for symmetric inputs.
+  Row v(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    v[i] = 1.0 + 0.01 * static_cast<double>(i);
+  }
+  double norm = vec::Norm(v);
+  vec::ScaleInPlace(&v, 1.0 / norm);
+
+  double eigenvalue = 0.0;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    Row next(k, 0.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) next[i] += cov[i][j] * v[j];
+    }
+    double next_norm = vec::Norm(next);
+    if (next_norm < 1e-15) {
+      // Zero covariance: all rows identical; any unit vector is valid.
+      eigenvalue = 0.0;
+      break;
+    }
+    vec::ScaleInPlace(&next, 1.0 / next_norm);
+    double delta = std::min(vec::SquaredDistance(next, v),
+                            vec::SquaredDistance(vec::Scale(next, -1.0), v));
+    eigenvalue = next_norm;
+    v = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  CanonicalizeSign(&v);
+
+  PcaResult result;
+  result.component = std::move(v);
+  result.eigenvalue = eigenvalue;
+  return result;
+}
+
+ProgramFactory TopComponentQuery(const PcaOptions& options) {
+  return MakeProgramFactory(
+      "pca_top[d=" + std::to_string(options.feature_dims.size()) + "]",
+      options.feature_dims.size(),
+      [options](const Dataset& block) -> Result<Row> {
+        if (options.feature_dims.empty()) {
+          return Status::InvalidArgument(
+              "TopComponentQuery requires explicit feature_dims");
+        }
+        GUPT_ASSIGN_OR_RETURN(PcaResult result,
+                              ComputeTopComponent(block, options));
+        return result.component;
+      });
+}
+
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,51 @@
+// First principal component by power iteration.
+//
+// A maximum-likelihood-flavoured estimator (§3.2's other family of
+// approximately normal statistics). The program releases the top
+// eigenvector of the block's covariance matrix, sign-canonicalised so the
+// per-block outputs are SAF-aggregatable (an eigenvector and its negation
+// are the same subspace — without canonicalisation, averaging would
+// cancel them).
+
+#ifndef GUPT_ANALYTICS_PCA_H_
+#define GUPT_ANALYTICS_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+struct PcaOptions {
+  /// Feature columns to analyse; empty means all columns.
+  std::vector<std::size_t> feature_dims;
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-9;
+};
+
+struct PcaResult {
+  /// Unit-norm top eigenvector, sign fixed so its largest-magnitude
+  /// coordinate is positive.
+  Row component;
+  /// Its eigenvalue (variance explained).
+  double eigenvalue = 0.0;
+};
+
+/// Computes the leading principal component of the block's covariance.
+/// Errors on fewer than two rows or bad dims.
+Result<PcaResult> ComputeTopComponent(const Dataset& data,
+                                      const PcaOptions& options);
+
+/// Program factory: output arity |feature_dims| (the unit eigenvector).
+/// feature_dims must be explicit (the factory must know its arity).
+ProgramFactory TopComponentQuery(const PcaOptions& options);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_PCA_H_

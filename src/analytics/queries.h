@@ -1,0 +1,73 @@
+// Simple statistical analysis programs.
+//
+// These are the "unmodified analyst programs" GUPT runs as black boxes:
+// they know nothing about privacy, they just compute a statistic on
+// whatever subset of the data they are handed. Each helper returns a
+// ProgramFactory so every execution chamber gets a fresh instance.
+
+#ifndef GUPT_ANALYTICS_QUERIES_H_
+#define GUPT_ANALYTICS_QUERIES_H_
+
+#include <cstddef>
+
+#include "exec/program.h"
+
+namespace gupt {
+namespace analytics {
+
+/// Scalar mean of column `dim`.
+ProgramFactory MeanQuery(std::size_t dim);
+
+/// Scalar population variance of column `dim`.
+ProgramFactory VarianceQuery(std::size_t dim);
+
+/// Scalar median of column `dim`.
+ProgramFactory MedianQuery(std::size_t dim);
+
+/// Scalar q-quantile (q in (0,1)) of column `dim`.
+ProgramFactory QuantileQuery(std::size_t dim, double q);
+
+/// Per-dimension mean over all `num_dims` columns (output arity num_dims).
+ProgramFactory MeanAllDimsQuery(std::size_t num_dims);
+
+/// Covariance between columns `dim_a` and `dim_b`.
+ProgramFactory CovarianceQuery(std::size_t dim_a, std::size_t dim_b);
+
+/// Normalised histogram of column `dim` over `num_bins` equal bins spanning
+/// [lo, hi]; out-of-range values clamp to the boundary bins. Output arity
+/// is num_bins and each entry is a fraction in [0, 1].
+ProgramFactory HistogramQuery(std::size_t dim, std::size_t num_bins, double lo,
+                              double hi);
+
+/// Winsorized mean of column `dim`: values below the `trim`-quantile or
+/// above the (1-trim)-quantile are clamped to those quantiles before
+/// averaging. Smith (STOC'11) uses this robust location estimator as the
+/// running example of an approximately normal statistic. trim in [0, 0.5).
+ProgramFactory WinsorizedMeanQuery(std::size_t dim, double trim);
+
+/// Trimmed mean of column `dim`: the lowest and highest `trim` fraction of
+/// values are *dropped* (not clamped) before averaging. trim in [0, 0.5).
+ProgramFactory TrimmedMeanQuery(std::size_t dim, double trim);
+
+/// Inter-quartile range (q75 - q25) of column `dim` — a robust scale
+/// estimator pairing with the winsorized mean.
+ProgramFactory IqrQuery(std::size_t dim);
+
+/// Full covariance matrix over `dims`, flattened row-major including the
+/// diagonal (output arity |dims|^2). Per-block covariance matrices average
+/// meaningfully because the entry order is fixed by `dims`.
+ProgramFactory CovarianceMatrixQuery(const std::vector<std::size_t>& dims);
+
+/// Decision stump: the single-feature threshold classifier maximising
+/// training accuracy over `feature_dims` against the 0/1 labels in
+/// `label_dim`. Output is (feature_index, threshold, polarity) — arity 3.
+/// Note: feature_index is a *discrete* output; averaging it across blocks
+/// is only meaningful when blocks agree on the dominant feature, which is
+/// exactly the regime where SAF's utility guarantee applies.
+ProgramFactory DecisionStumpQuery(const std::vector<std::size_t>& feature_dims,
+                                  std::size_t label_dim);
+
+}  // namespace analytics
+}  // namespace gupt
+
+#endif  // GUPT_ANALYTICS_QUERIES_H_

@@ -1,0 +1,186 @@
+#include "baselines/airavat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/laplace.h"
+
+namespace gupt {
+namespace baselines {
+
+Result<AiravatResult> RunAiravatJob(const Dataset& data, const AiravatJob& job,
+                                    dp::PrivacyAccountant* accountant,
+                                    Rng* rng) {
+  if (!job.mapper) {
+    return Status::InvalidArgument("job has no mapper");
+  }
+  if (job.num_keys == 0) {
+    return Status::InvalidArgument("num_keys must be >= 1");
+  }
+  if (!(job.value_range.lo <= job.value_range.hi)) {
+    return Status::InvalidArgument("invalid declared value range");
+  }
+  if (job.max_emissions_per_record == 0) {
+    return Status::InvalidArgument("max_emissions_per_record must be >= 1");
+  }
+  if (!(job.epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  GUPT_RETURN_IF_ERROR(accountant->Charge(job.epsilon, "airavat.job"));
+
+  AiravatResult result;
+  std::vector<double> sums(job.num_keys, 0.0);
+  std::vector<double> counts(job.num_keys, 0.0);
+
+  for (const Row& row : data.rows()) {
+    // The mapper runs record-at-a-time; sandbox enforcement clamps values
+    // into the declared range and drops emissions beyond the declaration.
+    std::vector<std::pair<std::size_t, double>> emissions = job.mapper(row);
+    if (emissions.size() > job.max_emissions_per_record) {
+      result.enforcement_actions +=
+          emissions.size() - job.max_emissions_per_record;
+      emissions.resize(job.max_emissions_per_record);
+    }
+    for (const auto& [key, value] : emissions) {
+      if (key >= job.num_keys) {
+        ++result.enforcement_actions;  // emission to an undeclared key
+        continue;
+      }
+      double clamped =
+          vec::ClampScalar(value, job.value_range.lo, job.value_range.hi);
+      if (clamped != value) ++result.enforcement_actions;
+      sums[key] += clamped;
+      counts[key] += 1.0;
+    }
+  }
+
+  // One record contributes at most max_emissions values, each bounded by
+  // the declared range, regardless of mapper behaviour.
+  const double m = static_cast<double>(job.max_emissions_per_record);
+  const double sum_sensitivity =
+      m * std::max(std::fabs(job.value_range.lo), std::fabs(job.value_range.hi));
+  const double count_sensitivity = m;
+
+  result.values.resize(job.num_keys);
+  switch (job.reducer) {
+    case AiravatReducer::kSum:
+      for (std::size_t key = 0; key < job.num_keys; ++key) {
+        GUPT_ASSIGN_OR_RETURN(
+            result.values[key],
+            dp::LaplaceMechanism(sums[key], sum_sensitivity, job.epsilon, rng));
+      }
+      break;
+    case AiravatReducer::kCount:
+      for (std::size_t key = 0; key < job.num_keys; ++key) {
+        GUPT_ASSIGN_OR_RETURN(
+            result.values[key],
+            dp::LaplaceMechanism(counts[key], count_sensitivity, job.epsilon,
+                                 rng));
+      }
+      break;
+    case AiravatReducer::kMean:
+      for (std::size_t key = 0; key < job.num_keys; ++key) {
+        GUPT_ASSIGN_OR_RETURN(
+            double noisy_sum,
+            dp::LaplaceMechanism(sums[key], sum_sensitivity, job.epsilon / 2.0,
+                                 rng));
+        GUPT_ASSIGN_OR_RETURN(
+            double noisy_count,
+            dp::LaplaceMechanism(counts[key], count_sensitivity,
+                                 job.epsilon / 2.0, rng));
+        result.values[key] = noisy_sum / std::max(1.0, noisy_count);
+      }
+      break;
+  }
+  return result;
+}
+
+Result<std::vector<Row>> AiravatKMeans(const Dataset& data,
+                                       const AiravatKMeansOptions& options,
+                                       dp::PrivacyAccountant* accountant,
+                                       Rng* rng) {
+  if (options.k == 0 || options.iterations == 0) {
+    return Status::InvalidArgument("k and iterations must be >= 1");
+  }
+  if (options.feature_dims.empty() ||
+      options.feature_dims.size() != options.feature_ranges.size()) {
+    return Status::InvalidArgument(
+        "feature_dims and feature_ranges must be non-empty and equal arity");
+  }
+  if (!(options.total_epsilon > 0.0)) {
+    return Status::InvalidArgument("total_epsilon must be positive");
+  }
+
+  const std::size_t d = options.feature_dims.size();
+  // The mapper declares ONE value range covering every emitted value:
+  // all coordinate ranges plus the count emission's {0, 1}.
+  Range value_range{0.0, 1.0};
+  for (const Range& r : options.feature_ranges) {
+    value_range.lo = std::min(value_range.lo, r.lo);
+    value_range.hi = std::max(value_range.hi, r.hi);
+  }
+
+  // Data-independent initialisation, as in the PINQ baseline.
+  std::vector<Row> centers(options.k, Row(d, 0.0));
+  for (std::size_t c = 0; c < options.k; ++c) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const Range& r = options.feature_ranges[i];
+      centers[c][i] = rng->UniformDouble(r.lo, r.hi);
+    }
+  }
+
+  const double eps_iter =
+      options.total_epsilon / static_cast<double>(options.iterations);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    AiravatJob job;
+    job.reducer = AiravatReducer::kSum;
+    job.num_keys = options.k * (d + 1);
+    job.value_range = value_range;
+    job.max_emissions_per_record = d + 1;
+    job.epsilon = eps_iter;
+    // The mapper is per-record isolated: it can read the (public) current
+    // centres captured here but cannot carry state between records.
+    job.mapper = [&options, centers, d](const Row& row) {
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        double dist = 0.0;
+        for (std::size_t i = 0; i < d; ++i) {
+          double delta = row[options.feature_dims[i]] - centers[c][i];
+          dist += delta * delta;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      std::vector<std::pair<std::size_t, double>> emissions;
+      emissions.reserve(d + 1);
+      for (std::size_t i = 0; i < d; ++i) {
+        emissions.emplace_back(best * (d + 1) + i,
+                               row[options.feature_dims[i]]);
+      }
+      emissions.emplace_back(best * (d + 1) + d, 1.0);  // count
+      return emissions;
+    };
+
+    GUPT_ASSIGN_OR_RETURN(AiravatResult result,
+                          RunAiravatJob(data, job, accountant, rng));
+    for (std::size_t c = 0; c < options.k; ++c) {
+      double count = std::max(1.0, result.values[c * (d + 1) + d]);
+      for (std::size_t i = 0; i < d; ++i) {
+        const Range& r = options.feature_ranges[i];
+        centers[c][i] = vec::ClampScalar(
+            result.values[c * (d + 1) + i] / count, r.lo, r.hi);
+      }
+    }
+  }
+
+  std::sort(centers.begin(), centers.end(),
+            [](const Row& a, const Row& b) { return a[0] < b[0]; });
+  return centers;
+}
+
+}  // namespace baselines
+}  // namespace gupt

@@ -1,0 +1,89 @@
+// Airavat-style baseline runtime (Roy et al., NSDI 2010).
+//
+// Airavat runs an *untrusted mapper* per record inside a map-reduce job and
+// a *trusted reducer* that adds the differential-privacy noise. The mapper
+// must pre-declare its output range and the number of key-value pairs it
+// emits per record; the runtime clamps emissions into the declared range
+// (so a lying mapper cannot blow up the sensitivity) and the reducer
+// calibrates Laplace noise to it. Restrictions the paper calls out (§7.3)
+// are modelled: mappers see one record at a time with no shared state, the
+// key space is fixed, and only the built-in reducers are available.
+
+#ifndef GUPT_BASELINES_AIRAVAT_H_
+#define GUPT_BASELINES_AIRAVAT_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "dp/accountant.h"
+
+namespace gupt {
+namespace baselines {
+
+/// The untrusted map function: record -> (key, value) emissions.
+using AiravatMapper =
+    std::function<std::vector<std::pair<std::size_t, double>>(const Row&)>;
+
+/// Trusted reducers Airavat offers. (SUM/COUNT/MEAN cover the paper's
+/// examples; anything richer would have to go into the untrusted mapper,
+/// which is exactly Airavat's expressiveness limitation.)
+enum class AiravatReducer { kSum, kCount, kMean };
+
+struct AiravatJob {
+  AiravatMapper mapper;
+  AiravatReducer reducer = AiravatReducer::kSum;
+  /// Fixed reducer key space.
+  std::size_t num_keys = 1;
+  /// Mapper's declared per-emission value range; emissions are clamped.
+  Range value_range{0.0, 1.0};
+  /// Declared maximum emissions per record; excess emissions are dropped.
+  std::size_t max_emissions_per_record = 1;
+  /// Privacy budget for the whole job.
+  double epsilon = 1.0;
+};
+
+struct AiravatResult {
+  /// One noisy aggregate per key.
+  std::vector<double> values;
+  /// Emissions dropped or clamped because the mapper exceeded its
+  /// declaration (diagnostic; the privacy guarantee never depends on the
+  /// mapper being honest).
+  std::size_t enforcement_actions = 0;
+};
+
+/// Runs a job. Charges `job.epsilon` to the accountant before releasing.
+/// The noise is calibrated to max_emissions * max(|lo|, |hi|) for sums
+/// (and an extra count sensitivity of max_emissions for means).
+Result<AiravatResult> RunAiravatJob(const Dataset& data, const AiravatJob& job,
+                                    dp::PrivacyAccountant* accountant,
+                                    Rng* rng);
+
+/// k-means as Airavat must express it: one map-reduce job per Lloyd
+/// iteration (the mapper assigns its record to the nearest centre and
+/// emits per-coordinate values plus a count; the trusted SUM reducer adds
+/// the noise), with the budget split across the declared iteration count.
+/// Iterative algorithms therefore hit the same budget-splitting wall as
+/// PINQ (paper §7.3) — and the mapper's single declared value range must
+/// cover every coordinate, inflating the sensitivity further.
+struct AiravatKMeansOptions {
+  std::size_t k = 4;
+  std::size_t iterations = 10;
+  double total_epsilon = 1.0;
+  std::vector<std::size_t> feature_dims;
+  std::vector<Range> feature_ranges;  // same arity as feature_dims
+};
+
+Result<std::vector<Row>> AiravatKMeans(const Dataset& data,
+                                       const AiravatKMeansOptions& options,
+                                       dp::PrivacyAccountant* accountant,
+                                       Rng* rng);
+
+}  // namespace baselines
+}  // namespace gupt
+
+#endif  // GUPT_BASELINES_AIRAVAT_H_

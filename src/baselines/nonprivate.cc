@@ -1,0 +1,18 @@
+#include "baselines/nonprivate.h"
+
+namespace gupt {
+namespace baselines {
+
+Result<Row> RunNonPrivate(const ProgramFactory& factory, const Dataset& data) {
+  if (!factory) {
+    return Status::InvalidArgument("program factory is null");
+  }
+  std::unique_ptr<AnalysisProgram> program = factory();
+  if (!program) {
+    return Status::InvalidArgument("program factory returned null");
+  }
+  return program->Run(data);
+}
+
+}  // namespace baselines
+}  // namespace gupt

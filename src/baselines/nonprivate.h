@@ -1,0 +1,25 @@
+// Non-private reference execution.
+//
+// Every figure in the paper is anchored to the non-private answer ("the
+// package was run on the dataset directly", §7.1.1). This helper runs an
+// analysis program once over the full dataset with no chamber, no noise
+// and no budget — for baselines and for measuring GUPT's overhead.
+
+#ifndef GUPT_BASELINES_NONPRIVATE_H_
+#define GUPT_BASELINES_NONPRIVATE_H_
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+namespace baselines {
+
+/// Runs a fresh instance of the program on the whole dataset.
+Result<Row> RunNonPrivate(const ProgramFactory& factory, const Dataset& data);
+
+}  // namespace baselines
+}  // namespace gupt
+
+#endif  // GUPT_BASELINES_NONPRIVATE_H_

@@ -1,0 +1,313 @@
+#include "baselines/pinq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/laplace.h"
+#include "dp/noisy_ops.h"
+
+namespace gupt {
+namespace baselines {
+
+PinqQueryable::PinqQueryable(const Dataset* data,
+                             dp::PrivacyAccountant* accountant, Rng* rng)
+    : data_(data), accountant_(accountant), rng_(rng) {
+  indices_.resize(data->num_rows());
+  for (std::size_t i = 0; i < indices_.size(); ++i) indices_[i] = i;
+}
+
+PinqQueryable::PinqQueryable(const Dataset* data,
+                             dp::PrivacyAccountant* accountant, Rng* rng,
+                             std::vector<std::size_t> indices)
+    : data_(data),
+      accountant_(accountant),
+      rng_(rng),
+      indices_(std::move(indices)) {}
+
+Status PinqQueryable::Charge(double epsilon, const std::string& label) {
+  if (charging_suppressed_) return Status::OK();
+  return accountant_->Charge(epsilon, label);
+}
+
+std::vector<double> PinqQueryable::ColumnClamped(std::size_t dim,
+                                                 const Range& range) const {
+  std::vector<double> column;
+  column.reserve(indices_.size());
+  for (std::size_t i : indices_) {
+    column.push_back(vec::ClampScalar(data_->row(i)[dim], range.lo, range.hi));
+  }
+  return column;
+}
+
+Result<double> PinqQueryable::NoisyCount(double epsilon) {
+  GUPT_RETURN_IF_ERROR(Charge(epsilon, "pinq.NoisyCount"));
+  return dp::LaplaceMechanism(static_cast<double>(indices_.size()),
+                              /*sensitivity=*/1.0, epsilon, rng_);
+}
+
+Result<double> PinqQueryable::NoisyAverage(std::size_t dim, const Range& range,
+                                           double epsilon) {
+  if (dim >= data_->num_dims()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (!(range.lo <= range.hi)) {
+    return Status::InvalidArgument("invalid clamp range");
+  }
+  GUPT_RETURN_IF_ERROR(Charge(epsilon, "pinq.NoisyAverage"));
+  std::vector<double> column = ColumnClamped(dim, range);
+  // PINQ's NoisyAverage treats the empty part as the range midpoint.
+  double mean = column.empty() ? 0.5 * (range.lo + range.hi)
+                               : stats::Mean(column);
+  double n = std::max<double>(1.0, static_cast<double>(column.size()));
+  return dp::LaplaceMechanism(mean, range.width() / n, epsilon, rng_);
+}
+
+Result<double> PinqQueryable::NoisySum(std::size_t dim, const Range& range,
+                                       double epsilon) {
+  if (dim >= data_->num_dims()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (!(range.lo <= range.hi)) {
+    return Status::InvalidArgument("invalid clamp range");
+  }
+  GUPT_RETURN_IF_ERROR(Charge(epsilon, "pinq.NoisySum"));
+  std::vector<double> column = ColumnClamped(dim, range);
+  double sum = 0.0;
+  for (double v : column) sum += v;
+  double sensitivity = std::max(std::fabs(range.lo), std::fabs(range.hi));
+  return dp::LaplaceMechanism(sum, sensitivity, epsilon, rng_);
+}
+
+Result<std::size_t> PinqQueryable::ExponentialChoice(
+    const std::function<std::vector<double>(const Row&)>& scorer,
+    std::size_t num_candidates, double score_sensitivity, double epsilon) {
+  if (!scorer || num_candidates == 0) {
+    return Status::InvalidArgument("invalid exponential choice arguments");
+  }
+  GUPT_RETURN_IF_ERROR(Charge(epsilon, "pinq.ExponentialChoice"));
+  std::vector<double> totals(num_candidates, 0.0);
+  for (std::size_t i : indices_) {
+    std::vector<double> contribution = scorer(data_->row(i));
+    if (contribution.size() != num_candidates) {
+      return Status::InvalidArgument("scorer arity mismatch");
+    }
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      totals[c] += contribution[c];
+    }
+  }
+  return dp::ExponentialChoice(totals, score_sensitivity, epsilon, rng_);
+}
+
+Result<std::vector<PinqQueryable>> PinqQueryable::Partition(
+    const std::function<std::size_t(const Row&)>& key_fn,
+    std::size_t num_keys) const {
+  if (!key_fn || num_keys == 0) {
+    return Status::InvalidArgument("invalid partition arguments");
+  }
+  std::vector<std::vector<std::size_t>> parts(num_keys);
+  for (std::size_t i : indices_) {
+    std::size_t key = key_fn(data_->row(i));
+    if (key >= num_keys) {
+      return Status::InvalidArgument("partition key out of range");
+    }
+    parts[key].push_back(i);
+  }
+  std::vector<PinqQueryable> result;
+  result.reserve(num_keys);
+  for (auto& part : parts) {
+    result.push_back(
+        PinqQueryable(data_, accountant_, rng_, std::move(part)));
+  }
+  return result;
+}
+
+Result<std::vector<double>> PinqQueryable::RunOnParts(
+    std::vector<PinqQueryable>* parts, double epsilon,
+    const std::string& label,
+    const std::function<Result<double>(PinqQueryable*, double)>& op) {
+  if (parts == nullptr || parts->empty() || !op) {
+    return Status::InvalidArgument("invalid RunOnParts arguments");
+  }
+  // Parallel composition: the parts hold disjoint records, so one charge of
+  // `epsilon` covers the identical operation on every part.
+  GUPT_RETURN_IF_ERROR((*parts)[0].accountant_->Charge(epsilon, label));
+  std::vector<double> outputs;
+  outputs.reserve(parts->size());
+  for (PinqQueryable& part : *parts) {
+    part.charging_suppressed_ = true;
+    Result<double> out = op(&part, epsilon);
+    part.charging_suppressed_ = false;
+    GUPT_RETURN_IF_ERROR(out.status());
+    outputs.push_back(out.value());
+  }
+  return outputs;
+}
+
+Result<std::vector<Row>> PinqKMeans(const Dataset& data,
+                                    const PinqKMeansOptions& options,
+                                    dp::PrivacyAccountant* accountant,
+                                    Rng* rng) {
+  if (options.k == 0 || options.iterations == 0) {
+    return Status::InvalidArgument("k and iterations must be >= 1");
+  }
+  if (options.feature_dims.empty() ||
+      options.feature_dims.size() != options.feature_ranges.size()) {
+    return Status::InvalidArgument(
+        "feature_dims and feature_ranges must be non-empty and equal arity");
+  }
+  if (!(options.total_epsilon > 0.0)) {
+    return Status::InvalidArgument("total_epsilon must be positive");
+  }
+  if (!(options.count_fraction > 0.0 && options.count_fraction < 1.0)) {
+    return Status::InvalidArgument("count_fraction must be in (0, 1)");
+  }
+
+  const std::size_t dims = options.feature_dims.size();
+  // Data-independent initialisation: uniform random centres inside the
+  // declared box, as in McSherry's PINQ k-means demo — the analyst cannot
+  // peek at the data to seed, so convergence genuinely needs iterations.
+  std::vector<Row> centers(options.k, Row(dims, 0.0));
+  for (std::size_t c = 0; c < options.k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const Range& r = options.feature_ranges[d];
+      centers[c][d] = rng->UniformDouble(r.lo, r.hi);
+    }
+  }
+
+  // The analyst must pre-split the budget across iterations (Fig. 5's
+  // pain point): eps_iter each, count_fraction of it on counts and the
+  // rest spread across the per-dimension sums.
+  const double eps_iter =
+      options.total_epsilon / static_cast<double>(options.iterations);
+  const double eps_count = options.count_fraction * eps_iter;
+  const double eps_sum_per_dim =
+      (1.0 - options.count_fraction) * eps_iter / static_cast<double>(dims);
+
+  PinqQueryable root(&data, accountant, rng);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    auto key_fn = [&](const Row& row) {
+      std::size_t best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        double dist = 0.0;
+        for (std::size_t d = 0; d < dims; ++d) {
+          double delta = row[options.feature_dims[d]] - centers[c][d];
+          dist += delta * delta;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      return best;
+    };
+    GUPT_ASSIGN_OR_RETURN(std::vector<PinqQueryable> parts,
+                          root.Partition(key_fn, options.k));
+
+    GUPT_ASSIGN_OR_RETURN(
+        std::vector<double> counts,
+        PinqQueryable::RunOnParts(
+            &parts, eps_count, "pinq.kmeans.count",
+            [](PinqQueryable* part, double eps) {
+              return part->NoisyCount(eps);
+            }));
+
+    std::vector<Row> sums(options.k, Row(dims, 0.0));
+    for (std::size_t d = 0; d < dims; ++d) {
+      std::size_t col = options.feature_dims[d];
+      Range range = options.feature_ranges[d];
+      GUPT_ASSIGN_OR_RETURN(
+          std::vector<double> dim_sums,
+          PinqQueryable::RunOnParts(
+              &parts, eps_sum_per_dim, "pinq.kmeans.sum",
+              [col, range](PinqQueryable* part, double eps) {
+                return part->NoisySum(col, range, eps);
+              }));
+      for (std::size_t c = 0; c < options.k; ++c) sums[c][d] = dim_sums[c];
+    }
+
+    for (std::size_t c = 0; c < options.k; ++c) {
+      double denom = std::max(1.0, counts[c]);
+      for (std::size_t d = 0; d < dims; ++d) {
+        const Range& r = options.feature_ranges[d];
+        centers[c][d] = vec::ClampScalar(sums[c][d] / denom, r.lo, r.hi);
+      }
+    }
+  }
+
+  std::sort(centers.begin(), centers.end(),
+            [](const Row& a, const Row& b) { return a[0] < b[0]; });
+  return centers;
+}
+
+Result<Row> PinqLogisticRegression(
+    const Dataset& data, const PinqLogisticRegressionOptions& options,
+    dp::PrivacyAccountant* accountant, Rng* rng) {
+  if (options.feature_dims.empty()) {
+    return Status::InvalidArgument("no feature dimensions");
+  }
+  for (std::size_t d : options.feature_dims) {
+    if (d >= data.num_dims()) {
+      return Status::InvalidArgument("feature dim out of range");
+    }
+  }
+  if (options.label_dim >= data.num_dims()) {
+    return Status::InvalidArgument("label dim out of range");
+  }
+  if (options.iterations == 0 || !(options.total_epsilon > 0.0) ||
+      !(options.feature_bound > 0.0)) {
+    return Status::InvalidArgument("invalid PINQ logistic options");
+  }
+
+  const std::size_t d = options.feature_dims.size();
+  const double n = static_cast<double>(data.num_rows());
+  const double eps_iter =
+      options.total_epsilon / static_cast<double>(options.iterations);
+  const double eps_coord = eps_iter / static_cast<double>(d + 1);
+  // |sigmoid - y| <= 1 and |x| <= bound, so one record moves the averaged
+  // gradient coordinate by at most 2*bound/n (2/n for the bias).
+  const double grad_sensitivity = 2.0 * options.feature_bound / n;
+  const double bias_sensitivity = 2.0 / n;
+
+  Row weights(d + 1, 0.0);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    Row gradient(d + 1, 0.0);
+    for (const Row& row : data.rows()) {
+      double z = weights[d];
+      for (std::size_t i = 0; i < d; ++i) {
+        double x = vec::ClampScalar(row[options.feature_dims[i]],
+                                    -options.feature_bound,
+                                    options.feature_bound);
+        z += weights[i] * x;
+      }
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double err = p - (row[options.label_dim] > 0.5 ? 1.0 : 0.0);
+      for (std::size_t i = 0; i < d; ++i) {
+        double x = vec::ClampScalar(row[options.feature_dims[i]],
+                                    -options.feature_bound,
+                                    options.feature_bound);
+        gradient[i] += err * x;
+      }
+      gradient[d] += err;
+    }
+    vec::ScaleInPlace(&gradient, 1.0 / n);
+
+    for (std::size_t i = 0; i <= d; ++i) {
+      GUPT_RETURN_IF_ERROR(
+          accountant->Charge(eps_coord, "pinq.logreg.gradient"));
+      GUPT_ASSIGN_OR_RETURN(
+          gradient[i],
+          dp::LaplaceMechanism(
+              gradient[i], i < d ? grad_sensitivity : bias_sensitivity,
+              eps_coord, rng));
+    }
+    for (std::size_t i = 0; i <= d; ++i) {
+      weights[i] -= options.learning_rate * gradient[i];
+    }
+  }
+  return weights;
+}
+
+}  // namespace baselines
+}  // namespace gupt

@@ -1,0 +1,128 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gupt {
+namespace csv {
+namespace {
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  // Trailing comma yields an empty final field that getline drops; restore it
+  // so arity errors are reported instead of silently shifting columns.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Result<double> ParseDouble(const std::string& field, std::size_t line_no) {
+  std::string trimmed = Trim(field);
+  if (trimmed.empty()) {
+    return Status::ParseError("empty numeric field on line " +
+                              std::to_string(line_no));
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(trimmed.c_str(), &end);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) {
+    return Status::ParseError("malformed number '" + trimmed + "' on line " +
+                              std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Table> Parse(const std::string& text, bool has_header) {
+  Table table;
+  std::stringstream ss(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_pending = has_header;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitFields(trimmed);
+    if (header_pending) {
+      for (const std::string& f : fields) table.column_names.push_back(Trim(f));
+      header_pending = false;
+      continue;
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (const std::string& f : fields) {
+      GUPT_ASSIGN_OR_RETURN(double v, ParseDouble(f, line_no));
+      row.push_back(v);
+    }
+    if (!table.rows.empty() && row.size() != table.rows[0].size()) {
+      return Status::ParseError(
+          "row on line " + std::to_string(line_no) + " has " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(table.rows[0].size()));
+    }
+    if (!table.column_names.empty() && row.size() != table.column_names.size()) {
+      return Status::ParseError("row on line " + std::to_string(line_no) +
+                                " does not match header arity");
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<Table> ReadFile(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str(), has_header);
+}
+
+std::string Format(const Table& table) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!table.column_names.empty()) {
+    for (std::size_t i = 0; i < table.column_names.size(); ++i) {
+      if (i) out << ',';
+      out << table.column_names[i];
+    }
+    out << '\n';
+  }
+  for (const Row& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const Table& table) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  out << Format(table);
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace csv
+}  // namespace gupt

@@ -1,0 +1,43 @@
+// Minimal CSV reader/writer for numeric tables.
+//
+// GUPT's dataset manager ingests "a collection of real valued vectors"
+// (paper §3.1); in practice these arrive as CSV exports. This parser handles
+// the numeric subset: comma-separated doubles, optional header row,
+// '#'-prefixed comment lines, and blank lines.
+
+#ifndef GUPT_COMMON_CSV_H_
+#define GUPT_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace gupt {
+namespace csv {
+
+/// A parsed numeric CSV: optional column names plus rectangular rows.
+struct Table {
+  std::vector<std::string> column_names;  // empty when no header present
+  std::vector<Row> rows;
+};
+
+/// Parses CSV text. If `has_header` is true the first non-comment line is
+/// taken as column names. All data rows must have the same arity and every
+/// field must parse as a double.
+Result<Table> Parse(const std::string& text, bool has_header);
+
+/// Reads and parses a CSV file from disk.
+Result<Table> ReadFile(const std::string& path, bool has_header);
+
+/// Serialises a table; writes a header line when column_names is non-empty.
+std::string Format(const Table& table);
+
+/// Writes a table to disk, overwriting any existing file.
+Status WriteFile(const std::string& path, const Table& table);
+
+}  // namespace csv
+}  // namespace gupt
+
+#endif  // GUPT_COMMON_CSV_H_

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace gupt {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void DefaultSink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[gupt %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+Logger::Logger() : sink_(DefaultSink) {}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink ? std::move(sink) : Sink(DefaultSink);
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (level < min_level_) return;
+    sink = sink_;
+  }
+  sink(level, message);
+}
+
+}  // namespace gupt

@@ -1,0 +1,72 @@
+// Leveled logging for the GUPT runtime.
+//
+// The runtime logs through a process-global Logger so that benchmarks can
+// silence output and tests can capture it. Logging is thread-safe.
+
+#ifndef GUPT_COMMON_LOGGING_H_
+#define GUPT_COMMON_LOGGING_H_
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gupt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-global log sink with a severity threshold.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  /// Messages below `level` are dropped.
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Replaces the output sink (default writes to stderr). Passing nullptr
+  /// restores the default sink.
+  void set_sink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+namespace internal {
+
+/// Builds a message with stream syntax and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GUPT_LOG(level) \
+  ::gupt::internal::LogMessage(::gupt::LogLevel::level)
+
+}  // namespace gupt
+
+#endif  // GUPT_COMMON_LOGGING_H_

@@ -1,0 +1,176 @@
+// Status and Result<T>: lightweight error propagation for the GUPT runtime.
+//
+// The runtime never throws across module boundaries; fallible operations
+// return Status (or Result<T> when they also produce a value). The style
+// follows the Arrow/RocksDB convention: an ok() status carries no message,
+// an error status carries a code and a human-readable message.
+
+#ifndef GUPT_COMMON_STATUS_H_
+#define GUPT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gupt {
+
+/// Error taxonomy for the GUPT runtime.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller supplied an argument that violates a documented precondition.
+  kInvalidArgument,
+  /// A referenced entity (dataset, program, query) does not exist.
+  kNotFound,
+  /// An entity with the same key already exists.
+  kAlreadyExists,
+  /// The per-dataset privacy budget cannot cover the requested charge.
+  kBudgetExhausted,
+  /// An untrusted program violated its execution-chamber policy.
+  kPolicyViolation,
+  /// An untrusted program exceeded its cycle budget and was killed.
+  kDeadlineExceeded,
+  /// Malformed external input (e.g. a CSV file that does not parse).
+  kParseError,
+  /// Numerical routine failed to converge or produced non-finite values.
+  kNumericalError,
+  /// Internal invariant broken; indicates a bug in GUPT itself.
+  kInternal,
+};
+
+/// Human-readable name of a status code (e.g. "BudgetExhausted").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a (code, message) pair.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A kOk code must
+  /// not carry a message; use the default constructor instead.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status PolicyViolation(std::string msg) {
+    return Status(StatusCode::kPolicyViolation, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;` inside a Result<int> function.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. The status must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The contained value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates an error status from an expression that yields a Status.
+#define GUPT_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::gupt::Status _gupt_status = (expr);            \
+    if (!_gupt_status.ok()) return _gupt_status;     \
+  } while (false)
+
+/// Evaluates an expression yielding Result<T>; on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define GUPT_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto GUPT_CONCAT_(_gupt_result_, __LINE__) = (expr);             \
+  if (!GUPT_CONCAT_(_gupt_result_, __LINE__).ok())                 \
+    return GUPT_CONCAT_(_gupt_result_, __LINE__).status();         \
+  lhs = std::move(GUPT_CONCAT_(_gupt_result_, __LINE__)).value()
+
+#define GUPT_CONCAT_IMPL_(a, b) a##b
+#define GUPT_CONCAT_(a, b) GUPT_CONCAT_IMPL_(a, b)
+
+}  // namespace gupt
+
+#endif  // GUPT_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#include "core/aging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/partitioner.h"
+
+namespace gupt {
+
+Result<AgedRunStats> ComputeAgedRunStats(const Dataset& aged,
+                                         const ProgramFactory& factory,
+                                         std::size_t block_size, Rng* rng) {
+  if (!factory) {
+    return Status::InvalidArgument("program factory is null");
+  }
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be >= 1");
+  }
+  if (block_size > aged.num_rows()) {
+    return Status::InvalidArgument(
+        "block_size " + std::to_string(block_size) +
+        " exceeds aged slice size " + std::to_string(aged.num_rows()));
+  }
+
+  AgedRunStats stats;
+  {
+    std::unique_ptr<AnalysisProgram> program = factory();
+    GUPT_ASSIGN_OR_RETURN(stats.whole_output, program->Run(aged));
+  }
+  const std::size_t dims = stats.whole_output.size();
+
+  const std::size_t num_blocks =
+      std::max<std::size_t>(1, aged.num_rows() / block_size);
+  GUPT_ASSIGN_OR_RETURN(BlockPlan plan,
+                        PartitionDisjoint(aged.num_rows(), num_blocks, rng));
+  for (const auto& indices : plan.blocks) {
+    GUPT_ASSIGN_OR_RETURN(Dataset block, aged.Subset(indices));
+    std::unique_ptr<AnalysisProgram> program = factory();
+    Result<Row> out = program->Run(block);
+    if (!out.ok() || out.value().size() != dims) continue;  // training signal only
+    stats.block_outputs.push_back(std::move(out).value());
+  }
+  if (stats.block_outputs.empty()) {
+    return Status::NumericalError(
+        "program failed on every aged block; cannot estimate statistics");
+  }
+
+  stats.block_mean.assign(dims, 0.0);
+  for (const Row& o : stats.block_outputs) {
+    vec::AddInPlace(&stats.block_mean, o);
+  }
+  vec::ScaleInPlace(&stats.block_mean,
+                    1.0 / static_cast<double>(stats.block_outputs.size()));
+
+  stats.block_variance.assign(dims, 0.0);
+  for (const Row& o : stats.block_outputs) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      double delta = o[d] - stats.block_mean[d];
+      stats.block_variance[d] += delta * delta;
+    }
+  }
+  vec::ScaleInPlace(&stats.block_variance,
+                    1.0 / static_cast<double>(stats.block_outputs.size()));
+  return stats;
+}
+
+Result<Row> EstimateQueryMagnitude(const Dataset& aged,
+                                   const ProgramFactory& factory) {
+  if (!factory) {
+    return Status::InvalidArgument("program factory is null");
+  }
+  std::unique_ptr<AnalysisProgram> program = factory();
+  GUPT_ASSIGN_OR_RETURN(Row out, program->Run(aged));
+  for (double& x : out) x = std::fabs(x);
+  return out;
+}
+
+}  // namespace gupt

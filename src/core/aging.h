@@ -1,0 +1,57 @@
+// Aging-of-sensitivity support (paper §3.3).
+//
+// Under the aging model, a slice of the dataset is old enough that its
+// privacy has lapsed; GUPT inspects that slice *in the clear* to learn
+// general trends — the empirical estimation error at a candidate block
+// size, the variance of per-block outputs, the rough magnitude of the
+// answer — and uses them to tune block size (§4.3) and privacy budget
+// (§5.1, §5.2) for queries against the still-private remainder. None of
+// these computations touch private rows, so they cost no budget.
+
+#ifndef GUPT_CORE_AGING_H_
+#define GUPT_CORE_AGING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+/// Statistics from running a program over an aged (non-private) dataset,
+/// both whole and partitioned into blocks of a candidate size.
+struct AgedRunStats {
+  /// f(T_np): the program's output on the entire aged slice.
+  Row whole_output;
+  /// Per-block outputs f(T_i_np) at the candidate block size.
+  std::vector<Row> block_outputs;
+  /// Per-dimension mean of the block outputs.
+  Row block_mean;
+  /// Per-dimension population variance of the block outputs.
+  Row block_variance;
+
+  std::size_t num_blocks() const { return block_outputs.size(); }
+};
+
+/// Runs `factory`'s program on the whole aged slice and on a random
+/// disjoint partition into blocks of `block_size` rows, collecting the
+/// statistics the block planner (Eq. 2) and budget estimator (Eq. 3) need.
+/// Blocks that fail to run are skipped (the aged slice is a training
+/// signal, not a privacy surface); errors only when nothing can run at all
+/// or the arguments are invalid.
+Result<AgedRunStats> ComputeAgedRunStats(const Dataset& aged,
+                                         const ProgramFactory& factory,
+                                         std::size_t block_size, Rng* rng);
+
+/// |f(T_np)| per output dimension: the magnitude scale used to convert a
+/// *relative* accuracy goal into an absolute noise budget (§5.1).
+Result<Row> EstimateQueryMagnitude(const Dataset& aged,
+                                   const ProgramFactory& factory);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_AGING_H_

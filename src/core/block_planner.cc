@@ -1,0 +1,122 @@
+#include "core/block_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/aging.h"
+
+namespace gupt {
+namespace {
+
+// Evaluates Eq. 2 at one alpha: empirical estimation error on the aged
+// slice plus the Laplace noise std-dev the real run would incur, summed
+// over output dimensions. Returns +inf when the candidate is infeasible.
+Result<double> EvaluateAlpha(double alpha, const Dataset& aged,
+                             std::size_t private_n,
+                             const ProgramFactory& factory,
+                             const std::vector<double>& range_widths,
+                             double epsilon_per_dim, Rng* rng) {
+  double n = static_cast<double>(private_n);
+  double block_size_real = std::pow(n, 1.0 - alpha);
+  auto block_size = static_cast<std::size_t>(std::llround(block_size_real));
+  block_size = std::clamp<std::size_t>(block_size, 1, aged.num_rows());
+
+  GUPT_ASSIGN_OR_RETURN(AgedRunStats stats,
+                        ComputeAgedRunStats(aged, factory, block_size, rng));
+  const std::size_t dims = stats.whole_output.size();
+  if (range_widths.size() != dims && range_widths.size() != 1) {
+    return Status::InvalidArgument(
+        "range_widths arity must be 1 or match output dims");
+  }
+
+  double total = 0.0;
+  double num_blocks_real = std::pow(n, alpha);
+  for (std::size_t d = 0; d < dims; ++d) {
+    double width = range_widths[range_widths.size() == 1 ? 0 : d];
+    double estimation =
+        std::fabs(stats.block_mean[d] - stats.whole_output[d]);
+    double noise = std::sqrt(2.0) * width / (epsilon_per_dim * num_blocks_real);
+    total += estimation + noise;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<BlockPlanChoice> PlanBlockSize(const Dataset& aged,
+                                      std::size_t private_n,
+                                      const ProgramFactory& factory,
+                                      const BlockPlannerOptions& options,
+                                      Rng* rng) {
+  if (private_n < 2) {
+    return Status::InvalidArgument("private dataset too small to plan for");
+  }
+  if (aged.num_rows() == 0) {
+    return Status::InvalidArgument("aged slice is empty");
+  }
+  if (!(options.epsilon_per_dim > 0.0)) {
+    return Status::InvalidArgument("epsilon_per_dim must be positive");
+  }
+  if (options.range_widths.empty()) {
+    return Status::InvalidArgument("range_widths must be provided");
+  }
+  if (options.grid_points < 2) {
+    return Status::InvalidArgument("grid_points must be >= 2");
+  }
+
+  const double n = static_cast<double>(private_n);
+  const double n_np = static_cast<double>(aged.num_rows());
+  // Feasibility: the aged slice must fit at least one block of size
+  // n^(1-alpha), i.e. alpha >= 1 - log(n_np)/log(n). Cap alpha below 1 so
+  // blocks keep at least one record.
+  double alpha_lo = std::max(0.0, 1.0 - std::log(n_np) / std::log(n));
+  double alpha_hi = 1.0;
+
+  double best_alpha = alpha_lo;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < options.grid_points; ++i) {
+    double alpha = alpha_lo + (alpha_hi - alpha_lo) * static_cast<double>(i) /
+                                  static_cast<double>(options.grid_points - 1);
+    Result<double> err =
+        EvaluateAlpha(alpha, aged, private_n, factory, options.range_widths,
+                      options.epsilon_per_dim, rng);
+    if (!err.ok()) continue;  // candidate infeasible; skip
+    if (err.value() < best_error) {
+      best_error = err.value();
+      best_alpha = alpha;
+    }
+  }
+  if (!std::isfinite(best_error)) {
+    return Status::NumericalError("no feasible block size candidate");
+  }
+
+  // Hill-climb around the best grid point with a shrinking step.
+  double step = (alpha_hi - alpha_lo) /
+                static_cast<double>(options.grid_points - 1);
+  for (std::size_t i = 0; i < options.refine_steps; ++i) {
+    step *= 0.5;
+    for (double candidate : {best_alpha - step, best_alpha + step}) {
+      if (candidate < alpha_lo || candidate > alpha_hi) continue;
+      Result<double> err =
+          EvaluateAlpha(candidate, aged, private_n, factory,
+                        options.range_widths, options.epsilon_per_dim, rng);
+      if (err.ok() && err.value() < best_error) {
+        best_error = err.value();
+        best_alpha = candidate;
+      }
+    }
+  }
+
+  BlockPlanChoice choice;
+  choice.alpha = best_alpha;
+  choice.predicted_error = best_error;
+  auto block_size = static_cast<std::size_t>(
+      std::llround(std::pow(n, 1.0 - best_alpha)));
+  choice.block_size = std::clamp<std::size_t>(block_size, 1, private_n);
+  choice.num_blocks =
+      std::max<std::size_t>(1, private_n / choice.block_size);
+  return choice;
+}
+
+}  // namespace gupt

@@ -1,0 +1,63 @@
+// Optimal block-size selection (paper §4.3).
+//
+// Writing the number of blocks as l = n^alpha, SAF's error at a given alpha
+// decomposes into an estimation term A (how far block-level outputs sit
+// from the whole-data output — shrinks as blocks grow) and a noise term
+// B = sqrt(2) * s / (epsilon * n^alpha) (the Laplace std-dev — shrinks as
+// blocks multiply). The planner evaluates the empirical error (Eq. 2)
+//
+//     | mean_i f(T_i^np) - f(T^np) |  +  sqrt(2) * s / (epsilon * n^alpha)
+//
+// on the aged slice T^np over a grid of feasible alphas, refining the best
+// grid point by hill climbing, exactly the "conventional techniques like
+// hill climbing" the paper prescribes. alpha is constrained to
+// [1 - log(n_np)/log(n), 1] so an aged block of size n^(1-alpha) exists.
+
+#ifndef GUPT_CORE_BLOCK_PLANNER_H_
+#define GUPT_CORE_BLOCK_PLANNER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+struct BlockPlannerOptions {
+  /// SAF privacy budget per output dimension the real query will run with.
+  double epsilon_per_dim = 1.0;
+  /// Output-range width s per output dimension (the aggregation
+  /// sensitivity numerator). A single value is broadcast across dims.
+  std::vector<double> range_widths;
+  /// Grid resolution over the feasible alpha interval.
+  std::size_t grid_points = 24;
+  /// Hill-climbing refinement steps around the best grid point.
+  std::size_t refine_steps = 8;
+};
+
+/// The planner's choice, plus diagnostics.
+struct BlockPlanChoice {
+  double alpha = 0.0;
+  /// Block size n^(1-alpha), rounded and clamped to [1, n].
+  std::size_t block_size = 0;
+  /// Number of blocks for a disjoint partition of the private data.
+  std::size_t num_blocks = 0;
+  /// Empirical Eq. 2 error at the chosen alpha (summed over output dims).
+  double predicted_error = 0.0;
+};
+
+/// Chooses the block size for a private dataset of `private_n` rows using
+/// the aged slice. Runs the program on aged blocks at each candidate size;
+/// costs no privacy budget.
+Result<BlockPlanChoice> PlanBlockSize(const Dataset& aged,
+                                      std::size_t private_n,
+                                      const ProgramFactory& factory,
+                                      const BlockPlannerOptions& options,
+                                      Rng* rng);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_BLOCK_PLANNER_H_

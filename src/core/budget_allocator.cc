@@ -1,0 +1,58 @@
+#include "core/budget_allocator.h"
+
+#include <cmath>
+
+namespace gupt {
+namespace {
+
+Status ValidateProfiles(const std::vector<QueryNoiseProfile>& profiles,
+                        double total_epsilon) {
+  if (profiles.empty()) {
+    return Status::InvalidArgument("no queries to allocate budget for");
+  }
+  if (!(total_epsilon > 0.0) || !std::isfinite(total_epsilon)) {
+    return Status::InvalidArgument("total_epsilon must be positive and finite");
+  }
+  for (const QueryNoiseProfile& p : profiles) {
+    if (!(p.zeta > 0.0) || !std::isfinite(p.zeta)) {
+      return Status::InvalidArgument("query '" + p.label +
+                                     "' has non-positive zeta");
+    }
+  }
+  return Status::OK();
+}
+
+double ZetaSum(const std::vector<QueryNoiseProfile>& profiles) {
+  double sum = 0.0;
+  for (const QueryNoiseProfile& p : profiles) sum += p.zeta;
+  return sum;
+}
+
+}  // namespace
+
+double SafZeta(double range_width, std::size_t num_blocks, std::size_t gamma) {
+  return std::sqrt(2.0) * static_cast<double>(gamma) * range_width /
+         static_cast<double>(num_blocks);
+}
+
+Result<std::vector<double>> AllocateBudget(
+    const std::vector<QueryNoiseProfile>& profiles, double total_epsilon) {
+  GUPT_RETURN_IF_ERROR(ValidateProfiles(profiles, total_epsilon));
+  double sum = ZetaSum(profiles);
+  std::vector<double> epsilons;
+  epsilons.reserve(profiles.size());
+  for (const QueryNoiseProfile& p : profiles) {
+    epsilons.push_back(p.zeta / sum * total_epsilon);
+  }
+  return epsilons;
+}
+
+Result<double> AllocatedNoiseStdDev(
+    const std::vector<QueryNoiseProfile>& profiles, double total_epsilon) {
+  GUPT_RETURN_IF_ERROR(ValidateProfiles(profiles, total_epsilon));
+  // Query i's noise std-dev is zeta_i / epsilon_i = sum_j zeta_j / total,
+  // identical for every i — that equality is the point of the scheme.
+  return ZetaSum(profiles) / total_epsilon;
+}
+
+}  // namespace gupt

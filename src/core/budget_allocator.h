@@ -1,0 +1,47 @@
+// Automatic privacy-budget distribution across queries (paper §5.2).
+//
+// Running queries f_1..f_m under a shared budget epsilon, GUPT sets
+// epsilon_i = (zeta_i / sum_j zeta_j) * epsilon, where zeta_i / epsilon_i
+// is the Laplace std-dev query i would incur — so every query ends up with
+// the *same* noise std-dev (Example 4: average vs variance should not get
+// equal epsilons, because variance is max times more sensitive).
+//
+// For SAF, zeta_i = sqrt(2) * gamma_i * s_i / l_i: the noise scale numerator
+// of AggregationNoiseScale times sqrt(2) (Laplace std-dev = sqrt(2)*scale).
+
+#ifndef GUPT_CORE_BUDGET_ALLOCATOR_H_
+#define GUPT_CORE_BUDGET_ALLOCATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gupt {
+
+/// Noise profile of one pending query.
+struct QueryNoiseProfile {
+  std::string label;
+  /// zeta: the query's Laplace std-dev per unit of 1/epsilon. For SAF this
+  /// is sqrt(2) * gamma * range_width / num_blocks.
+  double zeta = 0.0;
+};
+
+/// Builds a SAF query's zeta from its plan parameters.
+double SafZeta(double range_width, std::size_t num_blocks, std::size_t gamma);
+
+/// Splits `total_epsilon` across the queries proportionally to zeta.
+/// Returns one epsilon per profile, in order; they sum to total_epsilon.
+/// Errors when any zeta is non-positive or the total budget is invalid.
+Result<std::vector<double>> AllocateBudget(
+    const std::vector<QueryNoiseProfile>& profiles, double total_epsilon);
+
+/// The common noise std-dev every query attains under the allocation —
+/// useful for reporting "this is the accuracy you bought".
+Result<double> AllocatedNoiseStdDev(
+    const std::vector<QueryNoiseProfile>& profiles, double total_epsilon);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_BUDGET_ALLOCATOR_H_

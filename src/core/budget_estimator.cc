@@ -1,0 +1,82 @@
+#include "core/budget_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/aging.h"
+
+namespace gupt {
+
+Result<BudgetEstimate> EstimateBudgetForAccuracy(
+    const Dataset& aged, std::size_t private_n, const ProgramFactory& factory,
+    const BudgetEstimatorOptions& options, Rng* rng) {
+  const AccuracyGoal& goal = options.goal;
+  if (!(goal.rho > 0.0 && goal.rho < 1.0)) {
+    return Status::InvalidArgument("accuracy rho must be in (0, 1)");
+  }
+  if (!(goal.delta > 0.0 && goal.delta < 1.0)) {
+    return Status::InvalidArgument("failure probability delta must be in (0, 1)");
+  }
+  if (options.block_size == 0 || options.block_size > private_n) {
+    return Status::InvalidArgument("block_size must be in [1, n]");
+  }
+  if (!(options.range_width > 0.0) || !std::isfinite(options.range_width)) {
+    return Status::InvalidArgument("range_width must be positive");
+  }
+  if (private_n == 0) {
+    return Status::InvalidArgument("private dataset is empty");
+  }
+
+  // alpha = max{0, log(n / beta)} in the paper's notation means the block
+  // count is l = n / beta, i.e. n^alpha = n / beta.
+  const double n = static_cast<double>(private_n);
+  const double num_blocks =
+      std::max(1.0, n / static_cast<double>(options.block_size));
+
+  std::size_t aged_block_size =
+      std::min<std::size_t>(options.block_size, aged.num_rows());
+  if (aged.num_rows() / aged_block_size < 2) {
+    // A single aged block yields a zero variance estimate for C, which
+    // would make any accuracy goal look attainable. Demand enough aged
+    // data for at least two blocks.
+    if (aged_block_size < 2) {
+      return Status::InvalidArgument("aged slice too small to estimate from");
+    }
+    aged_block_size = aged.num_rows() / 2;
+  }
+  GUPT_ASSIGN_OR_RETURN(AgedRunStats stats,
+                        ComputeAgedRunStats(aged, factory, aged_block_size, rng));
+  if (stats.whole_output.size() != 1) {
+    return Status::InvalidArgument(
+        "budget estimation applies to scalar-output programs; run it per "
+        "dimension for multi-output queries");
+  }
+
+  BudgetEstimate estimate;
+  // sigma ~= sqrt(delta) * |1 - rho| * f(T_np).
+  estimate.target_sigma = std::sqrt(goal.delta) * std::fabs(1.0 - goal.rho) *
+                          std::fabs(stats.whole_output[0]);
+  if (!(estimate.target_sigma > 0.0)) {
+    return Status::NumericalError(
+        "accuracy goal yields a zero noise allowance (is f(T_np) zero?)");
+  }
+  // C: variance of the block-output mean = Var(block outputs) / l.
+  estimate.estimation_variance = stats.block_variance[0] / num_blocks;
+
+  double sigma_sq = estimate.target_sigma * estimate.target_sigma;
+  if (estimate.estimation_variance >= sigma_sq) {
+    return Status::NumericalError(
+        "accuracy goal unattainable at this block size: estimation variance " +
+        std::to_string(estimate.estimation_variance) +
+        " already exceeds target variance " + std::to_string(sigma_sq));
+  }
+  // Solve C + 2 s^2 / (epsilon^2 l^2) = sigma^2 for epsilon.
+  double allowed_noise_variance = sigma_sq - estimate.estimation_variance;
+  estimate.epsilon =
+      std::sqrt(2.0) * options.range_width /
+      (num_blocks * std::sqrt(allowed_noise_variance));
+  estimate.noise_variance = allowed_noise_variance;
+  return estimate;
+}
+
+}  // namespace gupt

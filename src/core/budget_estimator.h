@@ -1,0 +1,67 @@
+// Accuracy-goal to privacy-budget conversion (paper §5.1).
+//
+// Analysts think in output accuracy, not epsilon. Given a goal "the answer
+// should be within a factor rho of the truth with probability 1 - delta",
+// GUPT converts it into the *smallest* epsilon that meets it:
+//
+//   1. The permissible output std-dev follows from Chebyshev:
+//          sigma ~= sqrt(delta) * |1 - rho| * f(T_np),
+//      taking the aged slice's answer f(T_np) as the truth proxy.
+//   2. The output variance at block count n^alpha decomposes (Eq. 3) into
+//          C = Var(block outputs) / n^alpha        (estimation)
+//          D = 2 s^2 / (epsilon^2 n^(2 alpha))     (Laplace noise)
+//      with C measured on the aged slice.
+//   3. Solve C + D = sigma^2 for epsilon. If C alone already exceeds
+//      sigma^2 the goal is unreachable at this block size and the
+//      estimator says so rather than silently overspending.
+
+#ifndef GUPT_CORE_BUDGET_ESTIMATOR_H_
+#define GUPT_CORE_BUDGET_ESTIMATOR_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+/// The analyst's accuracy goal for a scalar-output query.
+struct AccuracyGoal {
+  /// Desired relative accuracy, e.g. 0.90 means "within 10% of the truth".
+  double rho = 0.9;
+  /// Failure probability, e.g. 0.10 means "with probability 90%".
+  double delta = 0.1;
+};
+
+struct BudgetEstimate {
+  /// The minimal epsilon (per output dimension) meeting the goal.
+  double epsilon = 0.0;
+  /// The target output std-dev derived from the goal.
+  double target_sigma = 0.0;
+  /// Estimation-error variance C measured on the aged slice.
+  double estimation_variance = 0.0;
+  /// Noise variance D the solved epsilon will produce.
+  double noise_variance = 0.0;
+};
+
+struct BudgetEstimatorOptions {
+  AccuracyGoal goal;
+  /// Block size beta the query will run with.
+  std::size_t block_size = 0;
+  /// Output-range width s (aggregation sensitivity numerator).
+  double range_width = 0.0;
+};
+
+/// Estimates the minimal epsilon for a *scalar-output* program (the §5.1
+/// derivation assumes one dimension; multi-output queries take the max
+/// epsilon across dimensions by running this per dimension). Costs no
+/// privacy budget: only the aged slice is touched.
+Result<BudgetEstimate> EstimateBudgetForAccuracy(
+    const Dataset& aged, std::size_t private_n, const ProgramFactory& factory,
+    const BudgetEstimatorOptions& options, Rng* rng);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_BUDGET_ESTIMATOR_H_

@@ -1,0 +1,73 @@
+#include "core/canonical.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace gupt {
+
+Status CanonicalizeGroupsByFirstElement(Row* flat, std::size_t group_size) {
+  if (flat == nullptr) {
+    return Status::InvalidArgument("flat output is null");
+  }
+  if (group_size == 0 || flat->size() % group_size != 0) {
+    return Status::InvalidArgument(
+        "output size " + std::to_string(flat->size()) +
+        " is not a multiple of group size " + std::to_string(group_size));
+  }
+  const std::size_t groups = flat->size() / group_size;
+  std::vector<Row> parts(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    parts[g].assign(flat->begin() + static_cast<std::ptrdiff_t>(g * group_size),
+                    flat->begin() +
+                        static_cast<std::ptrdiff_t>((g + 1) * group_size));
+  }
+  std::sort(parts.begin(), parts.end());  // lexicographic
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::copy(parts[g].begin(), parts[g].end(),
+              flat->begin() + static_cast<std::ptrdiff_t>(g * group_size));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+class CanonicalizingProgram final : public AnalysisProgram {
+ public:
+  CanonicalizingProgram(std::unique_ptr<AnalysisProgram> inner,
+                        std::size_t group_size)
+      : inner_(std::move(inner)), group_size_(group_size) {}
+
+  Result<Row> Run(const Dataset& block) override {
+    GUPT_ASSIGN_OR_RETURN(Row out, inner_->Run(block));
+    GUPT_RETURN_IF_ERROR(CanonicalizeGroupsByFirstElement(&out, group_size_));
+    return out;
+  }
+
+  Result<Row> RunWithServices(const Dataset& block,
+                              ChamberServices* services) override {
+    GUPT_ASSIGN_OR_RETURN(Row out, inner_->RunWithServices(block, services));
+    GUPT_RETURN_IF_ERROR(CanonicalizeGroupsByFirstElement(&out, group_size_));
+    return out;
+  }
+
+  std::size_t output_dims() const override { return inner_->output_dims(); }
+  std::string name() const override {
+    return inner_->name() + "+canonical";
+  }
+
+ private:
+  std::unique_ptr<AnalysisProgram> inner_;
+  std::size_t group_size_;
+};
+
+}  // namespace
+
+ProgramFactory CanonicalizedProgram(ProgramFactory inner,
+                                    std::size_t group_size) {
+  return [inner = std::move(inner), group_size]() {
+    return std::make_unique<CanonicalizingProgram>(inner(), group_size);
+  };
+}
+
+}  // namespace gupt

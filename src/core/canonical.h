@@ -1,0 +1,36 @@
+// Canonical ordering of multi-part outputs (paper §8).
+//
+// When a program releases an unordered collection — k cluster centres, a
+// set of rules — different blocks may emit the parts in different orders,
+// and averaging misaligned parts is meaningless. The paper's remedy is to
+// sort parts into a canonical form before aggregation (k-means centres by
+// first coordinate). These helpers implement that for the common
+// flattened-vector encoding.
+
+#ifndef GUPT_CORE_CANONICAL_H_
+#define GUPT_CORE_CANONICAL_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+/// Sorts the `group_size`-wide chunks of `flat` by their first element
+/// (ties broken by subsequent elements), in place. `flat` must be an exact
+/// multiple of group_size. This is the §8 canonicalisation for k-means
+/// (group_size = centre dimension).
+Status CanonicalizeGroupsByFirstElement(Row* flat, std::size_t group_size);
+
+/// Wraps a program so its outputs are canonicalised before leaving the
+/// chamber: the returned factory produces instances that run the inner
+/// program and then sort its flattened output groups. Use this to make an
+/// off-the-shelf clustering program SAF-aggregatable without modifying it.
+ProgramFactory CanonicalizedProgram(ProgramFactory inner,
+                                    std::size_t group_size);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_CANONICAL_H_

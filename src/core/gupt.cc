@@ -1,0 +1,389 @@
+#include "core/gupt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/block_planner.h"
+#include "core/budget_allocator.h"
+#include "core/sample_aggregate.h"
+#include "data/partitioner.h"
+
+namespace gupt {
+namespace {
+
+/// Theorem 1 budget multiplier: the total equals multiplier * p * eps_saf.
+double ModeMultiplier(RangeMode mode) {
+  return mode == RangeMode::kTight ? 1.0 : 2.0;
+}
+
+Row RangeMidpoints(const std::vector<Range>& ranges) {
+  Row mid(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    mid[i] = 0.5 * (ranges[i].lo + ranges[i].hi);
+  }
+  return mid;
+}
+
+Status ValidateRanges(const std::vector<Range>& ranges, std::size_t arity,
+                      const char* what) {
+  if (ranges.size() != arity) {
+    return Status::InvalidArgument(
+        std::string(what) + " arity " + std::to_string(ranges.size()) +
+        " does not match expected " + std::to_string(arity));
+  }
+  for (const Range& r : ranges) {
+    if (!(r.lo <= r.hi) || !std::isfinite(r.lo) || !std::isfinite(r.hi)) {
+      return Status::InvalidArgument(std::string(what) + " contains lo > hi");
+    }
+  }
+  return Status::OK();
+}
+
+/// The loose input ranges a helper-mode query should use: the spec's, or
+/// the data owner's registered ranges.
+Result<std::vector<Range>> ResolveLooseInputRanges(const RegisteredDataset& ds,
+                                                   const QuerySpec& spec) {
+  if (!spec.range.loose_input_ranges.empty()) {
+    GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.loose_input_ranges,
+                                        ds.data().num_dims(),
+                                        "loose input ranges"));
+    return spec.range.loose_input_ranges;
+  }
+  if (ds.input_ranges() != nullptr) {
+    return *ds.input_ranges();
+  }
+  return Status::InvalidArgument(
+      "GUPT-helper requires loose input ranges (from the query or the data "
+      "owner's registration)");
+}
+
+}  // namespace
+
+GuptRuntime::GuptRuntime(DatasetManager* manager, GuptOptions options)
+    : manager_(manager),
+      options_(options),
+      pool_(options.num_workers > 0
+                ? std::make_unique<ThreadPool>(options.num_workers)
+                : nullptr),
+      computation_manager_(pool_.get(), options.chamber_policy),
+      rng_(options.seed) {}
+
+Rng GuptRuntime::ForkRng() {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.Fork();
+}
+
+Result<GuptRuntime::QueryPlan> GuptRuntime::PlanQuery(
+    const RegisteredDataset& ds, const QuerySpec& spec, Rng* rng) const {
+  if (!spec.program) {
+    return Status::InvalidArgument("query has no program");
+  }
+  if (spec.epsilon.has_value() == spec.accuracy_goal.has_value()) {
+    return Status::InvalidArgument(
+        "exactly one of epsilon and accuracy_goal must be set");
+  }
+  if (spec.gamma == 0) {
+    return Status::InvalidArgument("gamma must be >= 1");
+  }
+  if (spec.records_per_user == 0) {
+    return Status::InvalidArgument("records_per_user must be >= 1");
+  }
+
+  QueryPlan plan;
+  plan.gamma = spec.gamma;
+  {
+    std::unique_ptr<AnalysisProgram> probe = spec.program();
+    if (!probe) {
+      return Status::InvalidArgument("program factory returned null");
+    }
+    plan.output_dims = probe->output_dims();
+  }
+  if (plan.output_dims == 0) {
+    return Status::InvalidArgument("program declares zero output dimensions");
+  }
+  const std::size_t n = ds.data().num_rows();
+  const std::size_t k = ds.data().num_dims();
+  // Under per-dimension accounting the declared epsilon is not divided
+  // across the p outputs (the paper's evaluation configuration).
+  const double p = spec.accounting == BudgetAccounting::kPerDimension
+                       ? 1.0
+                       : static_cast<double>(plan.output_dims);
+  const double multiplier = ModeMultiplier(spec.range.mode);
+
+  // Planning-time output ranges: declared for tight/loose; for helper,
+  // translated from the *loose* (public) input ranges — no privacy cost, and
+  // only used for widths and fallback values, never to clamp real outputs.
+  switch (spec.range.mode) {
+    case RangeMode::kTight:
+    case RangeMode::kLoose:
+      GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.declared_ranges,
+                                          plan.output_dims,
+                                          "declared output ranges"));
+      plan.planning_ranges = spec.range.declared_ranges;
+      break;
+    case RangeMode::kHelper: {
+      if (!spec.range.translator) {
+        return Status::InvalidArgument("GUPT-helper requires a translator");
+      }
+      GUPT_ASSIGN_OR_RETURN(std::vector<Range> loose_input,
+                            ResolveLooseInputRanges(ds, spec));
+      GUPT_ASSIGN_OR_RETURN(plan.planning_ranges,
+                            spec.range.translator(loose_input));
+      GUPT_RETURN_IF_ERROR(ValidateRanges(plan.planning_ranges,
+                                          plan.output_dims,
+                                          "translated output ranges"));
+      break;
+    }
+  }
+
+  std::vector<double> widths(plan.output_dims);
+  for (std::size_t d = 0; d < plan.output_dims; ++d) {
+    widths[d] = plan.planning_ranges[d].width();
+  }
+
+  // Block size: explicit > aged-data planner > paper default n^0.6.
+  if (spec.block_size.has_value()) {
+    if (*spec.block_size == 0 || *spec.block_size > n) {
+      return Status::InvalidArgument("block_size must be in [1, n]");
+    }
+    plan.block_size = *spec.block_size;
+  } else if (spec.optimize_block_size && ds.aged() != nullptr) {
+    BlockPlannerOptions planner_options;
+    // When the budget is known, plan against the SAF share; with an
+    // accuracy goal the budget is solved *after* the block size, so plan
+    // with a provisional unit budget (the paper sequences it the same way).
+    planner_options.epsilon_per_dim =
+        spec.epsilon ? *spec.epsilon / (multiplier * p) : 1.0;
+    planner_options.range_widths = widths;
+    GUPT_ASSIGN_OR_RETURN(
+        BlockPlanChoice choice,
+        PlanBlockSize(*ds.aged(), n, spec.program, planner_options, rng));
+    plan.block_size = choice.block_size;
+    GUPT_LOG(kInfo) << "block planner chose beta=" << choice.block_size
+                    << " (alpha=" << choice.alpha << ", predicted error "
+                    << choice.predicted_error << ")";
+  } else {
+    std::size_t num_blocks = DefaultNumBlocks(n);
+    plan.block_size = std::max<std::size_t>(1, n / num_blocks);
+  }
+  plan.block_size = std::min(plan.block_size, n);
+
+  const std::size_t blocks_per_group =
+      (n + plan.block_size - 1) / plan.block_size;
+  plan.num_blocks = plan.gamma * blocks_per_group;
+
+  // Privacy budget: explicit, or solved from the accuracy goal (§5.1).
+  if (spec.epsilon.has_value()) {
+    if (!(*spec.epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    plan.epsilon_total = *spec.epsilon;
+    plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
+  } else {
+    if (ds.aged() == nullptr) {
+      return Status::InvalidArgument(
+          "accuracy goals require an aged slice (aging-of-sensitivity model)");
+    }
+    if (plan.output_dims != 1) {
+      return Status::InvalidArgument(
+          "accuracy goals are supported for scalar-output programs");
+    }
+    BudgetEstimatorOptions est;
+    est.goal = *spec.accuracy_goal;
+    est.block_size = plan.block_size;
+    est.range_width = widths[0];
+    GUPT_ASSIGN_OR_RETURN(
+        BudgetEstimate estimate,
+        EstimateBudgetForAccuracy(*ds.aged(), n, spec.program, est, rng));
+    plan.epsilon_saf_per_dim = estimate.epsilon;
+    plan.epsilon_total = multiplier * p * plan.epsilon_saf_per_dim;
+  }
+  (void)k;
+  return plan;
+}
+
+Result<QueryReport> GuptRuntime::ExecutePlanned(RegisteredDataset& ds,
+                                                const QuerySpec& spec,
+                                                const QueryPlan& plan,
+                                                Rng* rng) const {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n = ds.data().num_rows();
+  const std::size_t k = ds.data().num_dims();
+
+  // Charge the full budget up front: a program that later misbehaves (or a
+  // malicious analyst who aborts mid-query) cannot reclaim or overdraw it.
+  std::string label;
+  {
+    std::unique_ptr<AnalysisProgram> probe = spec.program();
+    label = probe->name() + " [" + RangeModeToString(spec.range.mode) + "]";
+  }
+  GUPT_RETURN_IF_ERROR(ds.accountant().Charge(plan.epsilon_total, label));
+
+  QueryReport report;
+  report.epsilon_spent = plan.epsilon_total;
+  report.epsilon_saf_per_dim = plan.epsilon_saf_per_dim;
+  report.block_size = plan.block_size;
+  report.gamma = plan.gamma;
+
+  // Effective clamp ranges known before execution for tight mode; helper
+  // estimates them from private inputs now (charged within epsilon_total);
+  // loose refines from block outputs after execution.
+  std::vector<Range> effective = plan.planning_ranges;
+  if (spec.range.mode == RangeMode::kHelper) {
+    GUPT_ASSIGN_OR_RETURN(std::vector<Range> loose_input,
+                          ResolveLooseInputRanges(ds, spec));
+    // Theorem 1: the input percentile pass gets epsilon/2 in total, split
+    // evenly over the k input dimensions.
+    double epsilon_per_input_dim =
+        plan.epsilon_total / (2.0 * static_cast<double>(k));
+    // User-level privacy scales the percentile mechanism's rank
+    // sensitivity by the per-user record count (group privacy).
+    epsilon_per_input_dim /= static_cast<double>(spec.records_per_user);
+    GUPT_ASSIGN_OR_RETURN(
+        effective,
+        EstimateRangesViaTranslator(
+            ds.data(), loose_input, spec.range.translator,
+            epsilon_per_input_dim, plan.output_dims, rng,
+            spec.range.lower_percentile, spec.range.upper_percentile));
+  }
+
+  // The constant substituted for killed/failed blocks must be data
+  // independent and inside the expected output range (§6.2): use the
+  // midpoint of the pre-execution planning ranges.
+  Row fallback = RangeMidpoints(plan.planning_ranges);
+
+  BlockPlan partition;
+  if (plan.gamma > 1) {
+    GUPT_ASSIGN_OR_RETURN(
+        partition, PartitionResampled(n, plan.block_size, plan.gamma, rng));
+  } else {
+    std::size_t num_blocks = std::max<std::size_t>(
+        1, std::min(plan.num_blocks, n));
+    GUPT_ASSIGN_OR_RETURN(partition, PartitionDisjoint(n, num_blocks, rng));
+  }
+  report.num_blocks = partition.num_blocks();
+
+  GUPT_ASSIGN_OR_RETURN(
+      BlockExecutionReport exec_report,
+      computation_manager_.ExecuteOnBlocks(spec.program, ds.data(), partition,
+                                           fallback));
+  report.fallback_blocks = exec_report.fallback_count;
+  report.deadline_exceeded_blocks = exec_report.deadline_exceeded_count;
+  report.policy_violations = exec_report.policy_violation_count;
+  if (report.fallback_blocks > 0 || report.policy_violations > 0) {
+    GUPT_LOG(kWarning) << "query '" << label << "': "
+                       << report.fallback_blocks << "/" << report.num_blocks
+                       << " blocks fell back ("
+                       << report.deadline_exceeded_blocks
+                       << " killed at the cycle budget), "
+                       << report.policy_violations << " policy violations";
+  }
+
+  std::vector<Row> outputs = exec_report.Outputs();
+  if (spec.range.mode == RangeMode::kLoose) {
+    // Theorem 1: epsilon/(2p) per output dimension for the percentile pass
+    // (just epsilon/2 under per-dimension accounting).
+    double p_eff = spec.accounting == BudgetAccounting::kPerDimension
+                       ? 1.0
+                       : static_cast<double>(plan.output_dims);
+    double epsilon_per_output_dim = plan.epsilon_total / (2.0 * p_eff);
+    GUPT_ASSIGN_OR_RETURN(
+        effective,
+        EstimateRangesFromBlockOutputs(
+            outputs, spec.range.declared_ranges, epsilon_per_output_dim,
+            plan.gamma * spec.records_per_user, rng,
+            spec.range.lower_percentile, spec.range.upper_percentile));
+  }
+
+  AggregateOptions agg;
+  agg.epsilon_per_dim = plan.epsilon_saf_per_dim;
+  agg.output_ranges = effective;
+  // One *user* touches at most gamma * records_per_user blocks, so the
+  // aggregation's sensitivity multiplier is their product (group privacy).
+  agg.gamma = plan.gamma * spec.records_per_user;
+  GUPT_ASSIGN_OR_RETURN(AggregateResult aggregate,
+                        AggregateBlockOutputs(outputs, agg, rng));
+
+  report.output = std::move(aggregate.output);
+  report.effective_ranges = std::move(effective);
+  report.elapsed = std::chrono::steady_clock::now() - start;
+  return report;
+}
+
+Result<QueryReport> GuptRuntime::Execute(const std::string& dataset_name,
+                                         const QuerySpec& spec) {
+  GUPT_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredDataset> ds,
+                        manager_->Get(dataset_name));
+  Rng rng = ForkRng();
+  GUPT_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(*ds, spec, &rng));
+  return ExecutePlanned(*ds, spec, plan, &rng);
+}
+
+Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
+    const std::string& dataset_name, const std::vector<QuerySpec>& specs,
+    double total_epsilon) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("no queries in the batch");
+  }
+  GUPT_ASSIGN_OR_RETURN(std::shared_ptr<RegisteredDataset> ds,
+                        manager_->Get(dataset_name));
+
+  // Plan every query with a provisional unit budget to learn its block
+  // geometry and range widths; zeta then determines the allocation (§5.2).
+  std::vector<QueryPlan> plans;
+  std::vector<QueryNoiseProfile> profiles;
+  plans.reserve(specs.size());
+  profiles.reserve(specs.size());
+  Rng rng = ForkRng();
+  for (const QuerySpec& spec : specs) {
+    if (spec.epsilon.has_value() || spec.accuracy_goal.has_value()) {
+      return Status::InvalidArgument(
+          "shared-budget queries must leave epsilon and accuracy_goal unset");
+    }
+    QuerySpec provisional = spec;
+    provisional.epsilon = 1.0;
+    GUPT_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(*ds, provisional, &rng));
+
+    double max_width = 0.0;
+    for (const Range& r : plan.planning_ranges) {
+      max_width = std::max(max_width, r.width());
+    }
+    QueryNoiseProfile profile;
+    {
+      std::unique_ptr<AnalysisProgram> probe = spec.program();
+      profile.label = probe->name();
+    }
+    // Weight = multiplier * p * zeta so the resulting *total* epsilons give
+    // every query the same SAF noise std-dev (see budget_allocator.h).
+    double p_eff = spec.accounting == BudgetAccounting::kPerDimension
+                       ? 1.0
+                       : static_cast<double>(plan.output_dims);
+    profile.zeta = ModeMultiplier(spec.range.mode) * p_eff *
+                   SafZeta(max_width, plan.num_blocks, plan.gamma);
+    profiles.push_back(std::move(profile));
+    plans.push_back(std::move(plan));
+  }
+
+  GUPT_ASSIGN_OR_RETURN(std::vector<double> epsilons,
+                        AllocateBudget(profiles, total_epsilon));
+
+  std::vector<QueryReport> reports;
+  reports.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    QueryPlan plan = plans[i];
+    double multiplier = ModeMultiplier(specs[i].range.mode);
+    double p_eff = specs[i].accounting == BudgetAccounting::kPerDimension
+                       ? 1.0
+                       : static_cast<double>(plan.output_dims);
+    plan.epsilon_total = epsilons[i];
+    plan.epsilon_saf_per_dim = epsilons[i] / (multiplier * p_eff);
+    GUPT_ASSIGN_OR_RETURN(QueryReport report,
+                          ExecutePlanned(*ds, specs[i], plan, &rng));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace gupt

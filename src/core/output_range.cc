@@ -1,0 +1,119 @@
+#include "core/output_range.h"
+
+#include <utility>
+
+#include "dp/percentile.h"
+
+namespace gupt {
+
+const char* RangeModeToString(RangeMode mode) {
+  switch (mode) {
+    case RangeMode::kTight:
+      return "GUPT-tight";
+    case RangeMode::kLoose:
+      return "GUPT-loose";
+    case RangeMode::kHelper:
+      return "GUPT-helper";
+  }
+  return "?";
+}
+
+OutputRangeSpec OutputRangeSpec::Tight(std::vector<Range> ranges) {
+  OutputRangeSpec spec;
+  spec.mode = RangeMode::kTight;
+  spec.declared_ranges = std::move(ranges);
+  return spec;
+}
+
+OutputRangeSpec OutputRangeSpec::Loose(std::vector<Range> ranges) {
+  OutputRangeSpec spec;
+  spec.mode = RangeMode::kLoose;
+  spec.declared_ranges = std::move(ranges);
+  return spec;
+}
+
+OutputRangeSpec OutputRangeSpec::Helper(RangeTranslator translator,
+                                        std::vector<Range> loose_input_ranges) {
+  OutputRangeSpec spec;
+  spec.mode = RangeMode::kHelper;
+  spec.translator = std::move(translator);
+  spec.loose_input_ranges = std::move(loose_input_ranges);
+  return spec;
+}
+
+Result<std::vector<Range>> EstimateRangesFromBlockOutputs(
+    const std::vector<Row>& block_outputs, const std::vector<Range>& loose,
+    double epsilon_per_dim, std::size_t gamma, Rng* rng,
+    double lower_percentile, double upper_percentile) {
+  if (block_outputs.empty()) {
+    return Status::InvalidArgument("no block outputs for range estimation");
+  }
+  if (gamma == 0) {
+    return Status::InvalidArgument("gamma must be >= 1");
+  }
+  const std::size_t dims = block_outputs[0].size();
+  if (loose.size() != dims) {
+    return Status::InvalidArgument(
+        "loose range arity does not match output dimension");
+  }
+  std::vector<Range> estimated(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<double> column;
+    column.reserve(block_outputs.size());
+    for (const Row& o : block_outputs) {
+      if (o.size() != dims) {
+        return Status::InvalidArgument("block outputs have mixed dimensions");
+      }
+      column.push_back(o[d]);
+    }
+    // One record appears in gamma blocks, so the rank utility over block
+    // outputs has group sensitivity gamma: divide the budget accordingly.
+    double epsilon_each =
+        epsilon_per_dim / (2.0 * static_cast<double>(gamma));
+    GUPT_ASSIGN_OR_RETURN(
+        auto quantiles,
+        dp::PrivateQuantilePair(column, loose[d].lo, loose[d].hi,
+                                lower_percentile, upper_percentile,
+                                epsilon_each, rng));
+    estimated[d] = Range{quantiles.first, quantiles.second};
+  }
+  return estimated;
+}
+
+Result<std::vector<Range>> EstimateRangesViaTranslator(
+    const Dataset& data, const std::vector<Range>& loose_input,
+    const RangeTranslator& translator, double epsilon_per_dim,
+    std::size_t output_dims, Rng* rng, double lower_percentile,
+    double upper_percentile) {
+  if (!translator) {
+    return Status::InvalidArgument("GUPT-helper requires a range translator");
+  }
+  if (loose_input.size() != data.num_dims()) {
+    return Status::InvalidArgument(
+        "loose input range arity does not match dataset dimensions");
+  }
+  std::vector<Range> tight_input(data.num_dims());
+  for (std::size_t d = 0; d < data.num_dims(); ++d) {
+    GUPT_ASSIGN_OR_RETURN(std::vector<double> column, data.Column(d));
+    GUPT_ASSIGN_OR_RETURN(
+        auto quantiles,
+        dp::PrivateQuantilePair(column, loose_input[d].lo, loose_input[d].hi,
+                                lower_percentile, upper_percentile,
+                                epsilon_per_dim / 2.0, rng));
+    tight_input[d] = Range{quantiles.first, quantiles.second};
+  }
+  GUPT_ASSIGN_OR_RETURN(std::vector<Range> output, translator(tight_input));
+  if (output.size() != output_dims) {
+    return Status::InvalidArgument(
+        "range translator returned " + std::to_string(output.size()) +
+        " ranges, expected " + std::to_string(output_dims));
+  }
+  for (const Range& r : output) {
+    if (!(r.lo <= r.hi)) {
+      return Status::InvalidArgument("range translator returned lo > hi");
+    }
+  }
+  return output;
+}
+
+}  // namespace gupt

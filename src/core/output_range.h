@@ -1,0 +1,84 @@
+// Output-range estimation (paper §4.1).
+//
+// Algorithm 1 needs a per-output-dimension range to clamp block outputs and
+// calibrate noise. GUPT offers three ways to obtain it, trading analyst
+// effort against privacy budget (Theorem 1):
+//
+//   GUPT-tight  — the analyst supplies a tight public range; SAF gets the
+//                 full budget (epsilon/p per output dimension).
+//   GUPT-loose  — the analyst supplies only a loose range; GUPT privately
+//                 estimates the 25th/75th percentiles of the *block
+//                 outputs* and clamps to that inter-quartile range. The
+//                 budget is split evenly between percentile estimation and
+//                 SAF (epsilon/2p each, per output dimension).
+//   GUPT-helper — the analyst supplies a range *translation function*;
+//                 GUPT privately estimates input quartiles (epsilon/2k per
+//                 input dimension) and maps them through the translator;
+//                 SAF gets epsilon/2p per output dimension.
+
+#ifndef GUPT_CORE_OUTPUT_RANGE_H_
+#define GUPT_CORE_OUTPUT_RANGE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+enum class RangeMode {
+  kTight,
+  kLoose,
+  kHelper,
+};
+
+const char* RangeModeToString(RangeMode mode);
+
+/// The analyst's range declaration for one query.
+struct OutputRangeSpec {
+  RangeMode mode = RangeMode::kTight;
+  /// kTight: the tight output ranges (arity p).
+  /// kLoose: the loose output ranges (arity p) used to clamp the percentile
+  ///         mechanism's candidate space.
+  std::vector<Range> declared_ranges;
+  /// kHelper only: maps tight input ranges to output ranges.
+  RangeTranslator translator;
+  /// kHelper only: loose *input* ranges (arity k). When absent, the
+  /// dataset's owner-registered input ranges are used.
+  std::vector<Range> loose_input_ranges;
+  /// Percentile pair used by the loose/helper estimation passes. The
+  /// paper's default is the inter-quartile (0.25, 0.75); §4.1 notes a
+  /// wider pair (e.g. 0.1, 0.9) suits larger datasets.
+  double lower_percentile = 0.25;
+  double upper_percentile = 0.75;
+
+  static OutputRangeSpec Tight(std::vector<Range> ranges);
+  static OutputRangeSpec Loose(std::vector<Range> ranges);
+  static OutputRangeSpec Helper(RangeTranslator translator,
+                                std::vector<Range> loose_input_ranges = {});
+};
+
+/// Privately shrinks loose output ranges to the inter-quartile range of the
+/// per-block outputs. `epsilon_per_dim` is the *total* percentile budget
+/// per output dimension (split across the two quartiles); with resampling,
+/// one record influences `gamma` block outputs, so the mechanism charges
+/// group sensitivity by running at epsilon/(2*gamma) per quartile.
+Result<std::vector<Range>> EstimateRangesFromBlockOutputs(
+    const std::vector<Row>& block_outputs, const std::vector<Range>& loose,
+    double epsilon_per_dim, std::size_t gamma, Rng* rng,
+    double lower_percentile = 0.25, double upper_percentile = 0.75);
+
+/// Privately estimates tight input ranges (inter-quartile, epsilon_per_dim
+/// total per input dimension) and maps them through the analyst's
+/// translator to output ranges. Output arity must equal `output_dims`.
+Result<std::vector<Range>> EstimateRangesViaTranslator(
+    const Dataset& data, const std::vector<Range>& loose_input,
+    const RangeTranslator& translator, double epsilon_per_dim,
+    std::size_t output_dims, Rng* rng, double lower_percentile = 0.25,
+    double upper_percentile = 0.75);
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_OUTPUT_RANGE_H_

@@ -1,0 +1,73 @@
+#include "core/sample_aggregate.h"
+
+#include <cmath>
+
+#include "dp/laplace.h"
+
+namespace gupt {
+
+Result<double> AggregationNoiseScale(double range_width,
+                                     std::size_t num_blocks, std::size_t gamma,
+                                     double epsilon) {
+  if (!(range_width >= 0.0) || !std::isfinite(range_width)) {
+    return Status::InvalidArgument("output range width must be >= 0");
+  }
+  if (num_blocks == 0) {
+    return Status::InvalidArgument("num_blocks must be >= 1");
+  }
+  if (gamma == 0) {
+    return Status::InvalidArgument("gamma must be >= 1");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  return static_cast<double>(gamma) * range_width /
+         (static_cast<double>(num_blocks) * epsilon);
+}
+
+Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
+                                              const AggregateOptions& options,
+                                              Rng* rng) {
+  if (outputs.empty()) {
+    return Status::InvalidArgument("no block outputs to aggregate");
+  }
+  const std::size_t dims = outputs[0].size();
+  if (dims == 0) {
+    return Status::InvalidArgument("block outputs have zero dimensions");
+  }
+  if (options.output_ranges.size() != dims) {
+    return Status::InvalidArgument(
+        "output_ranges arity does not match block output dimension");
+  }
+  for (const Range& r : options.output_ranges) {
+    if (!(r.lo <= r.hi) || !std::isfinite(r.lo) || !std::isfinite(r.hi)) {
+      return Status::InvalidArgument("invalid output range");
+    }
+  }
+
+  const std::size_t l = outputs.size();
+  AggregateResult result;
+  result.output.assign(dims, 0.0);
+  result.noise_scale.assign(dims, 0.0);
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    const Range& range = options.output_ranges[d];
+    double sum = 0.0;
+    for (const Row& o : outputs) {
+      if (o.size() != dims) {
+        return Status::InvalidArgument("block outputs have mixed dimensions");
+      }
+      sum += vec::ClampScalar(o[d], range.lo, range.hi);
+    }
+    double average = sum / static_cast<double>(l);
+    GUPT_ASSIGN_OR_RETURN(
+        double scale,
+        AggregationNoiseScale(range.width(), l, options.gamma,
+                              options.epsilon_per_dim));
+    result.noise_scale[d] = scale;
+    result.output[d] = (scale == 0.0) ? average : average + rng->Laplace(scale);
+  }
+  return result;
+}
+
+}  // namespace gupt

@@ -1,0 +1,139 @@
+#include "data/budget_store.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace gupt {
+namespace {
+
+constexpr char kMagic[] = "gupt-ledger v1";
+
+// Dataset names and labels are stored verbatim; names must not contain
+// whitespace or newlines (enforced on serialise), labels may contain
+// spaces but not newlines.
+Status ValidateName(const std::string& name) {
+  if (name.empty() || name.find_first_of(" \t\n\r") != std::string::npos) {
+    return Status::InvalidArgument(
+        "dataset name unsuitable for the ledger format: '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::string SanitizeLabel(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeBudgets(const DatasetManager& manager) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << "\n";
+  for (const std::string& name : manager.ListNames()) {
+    auto ds = manager.Get(name);
+    if (!ds.ok()) continue;  // racing unregister; nothing to persist
+    if (!ValidateName(name).ok()) continue;
+    const dp::PrivacyAccountant& accountant = (*ds)->accountant();
+    out << "dataset " << name << " total " << accountant.total_epsilon()
+        << "\n";
+    for (const dp::BudgetCharge& charge : accountant.charges()) {
+      out << "charge " << charge.epsilon << " " << SanitizeLabel(charge.label)
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status SaveBudgets(const DatasetManager& manager, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open ledger file for writing: " +
+                                   path);
+  }
+  out << SerializeBudgets(manager);
+  if (!out) {
+    return Status::Internal("ledger write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status RestoreBudgets(DatasetManager* manager, const std::string& text) {
+  if (manager == nullptr) {
+    return Status::InvalidArgument("manager is null");
+  }
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::ParseError("ledger missing magic header '" +
+                              std::string(kMagic) + "'");
+  }
+
+  std::shared_ptr<RegisteredDataset> current;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword == "dataset") {
+      std::string name, total_kw;
+      double total = 0.0;
+      fields >> name >> total_kw >> total;
+      if (fields.fail() || total_kw != "total") {
+        return Status::ParseError("malformed dataset line " +
+                                  std::to_string(line_no));
+      }
+      GUPT_ASSIGN_OR_RETURN(current, manager->Get(name));
+      const dp::PrivacyAccountant& accountant = current->accountant();
+      if (std::fabs(accountant.total_epsilon() - total) > 1e-12) {
+        return Status::InvalidArgument(
+            "ledger total " + std::to_string(total) + " for dataset '" +
+            name + "' does not match registered total " +
+            std::to_string(accountant.total_epsilon()));
+      }
+      if (accountant.num_charges() != 0) {
+        return Status::InvalidArgument(
+            "dataset '" + name +
+            "' already has charges; restore requires a fresh ledger");
+      }
+    } else if (keyword == "charge") {
+      if (current == nullptr) {
+        return Status::ParseError("charge before any dataset at line " +
+                                  std::to_string(line_no));
+      }
+      double epsilon = 0.0;
+      fields >> epsilon;
+      if (fields.fail()) {
+        return Status::ParseError("malformed charge line " +
+                                  std::to_string(line_no));
+      }
+      std::string label;
+      std::getline(fields, label);
+      if (!label.empty() && label[0] == ' ') label.erase(0, 1);
+      GUPT_RETURN_IF_ERROR(current->accountant().Charge(
+          epsilon, label.empty() ? "restored" : label));
+    } else {
+      return Status::ParseError("unknown ledger keyword '" + keyword +
+                                "' at line " + std::to_string(line_no));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadBudgets(DatasetManager* manager, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open ledger file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return RestoreBudgets(manager, buffer.str());
+}
+
+}  // namespace gupt

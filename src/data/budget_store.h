@@ -1,0 +1,45 @@
+// Durable privacy-budget accounting.
+//
+// The privacy guarantee of a GUPT deployment is only as strong as its
+// ledger: if the service provider restarts and forgets what has been
+// spent, the composition bound is silently broken. This module serialises
+// every registered dataset's ledger to a line-oriented text format and
+// replays it after a restart. Restoring *fails closed*: a ledger entry for
+// an unregistered dataset, a total-budget mismatch, or a charge that no
+// longer fits is an error, never silently dropped.
+//
+// Format (one ledger per dataset, '#' comments allowed):
+//   gupt-ledger v1
+//   dataset <name> total <epsilon>
+//   charge <epsilon> <label until end of line>
+//   ...
+
+#ifndef GUPT_DATA_BUDGET_STORE_H_
+#define GUPT_DATA_BUDGET_STORE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset_manager.h"
+
+namespace gupt {
+
+/// Serialises the ledgers of every dataset currently registered.
+std::string SerializeBudgets(const DatasetManager& manager);
+
+/// Writes SerializeBudgets() to a file (overwrites).
+Status SaveBudgets(const DatasetManager& manager, const std::string& path);
+
+/// Replays a serialised ledger into `manager`. Every dataset named in the
+/// text must already be registered with the *same* total budget and a
+/// fresh (unspent) ledger; its recorded charges are re-applied in order.
+/// Datasets registered in the manager but absent from the text are left
+/// untouched.
+Status RestoreBudgets(DatasetManager* manager, const std::string& text);
+
+/// Reads a file and replays it via RestoreBudgets.
+Status LoadBudgets(DatasetManager* manager, const std::string& path);
+
+}  // namespace gupt
+
+#endif  // GUPT_DATA_BUDGET_STORE_H_

@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace gupt {
+
+Result<Dataset> Dataset::Create(std::vector<Row> rows,
+                                std::vector<std::string> column_names) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("dataset must contain at least one row");
+  }
+  const std::size_t dims = rows[0].size();
+  if (dims == 0) {
+    return Status::InvalidArgument("dataset rows must have at least one dim");
+  }
+  for (const Row& r : rows) {
+    if (r.size() != dims) {
+      return Status::InvalidArgument("dataset rows have mixed dimensions");
+    }
+  }
+  if (!column_names.empty() && column_names.size() != dims) {
+    return Status::InvalidArgument("column_names arity does not match rows");
+  }
+  Dataset ds;
+  ds.rows_ = std::move(rows);
+  ds.column_names_ = std::move(column_names);
+  return ds;
+}
+
+Result<Dataset> Dataset::FromColumn(const std::vector<double>& values,
+                                    const std::string& name) {
+  std::vector<Row> rows;
+  rows.reserve(values.size());
+  for (double v : values) rows.push_back(Row{v});
+  return Create(std::move(rows), {name});
+}
+
+Result<Dataset> Dataset::FromCsvFile(const std::string& path,
+                                     bool has_header) {
+  GUPT_ASSIGN_OR_RETURN(csv::Table table, csv::ReadFile(path, has_header));
+  return Create(std::move(table.rows), std::move(table.column_names));
+}
+
+Result<std::vector<double>> Dataset::Column(std::size_t dim) const {
+  if (dim >= num_dims()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const Row& r : rows_) out.push_back(r[dim]);
+  return out;
+}
+
+Result<Dataset> Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  if (indices.empty()) {
+    return Status::InvalidArgument("subset must select at least one row");
+  }
+  std::vector<Row> rows;
+  rows.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= rows_.size()) {
+      return Status::InvalidArgument("subset index out of range");
+    }
+    rows.push_back(rows_[i]);
+  }
+  return Create(std::move(rows), column_names_);
+}
+
+Result<std::pair<Dataset, Dataset>> Dataset::SplitAt(std::size_t count) const {
+  if (count == 0 || count >= num_rows()) {
+    return Status::InvalidArgument(
+        "split point must leave both sides non-empty");
+  }
+  std::vector<Row> head(rows_.begin(),
+                        rows_.begin() + static_cast<std::ptrdiff_t>(count));
+  std::vector<Row> tail(rows_.begin() + static_cast<std::ptrdiff_t>(count),
+                        rows_.end());
+  GUPT_ASSIGN_OR_RETURN(Dataset head_ds, Create(std::move(head), column_names_));
+  GUPT_ASSIGN_OR_RETURN(Dataset tail_ds, Create(std::move(tail), column_names_));
+  return std::make_pair(std::move(head_ds), std::move(tail_ds));
+}
+
+std::vector<Range> Dataset::EmpiricalRanges() const {
+  std::vector<Range> ranges(num_dims());
+  for (std::size_t d = 0; d < num_dims(); ++d) {
+    ranges[d].lo = std::numeric_limits<double>::infinity();
+    ranges[d].hi = -std::numeric_limits<double>::infinity();
+  }
+  for (const Row& r : rows_) {
+    for (std::size_t d = 0; d < r.size(); ++d) {
+      ranges[d].lo = std::min(ranges[d].lo, r[d]);
+      ranges[d].hi = std::max(ranges[d].hi, r[d]);
+    }
+  }
+  return ranges;
+}
+
+}  // namespace gupt

@@ -1,0 +1,78 @@
+// In-memory multi-dimensional dataset.
+//
+// GUPT's data model (paper §3.1) is a table of real-valued vectors with
+// optional per-dimension input ranges supplied by the data owner. Datasets
+// are immutable once built; the runtime hands *copies of row subsets* to
+// untrusted programs so a malicious program can never mutate shared data.
+
+#ifndef GUPT_DATA_DATASET_H_
+#define GUPT_DATA_DATASET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace gupt {
+
+/// Closed interval bound for one dimension of the input data.
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+  double width() const { return hi - lo; }
+};
+
+/// Immutable rectangular table of doubles.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Builds a dataset from rows; all rows must share one dimension and the
+  /// dataset must be non-empty. `column_names`, when given, must match the
+  /// dimension.
+  static Result<Dataset> Create(std::vector<Row> rows,
+                                std::vector<std::string> column_names = {});
+
+  /// Builds a single-column dataset.
+  static Result<Dataset> FromColumn(const std::vector<double>& values,
+                                    const std::string& name = "value");
+
+  /// Loads a numeric CSV file.
+  static Result<Dataset> FromCsvFile(const std::string& path, bool has_header);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_dims() const { return rows_.empty() ? 0 : rows_[0].size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  const Row& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& column_names() const { return column_names_; }
+
+  /// Copy of one column.
+  Result<std::vector<double>> Column(std::size_t dim) const;
+
+  /// New dataset holding copies of the rows at `indices` (in order).
+  /// Out-of-range indices are an error.
+  Result<Dataset> Subset(const std::vector<std::size_t>& indices) const;
+
+  /// Splits into ([0, count), [count, n)) — used by the aging model to peel
+  /// off the oldest records. count must be <= num_rows().
+  Result<std::pair<Dataset, Dataset>> SplitAt(std::size_t count) const;
+
+  /// Exact per-dimension [min, max] of the data. Note: these bounds are
+  /// *data-dependent* and therefore sensitive; the runtime only uses them
+  /// where the paper's GUPT-tight mode assumes the analyst already knows a
+  /// tight public range.
+  std::vector<Range> EmpiricalRanges() const;
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_DATA_DATASET_H_

@@ -1,0 +1,64 @@
+#include "data/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gupt {
+
+Result<BlockPlan> PartitionDisjoint(std::size_t n, std::size_t num_blocks,
+                                    Rng* rng) {
+  if (n == 0) {
+    return Status::InvalidArgument("cannot partition an empty dataset");
+  }
+  if (num_blocks == 0 || num_blocks > n) {
+    return Status::InvalidArgument(
+        "num_blocks must be in [1, n]; got " + std::to_string(num_blocks) +
+        " for n=" + std::to_string(n));
+  }
+  std::vector<std::size_t> perm = rng->Permutation(n);
+  BlockPlan plan;
+  plan.gamma = 1;
+  plan.blocks.resize(num_blocks);
+  // Deal the permutation round-robin so block sizes differ by at most one.
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.blocks[i % num_blocks].push_back(perm[i]);
+  }
+  return plan;
+}
+
+Result<BlockPlan> PartitionResampled(std::size_t n, std::size_t block_size,
+                                     std::size_t gamma, Rng* rng) {
+  if (n == 0) {
+    return Status::InvalidArgument("cannot partition an empty dataset");
+  }
+  if (block_size == 0 || block_size > n) {
+    return Status::InvalidArgument(
+        "block_size must be in [1, n]; got " + std::to_string(block_size) +
+        " for n=" + std::to_string(n));
+  }
+  if (gamma == 0) {
+    return Status::InvalidArgument("resampling factor gamma must be >= 1");
+  }
+  BlockPlan plan;
+  plan.gamma = gamma;
+  const std::size_t blocks_per_group = (n + block_size - 1) / block_size;
+  plan.blocks.reserve(gamma * blocks_per_group);
+  for (std::size_t g = 0; g < gamma; ++g) {
+    std::vector<std::size_t> perm = rng->Permutation(n);
+    for (std::size_t start = 0; start < n; start += block_size) {
+      std::size_t end = std::min(start + block_size, n);
+      plan.blocks.emplace_back(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                               perm.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return plan;
+}
+
+std::size_t DefaultNumBlocks(std::size_t n) {
+  if (n == 0) return 1;
+  double l = std::pow(static_cast<double>(n), 0.4);
+  std::size_t blocks = static_cast<std::size_t>(std::llround(l));
+  return std::clamp<std::size_t>(blocks, 1, n);
+}
+
+}  // namespace gupt

@@ -1,0 +1,50 @@
+// Block partitioning for the sample-and-aggregate framework.
+//
+// Plain SAF (paper Algorithm 1) randomly partitions the n records into
+// disjoint blocks. GUPT's resampling extension (paper §4.2) places each
+// record into gamma blocks instead: we realise it as gamma independent
+// disjoint partitions ("groups"), which guarantees (a) every record appears
+// in exactly gamma blocks and (b) no block holds two copies of one record.
+// One record change therefore touches exactly gamma blocks, matching the
+// sensitivity argument of Claim 1.
+
+#ifndef GUPT_DATA_PARTITIONER_H_
+#define GUPT_DATA_PARTITIONER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gupt {
+
+/// The output of a partitioning step: blocks of row indices plus the
+/// multiplicity gamma needed for sensitivity accounting.
+struct BlockPlan {
+  std::vector<std::vector<std::size_t>> blocks;
+  /// How many blocks each record appears in (1 without resampling).
+  std::size_t gamma = 1;
+
+  std::size_t num_blocks() const { return blocks.size(); }
+};
+
+/// Randomly partitions {0..n-1} into `num_blocks` disjoint blocks whose
+/// sizes differ by at most one. Errors when num_blocks is 0 or exceeds n.
+Result<BlockPlan> PartitionDisjoint(std::size_t n, std::size_t num_blocks,
+                                    Rng* rng);
+
+/// Resampled partition: gamma independent disjoint partitions of {0..n-1}
+/// into blocks of size `block_size` (the final block of each group may be
+/// smaller when block_size does not divide n). Errors when block_size is 0
+/// or exceeds n, or gamma is 0.
+Result<BlockPlan> PartitionResampled(std::size_t n, std::size_t block_size,
+                                     std::size_t gamma, Rng* rng);
+
+/// The paper's default block count: l = n^0.4 (Algorithm 1, line 1),
+/// i.e. blocks of size ~n^0.6. Always at least 1 and at most n.
+std::size_t DefaultNumBlocks(std::size_t n);
+
+}  // namespace gupt
+
+#endif  // GUPT_DATA_PARTITIONER_H_

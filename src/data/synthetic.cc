@@ -1,0 +1,168 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace gupt {
+namespace synthetic {
+namespace {
+
+// Centres and the labelling hyperplane are derived from a dedicated RNG
+// stream so that LifeSciencesTrueCenters() can reproduce them without
+// regenerating the rows.
+constexpr std::uint64_t kCenterStream = 1;
+constexpr std::uint64_t kRowStream = 2;
+
+std::vector<Row> MakeCenters(const LifeSciencesOptions& options) {
+  Rng rng(options.seed, kCenterStream);
+  std::vector<Row> centers(options.num_clusters,
+                           Row(options.num_features, 0.0));
+  for (std::size_t j = 0; j < centers.size(); ++j) {
+    Row& c = centers[j];
+    // Clusters are spread along the first principal component — as PCA
+    // output typically is, with PC1 carrying the dominant family split —
+    // plus a random offset in the remaining dimensions. The PC1 separation
+    // also makes sort-by-first-coordinate a sound canonical ordering for
+    // per-block k-means outputs (paper §8).
+    c[0] = options.cluster_separation *
+           (static_cast<double>(j) -
+            0.5 * static_cast<double>(centers.size() - 1));
+    if (options.num_features > 1) {
+      Row direction(options.num_features - 1);
+      for (double& x : direction) x = rng.Gaussian();
+      double norm = vec::Norm(direction);
+      if (norm == 0.0) norm = 1.0;
+      for (std::size_t d = 1; d < c.size(); ++d) {
+        c[d] = direction[d - 1] / norm * options.cluster_separation * 0.5;
+      }
+    }
+  }
+  return centers;
+}
+
+Row MakeLabelWeights(const LifeSciencesOptions& options) {
+  Rng rng(options.seed, kCenterStream + 100);
+  Row w(options.num_features);
+  for (double& x : w) x = rng.Gaussian();
+  double norm = vec::Norm(w);
+  if (norm == 0.0) norm = 1.0;
+  vec::ScaleInPlace(&w, 1.0 / norm);
+  return w;
+}
+
+}  // namespace
+
+std::vector<Row> LifeSciencesTrueCenters(const LifeSciencesOptions& options) {
+  return MakeCenters(options);
+}
+
+Result<Dataset> LifeSciences(const LifeSciencesOptions& options) {
+  if (options.num_rows == 0 || options.num_features == 0 ||
+      options.num_clusters == 0) {
+    return Status::InvalidArgument(
+        "life-sciences generator needs positive rows/features/clusters");
+  }
+  if (options.label_noise < 0.0 || options.label_noise > 0.5) {
+    return Status::InvalidArgument("label_noise must be in [0, 0.5]");
+  }
+
+  std::vector<Row> centers = MakeCenters(options);
+  Row w = MakeLabelWeights(options);
+  // Bias that balances the two classes: centre the hyperplane on the mean
+  // of the cluster centres.
+  Row mean_center(options.num_features, 0.0);
+  for (const Row& c : centers) vec::AddInPlace(&mean_center, c);
+  vec::ScaleInPlace(&mean_center, 1.0 / static_cast<double>(centers.size()));
+  double bias = -vec::Dot(w, mean_center);
+
+  Rng rng(options.seed, kRowStream);
+  std::vector<Row> rows;
+  rows.reserve(options.num_rows);
+  for (std::size_t i = 0; i < options.num_rows; ++i) {
+    const Row& center = centers[rng.UniformUint64(centers.size())];
+    Row row(options.num_features + 1);
+    for (std::size_t d = 0; d < options.num_features; ++d) {
+      row[d] = center[d] + rng.Gaussian();
+    }
+    double margin = bias;
+    for (std::size_t d = 0; d < options.num_features; ++d) {
+      margin += w[d] * row[d];
+    }
+    bool label = margin > 0.0;
+    if (rng.Bernoulli(options.label_noise)) label = !label;
+    row[options.num_features] = label ? 1.0 : 0.0;
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> names;
+  names.reserve(options.num_features + 1);
+  for (std::size_t d = 0; d < options.num_features; ++d) {
+    names.push_back("pc" + std::to_string(d + 1));
+  }
+  names.push_back("reactive");
+  return Dataset::Create(std::move(rows), std::move(names));
+}
+
+Result<Dataset> CensusAges(const CensusAgeOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("census generator needs positive rows");
+  }
+  if (!(options.min_age < options.max_age)) {
+    return Status::InvalidArgument("census age bounds are invalid");
+  }
+  // Mixture of truncated normals approximating the Adult dataset's age
+  // histogram: a large young-worker mode, a mid-career mode, and a small
+  // retirement tail. Component means/weights tuned so the sample mean lands
+  // near the paper's reported 38.58.
+  struct Component {
+    double weight, mean, stddev;
+  };
+  const Component mixture[] = {
+      {0.48, 30.0, 7.5},
+      {0.34, 44.0, 8.0},
+      {0.18, 58.0, 10.0},
+  };
+  Rng rng(options.seed);
+  std::vector<double> ages;
+  ages.reserve(options.num_rows);
+  while (ages.size() < options.num_rows) {
+    double u = rng.UniformDouble();
+    const Component* comp = &mixture[0];
+    double acc = 0.0;
+    for (const Component& c : mixture) {
+      acc += c.weight;
+      if (u < acc) {
+        comp = &c;
+        break;
+      }
+    }
+    double age = rng.Gaussian(comp->mean, comp->stddev);
+    if (age < options.min_age || age > options.max_age) continue;  // truncate
+    ages.push_back(std::round(age));
+  }
+  return Dataset::FromColumn(ages, "age");
+}
+
+Result<Dataset> InternetAdAspectRatios(const InternetAdsOptions& options) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("ads generator needs positive rows");
+  }
+  if (!(options.log_stddev > 0.0) || !(options.max_ratio > 0.0)) {
+    return Status::InvalidArgument("ads generator parameters are invalid");
+  }
+  Rng rng(options.seed);
+  std::vector<double> ratios;
+  ratios.reserve(options.num_rows);
+  while (ratios.size() < options.num_rows) {
+    double ratio =
+        std::exp(rng.Gaussian(options.log_mean, options.log_stddev));
+    if (ratio > options.max_ratio) continue;  // reject the extreme tail
+    ratios.push_back(ratio);
+  }
+  return Dataset::FromColumn(ratios, "aspect_ratio");
+}
+
+}  // namespace synthetic
+}  // namespace gupt

@@ -1,0 +1,65 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gupt {
+namespace dp {
+namespace {
+
+// Tolerance for floating-point accumulation when comparing against the
+// total: a charge that overshoots by less than this is still admitted so
+// that e.g. ten charges of total/10 exactly exhaust the budget.
+constexpr double kSlack = 1e-9;
+
+}  // namespace
+
+PrivacyAccountant::PrivacyAccountant(double total_epsilon)
+    : total_epsilon_(total_epsilon) {
+  assert(total_epsilon > 0.0 && std::isfinite(total_epsilon));
+}
+
+Status PrivacyAccountant::Charge(double epsilon, const std::string& label) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("charge epsilon must be positive: " + label);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spent_epsilon_ + epsilon > total_epsilon_ * (1.0 + kSlack) + kSlack) {
+    return Status::BudgetExhausted(
+        "charge of " + std::to_string(epsilon) + " for '" + label +
+        "' exceeds remaining budget " +
+        std::to_string(total_epsilon_ - spent_epsilon_));
+  }
+  spent_epsilon_ += epsilon;
+  charges_.push_back(BudgetCharge{label, epsilon});
+  return Status::OK();
+}
+
+double PrivacyAccountant::total_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_epsilon_;
+}
+
+double PrivacyAccountant::spent_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spent_epsilon_;
+}
+
+double PrivacyAccountant::remaining_epsilon() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::max(0.0, total_epsilon_ - spent_epsilon_);
+}
+
+std::size_t PrivacyAccountant::num_charges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charges_.size();
+}
+
+std::vector<BudgetCharge> PrivacyAccountant::charges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charges_;
+}
+
+}  // namespace dp
+}  // namespace gupt

@@ -1,0 +1,61 @@
+// Privacy-budget accounting via sequential composition.
+//
+// Each dataset registered with GUPT carries a total privacy budget
+// (paper §3.1). The composition lemma (Dwork et al.) says running
+// epsilon_1-, ..., epsilon_k-DP computations costs epsilon_1 + ... +
+// epsilon_k overall, so the accountant is a debit ledger. Crucially the
+// *runtime* holds the ledger, not the untrusted analysis program — this is
+// GUPT's defence against privacy-budget attacks (paper §6.2): a malicious
+// program cannot issue extra queries because it never sees the accountant.
+
+#ifndef GUPT_DP_ACCOUNTANT_H_
+#define GUPT_DP_ACCOUNTANT_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gupt {
+namespace dp {
+
+/// One entry in the budget ledger.
+struct BudgetCharge {
+  std::string label;  // which query/mechanism consumed the budget
+  double epsilon;
+};
+
+/// Thread-safe epsilon-DP budget ledger for one dataset.
+class PrivacyAccountant {
+ public:
+  /// Creates a ledger with the given total budget (must be positive).
+  explicit PrivacyAccountant(double total_epsilon);
+
+  /// Atomically debits `epsilon` if the remaining budget covers it;
+  /// otherwise returns kBudgetExhausted and debits nothing. The charge is
+  /// taken *before* the mechanism runs so that a failing or malicious
+  /// computation cannot roll it back.
+  Status Charge(double epsilon, const std::string& label);
+
+  double total_epsilon() const;
+  double spent_epsilon() const;
+  double remaining_epsilon() const;
+
+  /// Number of successful charges so far.
+  std::size_t num_charges() const;
+
+  /// Copy of the ledger, in charge order.
+  std::vector<BudgetCharge> charges() const;
+
+ private:
+  mutable std::mutex mu_;
+  double total_epsilon_;
+  double spent_epsilon_ = 0.0;
+  std::vector<BudgetCharge> charges_;
+};
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_ACCOUNTANT_H_

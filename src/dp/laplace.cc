@@ -1,0 +1,36 @@
+#include "dp/laplace.h"
+
+#include <cmath>
+
+namespace gupt {
+namespace dp {
+
+Result<double> LaplaceScale(double sensitivity, double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (sensitivity < 0.0 || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be non-negative");
+  }
+  return sensitivity / epsilon;
+}
+
+Result<double> LaplaceMechanism(double value, double sensitivity,
+                                double epsilon, Rng* rng) {
+  GUPT_ASSIGN_OR_RETURN(double scale, LaplaceScale(sensitivity, epsilon));
+  if (scale == 0.0) return value;  // zero sensitivity: release exactly
+  return value + rng->Laplace(scale);
+}
+
+Result<Row> LaplaceMechanismVector(const Row& values, double sensitivity,
+                                   double epsilon, Rng* rng) {
+  GUPT_ASSIGN_OR_RETURN(double scale, LaplaceScale(sensitivity, epsilon));
+  Row out(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + (scale == 0.0 ? 0.0 : rng->Laplace(scale));
+  }
+  return out;
+}
+
+}  // namespace dp
+}  // namespace gupt

@@ -1,0 +1,39 @@
+// The Laplace mechanism (Dwork, McSherry, Nissim, Smith — TCC 2006).
+//
+// Releasing f(T) + Lap(sensitivity / epsilon) is epsilon-differentially
+// private when `sensitivity` bounds the L1 change of f across neighbouring
+// datasets. This is the only noise primitive the sample-and-aggregate
+// framework needs (paper Algorithm 1, line 8).
+
+#ifndef GUPT_DP_LAPLACE_H_
+#define GUPT_DP_LAPLACE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace gupt {
+namespace dp {
+
+/// Adds Laplace noise calibrated to `sensitivity / epsilon` to `value`.
+/// Errors when epsilon <= 0 or sensitivity < 0.
+Result<double> LaplaceMechanism(double value, double sensitivity,
+                                double epsilon, Rng* rng);
+
+/// Per-coordinate Laplace mechanism with a shared scalar sensitivity and a
+/// per-coordinate privacy budget of `epsilon` each. Callers are responsible
+/// for composing the coordinate budgets (Theorem 1 splits the total budget
+/// across output dimensions before reaching this point).
+Result<Row> LaplaceMechanismVector(const Row& values, double sensitivity,
+                                   double epsilon, Rng* rng);
+
+/// The noise scale b such that Lap(b) makes the release epsilon-DP.
+/// Standard deviation of the released value is sqrt(2) * b.
+Result<double> LaplaceScale(double sensitivity, double epsilon);
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_LAPLACE_H_

@@ -1,0 +1,90 @@
+#include "dp/noisy_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dp/laplace.h"
+
+namespace gupt {
+namespace dp {
+
+Result<double> NoisyCount(std::size_t count, double epsilon, Rng* rng) {
+  return LaplaceMechanism(static_cast<double>(count), /*sensitivity=*/1.0,
+                          epsilon, rng);
+}
+
+Result<double> NoisySum(const std::vector<double>& values, double lo,
+                        double hi, double epsilon, Rng* rng) {
+  if (!(lo <= hi)) {
+    return Status::InvalidArgument("clamp range [lo, hi] is invalid");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += vec::ClampScalar(v, lo, hi);
+  double sensitivity = std::max(std::fabs(lo), std::fabs(hi));
+  return LaplaceMechanism(sum, sensitivity, epsilon, rng);
+}
+
+Result<double> NoisyAverage(const std::vector<double>& values, double lo,
+                            double hi, double epsilon, Rng* rng) {
+  if (values.empty()) {
+    return Status::InvalidArgument("noisy average of an empty sequence");
+  }
+  if (!(lo <= hi)) {
+    return Status::InvalidArgument("clamp range [lo, hi] is invalid");
+  }
+  double sum = 0.0;
+  for (double v : values) sum += vec::ClampScalar(v, lo, hi);
+  double n = static_cast<double>(values.size());
+  // Changing one clamped record moves the mean by at most (hi-lo)/n.
+  return LaplaceMechanism(sum / n, (hi - lo) / n, epsilon, rng);
+}
+
+Result<Row> NoisyAverageRows(const std::vector<Row>& rows, const Row& lo,
+                             const Row& hi, double epsilon, Rng* rng) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("noisy average of an empty row set");
+  }
+  if (lo.size() != hi.size() || lo.size() != rows[0].size()) {
+    return Status::InvalidArgument("bound dimensions do not match rows");
+  }
+  Row out(lo.size());
+  for (std::size_t d = 0; d < lo.size(); ++d) {
+    std::vector<double> column;
+    column.reserve(rows.size());
+    for (const Row& r : rows) {
+      if (r.size() != lo.size()) {
+        return Status::InvalidArgument("rows have inconsistent dimensions");
+      }
+      column.push_back(r[d]);
+    }
+    GUPT_ASSIGN_OR_RETURN(out[d],
+                          NoisyAverage(column, lo[d], hi[d], epsilon, rng));
+  }
+  return out;
+}
+
+Result<std::size_t> ExponentialChoice(const std::vector<double>& scores,
+                                      double sensitivity, double epsilon,
+                                      Rng* rng) {
+  if (scores.empty()) {
+    return Status::InvalidArgument("exponential choice over an empty set");
+  }
+  if (!(sensitivity > 0.0)) {
+    return Status::InvalidArgument("score sensitivity must be positive");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  double max_score = -std::numeric_limits<double>::infinity();
+  for (double s : scores) max_score = std::max(max_score, s);
+  std::vector<double> weights(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    weights[i] =
+        std::exp(epsilon * (scores[i] - max_score) / (2.0 * sensitivity));
+  }
+  return rng->Categorical(weights);
+}
+
+}  // namespace dp
+}  // namespace gupt

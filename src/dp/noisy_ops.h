@@ -1,0 +1,52 @@
+// PINQ-style low-level differentially private operators.
+//
+// PINQ (McSherry, SIGMOD 2009) exposes a small set of primitives — noisy
+// count, noisy sum/average, partition, exponential choice — from which the
+// analyst composes a private program, paying budget per operation. GUPT's
+// evaluation compares against exactly this style of runtime (paper §7.1.2),
+// so the primitives live here in the DP substrate and the PINQ baseline in
+// src/baselines wires them to an accountant.
+
+#ifndef GUPT_DP_NOISY_OPS_H_
+#define GUPT_DP_NOISY_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace gupt {
+namespace dp {
+
+/// Noisy cardinality: |values| + Lap(1/epsilon). Count has sensitivity 1.
+Result<double> NoisyCount(std::size_t count, double epsilon, Rng* rng);
+
+/// Noisy sum of values clamped into [lo, hi]. Sensitivity is
+/// max(|lo|, |hi|), the largest contribution one record can make.
+Result<double> NoisySum(const std::vector<double>& values, double lo,
+                        double hi, double epsilon, Rng* rng);
+
+/// Noisy mean of values clamped into [lo, hi], computed as the standard
+/// PINQ NoisyAverage: clamp, average, then add Lap((hi-lo) / (n*epsilon)).
+/// Requires a public (non-noisy) record count n > 0.
+Result<double> NoisyAverage(const std::vector<double>& values, double lo,
+                            double hi, double epsilon, Rng* rng);
+
+/// Noisy per-coordinate average of rows clamped into a per-dimension box.
+/// Spends `epsilon` per coordinate; callers compose across coordinates.
+Result<Row> NoisyAverageRows(const std::vector<Row>& rows, const Row& lo,
+                             const Row& hi, double epsilon, Rng* rng);
+
+/// Exponential mechanism over a finite candidate set: samples index i with
+/// probability proportional to exp(epsilon * score[i] / (2 * sensitivity)).
+/// `sensitivity` bounds how much any one record can move any score.
+Result<std::size_t> ExponentialChoice(const std::vector<double>& scores,
+                                      double sensitivity, double epsilon,
+                                      Rng* rng);
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_NOISY_OPS_H_

@@ -1,0 +1,70 @@
+// Differentially private percentile estimation.
+//
+// Implements the exponential-mechanism percentile estimator from Smith
+// (STOC 2011), which GUPT uses for output-range estimation (paper §4.1):
+// the candidate outputs are the intervals between consecutive order
+// statistics (after clamping into a public range), an interval's utility is
+// the negated rank distance to the target percentile, and the released
+// value is uniform inside the sampled interval.
+
+#ifndef GUPT_DP_PERCENTILE_H_
+#define GUPT_DP_PERCENTILE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gupt {
+namespace dp {
+
+struct PercentileOptions {
+  /// Target percentile in (0, 1), e.g. 0.25 for the lower quartile.
+  double percentile = 0.5;
+  /// Public clamp range for the values. Must satisfy lo <= hi; values are
+  /// clamped into the range before the mechanism runs so that the rank
+  /// utility has sensitivity 1.
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Privacy budget for this single release.
+  double epsilon = 1.0;
+};
+
+/// Releases an epsilon-DP estimate of the given percentile of `values`.
+///
+/// Privacy: the rank utility u(T, interval_i) = -|i - p*n| changes by at
+/// most 1 when one record changes, so sampling interval i with probability
+/// proportional to width_i * exp(epsilon * u_i / 2) is epsilon-DP
+/// (McSherry-Talwar). Weights are computed in log space to stay stable for
+/// large n * epsilon.
+///
+/// Known artifact of this construction: intervals between *equal* order
+/// statistics have zero width and hence zero weight, so for data with a
+/// large point mass the release is dominated by the remaining wide
+/// intervals. The epsilon-DP guarantee is unaffected; accuracy degrades to
+/// "uniform over the public range" in the extreme all-equal case.
+///
+/// Errors on empty input, invalid range, percentile outside (0,1), or
+/// non-positive epsilon.
+Result<double> PrivatePercentile(const std::vector<double>& values,
+                                 const PercentileOptions& options, Rng* rng);
+
+/// Releases a (lower, upper) percentile pair, each with `epsilon_each`
+/// budget; total privacy cost is 2 * epsilon_each by composition. The pair
+/// is swapped into order if noise inverts it.
+Result<std::pair<double, double>> PrivateQuantilePair(
+    const std::vector<double>& values, double lo, double hi,
+    double lower_percentile, double upper_percentile, double epsilon_each,
+    Rng* rng);
+
+/// Convenience wrapper releasing the (25th, 75th) percentile pair, each with
+/// `epsilon_each` budget — the paper's default inter-quartile output-range
+/// estimate. Total privacy cost is 2 * epsilon_each by composition.
+Result<std::pair<double, double>> PrivateInterquartileRange(
+    const std::vector<double>& values, double lo, double hi,
+    double epsilon_each, Rng* rng);
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_PERCENTILE_H_

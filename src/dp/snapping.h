@@ -1,0 +1,45 @@
+// Floating-point-hardened Laplace release (Mironov, CCS 2012).
+//
+// The textbook Laplace mechanism is stated over the reals; implemented in
+// IEEE-754 doubles, the noise sample's low-order bits betray the un-noised
+// value because the achievable floating-point values around `value + noise`
+// depend on `value`. Mironov's *snapping mechanism* repairs this: clamp
+// the value into a public bound, add Laplace noise computed from a uniform
+// draw, then SNAP the sum to the nearest multiple of Lambda, the smallest
+// power of two at or above the noise scale, and clamp again. Snapping
+// erases the low-order-bit channel at the cost of at most Lambda/2 extra
+// error and a slightly inflated epsilon (<= 1.2x for reasonable bounds).
+//
+// This module is the production-release variant of dp::LaplaceMechanism;
+// the rest of the runtime keeps the textbook mechanism (whose exactness
+// the paper's experiments assume), but deployments handling adversarial
+// analysts should substitute this one.
+
+#ifndef GUPT_DP_SNAPPING_H_
+#define GUPT_DP_SNAPPING_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace gupt {
+namespace dp {
+
+/// The snapping grid: the smallest power of two >= scale. Exposed for
+/// testing and for error budgeting (the snap adds at most Lambda/2).
+double SnappingLambda(double scale);
+
+/// Rounds x to the nearest multiple of lambda (ties away from zero).
+double SnapToGrid(double x, double lambda);
+
+/// Releases `value` with sensitivity/epsilon-calibrated Laplace noise,
+/// snapped per Mironov 2012. `bound` is the public magnitude bound B: the
+/// value is clamped into [-B, B] before and after noising. Errors on
+/// non-positive epsilon/bound or negative sensitivity.
+Result<double> SnappingLaplaceMechanism(double value, double sensitivity,
+                                        double epsilon, double bound,
+                                        Rng* rng);
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_SNAPPING_H_

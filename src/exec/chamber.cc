@@ -1,0 +1,177 @@
+#include "exec/chamber.h"
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace gupt {
+
+Status ChamberServices::WriteScratch(const std::string& key,
+                                     const std::string& value) {
+  std::size_t delta = key.size() + value.size();
+  auto it = scratch_.find(key);
+  std::size_t reclaimed =
+      (it == scratch_.end()) ? 0 : key.size() + it->second.size();
+  if (scratch_bytes_ - reclaimed + delta > policy_.scratch_limit_bytes) {
+    ++violation_count_;
+    return Status::PolicyViolation("scratch space limit exceeded");
+  }
+  scratch_bytes_ = scratch_bytes_ - reclaimed + delta;
+  scratch_[key] = value;
+  return Status::OK();
+}
+
+Result<std::string> ChamberServices::ReadScratch(const std::string& key) const {
+  auto it = scratch_.find(key);
+  if (it == scratch_.end()) {
+    return Status::NotFound("no scratch entry for key: " + key);
+  }
+  return it->second;
+}
+
+Status ChamberServices::OpenNetworkConnection(const std::string& endpoint) {
+  ++violation_count_;
+  return Status::PolicyViolation(
+      "MAC profile denies all network activity (attempted: " + endpoint + ")");
+}
+
+Status ChamberServices::SendToPeerChamber(const std::string& peer,
+                                          const std::string& /*message*/) {
+  ++violation_count_;
+  return Status::PolicyViolation(
+      "MAC profile denies inter-chamber IPC (attempted peer: " + peer + ")");
+}
+
+Status ChamberServices::SendToManager(const std::string& message) {
+  if (forwarded_.size() >= policy_.max_forwarded_messages) {
+    ++violation_count_;
+    return Status::PolicyViolation("forwarding-agent message cap exceeded");
+  }
+  forwarded_.push_back(message);
+  return Status::OK();
+}
+
+namespace {
+
+/// Everything a (possibly abandoned) run needs to own so that a timed-out
+/// worker thread can keep running safely after the chamber has moved on.
+/// Deadline runs own a private copy of the block; inline runs (no
+/// deadline, same thread) borrow the caller's block to avoid the copy —
+/// the program only ever sees a const view either way.
+struct RunState {
+  Dataset owned_block;
+  const Dataset* block = nullptr;
+  ChamberPolicy policy;
+  std::shared_ptr<AnalysisProgram> program;
+  std::promise<void> done;
+  Result<Row> result = Status::Internal("run never executed");
+  std::size_t violations = 0;
+  std::vector<std::string> forwarded;
+};
+
+void RunProgram(const std::shared_ptr<RunState>& state) {
+  {
+    ChamberServices services(state->policy);
+    // Untrusted code must not bring the runtime down: an escaping
+    // exception from a detached worker would std::terminate the process,
+    // which is itself a denial-of-service channel. Convert to a fallback.
+    try {
+      state->result =
+          state->program->RunWithServices(*state->block, &services);
+    } catch (const std::exception& e) {
+      state->result = Status::PolicyViolation(
+          std::string("program threw an exception: ") + e.what());
+    } catch (...) {
+      state->result =
+          Status::PolicyViolation("program threw a non-standard exception");
+    }
+    state->violations = services.violation_count();
+    state->forwarded = services.forwarded_messages();
+    // Scratch space is wiped here: `services` (the run's entire externally
+    // visible state) dies with this scope, mirroring the emptied temp dir.
+  }
+  state->done.set_value();
+}
+
+}  // namespace
+
+Result<ChamberRun> ExecutionChamber::Execute(const ProgramFactory& factory,
+                                             const Dataset& block,
+                                             const Row& fallback) const {
+  if (!factory) {
+    return Status::InvalidArgument("program factory is null");
+  }
+  std::unique_ptr<AnalysisProgram> program = factory();
+  if (!program) {
+    return Status::InvalidArgument("program factory returned null");
+  }
+  const std::size_t dims = program->output_dims();
+  if (dims == 0) {
+    return Status::InvalidArgument("program declares zero output dimensions");
+  }
+  if (fallback.size() != dims) {
+    return Status::InvalidArgument(
+        "fallback dimension does not match program output dimension");
+  }
+
+  ChamberRun run;
+  const auto start = std::chrono::steady_clock::now();
+
+  auto state = std::make_shared<RunState>();
+  state->policy = policy_;
+  state->program = std::move(program);
+  std::future<void> done = state->done.get_future();
+
+  bool finished;
+  if (policy_.deadline.count() > 0) {
+    // Run on a detached worker so an overrunning (even non-terminating)
+    // program can be abandoned. The worker owns `state` — including a
+    // private copy of the block — and touches nothing else, so
+    // abandonment is safe; its output is never observed.
+    state->owned_block = block;
+    state->block = &state->owned_block;
+    std::thread([state] { RunProgram(state); }).detach();
+    finished = done.wait_for(policy_.deadline) == std::future_status::ready;
+  } else {
+    state->block = &block;
+    RunProgram(state);
+    done.wait();
+    finished = true;
+  }
+
+  if (!finished) {
+    run.deadline_exceeded = true;
+    run.used_fallback = true;
+    run.output = fallback;
+    run.program_status =
+        Status::DeadlineExceeded("block computation exceeded cycle budget");
+  } else {
+    run.policy_violations = state->violations;
+    run.forwarded_messages = std::move(state->forwarded);
+    run.program_status = state->result.status();
+    if (!state->result.ok()) {
+      run.used_fallback = true;
+      run.output = fallback;
+    } else if (state->result.value().size() != dims) {
+      // Wrong output arity would break the aggregation (and could itself
+      // leak); substitute the fallback, as §8.1 prescribes clamping/padding.
+      run.used_fallback = true;
+      run.output = fallback;
+      run.program_status = Status::PolicyViolation(
+          "program returned " + std::to_string(state->result.value().size()) +
+          " dims, declared " + std::to_string(dims));
+    } else {
+      run.output = std::move(state->result).value();
+    }
+  }
+
+  if (policy_.pad_to_deadline && policy_.deadline.count() > 0) {
+    // Make the observable duration data-independent (timing defence).
+    std::this_thread::sleep_until(start + policy_.deadline);
+  }
+  run.elapsed = std::chrono::steady_clock::now() - start;
+  return run;
+}
+
+}  // namespace gupt

@@ -1,0 +1,148 @@
+// Isolated execution chambers.
+//
+// The production GUPT system runs each per-block computation inside an
+// AppArmor-confined process whose only channel is a trusted forwarding
+// agent, with a per-block cycle budget for timing-attack padding (paper
+// §6). This reproduction models the chamber in-process (see DESIGN.md §2):
+//
+//   * State attacks  — every execution constructs a fresh program instance
+//     from the factory, and receives a private copy of its block; nothing
+//     is shared between executions.
+//   * MAC policy     — programs reach the outside world only through
+//     ChamberServices, which denies network/IPC and wipes the scratch
+//     space after every run, mirroring the AppArmor profile that pins the
+//     working directory to a temporary scratch area.
+//   * Timing attacks — each run gets a deadline. A run that overshoots is
+//     abandoned and a constant fallback value (inside the expected output
+//     range) is reported instead, so the released aggregate stays
+//     differentially private; optional padding makes well-behaved runs
+//     take the full deadline, erasing the duration side channel.
+//   * Budget attacks — chambers have no handle to the privacy accountant
+//     at all; only the trusted runtime charges budget.
+
+#ifndef GUPT_EXEC_CHAMBER_H_
+#define GUPT_EXEC_CHAMBER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <vector>
+#include <string>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+/// Mandatory-access-control policy for one chamber, the in-process analogue
+/// of the paper's AppArmor profile.
+struct ChamberPolicy {
+  /// Per-block execution deadline (the paper's "predefined bound on the
+  /// number of cycles"). Zero disables the deadline.
+  std::chrono::microseconds deadline{0};
+  /// When true, runs that finish early are padded to the deadline so that
+  /// execution time is data-independent (paper §6.2). Requires a deadline.
+  bool pad_to_deadline = false;
+  /// Upper bound on per-run scratch-space bytes.
+  std::size_t scratch_limit_bytes = 1 << 20;
+  /// Upper bound on messages a run may send to the forwarding agent.
+  std::size_t max_forwarded_messages = 16;
+  /// Run each block in a forked subprocess (exec/process_chamber.h): true
+  /// OS-level isolation with real kills, at ~fork cost per block. Only
+  /// safe from a single-threaded computation manager (num_workers = 0);
+  /// see the process-chamber header for the fork/threads caveat.
+  bool process_isolation = false;
+};
+
+/// The only services an untrusted program can touch. Network and IPC are
+/// unconditionally denied; scratch space is private to the run and wiped
+/// afterwards.
+class ChamberServices {
+ public:
+  explicit ChamberServices(ChamberPolicy policy) : policy_(policy) {}
+
+  /// Stores a value in the run's scratch space (the AppArmor temp dir).
+  Status WriteScratch(const std::string& key, const std::string& value);
+
+  /// Reads back a scratch value written earlier in the same run.
+  Result<std::string> ReadScratch(const std::string& key) const;
+
+  /// Always denied: the MAC profile disables all network activity.
+  Status OpenNetworkConnection(const std::string& endpoint);
+
+  /// Always denied: computation instances may not talk to each other.
+  Status SendToPeerChamber(const std::string& peer,
+                           const std::string& message);
+
+  /// The one allowed channel (paper §6: "the computation can only
+  /// communicate with a trusted forwarding agent which sends the messages
+  /// to the computation manager"). Messages reach the *trusted* side only
+  /// — they are surfaced in ChamberRun for operator logs and never to the
+  /// analyst, so they cannot carry private data out. Capped per run;
+  /// excess messages are dropped and counted as violations.
+  Status SendToManager(const std::string& message);
+
+  /// Messages accepted by the forwarding agent this run.
+  const std::vector<std::string>& forwarded_messages() const {
+    return forwarded_;
+  }
+
+  /// Number of policy denials this run has incurred (observable by the
+  /// trusted runtime, not by the analyst).
+  std::size_t violation_count() const { return violation_count_; }
+
+ private:
+  ChamberPolicy policy_;
+  std::map<std::string, std::string> scratch_;
+  std::size_t scratch_bytes_ = 0;
+  std::size_t violation_count_ = 0;
+  std::vector<std::string> forwarded_;
+};
+
+/// Outcome of one chamber execution, reported to the trusted runtime only.
+struct ChamberRun {
+  /// The program's output — or the fallback if the run failed, overran its
+  /// deadline, or returned the wrong dimension.
+  Row output;
+  /// True when the output is the fallback rather than the program's.
+  bool used_fallback = false;
+  /// True when the run was abandoned for exceeding the deadline.
+  bool deadline_exceeded = false;
+  /// MAC denials incurred (for auditing; the run itself continues, the
+  /// forbidden operation simply fails, as with a real AppArmor profile).
+  std::size_t policy_violations = 0;
+  /// Error returned by the program, if any.
+  Status program_status;
+  /// Messages the program sent through the forwarding agent — visible to
+  /// the trusted operator only, never part of the released output.
+  std::vector<std::string> forwarded_messages;
+  /// Wall-clock duration observed by the *runtime* (includes padding).
+  std::chrono::nanoseconds elapsed{0};
+};
+
+/// Runs untrusted programs under a ChamberPolicy.
+class ExecutionChamber {
+ public:
+  explicit ExecutionChamber(ChamberPolicy policy) : policy_(policy) {}
+
+  /// Executes a fresh instance from `factory` on `block`. `fallback` must
+  /// have the program's declared output dimension; it is released in place
+  /// of the program output whenever the run cannot be trusted. Never
+  /// returns an error status for *program* misbehaviour — misbehaviour is
+  /// converted into the fallback, keeping the aggregate's sensitivity
+  /// analysis intact. Errors only on caller bugs (e.g. fallback dimension
+  /// mismatch).
+  Result<ChamberRun> Execute(const ProgramFactory& factory,
+                             const Dataset& block, const Row& fallback) const;
+
+  const ChamberPolicy& policy() const { return policy_; }
+
+ private:
+  ChamberPolicy policy_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_EXEC_CHAMBER_H_

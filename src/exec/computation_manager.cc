@@ -1,0 +1,81 @@
+#include "exec/computation_manager.h"
+
+#include <atomic>
+#include <utility>
+
+#include "exec/process_chamber.h"
+
+namespace gupt {
+
+std::vector<Row> BlockExecutionReport::Outputs() const {
+  std::vector<Row> outputs;
+  outputs.reserve(runs.size());
+  for (const ChamberRun& run : runs) outputs.push_back(run.output);
+  return outputs;
+}
+
+ComputationManager::ComputationManager(ThreadPool* pool, ChamberPolicy policy)
+    : pool_(pool), chamber_(std::move(policy)) {}
+
+Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
+    const ProgramFactory& factory, const Dataset& dataset,
+    const BlockPlan& plan, const Row& fallback) const {
+  if (plan.blocks.empty()) {
+    return Status::InvalidArgument("block plan has no blocks");
+  }
+
+  // Materialise the blocks up front; any bad index is a caller bug and is
+  // reported before any untrusted code runs.
+  std::vector<Dataset> blocks;
+  blocks.reserve(plan.blocks.size());
+  for (const auto& indices : plan.blocks) {
+    GUPT_ASSIGN_OR_RETURN(Dataset block, dataset.Subset(indices));
+    blocks.push_back(std::move(block));
+  }
+
+  BlockExecutionReport report;
+  report.runs.resize(blocks.size());
+  std::vector<Status> statuses(blocks.size(), Status::OK());
+
+  auto execute_one = [&](std::size_t i) {
+    Result<ChamberRun> run =
+        chamber_.policy().process_isolation
+            ? ProcessChamber(chamber_.policy())
+                  .Execute(factory, blocks[i], fallback)
+            : chamber_.Execute(factory, blocks[i], fallback);
+    if (run.ok()) {
+      report.runs[i] = std::move(run).value();
+    } else {
+      statuses[i] = run.status();
+    }
+  };
+
+  if (pool_ != nullptr && chamber_.policy().process_isolation) {
+    return Status::InvalidArgument(
+        "process isolation requires the sequential computation manager "
+        "(forking from a multi-threaded pool is unsafe)");
+  }
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(blocks.size(), execute_one);
+  } else {
+    for (std::size_t i = 0; i < blocks.size(); ++i) execute_one(i);
+  }
+
+  for (const Status& s : statuses) {
+    GUPT_RETURN_IF_ERROR(s);
+  }
+  for (const ChamberRun& run : report.runs) {
+    if (run.used_fallback) ++report.fallback_count;
+    if (run.deadline_exceeded) ++report.deadline_exceeded_count;
+    report.policy_violation_count += run.policy_violations;
+  }
+  return report;
+}
+
+Result<ChamberRun> ComputationManager::ExecuteOnce(
+    const ProgramFactory& factory, const Dataset& dataset,
+    const Row& fallback) const {
+  return chamber_.Execute(factory, dataset, fallback);
+}
+
+}  // namespace gupt

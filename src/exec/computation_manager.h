@@ -1,0 +1,67 @@
+// Computation manager: schedules per-block executions across the cluster.
+//
+// In the paper (§3.1, §6) the computation manager is split into a server
+// component (user-facing: accepts the program and pipes dataset blocks to
+// computation instances) and a trusted client component on every cluster
+// node (instantiates the chamber, restricts IPC to itself). Here the
+// "cluster" is a thread pool: each worker thread plays one node's trusted
+// client, and the server side is this class.
+
+#ifndef GUPT_EXEC_COMPUTATION_MANAGER_H_
+#define GUPT_EXEC_COMPUTATION_MANAGER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "data/partitioner.h"
+#include "exec/chamber.h"
+#include "exec/program.h"
+
+namespace gupt {
+
+/// Aggregate of one fan-out over all blocks.
+struct BlockExecutionReport {
+  /// Per-block outcomes, indexed like the BlockPlan's blocks.
+  std::vector<ChamberRun> runs;
+  std::size_t fallback_count = 0;
+  std::size_t deadline_exceeded_count = 0;
+  std::size_t policy_violation_count = 0;
+
+  /// Just the per-block outputs, in block order.
+  std::vector<Row> Outputs() const;
+};
+
+class ComputationManager {
+ public:
+  /// `pool` may be null, in which case blocks run sequentially on the
+  /// calling thread (useful for deterministic tests and micro-benchmarks).
+  ComputationManager(ThreadPool* pool, ChamberPolicy policy);
+
+  /// Materialises each block of `plan` as a private row-copy of `dataset`
+  /// and executes a fresh instance of the program on it inside a chamber.
+  /// `fallback` is the constant substituted for failed/overrun blocks and
+  /// must match the program's output dimension.
+  Result<BlockExecutionReport> ExecuteOnBlocks(const ProgramFactory& factory,
+                                               const Dataset& dataset,
+                                               const BlockPlan& plan,
+                                               const Row& fallback) const;
+
+  /// Runs the program once over an explicit dataset (no partitioning) in a
+  /// single chamber. Used for whole-dataset baselines and the aged slice.
+  Result<ChamberRun> ExecuteOnce(const ProgramFactory& factory,
+                                 const Dataset& dataset,
+                                 const Row& fallback) const;
+
+  const ChamberPolicy& policy() const { return chamber_.policy(); }
+
+ private:
+  ThreadPool* pool_;  // not owned; null => sequential
+  ExecutionChamber chamber_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_EXEC_COMPUTATION_MANAGER_H_

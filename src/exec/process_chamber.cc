@@ -1,0 +1,227 @@
+#include "exec/process_chamber.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+namespace gupt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Child -> parent frame: status byte, violation count, then (on success)
+// the output vector. Anything malformed or truncated means the child
+// misbehaved or died and the parent substitutes the fallback.
+constexpr std::uint8_t kOk = 1;
+constexpr std::uint8_t kProgramError = 2;
+constexpr std::uint8_t kDimensionMismatch = 3;
+
+bool WriteFully(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `len` bytes, honouring an absolute deadline (no deadline
+/// when `deadline` is nullopt). Returns false on timeout, EOF, or error.
+bool ReadFullyWithDeadline(int fd, void* data, std::size_t len,
+                           const std::optional<Clock::time_point>& deadline,
+                           bool* timed_out) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    int wait_ms = -1;
+    if (deadline) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - Clock::now());
+      if (remaining.count() <= 0) {
+        *timed_out = true;
+        return false;
+      }
+      wait_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) {
+      *timed_out = true;
+      return false;
+    }
+    ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF: child died before finishing the frame
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Runs the program in the child and streams the frame. Must only call
+/// _exit (never exit) so the parent's stdio/atexit state is untouched.
+[[noreturn]] void ChildMain(int fd, const ProgramFactory& factory,
+                            const Dataset& block, std::size_t declared_dims,
+                            const ChamberPolicy& policy) {
+  ChamberServices services(policy);
+  Result<Row> result = Status::Internal("never ran");
+  try {
+    std::unique_ptr<AnalysisProgram> program = factory();
+    result = program->RunWithServices(block, &services);
+  } catch (...) {
+    result = Status::PolicyViolation("program threw");
+  }
+  std::uint8_t status = kOk;
+  if (!result.ok()) {
+    status = kProgramError;
+  } else if (result.value().size() != declared_dims) {
+    status = kDimensionMismatch;
+  }
+  auto violations = static_cast<std::uint64_t>(services.violation_count());
+  bool ok = WriteFully(fd, &status, sizeof(status)) &&
+            WriteFully(fd, &violations, sizeof(violations));
+  if (ok && status == kOk) {
+    const Row& out = result.value();
+    auto n = static_cast<std::uint64_t>(out.size());
+    ok = WriteFully(fd, &n, sizeof(n)) &&
+         WriteFully(fd, out.data(), n * sizeof(double));
+  }
+  ::close(fd);
+  ::_exit(ok ? 0 : 1);
+}
+
+}  // namespace
+
+Result<ChamberRun> ProcessChamber::Execute(const ProgramFactory& factory,
+                                           const Dataset& block,
+                                           const Row& fallback) const {
+  if (!factory) {
+    return Status::InvalidArgument("program factory is null");
+  }
+  std::size_t declared_dims;
+  {
+    std::unique_ptr<AnalysisProgram> probe = factory();
+    if (!probe) {
+      return Status::InvalidArgument("program factory returned null");
+    }
+    declared_dims = probe->output_dims();
+  }
+  if (declared_dims == 0 || fallback.size() != declared_dims) {
+    return Status::InvalidArgument(
+        "fallback dimension does not match program output dimension");
+  }
+
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::Internal("pipe() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+
+  const auto start = Clock::now();
+  std::optional<Clock::time_point> deadline;
+  if (policy_.deadline.count() > 0) {
+    deadline = start + policy_.deadline;
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status::Internal("fork() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    ChildMain(fds[1], factory, block, declared_dims, policy_);
+  }
+  ::close(fds[1]);
+
+  ChamberRun run;
+  std::uint8_t status = 0;
+  std::uint64_t violations = 0;
+  bool timed_out = false;
+  bool frame_ok =
+      ReadFullyWithDeadline(fds[0], &status, sizeof(status), deadline,
+                            &timed_out) &&
+      ReadFullyWithDeadline(fds[0], &violations, sizeof(violations), deadline,
+                            &timed_out);
+  Row output;
+  if (frame_ok && status == kOk) {
+    std::uint64_t n = 0;
+    frame_ok = ReadFullyWithDeadline(fds[0], &n, sizeof(n), deadline,
+                                     &timed_out) &&
+               n == declared_dims;
+    if (frame_ok) {
+      output.resize(n);
+      frame_ok = ReadFullyWithDeadline(fds[0], output.data(),
+                                       n * sizeof(double), deadline,
+                                       &timed_out);
+    }
+  }
+  ::close(fds[0]);
+
+  if (timed_out) {
+    ::kill(pid, SIGKILL);  // a real kill: the overrunning child is gone
+  }
+  int wait_status = 0;
+  while (::waitpid(pid, &wait_status, 0) < 0 && errno == EINTR) {
+  }
+
+  run.policy_violations = static_cast<std::size_t>(violations);
+  if (timed_out) {
+    run.deadline_exceeded = true;
+    run.used_fallback = true;
+    run.output = fallback;
+    run.policy_violations = 0;  // the partial frame is not trustworthy
+    run.program_status =
+        Status::DeadlineExceeded("block subprocess exceeded cycle budget");
+  } else if (!frame_ok) {
+    run.used_fallback = true;
+    run.output = fallback;
+    run.policy_violations = 0;
+    run.program_status =
+        Status::PolicyViolation("block subprocess crashed or sent a "
+                                "malformed frame");
+  } else if (status == kOk) {
+    run.output = std::move(output);
+    run.program_status = Status::OK();
+  } else {
+    run.used_fallback = true;
+    run.output = fallback;
+    run.program_status =
+        status == kDimensionMismatch
+            ? Status::PolicyViolation("subprocess returned wrong arity")
+            : Status::NumericalError("subprocess program reported an error");
+  }
+
+  if (policy_.pad_to_deadline && deadline) {
+    std::this_thread::sleep_until(*deadline);
+  }
+  run.elapsed = Clock::now() - start;
+  return run;
+}
+
+}  // namespace gupt

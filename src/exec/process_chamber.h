@@ -1,0 +1,48 @@
+// Process-level execution chamber (POSIX fork-based).
+//
+// The in-process ExecutionChamber models the paper's sandbox with
+// fresh-instance isolation, which a *cooperating* program respects but a
+// malicious native program could evade through globals. This backend runs
+// each block computation in a forked child process — the real thing:
+//
+//   * State attacks:  the child has its own address space; even mutations
+//     to global/static variables are invisible to later runs.
+//   * Timing attacks: a child that overruns its cycle budget is SIGKILLed
+//     — actually terminated, not abandoned.
+//   * Crash containment: a child that segfaults or aborts merely yields
+//     the fallback output.
+//
+// The child reports its output over a pipe as a tiny length-prefixed
+// frame; nothing else crosses the boundary. Caveat (documented, standard
+// for fork-based sandboxes): forking from a multi-threaded parent is only
+// safe when the child avoids acquiring locks another thread may hold, so
+// drive this backend from a single-threaded computation manager (the
+// default `num_workers = 0`), as the tests and benches do.
+
+#ifndef GUPT_EXEC_PROCESS_CHAMBER_H_
+#define GUPT_EXEC_PROCESS_CHAMBER_H_
+
+#include "exec/chamber.h"
+
+namespace gupt {
+
+/// Fork-based chamber with the same contract as ExecutionChamber::Execute.
+/// `policy.deadline` of zero means wait indefinitely; `pad_to_deadline`
+/// pads the parent-observed duration exactly as the in-process chamber
+/// does. Policy violations inside the child are reported in the frame.
+class ProcessChamber {
+ public:
+  explicit ProcessChamber(ChamberPolicy policy) : policy_(policy) {}
+
+  Result<ChamberRun> Execute(const ProgramFactory& factory,
+                             const Dataset& block, const Row& fallback) const;
+
+  const ChamberPolicy& policy() const { return policy_; }
+
+ private:
+  ChamberPolicy policy_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_EXEC_PROCESS_CHAMBER_H_

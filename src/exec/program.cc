@@ -1,0 +1,40 @@
+#include "exec/program.h"
+
+#include <utility>
+
+namespace gupt {
+
+Result<Row> AnalysisProgram::RunWithServices(const Dataset& block,
+                                             ChamberServices* /*services*/) {
+  return Run(block);
+}
+
+namespace {
+
+class LambdaProgram final : public AnalysisProgram {
+ public:
+  LambdaProgram(std::string name, std::size_t output_dims,
+                std::function<Result<Row>(const Dataset&)> fn)
+      : name_(std::move(name)), output_dims_(output_dims), fn_(std::move(fn)) {}
+
+  Result<Row> Run(const Dataset& block) override { return fn_(block); }
+  std::size_t output_dims() const override { return output_dims_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t output_dims_;
+  std::function<Result<Row>(const Dataset&)> fn_;
+};
+
+}  // namespace
+
+ProgramFactory MakeProgramFactory(
+    std::string name, std::size_t output_dims,
+    std::function<Result<Row>(const Dataset&)> fn) {
+  return [name = std::move(name), output_dims, fn = std::move(fn)]() {
+    return std::make_unique<LambdaProgram>(name, output_dims, fn);
+  };
+}
+
+}  // namespace gupt

@@ -1,0 +1,69 @@
+// The untrusted analysis-program interface.
+//
+// GUPT treats the analyst's computation as a black box (paper §1): the only
+// contract is "run on any subset of the dataset, produce a fixed-dimension
+// real vector". Programs are handed to the runtime as a *factory* rather
+// than an instance — every execution chamber constructs a fresh instance,
+// which is the state-attack defence of §6.2: no information can flow
+// between per-block executions through program state.
+
+#ifndef GUPT_EXEC_PROGRAM_H_
+#define GUPT_EXEC_PROGRAM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/vec.h"
+#include "data/dataset.h"
+
+namespace gupt {
+
+class ChamberServices;
+
+/// An analyst-supplied computation. Implementations must be able to run on
+/// any subset of the registered dataset (paper §3.1) and must declare their
+/// output dimension up front (paper §8.1 — otherwise the dimension itself
+/// could leak data).
+class AnalysisProgram {
+ public:
+  virtual ~AnalysisProgram() = default;
+
+  /// Runs the computation on one data block. Returning an error is allowed
+  /// (the chamber substitutes the fallback output); throwing is not.
+  virtual Result<Row> Run(const Dataset& block) = 0;
+
+  /// Like Run but with access to chamber-mediated services (scratch space,
+  /// attempted network I/O — which the policy will deny). The default
+  /// ignores the services handle; only programs that want scratch space, or
+  /// test programs that probe the sandbox, override this.
+  virtual Result<Row> RunWithServices(const Dataset& block,
+                                      ChamberServices* services);
+
+  /// Number of output dimensions, fixed for the program's lifetime.
+  virtual std::size_t output_dims() const = 0;
+
+  /// Human-readable name used in budget-ledger labels and logs.
+  virtual std::string name() const = 0;
+};
+
+/// Constructs a fresh program instance per execution chamber.
+using ProgramFactory = std::function<std::unique_ptr<AnalysisProgram>()>;
+
+/// Helper for the common case: wrap a stateless callable plus metadata into
+/// a factory. The callable must be pure (no shared mutable state) — that is
+/// exactly what the chamber model assumes of well-behaved programs.
+ProgramFactory MakeProgramFactory(
+    std::string name, std::size_t output_dims,
+    std::function<Result<Row>(const Dataset&)> fn);
+
+/// The analyst's optional range translator for GUPT-helper mode (paper
+/// §4.1): maps (tight, privately estimated) per-dimension input ranges to
+/// an output range per output dimension.
+using RangeTranslator =
+    std::function<Result<std::vector<Range>>(const std::vector<Range>&)>;
+
+}  // namespace gupt
+
+#endif  // GUPT_EXEC_PROGRAM_H_

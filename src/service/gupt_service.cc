@@ -1,0 +1,153 @@
+#include "service/gupt_service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "data/budget_store.h"
+
+namespace gupt {
+
+GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
+    : options_(std::move(options)), registry_(std::move(registry)) {
+  runtime_ = std::make_unique<GuptRuntime>(&manager_, options_.runtime);
+}
+
+Status GuptService::RegisterDataset(const std::string& name, Dataset data,
+                                    DatasetOptions dataset_options) {
+  return manager_.Register(name, std::move(data), std::move(dataset_options));
+}
+
+Result<double> GuptService::RemainingBudget(const std::string& name) const {
+  GUPT_ASSIGN_OR_RETURN(auto ds, manager_.Get(name));
+  return ds->accountant().remaining_epsilon();
+}
+
+std::vector<std::string> GuptService::ListPrograms() const {
+  return registry_.ListPrograms();
+}
+
+std::vector<std::string> GuptService::ListDatasets() const {
+  return manager_.ListNames();
+}
+
+std::vector<AuditRecord> GuptService::audit_log() const {
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  return audit_log_;
+}
+
+Status GuptService::RestoreLedger() {
+  if (options_.ledger_path.empty()) {
+    return Status::InvalidArgument("service has no ledger_path configured");
+  }
+  Status loaded = LoadBudgets(&manager_, options_.ledger_path);
+  if (loaded.code() == StatusCode::kNotFound) {
+    return Status::OK();  // first boot: nothing to restore
+  }
+  return loaded;
+}
+
+Status GuptService::PersistLedger() const {
+  if (options_.ledger_path.empty()) {
+    return Status::InvalidArgument("service has no ledger_path configured");
+  }
+  return SaveBudgets(manager_, options_.ledger_path);
+}
+
+Result<QueryReport> GuptService::Execute(const QueryRequest& request) {
+  GUPT_ASSIGN_OR_RETURN(ProgramFactory program,
+                        registry_.Build(request.program));
+  QuerySpec spec;
+  spec.program = std::move(program);
+  spec.epsilon = request.epsilon;
+  spec.accuracy_goal = request.accuracy_goal;
+  switch (request.range_mode) {
+    case RangeMode::kTight:
+      spec.range = OutputRangeSpec::Tight(request.output_ranges);
+      break;
+    case RangeMode::kLoose:
+      spec.range = OutputRangeSpec::Loose(request.output_ranges);
+      break;
+    case RangeMode::kHelper:
+      return Status::InvalidArgument(
+          "helper mode requires a code-level range translator; use the "
+          "library API");
+  }
+  spec.block_size = request.block_size;
+  spec.optimize_block_size = request.optimize_block_size;
+  spec.gamma = request.gamma;
+  spec.records_per_user = request.records_per_user;
+  return runtime_->Execute(request.dataset, spec);
+}
+
+std::string GuptService::CacheKey(const QueryRequest& request) {
+  if (!request.epsilon.has_value()) return "";  // goal-driven: not cacheable
+  std::ostringstream key;
+  key.precision(17);
+  key << request.dataset << '\x1f' << request.program.name;
+  for (const auto& [k, v] : request.program.params) {
+    key << '\x1f' << k << '=' << v;
+  }
+  key << '\x1f' << *request.epsilon << '\x1f'
+      << static_cast<int>(request.range_mode);
+  for (const Range& r : request.output_ranges) {
+    key << '\x1f' << r.lo << ',' << r.hi;
+  }
+  key << '\x1f' << (request.block_size ? *request.block_size : 0) << '\x1f'
+      << request.optimize_block_size << '\x1f' << request.gamma << '\x1f'
+      << request.records_per_user;
+  return key.str();
+}
+
+Result<QueryReport> GuptService::SubmitQuery(const QueryRequest& request) {
+  const std::string cache_key =
+      options_.enable_query_cache ? CacheKey(request) : "";
+  bool from_cache = false;
+  std::optional<QueryReport> cached;
+  if (!cache_key.empty()) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = query_cache_.find(cache_key);
+    if (it != query_cache_.end()) {
+      cached = it->second;
+      from_cache = true;
+    }
+  }
+
+  Result<QueryReport> outcome =
+      from_cache ? Result<QueryReport>(*cached) : Execute(request);
+  if (!from_cache && outcome.ok() && !cache_key.empty()) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    query_cache_.emplace(cache_key, outcome.value());
+  }
+
+  AuditRecord record;
+  record.analyst = request.analyst.empty() ? "<anonymous>" : request.analyst;
+  record.dataset = request.dataset;
+  record.program = request.program.name;
+  record.epsilon_requested = request.epsilon.value_or(0.0);
+  record.accepted = outcome.ok();
+  record.from_cache = from_cache;
+  record.status = outcome.status().ToString();
+  if (outcome.ok() && !from_cache) {
+    record.epsilon_charged = outcome->epsilon_spent;
+  }
+  {
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    record.id = audit_log_.size() + 1;
+    audit_log_.push_back(record);
+  }
+
+  if (outcome.ok() && !from_cache && !options_.ledger_path.empty()) {
+    // The ledger write is part of accepting the query: failing to persist
+    // means a restart could forget the spend, so surface it as an error —
+    // the budget *was* charged and the caller must treat the answer as
+    // released.
+    Status persisted = PersistLedger();
+    if (!persisted.ok()) {
+      return Status::Internal("query released but ledger persist failed: " +
+                              persisted.message());
+    }
+  }
+  return outcome;
+}
+
+}  // namespace gupt

@@ -1,0 +1,139 @@
+// GuptService: the hosted deployment of Figure 2.
+//
+// Binds together everything a service provider runs: the dataset manager
+// (data-owner API), the program registry (vetted computations), the GUPT
+// runtime (analyst API), a durable budget ledger, and an audit log of
+// every query attempt — accepted or refused — because a DP deployment
+// must be able to show, after the fact, exactly where each dataset's
+// budget went.
+
+#ifndef GUPT_SERVICE_GUPT_SERVICE_H_
+#define GUPT_SERVICE_GUPT_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/gupt.h"
+#include "data/dataset_manager.h"
+#include "service/program_registry.h"
+
+namespace gupt {
+
+struct ServiceOptions {
+  GuptOptions runtime;
+  /// When non-empty, the budget ledger is loaded from this path at startup
+  /// (if the file exists) and saved after every accepted query.
+  std::string ledger_path;
+  /// Answer repeated *identical* queries from a cache at zero additional
+  /// budget. Sound because datasets are immutable and re-releasing the
+  /// same value reveals nothing new (post-processing); it stretches the
+  /// budget exactly as PINQ's caching does. Cache hits are audit-logged
+  /// with epsilon_charged = 0.
+  bool enable_query_cache = false;
+};
+
+/// One analyst query, expressed entirely in data (no code crosses the
+/// service boundary; programs are referenced by registry name).
+struct QueryRequest {
+  /// Who is asking — recorded in the audit log.
+  std::string analyst;
+  /// Which registered dataset to query.
+  std::string dataset;
+  /// Which vetted program to run, with parameters.
+  ProgramSpec program;
+
+  /// Exactly one of the two must be set.
+  std::optional<double> epsilon;
+  std::optional<AccuracyGoal> accuracy_goal;
+
+  /// Output-range declaration. The service API supports tight and loose
+  /// modes (helper mode needs a code-level translator, which only the
+  /// library API can express).
+  RangeMode range_mode = RangeMode::kTight;
+  std::vector<Range> output_ranges;
+
+  std::optional<std::size_t> block_size;
+  bool optimize_block_size = false;
+  std::size_t gamma = 1;
+  std::size_t records_per_user = 1;
+};
+
+/// Audit-log entry for one query attempt.
+struct AuditRecord {
+  std::size_t id = 0;
+  std::string analyst;
+  std::string dataset;
+  std::string program;
+  double epsilon_requested = 0.0;  // 0 when goal-driven
+  double epsilon_charged = 0.0;    // 0 when refused or cache-served
+  bool accepted = false;
+  bool from_cache = false;
+  std::string status;  // Status::ToString() of the outcome
+};
+
+class GuptService {
+ public:
+  /// The registry is taken by value (the service owns its vetted set).
+  GuptService(ServiceOptions options, ProgramRegistry registry);
+
+  /// Not movable: the runtime holds a pointer to the member dataset
+  /// manager, so the object must stay put.
+  GuptService(const GuptService&) = delete;
+  GuptService& operator=(const GuptService&) = delete;
+
+  // --- data-owner API ------------------------------------------------------
+  Status RegisterDataset(const std::string& name, Dataset data,
+                         DatasetOptions dataset_options);
+
+  /// Remaining budget for a dataset.
+  Result<double> RemainingBudget(const std::string& name) const;
+
+  // --- analyst API ---------------------------------------------------------
+  /// Validates, executes and audits one query.
+  Result<QueryReport> SubmitQuery(const QueryRequest& request);
+
+  /// Names of programs analysts may request.
+  std::vector<std::string> ListPrograms() const;
+
+  /// Registered dataset names.
+  std::vector<std::string> ListDatasets() const;
+
+  // --- operator API --------------------------------------------------------
+  /// Copy of the audit log, in submission order.
+  std::vector<AuditRecord> audit_log() const;
+
+  /// Loads a previously saved ledger (call after re-registering the same
+  /// datasets, before serving queries). Done automatically at construction
+  /// when `ledger_path` exists — but registration happens after
+  /// construction, so a restarting operator calls this explicitly.
+  Status RestoreLedger();
+
+  /// Persists the ledger now (also happens after every accepted query when
+  /// ledger_path is set).
+  Status PersistLedger() const;
+
+ private:
+  Result<QueryReport> Execute(const QueryRequest& request);
+
+  /// Canonical cache key for a request; empty when the request is not
+  /// cacheable (goal-driven queries re-solve epsilon from aged data, so
+  /// they are executed fresh each time).
+  static std::string CacheKey(const QueryRequest& request);
+
+  ServiceOptions options_;
+  ProgramRegistry registry_;
+  DatasetManager manager_;
+  std::unique_ptr<GuptRuntime> runtime_;
+  mutable std::mutex audit_mu_;
+  std::vector<AuditRecord> audit_log_;
+  std::mutex cache_mu_;
+  std::map<std::string, QueryReport> query_cache_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_SERVICE_GUPT_SERVICE_H_

@@ -1,0 +1,217 @@
+#include "service/program_registry.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "analytics/kmeans.h"
+#include "analytics/linear_regression.h"
+#include "analytics/logistic_regression.h"
+#include "analytics/pagerank.h"
+#include "analytics/pca.h"
+#include "analytics/queries.h"
+
+namespace gupt {
+namespace spec {
+namespace {
+
+Result<std::string> GetRaw(const ProgramSpec& spec, const std::string& key) {
+  auto it = spec.params.find(key);
+  if (it == spec.params.end()) {
+    return Status::InvalidArgument("program '" + spec.name +
+                                   "' missing parameter '" + key + "'");
+  }
+  return it->second;
+}
+
+Result<double> ParseDouble(const std::string& text, const std::string& key) {
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+    return Status::InvalidArgument("parameter '" + key +
+                                   "' is not a number: " + text);
+  }
+  return value;
+}
+
+Result<std::size_t> ParseSize(const std::string& text, const std::string& key) {
+  GUPT_ASSIGN_OR_RETURN(double value, ParseDouble(text, key));
+  if (value < 0.0 || value != static_cast<double>(
+                                  static_cast<std::size_t>(value))) {
+    return Status::InvalidArgument("parameter '" + key +
+                                   "' is not a non-negative integer: " + text);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace
+
+Result<std::size_t> GetSize(const ProgramSpec& spec, const std::string& key) {
+  GUPT_ASSIGN_OR_RETURN(std::string raw, GetRaw(spec, key));
+  return ParseSize(raw, key);
+}
+
+Result<std::size_t> GetSizeOr(const ProgramSpec& spec, const std::string& key,
+                              std::size_t fallback) {
+  if (spec.params.find(key) == spec.params.end()) return fallback;
+  return GetSize(spec, key);
+}
+
+Result<double> GetDouble(const ProgramSpec& spec, const std::string& key) {
+  GUPT_ASSIGN_OR_RETURN(std::string raw, GetRaw(spec, key));
+  return ParseDouble(raw, key);
+}
+
+Result<double> GetDoubleOr(const ProgramSpec& spec, const std::string& key,
+                           double fallback) {
+  if (spec.params.find(key) == spec.params.end()) return fallback;
+  return GetDouble(spec, key);
+}
+
+Result<std::vector<std::size_t>> GetSizeList(const ProgramSpec& spec,
+                                             const std::string& key) {
+  GUPT_ASSIGN_OR_RETURN(std::string raw, GetRaw(spec, key));
+  std::vector<std::size_t> out;
+  std::stringstream ss(raw);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    GUPT_ASSIGN_OR_RETURN(std::size_t value, ParseSize(field, key));
+    out.push_back(value);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("parameter '" + key + "' is empty");
+  }
+  return out;
+}
+
+}  // namespace spec
+
+Status ProgramRegistry::RegisterBuilder(const std::string& name,
+                                        Builder builder) {
+  if (name.empty() || !builder) {
+    return Status::InvalidArgument("builder name and callable required");
+  }
+  if (builders_.count(name) != 0) {
+    return Status::AlreadyExists("program already registered: " + name);
+  }
+  builders_[name] = std::move(builder);
+  return Status::OK();
+}
+
+Result<ProgramFactory> ProgramRegistry::Build(const ProgramSpec& spec) const {
+  auto it = builders_.find(spec.name);
+  if (it == builders_.end()) {
+    return Status::NotFound("no program registered as: " + spec.name);
+  }
+  return it->second(spec);
+}
+
+std::vector<std::string> ProgramRegistry::ListPrograms() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, unused] : builders_) names.push_back(name);
+  return names;
+}
+
+ProgramRegistry ProgramRegistry::WithStandardPrograms() {
+  ProgramRegistry registry;
+  auto must = [&registry](const std::string& name, Builder builder) {
+    Status s = registry.RegisterBuilder(name, std::move(builder));
+    (void)s;  // names are distinct literals below; cannot collide
+  };
+
+  must("mean", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    return analytics::MeanQuery(dim);
+  });
+  must("variance", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    return analytics::VarianceQuery(dim);
+  });
+  must("median", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    return analytics::MedianQuery(dim);
+  });
+  must("quantile", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    GUPT_ASSIGN_OR_RETURN(double q, spec::GetDouble(s, "q"));
+    return analytics::QuantileQuery(dim, q);
+  });
+  must("iqr", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    return analytics::IqrQuery(dim);
+  });
+  must("winsorized_mean", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    GUPT_ASSIGN_OR_RETURN(double trim, spec::GetDoubleOr(s, "trim", 0.05));
+    return analytics::WinsorizedMeanQuery(dim, trim);
+  });
+  must("trimmed_mean", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    GUPT_ASSIGN_OR_RETURN(double trim, spec::GetDoubleOr(s, "trim", 0.05));
+    return analytics::TrimmedMeanQuery(dim, trim);
+  });
+  must("histogram", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t dim, spec::GetSizeOr(s, "dim", 0));
+    GUPT_ASSIGN_OR_RETURN(std::size_t bins, spec::GetSize(s, "bins"));
+    GUPT_ASSIGN_OR_RETURN(double lo, spec::GetDouble(s, "lo"));
+    GUPT_ASSIGN_OR_RETURN(double hi, spec::GetDouble(s, "hi"));
+    return analytics::HistogramQuery(dim, bins, lo, hi);
+  });
+  must("covariance", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(std::size_t a, spec::GetSize(s, "dim_a"));
+    GUPT_ASSIGN_OR_RETURN(std::size_t b, spec::GetSize(s, "dim_b"));
+    return analytics::CovarianceQuery(a, b);
+  });
+  must("covariance_matrix",
+       [](const ProgramSpec& s) -> Result<ProgramFactory> {
+         GUPT_ASSIGN_OR_RETURN(auto dims, spec::GetSizeList(s, "dims"));
+         return analytics::CovarianceMatrixQuery(dims);
+       });
+  must("decision_stump", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    GUPT_ASSIGN_OR_RETURN(auto dims, spec::GetSizeList(s, "dims"));
+    GUPT_ASSIGN_OR_RETURN(std::size_t label, spec::GetSize(s, "label"));
+    return analytics::DecisionStumpQuery(dims, label);
+  });
+  must("kmeans", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    analytics::KMeansOptions opts;
+    GUPT_ASSIGN_OR_RETURN(opts.k, spec::GetSize(s, "k"));
+    GUPT_ASSIGN_OR_RETURN(opts.feature_dims, spec::GetSizeList(s, "dims"));
+    GUPT_ASSIGN_OR_RETURN(opts.max_iterations,
+                          spec::GetSizeOr(s, "iterations", 20));
+    return analytics::KMeansQuery(opts);
+  });
+  must("logistic_regression",
+       [](const ProgramSpec& s) -> Result<ProgramFactory> {
+         analytics::LogisticRegressionOptions opts;
+         GUPT_ASSIGN_OR_RETURN(opts.feature_dims, spec::GetSizeList(s, "dims"));
+         GUPT_ASSIGN_OR_RETURN(opts.label_dim, spec::GetSize(s, "label"));
+         GUPT_ASSIGN_OR_RETURN(opts.max_iterations,
+                               spec::GetSizeOr(s, "iterations", 100));
+         return analytics::LogisticRegressionQuery(opts);
+       });
+  must("linear_regression",
+       [](const ProgramSpec& s) -> Result<ProgramFactory> {
+         analytics::LinearRegressionOptions opts;
+         GUPT_ASSIGN_OR_RETURN(opts.feature_dims, spec::GetSizeList(s, "dims"));
+         GUPT_ASSIGN_OR_RETURN(opts.target_dim, spec::GetSize(s, "target"));
+         return analytics::LinearRegressionQuery(opts);
+       });
+  must("pagerank", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    analytics::PageRankOptions opts;
+    GUPT_ASSIGN_OR_RETURN(opts.num_nodes, spec::GetSize(s, "nodes"));
+    GUPT_ASSIGN_OR_RETURN(opts.max_iterations,
+                          spec::GetSizeOr(s, "iterations", 100));
+    return analytics::PageRankQuery(opts);
+  });
+  must("pca", [](const ProgramSpec& s) -> Result<ProgramFactory> {
+    analytics::PcaOptions opts;
+    GUPT_ASSIGN_OR_RETURN(opts.feature_dims, spec::GetSizeList(s, "dims"));
+    return analytics::TopComponentQuery(opts);
+  });
+  return registry;
+}
+
+}  // namespace gupt

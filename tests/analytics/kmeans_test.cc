@@ -1,0 +1,197 @@
+#include "analytics/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+// Two tight clusters around (0,0) and (10,10).
+Dataset TwoClusters(std::size_t per_cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+    rows.push_back({rng.Gaussian(10.0, 0.3), rng.Gaussian(10.0, 0.3)});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+KMeansOptions TwoClusterOptions() {
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.feature_dims = {0, 1};
+  opts.max_iterations = 30;
+  return opts;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Dataset data = TwoClusters(200, 1);
+  auto result = RunKMeans(data, TwoClusterOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centers.size(), 2u);
+  // Sorted by first coordinate: centre 0 near (0,0), centre 1 near (10,10).
+  EXPECT_NEAR(result->centers[0][0], 0.0, 0.5);
+  EXPECT_NEAR(result->centers[0][1], 0.0, 0.5);
+  EXPECT_NEAR(result->centers[1][0], 10.0, 0.5);
+  EXPECT_NEAR(result->centers[1][1], 10.0, 0.5);
+}
+
+TEST(KMeansTest, CentersAreSortedByFirstCoordinate) {
+  Dataset data = TwoClusters(100, 2);
+  KMeansOptions opts = TwoClusterOptions();
+  opts.k = 4;
+  auto result = RunKMeans(data, opts);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->centers.size(); ++i) {
+    EXPECT_LE(result->centers[i - 1][0], result->centers[i][0]);
+  }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Dataset data = TwoClusters(100, 3);
+  auto a = RunKMeans(data, TwoClusterOptions());
+  auto b = RunKMeans(data, TwoClusterOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->centers, b->centers);
+}
+
+TEST(KMeansTest, FeatureSubsetIgnoresOtherColumns) {
+  // Third column is a label-like constant that must not affect clustering.
+  std::vector<Row> rows;
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 0.1), rng.Gaussian(0.0, 0.1), 999.0});
+    rows.push_back({rng.Gaussian(5.0, 0.1), rng.Gaussian(5.0, 0.1), -999.0});
+  }
+  Dataset data = Dataset::Create(std::move(rows)).value();
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.feature_dims = {0, 1};
+  auto result = RunKMeans(data, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centers[0].size(), 2u);
+  EXPECT_NEAR(result->centers[1][0], 5.0, 0.3);
+}
+
+TEST(KMeansTest, FewerRowsThanKErrors) {
+  Dataset data = Dataset::Create({{1.0}, {2.0}}).value();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.feature_dims = {0};
+  EXPECT_FALSE(RunKMeans(data, opts).ok());
+}
+
+TEST(KMeansTest, InvalidOptionsError) {
+  Dataset data = TwoClusters(10, 5);
+  KMeansOptions opts = TwoClusterOptions();
+  opts.k = 0;
+  EXPECT_FALSE(RunKMeans(data, opts).ok());
+  opts = TwoClusterOptions();
+  opts.feature_dims = {7};
+  EXPECT_FALSE(RunKMeans(data, opts).ok());
+}
+
+TEST(KMeansTest, ToleranceStopsEarly) {
+  Dataset data = TwoClusters(200, 6);
+  KMeansOptions opts = TwoClusterOptions();
+  opts.max_iterations = 100;
+  opts.tolerance = 1e-3;
+  auto result = RunKMeans(data, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->iterations_run, 100u);
+}
+
+TEST(KMeansTest, ZeroToleranceRunsAllIterations) {
+  Dataset data = TwoClusters(50, 7);
+  KMeansOptions opts = TwoClusterOptions();
+  opts.max_iterations = 12;
+  opts.tolerance = 0.0;
+  auto result = RunKMeans(data, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations_run, 12u);
+}
+
+TEST(KMeansQueryTest, FlattensSortedCenters) {
+  Dataset data = TwoClusters(200, 8);
+  auto program = KMeansQuery(TwoClusterOptions())();
+  EXPECT_EQ(program->output_dims(), 4u);  // k=2 * dims=2
+  Row flat = program->Run(data).value();
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_NEAR(flat[0], 0.0, 0.5);
+  EXPECT_NEAR(flat[2], 10.0, 0.5);
+}
+
+TEST(KMeansQueryTest, RequiresExplicitFeatureDims) {
+  KMeansOptions opts;
+  opts.k = 2;  // feature_dims left empty
+  auto program = KMeansQuery(opts)();
+  Dataset data = TwoClusters(10, 9);
+  EXPECT_FALSE(program->Run(data).ok());
+}
+
+TEST(UnflattenCentersTest, RoundTrip) {
+  Row flat = {1, 2, 3, 4, 5, 6};
+  auto centers = UnflattenCenters(flat, 2, 3);
+  ASSERT_TRUE(centers.ok());
+  EXPECT_EQ((*centers)[0], (Row{1, 2, 3}));
+  EXPECT_EQ((*centers)[1], (Row{4, 5, 6}));
+}
+
+TEST(UnflattenCentersTest, ArityMismatchErrors) {
+  EXPECT_FALSE(UnflattenCenters({1, 2, 3}, 2, 2).ok());
+  EXPECT_FALSE(UnflattenCenters({1, 2}, 0, 2).ok());
+}
+
+TEST(IntraClusterVarianceTest, ZeroWhenCentersMatchData) {
+  Dataset data = Dataset::Create({{0.0, 0.0}, {1.0, 1.0}}).value();
+  auto icv = IntraClusterVariance(data, {{0.0, 0.0}, {1.0, 1.0}}, {0, 1});
+  ASSERT_TRUE(icv.ok());
+  EXPECT_DOUBLE_EQ(*icv, 0.0);
+}
+
+TEST(IntraClusterVarianceTest, PenalisesBadCenters) {
+  Dataset data = TwoClusters(100, 10);
+  auto good = RunKMeans(data, TwoClusterOptions()).value();
+  auto icv_good = IntraClusterVariance(data, good.centers, {0, 1}).value();
+  auto icv_bad =
+      IntraClusterVariance(data, {{50.0, 50.0}, {60.0, 60.0}}, {0, 1}).value();
+  EXPECT_LT(icv_good, icv_bad / 100.0);
+}
+
+TEST(IntraClusterVarianceTest, ErrorsOnBadArguments) {
+  Dataset data = TwoClusters(10, 11);
+  EXPECT_FALSE(IntraClusterVariance(data, {}, {0, 1}).ok());
+  EXPECT_FALSE(IntraClusterVariance(data, {{1.0}}, {0, 1}).ok());
+}
+
+TEST(KMeansOnLifeSciencesTest, FindsTrueCenters) {
+  synthetic::LifeSciencesOptions gen;
+  gen.num_rows = 4000;
+  Dataset data = synthetic::LifeSciences(gen).value();
+  KMeansOptions opts;
+  opts.k = gen.num_clusters;
+  opts.feature_dims.resize(gen.num_features);
+  for (std::size_t d = 0; d < gen.num_features; ++d) opts.feature_dims[d] = d;
+  opts.max_iterations = 50;
+  auto result = RunKMeans(data, opts);
+  ASSERT_TRUE(result.ok());
+  // Every true centre should have a recovered centre within ~1 stddev.
+  for (const Row& truth : synthetic::LifeSciencesTrueCenters(gen)) {
+    double best = 1e18;
+    for (const Row& c : result->centers) {
+      best = std::min(best, vec::SquaredDistance(truth, c));
+    }
+    EXPECT_LT(std::sqrt(best), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,153 @@
+#include "analytics/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+// y = 3*x0 - 2*x1 + 5 + noise.
+Dataset LinearData(std::size_t n, double noise_stddev, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-2.0, 2.0);
+    double x1 = rng.UniformDouble(-2.0, 2.0);
+    double y = 3.0 * x0 - 2.0 * x1 + 5.0 + rng.Gaussian(0.0, noise_stddev);
+    rows.push_back({x0, x1, y});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+LinearRegressionOptions TwoFeature() {
+  LinearRegressionOptions opts;
+  opts.feature_dims = {0, 1};
+  opts.target_dim = 2;
+  return opts;
+}
+
+TEST(SolveLinearSystemTest, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+  auto x = SolveLinearSystem({{2, 1}, {1, 3}}, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, PivotingHandlesZeroDiagonal) {
+  // First pivot is zero; partial pivoting must swap rows.
+  auto x = SolveLinearSystem({{0, 1}, {1, 0}}, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, SingularIsAnError) {
+  auto x = SolveLinearSystem({{1, 1}, {2, 2}}, {1, 2});
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(SolveLinearSystemTest, DimensionMismatchErrors) {
+  EXPECT_FALSE(SolveLinearSystem({{1, 0}}, {1, 2}).ok());
+  EXPECT_FALSE(SolveLinearSystem({{1, 0}, {0, 1, 2}}, {1, 2}).ok());
+}
+
+TEST(LinearRegressionTest, RecoversExactCoefficientsOnCleanData) {
+  Dataset data = LinearData(500, 0.0, 1);
+  auto model = FitLinearRegression(data, TwoFeature());
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->coefficients[0], 3.0, 1e-3);
+  EXPECT_NEAR(model->coefficients[1], -2.0, 1e-3);
+  EXPECT_NEAR(model->coefficients[2], 5.0, 1e-3);
+}
+
+TEST(LinearRegressionTest, NoisyDataStillClose) {
+  Dataset data = LinearData(5000, 0.5, 2);
+  auto model = FitLinearRegression(data, TwoFeature()).value();
+  EXPECT_NEAR(model.coefficients[0], 3.0, 0.05);
+  EXPECT_NEAR(model.coefficients[1], -2.0, 0.05);
+  EXPECT_NEAR(model.coefficients[2], 5.0, 0.05);
+}
+
+TEST(LinearRegressionTest, PredictUsesCoefficients) {
+  LinearModel model;
+  model.coefficients = {3.0, -2.0, 5.0};
+  EXPECT_DOUBLE_EQ(model.Predict({1.0, 1.0, 0.0}, {0, 1}), 6.0);
+}
+
+TEST(LinearRegressionTest, MseIsNoiseVarianceOnNoisyData) {
+  Dataset data = LinearData(5000, 0.5, 3);
+  auto opts = TwoFeature();
+  auto model = FitLinearRegression(data, opts).value();
+  double mse = MeanSquaredError(data, model, opts).value();
+  EXPECT_NEAR(mse, 0.25, 0.03);  // noise variance
+}
+
+TEST(LinearRegressionTest, RidgeRescuesCollinearBlock) {
+  // x1 == x0 exactly: the unregularised normal equations are singular.
+  std::vector<Row> rows;
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.UniformDouble(-1.0, 1.0);
+    rows.push_back({x, x, 2.0 * x});
+  }
+  Dataset data = Dataset::Create(std::move(rows)).value();
+  auto opts = TwoFeature();
+  opts.ridge_lambda = 1e-6;
+  auto model = FitLinearRegression(data, opts);
+  ASSERT_TRUE(model.ok());
+  // The two collinear coefficients share the weight: their sum is 2.
+  EXPECT_NEAR(model->coefficients[0] + model->coefficients[1], 2.0, 1e-3);
+}
+
+TEST(LinearRegressionTest, RejectsBadOptions) {
+  Dataset data = LinearData(10, 0.0, 5);
+  LinearRegressionOptions opts;
+  opts.feature_dims = {};
+  EXPECT_FALSE(FitLinearRegression(data, opts).ok());
+  opts = TwoFeature();
+  opts.feature_dims = {0, 9};
+  EXPECT_FALSE(FitLinearRegression(data, opts).ok());
+  opts = TwoFeature();
+  opts.target_dim = 9;
+  EXPECT_FALSE(FitLinearRegression(data, opts).ok());
+  opts = TwoFeature();
+  opts.ridge_lambda = -1.0;
+  EXPECT_FALSE(FitLinearRegression(data, opts).ok());
+}
+
+TEST(LinearRegressionQueryTest, ProgramOutputsCoefficients) {
+  auto program = LinearRegressionQuery(TwoFeature())();
+  EXPECT_EQ(program->output_dims(), 3u);
+  Row coef = program->Run(LinearData(200, 0.1, 6)).value();
+  ASSERT_EQ(coef.size(), 3u);
+  EXPECT_NEAR(coef[0], 3.0, 0.2);
+}
+
+TEST(LinearRegressionQueryTest, BlockCoefficientsAverageToTruth) {
+  // The SAF premise for regression: per-block OLS estimates are unbiased,
+  // so their average approaches the true coefficients.
+  Dataset data = LinearData(4000, 0.5, 7);
+  auto factory = LinearRegressionQuery(TwoFeature());
+  Row sum(3, 0.0);
+  const std::size_t blocks = 40, block_rows = 100;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < block_rows; ++i) {
+      idx.push_back(b * block_rows + i);
+    }
+    Row coef = factory()->Run(data.Subset(idx).value()).value();
+    vec::AddInPlace(&sum, coef);
+  }
+  vec::ScaleInPlace(&sum, 1.0 / blocks);
+  EXPECT_NEAR(sum[0], 3.0, 0.05);
+  EXPECT_NEAR(sum[1], -2.0, 0.05);
+  EXPECT_NEAR(sum[2], 5.0, 0.05);
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,136 @@
+#include "analytics/logistic_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+// Linearly separable 2-d data: label = 1 iff x0 + x1 > 0.
+Dataset Separable(std::size_t n, std::uint64_t seed, double flip = 0.0) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x0 = rng.Gaussian();
+    double x1 = rng.Gaussian();
+    bool label = x0 + x1 > 0.0;
+    if (flip > 0.0 && rng.Bernoulli(flip)) label = !label;
+    rows.push_back({x0, x1, label ? 1.0 : 0.0});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+LogisticRegressionOptions TwoFeatureOptions() {
+  LogisticRegressionOptions opts;
+  opts.feature_dims = {0, 1};
+  opts.label_dim = 2;
+  return opts;
+}
+
+TEST(LogisticRegressionTest, LearnsSeparableData) {
+  Dataset data = Separable(2000, 1);
+  auto opts = TwoFeatureOptions();
+  auto model = TrainLogisticRegression(data, opts);
+  ASSERT_TRUE(model.ok());
+  double accuracy = ClassificationAccuracy(data, *model, opts).value();
+  EXPECT_GT(accuracy, 0.97);
+}
+
+TEST(LogisticRegressionTest, WeightsPointAlongTrueSeparator) {
+  Dataset data = Separable(2000, 2);
+  auto model = TrainLogisticRegression(data, TwoFeatureOptions()).value();
+  ASSERT_EQ(model.weights.size(), 3u);  // 2 features + bias
+  EXPECT_GT(model.weights[0], 0.0);
+  EXPECT_GT(model.weights[1], 0.0);
+  // Symmetric construction: weights roughly equal, bias near zero.
+  EXPECT_NEAR(model.weights[0] / model.weights[1], 1.0, 0.3);
+}
+
+TEST(LogisticRegressionTest, NoisyLabelsCapAccuracy) {
+  Dataset data = Separable(3000, 3, /*flip=*/0.10);
+  auto opts = TwoFeatureOptions();
+  auto model = TrainLogisticRegression(data, opts).value();
+  double accuracy = ClassificationAccuracy(data, model, opts).value();
+  EXPECT_GT(accuracy, 0.85);
+  EXPECT_LT(accuracy, 0.95);  // cannot beat the 10% label noise
+}
+
+TEST(LogisticRegressionTest, PredictProbabilityIsCalibratedAtExtremes) {
+  Dataset data = Separable(2000, 4);
+  auto opts = TwoFeatureOptions();
+  auto model = TrainLogisticRegression(data, opts).value();
+  EXPECT_GT(model.PredictProbability({5.0, 5.0, 1.0}, opts.feature_dims), 0.95);
+  EXPECT_LT(model.PredictProbability({-5.0, -5.0, 0.0}, opts.feature_dims),
+            0.05);
+}
+
+TEST(LogisticRegressionTest, StrongRegularisationShrinksWeights) {
+  Dataset data = Separable(1000, 5);
+  auto weak = TwoFeatureOptions();
+  weak.l2_lambda = 1e-6;
+  auto strong = TwoFeatureOptions();
+  strong.l2_lambda = 10.0;
+  double weak_norm =
+      vec::Norm(TrainLogisticRegression(data, weak).value().weights);
+  double strong_norm =
+      vec::Norm(TrainLogisticRegression(data, strong).value().weights);
+  EXPECT_LT(strong_norm, weak_norm / 2.0);
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryLabels) {
+  Dataset data = Dataset::Create({{0.0, 0.0, 2.0}}).value();
+  EXPECT_FALSE(TrainLogisticRegression(data, TwoFeatureOptions()).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsBadDims) {
+  Dataset data = Separable(10, 6);
+  LogisticRegressionOptions opts;
+  opts.feature_dims = {};
+  opts.label_dim = 2;
+  EXPECT_FALSE(TrainLogisticRegression(data, opts).ok());
+
+  opts = TwoFeatureOptions();
+  opts.feature_dims = {0, 9};
+  EXPECT_FALSE(TrainLogisticRegression(data, opts).ok());
+
+  opts = TwoFeatureOptions();
+  opts.label_dim = 9;
+  EXPECT_FALSE(TrainLogisticRegression(data, opts).ok());
+}
+
+TEST(LogisticRegressionTest, AccuracyRejectsModelArityMismatch) {
+  Dataset data = Separable(10, 7);
+  LogisticModel model;
+  model.weights = {1.0};  // wrong arity
+  EXPECT_FALSE(ClassificationAccuracy(data, model, TwoFeatureOptions()).ok());
+}
+
+TEST(LogisticRegressionQueryTest, ProgramOutputsWeightVector) {
+  auto program = LogisticRegressionQuery(TwoFeatureOptions())();
+  EXPECT_EQ(program->output_dims(), 3u);
+  Dataset data = Separable(500, 8);
+  Row weights = program->Run(data).value();
+  EXPECT_EQ(weights.size(), 3u);
+}
+
+TEST(LogisticRegressionOnLifeSciencesTest, MatchesPaperBaselineBand) {
+  // Paper §7.1.1: the non-private run scores ~94% on ds1.10.
+  synthetic::LifeSciencesOptions gen;
+  gen.num_rows = 6000;
+  Dataset data = synthetic::LifeSciences(gen).value();
+  LogisticRegressionOptions opts;
+  opts.feature_dims.resize(gen.num_features);
+  for (std::size_t d = 0; d < gen.num_features; ++d) opts.feature_dims[d] = d;
+  opts.label_dim = gen.num_features;
+  auto model = TrainLogisticRegression(data, opts).value();
+  double accuracy = ClassificationAccuracy(data, model, opts).value();
+  EXPECT_GT(accuracy, 0.90);
+  EXPECT_LT(accuracy, 0.98);
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

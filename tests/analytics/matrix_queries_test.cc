@@ -1,0 +1,111 @@
+// Tests for the covariance-matrix and decision-stump programs.
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+TEST(CovarianceMatrixTest, KnownMatrix) {
+  // Column1 = 2*column0: var0 = 1.25, cov = 2.5, var1 = 5.
+  Dataset data = Dataset::Create({{1, 2}, {2, 4}, {3, 6}, {4, 8}}).value();
+  auto program = CovarianceMatrixQuery({0, 1})();
+  EXPECT_EQ(program->output_dims(), 4u);
+  Row flat = program->Run(data).value();
+  EXPECT_DOUBLE_EQ(flat[0], 1.25);
+  EXPECT_DOUBLE_EQ(flat[1], 2.5);
+  EXPECT_DOUBLE_EQ(flat[2], 2.5);  // symmetric
+  EXPECT_DOUBLE_EQ(flat[3], 5.0);
+}
+
+TEST(CovarianceMatrixTest, DiagonalMatchesVariance) {
+  Rng rng(1);
+  std::vector<Row> rows;
+  for (int i = 0; i < 3000; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 2.0), rng.Gaussian(0.0, 1.0)});
+  }
+  Dataset data = Dataset::Create(std::move(rows)).value();
+  Row flat = CovarianceMatrixQuery({0, 1})()->Run(data).value();
+  EXPECT_NEAR(flat[0], 4.0, 0.4);
+  EXPECT_NEAR(flat[3], 1.0, 0.1);
+  EXPECT_NEAR(flat[1], 0.0, 0.15);  // independent columns
+}
+
+TEST(CovarianceMatrixTest, SingleDimIsVariance) {
+  Dataset data = Dataset::FromColumn({2.0, 4.0}).value();
+  Row flat = CovarianceMatrixQuery({0})()->Run(data).value();
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_DOUBLE_EQ(flat[0], 1.0);
+}
+
+TEST(CovarianceMatrixTest, RejectsBadDims) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  EXPECT_FALSE(CovarianceMatrixQuery({0, 5})()->Run(data).ok());
+  EXPECT_FALSE(CovarianceMatrixQuery({})()->Run(data).ok());
+}
+
+Dataset StumpData(std::size_t n, std::uint64_t seed) {
+  // Feature 0 is noise; feature 1 separates the classes at 5.0.
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool label = rng.Bernoulli(0.5);
+    double informative = label ? rng.Gaussian(7.0, 0.8) : rng.Gaussian(3.0, 0.8);
+    rows.push_back({rng.Gaussian(0.0, 1.0), informative, label ? 1.0 : 0.0});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+TEST(DecisionStumpTest, FindsInformativeFeatureAndThreshold) {
+  Dataset data = StumpData(1000, 2);
+  Row stump = DecisionStumpQuery({0, 1}, 2)()->Run(data).value();
+  ASSERT_EQ(stump.size(), 3u);
+  EXPECT_DOUBLE_EQ(stump[0], 1.0);       // picked the informative feature
+  EXPECT_NEAR(stump[1], 5.0, 1.0);       // threshold near the class boundary
+  EXPECT_DOUBLE_EQ(stump[2], 1.0);       // high values => class 1
+}
+
+TEST(DecisionStumpTest, InvertedPolarityDetected) {
+  // Class 1 sits BELOW the threshold: the stump must flip polarity.
+  Rng rng(3);
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) {
+    bool label = rng.Bernoulli(0.5);
+    rows.push_back({label ? rng.Gaussian(3.0, 0.5) : rng.Gaussian(7.0, 0.5),
+                    label ? 1.0 : 0.0});
+  }
+  Dataset data = Dataset::Create(std::move(rows)).value();
+  Row stump = DecisionStumpQuery({0}, 1)()->Run(data).value();
+  EXPECT_DOUBLE_EQ(stump[2], -1.0);
+}
+
+TEST(DecisionStumpTest, RejectsBadDims) {
+  Dataset data = StumpData(10, 4);
+  EXPECT_FALSE(DecisionStumpQuery({}, 2)()->Run(data).ok());
+  EXPECT_FALSE(DecisionStumpQuery({9}, 2)()->Run(data).ok());
+  EXPECT_FALSE(DecisionStumpQuery({0}, 9)()->Run(data).ok());
+}
+
+TEST(DecisionStumpTest, BlockStumpsAgreeOnThreshold) {
+  // SAF premise: independent blocks recover ~the same stump, so averaging
+  // the threshold is meaningful.
+  Dataset data = StumpData(4000, 5);
+  auto factory = DecisionStumpQuery({0, 1}, 2);
+  double threshold_sum = 0.0;
+  const std::size_t blocks = 20, rows = 200;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < rows; ++i) idx.push_back(b * rows + i);
+    Row stump = factory()->Run(data.Subset(idx).value()).value();
+    EXPECT_DOUBLE_EQ(stump[0], 1.0) << "block " << b;
+    threshold_sum += stump[1];
+  }
+  EXPECT_NEAR(threshold_sum / blocks, 5.0, 0.6);
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

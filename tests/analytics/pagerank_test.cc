@@ -1,0 +1,114 @@
+#include "analytics/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/gupt.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+Dataset Edges(std::vector<std::pair<double, double>> pairs) {
+  std::vector<Row> rows;
+  for (auto [s, d] : pairs) rows.push_back({s, d});
+  return Dataset::Create(std::move(rows)).value();
+}
+
+PageRankOptions Nodes(std::size_t n) {
+  PageRankOptions opts;
+  opts.num_nodes = n;
+  return opts;
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  Dataset edges = Edges({{0, 1}, {1, 2}, {2, 0}});
+  Row scores = ComputePageRank(edges, Nodes(3)).value();
+  double total = 0.0;
+  for (double s : scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  Dataset edges = Edges({{0, 1}, {1, 2}, {2, 0}});
+  Row scores = ComputePageRank(edges, Nodes(3)).value();
+  for (double s : scores) EXPECT_NEAR(s, 1.0 / 3.0, 1e-9);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  // Everyone links to node 0.
+  Dataset edges = Edges({{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  Row scores = ComputePageRank(edges, Nodes(5)).value();
+  for (std::size_t v = 1; v < 5; ++v) {
+    EXPECT_GT(scores[0], 2.0 * scores[v]);
+  }
+}
+
+TEST(PageRankTest, DanglingNodesDistributeMass) {
+  // Node 1 has no out-edges: its mass must not vanish.
+  Dataset edges = Edges({{0, 1}});
+  Row scores = ComputePageRank(edges, Nodes(2)).value();
+  double total = scores[0] + scores[1];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(scores[1], scores[0]);  // 1 receives from 0 plus teleport
+}
+
+TEST(PageRankTest, ZeroDampingIsUniformTeleport) {
+  Dataset edges = Edges({{0, 1}, {1, 0}});
+  PageRankOptions opts = Nodes(4);
+  opts.damping = 0.0;
+  Row scores = ComputePageRank(edges, opts).value();
+  for (double s : scores) EXPECT_NEAR(s, 0.25, 1e-12);
+}
+
+TEST(PageRankTest, RejectsBadInputs) {
+  EXPECT_FALSE(ComputePageRank(Edges({{0, 1}}), Nodes(0)).ok());
+  EXPECT_FALSE(ComputePageRank(Edges({{0, 9}}), Nodes(3)).ok());   // range
+  EXPECT_FALSE(ComputePageRank(Edges({{0.5, 1}}), Nodes(3)).ok()); // not id
+  PageRankOptions bad = Nodes(3);
+  bad.damping = 1.0;
+  EXPECT_FALSE(ComputePageRank(Edges({{0, 1}}), bad).ok());
+  Dataset one_col = Dataset::FromColumn({0.0}).value();
+  EXPECT_FALSE(ComputePageRank(one_col, Nodes(3)).ok());
+}
+
+TEST(PageRankTest, PrivatePageRankThroughGupt) {
+  // The §7.1.2 story end to end: PageRank runs to convergence inside each
+  // block and GUPT noises only the final score vector.
+  Rng rng(8);
+  std::vector<Row> rows;
+  const std::size_t n_nodes = 8;
+  // A hub-and-spoke graph: node 0 is heavily cited.
+  for (int i = 0; i < 6000; ++i) {
+    double src = 1.0 + static_cast<double>(rng.UniformUint64(n_nodes - 1));
+    double dst = rng.Bernoulli(0.7)
+                     ? 0.0
+                     : 1.0 + static_cast<double>(rng.UniformUint64(n_nodes - 1));
+    rows.push_back({src, dst});
+  }
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 100.0;
+  ASSERT_TRUE(
+      manager.Register("web", Dataset::Create(std::move(rows)).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  QuerySpec spec;
+  spec.program = PageRankQuery(Nodes(n_nodes));
+  spec.epsilon = 8.0;
+  spec.accounting = BudgetAccounting::kPerDimension;
+  spec.range = OutputRangeSpec::Tight(
+      std::vector<Range>(n_nodes, Range{0.0, 1.0}));
+  auto report = runtime.Execute("web", spec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->output.size(), n_nodes);
+  // The hub's private score dominates every spoke's.
+  for (std::size_t v = 1; v < n_nodes; ++v) {
+    EXPECT_GT(report->output[0], report->output[v]);
+  }
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,123 @@
+#include "analytics/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace analytics {
+namespace {
+
+// Data stretched along `direction` (unit vector) with cross-variance 0.1.
+Dataset Stretched(const Row& direction, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  const std::size_t d = direction.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double along = rng.Gaussian(0.0, 3.0);
+    Row row(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      row[j] = along * direction[j] + rng.Gaussian(0.0, 0.1);
+    }
+    rows.push_back(std::move(row));
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+PcaOptions Dims(std::initializer_list<std::size_t> dims) {
+  PcaOptions opts;
+  opts.feature_dims = dims;
+  return opts;
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  Row direction = {0.6, 0.8};
+  Dataset data = Stretched(direction, 2000, 1);
+  auto result = ComputeTopComponent(data, Dims({0, 1}));
+  ASSERT_TRUE(result.ok());
+  double alignment = std::fabs(vec::Dot(result->component, direction));
+  EXPECT_GT(alignment, 0.999);
+  // Eigenvalue ~ variance along the direction = 9.
+  EXPECT_NEAR(result->eigenvalue, 9.0, 1.0);
+}
+
+TEST(PcaTest, ComponentIsUnitNorm) {
+  Dataset data = Stretched({1.0, 0.0, 0.0}, 500, 2);
+  auto result = ComputeTopComponent(data, Dims({0, 1, 2})).value();
+  EXPECT_NEAR(vec::Norm(result.component), 1.0, 1e-9);
+}
+
+TEST(PcaTest, SignIsCanonical) {
+  // Flip the data: the component must come out identical (eigenvectors are
+  // sign-ambiguous; canonicalisation fixes the largest coordinate > 0).
+  Row direction = {-0.6, 0.8};
+  Dataset data = Stretched(direction, 2000, 3);
+  auto result = ComputeTopComponent(data, Dims({0, 1})).value();
+  std::size_t arg_max = std::fabs(result.component[0]) >
+                                std::fabs(result.component[1])
+                            ? 0
+                            : 1;
+  EXPECT_GT(result.component[arg_max], 0.0);
+}
+
+TEST(PcaTest, BlockComponentsAggregate) {
+  // The SAF premise: per-block components, being sign-canonicalised, agree
+  // and average close to the population component.
+  Row direction = {0.8, 0.6};
+  Dataset data = Stretched(direction, 3000, 4);
+  Row sum(2, 0.0);
+  const std::size_t blocks = 30, rows = 100;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < rows; ++i) idx.push_back(b * rows + i);
+    auto r = ComputeTopComponent(data.Subset(idx).value(), Dims({0, 1}));
+    ASSERT_TRUE(r.ok());
+    vec::AddInPlace(&sum, r->component);
+  }
+  vec::ScaleInPlace(&sum, 1.0 / blocks);
+  double alignment = std::fabs(vec::Dot(sum, direction));
+  EXPECT_GT(alignment, 0.99);
+}
+
+TEST(PcaTest, DefaultDimsUseAllColumns) {
+  Dataset data = Stretched({0.0, 1.0}, 500, 5);
+  PcaOptions opts;  // empty feature_dims
+  auto result = ComputeTopComponent(data, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->component.size(), 2u);
+}
+
+TEST(PcaTest, ConstantDataYieldsZeroEigenvalue) {
+  Dataset data = Dataset::Create({{1.0, 2.0}, {1.0, 2.0}, {1.0, 2.0}}).value();
+  auto result = ComputeTopComponent(data, Dims({0, 1}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->eigenvalue, 0.0);
+}
+
+TEST(PcaTest, RejectsBadInputs) {
+  Dataset one_row = Dataset::Create({{1.0, 2.0}}).value();
+  EXPECT_FALSE(ComputeTopComponent(one_row, Dims({0, 1})).ok());
+  Dataset data = Stretched({1.0, 0.0}, 10, 6);
+  EXPECT_FALSE(ComputeTopComponent(data, Dims({0, 7})).ok());
+}
+
+TEST(TopComponentQueryTest, ProgramShape) {
+  auto program = TopComponentQuery(Dims({0, 1}))();
+  EXPECT_EQ(program->output_dims(), 2u);
+  Dataset data = Stretched({0.6, 0.8}, 300, 7);
+  Row out = program->Run(data).value();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(TopComponentQueryTest, RequiresExplicitDims) {
+  PcaOptions opts;  // empty dims: factory cannot know the output arity
+  auto program = TopComponentQuery(opts)();
+  Dataset data = Stretched({1.0, 0.0}, 50, 8);
+  EXPECT_FALSE(program->Run(data).ok());
+}
+
+}  // namespace
+}  // namespace analytics
+}  // namespace gupt

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans.h"
+#include "baselines/airavat.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace baselines {
+namespace {
+
+Dataset TwoClusters(std::size_t per_cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    rows.push_back({rng.Gaussian(2.0, 0.3), rng.Gaussian(2.0, 0.3)});
+    rows.push_back({rng.Gaussian(8.0, 0.3), rng.Gaussian(8.0, 0.3)});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+AiravatKMeansOptions Defaults() {
+  AiravatKMeansOptions opts;
+  opts.k = 2;
+  opts.iterations = 10;
+  opts.total_epsilon = 100.0;
+  opts.feature_dims = {0, 1};
+  opts.feature_ranges = {Range{0.0, 10.0}, Range{0.0, 10.0}};
+  return opts;
+}
+
+TEST(AiravatKMeansTest, RecoversClustersWithGenerousBudget) {
+  Dataset data = TwoClusters(800, 1);
+  dp::PrivacyAccountant acc(1e6);
+  Rng rng(2);
+  auto opts = Defaults();
+  opts.total_epsilon = 1000.0;
+  auto centers = AiravatKMeans(data, opts, &acc, &rng);
+  ASSERT_TRUE(centers.ok());
+  ASSERT_EQ(centers->size(), 2u);
+  EXPECT_NEAR((*centers)[0][0], 2.0, 0.5);
+  EXPECT_NEAR((*centers)[1][0], 8.0, 0.5);
+}
+
+TEST(AiravatKMeansTest, ChargesOneJobPerIteration) {
+  Dataset data = TwoClusters(100, 3);
+  dp::PrivacyAccountant acc(100.0);
+  Rng rng(4);
+  auto opts = Defaults();
+  opts.iterations = 7;
+  opts.total_epsilon = 7.0;
+  ASSERT_TRUE(AiravatKMeans(data, opts, &acc, &rng).ok());
+  EXPECT_NEAR(acc.spent_epsilon(), 7.0, 1e-9);
+  EXPECT_EQ(acc.num_charges(), 7u);
+}
+
+TEST(AiravatKMeansTest, IterationSplittingDegradesAccuracy) {
+  // Airavat pays the same per-iteration budget tax as PINQ (§7.3), and on
+  // top of it the single declared value range inflates the sensitivity by
+  // the emission count.
+  Dataset data = TwoClusters(600, 5);
+  auto icv_at = [&](std::size_t iterations, std::uint64_t seed) {
+    dp::PrivacyAccountant acc(1e7);
+    Rng rng(seed);
+    auto opts = Defaults();
+    opts.iterations = iterations;
+    opts.total_epsilon = 20.0;
+    double sum = 0.0;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+      auto centers = AiravatKMeans(data, opts, &acc, &rng).value();
+      sum += analytics::IntraClusterVariance(data, centers, {0, 1}).value();
+    }
+    return sum / trials;
+  };
+  EXPECT_LT(icv_at(8, 6), icv_at(160, 7));
+}
+
+TEST(AiravatKMeansTest, BudgetExhaustionAbortsMidRun) {
+  Dataset data = TwoClusters(50, 8);
+  dp::PrivacyAccountant acc(1.0);
+  Rng rng(9);
+  auto opts = Defaults();
+  opts.iterations = 10;
+  opts.total_epsilon = 2.0;  // cannot fit in the 1.0 ledger
+  auto centers = AiravatKMeans(data, opts, &acc, &rng);
+  ASSERT_FALSE(centers.ok());
+  EXPECT_EQ(centers.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(AiravatKMeansTest, RejectsBadOptions) {
+  Dataset data = TwoClusters(20, 10);
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(11);
+  auto opts = Defaults();
+
+  auto bad = opts;
+  bad.k = 0;
+  EXPECT_FALSE(AiravatKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.iterations = 0;
+  EXPECT_FALSE(AiravatKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.feature_ranges.pop_back();
+  EXPECT_FALSE(AiravatKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.total_epsilon = 0.0;
+  EXPECT_FALSE(AiravatKMeans(data, bad, &acc, &rng).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gupt

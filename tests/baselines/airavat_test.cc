@@ -1,0 +1,180 @@
+#include "baselines/airavat.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace baselines {
+namespace {
+
+AiravatJob CountByThreshold(double threshold) {
+  AiravatJob job;
+  job.mapper = [threshold](const Row& row) {
+    std::vector<std::pair<std::size_t, double>> out;
+    out.emplace_back(row[0] > threshold ? 1u : 0u, 1.0);
+    return out;
+  };
+  job.reducer = AiravatReducer::kSum;
+  job.num_keys = 2;
+  job.value_range = Range{0.0, 1.0};
+  job.max_emissions_per_record = 1;
+  job.epsilon = 5.0;
+  return job;
+}
+
+TEST(AiravatTest, SumReducerCentered) {
+  Dataset data = Dataset::FromColumn({1.0, 2.0, 3.0, 4.0}).value();
+  dp::PrivacyAccountant acc(10000.0);
+  Rng rng(1);
+  AiravatJob job = CountByThreshold(2.5);
+  double below = 0.0, above = 0.0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    auto result = RunAiravatJob(data, job, &acc, &rng).value();
+    below += result.values[0];
+    above += result.values[1];
+  }
+  EXPECT_NEAR(below / trials, 2.0, 0.2);
+  EXPECT_NEAR(above / trials, 2.0, 0.2);
+}
+
+TEST(AiravatTest, ChargesBudgetUpFront) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(6.0);
+  Rng rng(2);
+  ASSERT_TRUE(RunAiravatJob(data, CountByThreshold(0.0), &acc, &rng).ok());
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 5.0);
+  // Second job exceeds the remaining 1.0.
+  auto second = RunAiravatJob(data, CountByThreshold(0.0), &acc, &rng);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(AiravatTest, LyingMapperIsClampedNotTrusted) {
+  // Mapper emits a huge value; enforcement clamps it to the declared range
+  // so the released sum stays near the clamped truth.
+  AiravatJob job;
+  job.mapper = [](const Row&) {
+    return std::vector<std::pair<std::size_t, double>>{{0u, 1e9}};
+  };
+  job.num_keys = 1;
+  job.value_range = Range{0.0, 1.0};
+  job.epsilon = 10.0;
+  Dataset data = Dataset::FromColumn({1.0, 1.0, 1.0}).value();
+  dp::PrivacyAccountant acc(1e6);
+  Rng rng(3);
+  double sum = 0.0;
+  const int trials = 200;
+  std::size_t enforcement = 0;
+  for (int i = 0; i < trials; ++i) {
+    auto result = RunAiravatJob(data, job, &acc, &rng).value();
+    sum += result.values[0];
+    enforcement = result.enforcement_actions;
+  }
+  EXPECT_NEAR(sum / trials, 3.0, 0.2);  // clamped to 1.0 per record
+  EXPECT_EQ(enforcement, 3u);
+}
+
+TEST(AiravatTest, ExcessEmissionsAreDropped) {
+  AiravatJob job;
+  job.mapper = [](const Row&) {
+    return std::vector<std::pair<std::size_t, double>>{
+        {0u, 1.0}, {0u, 1.0}, {0u, 1.0}};
+  };
+  job.num_keys = 1;
+  job.value_range = Range{0.0, 1.0};
+  job.max_emissions_per_record = 1;
+  job.epsilon = 20.0;
+  Dataset data = Dataset::FromColumn({1.0, 1.0}).value();
+  dp::PrivacyAccountant acc(1e6);
+  Rng rng(4);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto result = RunAiravatJob(data, job, &acc, &rng).value();
+    sum += result.values[0];
+    EXPECT_EQ(result.enforcement_actions, 4u);  // 2 dropped per record
+  }
+  EXPECT_NEAR(sum / trials, 2.0, 0.2);
+}
+
+TEST(AiravatTest, EmissionToUndeclaredKeyIsDropped) {
+  AiravatJob job;
+  job.mapper = [](const Row&) {
+    return std::vector<std::pair<std::size_t, double>>{{7u, 1.0}};
+  };
+  job.num_keys = 2;
+  job.value_range = Range{0.0, 1.0};
+  job.epsilon = 20.0;
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(5);
+  auto result = RunAiravatJob(data, job, &acc, &rng).value();
+  EXPECT_EQ(result.enforcement_actions, 1u);
+}
+
+TEST(AiravatTest, CountReducer) {
+  AiravatJob job = CountByThreshold(2.5);
+  job.reducer = AiravatReducer::kCount;
+  job.epsilon = 20.0;
+  Dataset data = Dataset::FromColumn({1.0, 2.0, 3.0, 4.0, 5.0}).value();
+  dp::PrivacyAccountant acc(100000.0);
+  Rng rng(6);
+  double count_above = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    count_above += RunAiravatJob(data, job, &acc, &rng).value().values[1];
+  }
+  EXPECT_NEAR(count_above / trials, 3.0, 0.2);
+}
+
+TEST(AiravatTest, MeanReducer) {
+  AiravatJob job;
+  job.mapper = [](const Row& row) {
+    return std::vector<std::pair<std::size_t, double>>{{0u, row[0]}};
+  };
+  job.reducer = AiravatReducer::kMean;
+  job.num_keys = 1;
+  job.value_range = Range{0.0, 10.0};
+  job.epsilon = 20.0;
+  Dataset data =
+      Dataset::FromColumn(std::vector<double>(200, 4.0)).value();
+  dp::PrivacyAccountant acc(100000.0);
+  Rng rng(7);
+  double sum = 0.0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    sum += RunAiravatJob(data, job, &acc, &rng).value().values[0];
+  }
+  EXPECT_NEAR(sum / trials, 4.0, 0.3);
+}
+
+TEST(AiravatTest, RejectsBadJobs) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(8);
+  AiravatJob job = CountByThreshold(0.0);
+
+  AiravatJob bad = job;
+  bad.mapper = nullptr;
+  EXPECT_FALSE(RunAiravatJob(data, bad, &acc, &rng).ok());
+  bad = job;
+  bad.num_keys = 0;
+  EXPECT_FALSE(RunAiravatJob(data, bad, &acc, &rng).ok());
+  bad = job;
+  bad.value_range = Range{1.0, 0.0};
+  EXPECT_FALSE(RunAiravatJob(data, bad, &acc, &rng).ok());
+  bad = job;
+  bad.max_emissions_per_record = 0;
+  EXPECT_FALSE(RunAiravatJob(data, bad, &acc, &rng).ok());
+  bad = job;
+  bad.epsilon = 0.0;
+  EXPECT_FALSE(RunAiravatJob(data, bad, &acc, &rng).ok());
+  // None of the rejected jobs charged the ledger.
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gupt

@@ -1,0 +1,30 @@
+#include "baselines/nonprivate.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+
+namespace gupt {
+namespace baselines {
+namespace {
+
+TEST(NonPrivateTest, RunsProgramOnWholeDataset) {
+  Dataset data = Dataset::FromColumn({2.0, 4.0, 6.0}).value();
+  auto out = RunNonPrivate(analytics::MeanQuery(0), data);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (Row{4.0}));
+}
+
+TEST(NonPrivateTest, PropagatesProgramErrors) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  EXPECT_FALSE(RunNonPrivate(analytics::MeanQuery(5), data).ok());
+}
+
+TEST(NonPrivateTest, RejectsNullFactory) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  EXPECT_FALSE(RunNonPrivate(ProgramFactory{}, data).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gupt

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "analytics/logistic_regression.h"
+#include "baselines/pinq.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace baselines {
+namespace {
+
+Dataset Separable(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    double x0 = rng.Gaussian();
+    double x1 = rng.Gaussian();
+    rows.push_back({x0, x1, (x0 + x1 > 0.0) ? 1.0 : 0.0});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+PinqLogisticRegressionOptions Defaults() {
+  PinqLogisticRegressionOptions opts;
+  opts.feature_dims = {0, 1};
+  opts.label_dim = 2;
+  opts.iterations = 25;
+  opts.total_epsilon = 10.0;
+  opts.feature_bound = 3.0;
+  return opts;
+}
+
+double AccuracyOf(const Row& weights, const Dataset& data) {
+  analytics::LogisticModel model;
+  model.weights = weights;
+  analytics::LogisticRegressionOptions lr;
+  lr.feature_dims = {0, 1};
+  lr.label_dim = 2;
+  return analytics::ClassificationAccuracy(data, model, lr).value();
+}
+
+TEST(PinqLogRegTest, LearnsWithGenerousBudget) {
+  Dataset data = Separable(5000, 1);
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(2);
+  auto opts = Defaults();
+  opts.total_epsilon = 500.0;
+  auto weights = PinqLogisticRegression(data, opts, &acc, &rng);
+  ASSERT_TRUE(weights.ok());
+  EXPECT_GT(AccuracyOf(*weights, data), 0.95);
+}
+
+TEST(PinqLogRegTest, ChargesExactlyTotal) {
+  Dataset data = Separable(500, 3);
+  dp::PrivacyAccountant acc(100.0);
+  Rng rng(4);
+  auto opts = Defaults();
+  opts.total_epsilon = 5.0;
+  ASSERT_TRUE(PinqLogisticRegression(data, opts, &acc, &rng).ok());
+  EXPECT_NEAR(acc.spent_epsilon(), 5.0, 1e-9);
+  // (d + 1) charges per iteration.
+  EXPECT_EQ(acc.num_charges(), opts.iterations * 3);
+}
+
+TEST(PinqLogRegTest, BudgetExhaustionPropagates) {
+  Dataset data = Separable(100, 5);
+  dp::PrivacyAccountant acc(1.0);
+  Rng rng(6);
+  auto opts = Defaults();
+  opts.total_epsilon = 5.0;  // more than the ledger holds
+  auto weights = PinqLogisticRegression(data, opts, &acc, &rng);
+  ASSERT_FALSE(weights.ok());
+  EXPECT_EQ(weights.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(PinqLogRegTest, OverDeclaredIterationsHurt) {
+  // The Fig. 5 failure mode on a different algorithm: the same total
+  // budget split over 10x the iterations drowns each gradient in noise.
+  Dataset data = Separable(4000, 7);
+  auto accuracy_at = [&](std::size_t iterations, std::uint64_t seed) {
+    dp::PrivacyAccountant acc(1e6);
+    Rng rng(seed);
+    auto opts = Defaults();
+    opts.iterations = iterations;
+    opts.total_epsilon = 2.0;
+    double sum = 0.0;
+    const int trials = 5;
+    for (int t = 0; t < trials; ++t) {
+      sum += AccuracyOf(
+          PinqLogisticRegression(data, opts, &acc, &rng).value(), data);
+    }
+    return sum / trials;
+  };
+  EXPECT_GT(accuracy_at(10, 8), accuracy_at(300, 9) + 0.03);
+}
+
+TEST(PinqLogRegTest, RejectsBadOptions) {
+  Dataset data = Separable(50, 10);
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(11);
+  auto opts = Defaults();
+
+  auto bad = opts;
+  bad.feature_dims = {};
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.feature_dims = {0, 9};
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.label_dim = 9;
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.iterations = 0;
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.total_epsilon = 0.0;
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.feature_bound = 0.0;
+  EXPECT_FALSE(PinqLogisticRegression(data, bad, &acc, &rng).ok());
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gupt

@@ -1,0 +1,244 @@
+#include "baselines/pinq.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace baselines {
+namespace {
+
+Dataset TwoClusters(std::size_t per_cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    rows.push_back({rng.Gaussian(2.0, 0.3), rng.Gaussian(2.0, 0.3)});
+    rows.push_back({rng.Gaussian(8.0, 0.3), rng.Gaussian(8.0, 0.3)});
+  }
+  return Dataset::Create(std::move(rows)).value();
+}
+
+TEST(PinqQueryableTest, NoisyCountChargesAndIsCentered) {
+  Dataset data = Dataset::FromColumn(std::vector<double>(500, 1.0)).value();
+  dp::PrivacyAccountant acc(100.0);
+  Rng rng(1);
+  PinqQueryable q(&data, &acc, &rng);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    sum += q.NoisyCount(0.5).value();
+  }
+  EXPECT_NEAR(sum / trials, 500.0, 1.0);
+  EXPECT_NEAR(acc.spent_epsilon(), 100.0, 1e-9);
+}
+
+TEST(PinqQueryableTest, BudgetExhaustionStopsQueries) {
+  Dataset data = Dataset::FromColumn({1.0, 2.0}).value();
+  dp::PrivacyAccountant acc(1.0);
+  Rng rng(2);
+  PinqQueryable q(&data, &acc, &rng);
+  ASSERT_TRUE(q.NoisyCount(0.8).ok());
+  auto second = q.NoisyCount(0.8);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(PinqQueryableTest, NoisyAverageClampsToRange) {
+  Dataset data = Dataset::FromColumn({-100.0, 100.0}).value();
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(3);
+  PinqQueryable q(&data, &acc, &rng);
+  double sum = 0.0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    sum += q.NoisyAverage(0, Range{0.0, 1.0}, 1.0).value();
+  }
+  // Clamped values are {0, 1}: average 0.5.
+  EXPECT_NEAR(sum / trials, 0.5, 0.1);
+}
+
+TEST(PinqQueryableTest, NoisySumIsCentered) {
+  Dataset data = Dataset::FromColumn({1.0, 2.0, 3.0}).value();
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(4);
+  PinqQueryable q(&data, &acc, &rng);
+  double sum = 0.0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    sum += q.NoisySum(0, Range{0.0, 5.0}, 2.0).value();
+  }
+  EXPECT_NEAR(sum / trials, 6.0, 0.5);
+}
+
+TEST(PinqQueryableTest, ColumnOutOfRangeErrors) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(5);
+  PinqQueryable q(&data, &acc, &rng);
+  EXPECT_FALSE(q.NoisyAverage(3, Range{0.0, 1.0}, 1.0).ok());
+  EXPECT_FALSE(q.NoisySum(3, Range{0.0, 1.0}, 1.0).ok());
+}
+
+TEST(PinqQueryableTest, PartitionSplitsDisjointly) {
+  Dataset data = Dataset::FromColumn({1.0, 2.0, 3.0, 4.0, 5.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(6);
+  PinqQueryable q(&data, &acc, &rng);
+  auto parts = q.Partition(
+      [](const Row& row) { return row[0] > 2.5 ? 1u : 0u; }, 2);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[0].size(), 2u);
+  EXPECT_EQ((*parts)[1].size(), 3u);
+}
+
+TEST(PinqQueryableTest, PartitionKeyOutOfRangeErrors) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(7);
+  PinqQueryable q(&data, &acc, &rng);
+  EXPECT_FALSE(q.Partition([](const Row&) { return 5u; }, 2).ok());
+}
+
+TEST(PinqQueryableTest, ParallelCompositionChargesOnce) {
+  Dataset data = Dataset::FromColumn({1.0, 2.0, 3.0, 4.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(8);
+  PinqQueryable q(&data, &acc, &rng);
+  auto parts =
+      q.Partition([](const Row& row) { return row[0] > 2.5 ? 1u : 0u; }, 2);
+  ASSERT_TRUE(parts.ok());
+  auto counts = PinqQueryable::RunOnParts(
+      &*parts, 0.5, "count",
+      [](PinqQueryable* part, double eps) { return part->NoisyCount(eps); });
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->size(), 2u);
+  // One charge of 0.5 for both parts — not 1.0.
+  EXPECT_NEAR(acc.spent_epsilon(), 0.5, 1e-9);
+  EXPECT_EQ(acc.num_charges(), 1u);
+}
+
+TEST(PinqQueryableTest, ExponentialChoicePicksHighScorer) {
+  // Records vote for bucket 0 below 5.0 and bucket 1 above; most records
+  // are above, so the mechanism should pick bucket 1 nearly always.
+  Dataset data = Dataset::FromColumn(
+                     {1.0, 6.0, 7.0, 8.0, 9.0, 6.5, 7.5, 8.5}).value();
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(20);
+  PinqQueryable q(&data, &acc, &rng);
+  auto scorer = [](const Row& row) {
+    return row[0] < 5.0 ? std::vector<double>{1.0, 0.0}
+                        : std::vector<double>{0.0, 1.0};
+  };
+  int bucket1 = 0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto choice = q.ExponentialChoice(scorer, 2, 1.0, 2.0);
+    ASSERT_TRUE(choice.ok());
+    if (choice.value() == 1) ++bucket1;
+  }
+  EXPECT_GT(bucket1, trials * 9 / 10);
+  EXPECT_NEAR(acc.spent_epsilon(), 2.0 * trials, 1e-6);
+}
+
+TEST(PinqQueryableTest, ExponentialChoiceValidatesArguments) {
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(21);
+  PinqQueryable q(&data, &acc, &rng);
+  EXPECT_FALSE(q.ExponentialChoice(nullptr, 2, 1.0, 1.0).ok());
+  auto scorer = [](const Row&) { return std::vector<double>{1.0}; };
+  EXPECT_FALSE(q.ExponentialChoice(scorer, 0, 1.0, 1.0).ok());
+  EXPECT_FALSE(q.ExponentialChoice(scorer, 2, 1.0, 1.0).ok());  // arity
+}
+
+TEST(PinqKMeansTest, RecoversClustersWithGenerousBudget) {
+  Dataset data = TwoClusters(500, 9);
+  dp::PrivacyAccountant acc(1000.0);
+  Rng rng(10);
+  PinqKMeansOptions opts;
+  opts.k = 2;
+  opts.iterations = 10;
+  opts.total_epsilon = 500.0;  // effectively non-private
+  opts.feature_dims = {0, 1};
+  opts.feature_ranges = {Range{0.0, 10.0}, Range{0.0, 10.0}};
+  auto centers = PinqKMeans(data, opts, &acc, &rng);
+  ASSERT_TRUE(centers.ok());
+  ASSERT_EQ(centers->size(), 2u);
+  EXPECT_NEAR((*centers)[0][0], 2.0, 0.5);
+  EXPECT_NEAR((*centers)[1][0], 8.0, 0.5);
+  EXPECT_NEAR(acc.spent_epsilon(), 500.0, 1e-6);
+}
+
+TEST(PinqKMeansTest, ChargesExactlyTotalEpsilon) {
+  Dataset data = TwoClusters(100, 11);
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(12);
+  PinqKMeansOptions opts;
+  opts.k = 2;
+  opts.iterations = 7;
+  opts.total_epsilon = 2.0;
+  opts.feature_dims = {0, 1};
+  opts.feature_ranges = {Range{0.0, 10.0}, Range{0.0, 10.0}};
+  ASSERT_TRUE(PinqKMeans(data, opts, &acc, &rng).ok());
+  EXPECT_NEAR(acc.spent_epsilon(), 2.0, 1e-9);
+  // Per iteration: 1 count charge + 2 per-dim sum charges = 21 charges.
+  EXPECT_EQ(acc.num_charges(), 21u);
+}
+
+TEST(PinqKMeansTest, OverDeclaredIterationsHurtAccuracy) {
+  // Fig. 5's phenomenon: same budget, more declared iterations => more
+  // noise per iteration => worse clusters.
+  Dataset data = TwoClusters(400, 13);
+  auto icv_for_iterations = [&](std::size_t iterations, std::uint64_t seed) {
+    dp::PrivacyAccountant acc(1e6);
+    Rng rng(seed);
+    PinqKMeansOptions opts;
+    opts.k = 2;
+    opts.iterations = iterations;
+    opts.total_epsilon = 2.0;
+    opts.feature_dims = {0, 1};
+    opts.feature_ranges = {Range{0.0, 10.0}, Range{0.0, 10.0}};
+    double icv_sum = 0.0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      auto centers = PinqKMeans(data, opts, &acc, &rng).value();
+      icv_sum +=
+          analytics::IntraClusterVariance(data, centers, {0, 1}).value();
+    }
+    return icv_sum / trials;
+  };
+  EXPECT_LT(icv_for_iterations(10, 14), icv_for_iterations(200, 15));
+}
+
+TEST(PinqKMeansTest, RejectsBadOptions) {
+  Dataset data = TwoClusters(10, 16);
+  dp::PrivacyAccountant acc(10.0);
+  Rng rng(17);
+  PinqKMeansOptions opts;
+  opts.k = 2;
+  opts.iterations = 5;
+  opts.total_epsilon = 1.0;
+  opts.feature_dims = {0, 1};
+  opts.feature_ranges = {Range{0.0, 10.0}, Range{0.0, 10.0}};
+
+  PinqKMeansOptions bad = opts;
+  bad.k = 0;
+  EXPECT_FALSE(PinqKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.iterations = 0;
+  EXPECT_FALSE(PinqKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.feature_ranges.pop_back();
+  EXPECT_FALSE(PinqKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.total_epsilon = 0.0;
+  EXPECT_FALSE(PinqKMeans(data, bad, &acc, &rng).ok());
+  bad = opts;
+  bad.count_fraction = 1.0;
+  EXPECT_FALSE(PinqKMeans(data, bad, &acc, &rng).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gupt

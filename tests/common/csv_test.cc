@@ -1,0 +1,103 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gupt {
+namespace {
+
+TEST(CsvTest, ParsesRowsWithoutHeader) {
+  auto table = csv::Parse("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->column_names.empty());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0], (Row{1, 2}));
+  EXPECT_EQ(table->rows[1], (Row{3, 4}));
+}
+
+TEST(CsvTest, ParsesHeader) {
+  auto table = csv::Parse("age,income\n30,1000\n", /*has_header=*/true);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->column_names.size(), 2u);
+  EXPECT_EQ(table->column_names[0], "age");
+  EXPECT_EQ(table->column_names[1], "income");
+  ASSERT_EQ(table->rows.size(), 1u);
+}
+
+TEST(CsvTest, SkipsCommentsAndBlankLines) {
+  auto table = csv::Parse("# comment\n\n1,2\n   \n3,4\n", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, HandlesWhitespaceAroundFields) {
+  auto table = csv::Parse(" 1 , 2 \r\n", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (Row{1, 2}));
+}
+
+TEST(CsvTest, ParsesScientificNotationAndNegatives) {
+  auto table = csv::Parse("-1.5,2e3,0.25\n", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0], (Row{-1.5, 2000.0, 0.25}));
+}
+
+TEST(CsvTest, RejectsMalformedNumber) {
+  auto table = csv::Parse("1,abc\n", false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = csv::Parse("1,2\n3\n", false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsRowNotMatchingHeader) {
+  auto table = csv::Parse("a,b\n1\n", true);
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, RejectsEmptyTrailingField) {
+  auto table = csv::Parse("1,2,\n", false);
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyTable) {
+  auto table = csv::Parse("", false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->rows.empty());
+}
+
+TEST(CsvTest, RoundTripsThroughFormat) {
+  csv::Table table;
+  table.column_names = {"x", "y"};
+  table.rows = {{1.25, -3.0}, {0.0, 42.0}};
+  auto parsed = csv::Parse(csv::Format(table), /*has_header=*/true);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->column_names, table.column_names);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/gupt_csv_test.csv";
+  csv::Table table;
+  table.rows = {{1, 2}, {3, 4}};
+  ASSERT_TRUE(csv::WriteFile(path, table).ok());
+  auto read = csv::ReadFile(path, /*has_header=*/false);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  auto read = csv::ReadFile("/nonexistent/gupt.csv", false);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace gupt

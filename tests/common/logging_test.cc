@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gupt {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Get().set_min_level(LogLevel::kDebug);
+    Logger::Get().set_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+  }
+  void TearDown() override {
+    Logger::Get().set_sink(nullptr);
+    Logger::Get().set_min_level(LogLevel::kWarning);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, CapturesMessageAndLevel) {
+  GUPT_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, FiltersBelowMinLevel) {
+  Logger::Get().set_min_level(LogLevel::kError);
+  GUPT_LOG(kDebug) << "dropped";
+  GUPT_LOG(kWarning) << "dropped too";
+  GUPT_LOG(kError) << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LoggingTest, MinLevelAccessor) {
+  Logger::Get().set_min_level(LogLevel::kInfo);
+  EXPECT_EQ(Logger::Get().min_level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, MultipleMessagesInOrder) {
+  GUPT_LOG(kInfo) << "first";
+  GUPT_LOG(kWarning) << "second";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "first");
+  EXPECT_EQ(captured_[1].second, "second");
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,132 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gupt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::BudgetExhausted("x").code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(Status::PolicyViolation("x").code(), StatusCode::kPolicyViolation);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::ParseError("a"));
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::ParseError("line 3");
+  EXPECT_EQ(os.str(), "ParseError: line 3");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kBudgetExhausted),
+               "BudgetExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kPolicyViolation),
+               "PolicyViolation");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok(7);
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_EQ(ok.value_or(-1), 7);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace macros {
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  GUPT_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::OK();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GUPT_ASSIGN_OR_RETURN(int h, Half(x));
+  GUPT_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+}  // namespace macros
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::Chain(1).ok());
+  EXPECT_EQ(macros::Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = macros::Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(macros::Quarter(6).ok());  // 6/2=3 is odd at the second step
+  EXPECT_FALSE(macros::Quarter(5).ok());
+}
+
+}  // namespace
+}  // namespace gupt

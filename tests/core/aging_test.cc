@@ -1,0 +1,111 @@
+#include "core/aging.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+Dataset UniformColumn(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(rng.UniformDouble(0.0, 10.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+TEST(AgedRunStatsTest, WholeOutputMatchesDirectRun) {
+  Dataset aged = UniformColumn(500, 1);
+  Rng rng(2);
+  auto stats = ComputeAgedRunStats(aged, analytics::MeanQuery(0), 50, &rng);
+  ASSERT_TRUE(stats.ok());
+  double direct = gupt::stats::Mean(aged.Column(0).value());
+  EXPECT_DOUBLE_EQ(stats->whole_output[0], direct);
+}
+
+TEST(AgedRunStatsTest, BlockGeometry) {
+  Dataset aged = UniformColumn(500, 3);
+  Rng rng(4);
+  auto stats = ComputeAgedRunStats(aged, analytics::MeanQuery(0), 50, &rng);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_blocks(), 10u);
+  ASSERT_EQ(stats->block_mean.size(), 1u);
+  ASSERT_EQ(stats->block_variance.size(), 1u);
+}
+
+TEST(AgedRunStatsTest, BlockMeanApproximatesWholeForMeanQuery) {
+  Dataset aged = UniformColumn(1000, 5);
+  Rng rng(6);
+  auto stats = ComputeAgedRunStats(aged, analytics::MeanQuery(0), 100, &rng);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->block_mean[0], stats->whole_output[0], 0.2);
+  EXPECT_GT(stats->block_variance[0], 0.0);
+}
+
+TEST(AgedRunStatsTest, LargerBlocksMeanLowerBlockVariance) {
+  Dataset aged = UniformColumn(2000, 7);
+  Rng rng(8);
+  auto small = ComputeAgedRunStats(aged, analytics::MeanQuery(0), 10, &rng);
+  auto large = ComputeAgedRunStats(aged, analytics::MeanQuery(0), 500, &rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->block_variance[0], large->block_variance[0]);
+}
+
+TEST(AgedRunStatsTest, SkipsFailingBlocksButKeepsGoing) {
+  // A program that fails on blocks whose mean is below 5: some blocks
+  // survive, and the stats come from the survivors.
+  auto picky = MakeProgramFactory(
+      "picky", 1, [](const Dataset& block) -> Result<Row> {
+        GUPT_ASSIGN_OR_RETURN(auto col, block.Column(0));
+        double mean = stats::Mean(col);
+        if (mean < 5.0) return Status::NumericalError("low block");
+        return Row{mean};
+      });
+  Dataset aged = UniformColumn(1000, 9);
+  Rng rng(10);
+  auto result = ComputeAgedRunStats(aged, picky, 5, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->num_blocks(), 200u);
+  EXPECT_GT(result->num_blocks(), 0u);
+  for (const Row& o : result->block_outputs) EXPECT_GE(o[0], 5.0);
+}
+
+TEST(AgedRunStatsTest, AllBlocksFailingIsAnError) {
+  auto always_fails =
+      MakeProgramFactory("fails", 1, [](const Dataset& block) -> Result<Row> {
+        if (block.num_rows() < 100000) {
+          return Status::NumericalError("nope");
+        }
+        return Row{0.0};
+      });
+  Dataset aged = UniformColumn(100, 11);
+  Rng rng(12);
+  // Whole-slice run also fails here, so the error surfaces immediately.
+  EXPECT_FALSE(ComputeAgedRunStats(aged, always_fails, 10, &rng).ok());
+}
+
+TEST(AgedRunStatsTest, RejectsBadArguments) {
+  Dataset aged = UniformColumn(100, 13);
+  Rng rng(14);
+  EXPECT_FALSE(
+      ComputeAgedRunStats(aged, ProgramFactory{}, 10, &rng).ok());
+  EXPECT_FALSE(
+      ComputeAgedRunStats(aged, analytics::MeanQuery(0), 0, &rng).ok());
+  EXPECT_FALSE(
+      ComputeAgedRunStats(aged, analytics::MeanQuery(0), 101, &rng).ok());
+}
+
+TEST(EstimateQueryMagnitudeTest, AbsoluteValueOfOutput) {
+  std::vector<Row> rows = {{-4.0}, {-6.0}};
+  Dataset aged = Dataset::Create(std::move(rows)).value();
+  auto magnitude = EstimateQueryMagnitude(aged, analytics::MeanQuery(0));
+  ASSERT_TRUE(magnitude.ok());
+  EXPECT_DOUBLE_EQ((*magnitude)[0], 5.0);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,143 @@
+#include "core/block_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+Dataset UniformColumn(std::size_t n, double lo, double hi,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(rng.UniformDouble(lo, hi));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+BlockPlannerOptions MeanPlannerOptions(double epsilon) {
+  BlockPlannerOptions opts;
+  opts.epsilon_per_dim = epsilon;
+  opts.range_widths = {1.0};
+  return opts;
+}
+
+TEST(BlockPlannerTest, MeanQueryPrefersTinyBlocks) {
+  // For the mean, SAF's block average is unbiased at any block size, so the
+  // estimation error term is flat and the noise term dominates: the planner
+  // should push towards many blocks (Example 3: optimal size ~1).
+  Dataset aged = UniformColumn(2000, 0.0, 1.0, 1);
+  Rng rng(2);
+  auto choice = PlanBlockSize(aged, /*private_n=*/20000,
+                              analytics::MeanQuery(0),
+                              MeanPlannerOptions(1.0), &rng);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_LE(choice->block_size, 4u);
+  EXPECT_GT(choice->alpha, 0.8);
+}
+
+TEST(BlockPlannerTest, MedianQueryPrefersLargerBlocksAtLowEpsilon) {
+  // The median on tiny blocks is biased on skewed data, so the estimation
+  // term pushes the planner to bigger blocks than the mean would use.
+  Rng data_rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Skewed: exp(N(0,1)), clamped into [0, 10].
+    values.push_back(std::min(10.0, std::exp(data_rng.Gaussian())));
+  }
+  Dataset aged = Dataset::FromColumn(values).value();
+  BlockPlannerOptions opts;
+  opts.epsilon_per_dim = 0.5;  // noisy regime
+  opts.range_widths = {10.0};
+  Rng rng(4);
+  auto mean_choice = PlanBlockSize(aged, 20000, analytics::MeanQuery(0),
+                                   MeanPlannerOptions(0.5), &rng);
+  auto median_choice =
+      PlanBlockSize(aged, 20000, analytics::MedianQuery(0), opts, &rng);
+  ASSERT_TRUE(mean_choice.ok());
+  ASSERT_TRUE(median_choice.ok());
+  EXPECT_GE(median_choice->block_size, mean_choice->block_size);
+}
+
+TEST(BlockPlannerTest, ReportsConsistentGeometry) {
+  Dataset aged = UniformColumn(1000, 0.0, 1.0, 5);
+  Rng rng(6);
+  auto choice = PlanBlockSize(aged, 10000, analytics::MeanQuery(0),
+                              MeanPlannerOptions(2.0), &rng);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_GE(choice->block_size, 1u);
+  EXPECT_LE(choice->block_size, 10000u);
+  EXPECT_EQ(choice->num_blocks, 10000u / choice->block_size);
+  EXPECT_GE(choice->alpha, 0.0);
+  EXPECT_LE(choice->alpha, 1.0);
+  EXPECT_GT(choice->predicted_error, 0.0);
+}
+
+TEST(BlockPlannerTest, AlphaFeasibilityRespectsAgedSize) {
+  // Aged slice of 50 rows, private n = 10000: blocks larger than 50 are
+  // infeasible, i.e. alpha >= 1 - log(50)/log(10000) ~= 0.575.
+  Dataset aged = UniformColumn(50, 0.0, 1.0, 7);
+  Rng rng(8);
+  auto choice = PlanBlockSize(aged, 10000, analytics::MeanQuery(0),
+                              MeanPlannerOptions(1.0), &rng);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_LE(choice->block_size, 50u);
+}
+
+TEST(BlockPlannerTest, RejectsBadArguments) {
+  Dataset aged = UniformColumn(100, 0.0, 1.0, 9);
+  Rng rng(10);
+  auto program = analytics::MeanQuery(0);
+  BlockPlannerOptions opts = MeanPlannerOptions(1.0);
+
+  EXPECT_FALSE(PlanBlockSize(aged, 1, program, opts, &rng).ok());
+
+  BlockPlannerOptions bad_eps = opts;
+  bad_eps.epsilon_per_dim = 0.0;
+  EXPECT_FALSE(PlanBlockSize(aged, 1000, program, bad_eps, &rng).ok());
+
+  BlockPlannerOptions no_widths = opts;
+  no_widths.range_widths.clear();
+  EXPECT_FALSE(PlanBlockSize(aged, 1000, program, no_widths, &rng).ok());
+
+  BlockPlannerOptions one_point = opts;
+  one_point.grid_points = 1;
+  EXPECT_FALSE(PlanBlockSize(aged, 1000, program, one_point, &rng).ok());
+}
+
+TEST(BlockPlannerTest, HigherEpsilonAllowsLargerBlocks) {
+  // With more budget the noise term shrinks, so the planner can afford
+  // fewer, larger blocks (for a query whose estimation error falls with
+  // block size). With the median on skewed data this shows up directly.
+  Rng data_rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(std::min(10.0, std::exp(data_rng.Gaussian())));
+  }
+  Dataset aged = Dataset::FromColumn(values).value();
+  BlockPlannerOptions low = MeanPlannerOptions(0.2);
+  low.range_widths = {10.0};
+  BlockPlannerOptions high = MeanPlannerOptions(20.0);
+  high.range_widths = {10.0};
+  Rng rng(12);
+  auto low_choice =
+      PlanBlockSize(aged, 20000, analytics::MedianQuery(0), low, &rng);
+  auto high_choice =
+      PlanBlockSize(aged, 20000, analytics::MedianQuery(0), high, &rng);
+  ASSERT_TRUE(low_choice.ok());
+  ASSERT_TRUE(high_choice.ok());
+  // At tiny epsilon the noise term dominates and the planner maximises the
+  // number of blocks; at large epsilon estimation error dominates and the
+  // planner grows the blocks.
+  EXPECT_GE(high_choice->block_size, low_choice->block_size);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,87 @@
+#include "core/budget_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace gupt {
+namespace {
+
+TEST(SafZetaTest, Formula) {
+  // sqrt(2) * gamma * width / l.
+  EXPECT_DOUBLE_EQ(SafZeta(10.0, 5, 1), std::sqrt(2.0) * 2.0);
+  EXPECT_DOUBLE_EQ(SafZeta(10.0, 5, 3), std::sqrt(2.0) * 6.0);
+}
+
+TEST(AllocateBudgetTest, ProportionalToZeta) {
+  std::vector<QueryNoiseProfile> profiles = {{"a", 1.0}, {"b", 3.0}};
+  auto eps = AllocateBudget(profiles, 4.0);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ((*eps)[0], 1.0);
+  EXPECT_DOUBLE_EQ((*eps)[1], 3.0);
+}
+
+TEST(AllocateBudgetTest, SumsToTotal) {
+  std::vector<QueryNoiseProfile> profiles = {
+      {"a", 0.7}, {"b", 2.3}, {"c", 11.0}, {"d", 0.01}};
+  auto eps = AllocateBudget(profiles, 2.5);
+  ASSERT_TRUE(eps.ok());
+  double sum = std::accumulate(eps->begin(), eps->end(), 0.0);
+  EXPECT_NEAR(sum, 2.5, 1e-12);
+}
+
+TEST(AllocateBudgetTest, EqualZetasSplitEvenly) {
+  std::vector<QueryNoiseProfile> profiles = {{"a", 2.0}, {"b", 2.0}, {"c", 2.0}};
+  auto eps = AllocateBudget(profiles, 3.0);
+  ASSERT_TRUE(eps.ok());
+  for (double e : *eps) EXPECT_DOUBLE_EQ(e, 1.0);
+}
+
+TEST(AllocateBudgetTest, EveryQueryGetsTheSameNoiseStdDev) {
+  std::vector<QueryNoiseProfile> profiles = {{"a", 0.5}, {"b", 5.0}, {"c", 50.0}};
+  const double total = 2.0;
+  auto eps = AllocateBudget(profiles, total);
+  ASSERT_TRUE(eps.ok());
+  double expected = AllocatedNoiseStdDev(profiles, total).value();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_NEAR(profiles[i].zeta / (*eps)[i], expected, 1e-12);
+  }
+}
+
+// Paper Example 4: for a dataset in [0, max], the variance query is ~max
+// times more sensitive than the average query, so it should get ~max times
+// the budget — a 1 : max split, not 1 : 1.
+TEST(AllocateBudgetTest, Example4AverageVersusVariance) {
+  const double max = 100.0;
+  const std::size_t num_blocks = 50;
+  std::vector<QueryNoiseProfile> profiles = {
+      {"average", SafZeta(max, num_blocks, 1)},
+      {"variance", SafZeta(max * max, num_blocks, 1)},
+  };
+  auto eps = AllocateBudget(profiles, 1.0);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_NEAR((*eps)[1] / (*eps)[0], max, 1e-9);
+}
+
+TEST(AllocateBudgetTest, SingleQueryGetsEverything) {
+  auto eps = AllocateBudget({{"only", 0.42}}, 1.5);
+  ASSERT_TRUE(eps.ok());
+  EXPECT_DOUBLE_EQ((*eps)[0], 1.5);
+}
+
+TEST(AllocateBudgetTest, RejectsBadArguments) {
+  EXPECT_FALSE(AllocateBudget({}, 1.0).ok());
+  EXPECT_FALSE(AllocateBudget({{"a", 1.0}}, 0.0).ok());
+  EXPECT_FALSE(AllocateBudget({{"a", 1.0}}, -2.0).ok());
+  EXPECT_FALSE(AllocateBudget({{"a", 0.0}}, 1.0).ok());
+  EXPECT_FALSE(AllocateBudget({{"a", -1.0}}, 1.0).ok());
+}
+
+TEST(AllocatedNoiseStdDevTest, MatchesSumOverTotal) {
+  std::vector<QueryNoiseProfile> profiles = {{"a", 1.0}, {"b", 2.0}};
+  EXPECT_DOUBLE_EQ(AllocatedNoiseStdDev(profiles, 1.5).value(), 2.0);
+}
+
+}  // namespace
+}  // namespace gupt

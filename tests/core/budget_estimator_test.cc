@@ -1,0 +1,147 @@
+#include "core/budget_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+Dataset AgesLike(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+BudgetEstimatorOptions Goal(double rho, double delta, std::size_t beta,
+                            double width) {
+  BudgetEstimatorOptions opts;
+  opts.goal = AccuracyGoal{rho, delta};
+  opts.block_size = beta;
+  opts.range_width = width;
+  return opts;
+}
+
+TEST(BudgetEstimatorTest, ProducesPositiveEpsilon) {
+  Dataset aged = AgesLike(3000, 1);
+  Rng rng(2);
+  auto estimate = EstimateBudgetForAccuracy(
+      aged, 30000, analytics::MeanQuery(0), Goal(0.9, 0.1, 500, 150.0), &rng);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate->epsilon, 0.0);
+  EXPECT_GT(estimate->target_sigma, 0.0);
+  EXPECT_GE(estimate->estimation_variance, 0.0);
+}
+
+TEST(BudgetEstimatorTest, TighterAccuracyNeedsMoreBudget) {
+  Dataset aged = AgesLike(3000, 3);
+  Rng rng(4);
+  auto loose = EstimateBudgetForAccuracy(aged, 30000, analytics::MeanQuery(0),
+                                         Goal(0.80, 0.1, 500, 150.0), &rng);
+  auto tight = EstimateBudgetForAccuracy(aged, 30000, analytics::MeanQuery(0),
+                                         Goal(0.99, 0.1, 500, 150.0), &rng);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(tight->epsilon, loose->epsilon);
+}
+
+TEST(BudgetEstimatorTest, HigherConfidenceNeedsMoreBudget) {
+  Dataset aged = AgesLike(3000, 5);
+  Rng rng(6);
+  auto low_conf = EstimateBudgetForAccuracy(
+      aged, 30000, analytics::MeanQuery(0), Goal(0.9, 0.3, 500, 150.0), &rng);
+  auto high_conf = EstimateBudgetForAccuracy(
+      aged, 30000, analytics::MeanQuery(0), Goal(0.9, 0.01, 500, 150.0), &rng);
+  ASSERT_TRUE(low_conf.ok());
+  ASSERT_TRUE(high_conf.ok());
+  EXPECT_GT(high_conf->epsilon, low_conf->epsilon);
+}
+
+TEST(BudgetEstimatorTest, SolvedEpsilonActuallyMeetsTheGoal) {
+  // End-to-end check of the conversion: run the private mean with the
+  // solved epsilon many times and verify the accuracy goal holds.
+  Dataset aged = AgesLike(3000, 7);
+  const std::size_t n = 30000;
+  const std::size_t beta = 500;
+  AccuracyGoal goal{0.9, 0.1};
+  Rng rng(8);
+  auto estimate = EstimateBudgetForAccuracy(
+      aged, n, analytics::MeanQuery(0), Goal(goal.rho, goal.delta, beta, 150.0),
+      &rng);
+  ASSERT_TRUE(estimate.ok());
+
+  // Simulate the SAF release at the solved epsilon: truth + estimation
+  // noise + Laplace noise, with the aged mean as the truth proxy.
+  Dataset fresh = AgesLike(n, 9);
+  double truth = stats::Mean(fresh.Column(0).value());
+  const double num_blocks = static_cast<double>(n) / beta;
+  const double scale = 150.0 / (num_blocks * estimate->epsilon);
+  int within = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    double released = truth + rng.Laplace(scale);
+    if (std::fabs(released - truth) <= (1.0 - goal.rho) * truth) ++within;
+  }
+  // Goal: within 10% of truth with probability >= 90%. Chebyshev is
+  // conservative, so the solved epsilon should comfortably meet it.
+  EXPECT_GT(within, trials * 0.9);
+}
+
+TEST(BudgetEstimatorTest, UnattainableGoalIsReported) {
+  // A near-exact goal with delta tiny makes sigma smaller than the
+  // estimation variance alone: no epsilon can fix estimation error.
+  Rng data_rng(10);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(data_rng.UniformDouble(0.0, 1.0));
+  }
+  Dataset aged = Dataset::FromColumn(values).value();
+  Rng rng(11);
+  auto estimate =
+      EstimateBudgetForAccuracy(aged, 5000, analytics::MeanQuery(0),
+                                Goal(0.99999, 0.0001, 50, 1.0), &rng);
+  ASSERT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(BudgetEstimatorTest, RejectsBadArguments) {
+  Dataset aged = AgesLike(100, 12);
+  Rng rng(13);
+  auto program = analytics::MeanQuery(0);
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(0.0, 0.1, 10, 1.0), &rng)
+                   .ok());
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(1.0, 0.1, 10, 1.0), &rng)
+                   .ok());
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(0.9, 0.0, 10, 1.0), &rng)
+                   .ok());
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(0.9, 0.1, 0, 1.0), &rng)
+                   .ok());
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(0.9, 0.1, 2000, 1.0), &rng)
+                   .ok());  // beta > n
+  EXPECT_FALSE(EstimateBudgetForAccuracy(aged, 1000, program,
+                                         Goal(0.9, 0.1, 10, 0.0), &rng)
+                   .ok());  // zero width
+}
+
+TEST(BudgetEstimatorTest, RejectsMultiOutputPrograms) {
+  Dataset aged = Dataset::Create({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}}).value();
+  Rng rng(14);
+  auto estimate = EstimateBudgetForAccuracy(
+      aged, 1000, analytics::MeanAllDimsQuery(2), Goal(0.9, 0.1, 2, 1.0), &rng);
+  EXPECT_FALSE(estimate.ok());
+}
+
+}  // namespace
+}  // namespace gupt

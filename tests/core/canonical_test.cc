@@ -1,0 +1,83 @@
+#include "core/canonical.h"
+
+#include <gtest/gtest.h>
+
+namespace gupt {
+namespace {
+
+TEST(CanonicalizeTest, SortsGroupsByFirstElement) {
+  Row flat = {5.0, 50.0, 1.0, 10.0, 3.0, 30.0};
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&flat, 2).ok());
+  EXPECT_EQ(flat, (Row{1.0, 10.0, 3.0, 30.0, 5.0, 50.0}));
+}
+
+TEST(CanonicalizeTest, TiesBrokenBySubsequentElements) {
+  Row flat = {1.0, 9.0, 1.0, 2.0};
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&flat, 2).ok());
+  EXPECT_EQ(flat, (Row{1.0, 2.0, 1.0, 9.0}));
+}
+
+TEST(CanonicalizeTest, GroupSizeOneSortsScalars) {
+  Row flat = {3.0, 1.0, 2.0};
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&flat, 1).ok());
+  EXPECT_EQ(flat, (Row{1.0, 2.0, 3.0}));
+}
+
+TEST(CanonicalizeTest, WholeRowAsOneGroupIsNoop) {
+  Row flat = {3.0, 1.0, 2.0};
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&flat, 3).ok());
+  EXPECT_EQ(flat, (Row{3.0, 1.0, 2.0}));
+}
+
+TEST(CanonicalizeTest, RejectsBadArguments) {
+  Row flat = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(CanonicalizeGroupsByFirstElement(nullptr, 2).ok());
+  EXPECT_FALSE(CanonicalizeGroupsByFirstElement(&flat, 0).ok());
+  EXPECT_FALSE(CanonicalizeGroupsByFirstElement(&flat, 2).ok());  // 3 % 2
+}
+
+TEST(CanonicalizeTest, IdempotentOnSortedInput) {
+  Row flat = {1.0, 10.0, 2.0, 20.0};
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&flat, 2).ok());
+  Row again = flat;
+  ASSERT_TRUE(CanonicalizeGroupsByFirstElement(&again, 2).ok());
+  EXPECT_EQ(again, flat);
+}
+
+TEST(CanonicalizedProgramTest, SortsInnerOutput) {
+  // An "unordered" program that emits groups in data order.
+  auto inner = MakeProgramFactory(
+      "unordered", 4, [](const Dataset& block) -> Result<Row> {
+        return Row{block.row(0)[0], 100.0, block.row(1)[0], 200.0};
+      });
+  ProgramFactory canonical = CanonicalizedProgram(inner, 2);
+  Dataset data = Dataset::Create({{9.0}, {1.0}}).value();
+  auto program = canonical();
+  EXPECT_EQ(program->output_dims(), 4u);
+  EXPECT_NE(program->name().find("+canonical"), std::string::npos);
+  Row out = program->Run(data).value();
+  EXPECT_EQ(out, (Row{1.0, 200.0, 9.0, 100.0}));
+}
+
+TEST(CanonicalizedProgramTest, InnerErrorsPropagate) {
+  auto failing = MakeProgramFactory(
+      "fails", 2, [](const Dataset&) -> Result<Row> {
+        return Status::NumericalError("nope");
+      });
+  ProgramFactory canonical = CanonicalizedProgram(failing, 2);
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  EXPECT_FALSE(canonical()->Run(data).ok());
+}
+
+TEST(CanonicalizedProgramTest, MismatchedGroupSizeErrors) {
+  auto inner = MakeProgramFactory(
+      "odd", 3, [](const Dataset&) -> Result<Row> {
+        return Row{1.0, 2.0, 3.0};
+      });
+  ProgramFactory canonical = CanonicalizedProgram(inner, 2);
+  Dataset data = Dataset::FromColumn({1.0}).value();
+  EXPECT_FALSE(canonical()->Run(data).ok());
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,338 @@
+#include "core/gupt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+constexpr char kName[] = "ds";
+
+Dataset AgesLike(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+class GuptRuntimeTest : public ::testing::Test {
+ protected:
+  void RegisterAges(double total_epsilon, double aged_fraction = 0.0) {
+    DatasetOptions opts;
+    opts.total_epsilon = total_epsilon;
+    opts.aged_fraction = aged_fraction;
+    opts.input_ranges = std::vector<Range>{{0.0, 150.0}};
+    ASSERT_TRUE(manager_.Register(kName, AgesLike(20000, 42), opts).ok());
+    true_mean_ = stats::Mean(
+        manager_.Get(kName).value()->data().Column(0).value());
+  }
+
+  QuerySpec MeanSpec(double epsilon, OutputRangeSpec range) {
+    QuerySpec spec;
+    spec.program = analytics::MeanQuery(0);
+    spec.epsilon = epsilon;
+    spec.range = std::move(range);
+    return spec;
+  }
+
+  DatasetManager manager_;
+  GuptOptions options_;
+  double true_mean_ = 0.0;
+};
+
+TEST_F(GuptRuntimeTest, TightModeMeanIsAccurate) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  auto report = runtime.Execute(
+      kName, MeanSpec(2.0, OutputRangeSpec::Tight({Range{0.0, 150.0}})));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->output[0], true_mean_, 3.0);
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 2.0);
+  // Tight mode: the whole budget goes to SAF (p = 1).
+  EXPECT_DOUBLE_EQ(report->epsilon_saf_per_dim, 2.0);
+}
+
+TEST_F(GuptRuntimeTest, DefaultBlockGeometryFollowsPaper) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  auto report = runtime.Execute(
+      kName, MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}})));
+  ASSERT_TRUE(report.ok());
+  // n = 20000: l = n^0.4 ~ 53 blocks of size ~ n^0.6 ~ 377.
+  EXPECT_NEAR(static_cast<double>(report->num_blocks), 53.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(report->block_size), 377.0, 10.0);
+}
+
+TEST_F(GuptRuntimeTest, LooseModeSplitsBudgetPerTheorem1) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  auto report = runtime.Execute(
+      kName, MeanSpec(2.0, OutputRangeSpec::Loose({Range{0.0, 300.0}})));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 2.0);
+  // Loose: eps_saf = eps / (2p) = 1.
+  EXPECT_DOUBLE_EQ(report->epsilon_saf_per_dim, 1.0);
+  // The effective range must have been shrunk inside the loose range.
+  ASSERT_EQ(report->effective_ranges.size(), 1u);
+  EXPECT_GE(report->effective_ranges[0].lo, 0.0);
+  EXPECT_LE(report->effective_ranges[0].hi, 300.0);
+  EXPECT_LT(report->effective_ranges[0].width(), 300.0);
+  // And the answer should still be close (quartile clamping biases the
+  // block means only slightly for a symmetric distribution).
+  EXPECT_NEAR(report->output[0], true_mean_, 5.0);
+}
+
+TEST_F(GuptRuntimeTest, HelperModeUsesTranslatorAndOwnerRanges) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Helper(
+      [](const std::vector<Range>& input) -> Result<std::vector<Range>> {
+        // The mean of values in [lo, hi] lies in [lo, hi].
+        return std::vector<Range>{input[0]};
+      });  // loose input ranges come from the owner's registration
+  auto report = runtime.Execute(kName, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 2.0);
+  EXPECT_DOUBLE_EQ(report->epsilon_saf_per_dim, 1.0);  // eps/(2p)
+  // The effective range is the translated private inter-quartile range,
+  // which is much tighter than [0, 150].
+  EXPECT_LT(report->effective_ranges[0].width(), 150.0);
+  EXPECT_NEAR(report->output[0], true_mean_, 8.0);
+}
+
+TEST_F(GuptRuntimeTest, BudgetIsChargedAndExhausted) {
+  RegisterAges(1.0);
+  GuptRuntime runtime(&manager_, options_);
+  auto spec = MeanSpec(0.6, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+  ASSERT_TRUE(runtime.Execute(kName, spec).ok());
+  auto ds = manager_.Get(kName).value();
+  EXPECT_DOUBLE_EQ(ds->accountant().spent_epsilon(), 0.6);
+  // The second identical query does not fit in the remaining 0.4.
+  auto second = runtime.Execute(kName, spec);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kBudgetExhausted);
+  // The failed attempt did not debit anything.
+  EXPECT_DOUBLE_EQ(ds->accountant().spent_epsilon(), 0.6);
+}
+
+TEST_F(GuptRuntimeTest, MultiDimSplitsBudgetAcrossOutputs) {
+  // Two-dimensional data, per-dimension mean: p = 2.
+  std::vector<Row> rows;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back({rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 10.0)});
+  }
+  DatasetOptions opts;
+  opts.total_epsilon = 10.0;
+  ASSERT_TRUE(
+      manager_.Register("d2", Dataset::Create(std::move(rows)).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec;
+  spec.program = analytics::MeanAllDimsQuery(2);
+  spec.epsilon = 4.0;
+  spec.range =
+      OutputRangeSpec::Tight({Range{0.0, 1.0}, Range{0.0, 10.0}});
+  auto report = runtime.Execute("d2", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 4.0);
+  EXPECT_DOUBLE_EQ(report->epsilon_saf_per_dim, 2.0);  // eps / p
+  EXPECT_NEAR(report->output[0], 0.5, 0.1);
+  EXPECT_NEAR(report->output[1], 5.0, 1.0);
+}
+
+TEST_F(GuptRuntimeTest, ResamplingImprovesStabilityAtFixedBudget) {
+  RegisterAges(1000.0);
+  GuptRuntime runtime(&manager_, options_);
+  auto run_with_gamma = [&](std::size_t gamma, int trials) {
+    std::vector<double> outputs;
+    for (int i = 0; i < trials; ++i) {
+      QuerySpec spec = MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+      spec.block_size = 200;
+      spec.gamma = gamma;
+      auto report = runtime.Execute(kName, spec);
+      EXPECT_TRUE(report.ok());
+      outputs.push_back(report->output[0]);
+    }
+    return stats::Variance(outputs);
+  };
+  double var_plain = run_with_gamma(1, 60);
+  double var_resampled = run_with_gamma(4, 60);
+  // gamma=4 quadruples the block count at the same block size, so both the
+  // partition variance and the noise variance shrink; total output variance
+  // must drop distinctly.
+  EXPECT_LT(var_resampled, var_plain);
+}
+
+TEST_F(GuptRuntimeTest, ExplicitBlockSizeHonoured) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec = MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+  spec.block_size = 100;
+  auto report = runtime.Execute(kName, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->block_size, 100u);
+  EXPECT_EQ(report->num_blocks, 200u);
+}
+
+TEST_F(GuptRuntimeTest, AccuracyGoalDrivesBudget) {
+  RegisterAges(100.0, /*aged_fraction=*/0.1);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.accuracy_goal = AccuracyGoal{0.9, 0.1};
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.block_size = 400;
+  auto report = runtime.Execute(kName, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->epsilon_spent, 0.0);
+  // A laxer goal must spend less.
+  QuerySpec lax = spec;
+  lax.accuracy_goal = AccuracyGoal{0.5, 0.2};
+  auto lax_report = runtime.Execute(kName, lax);
+  ASSERT_TRUE(lax_report.ok());
+  EXPECT_LT(lax_report->epsilon_spent, report->epsilon_spent);
+}
+
+TEST_F(GuptRuntimeTest, AccuracyGoalRequiresAgedSlice) {
+  RegisterAges(10.0, /*aged_fraction=*/0.0);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.accuracy_goal = AccuracyGoal{0.9, 0.1};
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  EXPECT_FALSE(runtime.Execute(kName, spec).ok());
+}
+
+TEST_F(GuptRuntimeTest, OptimizedBlockSizeUsesAgedSlice) {
+  RegisterAges(100.0, /*aged_fraction=*/0.1);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec = MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+  spec.optimize_block_size = true;
+  auto report = runtime.Execute(kName, spec);
+  ASSERT_TRUE(report.ok());
+  // For the mean, the planner should pick far smaller blocks than the
+  // default n^0.6 ~ 377 (Example 3: optimal near 1).
+  EXPECT_LT(report->block_size, 50u);
+}
+
+TEST_F(GuptRuntimeTest, SharedBudgetAllocationEqualisesNoise) {
+  RegisterAges(4.0);
+  GuptRuntime runtime(&manager_, options_);
+  // Mean in [0, 150] vs mean of squares in [0, 22500]: zeta ratio 150.
+  QuerySpec mean_spec;
+  mean_spec.program = analytics::MeanQuery(0);
+  mean_spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  mean_spec.block_size = 200;
+  QuerySpec var_spec;
+  var_spec.program = analytics::VarianceQuery(0);
+  var_spec.range = OutputRangeSpec::Tight({Range{0.0, 22500.0}});
+  var_spec.block_size = 200;
+
+  auto reports =
+      runtime.ExecuteWithSharedBudget(kName, {mean_spec, var_spec}, 2.0);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 2u);
+  double total = (*reports)[0].epsilon_spent + (*reports)[1].epsilon_spent;
+  EXPECT_NEAR(total, 2.0, 1e-9);
+  // Example 4: the wide-range query gets ~150x the budget.
+  EXPECT_NEAR((*reports)[1].epsilon_spent / (*reports)[0].epsilon_spent, 150.0,
+              1.0);
+  auto ds = manager_.Get(kName).value();
+  EXPECT_NEAR(ds->accountant().spent_epsilon(), 2.0, 1e-9);
+}
+
+TEST_F(GuptRuntimeTest, SharedBudgetRejectsPresetEpsilons) {
+  RegisterAges(4.0);
+  GuptRuntime runtime(&manager_, options_);
+  QuerySpec spec = MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+  EXPECT_FALSE(runtime.ExecuteWithSharedBudget(kName, {spec}, 2.0).ok());
+}
+
+TEST_F(GuptRuntimeTest, ValidationErrors) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+
+  // Unknown dataset.
+  auto spec = MeanSpec(1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}}));
+  EXPECT_EQ(runtime.Execute("missing", spec).status().code(),
+            StatusCode::kNotFound);
+
+  // Neither epsilon nor goal.
+  QuerySpec none;
+  none.program = analytics::MeanQuery(0);
+  none.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  EXPECT_FALSE(runtime.Execute(kName, none).ok());
+
+  // Both epsilon and goal.
+  QuerySpec both = spec;
+  both.accuracy_goal = AccuracyGoal{0.9, 0.1};
+  EXPECT_FALSE(runtime.Execute(kName, both).ok());
+
+  // No program.
+  QuerySpec no_program;
+  no_program.epsilon = 1.0;
+  no_program.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  EXPECT_FALSE(runtime.Execute(kName, no_program).ok());
+
+  // Wrong declared-range arity.
+  QuerySpec bad_arity = MeanSpec(
+      1.0, OutputRangeSpec::Tight({Range{0.0, 150.0}, Range{0.0, 1.0}}));
+  EXPECT_FALSE(runtime.Execute(kName, bad_arity).ok());
+
+  // gamma = 0.
+  QuerySpec zero_gamma = spec;
+  zero_gamma.gamma = 0;
+  EXPECT_FALSE(runtime.Execute(kName, zero_gamma).ok());
+
+  // Oversized explicit block.
+  QuerySpec big_block = spec;
+  big_block.block_size = 1000000;
+  EXPECT_FALSE(runtime.Execute(kName, big_block).ok());
+}
+
+TEST_F(GuptRuntimeTest, ParallelWorkersMatchAccuracy) {
+  RegisterAges(10.0);
+  GuptOptions parallel_options;
+  parallel_options.num_workers = 4;
+  GuptRuntime runtime(&manager_, parallel_options);
+  auto report = runtime.Execute(
+      kName, MeanSpec(2.0, OutputRangeSpec::Tight({Range{0.0, 150.0}})));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->output[0], true_mean_, 3.0);
+}
+
+TEST_F(GuptRuntimeTest, FailingProgramStillReleasesPrivately) {
+  RegisterAges(10.0);
+  GuptRuntime runtime(&manager_, options_);
+  // Fails on every block: all outputs fall back to the range midpoint (75),
+  // the answer is useless but the budget is still charged and the release
+  // happens — a misbehaving program cannot burn budget without producing a
+  // DP output.
+  QuerySpec spec;
+  spec.program = MakeProgramFactory(
+      "always_fails", 1,
+      [](const Dataset&) -> Result<Row> {
+        return Status::NumericalError("sabotage");
+      });
+  spec.epsilon = 5.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  auto report = runtime.Execute(kName, spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->fallback_blocks, report->num_blocks);
+  EXPECT_NEAR(report->output[0], 75.0, 5.0);
+  EXPECT_DOUBLE_EQ(
+      manager_.Get(kName).value()->accountant().spent_epsilon(), 5.0);
+}
+
+}  // namespace
+}  // namespace gupt

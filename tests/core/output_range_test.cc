@@ -1,0 +1,142 @@
+#include "core/output_range.h"
+
+#include <gtest/gtest.h>
+
+namespace gupt {
+namespace {
+
+TEST(OutputRangeSpecTest, FactoriesSetMode) {
+  auto tight = OutputRangeSpec::Tight({Range{0, 1}});
+  EXPECT_EQ(tight.mode, RangeMode::kTight);
+  ASSERT_EQ(tight.declared_ranges.size(), 1u);
+
+  auto loose = OutputRangeSpec::Loose({Range{0, 2}});
+  EXPECT_EQ(loose.mode, RangeMode::kLoose);
+
+  auto helper = OutputRangeSpec::Helper(
+      [](const std::vector<Range>& in) -> Result<std::vector<Range>> {
+        return in;
+      });
+  EXPECT_EQ(helper.mode, RangeMode::kHelper);
+  EXPECT_TRUE(static_cast<bool>(helper.translator));
+}
+
+TEST(RangeModeTest, Names) {
+  EXPECT_STREQ(RangeModeToString(RangeMode::kTight), "GUPT-tight");
+  EXPECT_STREQ(RangeModeToString(RangeMode::kLoose), "GUPT-loose");
+  EXPECT_STREQ(RangeModeToString(RangeMode::kHelper), "GUPT-helper");
+}
+
+TEST(EstimateFromBlockOutputsTest, ShrinksLooseRangeTowardQuartiles) {
+  // 200 block outputs spread uniformly over [40, 60] inside a loose [0,100]
+  // range: the estimated range should hug [45, 55] (the inter-quartile).
+  std::vector<Row> outputs;
+  for (int i = 0; i < 200; ++i) {
+    outputs.push_back({40.0 + 20.0 * i / 199.0});
+  }
+  Rng rng(1);
+  auto ranges = EstimateRangesFromBlockOutputs(outputs, {Range{0.0, 100.0}},
+                                               /*epsilon_per_dim=*/4.0,
+                                               /*gamma=*/1, &rng);
+  ASSERT_TRUE(ranges.ok());
+  EXPECT_GT((*ranges)[0].lo, 40.0);
+  EXPECT_LT((*ranges)[0].hi, 60.0);
+  EXPECT_LT((*ranges)[0].lo, (*ranges)[0].hi);
+}
+
+TEST(EstimateFromBlockOutputsTest, PerDimensionIndependence) {
+  std::vector<Row> outputs;
+  for (int i = 0; i < 100; ++i) {
+    outputs.push_back({0.5, 1000.0 + i});
+  }
+  Rng rng(2);
+  auto ranges = EstimateRangesFromBlockOutputs(
+      outputs, {Range{0.0, 1.0}, Range{0.0, 2000.0}}, 4.0, 1, &rng);
+  ASSERT_TRUE(ranges.ok());
+  EXPECT_LT((*ranges)[0].hi, 1.1);
+  EXPECT_GT((*ranges)[1].lo, 500.0);
+}
+
+TEST(EstimateFromBlockOutputsTest, RejectsBadInputs) {
+  Rng rng(3);
+  EXPECT_FALSE(
+      EstimateRangesFromBlockOutputs({}, {Range{0, 1}}, 1.0, 1, &rng).ok());
+  EXPECT_FALSE(EstimateRangesFromBlockOutputs({{1.0}}, {}, 1.0, 1, &rng).ok());
+  EXPECT_FALSE(
+      EstimateRangesFromBlockOutputs({{1.0}}, {Range{0, 1}}, 1.0, 0, &rng)
+          .ok());
+  EXPECT_FALSE(EstimateRangesFromBlockOutputs({{1.0}, {1.0, 2.0}},
+                                              {Range{0, 1}}, 1.0, 1, &rng)
+                   .ok());
+}
+
+TEST(EstimateViaTranslatorTest, TranslatesPrivateInputQuartiles) {
+  // Inputs uniform over [0, 100]; translator doubles the input range.
+  std::vector<Row> rows;
+  for (int i = 0; i < 500; ++i) rows.push_back({100.0 * i / 499.0});
+  Dataset data = Dataset::Create(std::move(rows)).value();
+  Rng rng(4);
+  auto translator =
+      [](const std::vector<Range>& in) -> Result<std::vector<Range>> {
+    return std::vector<Range>{Range{2.0 * in[0].lo, 2.0 * in[0].hi}};
+  };
+  auto ranges = EstimateRangesViaTranslator(data, {Range{0.0, 100.0}},
+                                            translator, 4.0, 1, &rng);
+  ASSERT_TRUE(ranges.ok());
+  // Input quartiles ~ [25, 75] -> doubled ~ [50, 150].
+  EXPECT_NEAR((*ranges)[0].lo, 50.0, 15.0);
+  EXPECT_NEAR((*ranges)[0].hi, 150.0, 15.0);
+}
+
+TEST(EstimateViaTranslatorTest, RejectsMissingTranslator) {
+  Dataset data = Dataset::FromColumn({1, 2, 3}).value();
+  Rng rng(5);
+  EXPECT_FALSE(EstimateRangesViaTranslator(data, {Range{0, 10}},
+                                           RangeTranslator{}, 1.0, 1, &rng)
+                   .ok());
+}
+
+TEST(EstimateViaTranslatorTest, RejectsArityMismatches) {
+  Dataset data = Dataset::FromColumn({1, 2, 3}).value();
+  Rng rng(6);
+  auto identity =
+      [](const std::vector<Range>& in) -> Result<std::vector<Range>> {
+    return in;
+  };
+  // Loose input arity (2) != data dims (1).
+  EXPECT_FALSE(EstimateRangesViaTranslator(data,
+                                           {Range{0, 10}, Range{0, 10}},
+                                           identity, 1.0, 1, &rng)
+                   .ok());
+  // Translator output arity (1) != declared output dims (2).
+  EXPECT_FALSE(EstimateRangesViaTranslator(data, {Range{0, 10}}, identity, 1.0,
+                                           2, &rng)
+                   .ok());
+}
+
+TEST(EstimateViaTranslatorTest, RejectsInvertedTranslatedRange) {
+  Dataset data = Dataset::FromColumn({1, 2, 3}).value();
+  Rng rng(7);
+  auto inverter =
+      [](const std::vector<Range>&) -> Result<std::vector<Range>> {
+    return std::vector<Range>{Range{5.0, 1.0}};
+  };
+  EXPECT_FALSE(
+      EstimateRangesViaTranslator(data, {Range{0, 10}}, inverter, 1.0, 1, &rng)
+          .ok());
+}
+
+TEST(EstimateViaTranslatorTest, TranslatorErrorPropagates) {
+  Dataset data = Dataset::FromColumn({1, 2, 3}).value();
+  Rng rng(8);
+  auto failing =
+      [](const std::vector<Range>&) -> Result<std::vector<Range>> {
+    return Status::InvalidArgument("cannot translate");
+  };
+  EXPECT_FALSE(
+      EstimateRangesViaTranslator(data, {Range{0, 10}}, failing, 1.0, 1, &rng)
+          .ok());
+}
+
+}  // namespace
+}  // namespace gupt

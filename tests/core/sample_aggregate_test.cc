@@ -1,0 +1,177 @@
+#include "core/sample_aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gupt {
+namespace {
+
+AggregateOptions Simple(double epsilon, Range range, std::size_t gamma = 1) {
+  AggregateOptions opts;
+  opts.epsilon_per_dim = epsilon;
+  opts.output_ranges = {range};
+  opts.gamma = gamma;
+  return opts;
+}
+
+TEST(AggregationNoiseScaleTest, Formula) {
+  // gamma * width / (l * eps) = 2 * 10 / (5 * 4) = 1.
+  EXPECT_DOUBLE_EQ(AggregationNoiseScale(10.0, 5, 2, 4.0).value(), 1.0);
+}
+
+TEST(AggregationNoiseScaleTest, RejectsBadArguments) {
+  EXPECT_FALSE(AggregationNoiseScale(-1.0, 5, 1, 1.0).ok());
+  EXPECT_FALSE(AggregationNoiseScale(1.0, 0, 1, 1.0).ok());
+  EXPECT_FALSE(AggregationNoiseScale(1.0, 5, 0, 1.0).ok());
+  EXPECT_FALSE(AggregationNoiseScale(1.0, 5, 1, 0.0).ok());
+}
+
+TEST(AggregateTest, AveragesClampedOutputs) {
+  Rng rng(1);
+  // Outputs {-10, 0.5, 10} clamp into [0,1] -> {0, 0.5, 1}, mean 0.5.
+  std::vector<Row> outputs = {{-10.0}, {0.5}, {10.0}};
+  // Huge epsilon => negligible noise.
+  auto result =
+      AggregateBlockOutputs(outputs, Simple(1e9, Range{0.0, 1.0}), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->output[0], 0.5, 1e-6);
+}
+
+TEST(AggregateTest, NoiseScaleReported) {
+  Rng rng(2);
+  std::vector<Row> outputs(10, Row{0.5});
+  auto result =
+      AggregateBlockOutputs(outputs, Simple(2.0, Range{0.0, 1.0}), &rng);
+  ASSERT_TRUE(result.ok());
+  // scale = 1 * 1 / (10 * 2) = 0.05.
+  EXPECT_DOUBLE_EQ(result->noise_scale[0], 0.05);
+}
+
+TEST(AggregateTest, NoiseIsCenteredOnClampedAverage) {
+  Rng rng(3);
+  std::vector<Row> outputs(20, Row{0.3});
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += AggregateBlockOutputs(outputs, Simple(1.0, Range{0.0, 1.0}), &rng)
+               .value()
+               .output[0];
+  }
+  EXPECT_NEAR(sum / trials, 0.3, 0.005);
+}
+
+TEST(AggregateTest, ZeroWidthRangeReleasesClampedValueExactly) {
+  Rng rng(4);
+  std::vector<Row> outputs = {{0.2}, {0.9}};
+  auto result =
+      AggregateBlockOutputs(outputs, Simple(1.0, Range{0.5, 0.5}), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->output[0], 0.5);
+  EXPECT_DOUBLE_EQ(result->noise_scale[0], 0.0);
+}
+
+TEST(AggregateTest, MultiDimensionalUsesPerDimensionRanges) {
+  Rng rng(5);
+  std::vector<Row> outputs = {{0.5, 100.0}, {0.5, 200.0}};
+  AggregateOptions opts;
+  opts.epsilon_per_dim = 1e9;
+  opts.output_ranges = {Range{0.0, 1.0}, Range{0.0, 300.0}};
+  auto result = AggregateBlockOutputs(outputs, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->output[0], 0.5, 1e-6);
+  EXPECT_NEAR(result->output[1], 150.0, 1e-3);
+}
+
+TEST(AggregateTest, RejectsBadInputs) {
+  Rng rng(6);
+  EXPECT_FALSE(
+      AggregateBlockOutputs({}, Simple(1.0, Range{0.0, 1.0}), &rng).ok());
+  EXPECT_FALSE(AggregateBlockOutputs({{1.0, 2.0}},
+                                     Simple(1.0, Range{0.0, 1.0}), &rng)
+                   .ok());  // arity mismatch
+  EXPECT_FALSE(
+      AggregateBlockOutputs({{1.0}, {1.0, 2.0}}, Simple(1.0, Range{0.0, 1.0}),
+                            &rng)
+          .ok());  // mixed dims
+  EXPECT_FALSE(AggregateBlockOutputs({{1.0}}, Simple(1.0, Range{2.0, 1.0}),
+                                     &rng)
+                   .ok());  // inverted range
+  EXPECT_FALSE(AggregateBlockOutputs({{1.0}}, Simple(0.0, Range{0.0, 1.0}),
+                                     &rng)
+                   .ok());  // bad epsilon
+}
+
+// Claim 1 (paper §4.2): with block size fixed, the Laplace noise scale is
+// independent of the resampling factor gamma, because l grows with gamma.
+TEST(AggregateTest, Claim1NoiseScaleIndependentOfGamma) {
+  Rng rng(7);
+  const double epsilon = 2.0;
+  const Range range{0.0, 1.0};
+  // Block size beta over n records: gamma copies => l = gamma * (n/beta).
+  const std::size_t base_blocks = 8;
+  double scale_gamma_1 = 0.0, scale_gamma_4 = 0.0;
+  {
+    std::vector<Row> outputs(base_blocks, Row{0.5});
+    scale_gamma_1 = AggregateBlockOutputs(outputs, Simple(epsilon, range, 1),
+                                          &rng)
+                        .value()
+                        .noise_scale[0];
+  }
+  {
+    std::vector<Row> outputs(base_blocks * 4, Row{0.5});
+    scale_gamma_4 = AggregateBlockOutputs(outputs, Simple(epsilon, range, 4),
+                                          &rng)
+                        .value()
+                        .noise_scale[0];
+  }
+  EXPECT_DOUBLE_EQ(scale_gamma_1, scale_gamma_4);
+}
+
+// Resampling reduces the partition-induced variance of the *average* while
+// Claim 1 keeps the noise fixed: more blocks of the same size => the block
+// average concentrates.
+TEST(AggregateTest, ResamplingReducesAggregateVariance) {
+  Rng data_rng(8);
+  // Population of block outputs: simulate block means with stddev 1.
+  auto sample_average_variance = [&](std::size_t num_blocks) {
+    const int trials = 3000;
+    double sq = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      double avg = 0.0;
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        avg += data_rng.Gaussian();
+      }
+      avg /= static_cast<double>(num_blocks);
+      sq += avg * avg;
+    }
+    return sq / trials;
+  };
+  EXPECT_GT(sample_average_variance(8), 2.5 * sample_average_variance(32));
+}
+
+// Noise magnitude sweep: E|Laplace| should equal the analytic scale across
+// block counts.
+class NoiseScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NoiseScaleSweep, EmpiricalNoiseMatchesAnalyticScale) {
+  const std::size_t num_blocks = GetParam();
+  Rng rng(9);
+  std::vector<Row> outputs(num_blocks, Row{0.0});
+  AggregateOptions opts = Simple(1.0, Range{-1.0, 1.0});
+  const double expected_scale =
+      AggregationNoiseScale(2.0, num_blocks, 1, 1.0).value();
+  double abs_sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    abs_sum +=
+        std::fabs(AggregateBlockOutputs(outputs, opts, &rng).value().output[0]);
+  }
+  EXPECT_NEAR(abs_sum / trials / expected_scale, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCounts, NoiseScaleSweep,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace gupt

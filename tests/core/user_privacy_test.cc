@@ -1,0 +1,98 @@
+// User-level privacy (paper §8.1): when a user owns several records, the
+// runtime scales sensitivities by the per-user record count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "core/gupt.h"
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+class UserPrivacyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetOptions opts;
+    opts.total_epsilon = 1e6;
+    ASSERT_TRUE(manager_.Register("d", Ages(10000, 1), opts).ok());
+  }
+
+  QuerySpec MeanSpec(std::size_t records_per_user) {
+    QuerySpec spec;
+    spec.program = analytics::MeanQuery(0);
+    spec.epsilon = 1.0;
+    spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+    spec.block_size = 100;
+    spec.records_per_user = records_per_user;
+    return spec;
+  }
+
+  DatasetManager manager_;
+};
+
+TEST_F(UserPrivacyTest, RecordsPerUserScalesNoise) {
+  GuptRuntime runtime(&manager_, GuptOptions{});
+  auto spread_at = [&](std::size_t records_per_user) {
+    std::vector<double> outputs;
+    for (int t = 0; t < 60; ++t) {
+      auto report = runtime.Execute("d", MeanSpec(records_per_user));
+      EXPECT_TRUE(report.ok());
+      outputs.push_back(report->output[0]);
+    }
+    return stats::StdDev(outputs);
+  };
+  double record_level = spread_at(1);
+  double user_level = spread_at(10);
+  // Group privacy for 10-record users: 10x sensitivity => ~10x noise.
+  EXPECT_GT(user_level, record_level * 5.0);
+  EXPECT_LT(user_level, record_level * 20.0);
+}
+
+TEST_F(UserPrivacyTest, ChargesAreUnchanged) {
+  // The epsilon is the same; only the noise calibration changes.
+  GuptRuntime runtime(&manager_, GuptOptions{});
+  auto report = runtime.Execute("d", MeanSpec(5));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->epsilon_spent, 1.0);
+}
+
+TEST_F(UserPrivacyTest, ZeroRecordsPerUserRejected) {
+  GuptRuntime runtime(&manager_, GuptOptions{});
+  QuerySpec spec = MeanSpec(0);
+  EXPECT_FALSE(runtime.Execute("d", spec).ok());
+}
+
+TEST_F(UserPrivacyTest, ComposesWithResampling) {
+  GuptRuntime runtime(&manager_, GuptOptions{});
+  QuerySpec spec = MeanSpec(3);
+  spec.gamma = 2;
+  auto report = runtime.Execute("d", spec);
+  ASSERT_TRUE(report.ok());
+  // gamma * records_per_user = 6 blocks touched per user; the release must
+  // still be inside a plausible band (noise scale 150*6/(200*1) = 4.5).
+  EXPECT_NEAR(report->output[0], 38.0, 40.0);
+}
+
+TEST_F(UserPrivacyTest, LooseModeAlsoScales) {
+  GuptRuntime runtime(&manager_, GuptOptions{});
+  QuerySpec spec = MeanSpec(4);
+  spec.range = OutputRangeSpec::Loose({Range{0.0, 300.0}});
+  auto report = runtime.Execute("d", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->effective_ranges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gupt

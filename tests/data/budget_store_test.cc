@@ -1,0 +1,164 @@
+#include "data/budget_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gupt {
+namespace {
+
+Dataset Tiny() { return Dataset::FromColumn({1.0, 2.0, 3.0}).value(); }
+
+void FillManagerWithCharges(DatasetManager* out) {
+  DatasetManager& manager = *out;
+  DatasetOptions opts;
+  opts.total_epsilon = 5.0;
+  EXPECT_TRUE(manager.Register("alpha", Tiny(), opts).ok());
+  opts.total_epsilon = 2.0;
+  EXPECT_TRUE(manager.Register("beta", Tiny(), opts).ok());
+  EXPECT_TRUE(
+      manager.Get("alpha").value()->accountant().Charge(1.5, "q one").ok());
+  EXPECT_TRUE(
+      manager.Get("alpha").value()->accountant().Charge(0.5, "q two").ok());
+  EXPECT_TRUE(
+      manager.Get("beta").value()->accountant().Charge(0.25, "other").ok());
+}
+
+void FillFreshManager(DatasetManager* out) {
+  DatasetManager& manager = *out;
+  DatasetOptions opts;
+  opts.total_epsilon = 5.0;
+  EXPECT_TRUE(manager.Register("alpha", Tiny(), opts).ok());
+  opts.total_epsilon = 2.0;
+  EXPECT_TRUE(manager.Register("beta", Tiny(), opts).ok());
+}
+
+TEST(BudgetStoreTest, RoundTripRestoresSpending) {
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  std::string text = SerializeBudgets(original);
+
+  DatasetManager restored;
+  FillFreshManager(&restored);
+  ASSERT_TRUE(RestoreBudgets(&restored, text).ok());
+
+  auto alpha = restored.Get("alpha").value();
+  EXPECT_DOUBLE_EQ(alpha->accountant().spent_epsilon(), 2.0);
+  EXPECT_EQ(alpha->accountant().num_charges(), 2u);
+  auto charges = alpha->accountant().charges();
+  EXPECT_EQ(charges[0].label, "q one");  // labels with spaces survive
+  EXPECT_DOUBLE_EQ(charges[1].epsilon, 0.5);
+
+  auto beta = restored.Get("beta").value();
+  EXPECT_DOUBLE_EQ(beta->accountant().spent_epsilon(), 0.25);
+}
+
+TEST(BudgetStoreTest, RestoredLedgerKeepsEnforcing) {
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  DatasetManager restored;
+  FillFreshManager(&restored);
+  ASSERT_TRUE(RestoreBudgets(&restored, SerializeBudgets(original)).ok());
+  auto& accountant = restored.Get("alpha").value()->accountant();
+  // 2.0 of 5.0 spent: 3.5 must be refused, 3.0 admitted.
+  EXPECT_FALSE(accountant.Charge(3.5, "too much").ok());
+  EXPECT_TRUE(accountant.Charge(3.0, "exact fit").ok());
+}
+
+TEST(BudgetStoreTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/gupt_ledger_test.txt";
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  ASSERT_TRUE(SaveBudgets(original, path).ok());
+
+  DatasetManager restored;
+  FillFreshManager(&restored);
+  ASSERT_TRUE(LoadBudgets(&restored, path).ok());
+  EXPECT_DOUBLE_EQ(
+      restored.Get("alpha").value()->accountant().spent_epsilon(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetStoreTest, LoadMissingFileIsNotFound) {
+  DatasetManager manager;
+  FillFreshManager(&manager);
+  EXPECT_EQ(LoadBudgets(&manager, "/nonexistent/ledger").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BudgetStoreTest, FailsClosedOnUnknownDataset) {
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  std::string text = SerializeBudgets(original);
+  DatasetManager missing_beta;
+  DatasetOptions opts;
+  opts.total_epsilon = 5.0;
+  ASSERT_TRUE(missing_beta.Register("alpha", Tiny(), opts).ok());
+  EXPECT_EQ(RestoreBudgets(&missing_beta, text).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BudgetStoreTest, FailsClosedOnTotalMismatch) {
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  std::string text = SerializeBudgets(original);
+  DatasetManager wrong_total;
+  DatasetOptions opts;
+  opts.total_epsilon = 99.0;  // alpha was registered with 5.0
+  ASSERT_TRUE(wrong_total.Register("alpha", Tiny(), opts).ok());
+  opts.total_epsilon = 2.0;
+  ASSERT_TRUE(wrong_total.Register("beta", Tiny(), opts).ok());
+  EXPECT_EQ(RestoreBudgets(&wrong_total, text).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetStoreTest, FailsClosedOnAlreadyChargedLedger) {
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  std::string text = SerializeBudgets(original);
+  DatasetManager dirty;
+  FillFreshManager(&dirty);
+  ASSERT_TRUE(
+      dirty.Get("alpha").value()->accountant().Charge(0.1, "pre").ok());
+  EXPECT_FALSE(RestoreBudgets(&dirty, text).ok());
+}
+
+TEST(BudgetStoreTest, RejectsGarbage) {
+  DatasetManager manager;
+  FillFreshManager(&manager);
+  EXPECT_EQ(RestoreBudgets(&manager, "not a ledger").code(),
+            StatusCode::kParseError);
+  EXPECT_FALSE(
+      RestoreBudgets(&manager, "gupt-ledger v1\ncharge 0.5 orphan\n").ok());
+  EXPECT_FALSE(
+      RestoreBudgets(&manager, "gupt-ledger v1\nbogus line here\n").ok());
+  EXPECT_FALSE(
+      RestoreBudgets(&manager, "gupt-ledger v1\ndataset alpha banana 5\n")
+          .ok());
+}
+
+TEST(BudgetStoreTest, CommentsAndBlankLinesIgnored) {
+  DatasetManager manager;
+  FillFreshManager(&manager);
+  std::string text =
+      "gupt-ledger v1\n"
+      "# a comment\n"
+      "\n"
+      "dataset alpha total 5\n"
+      "charge 1 first\n";
+  ASSERT_TRUE(RestoreBudgets(&manager, text).ok());
+  EXPECT_DOUBLE_EQ(
+      manager.Get("alpha").value()->accountant().spent_epsilon(), 1.0);
+}
+
+TEST(BudgetStoreTest, EmptyManagerSerializesHeaderOnly) {
+  DatasetManager manager;
+  EXPECT_EQ(SerializeBudgets(manager), "gupt-ledger v1\n");
+  // And restoring a header-only ledger into anything is a no-op success.
+  DatasetManager other;
+  FillFreshManager(&other);
+  EXPECT_TRUE(RestoreBudgets(&other, "gupt-ledger v1\n").ok());
+}
+
+}  // namespace
+}  // namespace gupt

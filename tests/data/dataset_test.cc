@@ -1,0 +1,104 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace gupt {
+namespace {
+
+Dataset MakeSmall() {
+  return Dataset::Create({{1, 10}, {2, 20}, {3, 30}}, {"a", "b"}).value();
+}
+
+TEST(DatasetTest, CreateBasics) {
+  Dataset ds = MakeSmall();
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_dims(), 2u);
+  EXPECT_EQ(ds.row(1), (Row{2, 20}));
+  EXPECT_EQ(ds.column_names()[1], "b");
+}
+
+TEST(DatasetTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(Dataset::Create({}).ok());
+}
+
+TEST(DatasetTest, CreateRejectsZeroDims) {
+  EXPECT_FALSE(Dataset::Create({{}}).ok());
+}
+
+TEST(DatasetTest, CreateRejectsMixedDims) {
+  EXPECT_FALSE(Dataset::Create({{1, 2}, {3}}).ok());
+}
+
+TEST(DatasetTest, CreateRejectsBadColumnNames) {
+  EXPECT_FALSE(Dataset::Create({{1, 2}}, {"only_one"}).ok());
+}
+
+TEST(DatasetTest, FromColumn) {
+  Dataset ds = Dataset::FromColumn({5, 6, 7}, "x").value();
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_dims(), 1u);
+  EXPECT_EQ(ds.column_names()[0], "x");
+}
+
+TEST(DatasetTest, ColumnExtraction) {
+  Dataset ds = MakeSmall();
+  EXPECT_EQ(ds.Column(0).value(), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(ds.Column(1).value(), (std::vector<double>{10, 20, 30}));
+  EXPECT_FALSE(ds.Column(2).ok());
+}
+
+TEST(DatasetTest, SubsetSelectsInOrder) {
+  Dataset ds = MakeSmall();
+  Dataset sub = ds.Subset({2, 0}).value();
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.row(0), (Row{3, 30}));
+  EXPECT_EQ(sub.row(1), (Row{1, 10}));
+  EXPECT_EQ(sub.column_names(), ds.column_names());
+}
+
+TEST(DatasetTest, SubsetAllowsRepeats) {
+  Dataset ds = MakeSmall();
+  Dataset sub = ds.Subset({1, 1}).value();
+  EXPECT_EQ(sub.num_rows(), 2u);
+  EXPECT_EQ(sub.row(0), sub.row(1));
+}
+
+TEST(DatasetTest, SubsetRejectsOutOfRange) {
+  EXPECT_FALSE(MakeSmall().Subset({3}).ok());
+  EXPECT_FALSE(MakeSmall().Subset({}).ok());
+}
+
+TEST(DatasetTest, SplitAt) {
+  Dataset ds = MakeSmall();
+  auto parts = ds.SplitAt(1).value();
+  EXPECT_EQ(parts.first.num_rows(), 1u);
+  EXPECT_EQ(parts.second.num_rows(), 2u);
+  EXPECT_EQ(parts.first.row(0), (Row{1, 10}));
+  EXPECT_EQ(parts.second.row(0), (Row{2, 20}));
+}
+
+TEST(DatasetTest, SplitAtRejectsDegenerate) {
+  EXPECT_FALSE(MakeSmall().SplitAt(0).ok());
+  EXPECT_FALSE(MakeSmall().SplitAt(3).ok());
+}
+
+TEST(DatasetTest, EmpiricalRanges) {
+  Dataset ds = MakeSmall();
+  auto ranges = ds.EmpiricalRanges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranges[0].lo, 1.0);
+  EXPECT_DOUBLE_EQ(ranges[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(ranges[1].lo, 10.0);
+  EXPECT_DOUBLE_EQ(ranges[1].hi, 30.0);
+}
+
+TEST(RangeTest, ContainsAndWidth) {
+  Range r{-1.0, 3.0};
+  EXPECT_TRUE(r.Contains(-1.0));
+  EXPECT_TRUE(r.Contains(3.0));
+  EXPECT_FALSE(r.Contains(3.5));
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,164 @@
+#include "data/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace gupt {
+namespace {
+
+TEST(PartitionDisjointTest, CoversEveryIndexExactlyOnce) {
+  Rng rng(1);
+  auto plan = PartitionDisjoint(100, 7, &rng).value();
+  EXPECT_EQ(plan.num_blocks(), 7u);
+  EXPECT_EQ(plan.gamma, 1u);
+  std::map<std::size_t, int> counts;
+  for (const auto& block : plan.blocks) {
+    for (std::size_t i : block) ++counts[i];
+  }
+  EXPECT_EQ(counts.size(), 100u);
+  for (const auto& [idx, count] : counts) {
+    EXPECT_EQ(count, 1) << "index " << idx;
+    EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(PartitionDisjointTest, BlockSizesDifferByAtMostOne) {
+  Rng rng(2);
+  auto plan = PartitionDisjoint(100, 7, &rng).value();
+  std::size_t min_size = 100, max_size = 0;
+  for (const auto& block : plan.blocks) {
+    min_size = std::min(min_size, block.size());
+    max_size = std::max(max_size, block.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(PartitionDisjointTest, SingleBlockHoldsEverything) {
+  Rng rng(3);
+  auto plan = PartitionDisjoint(10, 1, &rng).value();
+  EXPECT_EQ(plan.blocks[0].size(), 10u);
+}
+
+TEST(PartitionDisjointTest, NBlocksOfOne) {
+  Rng rng(4);
+  auto plan = PartitionDisjoint(10, 10, &rng).value();
+  for (const auto& block : plan.blocks) EXPECT_EQ(block.size(), 1u);
+}
+
+TEST(PartitionDisjointTest, RejectsBadArguments) {
+  Rng rng(5);
+  EXPECT_FALSE(PartitionDisjoint(0, 1, &rng).ok());
+  EXPECT_FALSE(PartitionDisjoint(10, 0, &rng).ok());
+  EXPECT_FALSE(PartitionDisjoint(10, 11, &rng).ok());
+}
+
+TEST(PartitionDisjointTest, IsRandomized) {
+  Rng rng(6);
+  auto a = PartitionDisjoint(50, 5, &rng).value();
+  auto b = PartitionDisjoint(50, 5, &rng).value();
+  EXPECT_NE(a.blocks, b.blocks);
+}
+
+TEST(PartitionResampledTest, EveryRecordAppearsExactlyGammaTimes) {
+  Rng rng(7);
+  const std::size_t n = 60, beta = 10, gamma = 4;
+  auto plan = PartitionResampled(n, beta, gamma, &rng).value();
+  EXPECT_EQ(plan.gamma, gamma);
+  EXPECT_EQ(plan.num_blocks(), gamma * (n / beta));
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto& block : plan.blocks) {
+    for (std::size_t i : block) ++counts[i];
+  }
+  EXPECT_EQ(counts.size(), n);
+  for (const auto& [idx, count] : counts) {
+    EXPECT_EQ(count, gamma) << "index " << idx;
+  }
+}
+
+TEST(PartitionResampledTest, NoDuplicateWithinAnyBlock) {
+  Rng rng(8);
+  auto plan = PartitionResampled(50, 7, 5, &rng).value();
+  for (const auto& block : plan.blocks) {
+    std::set<std::size_t> unique(block.begin(), block.end());
+    EXPECT_EQ(unique.size(), block.size());
+  }
+}
+
+TEST(PartitionResampledTest, BlockSizeRespected) {
+  Rng rng(9);
+  const std::size_t n = 53, beta = 10;  // does not divide evenly
+  auto plan = PartitionResampled(n, beta, 3, &rng).value();
+  // Each group has ceil(53/10) = 6 blocks: five of size 10, one of size 3.
+  EXPECT_EQ(plan.num_blocks(), 3u * 6u);
+  for (const auto& block : plan.blocks) {
+    EXPECT_LE(block.size(), beta);
+    EXPECT_GE(block.size(), 1u);
+  }
+}
+
+TEST(PartitionResampledTest, GammaOneMatchesDisjointSemantics) {
+  Rng rng(10);
+  auto plan = PartitionResampled(40, 8, 1, &rng).value();
+  EXPECT_EQ(plan.num_blocks(), 5u);
+  std::map<std::size_t, int> counts;
+  for (const auto& block : plan.blocks) {
+    for (std::size_t i : block) ++counts[i];
+  }
+  for (const auto& [idx, count] : counts) EXPECT_EQ(count, 1) << idx;
+}
+
+TEST(PartitionResampledTest, RejectsBadArguments) {
+  Rng rng(11);
+  EXPECT_FALSE(PartitionResampled(0, 1, 1, &rng).ok());
+  EXPECT_FALSE(PartitionResampled(10, 0, 1, &rng).ok());
+  EXPECT_FALSE(PartitionResampled(10, 11, 1, &rng).ok());
+  EXPECT_FALSE(PartitionResampled(10, 2, 0, &rng).ok());
+}
+
+TEST(DefaultNumBlocksTest, FollowsNToThePointFour) {
+  // 26733^0.4 ~= 58.7 -> 59 blocks.
+  EXPECT_EQ(DefaultNumBlocks(26733), 59u);
+  // 10000^0.4 ~= 39.8 -> 40.
+  EXPECT_EQ(DefaultNumBlocks(10000), 40u);
+}
+
+TEST(DefaultNumBlocksTest, EdgeCases) {
+  EXPECT_EQ(DefaultNumBlocks(0), 1u);
+  EXPECT_EQ(DefaultNumBlocks(1), 1u);
+  EXPECT_GE(DefaultNumBlocks(2), 1u);
+  EXPECT_LE(DefaultNumBlocks(2), 2u);
+}
+
+// Property sweep: the resampled plan invariants hold across shapes.
+struct ResampleParam {
+  std::size_t n, beta, gamma;
+};
+
+class ResampleSweep : public ::testing::TestWithParam<ResampleParam> {};
+
+TEST_P(ResampleSweep, MultiplicityAndBlockInvariants) {
+  const auto& p = GetParam();
+  Rng rng(99);
+  auto plan = PartitionResampled(p.n, p.beta, p.gamma, &rng).value();
+  std::map<std::size_t, std::size_t> counts;
+  for (const auto& block : plan.blocks) {
+    std::set<std::size_t> unique(block.begin(), block.end());
+    ASSERT_EQ(unique.size(), block.size());  // no within-block duplicates
+    for (std::size_t i : block) ++counts[i];
+  }
+  ASSERT_EQ(counts.size(), p.n);
+  for (const auto& [idx, count] : counts) {
+    EXPECT_EQ(count, p.gamma) << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ResampleSweep,
+    ::testing::Values(ResampleParam{10, 1, 1}, ResampleParam{10, 10, 3},
+                      ResampleParam{100, 9, 2}, ResampleParam{1000, 33, 7},
+                      ResampleParam{17, 5, 4}));
+
+}  // namespace
+}  // namespace gupt

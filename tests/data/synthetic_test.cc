@@ -1,0 +1,183 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/vec.h"
+
+namespace gupt {
+namespace synthetic {
+namespace {
+
+LifeSciencesOptions SmallLifeSciences() {
+  LifeSciencesOptions opts;
+  opts.num_rows = 2000;
+  return opts;
+}
+
+TEST(LifeSciencesTest, ShapeMatchesPaperDataset) {
+  LifeSciencesOptions opts;  // defaults reproduce ds1.10's shape
+  opts.num_rows = 500;       // keep the test fast
+  Dataset ds = LifeSciences(opts).value();
+  EXPECT_EQ(ds.num_rows(), 500u);
+  EXPECT_EQ(ds.num_dims(), 11u);  // 10 PCs + label
+  EXPECT_EQ(ds.column_names().back(), "reactive");
+}
+
+TEST(LifeSciencesTest, DefaultRowCountMatchesDs110) {
+  EXPECT_EQ(LifeSciencesOptions{}.num_rows, 26733u);
+}
+
+TEST(LifeSciencesTest, LabelsAreBinaryAndRoughlyBalanced) {
+  Dataset ds = LifeSciences(SmallLifeSciences()).value();
+  std::size_t ones = 0;
+  for (const Row& row : ds.rows()) {
+    double label = row.back();
+    ASSERT_TRUE(label == 0.0 || label == 1.0);
+    if (label == 1.0) ++ones;
+  }
+  double frac = static_cast<double>(ones) / static_cast<double>(ds.num_rows());
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(LifeSciencesTest, DeterministicForSameSeed) {
+  Dataset a = LifeSciences(SmallLifeSciences()).value();
+  Dataset b = LifeSciences(SmallLifeSciences()).value();
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+TEST(LifeSciencesTest, DifferentSeedsDiffer) {
+  LifeSciencesOptions opts = SmallLifeSciences();
+  Dataset a = LifeSciences(opts).value();
+  opts.seed += 1;
+  Dataset b = LifeSciences(opts).value();
+  EXPECT_NE(a.rows(), b.rows());
+}
+
+TEST(LifeSciencesTest, TrueCentersMatchDataClusters) {
+  LifeSciencesOptions opts = SmallLifeSciences();
+  opts.num_rows = 5000;
+  Dataset ds = LifeSciences(opts).value();
+  std::vector<Row> centers = LifeSciencesTrueCenters(opts);
+  ASSERT_EQ(centers.size(), opts.num_clusters);
+  // Every row's features should lie near (within a few stddevs of) at
+  // least one true centre.
+  std::size_t near = 0;
+  for (const Row& row : ds.rows()) {
+    Row features(row.begin(), row.begin() + 10);
+    for (const Row& c : centers) {
+      if (vec::SquaredDistance(features, c) < 10.0 * 10.0) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near, ds.num_rows() * 95 / 100);
+}
+
+TEST(LifeSciencesTest, ClustersAreSeparated) {
+  LifeSciencesOptions opts;
+  std::vector<Row> centers = LifeSciencesTrueCenters(opts);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_GT(std::sqrt(vec::SquaredDistance(centers[i], centers[j])), 2.0);
+    }
+  }
+}
+
+TEST(LifeSciencesTest, RejectsInvalidOptions) {
+  LifeSciencesOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(LifeSciences(opts).ok());
+  opts = LifeSciencesOptions{};
+  opts.label_noise = 0.6;
+  EXPECT_FALSE(LifeSciences(opts).ok());
+}
+
+TEST(CensusAgesTest, ShapeAndBounds) {
+  CensusAgeOptions opts;
+  opts.num_rows = 5000;
+  Dataset ds = CensusAges(opts).value();
+  EXPECT_EQ(ds.num_rows(), 5000u);
+  EXPECT_EQ(ds.num_dims(), 1u);
+  for (const Row& row : ds.rows()) {
+    EXPECT_GE(row[0], opts.min_age);
+    EXPECT_LE(row[0], opts.max_age);
+  }
+}
+
+TEST(CensusAgesTest, DefaultRowCountMatchesAdultDataset) {
+  EXPECT_EQ(CensusAgeOptions{}.num_rows, 32561u);
+}
+
+TEST(CensusAgesTest, MeanNearPaperTruth) {
+  CensusAgeOptions opts;
+  opts.num_rows = 20000;
+  Dataset ds = CensusAges(opts).value();
+  double mean = stats::Mean(ds.Column(0).value());
+  // Paper: true average age 38.5816; our mixture should land nearby.
+  EXPECT_GT(mean, 34.0);
+  EXPECT_LT(mean, 43.0);
+}
+
+TEST(CensusAgesTest, Deterministic) {
+  CensusAgeOptions opts;
+  opts.num_rows = 1000;
+  EXPECT_EQ(CensusAges(opts).value().rows(), CensusAges(opts).value().rows());
+}
+
+TEST(CensusAgesTest, RejectsInvalidOptions) {
+  CensusAgeOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(CensusAges(opts).ok());
+  opts = CensusAgeOptions{};
+  opts.min_age = 90.0;
+  opts.max_age = 17.0;
+  EXPECT_FALSE(CensusAges(opts).ok());
+}
+
+TEST(InternetAdsTest, ShapeAndPositivity) {
+  InternetAdsOptions opts;
+  opts.num_rows = 3000;
+  Dataset ds = InternetAdAspectRatios(opts).value();
+  EXPECT_EQ(ds.num_rows(), 3000u);
+  EXPECT_EQ(ds.num_dims(), 1u);
+  for (const Row& row : ds.rows()) {
+    EXPECT_GT(row[0], 0.0);
+    EXPECT_LE(row[0], opts.max_ratio);
+  }
+}
+
+TEST(InternetAdsTest, DistributionIsRightSkewed) {
+  InternetAdsOptions opts;
+  opts.num_rows = 10000;
+  Dataset ds = InternetAdAspectRatios(opts).value();
+  auto column = ds.Column(0).value();
+  double mean = stats::Mean(column);
+  double median = stats::Quantile(column, 0.5).value();
+  // Log-normal: mean strictly above median — this gap is what Fig. 9's
+  // mean-vs-median block-size experiment relies on.
+  EXPECT_GT(mean, median * 1.1);
+}
+
+TEST(InternetAdsTest, Deterministic) {
+  InternetAdsOptions opts;
+  opts.num_rows = 500;
+  EXPECT_EQ(InternetAdAspectRatios(opts).value().rows(),
+            InternetAdAspectRatios(opts).value().rows());
+}
+
+TEST(InternetAdsTest, RejectsInvalidOptions) {
+  InternetAdsOptions opts;
+  opts.num_rows = 0;
+  EXPECT_FALSE(InternetAdAspectRatios(opts).ok());
+  opts = InternetAdsOptions{};
+  opts.log_stddev = 0.0;
+  EXPECT_FALSE(InternetAdAspectRatios(opts).ok());
+}
+
+}  // namespace
+}  // namespace synthetic
+}  // namespace gupt

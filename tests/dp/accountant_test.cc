@@ -1,0 +1,92 @@
+#include "dp/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gupt {
+namespace dp {
+namespace {
+
+TEST(AccountantTest, StartsFull) {
+  PrivacyAccountant acc(2.0);
+  EXPECT_DOUBLE_EQ(acc.total_epsilon(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.remaining_epsilon(), 2.0);
+  EXPECT_EQ(acc.num_charges(), 0u);
+}
+
+TEST(AccountantTest, ChargeDebits) {
+  PrivacyAccountant acc(2.0);
+  ASSERT_TRUE(acc.Charge(0.5, "q1").ok());
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.remaining_epsilon(), 1.5);
+  EXPECT_EQ(acc.num_charges(), 1u);
+}
+
+TEST(AccountantTest, SequentialCompositionAccumulates) {
+  PrivacyAccountant acc(1.0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(acc.Charge(0.1, "q").ok()) << "charge " << i;
+  }
+  EXPECT_NEAR(acc.spent_epsilon(), 1.0, 1e-9);
+  // Budget is now exhausted.
+  EXPECT_EQ(acc.Charge(0.1, "over").code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(AccountantTest, OverchargeRejectedAndNotDebited) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_EQ(acc.Charge(1.5, "big").code(), StatusCode::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.0);
+  EXPECT_EQ(acc.num_charges(), 0u);
+}
+
+TEST(AccountantTest, ExactTotalChargeAdmitted) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_TRUE(acc.Charge(1.0, "all").ok());
+  EXPECT_DOUBLE_EQ(acc.remaining_epsilon(), 0.0);
+}
+
+TEST(AccountantTest, RejectsNonPositiveCharges) {
+  PrivacyAccountant acc(1.0);
+  EXPECT_EQ(acc.Charge(0.0, "zero").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(acc.Charge(-0.5, "neg").code(), StatusCode::kInvalidArgument);
+  EXPECT_DOUBLE_EQ(acc.spent_epsilon(), 0.0);
+}
+
+TEST(AccountantTest, LedgerRecordsLabelsInOrder) {
+  PrivacyAccountant acc(5.0);
+  ASSERT_TRUE(acc.Charge(1.0, "alpha").ok());
+  ASSERT_TRUE(acc.Charge(2.0, "beta").ok());
+  auto charges = acc.charges();
+  ASSERT_EQ(charges.size(), 2u);
+  EXPECT_EQ(charges[0].label, "alpha");
+  EXPECT_DOUBLE_EQ(charges[0].epsilon, 1.0);
+  EXPECT_EQ(charges[1].label, "beta");
+  EXPECT_DOUBLE_EQ(charges[1].epsilon, 2.0);
+}
+
+TEST(AccountantTest, ConcurrentChargesNeverOverdraw) {
+  PrivacyAccountant acc(10.0);
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 1000;
+  // 8 * 1000 * 0.01 = 80 attempted; only 1000 of them (10 / 0.01) can land.
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc, &successes] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        if (acc.Charge(0.01, "c").ok()) successes.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(acc.spent_epsilon(), 10.0 + 1e-6);
+  EXPECT_NEAR(successes.load(), 1000, 1);
+  EXPECT_EQ(static_cast<std::size_t>(successes.load()), acc.num_charges());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

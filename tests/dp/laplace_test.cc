@@ -1,0 +1,123 @@
+#include "dp/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gupt {
+namespace dp {
+namespace {
+
+TEST(LaplaceScaleTest, BasicRatio) {
+  EXPECT_DOUBLE_EQ(LaplaceScale(2.0, 0.5).value(), 4.0);
+  EXPECT_DOUBLE_EQ(LaplaceScale(0.0, 1.0).value(), 0.0);
+}
+
+TEST(LaplaceScaleTest, RejectsBadArguments) {
+  EXPECT_FALSE(LaplaceScale(1.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceScale(1.0, -1.0).ok());
+  EXPECT_FALSE(LaplaceScale(-1.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceScale(1.0, std::nan("")).ok());
+  EXPECT_FALSE(
+      LaplaceScale(std::numeric_limits<double>::infinity(), 1.0).ok());
+}
+
+TEST(LaplaceMechanismTest, ZeroSensitivityReleasesExactly) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(LaplaceMechanism(3.14, 0.0, 1.0, &rng).value(), 3.14);
+}
+
+TEST(LaplaceMechanismTest, NoiseIsCenteredOnValue) {
+  Rng rng(2);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += LaplaceMechanism(10.0, 1.0, 2.0, &rng).value();
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.02);
+}
+
+TEST(LaplaceMechanismTest, NoiseMagnitudeMatchesScale) {
+  Rng rng(3);
+  const double sensitivity = 3.0, epsilon = 0.5;
+  const double expected_scale = sensitivity / epsilon;
+  const int n = 100000;
+  double abs_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    abs_sum +=
+        std::fabs(LaplaceMechanism(0.0, sensitivity, epsilon, &rng).value());
+  }
+  EXPECT_NEAR(abs_sum / n, expected_scale, 0.1);
+}
+
+TEST(LaplaceMechanismTest, HigherEpsilonMeansLessNoise) {
+  Rng rng(4);
+  const int n = 20000;
+  double spread_low_eps = 0.0, spread_high_eps = 0.0;
+  for (int i = 0; i < n; ++i) {
+    spread_low_eps += std::fabs(LaplaceMechanism(0.0, 1.0, 0.1, &rng).value());
+    spread_high_eps +=
+        std::fabs(LaplaceMechanism(0.0, 1.0, 10.0, &rng).value());
+  }
+  EXPECT_GT(spread_low_eps, spread_high_eps * 10);
+}
+
+TEST(LaplaceMechanismTest, VectorAppliesPerCoordinate) {
+  Rng rng(5);
+  Row values = {1.0, 2.0, 3.0};
+  auto noisy = LaplaceMechanismVector(values, 1.0, 100.0, &rng);
+  ASSERT_TRUE(noisy.ok());
+  ASSERT_EQ(noisy->size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*noisy)[i], values[i], 1.0);  // eps=100 => tiny noise
+    EXPECT_NE((*noisy)[i], values[i]);         // but not exactly equal
+  }
+}
+
+TEST(LaplaceMechanismTest, VectorZeroSensitivityExact) {
+  Rng rng(6);
+  Row values = {4.0, 5.0};
+  auto noisy = LaplaceMechanismVector(values, 0.0, 1.0, &rng);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(*noisy, values);
+}
+
+TEST(LaplaceMechanismTest, RejectsBadEpsilon) {
+  Rng rng(7);
+  EXPECT_FALSE(LaplaceMechanism(0.0, 1.0, 0.0, &rng).ok());
+  EXPECT_FALSE(LaplaceMechanismVector({1.0}, 1.0, -2.0, &rng).ok());
+}
+
+// Empirical DP sanity check: for neighbouring values v and v' with
+// |v - v'| <= sensitivity, the densities of the released outputs should
+// differ by at most e^eps. We histogram both output distributions and
+// check the ratio on well-populated bins.
+TEST(LaplaceMechanismTest, EmpiricalPrivacyRatioBounded) {
+  const double epsilon = 1.0, sensitivity = 1.0;
+  const int n = 400000;
+  const int bins = 20;
+  const double lo = -4.0, hi = 5.0;
+  std::vector<int> hist_a(bins, 0), hist_b(bins, 0);
+  Rng rng_a(8), rng_b(9);
+  for (int i = 0; i < n; ++i) {
+    double a = LaplaceMechanism(0.0, sensitivity, epsilon, &rng_a).value();
+    double b = LaplaceMechanism(1.0, sensitivity, epsilon, &rng_b).value();
+    auto bin_of = [&](double x) {
+      int bin = static_cast<int>((x - lo) / (hi - lo) * bins);
+      return std::min(std::max(bin, 0), bins - 1);
+    };
+    ++hist_a[bin_of(a)];
+    ++hist_b[bin_of(b)];
+  }
+  for (int b = 0; b < bins; ++b) {
+    if (hist_a[b] < 1000 || hist_b[b] < 1000) continue;  // noisy tail bins
+    double ratio = static_cast<double>(hist_a[b]) / hist_b[b];
+    // Allow sampling slack on top of e^eps.
+    EXPECT_LT(ratio, std::exp(epsilon) * 1.15) << "bin " << b;
+    EXPECT_GT(ratio, std::exp(-epsilon) / 1.15) << "bin " << b;
+  }
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

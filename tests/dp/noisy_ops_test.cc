@@ -1,0 +1,137 @@
+#include "dp/noisy_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gupt {
+namespace dp {
+namespace {
+
+TEST(NoisyCountTest, CenteredOnTrueCount) {
+  Rng rng(1);
+  const int trials = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += NoisyCount(100, 1.0, &rng).value();
+  }
+  EXPECT_NEAR(sum / trials, 100.0, 0.1);
+}
+
+TEST(NoisyCountTest, RejectsBadEpsilon) {
+  Rng rng(1);
+  EXPECT_FALSE(NoisyCount(5, 0.0, &rng).ok());
+}
+
+TEST(NoisySumTest, ClampsBeforeSumming) {
+  Rng rng(2);
+  // Values outside [0,1] clamp; true clamped sum = 0 + 1 + 0.5 = 1.5.
+  std::vector<double> values = {-100.0, 100.0, 0.5};
+  const int trials = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += NoisySum(values, 0.0, 1.0, 5.0, &rng).value();
+  }
+  EXPECT_NEAR(sum / trials, 1.5, 0.02);
+}
+
+TEST(NoisySumTest, SensitivityUsesLargerBoundMagnitude) {
+  // With range [-10, 2] the per-record contribution bound is 10, so at
+  // eps=1 the noise E|X| should be ~10.
+  Rng rng(3);
+  const int trials = 50000;
+  double abs_err = 0.0;
+  std::vector<double> values = {0.0};
+  for (int i = 0; i < trials; ++i) {
+    abs_err += std::fabs(NoisySum(values, -10.0, 2.0, 1.0, &rng).value());
+  }
+  EXPECT_NEAR(abs_err / trials, 10.0, 0.3);
+}
+
+TEST(NoisySumTest, RejectsInvertedRange) {
+  Rng rng(4);
+  EXPECT_FALSE(NoisySum({1.0}, 5.0, 1.0, 1.0, &rng).ok());
+}
+
+TEST(NoisyAverageTest, CenteredAndShrinksWithN) {
+  Rng rng(5);
+  std::vector<double> small(10, 0.5), large(1000, 0.5);
+  const int trials = 20000;
+  double err_small = 0.0, err_large = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    err_small +=
+        std::fabs(NoisyAverage(small, 0.0, 1.0, 1.0, &rng).value() - 0.5);
+    err_large +=
+        std::fabs(NoisyAverage(large, 0.0, 1.0, 1.0, &rng).value() - 0.5);
+  }
+  // Sensitivity (hi-lo)/n: 100x more records => ~100x less noise.
+  EXPECT_GT(err_small / trials, 50.0 * err_large / trials);
+}
+
+TEST(NoisyAverageTest, RejectsEmpty) {
+  Rng rng(6);
+  EXPECT_FALSE(NoisyAverage({}, 0.0, 1.0, 1.0, &rng).ok());
+}
+
+TEST(NoisyAverageRowsTest, PerCoordinate) {
+  Rng rng(7);
+  std::vector<Row> rows = {{0.0, 10.0}, {1.0, 20.0}};
+  Row lo = {0.0, 0.0}, hi = {1.0, 30.0};
+  const int trials = 20000;
+  Row sum = {0.0, 0.0};
+  for (int i = 0; i < trials; ++i) {
+    Row avg = NoisyAverageRows(rows, lo, hi, 50.0, &rng).value();
+    vec::AddInPlace(&sum, avg);
+  }
+  EXPECT_NEAR(sum[0] / trials, 0.5, 0.02);
+  EXPECT_NEAR(sum[1] / trials, 15.0, 0.2);
+}
+
+TEST(NoisyAverageRowsTest, RejectsArityMismatch) {
+  Rng rng(8);
+  EXPECT_FALSE(
+      NoisyAverageRows({{1.0, 2.0}}, {0.0}, {1.0}, 1.0, &rng).ok());
+  EXPECT_FALSE(
+      NoisyAverageRows({{1.0}, {1.0, 2.0}}, {0.0}, {1.0}, 1.0, &rng).ok());
+}
+
+TEST(ExponentialChoiceTest, PrefersHighScores) {
+  Rng rng(9);
+  std::vector<double> scores = {0.0, 0.0, 10.0};
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (ExponentialChoice(scores, 1.0, 2.0, &rng).value() == 2) ++hits;
+  }
+  EXPECT_GT(hits, trials * 0.95);
+}
+
+TEST(ExponentialChoiceTest, LowEpsilonIsNearUniform) {
+  Rng rng(10);
+  std::vector<double> scores = {0.0, 1.0};
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (ExponentialChoice(scores, 1.0, 0.001, &rng).value() == 1) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.5, 0.02);
+}
+
+TEST(ExponentialChoiceTest, HandlesLargeScoresWithoutOverflow) {
+  Rng rng(11);
+  std::vector<double> scores = {1e8, 1e8 + 1.0};
+  auto choice = ExponentialChoice(scores, 1.0, 1.0, &rng);
+  ASSERT_TRUE(choice.ok());
+  EXPECT_LT(choice.value(), 2u);
+}
+
+TEST(ExponentialChoiceTest, RejectsBadArguments) {
+  Rng rng(12);
+  EXPECT_FALSE(ExponentialChoice({}, 1.0, 1.0, &rng).ok());
+  EXPECT_FALSE(ExponentialChoice({1.0}, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(ExponentialChoice({1.0}, 1.0, 0.0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

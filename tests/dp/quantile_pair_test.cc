@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "dp/percentile.h"
+
+namespace gupt {
+namespace dp {
+namespace {
+
+std::vector<double> Linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+  }
+  return xs;
+}
+
+TEST(QuantilePairTest, WiderPairCoversMoreMass) {
+  std::vector<double> values = Linspace(0.0, 100.0, 2001);
+  Rng rng(1);
+  auto narrow =
+      PrivateQuantilePair(values, 0.0, 100.0, 0.25, 0.75, 3.0, &rng).value();
+  auto wide =
+      PrivateQuantilePair(values, 0.0, 100.0, 0.10, 0.90, 3.0, &rng).value();
+  EXPECT_GT(wide.second - wide.first, narrow.second - narrow.first);
+  EXPECT_NEAR(wide.first, 10.0, 5.0);
+  EXPECT_NEAR(wide.second, 90.0, 5.0);
+}
+
+TEST(QuantilePairTest, OrderAlwaysNonDecreasing) {
+  std::vector<double> values = Linspace(0.0, 1.0, 100);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    auto pair =
+        PrivateQuantilePair(values, 0.0, 1.0, 0.45, 0.55, 0.05, &rng).value();
+    EXPECT_LE(pair.first, pair.second);
+  }
+}
+
+TEST(QuantilePairTest, RejectsInvertedPercentiles) {
+  std::vector<double> values = {1.0, 2.0};
+  Rng rng(3);
+  EXPECT_FALSE(
+      PrivateQuantilePair(values, 0.0, 10.0, 0.75, 0.25, 1.0, &rng).ok());
+  EXPECT_FALSE(
+      PrivateQuantilePair(values, 0.0, 10.0, 0.5, 0.5, 1.0, &rng).ok());
+}
+
+TEST(QuantilePairTest, InterquartileWrapperMatchesPair) {
+  std::vector<double> values = Linspace(0.0, 100.0, 1001);
+  Rng rng_a(4), rng_b(4);  // identical streams
+  auto wrapper =
+      PrivateInterquartileRange(values, 0.0, 100.0, 2.0, &rng_a).value();
+  auto direct =
+      PrivateQuantilePair(values, 0.0, 100.0, 0.25, 0.75, 2.0, &rng_b)
+          .value();
+  EXPECT_DOUBLE_EQ(wrapper.first, direct.first);
+  EXPECT_DOUBLE_EQ(wrapper.second, direct.second);
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

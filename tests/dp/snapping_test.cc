@@ -1,0 +1,122 @@
+#include "dp/snapping.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gupt {
+namespace dp {
+namespace {
+
+TEST(SnappingLambdaTest, SmallestPowerOfTwoAtOrAbove) {
+  EXPECT_DOUBLE_EQ(SnappingLambda(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(SnappingLambda(1.1), 2.0);
+  EXPECT_DOUBLE_EQ(SnappingLambda(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(SnappingLambda(0.3), 0.5);
+  EXPECT_DOUBLE_EQ(SnappingLambda(3.0), 4.0);
+  EXPECT_DOUBLE_EQ(SnappingLambda(1024.0), 1024.0);
+  EXPECT_DOUBLE_EQ(SnappingLambda(0.0), 0.0);
+}
+
+TEST(SnapToGridTest, RoundsToMultiples) {
+  EXPECT_DOUBLE_EQ(SnapToGrid(3.4, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(SnapToGrid(3.5, 1.0), 4.0);  // ties away from zero
+  EXPECT_DOUBLE_EQ(SnapToGrid(-3.5, 1.0), -4.0);
+  EXPECT_DOUBLE_EQ(SnapToGrid(7.3, 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(SnapToGrid(7.3, 0.0), 7.3);  // degenerate grid: identity
+}
+
+TEST(SnapToGridTest, IdempotentOnGridPoints) {
+  for (double x : {-8.0, -0.5, 0.0, 1.5, 1024.0}) {
+    EXPECT_DOUBLE_EQ(SnapToGrid(x, 0.5), x);
+  }
+}
+
+TEST(SnappingMechanismTest, OutputsLieOnTheGridWithinBounds) {
+  Rng rng(1);
+  const double sensitivity = 1.0, epsilon = 0.5, bound = 100.0;
+  const double lambda = SnappingLambda(sensitivity / epsilon);
+  for (int i = 0; i < 2000; ++i) {
+    double out =
+        SnappingLaplaceMechanism(42.0, sensitivity, epsilon, bound, &rng)
+            .value();
+    EXPECT_LE(std::fabs(out), bound);
+    // On-grid unless clamped to the (off-grid) bound.
+    if (std::fabs(out) < bound) {
+      EXPECT_DOUBLE_EQ(out, SnapToGrid(out, lambda));
+    }
+  }
+}
+
+TEST(SnappingMechanismTest, CenteredOnValue) {
+  Rng rng(2);
+  const int trials = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    sum += SnappingLaplaceMechanism(10.0, 1.0, 1.0, 1000.0, &rng).value();
+  }
+  // Snapping adds at most lambda/2 = 1 of bias; Laplace noise is centered.
+  EXPECT_NEAR(sum / trials, 10.0, 0.05);
+}
+
+TEST(SnappingMechanismTest, SpreadTracksTheScale) {
+  Rng rng(3);
+  const double sensitivity = 2.0, epsilon = 0.5;  // scale 4, lambda 4
+  const int trials = 50000;
+  double abs_sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    abs_sum += std::fabs(
+        SnappingLaplaceMechanism(0.0, sensitivity, epsilon, 1e6, &rng)
+            .value());
+  }
+  // E|snap(Lap(4))| ~ 4 (within the snapping quantisation).
+  EXPECT_NEAR(abs_sum / trials, 4.0, 0.5);
+}
+
+TEST(SnappingMechanismTest, ClampsInputBeyondBound) {
+  Rng rng(4);
+  // Value far outside the public bound: the release cannot reveal it.
+  double out =
+      SnappingLaplaceMechanism(1e9, 1.0, 10.0, 50.0, &rng).value();
+  EXPECT_LE(out, 50.0);
+  EXPECT_GT(out, 40.0);  // clamped value 50 minus small noise
+}
+
+TEST(SnappingMechanismTest, ZeroSensitivityReleasesClampedExactly) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(
+      SnappingLaplaceMechanism(7.0, 0.0, 1.0, 100.0, &rng).value(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      SnappingLaplaceMechanism(700.0, 0.0, 1.0, 100.0, &rng).value(), 100.0);
+}
+
+TEST(SnappingMechanismTest, RejectsBadArguments) {
+  Rng rng(6);
+  EXPECT_FALSE(SnappingLaplaceMechanism(0.0, 1.0, 0.0, 1.0, &rng).ok());
+  EXPECT_FALSE(SnappingLaplaceMechanism(0.0, -1.0, 1.0, 1.0, &rng).ok());
+  EXPECT_FALSE(SnappingLaplaceMechanism(0.0, 1.0, 1.0, 0.0, &rng).ok());
+  EXPECT_FALSE(SnappingLaplaceMechanism(0.0, 1.0, 1.0, -5.0, &rng).ok());
+}
+
+TEST(SnappingMechanismTest, OutputSupportIsValueIndependent) {
+  // The point of snapping: the achievable output set does not depend on
+  // the secret value's low-order bits. Two nearby values must produce
+  // outputs from the SAME grid.
+  Rng rng_a(7), rng_b(8);
+  const double lambda = SnappingLambda(1.0 / 0.5);
+  std::set<double> support_a, support_b;
+  for (int i = 0; i < 3000; ++i) {
+    support_a.insert(
+        SnappingLaplaceMechanism(10.0, 1.0, 0.5, 1e6, &rng_a).value());
+    support_b.insert(SnappingLaplaceMechanism(10.0 + 1e-13, 1.0, 0.5, 1e6,
+                                              &rng_b)
+                         .value());
+  }
+  for (double v : support_a) EXPECT_DOUBLE_EQ(v, SnapToGrid(v, lambda));
+  for (double v : support_b) EXPECT_DOUBLE_EQ(v, SnapToGrid(v, lambda));
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

@@ -1,0 +1,313 @@
+#include "exec/chamber.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "analytics/queries.h"
+
+namespace gupt {
+namespace {
+
+using std::chrono::milliseconds;
+
+Dataset OneColumn(std::vector<double> values) {
+  return Dataset::FromColumn(values).value();
+}
+
+ProgramFactory Constant(double value) {
+  return MakeProgramFactory("const", 1, [value](const Dataset&) -> Result<Row> {
+    return Row{value};
+  });
+}
+
+TEST(ChamberServicesTest, ScratchRoundTrip) {
+  ChamberServices services(ChamberPolicy{});
+  ASSERT_TRUE(services.WriteScratch("k", "v").ok());
+  EXPECT_EQ(services.ReadScratch("k").value(), "v");
+  EXPECT_EQ(services.ReadScratch("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ChamberServicesTest, ScratchOverwriteReusesSpace) {
+  ChamberPolicy policy;
+  policy.scratch_limit_bytes = 16;
+  ChamberServices services(policy);
+  ASSERT_TRUE(services.WriteScratch("k", "0123456789").ok());  // 11 bytes
+  // Overwriting the same key with an equal-size value must fit.
+  ASSERT_TRUE(services.WriteScratch("k", "abcdefghij").ok());
+  EXPECT_EQ(services.ReadScratch("k").value(), "abcdefghij");
+}
+
+TEST(ChamberServicesTest, ScratchLimitEnforced) {
+  ChamberPolicy policy;
+  policy.scratch_limit_bytes = 8;
+  ChamberServices services(policy);
+  EXPECT_EQ(services.WriteScratch("key", "0123456789").code(),
+            StatusCode::kPolicyViolation);
+  EXPECT_EQ(services.violation_count(), 1u);
+}
+
+TEST(ChamberServicesTest, NetworkAlwaysDenied) {
+  ChamberServices services(ChamberPolicy{});
+  EXPECT_EQ(services.OpenNetworkConnection("evil.example:443").code(),
+            StatusCode::kPolicyViolation);
+  EXPECT_EQ(services.violation_count(), 1u);
+}
+
+TEST(ChamberServicesTest, PeerIpcAlwaysDenied) {
+  ChamberServices services(ChamberPolicy{});
+  EXPECT_EQ(services.SendToPeerChamber("chamber-7", "hello").code(),
+            StatusCode::kPolicyViolation);
+  EXPECT_EQ(services.violation_count(), 1u);
+}
+
+TEST(ChamberTest, RunsProgramAndReturnsOutput) {
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(Constant(7.0), OneColumn({1, 2, 3}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{7.0}));
+  EXPECT_TRUE(run->program_status.ok());
+}
+
+TEST(ChamberTest, ProgramErrorSubstitutesFallback) {
+  auto failing = MakeProgramFactory("fail", 1, [](const Dataset&) -> Result<Row> {
+    return Status::NumericalError("diverged");
+  });
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(failing, OneColumn({1}), Row{42.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{42.0}));
+  EXPECT_EQ(run->program_status.code(), StatusCode::kNumericalError);
+}
+
+TEST(ChamberTest, WrongOutputDimensionSubstitutesFallback) {
+  auto liar = MakeProgramFactory("liar", 2, [](const Dataset&) -> Result<Row> {
+    return Row{1.0};  // declared 2 dims, returns 1
+  });
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(liar, OneColumn({1}), Row{0.0, 0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{0.0, 0.0}));
+  EXPECT_EQ(run->program_status.code(), StatusCode::kPolicyViolation);
+}
+
+TEST(ChamberTest, FallbackDimensionMismatchIsCallerError) {
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(Constant(1.0), OneColumn({1}), Row{0.0, 0.0});
+  EXPECT_FALSE(run.ok());
+}
+
+TEST(ChamberTest, NullFactoryIsCallerError) {
+  ExecutionChamber chamber{ChamberPolicy{}};
+  EXPECT_FALSE(chamber.Execute(ProgramFactory{}, OneColumn({1}), Row{0.0}).ok());
+}
+
+TEST(ChamberTest, DeadlineKillsSlowProgram) {
+  auto slow = MakeProgramFactory("slow", 1, [](const Dataset&) -> Result<Row> {
+    std::this_thread::sleep_for(milliseconds(500));
+    return Row{1.0};
+  });
+  ChamberPolicy policy;
+  policy.deadline = std::chrono::microseconds(20000);  // 20ms
+  ExecutionChamber chamber{policy};
+  auto run = chamber.Execute(slow, OneColumn({1}), Row{13.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->deadline_exceeded);
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{13.0}));
+  EXPECT_EQ(run->program_status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChamberTest, FastProgramBeatsDeadline) {
+  ChamberPolicy policy;
+  policy.deadline = std::chrono::microseconds(500000);
+  ExecutionChamber chamber{policy};
+  auto run = chamber.Execute(Constant(5.0), OneColumn({1}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->deadline_exceeded);
+  EXPECT_EQ(run->output, (Row{5.0}));
+}
+
+TEST(ChamberTest, PaddingMakesRuntimeDataIndependent) {
+  // Timing attack (paper §6.2): a program that runs long on a "target"
+  // record and fast otherwise. With padding, observable durations match.
+  auto timing_attack = [](double target) {
+    return MakeProgramFactory("timing", 1,
+                              [target](const Dataset& block) -> Result<Row> {
+                                for (const Row& row : block.rows()) {
+                                  if (row[0] == target) {
+                                    std::this_thread::sleep_for(
+                                        milliseconds(30));
+                                  }
+                                }
+                                return Row{0.0};
+                              });
+  };
+  ChamberPolicy policy;
+  policy.deadline = std::chrono::microseconds(60000);
+  policy.pad_to_deadline = true;
+  ExecutionChamber chamber{policy};
+
+  // Take the minimum over a few repetitions: the minimum is robust to
+  // scheduler hiccups on a loaded machine, while still exposing the 30ms
+  // data-dependent sleep if the padding were broken.
+  auto min_elapsed = [&](double record_value) {
+    auto best = std::chrono::nanoseconds::max();
+    for (int i = 0; i < 3; ++i) {
+      auto run = chamber.Execute(timing_attack(7.0),
+                                 OneColumn({record_value}), Row{0.0});
+      EXPECT_TRUE(run.ok());
+      best = std::min(best, run->elapsed);
+    }
+    return best;
+  };
+  auto with_target = min_elapsed(7.0);
+  auto without_target = min_elapsed(1.0);
+  // Both runs take (at least) the full deadline; the observable difference
+  // collapses to scheduler noise rather than the 30ms data signal.
+  auto deadline_ns = std::chrono::nanoseconds(policy.deadline);
+  EXPECT_GE(with_target, deadline_ns);
+  EXPECT_GE(without_target, deadline_ns);
+  auto diff = std::chrono::abs(with_target - without_target);
+  auto longest = std::max(with_target, without_target);
+  EXPECT_LT(diff.count(), longest.count() * 0.4);
+}
+
+TEST(ChamberTest, StateAttackDefeatedByFreshInstances) {
+  // State attack (paper §6.2): the program tries to accumulate a count of
+  // "hits" across blocks through instance state. Fresh instances per
+  // execution mean the second run observes nothing from the first.
+  class StatefulSpy final : public AnalysisProgram {
+   public:
+    Result<Row> Run(const Dataset& block) override {
+      for (const Row& row : block.rows()) {
+        if (row[0] == 7.0) ++hits_;
+      }
+      return Row{static_cast<double>(hits_)};
+    }
+    std::size_t output_dims() const override { return 1; }
+    std::string name() const override { return "spy"; }
+
+   private:
+    int hits_ = 0;  // would leak across blocks if the instance survived
+  };
+  ProgramFactory factory = [] { return std::make_unique<StatefulSpy>(); };
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto first = chamber.Execute(factory, OneColumn({7.0, 7.0}), Row{0.0});
+  auto second = chamber.Execute(factory, OneColumn({1.0}), Row{0.0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->output, (Row{2.0}));
+  // The second chamber's instance starts from zero: no cross-block leak.
+  EXPECT_EQ(second->output, (Row{0.0}));
+}
+
+TEST(ChamberTest, PolicyViolationsAreCountedAndDenied) {
+  class Exfiltrator final : public AnalysisProgram {
+   public:
+    Result<Row> Run(const Dataset&) override { return Row{0.0}; }
+    Result<Row> RunWithServices(const Dataset& block,
+                                ChamberServices* services) override {
+      // Try to ship the block to the outside world; both channels must be
+      // denied without aborting the run.
+      (void)services->OpenNetworkConnection("exfil.example:80");
+      (void)services->SendToPeerChamber("peer", "data");
+      return Row{static_cast<double>(block.num_rows())};
+    }
+    std::size_t output_dims() const override { return 1; }
+    std::string name() const override { return "exfil"; }
+  };
+  ProgramFactory factory = [] { return std::make_unique<Exfiltrator>(); };
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(factory, OneColumn({1, 2, 3}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->policy_violations, 2u);
+  EXPECT_FALSE(run->used_fallback);  // the run itself completed
+  EXPECT_EQ(run->output, (Row{3.0}));
+}
+
+TEST(ChamberTest, ScratchIsWipedBetweenRuns) {
+  class ScratchProbe final : public AnalysisProgram {
+   public:
+    Result<Row> Run(const Dataset&) override { return Row{0.0}; }
+    Result<Row> RunWithServices(const Dataset&,
+                                ChamberServices* services) override {
+      double found = services->ReadScratch("note").ok() ? 1.0 : 0.0;
+      (void)services->WriteScratch("note", "I was here");
+      return Row{found};
+    }
+    std::size_t output_dims() const override { return 1; }
+    std::string name() const override { return "scratch_probe"; }
+  };
+  ProgramFactory factory = [] { return std::make_unique<ScratchProbe>(); };
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto first = chamber.Execute(factory, OneColumn({1}), Row{-1.0});
+  auto second = chamber.Execute(factory, OneColumn({1}), Row{-1.0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->output, (Row{0.0}));
+  EXPECT_EQ(second->output, (Row{0.0}));  // wiped: the note is gone
+}
+
+TEST(ChamberTest, ThrowingProgramIsContainedNotFatal) {
+  // An untrusted program that throws must not take the runtime down (on a
+  // detached deadline worker an escaping exception would std::terminate);
+  // it is converted into a fallback like any other misbehaviour.
+  auto thrower = MakeProgramFactory("thrower", 1,
+                                    [](const Dataset&) -> Result<Row> {
+                                      throw std::runtime_error("sabotage");
+                                    });
+  ExecutionChamber inline_chamber{ChamberPolicy{}};
+  auto run = inline_chamber.Execute(thrower, OneColumn({1.0}), Row{9.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{9.0}));
+  EXPECT_EQ(run->program_status.code(), StatusCode::kPolicyViolation);
+  EXPECT_NE(run->program_status.message().find("sabotage"),
+            std::string::npos);
+
+  ChamberPolicy deadline_policy;
+  deadline_policy.deadline = std::chrono::microseconds(500000);
+  ExecutionChamber deadline_chamber{deadline_policy};
+  auto threaded = deadline_chamber.Execute(thrower, OneColumn({1.0}),
+                                           Row{9.0});
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_TRUE(threaded->used_fallback);
+}
+
+TEST(ChamberTest, NonStandardThrowIsAlsoContained) {
+  auto thrower = MakeProgramFactory("weird", 1,
+                                    [](const Dataset&) -> Result<Row> {
+                                      throw 42;  // not a std::exception
+                                    });
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto run = chamber.Execute(thrower, OneColumn({1.0}), Row{0.5});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{0.5}));
+}
+
+TEST(ChamberTest, ProgramGetsPrivateCopyOfBlock) {
+  // A program cannot corrupt the dataset for later runs: it only ever sees
+  // a copy. (The const interface already prevents direct writes; this
+  // checks the lifetime/aliasing contract for abandoned runs too.)
+  Dataset data = OneColumn({1, 2, 3});
+  ExecutionChamber chamber{ChamberPolicy{}};
+  auto probe = MakeProgramFactory("probe", 1,
+                                  [](const Dataset& block) -> Result<Row> {
+                                    return Row{block.row(0)[0]};
+                                  });
+  auto run = chamber.Execute(probe, data, Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(data.row(0), (Row{1.0}));
+  EXPECT_EQ(run->output, (Row{1.0}));
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,136 @@
+#include "exec/computation_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/vec.h"
+
+namespace gupt {
+namespace {
+
+Dataset Counting(std::size_t n) {
+  std::vector<Row> rows;
+  for (std::size_t i = 0; i < n; ++i) rows.push_back({static_cast<double>(i)});
+  return Dataset::Create(std::move(rows)).value();
+}
+
+ProgramFactory BlockMean() {
+  return MakeProgramFactory("block_mean", 1,
+                            [](const Dataset& block) -> Result<Row> {
+                              GUPT_ASSIGN_OR_RETURN(auto col, block.Column(0));
+                              return Row{stats::Mean(col)};
+                            });
+}
+
+BlockPlan SequentialPlan(std::size_t n, std::size_t num_blocks) {
+  BlockPlan plan;
+  plan.blocks.resize(num_blocks);
+  for (std::size_t i = 0; i < n; ++i) {
+    plan.blocks[i % num_blocks].push_back(i);
+  }
+  return plan;
+}
+
+TEST(ComputationManagerTest, SequentialExecutesEveryBlock) {
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  Dataset data = Counting(20);
+  auto report = manager.ExecuteOnBlocks(BlockMean(), data,
+                                        SequentialPlan(20, 4), Row{0.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->runs.size(), 4u);
+  EXPECT_EQ(report->fallback_count, 0u);
+  // Block means average to the global mean for a balanced round-robin deal.
+  std::vector<Row> outputs = report->Outputs();
+  double sum = 0.0;
+  for (const Row& o : outputs) sum += o[0];
+  EXPECT_NEAR(sum / 4.0, 9.5, 1e-9);
+}
+
+TEST(ComputationManagerTest, ParallelMatchesSequentialOutputs) {
+  Dataset data = Counting(100);
+  BlockPlan plan = SequentialPlan(100, 10);
+  ComputationManager sequential(nullptr, ChamberPolicy{});
+  ThreadPool pool(4);
+  ComputationManager parallel(&pool, ChamberPolicy{});
+  auto a = sequential.ExecuteOnBlocks(BlockMean(), data, plan, Row{0.0});
+  auto b = parallel.ExecuteOnBlocks(BlockMean(), data, plan, Row{0.0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same plan, deterministic program: identical per-block outputs in order.
+  EXPECT_EQ(a->Outputs(), b->Outputs());
+}
+
+TEST(ComputationManagerTest, CountsFallbacks) {
+  // Blocks whose first value is even fail; the rest succeed.
+  auto flaky = MakeProgramFactory(
+      "flaky", 1, [](const Dataset& block) -> Result<Row> {
+        if (static_cast<int>(block.row(0)[0]) % 2 == 0) {
+          return Status::NumericalError("even block");
+        }
+        return Row{1.0};
+      });
+  Dataset data = Counting(4);
+  BlockPlan plan;
+  plan.blocks = {{0}, {1}, {2}, {3}};
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  auto report = manager.ExecuteOnBlocks(flaky, data, plan, Row{-1.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->fallback_count, 2u);
+  EXPECT_EQ(report->Outputs()[0], (Row{-1.0}));
+  EXPECT_EQ(report->Outputs()[1], (Row{1.0}));
+}
+
+TEST(ComputationManagerTest, EmptyPlanRejected) {
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  EXPECT_FALSE(
+      manager.ExecuteOnBlocks(BlockMean(), Counting(5), BlockPlan{}, Row{0.0})
+          .ok());
+}
+
+TEST(ComputationManagerTest, BadBlockIndexRejectedBeforeExecution) {
+  std::atomic<int> executions{0};
+  auto counting_program = MakeProgramFactory(
+      "counting", 1, [&executions](const Dataset&) -> Result<Row> {
+        executions.fetch_add(1);
+        return Row{0.0};
+      });
+  BlockPlan plan;
+  plan.blocks = {{0}, {99}};  // 99 is out of range for 5 rows
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  EXPECT_FALSE(
+      manager.ExecuteOnBlocks(counting_program, Counting(5), plan, Row{0.0})
+          .ok());
+  EXPECT_EQ(executions.load(), 0);  // no untrusted code ran
+}
+
+TEST(ComputationManagerTest, ExecuteOnceRunsWholeDataset) {
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  auto run = manager.ExecuteOnce(BlockMean(), Counting(11), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_NEAR(run->output[0], 5.0, 1e-9);
+}
+
+TEST(ComputationManagerTest, AggregatesPolicyViolationCounts) {
+  class Noisy final : public AnalysisProgram {
+   public:
+    Result<Row> Run(const Dataset&) override { return Row{0.0}; }
+    Result<Row> RunWithServices(const Dataset&,
+                                ChamberServices* services) override {
+      (void)services->OpenNetworkConnection("x");
+      return Row{0.0};
+    }
+    std::size_t output_dims() const override { return 1; }
+    std::string name() const override { return "noisy"; }
+  };
+  ProgramFactory factory = [] { return std::make_unique<Noisy>(); };
+  BlockPlan plan;
+  plan.blocks = {{0}, {1}, {2}};
+  ComputationManager manager(nullptr, ChamberPolicy{});
+  auto report = manager.ExecuteOnBlocks(factory, Counting(3), plan, Row{0.0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->policy_violation_count, 3u);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,166 @@
+// Tests for the fork-based process chamber: true OS-level isolation.
+
+#include "exec/process_chamber.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+namespace gupt {
+namespace {
+
+Dataset OneColumn(std::vector<double> values) {
+  return Dataset::FromColumn(values).value();
+}
+
+TEST(ProcessChamberTest, RunsProgramAndReturnsOutput) {
+  ProcessChamber chamber{ChamberPolicy{}};
+  auto program = MakeProgramFactory(
+      "sum", 1, [](const Dataset& block) -> Result<Row> {
+        double sum = 0.0;
+        for (const Row& row : block.rows()) sum += row[0];
+        return Row{sum};
+      });
+  auto run = chamber.Execute(program, OneColumn({1, 2, 3}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{6.0}));
+}
+
+TEST(ProcessChamberTest, MultiDimensionalOutput) {
+  ProcessChamber chamber{ChamberPolicy{}};
+  auto program = MakeProgramFactory(
+      "pair", 2, [](const Dataset& block) -> Result<Row> {
+        return Row{block.row(0)[0], -block.row(0)[0]};
+      });
+  auto run = chamber.Execute(program, OneColumn({5.0}), Row{0.0, 0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->output, (Row{5.0, -5.0}));
+}
+
+TEST(ProcessChamberTest, ProgramErrorFallsBack) {
+  ProcessChamber chamber{ChamberPolicy{}};
+  auto failing = MakeProgramFactory("fail", 1,
+                                    [](const Dataset&) -> Result<Row> {
+                                      return Status::NumericalError("bad");
+                                    });
+  auto run = chamber.Execute(failing, OneColumn({1}), Row{7.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{7.0}));
+}
+
+TEST(ProcessChamberTest, WrongArityFallsBack) {
+  ProcessChamber chamber{ChamberPolicy{}};
+  auto liar = MakeProgramFactory("liar", 2, [](const Dataset&) -> Result<Row> {
+    return Row{1.0};
+  });
+  auto run = chamber.Execute(liar, OneColumn({1}), Row{0.0, 0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+}
+
+TEST(ProcessChamberTest, CrashingChildIsContained) {
+  // A segfault-equivalent: the child exits abruptly without a frame. The
+  // parent must absorb it and fall back — no crash, no zombie.
+  ProcessChamber chamber{ChamberPolicy{}};
+  auto crasher = MakeProgramFactory("crash", 1,
+                                    [](const Dataset&) -> Result<Row> {
+                                      std::abort();
+                                    });
+  auto run = chamber.Execute(crasher, OneColumn({1}), Row{3.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->used_fallback);
+  EXPECT_EQ(run->output, (Row{3.0}));
+  EXPECT_EQ(run->program_status.code(), StatusCode::kPolicyViolation);
+}
+
+TEST(ProcessChamberTest, InfiniteLoopIsActuallyKilled) {
+  // The in-process chamber can only abandon a runaway thread; the process
+  // chamber SIGKILLs the child. A genuinely infinite loop terminates.
+  ChamberPolicy policy;
+  policy.deadline = std::chrono::microseconds(50000);
+  ProcessChamber chamber{policy};
+  auto spinner = MakeProgramFactory("spin", 1,
+                                    [](const Dataset&) -> Result<Row> {
+                                      volatile bool forever = true;
+                                      while (forever) {
+                                      }
+                                      return Row{0.0};
+                                    });
+  auto start = std::chrono::steady_clock::now();
+  auto run = chamber.Execute(spinner, OneColumn({1}), Row{0.25});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->deadline_exceeded);
+  EXPECT_EQ(run->output, (Row{0.25}));
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST(ProcessChamberTest, GlobalStateAttackDefeated) {
+  // The attack the in-process chamber CANNOT stop: a program accumulating
+  // information across blocks via a global. With process isolation every
+  // block sees a pristine global.
+  static int global_counter = 0;
+  auto global_attacker = MakeProgramFactory(
+      "global_attacker", 1, [](const Dataset&) -> Result<Row> {
+        ++global_counter;  // mutates the CHILD's copy only
+        return Row{static_cast<double>(global_counter)};
+      });
+  ProcessChamber chamber{ChamberPolicy{}};
+  for (int i = 0; i < 3; ++i) {
+    auto run = chamber.Execute(global_attacker, OneColumn({1}), Row{0.0});
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->output, (Row{1.0})) << "iteration " << i;
+  }
+  EXPECT_EQ(global_counter, 0);  // the parent's global never moved
+}
+
+TEST(ProcessChamberTest, PaddingExtendsObservedDuration) {
+  ChamberPolicy policy;
+  policy.deadline = std::chrono::microseconds(40000);
+  policy.pad_to_deadline = true;
+  ProcessChamber chamber{policy};
+  auto fast = MakeProgramFactory("fast", 1, [](const Dataset&) -> Result<Row> {
+    return Row{1.0};
+  });
+  auto run = chamber.Execute(fast, OneColumn({1}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->elapsed, std::chrono::nanoseconds(policy.deadline));
+  EXPECT_FALSE(run->used_fallback);
+}
+
+TEST(ProcessChamberTest, ViolationCountsCrossTheBoundary) {
+  class Exfiltrator final : public AnalysisProgram {
+   public:
+    Result<Row> Run(const Dataset&) override { return Row{0.0}; }
+    Result<Row> RunWithServices(const Dataset&,
+                                ChamberServices* services) override {
+      (void)services->OpenNetworkConnection("evil");
+      (void)services->SendToPeerChamber("peer", "psst");
+      return Row{0.0};
+    }
+    std::size_t output_dims() const override { return 1; }
+    std::string name() const override { return "exfil"; }
+  };
+  ProcessChamber chamber{ChamberPolicy{}};
+  ProgramFactory factory = [] { return std::make_unique<Exfiltrator>(); };
+  auto run = chamber.Execute(factory, OneColumn({1}), Row{0.0});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->policy_violations, 2u);
+}
+
+TEST(ProcessChamberTest, CallerErrorsReported) {
+  ProcessChamber chamber{ChamberPolicy{}};
+  EXPECT_FALSE(
+      chamber.Execute(ProgramFactory{}, OneColumn({1}), Row{0.0}).ok());
+  auto program = MakeProgramFactory("p", 1, [](const Dataset&) -> Result<Row> {
+    return Row{0.0};
+  });
+  EXPECT_FALSE(
+      chamber.Execute(program, OneColumn({1}), Row{0.0, 0.0}).ok());
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,48 @@
+#include "exec/program.h"
+
+#include <gtest/gtest.h>
+
+namespace gupt {
+namespace {
+
+TEST(ProgramFactoryTest, CarriesNameAndDims) {
+  ProgramFactory factory = MakeProgramFactory(
+      "my_query", 3, [](const Dataset&) -> Result<Row> {
+        return Row{1.0, 2.0, 3.0};
+      });
+  auto program = factory();
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->name(), "my_query");
+  EXPECT_EQ(program->output_dims(), 3u);
+}
+
+TEST(ProgramFactoryTest, ProducesFreshInstances) {
+  ProgramFactory factory =
+      MakeProgramFactory("q", 1, [](const Dataset&) -> Result<Row> {
+        return Row{0.0};
+      });
+  auto a = factory();
+  auto b = factory();
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(ProgramFactoryTest, RunForwardsBlock) {
+  ProgramFactory factory = MakeProgramFactory(
+      "rows", 1, [](const Dataset& block) -> Result<Row> {
+        return Row{static_cast<double>(block.num_rows())};
+      });
+  Dataset data = Dataset::FromColumn({1, 2, 3, 4}).value();
+  EXPECT_EQ(factory()->Run(data).value(), (Row{4.0}));
+}
+
+TEST(ProgramFactoryTest, DefaultRunWithServicesIgnoresServices) {
+  ProgramFactory factory =
+      MakeProgramFactory("q", 1, [](const Dataset&) -> Result<Row> {
+        return Row{5.0};
+      });
+  Dataset data = Dataset::FromColumn({1}).value();
+  EXPECT_EQ(factory()->RunWithServices(data, nullptr).value(), (Row{5.0}));
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,140 @@
+// Regression guards for the reproduced evaluation shapes (EXPERIMENTS.md).
+//
+// Reduced-size versions of the figure benches, asserting the qualitative
+// claims the paper makes — so a change that silently breaks a reproduced
+// result fails CI rather than only showing up in a bench run someone has
+// to eyeball.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/queries.h"
+#include "core/gupt.h"
+#include "data/synthetic.h"
+
+namespace gupt {
+namespace {
+
+class ExperimentShapesTest : public ::testing::Test {
+ protected:
+  // Normalized RMSE of a query at block size beta, as in Fig. 9.
+  double NormalizedRmse(GuptRuntime* runtime, const std::string& name,
+                        const ProgramFactory& program, double truth,
+                        std::size_t beta, double epsilon, int trials) {
+    double sq = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      QuerySpec spec;
+      spec.program = program;
+      spec.epsilon = epsilon;
+      spec.range = OutputRangeSpec::Tight({Range{0.0, 60.0}});
+      spec.block_size = beta;
+      auto report = runtime->Execute(name, spec);
+      EXPECT_TRUE(report.ok());
+      double err = report->output[0] - truth;
+      sq += err * err;
+    }
+    return std::sqrt(sq / trials) / truth;
+  }
+};
+
+TEST_F(ExperimentShapesTest, Fig9MeanPrefersTinyBlocksMedianIsUShaped) {
+  synthetic::InternetAdsOptions gen;
+  Dataset ads = synthetic::InternetAdAspectRatios(gen).value();
+  auto column = ads.Column(0).value();
+  double true_mean = stats::Mean(column);
+  double true_median = stats::Quantile(column, 0.5).value();
+
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e9;
+  ASSERT_TRUE(manager.Register("ads", std::move(ads), opts).ok());
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  const int kTrials = 40;
+  // Mean (Example 3): beta = 1 beats large blocks decisively.
+  double mean_at_1 = NormalizedRmse(&runtime, "ads", analytics::MeanQuery(0),
+                                    true_mean, 1, 2.0, kTrials);
+  double mean_at_70 = NormalizedRmse(&runtime, "ads", analytics::MeanQuery(0),
+                                     true_mean, 70, 2.0, kTrials);
+  EXPECT_LT(mean_at_1 * 5.0, mean_at_70);
+
+  // Median at eps=2 (Fig. 9): U-shape — beta~10 beats both extremes.
+  double median_at_1 = NormalizedRmse(
+      &runtime, "ads", analytics::MedianQuery(0), true_median, 1, 2.0,
+      kTrials);
+  double median_at_10 = NormalizedRmse(
+      &runtime, "ads", analytics::MedianQuery(0), true_median, 10, 2.0,
+      kTrials);
+  double median_at_70 = NormalizedRmse(
+      &runtime, "ads", analytics::MedianQuery(0), true_median, 70, 2.0,
+      kTrials);
+  EXPECT_LT(median_at_10, median_at_1);
+  EXPECT_LT(median_at_10, median_at_70);
+}
+
+TEST_F(ExperimentShapesTest, Fig4TightBeatsLooseAtSmallEpsilon) {
+  synthetic::CensusAgeOptions gen;
+  gen.num_rows = 10000;
+  Dataset ages = synthetic::CensusAges(gen).value();
+  double truth = stats::Mean(ages.Column(0).value());
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e9;
+  ASSERT_TRUE(manager.Register("ages", std::move(ages), opts).ok());
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  auto mean_abs_error = [&](OutputRangeSpec range) {
+    double err = 0.0;
+    const int kTrials = 30;
+    for (int t = 0; t < kTrials; ++t) {
+      QuerySpec spec;
+      spec.program = analytics::MeanQuery(0);
+      spec.epsilon = 0.4;
+      spec.range = range;
+      auto report = runtime.Execute("ages", spec);
+      EXPECT_TRUE(report.ok());
+      err += std::fabs(report->output[0] - truth);
+    }
+    return err / kTrials;
+  };
+  double tight = mean_abs_error(OutputRangeSpec::Tight({Range{17.0, 90.0}}));
+  double loose = mean_abs_error(OutputRangeSpec::Loose({Range{0.0, 180.0}}));
+  EXPECT_LT(tight, loose);
+}
+
+TEST_F(ExperimentShapesTest, Fig7VariableEpsilonMeetsGoalCheaperThanEps1) {
+  synthetic::CensusAgeOptions gen;
+  gen.num_rows = 20000;
+  Dataset ages = synthetic::CensusAges(gen).value();
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 1e9;
+  opts.aged_fraction = 0.10;
+  ASSERT_TRUE(manager.Register("ages", std::move(ages), opts).ok());
+  double truth =
+      stats::Mean(manager.Get("ages").value()->data().Column(0).value());
+  GuptRuntime runtime(&manager, GuptOptions{});
+
+  int meeting = 0;
+  double epsilon_used = 0.0;
+  const int kQueries = 50;
+  for (int q = 0; q < kQueries; ++q) {
+    QuerySpec spec;
+    spec.program = analytics::MeanQuery(0);
+    spec.accuracy_goal = AccuracyGoal{0.90, 0.10};
+    spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+    spec.block_size = 100;
+    auto report = runtime.Execute("ages", spec);
+    ASSERT_TRUE(report.ok());
+    epsilon_used = report->epsilon_spent;
+    if (std::fabs(report->output[0] - truth) <= 0.1 * truth) ++meeting;
+  }
+  // The goal ("90% accuracy for 90% of queries") is met...
+  EXPECT_GE(meeting, kQueries * 9 / 10);
+  // ...at a per-query budget well below the naive eps=1 (Fig. 8's point).
+  EXPECT_LT(epsilon_used, 1.0);
+}
+
+}  // namespace
+}  // namespace gupt

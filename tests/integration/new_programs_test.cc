@@ -1,0 +1,167 @@
+// End-to-end runs of the extended analytics programs (linear regression,
+// PCA, robust means) through the full GUPT runtime.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/linear_regression.h"
+#include "analytics/pca.h"
+#include "analytics/queries.h"
+#include "common/rng.h"
+#include "core/canonical.h"
+#include "core/gupt.h"
+
+namespace gupt {
+namespace {
+
+class NewProgramsTest : public ::testing::Test {
+ protected:
+  DatasetManager manager_;
+};
+
+TEST_F(NewProgramsTest, PrivateLinearRegressionRecoversCoefficients) {
+  // y = 3 x0 - 2 x1 + 5 + N(0, 0.5).
+  Rng rng(1);
+  std::vector<Row> rows;
+  for (int i = 0; i < 20000; ++i) {
+    double x0 = rng.UniformDouble(-2.0, 2.0);
+    double x1 = rng.UniformDouble(-2.0, 2.0);
+    rows.push_back({x0, x1, 3.0 * x0 - 2.0 * x1 + 5.0 + rng.Gaussian(0, 0.5)});
+  }
+  DatasetOptions opts;
+  opts.total_epsilon = 100.0;
+  ASSERT_TRUE(
+      manager_.Register("lin", Dataset::Create(std::move(rows)).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager_, GuptOptions{});
+
+  analytics::LinearRegressionOptions lin;
+  lin.feature_dims = {0, 1};
+  lin.target_dim = 2;
+  QuerySpec spec;
+  spec.program = analytics::LinearRegressionQuery(lin);
+  spec.epsilon = 6.0;
+  spec.range = OutputRangeSpec::Tight(
+      {Range{-10.0, 10.0}, Range{-10.0, 10.0}, Range{-10.0, 10.0}});
+  auto report = runtime.Execute("lin", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->output[0], 3.0, 0.8);
+  EXPECT_NEAR(report->output[1], -2.0, 0.8);
+  EXPECT_NEAR(report->output[2], 5.0, 0.8);
+}
+
+TEST_F(NewProgramsTest, PrivatePcaFindsDominantDirection) {
+  Rng rng(2);
+  std::vector<Row> rows;
+  const Row direction = {0.6, 0.8};
+  for (int i = 0; i < 20000; ++i) {
+    double along = rng.Gaussian(0.0, 3.0);
+    rows.push_back({along * direction[0] + rng.Gaussian(0.0, 0.2),
+                    along * direction[1] + rng.Gaussian(0.0, 0.2)});
+  }
+  DatasetOptions opts;
+  opts.total_epsilon = 100.0;
+  ASSERT_TRUE(
+      manager_.Register("pca", Dataset::Create(std::move(rows)).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager_, GuptOptions{});
+
+  analytics::PcaOptions pca;
+  pca.feature_dims = {0, 1};
+  QuerySpec spec;
+  spec.program = analytics::TopComponentQuery(pca);
+  spec.epsilon = 4.0;
+  spec.range =
+      OutputRangeSpec::Tight({Range{-1.0, 1.0}, Range{-1.0, 1.0}});
+  auto report = runtime.Execute("pca", spec);
+  ASSERT_TRUE(report.ok());
+  // The noisy averaged component is no longer unit norm; normalise and
+  // compare the direction.
+  Row component = report->output;
+  double norm = vec::Norm(component);
+  ASSERT_GT(norm, 0.1);
+  vec::ScaleInPlace(&component, 1.0 / norm);
+  EXPECT_GT(std::fabs(vec::Dot(component, direction)), 0.98);
+}
+
+TEST_F(NewProgramsTest, PrivateWinsorizedMeanOnHeavyTails) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Mostly N(50, 5) with occasional huge spikes.
+    values.push_back(rng.Bernoulli(0.01) ? 10000.0 : rng.Gaussian(50.0, 5.0));
+  }
+  DatasetOptions opts;
+  opts.total_epsilon = 100.0;
+  ASSERT_TRUE(
+      manager_.Register("heavy", Dataset::FromColumn(values).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager_, GuptOptions{});
+
+  QuerySpec spec;
+  spec.program = analytics::WinsorizedMeanQuery(0, 0.05);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  auto report = runtime.Execute("heavy", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->output[0], 50.0, 5.0);
+}
+
+TEST_F(NewProgramsTest, CanonicalizedKMeansViaWrapper) {
+  // Drive the §8 wrapper end to end: an intentionally unordered two-centre
+  // program becomes aggregatable once wrapped.
+  Rng rng(4);
+  std::vector<Row> rows;
+  for (int i = 0; i < 4000; ++i) {
+    double c = rng.Bernoulli(0.5) ? 10.0 : 20.0;
+    rows.push_back({c + rng.Gaussian(0.0, 0.5)});
+  }
+  DatasetOptions opts;
+  opts.total_epsilon = 100.0;
+  ASSERT_TRUE(
+      manager_.Register("two", Dataset::Create(std::move(rows)).value(), opts)
+          .ok());
+  GuptRuntime runtime(&manager_, GuptOptions{});
+
+  // Emits the two cluster means in a data-dependent (unstable) order.
+  auto unordered = MakeProgramFactory(
+      "two_means_unordered", 2, [](const Dataset& block) -> Result<Row> {
+        std::vector<double> low, high;
+        for (const Row& r : block.rows()) {
+          (r[0] < 15.0 ? low : high).push_back(r[0]);
+        }
+        if (low.empty() || high.empty()) {
+          return Status::NumericalError("degenerate block");
+        }
+        // Emission order flips with the block's first record.
+        if (block.row(0)[0] < 15.0) {
+          return Row{stats::Mean(high), stats::Mean(low)};
+        }
+        return Row{stats::Mean(low), stats::Mean(high)};
+      });
+
+  QuerySpec spec;
+  spec.program = CanonicalizedProgram(unordered, /*group_size=*/1);
+  spec.epsilon = 4.0;
+  spec.range =
+      OutputRangeSpec::Tight({Range{0.0, 30.0}, Range{0.0, 30.0}});
+  auto report = runtime.Execute("two", spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->output[0], 10.0, 1.0);
+  EXPECT_NEAR(report->output[1], 20.0, 1.0);
+
+  // Without canonicalisation, the flip-flopping order averages both slots
+  // towards the global midpoint — the failure §8 warns about.
+  QuerySpec raw = spec;
+  raw.program = unordered;
+  auto mixed = runtime.Execute("two", raw);
+  ASSERT_TRUE(mixed.ok());
+  // The two slots collapse towards each other instead of separating the
+  // clusters by ~10.
+  EXPECT_LT(std::fabs(mixed->output[0] - mixed->output[1]), 6.0);
+  EXPECT_NEAR(report->output[1] - report->output[0], 10.0, 2.0);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,129 @@
+#include "service/program_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace gupt {
+namespace {
+
+Dataset TwoColumns() {
+  return Dataset::Create({{1, 10}, {2, 20}, {3, 30}, {4, 40}}).value();
+}
+
+ProgramSpec Spec(const std::string& name,
+                 std::map<std::string, std::string> params = {}) {
+  ProgramSpec spec;
+  spec.name = name;
+  spec.params = std::move(params);
+  return spec;
+}
+
+TEST(SpecParamTest, GetSizeParsesAndValidates) {
+  ProgramSpec s = Spec("x", {{"dim", "3"}, {"bad", "3.5"}, {"neg", "-1"}});
+  EXPECT_EQ(spec::GetSize(s, "dim").value(), 3u);
+  EXPECT_FALSE(spec::GetSize(s, "bad").ok());
+  EXPECT_FALSE(spec::GetSize(s, "neg").ok());
+  EXPECT_FALSE(spec::GetSize(s, "missing").ok());
+  EXPECT_EQ(spec::GetSizeOr(s, "missing", 7).value(), 7u);
+}
+
+TEST(SpecParamTest, GetDoubleParses) {
+  ProgramSpec s = Spec("x", {{"q", "0.25"}, {"junk", "abc"}});
+  EXPECT_DOUBLE_EQ(spec::GetDouble(s, "q").value(), 0.25);
+  EXPECT_FALSE(spec::GetDouble(s, "junk").ok());
+  EXPECT_DOUBLE_EQ(spec::GetDoubleOr(s, "missing", 1.5).value(), 1.5);
+}
+
+TEST(SpecParamTest, GetSizeListParsesCommaSeparated) {
+  ProgramSpec s = Spec("x", {{"dims", "0,2,5"}, {"bad", "0,x"}});
+  EXPECT_EQ(spec::GetSizeList(s, "dims").value(),
+            (std::vector<std::size_t>{0, 2, 5}));
+  EXPECT_FALSE(spec::GetSizeList(s, "bad").ok());
+  EXPECT_FALSE(spec::GetSizeList(s, "missing").ok());
+}
+
+TEST(ProgramRegistryTest, BuildAndRunStandardPrograms) {
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  Dataset data = TwoColumns();
+
+  auto mean = registry.Build(Spec("mean", {{"dim", "1"}}));
+  ASSERT_TRUE(mean.ok());
+  EXPECT_EQ((*mean)()->Run(data).value(), (Row{25.0}));
+
+  auto median = registry.Build(Spec("median"));  // dim defaults to 0
+  ASSERT_TRUE(median.ok());
+  EXPECT_EQ((*median)()->Run(data).value(), (Row{2.5}));
+
+  auto quantile = registry.Build(Spec("quantile", {{"q", "1.0"}}));
+  ASSERT_TRUE(quantile.ok());
+  EXPECT_EQ((*quantile)()->Run(data).value(), (Row{4.0}));
+
+  auto hist = registry.Build(
+      Spec("histogram", {{"bins", "2"}, {"lo", "0"}, {"hi", "5"}}));
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)()->output_dims(), 2u);
+
+  auto cov = registry.Build(
+      Spec("covariance", {{"dim_a", "0"}, {"dim_b", "1"}}));
+  ASSERT_TRUE(cov.ok());
+  EXPECT_EQ((*cov)()->Run(data).value(), (Row{12.5}));
+}
+
+TEST(ProgramRegistryTest, MlProgramsHaveRightArity) {
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  auto kmeans = registry.Build(Spec("kmeans", {{"k", "2"}, {"dims", "0,1"}}));
+  ASSERT_TRUE(kmeans.ok());
+  EXPECT_EQ((*kmeans)()->output_dims(), 4u);
+
+  auto logreg = registry.Build(
+      Spec("logistic_regression", {{"dims", "0"}, {"label", "1"}}));
+  ASSERT_TRUE(logreg.ok());
+  EXPECT_EQ((*logreg)()->output_dims(), 2u);
+
+  auto linreg = registry.Build(
+      Spec("linear_regression", {{"dims", "0"}, {"target", "1"}}));
+  ASSERT_TRUE(linreg.ok());
+  EXPECT_EQ((*linreg)()->output_dims(), 2u);
+
+  auto pca = registry.Build(Spec("pca", {{"dims", "0,1"}}));
+  ASSERT_TRUE(pca.ok());
+  EXPECT_EQ((*pca)()->output_dims(), 2u);
+}
+
+TEST(ProgramRegistryTest, MissingRequiredParameterIsError) {
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  EXPECT_FALSE(registry.Build(Spec("quantile")).ok());          // missing q
+  EXPECT_FALSE(registry.Build(Spec("kmeans", {{"k", "2"}})).ok());  // dims
+  EXPECT_FALSE(registry.Build(Spec("histogram")).ok());
+}
+
+TEST(ProgramRegistryTest, UnknownProgramIsNotFound) {
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  EXPECT_EQ(registry.Build(Spec("word2vec")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProgramRegistryTest, CustomBuilderRegistersAndCollides) {
+  ProgramRegistry registry;
+  auto builder = [](const ProgramSpec&) -> Result<ProgramFactory> {
+    return MakeProgramFactory("custom", 1, [](const Dataset&) -> Result<Row> {
+      return Row{42.0};
+    });
+  };
+  ASSERT_TRUE(registry.RegisterBuilder("custom", builder).ok());
+  EXPECT_EQ(registry.RegisterBuilder("custom", builder).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(registry.RegisterBuilder("", builder).ok());
+  auto built = registry.Build(Spec("custom"));
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)()->Run(TwoColumns()).value(), (Row{42.0}));
+}
+
+TEST(ProgramRegistryTest, ListProgramsSorted) {
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  auto names = registry.ListPrograms();
+  EXPECT_GE(names.size(), 13u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,108 @@
+// Concurrency stress for the hosted service: many analysts submitting in
+// parallel, with the audit log, ledger and cache staying consistent.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "service/gupt_service.h"
+
+namespace gupt {
+namespace {
+
+Dataset Ages(std::size_t n) {
+  Rng rng(77);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QueryRequest Request(const std::string& analyst, double epsilon) {
+  QueryRequest request;
+  request.analyst = analyst;
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+TEST(ServiceStressTest, ParallelAnalystsAccountedExactly) {
+  ServiceOptions options;
+  GuptService service(options, ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = 10.0;  // exactly 100 queries of 0.1 fit
+  ASSERT_TRUE(service.RegisterDataset("ages", Ages(3000), ds).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;  // 160 attempts, only 100 can land
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &accepted, t] {
+      for (int q = 0; q < kPerThread; ++q) {
+        if (service.SubmitQuery(Request("analyst" + std::to_string(t), 0.1))
+                .ok()) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(accepted.load(), 100);
+  EXPECT_NEAR(service.RemainingBudget("ages").value(), 0.0, 1e-6);
+
+  // Audit log: every attempt recorded once, ids unique and dense.
+  auto log = service.audit_log();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  int logged_accepted = 0;
+  std::set<std::size_t> ids;
+  for (const AuditRecord& record : log) {
+    ids.insert(record.id);
+    if (record.accepted) ++logged_accepted;
+  }
+  EXPECT_EQ(logged_accepted, 100);
+  EXPECT_EQ(ids.size(), log.size());
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), log.size());
+}
+
+TEST(ServiceStressTest, CacheUnderConcurrencyChargesAtMostOnce) {
+  ServiceOptions options;
+  options.enable_query_cache = true;
+  GuptService service(options, ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = 10.0;
+  ASSERT_TRUE(service.RegisterDataset("ages", Ages(3000), ds).ok());
+
+  // Many threads race the SAME query. At least one executes and charges;
+  // racers that miss the cache may also execute, but once the cache is
+  // warm everything is free. The invariant: spent <= a few charges, and
+  // afterwards repeated queries cost nothing.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&service] {
+      for (int q = 0; q < 5; ++q) {
+        (void)service.SubmitQuery(Request("racer", 0.5));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double spent_after_race = 10.0 - service.RemainingBudget("ages").value();
+  EXPECT_GE(spent_after_race, 0.5);
+  EXPECT_LE(spent_after_race, 0.5 * 8);  // at most one miss per thread
+
+  auto report = service.SubmitQuery(Request("racer", 0.5));
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(10.0 - service.RemainingBudget("ages").value(),
+                   spent_after_race);  // fully warm: no further charge
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_block_planner.dir/ablation_block_planner.cc.o"
+  "CMakeFiles/ablation_block_planner.dir/ablation_block_planner.cc.o.d"
+  "ablation_block_planner"
+  "ablation_block_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_block_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

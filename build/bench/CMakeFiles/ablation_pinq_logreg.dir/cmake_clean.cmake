@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pinq_logreg.dir/ablation_pinq_logreg.cc.o"
+  "CMakeFiles/ablation_pinq_logreg.dir/ablation_pinq_logreg.cc.o.d"
+  "ablation_pinq_logreg"
+  "ablation_pinq_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pinq_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

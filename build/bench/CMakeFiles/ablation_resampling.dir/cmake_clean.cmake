@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resampling.dir/ablation_resampling.cc.o"
+  "CMakeFiles/ablation_resampling.dir/ablation_resampling.cc.o.d"
+  "ablation_resampling"
+  "ablation_resampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_logreg_accuracy.dir/fig3_logreg_accuracy.cc.o"
+  "CMakeFiles/fig3_logreg_accuracy.dir/fig3_logreg_accuracy.cc.o.d"
+  "fig3_logreg_accuracy"
+  "fig3_logreg_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_logreg_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

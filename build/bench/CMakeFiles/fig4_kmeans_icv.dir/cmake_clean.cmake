@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_kmeans_icv.dir/fig4_kmeans_icv.cc.o"
+  "CMakeFiles/fig4_kmeans_icv.dir/fig4_kmeans_icv.cc.o.d"
+  "fig4_kmeans_icv"
+  "fig4_kmeans_icv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_kmeans_icv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_pinq_iterations.dir/fig5_pinq_iterations.cc.o"
+  "CMakeFiles/fig5_pinq_iterations.dir/fig5_pinq_iterations.cc.o.d"
+  "fig5_pinq_iterations"
+  "fig5_pinq_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_pinq_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

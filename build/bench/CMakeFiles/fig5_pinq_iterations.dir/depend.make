@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_pinq_iterations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scalability.dir/fig6_scalability.cc.o"
+  "CMakeFiles/fig6_scalability.dir/fig6_scalability.cc.o.d"
+  "fig6_scalability"
+  "fig6_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_accuracy_cdf.dir/fig7_accuracy_cdf.cc.o"
+  "CMakeFiles/fig7_accuracy_cdf.dir/fig7_accuracy_cdf.cc.o.d"
+  "fig7_accuracy_cdf"
+  "fig7_accuracy_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_accuracy_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

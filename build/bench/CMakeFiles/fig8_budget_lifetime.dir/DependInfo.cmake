@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_budget_lifetime.cc" "bench/CMakeFiles/fig8_budget_lifetime.dir/fig8_budget_lifetime.cc.o" "gcc" "bench/CMakeFiles/fig8_budget_lifetime.dir/fig8_budget_lifetime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gupt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gupt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/gupt_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gupt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gupt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_budget_lifetime.dir/fig8_budget_lifetime.cc.o"
+  "CMakeFiles/fig8_budget_lifetime.dir/fig8_budget_lifetime.cc.o.d"
+  "fig8_budget_lifetime"
+  "fig8_budget_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_budget_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_block_size.dir/fig9_block_size.cc.o"
+  "CMakeFiles/fig9_block_size.dir/fig9_block_size.cc.o.d"
+  "fig9_block_size"
+  "fig9_block_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/gupt_bench_util.dir/bench_util.cc.o.d"
+  "libgupt_bench_util.a"
+  "libgupt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

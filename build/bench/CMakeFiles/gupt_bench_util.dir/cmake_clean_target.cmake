@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgupt_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_overhead.dir/sandbox_overhead.cc.o"
+  "CMakeFiles/sandbox_overhead.dir/sandbox_overhead.cc.o.d"
+  "sandbox_overhead"
+  "sandbox_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_planner.dir/budget_planner.cpp.o"
+  "CMakeFiles/budget_planner.dir/budget_planner.cpp.o.d"
+  "budget_planner"
+  "budget_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

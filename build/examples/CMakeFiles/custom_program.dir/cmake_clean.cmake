@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_program.dir/custom_program.cpp.o"
+  "CMakeFiles/custom_program.dir/custom_program.cpp.o.d"
+  "custom_program"
+  "custom_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

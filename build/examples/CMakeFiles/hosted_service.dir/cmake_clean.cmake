@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hosted_service.dir/hosted_service.cpp.o"
+  "CMakeFiles/hosted_service.dir/hosted_service.cpp.o.d"
+  "hosted_service"
+  "hosted_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hosted_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

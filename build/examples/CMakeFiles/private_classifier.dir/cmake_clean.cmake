@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_classifier.dir/private_classifier.cpp.o"
+  "CMakeFiles/private_classifier.dir/private_classifier.cpp.o.d"
+  "private_classifier"
+  "private_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

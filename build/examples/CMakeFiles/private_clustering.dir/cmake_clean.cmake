@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_clustering.dir/private_clustering.cpp.o"
+  "CMakeFiles/private_clustering.dir/private_clustering.cpp.o.d"
+  "private_clustering"
+  "private_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/kmeans.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/kmeans.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/kmeans.cc.o.d"
+  "/root/repo/src/analytics/linear_regression.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/linear_regression.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/linear_regression.cc.o.d"
+  "/root/repo/src/analytics/logistic_regression.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/logistic_regression.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/pagerank.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/pagerank.cc.o.d"
+  "/root/repo/src/analytics/pca.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/pca.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/pca.cc.o.d"
+  "/root/repo/src/analytics/queries.cc" "src/analytics/CMakeFiles/gupt_analytics.dir/queries.cc.o" "gcc" "src/analytics/CMakeFiles/gupt_analytics.dir/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gupt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_analytics.dir/kmeans.cc.o"
+  "CMakeFiles/gupt_analytics.dir/kmeans.cc.o.d"
+  "CMakeFiles/gupt_analytics.dir/linear_regression.cc.o"
+  "CMakeFiles/gupt_analytics.dir/linear_regression.cc.o.d"
+  "CMakeFiles/gupt_analytics.dir/logistic_regression.cc.o"
+  "CMakeFiles/gupt_analytics.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/gupt_analytics.dir/pagerank.cc.o"
+  "CMakeFiles/gupt_analytics.dir/pagerank.cc.o.d"
+  "CMakeFiles/gupt_analytics.dir/pca.cc.o"
+  "CMakeFiles/gupt_analytics.dir/pca.cc.o.d"
+  "CMakeFiles/gupt_analytics.dir/queries.cc.o"
+  "CMakeFiles/gupt_analytics.dir/queries.cc.o.d"
+  "libgupt_analytics.a"
+  "libgupt_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

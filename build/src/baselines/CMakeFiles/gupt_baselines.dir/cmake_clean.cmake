@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_baselines.dir/airavat.cc.o"
+  "CMakeFiles/gupt_baselines.dir/airavat.cc.o.d"
+  "CMakeFiles/gupt_baselines.dir/nonprivate.cc.o"
+  "CMakeFiles/gupt_baselines.dir/nonprivate.cc.o.d"
+  "CMakeFiles/gupt_baselines.dir/pinq.cc.o"
+  "CMakeFiles/gupt_baselines.dir/pinq.cc.o.d"
+  "libgupt_baselines.a"
+  "libgupt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

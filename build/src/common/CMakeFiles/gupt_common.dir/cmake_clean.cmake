@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_common.dir/csv.cc.o"
+  "CMakeFiles/gupt_common.dir/csv.cc.o.d"
+  "CMakeFiles/gupt_common.dir/logging.cc.o"
+  "CMakeFiles/gupt_common.dir/logging.cc.o.d"
+  "CMakeFiles/gupt_common.dir/rng.cc.o"
+  "CMakeFiles/gupt_common.dir/rng.cc.o.d"
+  "CMakeFiles/gupt_common.dir/status.cc.o"
+  "CMakeFiles/gupt_common.dir/status.cc.o.d"
+  "CMakeFiles/gupt_common.dir/thread_pool.cc.o"
+  "CMakeFiles/gupt_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/gupt_common.dir/vec.cc.o"
+  "CMakeFiles/gupt_common.dir/vec.cc.o.d"
+  "libgupt_common.a"
+  "libgupt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

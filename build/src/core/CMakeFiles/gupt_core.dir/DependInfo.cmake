@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aging.cc" "src/core/CMakeFiles/gupt_core.dir/aging.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/aging.cc.o.d"
+  "/root/repo/src/core/block_planner.cc" "src/core/CMakeFiles/gupt_core.dir/block_planner.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/block_planner.cc.o.d"
+  "/root/repo/src/core/budget_allocator.cc" "src/core/CMakeFiles/gupt_core.dir/budget_allocator.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/budget_allocator.cc.o.d"
+  "/root/repo/src/core/budget_estimator.cc" "src/core/CMakeFiles/gupt_core.dir/budget_estimator.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/budget_estimator.cc.o.d"
+  "/root/repo/src/core/canonical.cc" "src/core/CMakeFiles/gupt_core.dir/canonical.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/canonical.cc.o.d"
+  "/root/repo/src/core/gupt.cc" "src/core/CMakeFiles/gupt_core.dir/gupt.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/gupt.cc.o.d"
+  "/root/repo/src/core/output_range.cc" "src/core/CMakeFiles/gupt_core.dir/output_range.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/output_range.cc.o.d"
+  "/root/repo/src/core/sample_aggregate.cc" "src/core/CMakeFiles/gupt_core.dir/sample_aggregate.cc.o" "gcc" "src/core/CMakeFiles/gupt_core.dir/sample_aggregate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gupt_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_core.dir/aging.cc.o"
+  "CMakeFiles/gupt_core.dir/aging.cc.o.d"
+  "CMakeFiles/gupt_core.dir/block_planner.cc.o"
+  "CMakeFiles/gupt_core.dir/block_planner.cc.o.d"
+  "CMakeFiles/gupt_core.dir/budget_allocator.cc.o"
+  "CMakeFiles/gupt_core.dir/budget_allocator.cc.o.d"
+  "CMakeFiles/gupt_core.dir/budget_estimator.cc.o"
+  "CMakeFiles/gupt_core.dir/budget_estimator.cc.o.d"
+  "CMakeFiles/gupt_core.dir/canonical.cc.o"
+  "CMakeFiles/gupt_core.dir/canonical.cc.o.d"
+  "CMakeFiles/gupt_core.dir/gupt.cc.o"
+  "CMakeFiles/gupt_core.dir/gupt.cc.o.d"
+  "CMakeFiles/gupt_core.dir/output_range.cc.o"
+  "CMakeFiles/gupt_core.dir/output_range.cc.o.d"
+  "CMakeFiles/gupt_core.dir/sample_aggregate.cc.o"
+  "CMakeFiles/gupt_core.dir/sample_aggregate.cc.o.d"
+  "libgupt_core.a"
+  "libgupt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

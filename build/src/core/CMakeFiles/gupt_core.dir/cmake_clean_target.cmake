@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgupt_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/budget_store.cc" "src/data/CMakeFiles/gupt_data.dir/budget_store.cc.o" "gcc" "src/data/CMakeFiles/gupt_data.dir/budget_store.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/gupt_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/gupt_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_manager.cc" "src/data/CMakeFiles/gupt_data.dir/dataset_manager.cc.o" "gcc" "src/data/CMakeFiles/gupt_data.dir/dataset_manager.cc.o.d"
+  "/root/repo/src/data/partitioner.cc" "src/data/CMakeFiles/gupt_data.dir/partitioner.cc.o" "gcc" "src/data/CMakeFiles/gupt_data.dir/partitioner.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/gupt_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/gupt_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

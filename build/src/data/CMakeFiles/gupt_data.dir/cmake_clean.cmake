@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_data.dir/budget_store.cc.o"
+  "CMakeFiles/gupt_data.dir/budget_store.cc.o.d"
+  "CMakeFiles/gupt_data.dir/dataset.cc.o"
+  "CMakeFiles/gupt_data.dir/dataset.cc.o.d"
+  "CMakeFiles/gupt_data.dir/dataset_manager.cc.o"
+  "CMakeFiles/gupt_data.dir/dataset_manager.cc.o.d"
+  "CMakeFiles/gupt_data.dir/partitioner.cc.o"
+  "CMakeFiles/gupt_data.dir/partitioner.cc.o.d"
+  "CMakeFiles/gupt_data.dir/synthetic.cc.o"
+  "CMakeFiles/gupt_data.dir/synthetic.cc.o.d"
+  "libgupt_data.a"
+  "libgupt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

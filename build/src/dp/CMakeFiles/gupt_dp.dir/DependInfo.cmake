@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/accountant.cc" "src/dp/CMakeFiles/gupt_dp.dir/accountant.cc.o" "gcc" "src/dp/CMakeFiles/gupt_dp.dir/accountant.cc.o.d"
+  "/root/repo/src/dp/laplace.cc" "src/dp/CMakeFiles/gupt_dp.dir/laplace.cc.o" "gcc" "src/dp/CMakeFiles/gupt_dp.dir/laplace.cc.o.d"
+  "/root/repo/src/dp/noisy_ops.cc" "src/dp/CMakeFiles/gupt_dp.dir/noisy_ops.cc.o" "gcc" "src/dp/CMakeFiles/gupt_dp.dir/noisy_ops.cc.o.d"
+  "/root/repo/src/dp/percentile.cc" "src/dp/CMakeFiles/gupt_dp.dir/percentile.cc.o" "gcc" "src/dp/CMakeFiles/gupt_dp.dir/percentile.cc.o.d"
+  "/root/repo/src/dp/snapping.cc" "src/dp/CMakeFiles/gupt_dp.dir/snapping.cc.o" "gcc" "src/dp/CMakeFiles/gupt_dp.dir/snapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_dp.dir/accountant.cc.o"
+  "CMakeFiles/gupt_dp.dir/accountant.cc.o.d"
+  "CMakeFiles/gupt_dp.dir/laplace.cc.o"
+  "CMakeFiles/gupt_dp.dir/laplace.cc.o.d"
+  "CMakeFiles/gupt_dp.dir/noisy_ops.cc.o"
+  "CMakeFiles/gupt_dp.dir/noisy_ops.cc.o.d"
+  "CMakeFiles/gupt_dp.dir/percentile.cc.o"
+  "CMakeFiles/gupt_dp.dir/percentile.cc.o.d"
+  "CMakeFiles/gupt_dp.dir/snapping.cc.o"
+  "CMakeFiles/gupt_dp.dir/snapping.cc.o.d"
+  "libgupt_dp.a"
+  "libgupt_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

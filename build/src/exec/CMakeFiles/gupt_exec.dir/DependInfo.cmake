@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/chamber.cc" "src/exec/CMakeFiles/gupt_exec.dir/chamber.cc.o" "gcc" "src/exec/CMakeFiles/gupt_exec.dir/chamber.cc.o.d"
+  "/root/repo/src/exec/computation_manager.cc" "src/exec/CMakeFiles/gupt_exec.dir/computation_manager.cc.o" "gcc" "src/exec/CMakeFiles/gupt_exec.dir/computation_manager.cc.o.d"
+  "/root/repo/src/exec/process_chamber.cc" "src/exec/CMakeFiles/gupt_exec.dir/process_chamber.cc.o" "gcc" "src/exec/CMakeFiles/gupt_exec.dir/process_chamber.cc.o.d"
+  "/root/repo/src/exec/program.cc" "src/exec/CMakeFiles/gupt_exec.dir/program.cc.o" "gcc" "src/exec/CMakeFiles/gupt_exec.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_exec.dir/chamber.cc.o"
+  "CMakeFiles/gupt_exec.dir/chamber.cc.o.d"
+  "CMakeFiles/gupt_exec.dir/computation_manager.cc.o"
+  "CMakeFiles/gupt_exec.dir/computation_manager.cc.o.d"
+  "CMakeFiles/gupt_exec.dir/process_chamber.cc.o"
+  "CMakeFiles/gupt_exec.dir/process_chamber.cc.o.d"
+  "CMakeFiles/gupt_exec.dir/program.cc.o"
+  "CMakeFiles/gupt_exec.dir/program.cc.o.d"
+  "libgupt_exec.a"
+  "libgupt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

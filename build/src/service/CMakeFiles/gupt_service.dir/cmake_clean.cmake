@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_service.dir/gupt_service.cc.o"
+  "CMakeFiles/gupt_service.dir/gupt_service.cc.o.d"
+  "CMakeFiles/gupt_service.dir/program_registry.cc.o"
+  "CMakeFiles/gupt_service.dir/program_registry.cc.o.d"
+  "libgupt_service.a"
+  "libgupt_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_test.dir/analytics/kmeans_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/kmeans_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/linear_regression_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/linear_regression_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/logistic_regression_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/logistic_regression_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/matrix_queries_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/matrix_queries_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/pagerank_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/pagerank_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/pca_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/pca_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/queries_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/queries_test.cc.o.d"
+  "CMakeFiles/analytics_test.dir/analytics/robust_queries_test.cc.o"
+  "CMakeFiles/analytics_test.dir/analytics/robust_queries_test.cc.o.d"
+  "analytics_test"
+  "analytics_test.pdb"
+  "analytics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

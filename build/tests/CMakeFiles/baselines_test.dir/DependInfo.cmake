@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/airavat_kmeans_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/airavat_kmeans_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/airavat_kmeans_test.cc.o.d"
+  "/root/repo/tests/baselines/airavat_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/airavat_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/airavat_test.cc.o.d"
+  "/root/repo/tests/baselines/nonprivate_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/nonprivate_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/nonprivate_test.cc.o.d"
+  "/root/repo/tests/baselines/pinq_logreg_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/pinq_logreg_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/pinq_logreg_test.cc.o.d"
+  "/root/repo/tests/baselines/pinq_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/pinq_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/pinq_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gupt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/gupt_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gupt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gupt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/gupt_service.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aging_test.cc" "tests/CMakeFiles/core_test.dir/core/aging_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aging_test.cc.o.d"
+  "/root/repo/tests/core/block_planner_test.cc" "tests/CMakeFiles/core_test.dir/core/block_planner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/block_planner_test.cc.o.d"
+  "/root/repo/tests/core/budget_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/budget_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budget_allocator_test.cc.o.d"
+  "/root/repo/tests/core/budget_estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/budget_estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/budget_estimator_test.cc.o.d"
+  "/root/repo/tests/core/canonical_test.cc" "tests/CMakeFiles/core_test.dir/core/canonical_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/canonical_test.cc.o.d"
+  "/root/repo/tests/core/gupt_modes_test.cc" "tests/CMakeFiles/core_test.dir/core/gupt_modes_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gupt_modes_test.cc.o.d"
+  "/root/repo/tests/core/gupt_test.cc" "tests/CMakeFiles/core_test.dir/core/gupt_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/gupt_test.cc.o.d"
+  "/root/repo/tests/core/output_range_test.cc" "tests/CMakeFiles/core_test.dir/core/output_range_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/output_range_test.cc.o.d"
+  "/root/repo/tests/core/saf_property_test.cc" "tests/CMakeFiles/core_test.dir/core/saf_property_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/saf_property_test.cc.o.d"
+  "/root/repo/tests/core/sample_aggregate_test.cc" "tests/CMakeFiles/core_test.dir/core/sample_aggregate_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sample_aggregate_test.cc.o.d"
+  "/root/repo/tests/core/user_privacy_test.cc" "tests/CMakeFiles/core_test.dir/core/user_privacy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/user_privacy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gupt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/gupt_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gupt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/gupt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/gupt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dp/CMakeFiles/gupt_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gupt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/gupt_service.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aging_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aging_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/block_planner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/block_planner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/budget_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/budget_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/budget_estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/budget_estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/canonical_test.cc.o"
+  "CMakeFiles/core_test.dir/core/canonical_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gupt_modes_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gupt_modes_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/gupt_test.cc.o"
+  "CMakeFiles/core_test.dir/core/gupt_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/output_range_test.cc.o"
+  "CMakeFiles/core_test.dir/core/output_range_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/saf_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/saf_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sample_aggregate_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sample_aggregate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/user_privacy_test.cc.o"
+  "CMakeFiles/core_test.dir/core/user_privacy_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

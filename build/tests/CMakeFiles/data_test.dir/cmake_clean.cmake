@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/budget_store_test.cc.o"
+  "CMakeFiles/data_test.dir/data/budget_store_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/dataset_manager_test.cc.o"
+  "CMakeFiles/data_test.dir/data/dataset_manager_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/partitioner_test.cc.o"
+  "CMakeFiles/data_test.dir/data/partitioner_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o"
+  "CMakeFiles/data_test.dir/data/synthetic_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

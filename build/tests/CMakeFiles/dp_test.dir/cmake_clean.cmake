@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_test.dir/dp/accountant_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/accountant_test.cc.o.d"
+  "CMakeFiles/dp_test.dir/dp/laplace_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/laplace_test.cc.o.d"
+  "CMakeFiles/dp_test.dir/dp/noisy_ops_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/noisy_ops_test.cc.o.d"
+  "CMakeFiles/dp_test.dir/dp/percentile_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/percentile_test.cc.o.d"
+  "CMakeFiles/dp_test.dir/dp/quantile_pair_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/quantile_pair_test.cc.o.d"
+  "CMakeFiles/dp_test.dir/dp/snapping_test.cc.o"
+  "CMakeFiles/dp_test.dir/dp/snapping_test.cc.o.d"
+  "dp_test"
+  "dp_test.pdb"
+  "dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gupt_cli.dir/gupt_cli.cpp.o"
+  "CMakeFiles/gupt_cli.dir/gupt_cli.cpp.o.d"
+  "gupt_cli"
+  "gupt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gupt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

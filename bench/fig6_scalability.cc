@@ -7,11 +7,31 @@
 // iteration count because each instance works on a small block, so the
 // overhead amortises as computation grows.
 
+#include <cstdio>
+
 #include "baselines/nonprivate.h"
 #include "bench_util.h"
+#include "obs/metrics.h"
 
 namespace gupt {
 namespace {
+
+/// Dumps the process-global metrics registry so the perf trajectory of
+/// this figure is machine-readable run over run: per-stage durations,
+/// per-block chamber latencies, thread-pool behaviour, epsilon charged.
+int WriteObsJson(const char* path) {
+  std::string json = obs::MetricsRegistry::Get().ExportJson();
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fputs(json.c_str(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("# metrics dump: %s\n", path);
+  return 0;
+}
 
 int Run() {
   bench::PrintHeader(
@@ -81,7 +101,7 @@ int Run() {
     bench::PrintRow({std::to_string(iterations), bench::Fmt(non_private_s),
                      bench::Fmt(loose_s), bench::Fmt(helper_s)});
   }
-  return 0;
+  return WriteObsJson("BENCH_obs.json");
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
 
 namespace gupt {
 namespace {
@@ -20,17 +24,70 @@ const char* LevelName(LogLevel level) {
 }
 
 void DefaultSink(LogLevel level, const std::string& message) {
-  std::fprintf(stderr, "[gupt %s] %s\n", LevelName(level), message.c_str());
+  std::string line = internal::FormatLogLine(level, message);
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+/// The initial threshold: GUPT_LOG_LEVEL when set and valid, else warning.
+LogLevel InitialLevel() {
+  const char* env = std::getenv("GUPT_LOG_LEVEL");
+  if (env != nullptr) {
+    std::optional<LogLevel> parsed = ParseLogLevel(env);
+    if (parsed.has_value()) return *parsed;
+    std::fprintf(stderr,
+                 "[gupt] ignoring unrecognised GUPT_LOG_LEVEL=%s "
+                 "(want debug|info|warn|error)\n",
+                 env);
+  }
+  return LogLevel::kWarning;
 }
 
 }  // namespace
+
+std::optional<LogLevel> ParseLogLevel(const std::string& text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+namespace internal {
+
+std::string FormatLogLine(LogLevel level, const std::string& message) {
+  // ISO-8601 UTC with millisecond precision.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[80];
+  std::snprintf(stamp, sizeof(stamp), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms));
+
+  std::ostringstream line;
+  line << '[' << stamp << ' ' << LevelName(level)
+       << " tid=" << std::this_thread::get_id() << "] " << message;
+  return line.str();
+}
+
+}  // namespace internal
 
 Logger& Logger::Get() {
   static Logger* logger = new Logger();
   return *logger;
 }
 
-Logger::Logger() : sink_(DefaultSink) {}
+Logger::Logger() : min_level_(InitialLevel()), sink_(DefaultSink) {}
 
 void Logger::set_min_level(LogLevel level) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -1,19 +1,40 @@
 // Leveled logging for the GUPT runtime.
 //
 // The runtime logs through a process-global Logger so that benchmarks can
-// silence output and tests can capture it. Logging is thread-safe.
+// silence output and tests can capture it. Logging is thread-safe. The
+// default sink prefixes every line with an ISO-8601 UTC timestamp, the
+// level tag, and the emitting thread id:
+//
+//   [2026-08-05T14:03:22.117Z WARN tid=140237493479168] query 'mean': ...
+//
+// The initial severity threshold is kWarning; set the GUPT_LOG_LEVEL
+// environment variable (debug|info|warn|error) to override it before the
+// process first logs.
 
 #ifndef GUPT_COMMON_LOGGING_H_
 #define GUPT_COMMON_LOGGING_H_
 
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
 namespace gupt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Parses a GUPT_LOG_LEVEL value (case-insensitive: "debug", "info",
+/// "warn"/"warning", "error"). Unrecognised text yields nullopt.
+std::optional<LogLevel> ParseLogLevel(const std::string& text);
+
+namespace internal {
+
+/// The default sink's line format, exposed for tests:
+/// "[<ISO-8601 UTC ms> <LEVEL> tid=<thread-id>] <message>".
+std::string FormatLogLine(LogLevel level, const std::string& message);
+
+}  // namespace internal
 
 /// Process-global log sink with a severity threshold.
 class Logger {

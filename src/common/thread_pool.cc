@@ -4,8 +4,30 @@
 #include <cassert>
 
 namespace gupt {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  queue_depth_gauge_ = registry.GetGauge(
+      "gupt_threadpool_queue_depth_count",
+      "Tasks waiting in the worker-pool queue (not yet picked up).");
+  wait_histogram_ = registry.GetHistogram(
+      "gupt_threadpool_task_wait_seconds",
+      "Time a task spent queued before a worker picked it up.",
+      obs::Histogram::DurationBuckets());
+  run_histogram_ = registry.GetHistogram(
+      "gupt_threadpool_task_run_seconds",
+      "Time a worker spent running a task.",
+      obs::Histogram::DurationBuckets());
+  tasks_counter_ = registry.GetCounter(
+      "gupt_threadpool_tasks_total", "Tasks executed by the worker pool.");
+
   std::size_t count = std::max<std::size_t>(1, num_threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -27,8 +49,9 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     assert(!shutting_down_);
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), std::chrono::steady_clock::now()});
     ++in_flight_;
+    queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -48,7 +71,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_available_.wait(lock,
@@ -56,8 +79,13 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutting down with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
     }
-    task();
+    const auto started = std::chrono::steady_clock::now();
+    wait_histogram_->Observe(Seconds(started - task.enqueued));
+    task.fn();
+    run_histogram_->Observe(Seconds(std::chrono::steady_clock::now() - started));
+    tasks_counter_->Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

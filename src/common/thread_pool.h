@@ -8,6 +8,7 @@
 #ifndef GUPT_COMMON_THREAD_POOL_H_
 #define GUPT_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace gupt {
 
@@ -42,15 +45,26 @@ class ThreadPool {
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
   std::vector<std::thread> workers_;
+
+  // Observability handles (process-global registry; see docs/observability.md).
+  obs::Gauge* queue_depth_gauge_;
+  obs::Histogram* wait_histogram_;
+  obs::Histogram* run_histogram_;
+  obs::Counter* tasks_counter_;
 };
 
 }  // namespace gupt

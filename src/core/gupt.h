@@ -34,6 +34,8 @@
 #include "data/dataset_manager.h"
 #include "exec/computation_manager.h"
 #include "exec/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gupt {
 
@@ -113,9 +115,12 @@ struct QueryReport {
   std::size_t deadline_exceeded_blocks = 0;
   std::size_t policy_violations = 0;
   std::chrono::nanoseconds elapsed{0};
+  /// Per-stage timings and DP gauges for this query (operator-visible
+  /// diagnostics; see docs/observability.md for the stage vocabulary).
+  obs::QueryTrace trace;
 };
 
-/// The GUPT service: wraps a DatasetManager and executes queries privately.
+///// The GUPT service: wraps a DatasetManager and executes queries privately.
 /// Thread-safe; queries may be issued concurrently.
 class GuptRuntime {
  public:
@@ -148,11 +153,21 @@ class GuptRuntime {
     std::vector<Range> planning_ranges;
   };
 
+  /// `trace` may be null (e.g. provisional planning); stage metrics are
+  /// still recorded in the process-global registry.
   Result<QueryPlan> PlanQuery(const RegisteredDataset& ds,
-                              const QuerySpec& spec, Rng* rng) const;
+                              const QuerySpec& spec, Rng* rng,
+                              obs::QueryTrace* trace) const;
   Result<QueryReport> ExecutePlanned(RegisteredDataset& ds,
                                      const QuerySpec& spec,
-                                     const QueryPlan& plan, Rng* rng) const;
+                                     const QueryPlan& plan, Rng* rng,
+                                     obs::QueryTrace* trace) const;
+  /// Wraps ExecutePlanned with the query-level metrics and the outcome
+  /// counter; moves `*trace` into the report on success.
+  Result<QueryReport> ExecuteTraced(RegisteredDataset& ds,
+                                    const QuerySpec& spec,
+                                    const QueryPlan& plan, Rng* rng,
+                                    obs::QueryTrace* trace) const;
 
   Rng ForkRng();
 
@@ -162,6 +177,19 @@ class GuptRuntime {
   ComputationManager computation_manager_;
   std::mutex rng_mu_;
   Rng rng_;
+
+  /// Observability handles (process-global registry).
+  struct Metrics {
+    obs::Counter* queries_ok;
+    obs::Counter* queries_error;
+    obs::Histogram* query_duration;
+    obs::Counter* epsilon_charged;
+    obs::Gauge* noise_scale;
+    obs::Gauge* block_count;
+    obs::Gauge* block_size;
+    obs::Gauge* gamma;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace gupt

@@ -25,9 +25,8 @@ Result<double> AggregationNoiseScale(double range_width,
          (static_cast<double>(num_blocks) * epsilon);
 }
 
-Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
-                                              const AggregateOptions& options,
-                                              Rng* rng) {
+Result<Row> ClampAndAverage(const std::vector<Row>& outputs,
+                            const std::vector<Range>& output_ranges) {
   if (outputs.empty()) {
     return Status::InvalidArgument("no block outputs to aggregate");
   }
@@ -35,23 +34,20 @@ Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
   if (dims == 0) {
     return Status::InvalidArgument("block outputs have zero dimensions");
   }
-  if (options.output_ranges.size() != dims) {
+  if (output_ranges.size() != dims) {
     return Status::InvalidArgument(
         "output_ranges arity does not match block output dimension");
   }
-  for (const Range& r : options.output_ranges) {
+  for (const Range& r : output_ranges) {
     if (!(r.lo <= r.hi) || !std::isfinite(r.lo) || !std::isfinite(r.hi)) {
       return Status::InvalidArgument("invalid output range");
     }
   }
 
   const std::size_t l = outputs.size();
-  AggregateResult result;
-  result.output.assign(dims, 0.0);
-  result.noise_scale.assign(dims, 0.0);
-
+  Row averages(dims, 0.0);
   for (std::size_t d = 0; d < dims; ++d) {
-    const Range& range = options.output_ranges[d];
+    const Range& range = output_ranges[d];
     double sum = 0.0;
     for (const Row& o : outputs) {
       if (o.size() != dims) {
@@ -59,15 +55,39 @@ Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
       }
       sum += vec::ClampScalar(o[d], range.lo, range.hi);
     }
-    double average = sum / static_cast<double>(l);
+    averages[d] = sum / static_cast<double>(l);
+  }
+  return averages;
+}
+
+Result<AggregateResult> AddAggregationNoise(const Row& averages,
+                                            const AggregateOptions& options,
+                                            std::size_t num_blocks, Rng* rng) {
+  if (averages.size() != options.output_ranges.size()) {
+    return Status::InvalidArgument(
+        "output_ranges arity does not match averaged output dimension");
+  }
+  AggregateResult result;
+  result.output.assign(averages.size(), 0.0);
+  result.noise_scale.assign(averages.size(), 0.0);
+  for (std::size_t d = 0; d < averages.size(); ++d) {
     GUPT_ASSIGN_OR_RETURN(
         double scale,
-        AggregationNoiseScale(range.width(), l, options.gamma,
-                              options.epsilon_per_dim));
+        AggregationNoiseScale(options.output_ranges[d].width(), num_blocks,
+                              options.gamma, options.epsilon_per_dim));
     result.noise_scale[d] = scale;
-    result.output[d] = (scale == 0.0) ? average : average + rng->Laplace(scale);
+    result.output[d] =
+        (scale == 0.0) ? averages[d] : averages[d] + rng->Laplace(scale);
   }
   return result;
+}
+
+Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
+                                              const AggregateOptions& options,
+                                              Rng* rng) {
+  GUPT_ASSIGN_OR_RETURN(Row averages,
+                        ClampAndAverage(outputs, options.output_ranges));
+  return AddAggregationNoise(averages, options, outputs.size(), rng);
 }
 
 }  // namespace gupt

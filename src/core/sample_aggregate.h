@@ -41,9 +41,25 @@ struct AggregateResult {
 /// Clamps each block output into the per-dimension range, averages, and
 /// adds Laplace noise per dimension. Errors on empty input, arity
 /// mismatches, invalid ranges, non-positive epsilon, or gamma == 0.
+/// Equivalent to ClampAndAverage followed by AddAggregationNoise; the two
+/// halves are exposed so the runtime can time (and trace) clamping and
+/// noise addition as separate pipeline stages.
 Result<AggregateResult> AggregateBlockOutputs(const std::vector<Row>& outputs,
                                               const AggregateOptions& options,
                                               Rng* rng);
+
+/// The deterministic half of Algorithm 1: clamps every block output into
+/// the per-dimension range and averages. The result is NOT private until
+/// AddAggregationNoise runs. Validates outputs and ranges.
+Result<Row> ClampAndAverage(const std::vector<Row>& outputs,
+                            const std::vector<Range>& output_ranges);
+
+/// The noise half of Algorithm 1: adds Laplace(gamma * width / (l *
+/// epsilon)) per dimension to an already clamp-averaged row. `num_blocks`
+/// is the l the average was taken over. Validates epsilon/gamma.
+Result<AggregateResult> AddAggregationNoise(const Row& averages,
+                                            const AggregateOptions& options,
+                                            std::size_t num_blocks, Rng* rng);
 
 /// The noise scale the aggregation will use: gamma * width / (l * epsilon).
 /// Exposed so the budget allocator (§5.2) can compute zeta_i without

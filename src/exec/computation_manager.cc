@@ -15,7 +15,25 @@ std::vector<Row> BlockExecutionReport::Outputs() const {
 }
 
 ComputationManager::ComputationManager(ThreadPool* pool, ChamberPolicy policy)
-    : pool_(pool), chamber_(std::move(policy)) {}
+    : pool_(pool), chamber_(std::move(policy)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  block_duration_histogram_ = registry.GetHistogram(
+      "gupt_exec_block_duration_seconds",
+      "Wall time of one per-block chamber execution (includes padding).",
+      obs::Histogram::DurationBuckets());
+  blocks_ok_counter_ =
+      registry.GetCounter("gupt_exec_blocks_total",
+                          "Block executions by outcome.", {{"outcome", "ok"}});
+  blocks_fallback_counter_ = registry.GetCounter(
+      "gupt_exec_blocks_total", "Block executions by outcome.",
+      {{"outcome", "fallback"}});
+  deadline_counter_ = registry.GetCounter(
+      "gupt_exec_deadline_exceeded_total",
+      "Block executions abandoned at the chamber cycle budget.");
+  violation_counter_ = registry.GetCounter(
+      "gupt_exec_policy_violations_total",
+      "MAC policy denials incurred by untrusted programs.");
+}
 
 Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
     const ProgramFactory& factory, const Dataset& dataset,
@@ -68,7 +86,15 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
     if (run.used_fallback) ++report.fallback_count;
     if (run.deadline_exceeded) ++report.deadline_exceeded_count;
     report.policy_violation_count += run.policy_violations;
+    block_duration_histogram_->Observe(
+        std::chrono::duration<double>(run.elapsed).count());
+    (run.used_fallback ? blocks_fallback_counter_ : blocks_ok_counter_)
+        ->Increment();
   }
+  deadline_counter_->Increment(
+      static_cast<double>(report.deadline_exceeded_count));
+  violation_counter_->Increment(
+      static_cast<double>(report.policy_violation_count));
   return report;
 }
 

@@ -19,6 +19,7 @@
 #include "data/partitioner.h"
 #include "exec/chamber.h"
 #include "exec/program.h"
+#include "obs/metrics.h"
 
 namespace gupt {
 
@@ -60,6 +61,15 @@ class ComputationManager {
  private:
   ThreadPool* pool_;  // not owned; null => sequential
   ExecutionChamber chamber_;
+
+  // Observability handles (process-global registry). Per-block chamber
+  // latencies are observed by the coordinating thread after the fan-out
+  // joins, from each ChamberRun's own elapsed clock.
+  obs::Histogram* block_duration_histogram_;
+  obs::Counter* blocks_ok_counter_;
+  obs::Counter* blocks_fallback_counter_;
+  obs::Counter* deadline_counter_;
+  obs::Counter* violation_counter_;
 };
 
 }  // namespace gupt

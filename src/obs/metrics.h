@@ -1,0 +1,184 @@
+// Process-global metrics registry for the GUPT runtime.
+//
+// A hosted DP service must answer, after the fact, where each dataset's
+// budget went, what each query cost, and where the time was spent (paper
+// §3.1/§6). This registry is the numeric half of that story: named
+// counters, gauges, and fixed-bucket histograms with label support, a
+// lock-free hot path (registration takes a mutex once; increments are
+// relaxed atomics on stable handles), and two exporters — the Prometheus
+// text exposition format and JSON.
+//
+// Naming convention (enforced by tools/check_metrics_names.py and by
+// IsValidMetricName): `gupt_<subsystem>_<name>_<unit>`, all lower-case
+// ASCII words joined by underscores, with the final word drawn from a
+// fixed unit vocabulary (seconds, bytes, total, count, ratio, epsilon,
+// scale, depth). Examples:
+//
+//   gupt_dp_epsilon_charged_total        counter
+//   gupt_runtime_stage_duration_seconds  histogram{stage=...}
+//   gupt_threadpool_queue_depth_count    gauge
+//
+// This library is deliberately dependency-free (std only) so the lowest
+// layers (thread pool, logging) can emit metrics without a cycle.
+
+#ifndef GUPT_OBS_METRICS_H_
+#define GUPT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gupt {
+namespace obs {
+
+/// Label set attached to one instrument, e.g. {{"stage", "partition"}}.
+/// Order-insensitive: the registry canonicalises by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing value. Increments are wait-free on platforms
+/// with native double CAS; never decreases.
+class Counter {
+ public:
+  void Increment(double delta = 1.0);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are inclusive upper edges
+/// ("le" in Prometheus terms); an implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  std::uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket; the +Inf bucket reports the largest finite bound.
+  /// Returns 0 when empty.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
+  /// Non-cumulative per-bucket counts; last entry is the +Inf bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  /// Exponential duration buckets (seconds) from 1us to ~100s.
+  static std::vector<double> DurationBuckets();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::vector<double> bounds_;  // strictly increasing, finite
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 cells
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Registry of named instrument families. `Get()` is the process-global
+/// instance that all runtime components use; separate instances can be
+/// constructed for tests. Handles returned by the getters are stable for
+/// the registry's lifetime and safe to use from any thread.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Get();
+
+  /// Finds or creates the instrument for (name, labels). Type conflicts
+  /// (same family name registered as a different kind) return the existing
+  /// family's instrument when kinds match, or a fresh detached instrument
+  /// (never exported) on mismatch — misuse must not crash the service.
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  /// `bounds` must be strictly increasing and finite; only the first
+  /// registration's bounds are kept for a family.
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds,
+                          const Labels& labels = {});
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE headers,
+  /// one sample line per instrument, histograms expanded into cumulative
+  /// `_bucket{le=...}`, `_sum`, and `_count` series. Families appear in
+  /// name order, label sets in canonical (sorted) order.
+  std::string ExportPrometheus() const;
+
+  /// JSON dump: {"metrics": [{"name", "type", "help", "series": [...]}]}.
+  std::string ExportJson() const;
+
+  /// Zeroes every value while keeping registrations and handles valid.
+  void Reset();
+
+  /// `gupt_<subsystem>_<name>_<unit>` check; see the header comment.
+  static bool IsValidMetricName(const std::string& name);
+
+  /// Names that failed IsValidMetricName at registration. They register
+  /// and export normally (observability must not drop data), but tests
+  /// and the name lint assert this list stays empty.
+  std::vector<std::string> invalid_names() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Kind kind;
+    std::string help;
+    std::vector<double> bounds;  // histograms only
+    // Canonical label serialisation -> instrument. std::map keeps export
+    // order deterministic.
+    std::map<std::string, Instrument> series;
+    std::map<std::string, Labels> series_labels;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, const std::string& help,
+                           Kind kind, const Labels& labels,
+                           std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::vector<std::string> invalid_names_;
+  // Type-conflict fallbacks: kept alive but never exported.
+  std::vector<std::unique_ptr<Counter>> orphan_counters_;
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+};
+
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_METRICS_H_

@@ -1,0 +1,178 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace gupt {
+namespace obs {
+namespace {
+
+std::string FormatDuration(std::chrono::nanoseconds d) {
+  const double ns = static_cast<double>(d.count());
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+std::string FormatGauge(double value) {
+  char buf[32];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", value);
+  }
+  return buf;
+}
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (std::isnan(value) || std::isinf(value)) return "null";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+void QueryTrace::SetGauge(const std::string& name, double value) {
+  for (auto& [k, v] : gauges_) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(name, value);
+}
+
+bool QueryTrace::HasStage(const std::string& name) const {
+  for (const SpanRecord& span : spans_) {
+    if (span.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> QueryTrace::StageNames() const {
+  std::vector<std::string> names;
+  names.reserve(spans_.size());
+  for (const SpanRecord& span : spans_) names.push_back(span.name);
+  return names;
+}
+
+std::optional<double> QueryTrace::GaugeValue(const std::string& name) const {
+  for (const auto& [k, v] : gauges_) {
+    if (k == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::chrono::nanoseconds QueryTrace::TotalDuration() const {
+  std::chrono::nanoseconds total{0};
+  for (const SpanRecord& span : spans_) total += span.duration;
+  return total;
+}
+
+std::string QueryTrace::Summary() const {
+  std::string out;
+  for (const SpanRecord& span : spans_) {
+    if (!out.empty()) out += ' ';
+    out += span.name;
+    out += '=';
+    out += FormatDuration(span.duration);
+    if (!span.ok) out += "(err)";
+  }
+  if (!gauges_.empty()) {
+    out += " |";
+    for (const auto& [name, value] : gauges_) {
+      out += ' ';
+      out += name;
+      out += '=';
+      out += FormatGauge(value);
+    }
+  }
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out = "{\"spans\":[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    if (i > 0) out += ',';
+    const SpanRecord& span = spans_[i];
+    out += "{\"name\":\"";
+    out += EscapeJson(span.name);
+    out += "\",\"duration_ns\":";
+    out += std::to_string(span.duration.count());
+    out += ",\"ok\":";
+    out += span.ok ? "true" : "false";
+    if (!span.note.empty()) {
+      out += ",\"note\":\"";
+      out += EscapeJson(span.note);
+      out += '"';
+    }
+    out += "}";
+  }
+  out += "],\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += EscapeJson(gauges_[i].first);
+    out += "\":";
+    out += JsonNumber(gauges_[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+void ScopedTimer::Stop() {
+  if (stopped_ || trace_ == nullptr) {
+    stopped_ = true;
+    return;
+  }
+  stopped_ = true;
+  SpanRecord span;
+  span.name = std::move(name_);
+  span.duration = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start_);
+  span.ok = ok_;
+  span.note = std::move(note_);
+  trace_->AddSpan(std::move(span));
+}
+
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,100 @@
+// Per-query pipeline tracing.
+//
+// A QueryTrace is the narrative half of observability: one record per
+// pipeline stage (span) with wall time and outcome, plus a small set of
+// named gauges for DP-specific facts (epsilon charged, noise scale, block
+// count, gamma). The runtime builds one trace per query and attaches it to
+// the QueryReport; the service layer summarises it into the audit log.
+//
+// A trace is owned and written by the thread coordinating one query; it is
+// NOT thread-safe. Worker threads never touch it — per-block facts are
+// folded in by the coordinator after the fan-out joins.
+
+#ifndef GUPT_OBS_TRACE_H_
+#define GUPT_OBS_TRACE_H_
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gupt {
+namespace obs {
+
+/// One completed pipeline stage.
+struct SpanRecord {
+  std::string name;
+  std::chrono::nanoseconds duration{0};
+  /// False when the stage returned an error (the query then failed).
+  bool ok = true;
+  /// Free-form detail, e.g. "l=64 beta=418" for the partition stage.
+  std::string note;
+};
+
+/// The trace of one query through the GUPT pipeline.
+class QueryTrace {
+ public:
+  void AddSpan(SpanRecord span) { spans_.push_back(std::move(span)); }
+  void SetGauge(const std::string& name, double value);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<std::pair<std::string, double>>& gauges() const {
+    return gauges_;
+  }
+
+  bool HasStage(const std::string& name) const;
+  /// Names of all recorded stages, in execution order.
+  std::vector<std::string> StageNames() const;
+  std::optional<double> GaugeValue(const std::string& name) const;
+  /// Sum of all span durations.
+  std::chrono::nanoseconds TotalDuration() const;
+
+  /// Compact single-line summary for audit logs:
+  ///   "plan=1.2ms charge=3us exec=45ms ... | epsilon_charged=0.5 ..."
+  std::string Summary() const;
+
+  /// Full structured dump: {"spans":[...],"gauges":{...}}.
+  std::string ToJson() const;
+
+ private:
+  std::vector<SpanRecord> spans_;
+  // Insertion-ordered so the summary reads in pipeline order; a query
+  // records a handful of gauges, so linear lookup is fine.
+  std::vector<std::pair<std::string, double>> gauges_;
+};
+
+/// RAII stage timer: records a span on destruction (or at Stop()).
+///
+///   { ScopedTimer timer(&trace, "partition"); ... timer.note("l=64"); }
+class ScopedTimer {
+ public:
+  ScopedTimer(QueryTrace* trace, std::string name)
+      : trace_(trace),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { Stop(); }
+
+  void set_ok(bool ok) { ok_ = ok; }
+  void set_note(std::string note) { note_ = std::move(note); }
+
+  /// Records the span now; further calls (and destruction) are no-ops.
+  void Stop();
+
+ private:
+  QueryTrace* trace_;  // may be null: timing is then skipped entirely
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  bool ok_ = true;
+  std::string note_;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_TRACE_H_

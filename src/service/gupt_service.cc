@@ -10,6 +10,22 @@ namespace gupt {
 GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
     : options_(std::move(options)), registry_(std::move(registry)) {
   runtime_ = std::make_unique<GuptRuntime>(&manager_, options_.runtime);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
+  metrics_.requests_accepted = metrics.GetCounter(
+      "gupt_service_requests_total", "Query requests by outcome.",
+      {{"outcome", "accepted"}});
+  metrics_.requests_refused = metrics.GetCounter(
+      "gupt_service_requests_total", "Query requests by outcome.",
+      {{"outcome", "refused"}});
+  metrics_.requests_cached = metrics.GetCounter(
+      "gupt_service_requests_total", "Query requests by outcome.",
+      {{"outcome", "cached"}});
+}
+
+std::string GuptService::DumpMetrics(MetricsFormat format) {
+  return format == MetricsFormat::kPrometheus
+             ? obs::MetricsRegistry::Get().ExportPrometheus()
+             : obs::MetricsRegistry::Get().ExportJson();
 }
 
 Status GuptService::RegisterDataset(const std::string& name, Dataset data,
@@ -129,6 +145,13 @@ Result<QueryReport> GuptService::SubmitQuery(const QueryRequest& request) {
   record.status = outcome.status().ToString();
   if (outcome.ok() && !from_cache) {
     record.epsilon_charged = outcome->epsilon_spent;
+    record.trace_summary = outcome->trace.Summary();
+  }
+  if (from_cache) {
+    metrics_.requests_cached->Increment();
+  } else {
+    (outcome.ok() ? metrics_.requests_accepted : metrics_.requests_refused)
+        ->Increment();
   }
   {
     std::lock_guard<std::mutex> lock(audit_mu_);

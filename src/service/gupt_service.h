@@ -73,7 +73,13 @@ struct AuditRecord {
   bool accepted = false;
   bool from_cache = false;
   std::string status;  // Status::ToString() of the outcome
+  /// One-line pipeline trace (stage timings + DP gauges) of the execution
+  /// that produced this answer; empty when refused or cache-served.
+  std::string trace_summary;
 };
+
+/// Export format for DumpMetrics.
+enum class MetricsFormat { kPrometheus, kJson };
 
 class GuptService {
  public:
@@ -106,6 +112,10 @@ class GuptService {
   /// Copy of the audit log, in submission order.
   std::vector<AuditRecord> audit_log() const;
 
+  /// Dump of the process-global metrics registry (counters, gauges, and
+  /// histograms from every layer: runtime, chambers, thread pool, service).
+  static std::string DumpMetrics(MetricsFormat format);
+
   /// Loads a previously saved ledger (call after re-registering the same
   /// datasets, before serving queries). Done automatically at construction
   /// when `ledger_path` exists — but registration happens after
@@ -132,6 +142,14 @@ class GuptService {
   std::vector<AuditRecord> audit_log_;
   std::mutex cache_mu_;
   std::map<std::string, QueryReport> query_cache_;
+
+  /// Observability handles (process-global registry).
+  struct Metrics {
+    obs::Counter* requests_accepted;
+    obs::Counter* requests_refused;
+    obs::Counter* requests_cached;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace gupt

@@ -52,5 +52,42 @@ TEST_F(LoggingTest, MultipleMessagesInOrder) {
   EXPECT_EQ(captured_[1].second, "second");
 }
 
+TEST(ParseLogLevelTest, AcceptsKnownNamesCaseInsensitively) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+  EXPECT_FALSE(ParseLogLevel("warn ").has_value());
+}
+
+TEST(FormatLogLineTest, PrefixesTimestampLevelAndThreadId) {
+  std::string line = internal::FormatLogLine(LogLevel::kWarning, "disk full");
+  // "[YYYY-MM-DDTHH:MM:SS.mmmZ WARN tid=<id>] disk full"
+  ASSERT_GE(line.size(), 36u);
+  EXPECT_EQ(line.front(), '[');
+  EXPECT_EQ(line.substr(line.size() - 11), "] disk full");
+  EXPECT_NE(line.find("Z WARN tid="), std::string::npos);
+  // ISO-8601 shape: digits and separators in the expected positions.
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[8], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[14], ':');
+  EXPECT_EQ(line[17], ':');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+}
+
+TEST(FormatLogLineTest, LevelTagsDiffer) {
+  EXPECT_NE(internal::FormatLogLine(LogLevel::kDebug, "m").find(" DEBUG "),
+            std::string::npos);
+  EXPECT_NE(internal::FormatLogLine(LogLevel::kInfo, "m").find(" INFO "),
+            std::string::npos);
+  EXPECT_NE(internal::FormatLogLine(LogLevel::kError, "m").find(" ERROR "),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace gupt

@@ -1,0 +1,349 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minijson.h"
+
+namespace gupt {
+namespace obs {
+namespace {
+
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+// --- instruments -----------------------------------------------------------
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.GetCounter("gupt_test_events_seen_total", "Test counter.");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every increment lands: the CAS loop never drops an update.
+  EXPECT_DOUBLE_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(CounterTest, FractionalDeltasAndMonotonicity) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.GetCounter("gupt_test_budget_spend_epsilon", "Budget spent.");
+  counter->Increment(0.5);
+  counter->Increment(0.25);
+  EXPECT_DOUBLE_EQ(counter->Value(), 0.75);
+  counter->Increment(-1.0);  // ignored: counters are monotone
+  EXPECT_DOUBLE_EQ(counter->Value(), 0.75);
+}
+
+TEST(GaugeTest, SetAndConcurrentAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge =
+      registry.GetGauge("gupt_test_queue_depth_count", "Queue depth.");
+  gauge->Set(5.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 5.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge->Add(1.0);
+        gauge->Add(-1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge->Value(), 5.0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperEdges) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("gupt_test_latency_wait_seconds",
+                                       "Test latency.", {0.25, 1.0, 4.0});
+  h->Observe(0.1);    // <= 0.25
+  h->Observe(0.25);   // exactly on an edge: belongs to that bucket ("le")
+  h->Observe(0.5);    // <= 1.0
+  h->Observe(4.0);    // exactly the last finite edge
+  h->Observe(100.0);  // +Inf bucket
+  EXPECT_EQ(h->BucketCounts(),
+            (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h->Count(), 5u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.1 + 0.25 + 0.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), h->Sum() / 5.0);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram(
+      "gupt_test_quantile_run_seconds", "Quantiles.",
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  for (int v = 1; v <= 10; ++v) h->Observe(v);
+  // One observation per bucket: the q-quantile is the q*10-th edge.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 10.0);
+  // Interpolation inside a bucket: half a bucket's mass -> half its width.
+  MetricsRegistry registry2;
+  Histogram* one = registry2.GetHistogram("gupt_test_single_run_seconds",
+                                          "One bucket.", {10.0});
+  one->Observe(3.0);
+  one->Observe(7.0);
+  EXPECT_DOUBLE_EQ(one->Quantile(0.5), 5.0);  // (0.5*2-0)/2 of [0,10]
+  // Values beyond every finite edge report the largest finite edge.
+  MetricsRegistry registry3;
+  Histogram* inf = registry3.GetHistogram("gupt_test_overflow_run_seconds",
+                                          "Overflow.", {1.0});
+  inf->Observe(50.0);
+  EXPECT_DOUBLE_EQ(inf->Quantile(0.5), 1.0);
+  // Empty histogram.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 5.0);
+  MetricsRegistry registry4;
+  Histogram* empty = registry4.GetHistogram("gupt_test_empty_run_seconds",
+                                            "Empty.", {1.0});
+  EXPECT_DOUBLE_EQ(empty->Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesCountExactly) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("gupt_test_parallel_run_seconds",
+                                       "Parallel.", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) h->Observe(t % 2 == 0 ? 0.25 : 1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(h->Count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  auto counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], static_cast<std::uint64_t>(kThreads / 2 * kPerThread));
+  EXPECT_EQ(counts[1], static_cast<std::uint64_t>(kThreads / 2 * kPerThread));
+}
+
+TEST(HistogramTest, DurationBucketsAreStrictlyIncreasing) {
+  std::vector<double> bounds = Histogram::DurationBuckets();
+  ASSERT_GE(bounds.size(), 10u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 100.0);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// --- registry semantics ----------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameAndLabelsReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("gupt_test_requests_seen_total", "Help.",
+                                   {{"outcome", "ok"}, {"zone", "a"}});
+  // Label order must not matter.
+  Counter* b = registry.GetCounter("gupt_test_requests_seen_total", "Help.",
+                                   {{"zone", "a"}, {"outcome", "ok"}});
+  EXPECT_EQ(a, b);
+  Counter* c = registry.GetCounter("gupt_test_requests_seen_total", "Help.",
+                                   {{"outcome", "error"}, {"zone", "a"}});
+  EXPECT_NE(a, c);
+}
+
+TEST(MetricsRegistryTest, TypeConflictYieldsDetachedInstrument) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.GetCounter("gupt_test_conflict_seen_total", "As counter.");
+  counter->Increment(7.0);
+  // Same family name as a different kind: usable handle, never exported.
+  Gauge* gauge =
+      registry.GetGauge("gupt_test_conflict_seen_total", "As gauge.");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(99.0);
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(prom.find("gupt_test_conflict_seen_total 7"), std::string::npos);
+  EXPECT_EQ(prom.find("99"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, InvalidNamesAreRecordedButStillExported) {
+  MetricsRegistry registry;
+  registry.GetCounter("bad_name", "Too short, wrong prefix.")->Increment();
+  registry.GetCounter("gupt_test_events_seen_total", "Fine.")->Increment();
+  std::vector<std::string> invalid = registry.invalid_names();
+  ASSERT_EQ(invalid.size(), 1u);
+  EXPECT_EQ(invalid[0], "bad_name");
+  EXPECT_NE(registry.ExportPrometheus().find("bad_name 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, NameValidation) {
+  EXPECT_TRUE(
+      MetricsRegistry::IsValidMetricName("gupt_dp_epsilon_charged_total"));
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName(
+      "gupt_runtime_stage_duration_seconds"));
+  EXPECT_TRUE(
+      MetricsRegistry::IsValidMetricName("gupt_threadpool_queue_depth_count"));
+  // Wrong prefix.
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gopt_dp_epsilon_charged_total"));
+  // Too few words.
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("gupt_epsilon_total"));
+  // Last word not a unit.
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gupt_dp_epsilon_charged_values"));
+  // Upper case, doubled/leading/trailing underscores, bad characters.
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gupt_DP_epsilon_charged_total"));
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gupt__dp_epsilon_charged_total"));
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("_gupt_dp_epsilon_charged_total"));
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gupt_dp_epsilon_charged_total_"));
+  EXPECT_FALSE(
+      MetricsRegistry::IsValidMetricName("gupt_dp_epsilon-charged_total"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName(""));
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.GetCounter("gupt_test_events_seen_total", "Help.");
+  Gauge* gauge = registry.GetGauge("gupt_test_queue_depth_count", "Help.");
+  Histogram* h = registry.GetHistogram("gupt_test_latency_wait_seconds",
+                                       "Help.", {1.0});
+  counter->Increment(3.0);
+  gauge->Set(4.0);
+  h->Observe(0.5);
+  registry.Reset();
+  EXPECT_DOUBLE_EQ(counter->Value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.0);
+  // Handles stay live after Reset.
+  counter->Increment();
+  EXPECT_DOUBLE_EQ(counter->Value(), 1.0);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::Get(), &MetricsRegistry::Get());
+}
+
+// --- exporters -------------------------------------------------------------
+
+TEST(MetricsRegistryTest, PrometheusExportMatchesGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("gupt_test_events_seen_total", "Events seen.")
+      ->Increment(3.0);
+  registry
+      .GetGauge("gupt_test_queue_depth_count", "Queue depth.",
+                {{"pool", "main"}})
+      ->Set(4.0);
+  Histogram* h = registry.GetHistogram("gupt_test_latency_wait_seconds",
+                                       "Wait latency.", {0.25, 1.0});
+  h->Observe(0.25);  // exactly binary-representable: the sum is exact
+  h->Observe(0.5);
+  h->Observe(2.0);
+  // Families in name order, histograms expanded into cumulative buckets.
+  const std::string kGolden =
+      "# HELP gupt_test_events_seen_total Events seen.\n"
+      "# TYPE gupt_test_events_seen_total counter\n"
+      "gupt_test_events_seen_total 3\n"
+      "# HELP gupt_test_latency_wait_seconds Wait latency.\n"
+      "# TYPE gupt_test_latency_wait_seconds histogram\n"
+      "gupt_test_latency_wait_seconds_bucket{le=\"0.25\"} 1\n"
+      "gupt_test_latency_wait_seconds_bucket{le=\"1\"} 2\n"
+      "gupt_test_latency_wait_seconds_bucket{le=\"+Inf\"} 3\n"
+      "gupt_test_latency_wait_seconds_sum 2.75\n"
+      "gupt_test_latency_wait_seconds_count 3\n"
+      "# HELP gupt_test_queue_depth_count Queue depth.\n"
+      "# TYPE gupt_test_queue_depth_count gauge\n"
+      "gupt_test_queue_depth_count{pool=\"main\"} 4\n";
+  EXPECT_EQ(registry.ExportPrometheus(), kGolden);
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValuesAndHelp) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("gupt_test_escape_seen_total", "Help with \"quotes\".",
+                  {{"path", "a\\b\"c\nd"}})
+      ->Increment();
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(prom.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("gupt_test_events_seen_total", "Events.")
+      ->Increment(2.5);
+  registry
+      .GetGauge("gupt_test_queue_depth_count", "Depth.", {{"pool", "main"}})
+      ->Set(-1.5);
+  Histogram* h = registry.GetHistogram("gupt_test_latency_wait_seconds",
+                                       "Latency.", {0.25, 1.0});
+  h->Observe(0.5);
+  h->Observe(9.0);
+
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(registry.ExportJson(), &root));
+  ASSERT_EQ(root.type, JsonValue::Type::kObject);
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->type, JsonValue::Type::kArray);
+  ASSERT_EQ(metrics->array.size(), 3u);
+
+  auto find_family = [&](const std::string& name) -> const JsonValue* {
+    for (const JsonValue& family : metrics->array) {
+      const JsonValue* n = family.Find("name");
+      if (n != nullptr && n->string == name) return &family;
+    }
+    return nullptr;
+  };
+
+  const JsonValue* counter = find_family("gupt_test_events_seen_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Find("type")->string, "counter");
+  EXPECT_EQ(counter->Find("help")->string, "Events.");
+  ASSERT_EQ(counter->Find("series")->array.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      counter->Find("series")->array[0].Find("value")->number, 2.5);
+
+  const JsonValue* gauge = find_family("gupt_test_queue_depth_count");
+  ASSERT_NE(gauge, nullptr);
+  const JsonValue& gauge_series = gauge->Find("series")->array[0];
+  EXPECT_DOUBLE_EQ(gauge_series.Find("value")->number, -1.5);
+  EXPECT_EQ(gauge_series.Find("labels")->Find("pool")->string, "main");
+
+  const JsonValue* histogram = find_family("gupt_test_latency_wait_seconds");
+  ASSERT_NE(histogram, nullptr);
+  const JsonValue& hist_series = histogram->Find("series")->array[0];
+  EXPECT_DOUBLE_EQ(hist_series.Find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(hist_series.Find("sum")->number, 9.5);
+  const JsonValue* buckets = hist_series.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->array.size(), 3u);  // two finite edges + Inf
+  EXPECT_DOUBLE_EQ(buckets->array[0].Find("le")->number, 0.25);
+  EXPECT_DOUBLE_EQ(buckets->array[0].Find("count")->number, 0.0);
+  EXPECT_DOUBLE_EQ(buckets->array[1].Find("count")->number, 1.0);
+  EXPECT_EQ(buckets->array[2].Find("le")->type, JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(buckets->array[2].Find("count")->number, 1.0);
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryExportsAreWellFormed) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ExportPrometheus(), "");
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(registry.ExportJson(), &root));
+  EXPECT_TRUE(root.Find("metrics")->array.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gupt

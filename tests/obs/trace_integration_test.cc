@@ -1,0 +1,169 @@
+// End-to-end observability: a GuptService query must produce a QueryTrace
+// whose stage set matches the pipeline it actually ran, whose DP gauges
+// agree with the audit record, and whose data reaches both exporters.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "minijson.h"
+#include "service/gupt_service.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+std::unique_ptr<GuptService> MakeService(double budget = 10.0) {
+  ServiceOptions options;
+  auto service = std::make_unique<GuptService>(
+      options, ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(4000, 7), ds).ok());
+  return service;
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+TEST(TraceIntegrationTest, TightModeTraceMatchesPipeline) {
+  auto service = MakeService();
+  auto report = service->SubmitQuery(MeanRequest(1.0));
+  ASSERT_TRUE(report.ok());
+
+  // The tight-mode pipeline, in order. No range_estimate stage: the
+  // analyst declared the output range.
+  EXPECT_EQ(report->trace.StageNames(),
+            (std::vector<std::string>{"block_plan", "budget_derive",
+                                      "budget_charge", "partition",
+                                      "execute_blocks", "clamp_average",
+                                      "noise"}));
+  for (const auto& span : report->trace.spans()) {
+    EXPECT_TRUE(span.ok) << span.name;
+    EXPECT_GE(span.duration.count(), 0) << span.name;
+  }
+
+  // DP gauges agree with the report and the audit record.
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].accepted);
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("epsilon_charged").value(),
+                   log[0].epsilon_charged);
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("epsilon_charged").value(),
+                   report->epsilon_spent);
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("block_count").value(),
+                   static_cast<double>(report->num_blocks));
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("block_size").value(),
+                   static_cast<double>(report->block_size));
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("gamma").value(),
+                   static_cast<double>(report->gamma));
+  EXPECT_DOUBLE_EQ(report->trace.GaugeValue("fallback_blocks").value(),
+                   static_cast<double>(report->fallback_blocks));
+  EXPECT_GT(report->trace.GaugeValue("noise_scale").value(), 0.0);
+
+  // The audit record carries the one-line summary of the same trace.
+  EXPECT_EQ(log[0].trace_summary, report->trace.Summary());
+  EXPECT_NE(log[0].trace_summary.find("execute_blocks="), std::string::npos);
+  EXPECT_NE(log[0].trace_summary.find("epsilon_charged=1"),
+            std::string::npos);
+}
+
+TEST(TraceIntegrationTest, LooseModeAddsRangeEstimateStage) {
+  auto service = MakeService();
+  QueryRequest request = MeanRequest(2.0);
+  request.range_mode = RangeMode::kLoose;
+  request.output_ranges = {Range{0.0, 300.0}};
+  auto report = service->SubmitQuery(request);
+  ASSERT_TRUE(report.ok());
+  std::vector<std::string> stages = report->trace.StageNames();
+  // Loose mode estimates the output range from the block outputs, after
+  // the chamber fan-out and before clamping.
+  auto find = [&stages](const std::string& name) {
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      if (stages[i] == name) return static_cast<long>(i);
+    }
+    return -1L;
+  };
+  ASSERT_NE(find("range_estimate"), -1L);
+  EXPECT_LT(find("execute_blocks"), find("range_estimate"));
+  EXPECT_LT(find("range_estimate"), find("clamp_average"));
+}
+
+TEST(TraceIntegrationTest, RefusedQueryLeavesNoTraceSummary) {
+  auto service = MakeService(/*budget=*/0.5);
+  EXPECT_FALSE(service->SubmitQuery(MeanRequest(1.0)).ok());
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_FALSE(log[0].accepted);
+  EXPECT_TRUE(log[0].trace_summary.empty());
+}
+
+TEST(TraceIntegrationTest, GlobalMetricsReflectTheQuery) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter* epsilon_total = registry.GetCounter(
+      "gupt_dp_epsilon_charged_total",
+      "Total privacy budget charged across all datasets.");
+  const double epsilon_before = epsilon_total->Value();
+
+  auto service = MakeService();
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(1.5)).ok());
+
+  // The epsilon counter advanced by exactly the charge.
+  EXPECT_DOUBLE_EQ(epsilon_total->Value(), epsilon_before + 1.5);
+
+  // Every name registered by the runtime follows the convention.
+  EXPECT_TRUE(registry.invalid_names().empty());
+
+  // The Prometheus dump from the service carries the acceptance metrics.
+  std::string prom = GuptService::DumpMetrics(MetricsFormat::kPrometheus);
+  EXPECT_NE(prom.find("gupt_dp_epsilon_charged_total"), std::string::npos);
+  EXPECT_NE(prom.find("gupt_runtime_stage_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gupt_exec_block_duration_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("gupt_service_requests_total"), std::string::npos);
+  EXPECT_NE(prom.find("stage=\"execute_blocks\""), std::string::npos);
+
+  // The JSON dump parses.
+  JsonValue root;
+  ASSERT_TRUE(
+      ParseJson(GuptService::DumpMetrics(MetricsFormat::kJson), &root));
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool found_stage_histogram = false;
+  for (const JsonValue& family : metrics->array) {
+    const JsonValue* name = family.Find("name");
+    if (name != nullptr &&
+        name->string == "gupt_runtime_stage_duration_seconds") {
+      found_stage_histogram = true;
+      EXPECT_EQ(family.Find("type")->string, "histogram");
+      EXPECT_FALSE(family.Find("series")->array.empty());
+    }
+  }
+  EXPECT_TRUE(found_stage_histogram);
+}
+
+}  // namespace
+}  // namespace gupt

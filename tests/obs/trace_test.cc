@@ -1,0 +1,131 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "minijson.h"
+
+namespace gupt {
+namespace obs {
+namespace {
+
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+TEST(QueryTraceTest, SpansRecordInExecutionOrder) {
+  QueryTrace trace;
+  trace.AddSpan({"block_plan", std::chrono::microseconds(10), true, ""});
+  trace.AddSpan({"partition", std::chrono::microseconds(20), true, "l=4"});
+  trace.AddSpan({"noise", std::chrono::microseconds(5), false, ""});
+  EXPECT_EQ(trace.StageNames(),
+            (std::vector<std::string>{"block_plan", "partition", "noise"}));
+  EXPECT_TRUE(trace.HasStage("partition"));
+  EXPECT_FALSE(trace.HasStage("execute_blocks"));
+  EXPECT_EQ(trace.TotalDuration(), std::chrono::microseconds(35));
+  EXPECT_FALSE(trace.spans()[2].ok);
+  EXPECT_EQ(trace.spans()[1].note, "l=4");
+}
+
+TEST(QueryTraceTest, GaugesKeepInsertionOrderAndUpdateInPlace) {
+  QueryTrace trace;
+  trace.SetGauge("epsilon_charged", 0.5);
+  trace.SetGauge("block_count", 64.0);
+  trace.SetGauge("epsilon_charged", 1.0);  // update, not append
+  ASSERT_EQ(trace.gauges().size(), 2u);
+  EXPECT_EQ(trace.gauges()[0].first, "epsilon_charged");
+  EXPECT_DOUBLE_EQ(trace.gauges()[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(trace.GaugeValue("block_count").value(), 64.0);
+  EXPECT_FALSE(trace.GaugeValue("missing").has_value());
+}
+
+TEST(ScopedTimerTest, RecordsSpanOnDestruction) {
+  QueryTrace trace;
+  {
+    ScopedTimer timer(&trace, "partition");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    timer.set_note("l=8 beta=100");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "partition");
+  EXPECT_TRUE(trace.spans()[0].ok);
+  EXPECT_EQ(trace.spans()[0].note, "l=8 beta=100");
+  EXPECT_GE(trace.spans()[0].duration, std::chrono::milliseconds(2));
+}
+
+TEST(ScopedTimerTest, StopIsIdempotentAndFailureIsRecorded) {
+  QueryTrace trace;
+  {
+    ScopedTimer timer(&trace, "budget_charge");
+    timer.set_ok(false);
+    timer.Stop();
+    timer.Stop();  // no second span
+  }                // destructor: still no second span
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_FALSE(trace.spans()[0].ok);
+}
+
+TEST(ScopedTimerTest, NullTraceIsSkipped) {
+  ScopedTimer timer(nullptr, "noise");
+  timer.set_note("ignored");
+  timer.Stop();  // must not crash
+}
+
+TEST(QueryTraceTest, SummaryReadsInPipelineOrder) {
+  QueryTrace trace;
+  trace.AddSpan({"block_plan", std::chrono::microseconds(12), true, ""});
+  trace.AddSpan({"noise", std::chrono::nanoseconds(1500), true, ""});
+  trace.SetGauge("epsilon_charged", 0.5);
+  trace.SetGauge("block_count", 64.0);
+  std::string summary = trace.Summary();
+  // Stage timings first, then a separator, then the gauges.
+  std::size_t plan = summary.find("block_plan=");
+  std::size_t noise = summary.find("noise=");
+  std::size_t sep = summary.find(" | ");
+  std::size_t epsilon = summary.find("epsilon_charged=0.5");
+  std::size_t blocks = summary.find("block_count=64");
+  ASSERT_NE(plan, std::string::npos);
+  ASSERT_NE(noise, std::string::npos);
+  ASSERT_NE(sep, std::string::npos);
+  ASSERT_NE(epsilon, std::string::npos);
+  ASSERT_NE(blocks, std::string::npos);
+  EXPECT_LT(plan, noise);
+  EXPECT_LT(noise, sep);
+  EXPECT_LT(sep, epsilon);
+  EXPECT_LT(epsilon, blocks);
+  EXPECT_EQ(summary.find('\n'), std::string::npos);
+}
+
+TEST(QueryTraceTest, ToJsonRoundTripsThroughParser) {
+  QueryTrace trace;
+  trace.AddSpan(
+      {"partition", std::chrono::microseconds(20), true, "l=4 beta=25"});
+  trace.AddSpan({"noise", std::chrono::microseconds(3), false, ""});
+  trace.SetGauge("epsilon_charged", 0.25);
+
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(trace.ToJson(), &root));
+  const JsonValue* spans = root.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array.size(), 2u);
+  EXPECT_EQ(spans->array[0].Find("name")->string, "partition");
+  EXPECT_EQ(spans->array[0].Find("note")->string, "l=4 beta=25");
+  EXPECT_TRUE(spans->array[0].Find("ok")->boolean);
+  EXPECT_FALSE(spans->array[1].Find("ok")->boolean);
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("epsilon_charged")->number, 0.25);
+}
+
+TEST(QueryTraceTest, EmptyTraceIsWellFormed) {
+  QueryTrace trace;
+  EXPECT_EQ(trace.TotalDuration(), std::chrono::nanoseconds(0));
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(trace.ToJson(), &root));
+  EXPECT_TRUE(root.Find("spans")->array.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace gupt

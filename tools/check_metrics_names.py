@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Lint: every registered metric name follows gupt_<subsystem>_<name>_<unit>.
+
+Scans the C++ sources for string literals passed to the metrics registry
+(GetCounter / GetGauge / GetHistogram) and fails when a name violates the
+convention enforced by obs::MetricsRegistry::IsValidMetricName:
+
+  * lower-case ASCII words joined by single underscores
+  * first word "gupt", at least four words total
+  * final word drawn from the unit vocabulary below
+
+Keep ALLOWED_UNITS in sync with IsUnitWord() in src/obs/metrics.cc.
+
+Usage: check_metrics_names.py [repo_root]   (exit 0 = clean, 1 = violations)
+"""
+
+import pathlib
+import re
+import sys
+
+ALLOWED_UNITS = {
+    "seconds",
+    "bytes",
+    "total",
+    "count",
+    "ratio",
+    "epsilon",
+    "scale",
+    "depth",
+}
+
+# A Get* call with its first string-literal argument (the metric name),
+# which may sit on the following line after a line break.
+CALL_RE = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)\"", re.MULTILINE
+)
+NAME_RE = re.compile(r"^[a-z0-9]+(?:_[a-z0-9]+){3,}$")
+
+# Directories whose registrations must pass. Tests deliberately register
+# bad names to cover the validator, so they are not linted.
+LINTED_DIRS = ("src", "tools", "bench", "examples")
+
+
+def metric_names(root: pathlib.Path):
+    for directory in LINTED_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".cc", ".cpp", ".h"}:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            for match in CALL_RE.finditer(text):
+                line = text.count("\n", 0, match.start()) + 1
+                yield path.relative_to(root), line, match.group(1)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    violations = []
+    seen = 0
+    for path, line, name in metric_names(root):
+        seen += 1
+        words = name.split("_")
+        if (
+            not NAME_RE.match(name)
+            or words[0] != "gupt"
+            or words[-1] not in ALLOWED_UNITS
+        ):
+            violations.append((path, line, name))
+    if not seen:
+        print("check_metrics_names: found no metric registrations", file=sys.stderr)
+        return 1
+    for path, line, name in violations:
+        print(
+            f"{path}:{line}: metric name '{name}' violates "
+            "gupt_<subsystem>_<name>_<unit> "
+            f"(units: {', '.join(sorted(ALLOWED_UNITS))})",
+            file=sys.stderr,
+        )
+    if violations:
+        return 1
+    print(f"check_metrics_names: {seen} registrations ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,8 +46,14 @@ Args ParseArgs(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
+    std::size_t eq;
     if (arg == "--header") {
       args.has_header = true;
+    } else if (arg == "--metrics") {
+      args.options["metrics"] = "prom";
+    } else if (arg.rfind("--", 0) == 0 &&
+               (eq = arg.find('=')) != std::string::npos) {
+      args.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       args.options[arg.substr(2)] = argv[++i];
     } else {
@@ -56,6 +62,37 @@ Args ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Rejects an unknown --metrics format. Called before the query runs: a
+/// typo'd format must fail up front, not after budget has been charged.
+bool ValidateMetricsFormat(const Args& args) {
+  auto it = args.options.find("metrics");
+  if (it == args.options.end() || it->second == "prom" ||
+      it->second == "json") {
+    return true;
+  }
+  std::fprintf(stderr, "unknown metrics format: %s (want prom or json)\n",
+               it->second.c_str());
+  return false;
+}
+
+/// Prints the process-global metrics registry when --metrics[=prom|json]
+/// was given. Returns false on an unknown format.
+bool MaybeDumpMetrics(const Args& args) {
+  auto it = args.options.find("metrics");
+  if (it == args.options.end()) return true;
+  if (it->second == "prom") {
+    std::fputs(GuptService::DumpMetrics(MetricsFormat::kPrometheus).c_str(),
+               stdout);
+  } else if (it->second == "json") {
+    std::printf("%s\n", GuptService::DumpMetrics(MetricsFormat::kJson).c_str());
+  } else {
+    std::fprintf(stderr, "unknown metrics format: %s (want prom or json)\n",
+                 it->second.c_str());
+    return false;
+  }
+  return true;
 }
 
 Result<std::string> Require(const Args& args, const std::string& key) {
@@ -113,7 +150,7 @@ int Usage() {
       "                    [--params k=v,k=v] --epsilon E --range LO,HI\n"
       "                    --budget TOTAL [--ledger FILE] [--block-size N]\n"
       "                    [--gamma G] [--mode tight|loose] [--workers N]\n"
-      "                    [--seed S] [--analyst NAME]\n"
+      "                    [--seed S] [--analyst NAME] [--metrics[=prom|json]]\n"
       "  gupt_cli selftest\n");
   return 2;
 }
@@ -162,6 +199,7 @@ int RunQuery(const Args& args) {
       return 2;
     }
   }
+  if (!ValidateMetricsFormat(args)) return 2;
   auto data = Dataset::FromCsvFile(*path, args.has_header);
   if (!data.ok()) {
     std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
@@ -257,6 +295,8 @@ int RunQuery(const Args& args) {
               service.RemainingBudget("cli").value_or(0.0));
   std::printf("blocks          : %zu x %zu rows (gamma=%zu)\n",
               report->num_blocks, report->block_size, report->gamma);
+  std::printf("trace           : %s\n", report->trace.Summary().c_str());
+  if (!MaybeDumpMetrics(args)) return 2;
   return 0;
 }
 
@@ -292,7 +332,22 @@ int RunSelfTest() {
     std::fprintf(stderr, "selftest: third query should have been refused\n");
     return 1;
   }
-  std::printf("selftest: ok (ledger enforced the budget across runs)\n");
+  // The runs above flowed through the instrumented pipeline, so the metric
+  // dumps must carry the core DP and stage series in both formats.
+  std::string prom = GuptService::DumpMetrics(MetricsFormat::kPrometheus);
+  std::string json = GuptService::DumpMetrics(MetricsFormat::kJson);
+  for (const char* needle :
+       {"gupt_dp_epsilon_charged_total", "gupt_runtime_stage_duration_seconds",
+        "gupt_exec_block_duration_seconds"}) {
+    if (prom.find(needle) == std::string::npos ||
+        json.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "selftest: metrics dump is missing %s\n", needle);
+      return 1;
+    }
+  }
+  std::printf(
+      "selftest: ok (ledger enforced the budget across runs; metrics "
+      "exported)\n");
   return 0;
 }
 

@@ -1,0 +1,102 @@
+// Micro-benchmark for the service's asynchronous admission path.
+//
+// Compares the synchronous front door (submit-and-wait through the
+// admission queue) against batched SubmitQueryAsync, where several
+// analysts' queries overlap on the admission workers. The interesting
+// number is per-query latency as the in-flight batch grows: with the
+// bounded queue and dedicated admission pool, concurrent submissions
+// should approach worker-count speed-up until the runtime's block
+// executors saturate.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/gupt_service.h"
+
+namespace gupt {
+namespace {
+
+Dataset Ages(std::size_t rows) {
+  Rng rng(21);
+  std::vector<double> values;
+  values.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+std::unique_ptr<GuptService> MakeService(std::size_t admission_workers) {
+  ServiceOptions options;
+  options.admission_workers = admission_workers;
+  // Effectively infinite budget so the benchmark never exhausts it.
+  auto service = std::make_unique<GuptService>(
+      options, ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = 1e12;
+  if (!service->RegisterDataset("ages", Ages(20000), ds).ok()) return nullptr;
+  return service;
+}
+
+QueryRequest MeanRequest() {
+  QueryRequest request;
+  request.analyst = "bench";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = 0.1;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+void BM_SubmitQuerySync(benchmark::State& state) {
+  auto service = MakeService(/*admission_workers=*/1);
+  if (!service) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  QueryRequest request = MeanRequest();
+  for (auto _ : state) {
+    auto report = service->SubmitQuery(request);
+    if (!report.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_SubmitQuerySync);
+
+// Arg = batch size: that many queries in flight at once, 4 admission
+// workers. Reported time is per batch; divide by the arg for per-query
+// latency under overlap.
+void BM_SubmitQueryAsyncBatch(benchmark::State& state) {
+  auto service = MakeService(/*admission_workers=*/4);
+  if (!service) {
+    state.SkipWithError("service setup failed");
+    return;
+  }
+  QueryRequest request = MeanRequest();
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::vector<std::future<Result<QueryReport>>> futures;
+    futures.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      futures.push_back(service->SubmitQueryAsync(request));
+    }
+    for (auto& future : futures) {
+      auto report = future.get();
+      if (!report.ok()) state.SkipWithError("query failed");
+      benchmark::DoNotOptimize(report);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_SubmitQueryAsyncBatch)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace gupt
+
+BENCHMARK_MAIN();

@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kNumericalError:
       return "NumericalError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -36,6 +36,9 @@ enum class StatusCode {
   kParseError,
   /// Numerical routine failed to converge or produced non-finite values.
   kNumericalError,
+  /// The service is at capacity and refused to queue the work; safe to
+  /// retry later (nothing was charged or executed).
+  kUnavailable,
   /// Internal invariant broken; indicates a bug in GUPT itself.
   kInternal,
 };
@@ -80,6 +83,9 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

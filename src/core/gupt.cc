@@ -1,111 +1,12 @@
 #include "core/gupt.h"
 
 #include <algorithm>
-#include <cmath>
+#include <memory>
 #include <utility>
 
-#include "common/logging.h"
-#include "core/block_planner.h"
 #include "core/budget_allocator.h"
-#include "core/sample_aggregate.h"
-#include "data/partitioner.h"
 
 namespace gupt {
-namespace {
-
-/// Theorem 1 budget multiplier: the total equals multiplier * p * eps_saf.
-double ModeMultiplier(RangeMode mode) {
-  return mode == RangeMode::kTight ? 1.0 : 2.0;
-}
-
-/// Per-stage duration histogram, labelled by stage name.
-obs::Histogram* StageHistogram(const char* stage) {
-  return obs::MetricsRegistry::Get().GetHistogram(
-      "gupt_runtime_stage_duration_seconds",
-      "Wall time of one GUPT pipeline stage (see docs/observability.md).",
-      obs::Histogram::DurationBuckets(), {{"stage", stage}});
-}
-
-/// Times one pipeline stage into both the query's trace (when present) and
-/// the global per-stage histogram.
-class StageScope {
- public:
-  StageScope(obs::QueryTrace* trace, const char* stage)
-      : trace_(trace),
-        stage_(stage),
-        start_(std::chrono::steady_clock::now()) {}
-
-  StageScope(const StageScope&) = delete;
-  StageScope& operator=(const StageScope&) = delete;
-
-  void set_ok(bool ok) { ok_ = ok; }
-  void set_note(std::string note) { note_ = std::move(note); }
-
-  ~StageScope() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    if (trace_ != nullptr) {
-      obs::SpanRecord span;
-      span.name = stage_;
-      span.duration =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
-      span.ok = ok_;
-      span.note = std::move(note_);
-      trace_->AddSpan(std::move(span));
-    }
-    StageHistogram(stage_)->Observe(
-        std::chrono::duration<double>(elapsed).count());
-  }
-
- private:
-  obs::QueryTrace* trace_;
-  const char* stage_;
-  std::chrono::steady_clock::time_point start_;
-  bool ok_ = true;
-  std::string note_;
-};
-
-Row RangeMidpoints(const std::vector<Range>& ranges) {
-  Row mid(ranges.size());
-  for (std::size_t i = 0; i < ranges.size(); ++i) {
-    mid[i] = 0.5 * (ranges[i].lo + ranges[i].hi);
-  }
-  return mid;
-}
-
-Status ValidateRanges(const std::vector<Range>& ranges, std::size_t arity,
-                      const char* what) {
-  if (ranges.size() != arity) {
-    return Status::InvalidArgument(
-        std::string(what) + " arity " + std::to_string(ranges.size()) +
-        " does not match expected " + std::to_string(arity));
-  }
-  for (const Range& r : ranges) {
-    if (!(r.lo <= r.hi) || !std::isfinite(r.lo) || !std::isfinite(r.hi)) {
-      return Status::InvalidArgument(std::string(what) + " contains lo > hi");
-    }
-  }
-  return Status::OK();
-}
-
-/// The loose input ranges a helper-mode query should use: the spec's, or
-/// the data owner's registered ranges.
-Result<std::vector<Range>> ResolveLooseInputRanges(const RegisteredDataset& ds,
-                                                   const QuerySpec& spec) {
-  if (!spec.range.loose_input_ranges.empty()) {
-    GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.loose_input_ranges,
-                                        ds.data().num_dims(),
-                                        "loose input ranges"));
-    return spec.range.loose_input_ranges;
-  }
-  if (ds.input_ranges() != nullptr) {
-    return *ds.input_ranges();
-  }
-  return Status::InvalidArgument(
-      "GUPT-helper requires loose input ranges (from the query or the data "
-      "owner's registration)");
-}
-
-}  // namespace
 
 GuptRuntime::GuptRuntime(DatasetManager* manager, GuptOptions options)
     : manager_(manager),
@@ -114,398 +15,12 @@ GuptRuntime::GuptRuntime(DatasetManager* manager, GuptOptions options)
                 ? std::make_unique<ThreadPool>(options.num_workers)
                 : nullptr),
       computation_manager_(pool_.get(), options.chamber_policy),
-      rng_(options.seed) {
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
-  metrics_.queries_ok = registry.GetCounter(
-      "gupt_runtime_queries_total", "Queries executed, by outcome.",
-      {{"outcome", "ok"}});
-  metrics_.queries_error = registry.GetCounter(
-      "gupt_runtime_queries_total", "Queries executed, by outcome.",
-      {{"outcome", "error"}});
-  metrics_.query_duration = registry.GetHistogram(
-      "gupt_runtime_query_duration_seconds",
-      "End-to-end wall time of one query (planning through release).",
-      obs::Histogram::DurationBuckets());
-  metrics_.epsilon_charged = registry.GetCounter(
-      "gupt_dp_epsilon_charged_total",
-      "Total privacy budget charged across all datasets and queries.");
-  metrics_.noise_scale = registry.GetGauge(
-      "gupt_dp_noise_scale",
-      "Largest per-dimension Laplace scale used by the last release.");
-  metrics_.block_count = registry.GetGauge(
-      "gupt_dp_block_count", "Number of blocks (l) in the last query.");
-  metrics_.block_size = registry.GetGauge(
-      "gupt_dp_block_size_count",
-      "Records per block (beta) in the last query.");
-  metrics_.gamma = registry.GetGauge(
-      "gupt_dp_gamma_ratio",
-      "Resampling multiplicity (gamma) of the last query.");
-}
+      pipeline_(&computation_manager_),
+      rng_(options.seed) {}
 
 Rng GuptRuntime::ForkRng() {
   std::lock_guard<std::mutex> lock(rng_mu_);
   return rng_.Fork();
-}
-
-Result<GuptRuntime::QueryPlan> GuptRuntime::PlanQuery(
-    const RegisteredDataset& ds, const QuerySpec& spec, Rng* rng,
-    obs::QueryTrace* trace) const {
-  if (!spec.program) {
-    return Status::InvalidArgument("query has no program");
-  }
-  if (spec.epsilon.has_value() == spec.accuracy_goal.has_value()) {
-    return Status::InvalidArgument(
-        "exactly one of epsilon and accuracy_goal must be set");
-  }
-  if (spec.gamma == 0) {
-    return Status::InvalidArgument("gamma must be >= 1");
-  }
-  if (spec.records_per_user == 0) {
-    return Status::InvalidArgument("records_per_user must be >= 1");
-  }
-
-  QueryPlan plan;
-  plan.gamma = spec.gamma;
-  {
-    std::unique_ptr<AnalysisProgram> probe = spec.program();
-    if (!probe) {
-      return Status::InvalidArgument("program factory returned null");
-    }
-    plan.output_dims = probe->output_dims();
-  }
-  if (plan.output_dims == 0) {
-    return Status::InvalidArgument("program declares zero output dimensions");
-  }
-  const std::size_t n = ds.data().num_rows();
-  const std::size_t k = ds.data().num_dims();
-  // Under per-dimension accounting the declared epsilon is not divided
-  // across the p outputs (the paper's evaluation configuration).
-  const double p = spec.accounting == BudgetAccounting::kPerDimension
-                       ? 1.0
-                       : static_cast<double>(plan.output_dims);
-  const double multiplier = ModeMultiplier(spec.range.mode);
-
-  // Planning-time output ranges: declared for tight/loose; for helper,
-  // translated from the *loose* (public) input ranges — no privacy cost, and
-  // only used for widths and fallback values, never to clamp real outputs.
-  switch (spec.range.mode) {
-    case RangeMode::kTight:
-    case RangeMode::kLoose:
-      GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.declared_ranges,
-                                          plan.output_dims,
-                                          "declared output ranges"));
-      plan.planning_ranges = spec.range.declared_ranges;
-      break;
-    case RangeMode::kHelper: {
-      if (!spec.range.translator) {
-        return Status::InvalidArgument("GUPT-helper requires a translator");
-      }
-      GUPT_ASSIGN_OR_RETURN(std::vector<Range> loose_input,
-                            ResolveLooseInputRanges(ds, spec));
-      GUPT_ASSIGN_OR_RETURN(plan.planning_ranges,
-                            spec.range.translator(loose_input));
-      GUPT_RETURN_IF_ERROR(ValidateRanges(plan.planning_ranges,
-                                          plan.output_dims,
-                                          "translated output ranges"));
-      break;
-    }
-  }
-
-  std::vector<double> widths(plan.output_dims);
-  for (std::size_t d = 0; d < plan.output_dims; ++d) {
-    widths[d] = plan.planning_ranges[d].width();
-  }
-
-  // Block size: explicit > aged-data planner > paper default n^0.6.
-  {
-    StageScope stage(trace, "block_plan");
-    if (spec.block_size.has_value()) {
-      if (*spec.block_size == 0 || *spec.block_size > n) {
-        stage.set_ok(false);
-        return Status::InvalidArgument("block_size must be in [1, n]");
-      }
-      plan.block_size = *spec.block_size;
-      stage.set_note("explicit");
-    } else if (spec.optimize_block_size && ds.aged() != nullptr) {
-      BlockPlannerOptions planner_options;
-      // When the budget is known, plan against the SAF share; with an
-      // accuracy goal the budget is solved *after* the block size, so plan
-      // with a provisional unit budget (the paper sequences it the same way).
-      planner_options.epsilon_per_dim =
-          spec.epsilon ? *spec.epsilon / (multiplier * p) : 1.0;
-      planner_options.range_widths = widths;
-      Result<BlockPlanChoice> choice =
-          PlanBlockSize(*ds.aged(), n, spec.program, planner_options, rng);
-      if (!choice.ok()) {
-        stage.set_ok(false);
-        return choice.status();
-      }
-      plan.block_size = choice->block_size;
-      stage.set_note("aged_planner");
-      GUPT_LOG(kInfo) << "block planner chose beta=" << choice->block_size
-                      << " (alpha=" << choice->alpha << ", predicted error "
-                      << choice->predicted_error << ")";
-    } else {
-      std::size_t num_blocks = DefaultNumBlocks(n);
-      plan.block_size = std::max<std::size_t>(1, n / num_blocks);
-      stage.set_note("default_n06");
-    }
-    plan.block_size = std::min(plan.block_size, n);
-  }
-
-  const std::size_t blocks_per_group =
-      (n + plan.block_size - 1) / plan.block_size;
-  plan.num_blocks = plan.gamma * blocks_per_group;
-
-  // Privacy budget: explicit, or solved from the accuracy goal (§5.1).
-  {
-    StageScope stage(trace, "budget_derive");
-    if (spec.epsilon.has_value()) {
-      if (!(*spec.epsilon > 0.0)) {
-        stage.set_ok(false);
-        return Status::InvalidArgument("epsilon must be positive");
-      }
-      plan.epsilon_total = *spec.epsilon;
-      plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
-      stage.set_note("explicit");
-    } else {
-      if (ds.aged() == nullptr) {
-        stage.set_ok(false);
-        return Status::InvalidArgument(
-            "accuracy goals require an aged slice (aging-of-sensitivity "
-            "model)");
-      }
-      if (plan.output_dims != 1) {
-        stage.set_ok(false);
-        return Status::InvalidArgument(
-            "accuracy goals are supported for scalar-output programs");
-      }
-      BudgetEstimatorOptions est;
-      est.goal = *spec.accuracy_goal;
-      est.block_size = plan.block_size;
-      est.range_width = widths[0];
-      Result<BudgetEstimate> estimate =
-          EstimateBudgetForAccuracy(*ds.aged(), n, spec.program, est, rng);
-      if (!estimate.ok()) {
-        stage.set_ok(false);
-        return estimate.status();
-      }
-      plan.epsilon_saf_per_dim = estimate->epsilon;
-      plan.epsilon_total = multiplier * p * plan.epsilon_saf_per_dim;
-      stage.set_note("accuracy_goal");
-    }
-  }
-  (void)k;
-  return plan;
-}
-
-Result<QueryReport> GuptRuntime::ExecutePlanned(RegisteredDataset& ds,
-                                                const QuerySpec& spec,
-                                                const QueryPlan& plan,
-                                                Rng* rng,
-                                                obs::QueryTrace* trace) const {
-  const auto start = std::chrono::steady_clock::now();
-  const std::size_t n = ds.data().num_rows();
-  const std::size_t k = ds.data().num_dims();
-
-  // Charge the full budget up front: a program that later misbehaves (or a
-  // malicious analyst who aborts mid-query) cannot reclaim or overdraw it.
-  std::string label;
-  {
-    std::unique_ptr<AnalysisProgram> probe = spec.program();
-    label = probe->name() + " [" + RangeModeToString(spec.range.mode) + "]";
-  }
-  {
-    StageScope stage(trace, "budget_charge");
-    Status charged = ds.accountant().Charge(plan.epsilon_total, label);
-    if (!charged.ok()) {
-      stage.set_ok(false);
-      return charged;
-    }
-  }
-  metrics_.epsilon_charged->Increment(plan.epsilon_total);
-
-  QueryReport report;
-  report.epsilon_spent = plan.epsilon_total;
-  report.epsilon_saf_per_dim = plan.epsilon_saf_per_dim;
-  report.block_size = plan.block_size;
-  report.gamma = plan.gamma;
-
-  // Effective clamp ranges known before execution for tight mode; helper
-  // estimates them from private inputs now (charged within epsilon_total);
-  // loose refines from block outputs after execution.
-  std::vector<Range> effective = plan.planning_ranges;
-  if (spec.range.mode == RangeMode::kHelper) {
-    StageScope stage(trace, "range_estimate");
-    stage.set_note("helper_inputs");
-    Result<std::vector<Range>> loose_input = ResolveLooseInputRanges(ds, spec);
-    if (!loose_input.ok()) {
-      stage.set_ok(false);
-      return loose_input.status();
-    }
-    // Theorem 1: the input percentile pass gets epsilon/2 in total, split
-    // evenly over the k input dimensions.
-    double epsilon_per_input_dim =
-        plan.epsilon_total / (2.0 * static_cast<double>(k));
-    // User-level privacy scales the percentile mechanism's rank
-    // sensitivity by the per-user record count (group privacy).
-    epsilon_per_input_dim /= static_cast<double>(spec.records_per_user);
-    Result<std::vector<Range>> estimated = EstimateRangesViaTranslator(
-        ds.data(), *loose_input, spec.range.translator, epsilon_per_input_dim,
-        plan.output_dims, rng, spec.range.lower_percentile,
-        spec.range.upper_percentile);
-    if (!estimated.ok()) {
-      stage.set_ok(false);
-      return estimated.status();
-    }
-    effective = std::move(estimated).value();
-  }
-
-  // The constant substituted for killed/failed blocks must be data
-  // independent and inside the expected output range (§6.2): use the
-  // midpoint of the pre-execution planning ranges.
-  Row fallback = RangeMidpoints(plan.planning_ranges);
-
-  BlockPlan partition;
-  {
-    StageScope stage(trace, "partition");
-    Result<BlockPlan> partitioned =
-        plan.gamma > 1
-            ? PartitionResampled(n, plan.block_size, plan.gamma, rng)
-            : PartitionDisjoint(
-                  n,
-                  std::max<std::size_t>(1, std::min(plan.num_blocks, n)),
-                  rng);
-    if (!partitioned.ok()) {
-      stage.set_ok(false);
-      return partitioned.status();
-    }
-    partition = std::move(partitioned).value();
-    stage.set_note("l=" + std::to_string(partition.num_blocks()) +
-                   " beta=" + std::to_string(plan.block_size));
-  }
-  report.num_blocks = partition.num_blocks();
-
-  BlockExecutionReport exec_report;
-  {
-    StageScope stage(trace, "execute_blocks");
-    Result<BlockExecutionReport> executed = computation_manager_.ExecuteOnBlocks(
-        spec.program, ds.data(), partition, fallback);
-    if (!executed.ok()) {
-      stage.set_ok(false);
-      return executed.status();
-    }
-    exec_report = std::move(executed).value();
-    if (exec_report.fallback_count > 0) {
-      stage.set_note("fallbacks=" + std::to_string(exec_report.fallback_count));
-    }
-  }
-  report.fallback_blocks = exec_report.fallback_count;
-  report.deadline_exceeded_blocks = exec_report.deadline_exceeded_count;
-  report.policy_violations = exec_report.policy_violation_count;
-  if (report.fallback_blocks > 0 || report.policy_violations > 0) {
-    GUPT_LOG(kWarning) << "query '" << label << "': "
-                       << report.fallback_blocks << "/" << report.num_blocks
-                       << " blocks fell back ("
-                       << report.deadline_exceeded_blocks
-                       << " killed at the cycle budget), "
-                       << report.policy_violations << " policy violations";
-  }
-
-  std::vector<Row> outputs = exec_report.Outputs();
-  if (spec.range.mode == RangeMode::kLoose) {
-    StageScope stage(trace, "range_estimate");
-    stage.set_note("loose_outputs");
-    // Theorem 1: epsilon/(2p) per output dimension for the percentile pass
-    // (just epsilon/2 under per-dimension accounting).
-    double p_eff = spec.accounting == BudgetAccounting::kPerDimension
-                       ? 1.0
-                       : static_cast<double>(plan.output_dims);
-    double epsilon_per_output_dim = plan.epsilon_total / (2.0 * p_eff);
-    Result<std::vector<Range>> estimated = EstimateRangesFromBlockOutputs(
-        outputs, spec.range.declared_ranges, epsilon_per_output_dim,
-        plan.gamma * spec.records_per_user, rng, spec.range.lower_percentile,
-        spec.range.upper_percentile);
-    if (!estimated.ok()) {
-      stage.set_ok(false);
-      return estimated.status();
-    }
-    effective = std::move(estimated).value();
-  }
-
-  AggregateOptions agg;
-  agg.epsilon_per_dim = plan.epsilon_saf_per_dim;
-  agg.output_ranges = effective;
-  // One *user* touches at most gamma * records_per_user blocks, so the
-  // aggregation's sensitivity multiplier is their product (group privacy).
-  agg.gamma = plan.gamma * spec.records_per_user;
-
-  Row averages;
-  {
-    StageScope stage(trace, "clamp_average");
-    Result<Row> averaged = ClampAndAverage(outputs, agg.output_ranges);
-    if (!averaged.ok()) {
-      stage.set_ok(false);
-      return averaged.status();
-    }
-    averages = std::move(averaged).value();
-  }
-
-  AggregateResult aggregate;
-  {
-    StageScope stage(trace, "noise");
-    Result<AggregateResult> noised =
-        AddAggregationNoise(averages, agg, outputs.size(), rng);
-    if (!noised.ok()) {
-      stage.set_ok(false);
-      return noised.status();
-    }
-    aggregate = std::move(noised).value();
-  }
-
-  double max_noise_scale = 0.0;
-  for (double scale : aggregate.noise_scale) {
-    max_noise_scale = std::max(max_noise_scale, scale);
-  }
-  metrics_.noise_scale->Set(max_noise_scale);
-  metrics_.block_count->Set(static_cast<double>(report.num_blocks));
-  metrics_.block_size->Set(static_cast<double>(report.block_size));
-  metrics_.gamma->Set(static_cast<double>(report.gamma));
-  if (trace != nullptr) {
-    trace->SetGauge("epsilon_charged", plan.epsilon_total);
-    trace->SetGauge("epsilon_saf_per_dim", plan.epsilon_saf_per_dim);
-    trace->SetGauge("noise_scale", max_noise_scale);
-    trace->SetGauge("block_count", static_cast<double>(report.num_blocks));
-    trace->SetGauge("block_size", static_cast<double>(report.block_size));
-    trace->SetGauge("gamma", static_cast<double>(report.gamma));
-    trace->SetGauge("fallback_blocks",
-                    static_cast<double>(report.fallback_blocks));
-    trace->SetGauge("deadline_exceeded_blocks",
-                    static_cast<double>(report.deadline_exceeded_blocks));
-    trace->SetGauge("policy_violations",
-                    static_cast<double>(report.policy_violations));
-  }
-
-  report.output = std::move(aggregate.output);
-  report.effective_ranges = std::move(effective);
-  report.elapsed = std::chrono::steady_clock::now() - start;
-  return report;
-}
-
-Result<QueryReport> GuptRuntime::ExecuteTraced(RegisteredDataset& ds,
-                                               const QuerySpec& spec,
-                                               const QueryPlan& plan, Rng* rng,
-                                               obs::QueryTrace* trace) const {
-  const auto start = std::chrono::steady_clock::now();
-  Result<QueryReport> report = ExecutePlanned(ds, spec, plan, rng, trace);
-  metrics_.query_duration->Observe(
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count());
-  (report.ok() ? metrics_.queries_ok : metrics_.queries_error)->Increment();
-  if (report.ok() && trace != nullptr) {
-    report->trace = std::move(*trace);
-  }
-  return report;
 }
 
 Result<QueryReport> GuptRuntime::Execute(const std::string& dataset_name,
@@ -514,12 +29,8 @@ Result<QueryReport> GuptRuntime::Execute(const std::string& dataset_name,
                         manager_->Get(dataset_name));
   Rng rng = ForkRng();
   obs::QueryTrace trace;
-  Result<QueryPlan> plan = PlanQuery(*ds, spec, &rng, &trace);
-  if (!plan.ok()) {
-    metrics_.queries_error->Increment();
-    return plan.status();
-  }
-  return ExecuteTraced(*ds, spec, *plan, &rng, &trace);
+  QueryContext ctx(*ds, spec, &rng, &trace);
+  return pipeline_.Run(ctx);
 }
 
 Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
@@ -547,8 +58,8 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
     provisional.epsilon = 1.0;
     // Provisional planning carries no trace: only the real execution's
     // plan decisions are part of a query's story.
-    GUPT_ASSIGN_OR_RETURN(QueryPlan plan,
-                          PlanQuery(*ds, provisional, &rng, nullptr));
+    QueryContext plan_ctx(*ds, provisional, &rng, nullptr);
+    GUPT_ASSIGN_OR_RETURN(QueryPlan plan, pipeline_.Plan(plan_ctx));
 
     double max_width = 0.0;
     for (const Range& r : plan.planning_ranges) {
@@ -561,10 +72,8 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
     }
     // Weight = multiplier * p * zeta so the resulting *total* epsilons give
     // every query the same SAF noise std-dev (see budget_allocator.h).
-    double p_eff = spec.accounting == BudgetAccounting::kPerDimension
-                       ? 1.0
-                       : static_cast<double>(plan.output_dims);
-    profile.zeta = ModeMultiplier(spec.range.mode) * p_eff *
+    profile.zeta = ModeMultiplier(spec.range.mode) *
+                   EffectiveOutputDims(spec, plan.output_dims) *
                    SafZeta(max_width, plan.num_blocks, plan.gamma);
     profiles.push_back(std::move(profile));
     plans.push_back(std::move(plan));
@@ -573,19 +82,21 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
   GUPT_ASSIGN_OR_RETURN(std::vector<double> epsilons,
                         AllocateBudget(profiles, total_epsilon));
 
+  // Re-enter the shared pipeline with the allocator-derived epsilons:
+  // AdmitStage charges each query exactly its allocation, and PlanStage
+  // passes through because the plan is already resolved.
   std::vector<QueryReport> reports;
   reports.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    QueryPlan plan = plans[i];
-    double multiplier = ModeMultiplier(specs[i].range.mode);
-    double p_eff = specs[i].accounting == BudgetAccounting::kPerDimension
-                       ? 1.0
-                       : static_cast<double>(plan.output_dims);
-    plan.epsilon_total = epsilons[i];
-    plan.epsilon_saf_per_dim = epsilons[i] / (multiplier * p_eff);
     obs::QueryTrace trace;
-    GUPT_ASSIGN_OR_RETURN(QueryReport report,
-                          ExecuteTraced(*ds, specs[i], plan, &rng, &trace));
+    QueryContext ctx(*ds, specs[i], &rng, &trace);
+    ctx.plan = plans[i];
+    ctx.plan.epsilon_total = epsilons[i];
+    ctx.plan.epsilon_saf_per_dim =
+        epsilons[i] / (ModeMultiplier(specs[i].range.mode) *
+                       EffectiveOutputDims(specs[i], plans[i].output_dims));
+    ctx.plan_resolved = true;
+    GUPT_ASSIGN_OR_RETURN(QueryReport report, pipeline_.Run(ctx));
     reports.push_back(std::move(report));
   }
   return reports;

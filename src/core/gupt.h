@@ -14,28 +14,27 @@
 // where eps_saf is the SAF aggregation budget per output dimension and p
 // the output dimension. The total is charged to the dataset's accountant
 // *before* any untrusted code runs (privacy-budget-attack defence).
+//
+// The runtime itself is a thin driver: the stage logic lives in
+// src/core/pipeline/ (see docs/architecture.md), and both Execute and
+// ExecuteWithSharedBudget walk the same QueryPipeline.
 
 #ifndef GUPT_CORE_GUPT_H_
 #define GUPT_CORE_GUPT_H_
 
-#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
-#include "core/budget_estimator.h"
-#include "core/output_range.h"
+#include "core/pipeline/pipeline.h"
+#include "core/pipeline/query_context.h"
 #include "data/dataset_manager.h"
 #include "exec/computation_manager.h"
-#include "exec/program.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace gupt {
 
@@ -53,71 +52,6 @@ struct GuptOptions {
   /// correlates releases, and if the data changes between runs the
   /// difference of two same-noise releases is disclosed exactly.
   std::uint64_t seed = 0x6775707421ULL;  // "gupt!"
-};
-
-/// How the declared epsilon maps onto per-dimension mechanism budgets.
-enum class BudgetAccounting {
-  /// Theorem 1 (default): the declared epsilon is the query's total; it is
-  /// split across the p output dimensions (and halved for range
-  /// estimation in loose/helper modes).
-  kTheorem1,
-  /// The paper's evaluation configuration: the declared epsilon applies to
-  /// each released output dimension (the formal guarantee is then p * eps
-  /// for a p-dimensional output). The accountant is still charged only the
-  /// declared epsilon, matching how the paper reports its x-axes.
-  kPerDimension,
-};
-
-/// One analyst query.
-struct QuerySpec {
-  /// Fresh-instance factory for the untrusted program.
-  ProgramFactory program;
-  /// Output-range declaration (tight / loose / helper).
-  OutputRangeSpec range;
-
-  /// Explicit privacy budget for the whole query. Exactly one of `epsilon`
-  /// and `accuracy_goal` must be set.
-  std::optional<double> epsilon;
-  /// Accuracy goal to be converted into a budget (§5.1); requires the
-  /// dataset to have an aged slice and the program to output one dimension.
-  std::optional<AccuracyGoal> accuracy_goal;
-
-  /// Explicit block size beta. When absent the runtime uses the aged-data
-  /// planner if `optimize_block_size` is set and an aged slice exists, and
-  /// otherwise the paper's default of n^0.6 (l = n^0.4 blocks).
-  std::optional<std::size_t> block_size;
-  bool optimize_block_size = false;
-  /// Resampling factor gamma (§4.2); 1 disables resampling.
-  std::size_t gamma = 1;
-  /// Epsilon interpretation for multi-dimensional outputs.
-  BudgetAccounting accounting = BudgetAccounting::kTheorem1;
-  /// User-level privacy (paper §8.1): when one user may own up to this
-  /// many records, all sensitivities are scaled by it (group privacy), so
-  /// the release is epsilon-DP at the *user* level. 1 = record-level DP.
-  std::size_t records_per_user = 1;
-};
-
-/// What the analyst gets back, plus runtime diagnostics.
-struct QueryReport {
-  /// The differentially private output.
-  Row output;
-  /// Total budget charged to the dataset.
-  double epsilon_spent = 0.0;
-  /// SAF aggregation budget per output dimension.
-  double epsilon_saf_per_dim = 0.0;
-  std::size_t block_size = 0;
-  std::size_t num_blocks = 0;
-  std::size_t gamma = 1;
-  /// The clamp ranges actually used for aggregation.
-  std::vector<Range> effective_ranges;
-  /// Chamber diagnostics (visible to the trusted operator only).
-  std::size_t fallback_blocks = 0;
-  std::size_t deadline_exceeded_blocks = 0;
-  std::size_t policy_violations = 0;
-  std::chrono::nanoseconds elapsed{0};
-  /// Per-stage timings and DP gauges for this query (operator-visible
-  /// diagnostics; see docs/observability.md for the stage vocabulary).
-  obs::QueryTrace trace;
 };
 
 ///// The GUPT service: wraps a DatasetManager and executes queries privately.
@@ -139,57 +73,19 @@ class GuptRuntime {
 
   const GuptOptions& options() const { return options_; }
 
+  /// The staged query path both entry points drive (diagnostics / tests).
+  const QueryPipeline& pipeline() const { return pipeline_; }
+
  private:
-  /// Everything decided about a query before any budget is charged.
-  struct QueryPlan {
-    std::size_t output_dims = 0;
-    std::size_t block_size = 0;
-    std::size_t num_blocks = 0;
-    std::size_t gamma = 1;
-    double epsilon_saf_per_dim = 0.0;
-    double epsilon_total = 0.0;
-    /// Ranges known before execution (declared, or helper-translated from
-    /// *loose* inputs for width estimation); loose mode refines after.
-    std::vector<Range> planning_ranges;
-  };
-
-  /// `trace` may be null (e.g. provisional planning); stage metrics are
-  /// still recorded in the process-global registry.
-  Result<QueryPlan> PlanQuery(const RegisteredDataset& ds,
-                              const QuerySpec& spec, Rng* rng,
-                              obs::QueryTrace* trace) const;
-  Result<QueryReport> ExecutePlanned(RegisteredDataset& ds,
-                                     const QuerySpec& spec,
-                                     const QueryPlan& plan, Rng* rng,
-                                     obs::QueryTrace* trace) const;
-  /// Wraps ExecutePlanned with the query-level metrics and the outcome
-  /// counter; moves `*trace` into the report on success.
-  Result<QueryReport> ExecuteTraced(RegisteredDataset& ds,
-                                    const QuerySpec& spec,
-                                    const QueryPlan& plan, Rng* rng,
-                                    obs::QueryTrace* trace) const;
-
   Rng ForkRng();
 
   DatasetManager* manager_;  // not owned
   GuptOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   ComputationManager computation_manager_;
+  QueryPipeline pipeline_;
   std::mutex rng_mu_;
   Rng rng_;
-
-  /// Observability handles (process-global registry).
-  struct Metrics {
-    obs::Counter* queries_ok;
-    obs::Counter* queries_error;
-    obs::Histogram* query_duration;
-    obs::Counter* epsilon_charged;
-    obs::Gauge* noise_scale;
-    obs::Gauge* block_count;
-    obs::Gauge* block_size;
-    obs::Gauge* gamma;
-  };
-  Metrics metrics_;
 };
 
 }  // namespace gupt

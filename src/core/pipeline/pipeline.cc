@@ -1,0 +1,49 @@
+#include "core/pipeline/pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gupt {
+
+QueryPipeline::QueryPipeline(const ComputationManager* manager)
+    : manager_(manager),
+      metrics_(PipelineMetrics::Register()),
+      admit_stage_(&metrics_),
+      execute_stage_(manager_),
+      release_stage_(&metrics_),
+      sequence_{&plan_stage_,      &admit_stage_,     &partition_stage_,
+                &execute_stage_,   &aggregate_stage_, &release_stage_} {}
+
+Result<QueryPlan> QueryPipeline::Plan(QueryContext& ctx) const {
+  GUPT_RETURN_IF_ERROR(plan_stage_.Run(ctx));
+  return ctx.plan;
+}
+
+Result<QueryReport> QueryPipeline::Run(QueryContext& ctx) const {
+  // Planning failures are refusals, not executions: they count as query
+  // errors but do not enter the execution-duration histogram.
+  Status planned = plan_stage_.Run(ctx);
+  if (!planned.ok()) {
+    metrics_.queries_error->Increment();
+    return planned;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Status outcome = Status::OK();
+  for (std::size_t i = 1; i < sequence_.size(); ++i) {
+    outcome = sequence_[i]->Run(ctx);
+    if (!outcome.ok()) break;
+  }
+  metrics_.query_duration->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  (outcome.ok() ? metrics_.queries_ok : metrics_.queries_error)->Increment();
+  if (!outcome.ok()) return outcome;
+  if (ctx.trace != nullptr) {
+    ctx.report.trace = std::move(*ctx.trace);
+  }
+  return std::move(ctx.report);
+}
+
+std::vector<const Stage*> QueryPipeline::stages() const { return sequence_; }
+
+}  // namespace gupt

@@ -1,0 +1,60 @@
+// QueryPipeline: the staged query path shared by every execution mode.
+//
+// One pipeline object serves all concurrent queries of a runtime; per-query
+// state travels in the QueryContext. `GuptRuntime::Execute` runs the full
+// walk; `ExecuteWithSharedBudget` first calls Plan() per query (provisional
+// unit budget), lets the allocator fix each query's epsilon, then re-enters
+// the same walk with `plan_resolved` set so PlanStage passes through.
+
+#ifndef GUPT_CORE_PIPELINE_PIPELINE_H_
+#define GUPT_CORE_PIPELINE_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline/query_context.h"
+#include "core/pipeline/stage.h"
+#include "core/pipeline/stages.h"
+
+namespace gupt {
+
+class ComputationManager;
+
+class QueryPipeline {
+ public:
+  /// `manager` executes the block fan-out; not owned, must outlive the
+  /// pipeline.
+  explicit QueryPipeline(const ComputationManager* manager);
+
+  QueryPipeline(const QueryPipeline&) = delete;
+  QueryPipeline& operator=(const QueryPipeline&) = delete;
+
+  /// Runs PlanStage alone and returns the resolved plan. Used for the
+  /// provisional planning pass of shared-budget batches (§5.2).
+  Result<QueryPlan> Plan(QueryContext& ctx) const;
+
+  /// Runs the full stage sequence. Wraps the walk in the query-level
+  /// metrics (`gupt_runtime_queries_total`,
+  /// `gupt_runtime_query_duration_seconds`) and, on success, moves the
+  /// context's trace into the report.
+  Result<QueryReport> Run(QueryContext& ctx) const;
+
+  /// The stage sequence, in execution order (diagnostics / tests).
+  std::vector<const Stage*> stages() const;
+
+ private:
+  const ComputationManager* manager_;  // not owned
+  PipelineMetrics metrics_;
+  PlanStage plan_stage_;
+  AdmitStage admit_stage_;
+  PartitionStage partition_stage_;
+  ExecuteBlocksStage execute_stage_;
+  AggregateStage aggregate_stage_;
+  ReleaseStage release_stage_;
+  /// The walk order; every entry points at one of the members above.
+  std::vector<const Stage*> sequence_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_PIPELINE_PIPELINE_H_

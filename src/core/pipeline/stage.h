@@ -1,0 +1,68 @@
+// The stage interface of the query pipeline.
+//
+// A stage is one composable unit of the query path (paper Figure 2): it
+// reads and writes the QueryContext and reports success or failure. Stages
+// are stateless with respect to queries — one stage object serves every
+// concurrent query — so per-query state lives exclusively in the context.
+//
+// Trace vocabulary: stages emit spans under the *established* stage names
+// (`block_plan`, `budget_charge`, `partition`, ... — see
+// docs/observability.md); a stage object may emit several spans. New
+// stages register their trace names simply by constructing a StageScope
+// with the new name; the metric series
+// `gupt_runtime_stage_duration_seconds{stage=...}` follows automatically.
+
+#ifndef GUPT_CORE_PIPELINE_STAGE_H_
+#define GUPT_CORE_PIPELINE_STAGE_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline/query_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gupt {
+
+/// One named unit of the query pipeline.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Stable identifier of the stage object (for diagnostics; distinct from
+  /// the trace span vocabulary, which predates the stage objects).
+  virtual const char* name() const = 0;
+
+  /// Advances the query. On error the pipeline stops and the driver
+  /// propagates the status; budget already charged stays charged
+  /// (fail-closed, see CONTRIBUTING.md invariant 1).
+  virtual Status Run(QueryContext& ctx) const = 0;
+};
+
+/// Times one traced pipeline step into both the query's trace (when
+/// present) and the global per-stage histogram
+/// `gupt_runtime_stage_duration_seconds{stage=<name>}`.
+class StageScope {
+ public:
+  StageScope(obs::QueryTrace* trace, const char* stage);
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+  void set_ok(bool ok) { ok_ = ok; }
+  void set_note(std::string note) { note_ = std::move(note); }
+
+  ~StageScope();
+
+ private:
+  obs::QueryTrace* trace_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+  bool ok_ = true;
+  std::string note_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_PIPELINE_STAGE_H_

@@ -1,0 +1,479 @@
+#include "core/pipeline/stages.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/block_planner.h"
+#include "core/sample_aggregate.h"
+#include "data/partitioner.h"
+#include "exec/computation_manager.h"
+
+namespace gupt {
+namespace {
+
+/// Per-stage duration histogram, labelled by stage name.
+obs::Histogram* StageHistogram(const char* stage) {
+  return obs::MetricsRegistry::Get().GetHistogram(
+      "gupt_runtime_stage_duration_seconds",
+      "Wall time of one GUPT pipeline stage (see docs/observability.md).",
+      obs::Histogram::DurationBuckets(), {{"stage", stage}});
+}
+
+Row RangeMidpoints(const std::vector<Range>& ranges) {
+  Row mid(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    mid[i] = 0.5 * (ranges[i].lo + ranges[i].hi);
+  }
+  return mid;
+}
+
+Status ValidateRanges(const std::vector<Range>& ranges, std::size_t arity,
+                      const char* what) {
+  if (ranges.size() != arity) {
+    return Status::InvalidArgument(
+        std::string(what) + " arity " + std::to_string(ranges.size()) +
+        " does not match expected " + std::to_string(arity));
+  }
+  for (const Range& r : ranges) {
+    if (!(r.lo <= r.hi) || !std::isfinite(r.lo) || !std::isfinite(r.hi)) {
+      return Status::InvalidArgument(std::string(what) + " contains lo > hi");
+    }
+  }
+  return Status::OK();
+}
+
+/// The loose input ranges a helper-mode query should use: the spec's, or
+/// the data owner's registered ranges.
+Result<std::vector<Range>> ResolveLooseInputRanges(const RegisteredDataset& ds,
+                                                   const QuerySpec& spec) {
+  if (!spec.range.loose_input_ranges.empty()) {
+    GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.loose_input_ranges,
+                                        ds.data().num_dims(),
+                                        "loose input ranges"));
+    return spec.range.loose_input_ranges;
+  }
+  if (ds.input_ranges() != nullptr) {
+    return *ds.input_ranges();
+  }
+  return Status::InvalidArgument(
+      "GUPT-helper requires loose input ranges (from the query or the data "
+      "owner's registration)");
+}
+
+}  // namespace
+
+StageScope::StageScope(obs::QueryTrace* trace, const char* stage)
+    : trace_(trace),
+      stage_(stage),
+      start_(std::chrono::steady_clock::now()) {}
+
+StageScope::~StageScope() {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  if (trace_ != nullptr) {
+    obs::SpanRecord span;
+    span.name = stage_;
+    span.duration =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
+    span.ok = ok_;
+    span.note = std::move(note_);
+    trace_->AddSpan(std::move(span));
+  }
+  StageHistogram(stage_)->Observe(
+      std::chrono::duration<double>(elapsed).count());
+}
+
+double ModeMultiplier(RangeMode mode) {
+  return mode == RangeMode::kTight ? 1.0 : 2.0;
+}
+
+double EffectiveOutputDims(const QuerySpec& spec, std::size_t output_dims) {
+  return spec.accounting == BudgetAccounting::kPerDimension
+             ? 1.0
+             : static_cast<double>(output_dims);
+}
+
+PipelineMetrics PipelineMetrics::Register() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  PipelineMetrics metrics;
+  metrics.queries_ok = registry.GetCounter(
+      "gupt_runtime_queries_total", "Queries executed, by outcome.",
+      {{"outcome", "ok"}});
+  metrics.queries_error = registry.GetCounter(
+      "gupt_runtime_queries_total", "Queries executed, by outcome.",
+      {{"outcome", "error"}});
+  metrics.query_duration = registry.GetHistogram(
+      "gupt_runtime_query_duration_seconds",
+      "End-to-end wall time of one query (planning through release).",
+      obs::Histogram::DurationBuckets());
+  metrics.epsilon_charged = registry.GetCounter(
+      "gupt_dp_epsilon_charged_total",
+      "Total privacy budget charged across all datasets and queries.");
+  metrics.noise_scale = registry.GetGauge(
+      "gupt_dp_noise_scale",
+      "Largest per-dimension Laplace scale used by the last release.");
+  metrics.block_count = registry.GetGauge(
+      "gupt_dp_block_count", "Number of blocks (l) in the last query.");
+  metrics.block_size = registry.GetGauge(
+      "gupt_dp_block_size_count",
+      "Records per block (beta) in the last query.");
+  metrics.gamma = registry.GetGauge(
+      "gupt_dp_gamma_ratio",
+      "Resampling multiplicity (gamma) of the last query.");
+  return metrics;
+}
+
+Status PlanStage::Run(QueryContext& ctx) const {
+  if (ctx.plan_resolved) return Status::OK();  // decided by the driver
+  const QuerySpec& spec = *ctx.spec;
+  const RegisteredDataset& ds = *ctx.ds;
+  if (!spec.program) {
+    return Status::InvalidArgument("query has no program");
+  }
+  if (spec.epsilon.has_value() == spec.accuracy_goal.has_value()) {
+    return Status::InvalidArgument(
+        "exactly one of epsilon and accuracy_goal must be set");
+  }
+  if (spec.gamma == 0) {
+    return Status::InvalidArgument("gamma must be >= 1");
+  }
+  if (spec.records_per_user == 0) {
+    return Status::InvalidArgument("records_per_user must be >= 1");
+  }
+
+  QueryPlan& plan = ctx.plan;
+  plan.gamma = spec.gamma;
+  {
+    std::unique_ptr<AnalysisProgram> probe = spec.program();
+    if (!probe) {
+      return Status::InvalidArgument("program factory returned null");
+    }
+    plan.output_dims = probe->output_dims();
+  }
+  if (plan.output_dims == 0) {
+    return Status::InvalidArgument("program declares zero output dimensions");
+  }
+  const std::size_t n = ds.data().num_rows();
+  const double p = EffectiveOutputDims(spec, plan.output_dims);
+  const double multiplier = ModeMultiplier(spec.range.mode);
+
+  // Planning-time output ranges: declared for tight/loose; for helper,
+  // translated from the *loose* (public) input ranges — no privacy cost,
+  // and only used for widths and fallback values, never to clamp real
+  // outputs.
+  switch (spec.range.mode) {
+    case RangeMode::kTight:
+    case RangeMode::kLoose:
+      GUPT_RETURN_IF_ERROR(ValidateRanges(spec.range.declared_ranges,
+                                          plan.output_dims,
+                                          "declared output ranges"));
+      plan.planning_ranges = spec.range.declared_ranges;
+      break;
+    case RangeMode::kHelper: {
+      if (!spec.range.translator) {
+        return Status::InvalidArgument("GUPT-helper requires a translator");
+      }
+      GUPT_ASSIGN_OR_RETURN(std::vector<Range> loose_input,
+                            ResolveLooseInputRanges(ds, spec));
+      GUPT_ASSIGN_OR_RETURN(plan.planning_ranges,
+                            spec.range.translator(loose_input));
+      GUPT_RETURN_IF_ERROR(ValidateRanges(plan.planning_ranges,
+                                          plan.output_dims,
+                                          "translated output ranges"));
+      break;
+    }
+  }
+
+  std::vector<double> widths(plan.output_dims);
+  for (std::size_t d = 0; d < plan.output_dims; ++d) {
+    widths[d] = plan.planning_ranges[d].width();
+  }
+
+  // Block size: explicit > aged-data planner > paper default n^0.6.
+  {
+    StageScope stage(ctx.trace, "block_plan");
+    if (spec.block_size.has_value()) {
+      if (*spec.block_size == 0 || *spec.block_size > n) {
+        stage.set_ok(false);
+        return Status::InvalidArgument("block_size must be in [1, n]");
+      }
+      plan.block_size = *spec.block_size;
+      stage.set_note("explicit");
+    } else if (spec.optimize_block_size && ds.aged() != nullptr) {
+      BlockPlannerOptions planner_options;
+      // When the budget is known, plan against the SAF share; with an
+      // accuracy goal the budget is solved *after* the block size, so plan
+      // with a provisional unit budget (the paper sequences it the same
+      // way).
+      planner_options.epsilon_per_dim =
+          spec.epsilon ? *spec.epsilon / (multiplier * p) : 1.0;
+      planner_options.range_widths = widths;
+      Result<BlockPlanChoice> choice =
+          PlanBlockSize(*ds.aged(), n, spec.program, planner_options, ctx.rng);
+      if (!choice.ok()) {
+        stage.set_ok(false);
+        return choice.status();
+      }
+      plan.block_size = choice->block_size;
+      stage.set_note("aged_planner");
+      GUPT_LOG(kInfo) << "block planner chose beta=" << choice->block_size
+                      << " (alpha=" << choice->alpha << ", predicted error "
+                      << choice->predicted_error << ")";
+    } else {
+      std::size_t num_blocks = DefaultNumBlocks(n);
+      plan.block_size = std::max<std::size_t>(1, n / num_blocks);
+      stage.set_note("default_n06");
+    }
+    plan.block_size = std::min(plan.block_size, n);
+  }
+
+  const std::size_t blocks_per_group =
+      (n + plan.block_size - 1) / plan.block_size;
+  plan.num_blocks = plan.gamma * blocks_per_group;
+
+  // Privacy budget: explicit, or solved from the accuracy goal (§5.1).
+  {
+    StageScope stage(ctx.trace, "budget_derive");
+    if (spec.epsilon.has_value()) {
+      if (!(*spec.epsilon > 0.0)) {
+        stage.set_ok(false);
+        return Status::InvalidArgument("epsilon must be positive");
+      }
+      plan.epsilon_total = *spec.epsilon;
+      plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
+      stage.set_note("explicit");
+    } else {
+      if (ds.aged() == nullptr) {
+        stage.set_ok(false);
+        return Status::InvalidArgument(
+            "accuracy goals require an aged slice (aging-of-sensitivity "
+            "model)");
+      }
+      if (plan.output_dims != 1) {
+        stage.set_ok(false);
+        return Status::InvalidArgument(
+            "accuracy goals are supported for scalar-output programs");
+      }
+      BudgetEstimatorOptions est;
+      est.goal = *spec.accuracy_goal;
+      est.block_size = plan.block_size;
+      est.range_width = widths[0];
+      Result<BudgetEstimate> estimate =
+          EstimateBudgetForAccuracy(*ds.aged(), n, spec.program, est, ctx.rng);
+      if (!estimate.ok()) {
+        stage.set_ok(false);
+        return estimate.status();
+      }
+      plan.epsilon_saf_per_dim = estimate->epsilon;
+      plan.epsilon_total = multiplier * p * plan.epsilon_saf_per_dim;
+      stage.set_note("accuracy_goal");
+    }
+  }
+  return Status::OK();
+}
+
+Status AdmitStage::Run(QueryContext& ctx) const {
+  const QuerySpec& spec = *ctx.spec;
+  const QueryPlan& plan = ctx.plan;
+  ctx.admitted_at = std::chrono::steady_clock::now();
+
+  // Charge the full budget up front: a program that later misbehaves (or a
+  // malicious analyst who aborts mid-query) cannot reclaim or overdraw it.
+  {
+    std::unique_ptr<AnalysisProgram> probe = spec.program();
+    ctx.label = probe->name() + " [" + RangeModeToString(spec.range.mode) + "]";
+  }
+  {
+    StageScope stage(ctx.trace, "budget_charge");
+    Status charged = ctx.ds->accountant().Charge(plan.epsilon_total, ctx.label);
+    if (!charged.ok()) {
+      stage.set_ok(false);
+      return charged;
+    }
+  }
+  metrics_->epsilon_charged->Increment(plan.epsilon_total);
+
+  ctx.report.epsilon_spent = plan.epsilon_total;
+  ctx.report.epsilon_saf_per_dim = plan.epsilon_saf_per_dim;
+  ctx.report.block_size = plan.block_size;
+  ctx.report.gamma = plan.gamma;
+
+  // Effective clamp ranges known before execution for tight mode; helper
+  // estimates them from private inputs now (charged within epsilon_total);
+  // loose refines from block outputs after execution.
+  ctx.effective_ranges = plan.planning_ranges;
+  if (spec.range.mode == RangeMode::kHelper) {
+    StageScope stage(ctx.trace, "range_estimate");
+    stage.set_note("helper_inputs");
+    Result<std::vector<Range>> loose_input =
+        ResolveLooseInputRanges(*ctx.ds, spec);
+    if (!loose_input.ok()) {
+      stage.set_ok(false);
+      return loose_input.status();
+    }
+    const std::size_t k = ctx.ds->data().num_dims();
+    // Theorem 1: the input percentile pass gets epsilon/2 in total, split
+    // evenly over the k input dimensions.
+    double epsilon_per_input_dim =
+        plan.epsilon_total / (2.0 * static_cast<double>(k));
+    // User-level privacy scales the percentile mechanism's rank
+    // sensitivity by the per-user record count (group privacy).
+    epsilon_per_input_dim /= static_cast<double>(spec.records_per_user);
+    Result<std::vector<Range>> estimated = EstimateRangesViaTranslator(
+        ctx.ds->data(), *loose_input, spec.range.translator,
+        epsilon_per_input_dim, plan.output_dims, ctx.rng,
+        spec.range.lower_percentile, spec.range.upper_percentile);
+    if (!estimated.ok()) {
+      stage.set_ok(false);
+      return estimated.status();
+    }
+    ctx.effective_ranges = std::move(estimated).value();
+  }
+
+  // The constant substituted for killed/failed blocks must be data
+  // independent and inside the expected output range (§6.2): use the
+  // midpoint of the pre-execution planning ranges.
+  ctx.fallback = RangeMidpoints(plan.planning_ranges);
+  return Status::OK();
+}
+
+Status PartitionStage::Run(QueryContext& ctx) const {
+  const QueryPlan& plan = ctx.plan;
+  const std::size_t n = ctx.ds->data().num_rows();
+  StageScope stage(ctx.trace, "partition");
+  Result<BlockPlan> partitioned =
+      plan.gamma > 1
+          ? PartitionResampled(n, plan.block_size, plan.gamma, ctx.rng)
+          : PartitionDisjoint(
+                n, std::max<std::size_t>(1, std::min(plan.num_blocks, n)),
+                ctx.rng);
+  if (!partitioned.ok()) {
+    stage.set_ok(false);
+    return partitioned.status();
+  }
+  ctx.partition = std::move(partitioned).value();
+  stage.set_note("l=" + std::to_string(ctx.partition.num_blocks()) +
+                 " beta=" + std::to_string(plan.block_size));
+  ctx.report.num_blocks = ctx.partition.num_blocks();
+  return Status::OK();
+}
+
+Status ExecuteBlocksStage::Run(QueryContext& ctx) const {
+  {
+    StageScope stage(ctx.trace, "execute_blocks");
+    Result<BlockExecutionReport> executed = manager_->ExecuteOnBlocks(
+        ctx.spec->program, ctx.ds->data(), ctx.partition, ctx.fallback);
+    if (!executed.ok()) {
+      stage.set_ok(false);
+      return executed.status();
+    }
+    ctx.exec_report = std::move(executed).value();
+    if (ctx.exec_report.fallback_count > 0) {
+      stage.set_note("fallbacks=" +
+                     std::to_string(ctx.exec_report.fallback_count));
+    }
+  }
+  ctx.report.fallback_blocks = ctx.exec_report.fallback_count;
+  ctx.report.deadline_exceeded_blocks = ctx.exec_report.deadline_exceeded_count;
+  ctx.report.policy_violations = ctx.exec_report.policy_violation_count;
+  if (ctx.report.fallback_blocks > 0 || ctx.report.policy_violations > 0) {
+    GUPT_LOG(kWarning) << "query '" << ctx.label << "': "
+                       << ctx.report.fallback_blocks << "/"
+                       << ctx.report.num_blocks << " blocks fell back ("
+                       << ctx.report.deadline_exceeded_blocks
+                       << " killed at the cycle budget), "
+                       << ctx.report.policy_violations << " policy violations";
+  }
+  ctx.block_outputs = ctx.exec_report.Outputs();
+  return Status::OK();
+}
+
+Status AggregateStage::Run(QueryContext& ctx) const {
+  const QuerySpec& spec = *ctx.spec;
+  const QueryPlan& plan = ctx.plan;
+
+  if (spec.range.mode == RangeMode::kLoose) {
+    StageScope stage(ctx.trace, "range_estimate");
+    stage.set_note("loose_outputs");
+    // Theorem 1: epsilon/(2p) per output dimension for the percentile pass
+    // (just epsilon/2 under per-dimension accounting).
+    double p_eff = EffectiveOutputDims(spec, plan.output_dims);
+    double epsilon_per_output_dim = plan.epsilon_total / (2.0 * p_eff);
+    Result<std::vector<Range>> estimated = EstimateRangesFromBlockOutputs(
+        ctx.block_outputs, spec.range.declared_ranges, epsilon_per_output_dim,
+        plan.gamma * spec.records_per_user, ctx.rng,
+        spec.range.lower_percentile, spec.range.upper_percentile);
+    if (!estimated.ok()) {
+      stage.set_ok(false);
+      return estimated.status();
+    }
+    ctx.effective_ranges = std::move(estimated).value();
+  }
+
+  AggregateOptions agg;
+  agg.epsilon_per_dim = plan.epsilon_saf_per_dim;
+  agg.output_ranges = ctx.effective_ranges;
+  // One *user* touches at most gamma * records_per_user blocks, so the
+  // aggregation's sensitivity multiplier is their product (group privacy).
+  agg.gamma = plan.gamma * spec.records_per_user;
+
+  {
+    StageScope stage(ctx.trace, "clamp_average");
+    Result<Row> averaged = ClampAndAverage(ctx.block_outputs, agg.output_ranges);
+    if (!averaged.ok()) {
+      stage.set_ok(false);
+      return averaged.status();
+    }
+    ctx.averages = std::move(averaged).value();
+  }
+
+  {
+    StageScope stage(ctx.trace, "noise");
+    Result<AggregateResult> noised = AddAggregationNoise(
+        ctx.averages, agg, ctx.block_outputs.size(), ctx.rng);
+    if (!noised.ok()) {
+      stage.set_ok(false);
+      return noised.status();
+    }
+    ctx.aggregate = std::move(noised).value();
+  }
+  return Status::OK();
+}
+
+Status ReleaseStage::Run(QueryContext& ctx) const {
+  const QueryPlan& plan = ctx.plan;
+  QueryReport& report = ctx.report;
+
+  double max_noise_scale = 0.0;
+  for (double scale : ctx.aggregate.noise_scale) {
+    max_noise_scale = std::max(max_noise_scale, scale);
+  }
+  metrics_->noise_scale->Set(max_noise_scale);
+  metrics_->block_count->Set(static_cast<double>(report.num_blocks));
+  metrics_->block_size->Set(static_cast<double>(report.block_size));
+  metrics_->gamma->Set(static_cast<double>(report.gamma));
+  if (ctx.trace != nullptr) {
+    ctx.trace->SetGauge("epsilon_charged", plan.epsilon_total);
+    ctx.trace->SetGauge("epsilon_saf_per_dim", plan.epsilon_saf_per_dim);
+    ctx.trace->SetGauge("noise_scale", max_noise_scale);
+    ctx.trace->SetGauge("block_count", static_cast<double>(report.num_blocks));
+    ctx.trace->SetGauge("block_size", static_cast<double>(report.block_size));
+    ctx.trace->SetGauge("gamma", static_cast<double>(report.gamma));
+    ctx.trace->SetGauge("fallback_blocks",
+                        static_cast<double>(report.fallback_blocks));
+    ctx.trace->SetGauge("deadline_exceeded_blocks",
+                        static_cast<double>(report.deadline_exceeded_blocks));
+    ctx.trace->SetGauge("policy_violations",
+                        static_cast<double>(report.policy_violations));
+  }
+
+  report.output = std::move(ctx.aggregate.output);
+  report.effective_ranges = std::move(ctx.effective_ranges);
+  report.elapsed = std::chrono::steady_clock::now() - ctx.admitted_at;
+  return Status::OK();
+}
+
+}  // namespace gupt

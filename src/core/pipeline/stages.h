@@ -1,0 +1,123 @@
+// The concrete stages of the GUPT query pipeline, in execution order:
+//
+//   PlanStage           validate the spec, choose beta, derive the budget
+//                       (spans: block_plan, budget_derive)
+//   AdmitStage          atomically charge the accountant, then (helper
+//                       mode) estimate ranges from private inputs
+//                       (spans: budget_charge, range_estimate)
+//   PartitionStage      sample the block plan (span: partition)
+//   ExecuteBlocksStage  chamber fan-out via the ComputationManager
+//                       (span: execute_blocks)
+//   AggregateStage      (loose mode) estimate ranges from block outputs,
+//                       clamp + average, add Laplace noise
+//                       (spans: range_estimate, clamp_average, noise)
+//   ReleaseStage        publish DP gauges and finalise the QueryReport
+//
+// Every span name and metric name predates the stage objects and is
+// frozen vocabulary (docs/observability.md).
+
+#ifndef GUPT_CORE_PIPELINE_STAGES_H_
+#define GUPT_CORE_PIPELINE_STAGES_H_
+
+#include <cstddef>
+
+#include "core/pipeline/query_context.h"
+#include "core/pipeline/stage.h"
+#include "obs/metrics.h"
+
+namespace gupt {
+
+class ComputationManager;
+
+/// Theorem 1 budget multiplier: the total equals multiplier * p * eps_saf.
+double ModeMultiplier(RangeMode mode);
+
+/// The p the declared epsilon is split across: 1 under per-dimension
+/// accounting, the output dimension under Theorem 1.
+double EffectiveOutputDims(const QuerySpec& spec, std::size_t output_dims);
+
+/// Observability handles shared by the stages (process-global registry;
+/// names are frozen — see docs/observability.md).
+struct PipelineMetrics {
+  obs::Counter* queries_ok;
+  obs::Counter* queries_error;
+  obs::Histogram* query_duration;
+  obs::Counter* epsilon_charged;
+  obs::Gauge* noise_scale;
+  obs::Gauge* block_count;
+  obs::Gauge* block_size;
+  obs::Gauge* gamma;
+
+  /// Registers (or re-resolves) every handle.
+  static PipelineMetrics Register();
+};
+
+/// Validates the spec and fills ctx.plan: output dims, planning ranges,
+/// block geometry (explicit > aged planner > n^0.6 default), and the
+/// budget (explicit epsilon or solved from the accuracy goal, §5.1).
+/// A context with `plan_resolved` set (shared-budget batches) passes
+/// through untouched.
+class PlanStage : public Stage {
+ public:
+  const char* name() const override { return "PlanStage"; }
+  Status Run(QueryContext& ctx) const override;
+};
+
+/// The single admission point: charges the full budget up front — a
+/// program that later misbehaves (or an analyst who aborts mid-query)
+/// cannot reclaim or overdraw it — then seeds the report and, in helper
+/// mode, spends the range half of the budget on private input quartiles.
+class AdmitStage : public Stage {
+ public:
+  explicit AdmitStage(const PipelineMetrics* metrics) : metrics_(metrics) {}
+  const char* name() const override { return "AdmitStage"; }
+  Status Run(QueryContext& ctx) const override;
+
+ private:
+  const PipelineMetrics* metrics_;  // not owned
+};
+
+/// Samples the block plan: disjoint blocks, or gamma-fold resampled
+/// blocks (§4.2) when the spec asks for resampling.
+class PartitionStage : public Stage {
+ public:
+  const char* name() const override { return "PartitionStage"; }
+  Status Run(QueryContext& ctx) const override;
+};
+
+/// Fans the untrusted program out across the blocks in isolated chambers
+/// and folds the per-block outcomes into the context.
+class ExecuteBlocksStage : public Stage {
+ public:
+  explicit ExecuteBlocksStage(const ComputationManager* manager)
+      : manager_(manager) {}
+  const char* name() const override { return "ExecuteBlocksStage"; }
+  Status Run(QueryContext& ctx) const override;
+
+ private:
+  const ComputationManager* manager_;  // not owned
+};
+
+/// Algorithm 1's aggregation: (loose mode) refine the clamp ranges from
+/// the block outputs, clamp + average, and add calibrated Laplace noise.
+class AggregateStage : public Stage {
+ public:
+  const char* name() const override { return "AggregateStage"; }
+  Status Run(QueryContext& ctx) const override;
+};
+
+/// Publishes the DP gauges (global metrics + per-query trace) and
+/// finalises the QueryReport.
+class ReleaseStage : public Stage {
+ public:
+  explicit ReleaseStage(const PipelineMetrics* metrics) : metrics_(metrics) {}
+  const char* name() const override { return "ReleaseStage"; }
+  Status Run(QueryContext& ctx) const override;
+
+ private:
+  const PipelineMetrics* metrics_;  // not owned
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_CORE_PIPELINE_STAGES_H_

@@ -20,6 +20,26 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   metrics_.requests_cached = metrics.GetCounter(
       "gupt_service_requests_total", "Query requests by outcome.",
       {{"outcome", "cached"}});
+  metrics_.admission_rejected = metrics.GetCounter(
+      "gupt_service_admission_rejected_total",
+      "Submissions refused because the admission queue was full.");
+  metrics_.admission_queue_depth = metrics.GetGauge(
+      "gupt_service_admission_queue_depth",
+      "Queries admitted but not yet answered (queued + running).");
+  metrics_.cache_evictions = metrics.GetCounter(
+      "gupt_service_cache_evictions_total",
+      "Query-cache entries evicted by the LRU capacity bound.");
+  metrics_.audit_records = metrics.GetCounter(
+      "gupt_service_audit_records_total",
+      "Audit records ever written (survives ring-buffer rotation).");
+  admission_pool_ = std::make_unique<ThreadPool>(
+      options_.admission_workers > 0 ? options_.admission_workers : 1);
+}
+
+GuptService::~GuptService() {
+  // The pool's destructor drains the queue, so every future returned by
+  // SubmitQueryAsync completes before the members it references go away.
+  admission_pool_.reset();
 }
 
 std::string GuptService::DumpMetrics(MetricsFormat format) {
@@ -48,7 +68,7 @@ std::vector<std::string> GuptService::ListDatasets() const {
 
 std::vector<AuditRecord> GuptService::audit_log() const {
   std::lock_guard<std::mutex> lock(audit_mu_);
-  return audit_log_;
+  return {audit_log_.begin(), audit_log_.end()};
 }
 
 Status GuptService::RestoreLedger() {
@@ -114,25 +134,113 @@ std::string GuptService::CacheKey(const QueryRequest& request) {
   return key.str();
 }
 
+std::optional<QueryReport> GuptService::CacheLookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = query_cache_.find(key);
+  if (it == query_cache_.end()) return std::nullopt;
+  // Refresh recency: move the key to the front of the LRU list.
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_position);
+  return it->second.report;
+}
+
+void GuptService::CacheInsert(const std::string& key,
+                              const QueryReport& report) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = query_cache_.find(key);
+  if (it != query_cache_.end()) {
+    // A concurrent identical query already populated the entry (both
+    // executed before either inserted); keep the existing release and
+    // just refresh its recency.
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second.lru_position);
+    return;
+  }
+  cache_lru_.push_front(key);
+  query_cache_.emplace(key, CacheEntry{report, cache_lru_.begin()});
+  const std::size_t capacity = options_.query_cache_capacity;
+  while (capacity > 0 && query_cache_.size() > capacity) {
+    query_cache_.erase(cache_lru_.back());
+    cache_lru_.pop_back();
+    metrics_.cache_evictions->Increment();
+  }
+}
+
+void GuptService::AppendAuditRecord(AuditRecord record) {
+  std::lock_guard<std::mutex> lock(audit_mu_);
+  record.id = ++audit_next_id_;
+  audit_log_.push_back(std::move(record));
+  metrics_.audit_records->Increment();
+  const std::size_t capacity = options_.audit_log_capacity;
+  while (capacity > 0 && audit_log_.size() > capacity) {
+    audit_log_.pop_front();
+  }
+}
+
+void GuptService::AuditAdmissionRefusal(const QueryRequest& request,
+                                        const Status& refusal) {
+  AuditRecord record;
+  record.analyst = request.analyst.empty() ? "<anonymous>" : request.analyst;
+  record.dataset = request.dataset;
+  record.program = request.program.name;
+  record.epsilon_requested = request.epsilon.value_or(0.0);
+  record.accepted = false;
+  record.status = refusal.ToString();
+  AppendAuditRecord(std::move(record));
+}
+
 Result<QueryReport> GuptService::SubmitQuery(const QueryRequest& request) {
+  return SubmitQueryAsync(request).get();
+}
+
+std::future<Result<QueryReport>> GuptService::SubmitQueryAsync(
+    const QueryRequest& request) {
+  auto promise = std::make_shared<std::promise<Result<QueryReport>>>();
+  std::future<Result<QueryReport>> future = promise->get_future();
+
+  const std::size_t capacity = options_.admission_queue_capacity;
+  std::size_t depth =
+      admission_in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (capacity > 0 && depth > capacity) {
+    // Refuse instead of blocking: nothing was charged or executed, so the
+    // caller can safely retry once the backlog drains.
+    admission_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.admission_rejected->Increment();
+    metrics_.requests_refused->Increment();
+    std::string msg = "admission queue full (capacity ";
+    msg += std::to_string(capacity);
+    msg += "); retry later";
+    Status refusal = Status::Unavailable(std::move(msg));
+    AuditAdmissionRefusal(request, refusal);
+    promise->set_value(refusal);
+    return future;
+  }
+  metrics_.admission_queue_depth->Set(static_cast<double>(depth));
+
+  admission_pool_->Submit([this, promise, request]() {
+    Result<QueryReport> outcome = ProcessQuery(request);
+    // Free the queue slot before completing the future so that by the time
+    // a submit-and-wait caller resumes, its slot is available again.
+    std::size_t remaining =
+        admission_in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    metrics_.admission_queue_depth->Set(static_cast<double>(remaining));
+    promise->set_value(std::move(outcome));
+  });
+  return future;
+}
+
+Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
   const std::string cache_key =
       options_.enable_query_cache ? CacheKey(request) : "";
   bool from_cache = false;
   std::optional<QueryReport> cached;
   if (!cache_key.empty()) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = query_cache_.find(cache_key);
-    if (it != query_cache_.end()) {
-      cached = it->second;
-      from_cache = true;
-    }
+    cached = CacheLookup(cache_key);
+    from_cache = cached.has_value();
   }
 
   Result<QueryReport> outcome =
       from_cache ? Result<QueryReport>(*cached) : Execute(request);
   if (!from_cache && outcome.ok() && !cache_key.empty()) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    query_cache_.emplace(cache_key, outcome.value());
+    CacheInsert(cache_key, outcome.value());
   }
 
   AuditRecord record;
@@ -153,11 +261,7 @@ Result<QueryReport> GuptService::SubmitQuery(const QueryRequest& request) {
     (outcome.ok() ? metrics_.requests_accepted : metrics_.requests_refused)
         ->Increment();
   }
-  {
-    std::lock_guard<std::mutex> lock(audit_mu_);
-    record.id = audit_log_.size() + 1;
-    audit_log_.push_back(record);
-  }
+  AppendAuditRecord(std::move(record));
 
   if (outcome.ok() && !from_cache && !options_.ledger_path.empty()) {
     // The ledger write is part of accepting the query: failing to persist

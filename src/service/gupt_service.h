@@ -6,10 +6,21 @@
 // every query attempt — accepted or refused — because a DP deployment
 // must be able to show, after the fact, exactly where each dataset's
 // budget went.
+//
+// The analyst front door is asynchronous: SubmitQueryAsync places the
+// request on a bounded admission queue served by a dedicated worker pool
+// and returns a future; SubmitQuery is submit-and-wait over the same
+// queue. When the queue is full the service refuses immediately
+// (StatusCode::kUnavailable) instead of blocking — backpressure is the
+// caller's signal to retry later.
 
 #ifndef GUPT_SERVICE_GUPT_SERVICE_H_
 #define GUPT_SERVICE_GUPT_SERVICE_H_
 
+#include <atomic>
+#include <deque>
+#include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/gupt.h"
 #include "data/dataset_manager.h"
 #include "service/program_registry.h"
@@ -34,6 +46,22 @@ struct ServiceOptions {
   /// budget exactly as PINQ's caching does. Cache hits are audit-logged
   /// with epsilon_charged = 0.
   bool enable_query_cache = false;
+  /// Upper bound on cached releases; least-recently-used entries are
+  /// evicted beyond it (gupt_service_cache_evictions_total counts them).
+  /// 0 = unbounded.
+  std::size_t query_cache_capacity = 1024;
+  /// Upper bound on in-memory audit records (ring-buffer semantics: the
+  /// oldest entries rotate out). 0 = unbounded. The monotonically
+  /// increasing record ids and gupt_service_audit_records_total reveal
+  /// how many records ever existed, so rotation is detectable.
+  std::size_t audit_log_capacity = 0;
+  /// Worker threads serving the admission queue. These are distinct from
+  /// the runtime's block-execution workers: an admission worker *waits*
+  /// on block fan-outs, so sharing one pool would deadlock.
+  std::size_t admission_workers = 2;
+  /// Bound on queries admitted but not yet answered (queued + running).
+  /// Submissions beyond it are refused with StatusCode::kUnavailable.
+  std::size_t admission_queue_capacity = 256;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -91,6 +119,9 @@ class GuptService {
   GuptService(const GuptService&) = delete;
   GuptService& operator=(const GuptService&) = delete;
 
+  /// Drains the admission queue (every returned future completes).
+  ~GuptService();
+
   // --- data-owner API ------------------------------------------------------
   Status RegisterDataset(const std::string& name, Dataset data,
                          DatasetOptions dataset_options);
@@ -99,8 +130,16 @@ class GuptService {
   Result<double> RemainingBudget(const std::string& name) const;
 
   // --- analyst API ---------------------------------------------------------
-  /// Validates, executes and audits one query.
+  /// Validates, executes and audits one query (submit-and-wait over the
+  /// admission queue; refuses with kUnavailable when the queue is full).
   Result<QueryReport> SubmitQuery(const QueryRequest& request);
+
+  /// Enqueues one query on the bounded admission queue. The future always
+  /// completes: with the report, the refusal, or — when the queue is full
+  /// — an immediate StatusCode::kUnavailable (audited, counted by
+  /// gupt_service_admission_rejected_total, never blocking).
+  std::future<Result<QueryReport>> SubmitQueryAsync(
+      const QueryRequest& request);
 
   /// Names of programs analysts may request.
   std::vector<std::string> ListPrograms() const;
@@ -109,7 +148,9 @@ class GuptService {
   std::vector<std::string> ListDatasets() const;
 
   // --- operator API --------------------------------------------------------
-  /// Copy of the audit log, in submission order.
+  /// Copy of the retained audit log, in submission order. With a bounded
+  /// `audit_log_capacity` the oldest records may have rotated out; ids
+  /// stay monotone so gaps at the front are evident.
   std::vector<AuditRecord> audit_log() const;
 
   /// Dump of the process-global metrics registry (counters, gauges, and
@@ -129,27 +170,67 @@ class GuptService {
  private:
   Result<QueryReport> Execute(const QueryRequest& request);
 
+  /// The synchronous body an admission worker runs: cache lookup, pipeline
+  /// execution, audit, ledger persist.
+  Result<QueryReport> ProcessQuery(const QueryRequest& request);
+
+  /// Appends one audit record (assigning its id) under audit_mu_,
+  /// rotating the oldest record out when the log is at capacity.
+  void AppendAuditRecord(AuditRecord record);
+
+  /// Records a queue-full refusal in the audit log.
+  void AuditAdmissionRefusal(const QueryRequest& request,
+                             const Status& refusal);
+
   /// Canonical cache key for a request; empty when the request is not
   /// cacheable (goal-driven queries re-solve epsilon from aged data, so
   /// they are executed fresh each time).
   static std::string CacheKey(const QueryRequest& request);
 
+  /// Cache lookup; refreshes the entry's LRU position on a hit.
+  std::optional<QueryReport> CacheLookup(const std::string& key);
+
+  /// Inserts a release into the cache, evicting the least-recently-used
+  /// entry beyond the configured capacity.
+  void CacheInsert(const std::string& key, const QueryReport& report);
+
   ServiceOptions options_;
   ProgramRegistry registry_;
   DatasetManager manager_;
   std::unique_ptr<GuptRuntime> runtime_;
+
   mutable std::mutex audit_mu_;
-  std::vector<AuditRecord> audit_log_;
+  std::deque<AuditRecord> audit_log_;
+  std::size_t audit_next_id_ = 0;
+
+  /// LRU cache: `cache_lru_` is ordered most- to least-recently used and
+  /// each map entry holds its own position in that list.
+  struct CacheEntry {
+    QueryReport report;
+    std::list<std::string>::iterator lru_position;
+  };
   std::mutex cache_mu_;
-  std::map<std::string, QueryReport> query_cache_;
+  std::list<std::string> cache_lru_;
+  std::map<std::string, CacheEntry> query_cache_;
+
+  /// Queries admitted but not yet answered (queued + running).
+  std::atomic<std::size_t> admission_in_flight_{0};
 
   /// Observability handles (process-global registry).
   struct Metrics {
     obs::Counter* requests_accepted;
     obs::Counter* requests_refused;
     obs::Counter* requests_cached;
+    obs::Counter* admission_rejected;
+    obs::Gauge* admission_queue_depth;
+    obs::Counter* cache_evictions;
+    obs::Counter* audit_records;
   };
   Metrics metrics_;
+
+  /// Declared last so it is destroyed first: draining admission workers
+  /// still touch every member above.
+  std::unique_ptr<ThreadPool> admission_pool_;
 };
 
 }  // namespace gupt

@@ -1,0 +1,244 @@
+// Golden outputs for the staged query pipeline.
+//
+// The pipeline refactor (monolithic GuptRuntime -> QueryPipeline stages)
+// must be invisible in the released values: for a fixed seed, every mode
+// of the runtime must produce bit-identical outputs to the pre-refactor
+// implementation. These constants were captured from that implementation;
+// EXPECT_EQ on doubles asserts exact bit equality, so any change to the
+// RNG consumption order, stage ordering, or arithmetic shows up here.
+//
+// Each scenario builds its own manager + runtime so it consumes a fresh
+// fork of the default-seeded root RNG, making the values independent of
+// test execution order.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "core/gupt.h"
+
+namespace gupt {
+namespace {
+
+Dataset AgesLike(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+/// Registers "ds": 20000 clamped ages under `budget`.
+void RegisterAges(DatasetManager& manager, double budget,
+                  bool with_input_ranges = false, double aged_fraction = 0.0) {
+  DatasetOptions options;
+  options.total_epsilon = budget;
+  options.aged_fraction = aged_fraction;
+  if (with_input_ranges) {
+    options.input_ranges = std::vector<Range>{{0.0, 150.0}};
+  }
+  ASSERT_TRUE(manager.Register("ds", AgesLike(20000, 42), options).ok());
+}
+
+TEST(PipelineGoldenTest, TightMode) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 2.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 2.0);
+  EXPECT_EQ(report->block_size, 377u);
+  EXPECT_EQ(report->num_blocks, 54u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 37.782203079929658);
+  ASSERT_EQ(report->effective_ranges.size(), 1u);
+  EXPECT_EQ(report->effective_ranges[0].lo, 0.0);
+  EXPECT_EQ(report->effective_ranges[0].hi, 150.0);
+}
+
+TEST(PipelineGoldenTest, LooseMode) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Loose({Range{0.0, 300.0}});
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 2.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 1.0);
+  EXPECT_EQ(report->block_size, 377u);
+  EXPECT_EQ(report->num_blocks, 54u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 38.362616495839895);
+  ASSERT_EQ(report->effective_ranges.size(), 1u);
+  EXPECT_EQ(report->effective_ranges[0].lo, 33.815809347560133);
+  EXPECT_EQ(report->effective_ranges[0].hi, 130.36127804428008);
+}
+
+TEST(PipelineGoldenTest, HelperMode) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Helper(
+      [](const std::vector<Range>& in) -> Result<std::vector<Range>> {
+        return std::vector<Range>{in[0]};
+      });
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 2.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 1.0);
+  EXPECT_EQ(report->block_size, 377u);
+  EXPECT_EQ(report->num_blocks, 54u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 38.099662468328873);
+  ASSERT_EQ(report->effective_ranges.size(), 1u);
+  EXPECT_EQ(report->effective_ranges[0].lo, 29.839808348713699);
+  EXPECT_EQ(report->effective_ranges[0].hi, 46.135843840460346);
+}
+
+TEST(PipelineGoldenTest, GammaResamplingWithExplicitBlockSize) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 1.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.block_size = 200;
+  spec.gamma = 4;
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 1.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 1.0);
+  EXPECT_EQ(report->block_size, 200u);
+  EXPECT_EQ(report->num_blocks, 400u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 37.545740047147525);
+}
+
+TEST(PipelineGoldenTest, MultiDimensionalOutput) {
+  std::vector<Row> rows;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    rows.push_back(
+        {rng.UniformDouble(0.0, 1.0), rng.UniformDouble(0.0, 10.0)});
+  }
+  DatasetManager manager;
+  DatasetOptions options;
+  options.total_epsilon = 10.0;
+  ASSERT_TRUE(
+      manager.Register("d2", Dataset::Create(std::move(rows)).value(), options)
+          .ok());
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanAllDimsQuery(2);
+  spec.epsilon = 4.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 1.0}, Range{0.0, 10.0}});
+  auto report = runtime.Execute("d2", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 4.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 2.0);
+  EXPECT_EQ(report->block_size, 166u);
+  EXPECT_EQ(report->num_blocks, 31u);
+  ASSERT_EQ(report->output.size(), 2u);
+  EXPECT_EQ(report->output[0], 0.4989101472481573);
+  EXPECT_EQ(report->output[1], 4.9387923701881196);
+}
+
+TEST(PipelineGoldenTest, PerDimensionAccounting) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 1.0;
+  spec.accounting = BudgetAccounting::kPerDimension;
+  spec.range = OutputRangeSpec::Loose({Range{0.0, 300.0}});
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 1.0);
+  EXPECT_EQ(report->epsilon_saf_per_dim, 0.5);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 38.678957383447191);
+}
+
+TEST(PipelineGoldenTest, SharedBudgetBatch) {
+  DatasetManager manager;
+  RegisterAges(manager, 4.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec mean;
+  mean.program = analytics::MeanQuery(0);
+  mean.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  mean.block_size = 200;
+  QuerySpec variance;
+  variance.program = analytics::VarianceQuery(0);
+  variance.range = OutputRangeSpec::Tight({Range{0.0, 22500.0}});
+  variance.block_size = 200;
+  auto reports = runtime.ExecuteWithSharedBudget("ds", {mean, variance}, 2.0);
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports->size(), 2u);
+  EXPECT_EQ((*reports)[0].epsilon_spent, 0.013245033112582781);
+  EXPECT_EQ((*reports)[0].epsilon_saf_per_dim, 0.013245033112582781);
+  EXPECT_EQ((*reports)[0].num_blocks, 100u);
+  EXPECT_EQ((*reports)[0].output[0], 16.513719298841735);
+  EXPECT_EQ((*reports)[1].epsilon_spent, 1.9867549668874172);
+  EXPECT_EQ((*reports)[1].epsilon_saf_per_dim, 1.9867549668874172);
+  EXPECT_EQ((*reports)[1].num_blocks, 100u);
+  EXPECT_EQ((*reports)[1].output[0], -140.44464756351971);
+  // The allocator splits exactly the requested batch budget.
+  EXPECT_EQ((*reports)[0].epsilon_spent + (*reports)[1].epsilon_spent, 2.0);
+}
+
+TEST(PipelineGoldenTest, AccuracyGoalOnAgedSlice) {
+  DatasetManager manager;
+  RegisterAges(manager, 100.0, /*with_input_ranges=*/false,
+               /*aged_fraction=*/0.1);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.accuracy_goal = AccuracyGoal{0.9, 0.1};
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.block_size = 400;
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 3.9130039391299194);
+  EXPECT_EQ(report->block_size, 400u);
+  EXPECT_EQ(report->num_blocks, 45u);
+  EXPECT_EQ(report->output[0], 36.954527585476654);
+}
+
+TEST(PipelineGoldenTest, OptimizedBlockSizeFromAgedPlanner) {
+  DatasetManager manager;
+  RegisterAges(manager, 100.0, /*with_input_ranges=*/false,
+               /*aged_fraction=*/0.1);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 1.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.optimize_block_size = true;
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 1.0);
+  EXPECT_EQ(report->block_size, 1u);
+  EXPECT_EQ(report->num_blocks, 18000u);
+  EXPECT_EQ(report->output[0], 38.035159136672107);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,109 @@
+// Structural tests for the staged QueryPipeline: stage ordering, the
+// resolved-plan fast path used by shared-budget batches, and the
+// invariant that a refused query charges nothing.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+#include "common/vec.h"
+#include "core/gupt.h"
+
+namespace gupt {
+namespace {
+
+Dataset SmallAges(std::size_t n) {
+  Rng rng(42);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+void RegisterAges(DatasetManager& manager, double budget) {
+  DatasetOptions options;
+  options.total_epsilon = budget;
+  ASSERT_TRUE(manager.Register("ds", SmallAges(5000), options).ok());
+}
+
+QuerySpec MeanSpec(double epsilon) {
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = epsilon;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  return spec;
+}
+
+TEST(QueryPipelineTest, StageSequenceIsFixed) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  std::vector<std::string> names;
+  for (const Stage* stage : runtime.pipeline().stages()) {
+    names.push_back(stage->name());
+  }
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"PlanStage", "AdmitStage",
+                                      "PartitionStage", "ExecuteBlocksStage",
+                                      "AggregateStage", "ReleaseStage"}));
+}
+
+TEST(QueryPipelineTest, BudgetRefusalChargesNothing) {
+  DatasetManager manager;
+  RegisterAges(manager, 1.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  auto report = runtime.Execute("ds", MeanSpec(2.0));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(manager.Get("ds").value()->accountant().remaining_epsilon(), 1.0);
+}
+
+TEST(QueryPipelineTest, PlanFailureChargesNothing) {
+  DatasetManager manager;
+  RegisterAges(manager, 1.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec = MeanSpec(0.5);
+  // Two declared ranges for a one-dimensional program: rejected in
+  // PlanStage, before any budget is touched.
+  spec.range =
+      OutputRangeSpec::Tight({Range{0.0, 150.0}, Range{0.0, 150.0}});
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Get("ds").value()->accountant().remaining_epsilon(), 1.0);
+}
+
+TEST(QueryPipelineTest, ResolvedPlanBypassesPlanStage) {
+  DatasetManager manager;
+  RegisterAges(manager, 10.0);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  auto ds = manager.Get("ds");
+  ASSERT_TRUE(ds.ok());
+
+  // Resolve a plan once, then rerun the pipeline with a hand-edited
+  // epsilon. If PlanStage honoured plan_resolved, the charge reflects the
+  // edit; if it re-planned, it would recompute 1.0 from the spec.
+  QuerySpec spec = MeanSpec(1.0);
+  Rng rng(123);
+  QueryContext plan_ctx(**ds, spec, &rng, nullptr);
+  auto plan = runtime.pipeline().Plan(plan_ctx);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  obs::QueryTrace trace;
+  QueryContext ctx(**ds, spec, &rng, &trace);
+  ctx.plan = *plan;
+  ctx.plan.epsilon_total = 0.25;
+  ctx.plan.epsilon_saf_per_dim = 0.25;
+  ctx.plan_resolved = true;
+  auto report = runtime.pipeline().Run(ctx);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 0.25);
+  EXPECT_EQ((*ds)->accountant().remaining_epsilon(), 9.75);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,224 @@
+// Tests for the asynchronous admission front door of GuptService:
+// async/sync equivalence, exact budget accounting under concurrent
+// submission, bounded-queue refusal, and the LRU/ring bounds on the
+// query cache and audit log.
+
+#include "service/gupt_service.h"
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace {
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+std::unique_ptr<GuptService> MakeService(ServiceOptions options,
+                                         double budget = 5.0) {
+  auto service = std::make_unique<GuptService>(
+      std::move(options), ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(5000, 1), ds).ok());
+  return service;
+}
+
+TEST(AsyncServiceTest, AsyncMatchesSyncForIdenticalRequests) {
+  // Two services with the same fixed seed receive the same request, one
+  // through each front door. The pipeline draws from the same forked RNG
+  // stream either way, so the released values must be bit-identical.
+  ServiceOptions options;
+  options.runtime.seed = 12345;
+  auto sync_service = MakeService(options);
+  auto async_service = MakeService(options);
+
+  auto sync_report = sync_service->SubmitQuery(MeanRequest(1.0));
+  auto async_report = async_service->SubmitQueryAsync(MeanRequest(1.0)).get();
+  ASSERT_TRUE(sync_report.ok()) << sync_report.status();
+  ASSERT_TRUE(async_report.ok()) << async_report.status();
+  EXPECT_EQ(sync_report->output, async_report->output);
+  EXPECT_EQ(sync_report->epsilon_spent, async_report->epsilon_spent);
+  EXPECT_EQ(sync_report->num_blocks, async_report->num_blocks);
+  EXPECT_EQ(sync_report->block_size, async_report->block_size);
+  EXPECT_EQ(sync_service->RemainingBudget("ages").value(),
+            async_service->RemainingBudget("ages").value());
+}
+
+TEST(AsyncServiceTest, ConcurrentAsyncChargesExactlyTheSumOfAccepted) {
+  // 8 analysts x 5 requests x epsilon 0.25 against a budget of exactly 10:
+  // every request fits, so every one must be accepted, the ledger must
+  // land on exactly zero (no double-charge, no lost charge), and the audit
+  // log must hold one record per request with dense ids.
+  ServiceOptions options;
+  options.admission_workers = 4;
+  auto service = MakeService(options, /*budget=*/10.0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  std::vector<std::thread> analysts;
+  std::vector<std::vector<std::future<Result<QueryReport>>>> futures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    analysts.emplace_back([&service, &futures, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(service->SubmitQueryAsync(MeanRequest(0.25)));
+      }
+    });
+  }
+  for (std::thread& analyst : analysts) analyst.join();
+
+  int accepted = 0;
+  for (auto& per_thread : futures) {
+    for (auto& future : per_thread) {
+      Result<QueryReport> report = future.get();
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_EQ(report->epsilon_spent, 0.25);
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, kThreads * kPerThread);
+  // 40 x 0.25 is exact in binary floating point: the remaining budget must
+  // be exactly zero, not merely close.
+  EXPECT_EQ(service->RemainingBudget("ages").value(), 0.0);
+
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].id, i + 1);  // dense, monotone ids: no lost records
+    EXPECT_TRUE(log[i].accepted);
+    EXPECT_EQ(log[i].epsilon_charged, 0.25);
+  }
+}
+
+TEST(AsyncServiceTest, FullQueueRefusesInsteadOfBlocking) {
+  // A single admission worker and a queue bound of 1: while one gated
+  // query occupies the only slot, a second submission must be refused
+  // immediately with kUnavailable — not enqueued, not blocked, and
+  // nothing charged.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  // Signals that the worker is parked inside the program — by then the
+  // query's budget is charged (AdmitStage precedes ExecuteBlocksStage).
+  auto entered = std::make_shared<std::promise<void>>();
+  std::future<void> worker_parked = entered->get_future();
+
+  ProgramRegistry registry = ProgramRegistry::WithStandardPrograms();
+  ASSERT_TRUE(
+      registry
+          .RegisterBuilder(
+              "blocker",
+              [opened, entered](const ProgramSpec&) -> Result<ProgramFactory> {
+                return MakeProgramFactory(
+                    "blocker", 1, [opened, entered](const Dataset&) {
+                      entered->set_value();
+                      opened.wait();
+                      return Result<Row>(Row{0.0});
+                    });
+              })
+          .ok());
+
+  ServiceOptions options;
+  options.admission_workers = 1;
+  options.admission_queue_capacity = 1;
+  GuptService service(options, std::move(registry));
+  DatasetOptions ds;
+  ds.total_epsilon = 5.0;
+  ASSERT_TRUE(service.RegisterDataset("ages", Ages(500, 1), ds).ok());
+
+  QueryRequest blocked = MeanRequest(0.5);
+  blocked.program.name = "blocker";
+  // One block of exactly the whole dataset: the program (and its
+  // `entered` signal) runs exactly once.
+  blocked.block_size = 500;
+  auto occupying = service.SubmitQueryAsync(blocked);
+  worker_parked.wait();
+
+  // The worker is parked inside the blocker program and the slot is taken;
+  // this submission must come back refused without waiting for the gate.
+  auto refused = service.SubmitQueryAsync(MeanRequest(0.5)).get();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.RemainingBudget("ages").value(), 5.0 - 0.5);
+
+  gate.set_value();
+  auto first = occupying.get();
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // After the backlog drains the queue admits again.
+  EXPECT_TRUE(service.SubmitQuery(MeanRequest(0.5)).ok());
+
+  auto log = service.audit_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_FALSE(log[0].accepted);  // the refusal is audited first: it
+                                  // completes while the blocker still runs
+  EXPECT_NE(log[0].status.find("Unavailable"), std::string::npos);
+  EXPECT_EQ(log[0].epsilon_charged, 0.0);
+}
+
+TEST(AsyncServiceTest, QueryCacheEvictsLeastRecentlyUsed) {
+  ServiceOptions options;
+  options.enable_query_cache = true;
+  options.query_cache_capacity = 2;
+  auto service = MakeService(options, /*budget=*/10.0);
+
+  auto a = service->SubmitQuery(MeanRequest(0.5));
+  auto b = service->SubmitQuery(MeanRequest(0.6));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Touch `a` so `b` becomes least recently used, then insert a third
+  // entry to force one eviction.
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.7)).ok());
+  double remaining = service->RemainingBudget("ages").value();
+
+  // `a` survived (cache hit: no charge), `b` was evicted (re-executes and
+  // charges again).
+  auto a2 = service->SubmitQuery(MeanRequest(0.5));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->output, a->output);
+  EXPECT_EQ(service->RemainingBudget("ages").value(), remaining);
+  auto b2 = service->SubmitQuery(MeanRequest(0.6));
+  ASSERT_TRUE(b2.ok());
+  EXPECT_NE(b2->output, b->output);
+  EXPECT_EQ(service->RemainingBudget("ages").value(), remaining - 0.6);
+}
+
+TEST(AsyncServiceTest, AuditLogRotatesButKeepsMonotoneIds) {
+  ServiceOptions options;
+  options.audit_log_capacity = 3;
+  auto service = MakeService(options, /*budget=*/10.0);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.1)).ok());
+  }
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 3u);  // only the newest three are retained
+  EXPECT_EQ(log[0].id, 3u);   // ids keep counting: rotation is visible
+  EXPECT_EQ(log[1].id, 4u);
+  EXPECT_EQ(log[2].id, 5u);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Layering lint: src/ modules may only include from layers below them.
+
+The source tree is a strict DAG (see docs/architecture.md):
+
+    obs < common < dp < data < exec < core < analytics, baselines < service
+
+`obs` sits at the bottom because even the thread pool reports metrics.
+Each module may include its own headers and those of lower layers, never
+a higher or sibling layer (analytics and baselines are siblings). In
+particular this keeps the staged query pipeline (src/core/pipeline/)
+free of service-level concerns: core must never include service/.
+
+Usage: check_layering.py <repo-root>
+Exits non-zero listing every violating include.
+"""
+
+import pathlib
+import re
+import sys
+
+# Module -> layer rank. Equal ranks are siblings and may not include each
+# other. A module may include modules of strictly lower rank (and itself).
+LAYER = {
+    "obs": 0,
+    "common": 1,
+    "dp": 2,
+    "data": 3,
+    "exec": 4,
+    "core": 5,
+    "analytics": 6,
+    "baselines": 6,
+    "service": 7,
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([a-z_]+)/')
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    src = pathlib.Path(sys.argv[1]) / "src"
+    if not src.is_dir():
+        print(f"no src/ directory under {sys.argv[1]}", file=sys.stderr)
+        return 2
+
+    violations = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        module = path.relative_to(src).parts[0]
+        if module not in LAYER:
+            violations.append(f"{path}: unknown module '{module}' "
+                              f"(register it in tools/check_layering.py)")
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target = match.group(1)
+            if target not in LAYER:
+                violations.append(
+                    f"{path}:{lineno}: include of unknown module "
+                    f"'{target}/'")
+                continue
+            if target == module:
+                continue
+            if LAYER[target] >= LAYER[module]:
+                violations.append(
+                    f"{path}:{lineno}: '{module}' (layer {LAYER[module]}) "
+                    f"may not include '{target}/' (layer {LAYER[target]})")
+
+    if violations:
+        print("layering violations:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print("layering ok: all src/ includes point strictly downward")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

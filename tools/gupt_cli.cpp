@@ -49,6 +49,8 @@ Args ParseArgs(int argc, char** argv) {
     std::size_t eq;
     if (arg == "--header") {
       args.has_header = true;
+    } else if (arg == "--async") {
+      args.options.emplace("async", "1");
     } else if (arg == "--metrics") {
       args.options["metrics"] = "prom";
     } else if (arg.rfind("--", 0) == 0 &&
@@ -151,7 +153,12 @@ int Usage() {
       "                    --budget TOTAL [--ledger FILE] [--block-size N]\n"
       "                    [--gamma G] [--mode tight|loose] [--workers N]\n"
       "                    [--seed S] [--analyst NAME] [--metrics[=prom|json]]\n"
-      "  gupt_cli selftest\n");
+      "                    [--async] [--queue-depth N]\n"
+      "  gupt_cli selftest\n"
+      "\n"
+      "--async submits through the service's bounded admission queue\n"
+      "(SubmitQueryAsync) and waits on the returned future; --queue-depth\n"
+      "bounds that queue (submissions beyond it are refused, not blocked).\n");
   return 2;
 }
 
@@ -227,6 +234,11 @@ int RunQuery(const Args& args) {
   service_options.runtime.seed =
       seed_text.empty() ? std::random_device{}()
                         : std::strtoull(seed_text.c_str(), nullptr, 10);
+  std::string queue_depth_text = Optional(args, "queue-depth", "");
+  if (!queue_depth_text.empty()) {
+    service_options.admission_queue_capacity = static_cast<std::size_t>(
+        std::strtoul(queue_depth_text.c_str(), nullptr, 10));
+  }
 
   GuptService service(service_options,
                       ProgramRegistry::WithStandardPrograms());
@@ -280,7 +292,10 @@ int RunQuery(const Args& args) {
   request.gamma = static_cast<std::size_t>(
       std::strtoul(Optional(args, "gamma", "1").c_str(), nullptr, 10));
 
-  auto report = service.SubmitQuery(request);
+  const bool async = args.options.count("async") > 0;
+  Result<QueryReport> report =
+      async ? service.SubmitQueryAsync(request).get()
+            : service.SubmitQuery(request);
   if (!report.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  report.status().ToString().c_str());

@@ -1,0 +1,121 @@
+// Introspection overhead: the fig6-style query path through the hosted
+// service, with the live introspection server disabled vs enabled (idle).
+//
+// The server costs one listener thread parked in poll() plus the handler
+// pool parked on a condition variable; none of them touch the query path,
+// so the expectation is a median-latency overhead within noise (well under
+// 5%). Emits BENCH_obs_overhead.json so the claim is machine-checkable.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "obs/introspect/http_client.h"
+#include "service/gupt_service.h"
+
+namespace gupt {
+namespace {
+
+constexpr int kWarmupQueries = 3;
+constexpr int kTimedQueries = 31;
+
+QueryRequest MeanRequest() {
+  QueryRequest request;
+  request.analyst = "bench";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = 0.1;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  request.gamma = 3;  // resampled fan-out: the scalability-path shape
+  return request;
+}
+
+/// Median per-query seconds over kTimedQueries runs against a service
+/// configured with `options` (the dataset carries an effectively unbounded
+/// budget so accounting never interferes with timing).
+double MedianQuerySeconds(ServiceOptions options, bool scrape_once) {
+  options.runtime.num_workers = 4;
+  options.runtime.seed = 99;
+  GuptService service(std::move(options),
+                      ProgramRegistry::WithStandardPrograms());
+  synthetic::CensusAgeOptions gen;
+  gen.num_rows = 20000;
+  DatasetOptions ds;
+  ds.total_epsilon = 1e6;
+  if (!service.RegisterDataset("ages", synthetic::CensusAges(gen).value(), ds)
+           .ok()) {
+    std::exit(1);
+  }
+  if (scrape_once) {
+    // Prove the server is actually live, then leave it idle while timing.
+    obs::introspect::HttpGetResult scrape =
+        obs::introspect::HttpGet("127.0.0.1", service.introspect_port(),
+                                 "/healthz");
+    if (!scrape.ok || scrape.status != 200) {
+      std::fprintf(stderr, "introspection server not answering: %s\n",
+                   scrape.error.c_str());
+      std::exit(1);
+    }
+  }
+
+  auto one_query = [&service] {
+    auto report = service.SubmitQuery(MeanRequest());
+    if (!report.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  for (int i = 0; i < kWarmupQueries; ++i) one_query();
+  std::vector<double> seconds;
+  seconds.reserve(kTimedQueries);
+  for (int i = 0; i < kTimedQueries; ++i) {
+    seconds.push_back(bench::TimeSeconds(one_query));
+  }
+  std::nth_element(seconds.begin(), seconds.begin() + kTimedQueries / 2,
+                   seconds.end());
+  return seconds[kTimedQueries / 2];
+}
+
+int Run() {
+  bench::PrintHeader(
+      "obs_overhead", "query latency with the introspection server on vs off",
+      "the idle server adds no work to the query path: median overhead "
+      "within noise (<= 5%)");
+
+  ServiceOptions off;
+  off.introspect_port = -1;
+  double off_median_s = MedianQuerySeconds(off, /*scrape_once=*/false);
+
+  ServiceOptions on;
+  on.introspect_port = 0;  // ephemeral; serving but idle during timing
+  double on_median_s = MedianQuerySeconds(on, /*scrape_once=*/true);
+
+  double ratio = on_median_s / off_median_s;
+  bench::PrintRow({"config", "median_query_s"});
+  bench::PrintRow({"server_off", bench::Fmt(off_median_s, 6)});
+  bench::PrintRow({"server_on_idle", bench::Fmt(on_median_s, 6)});
+  bench::PrintRow({"overhead_ratio", bench::Fmt(ratio, 4)});
+
+  std::FILE* out = std::fopen("BENCH_obs_overhead.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_obs_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"queries\": %d, \"off_median_s\": %.9f, "
+               "\"on_median_s\": %.9f, \"overhead_ratio\": %.6f}\n",
+               kTimedQueries, off_median_s, on_median_s, ratio);
+  std::fclose(out);
+  std::printf("# wrote BENCH_obs_overhead.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

@@ -42,7 +42,18 @@ LogLevel InitialLevel() {
   return LogLevel::kWarning;
 }
 
+thread_local std::uint64_t tls_log_query_id = 0;
+
 }  // namespace
+
+ScopedLogQueryId::ScopedLogQueryId(std::uint64_t query_id)
+    : previous_(tls_log_query_id) {
+  tls_log_query_id = query_id;
+}
+
+ScopedLogQueryId::~ScopedLogQueryId() { tls_log_query_id = previous_; }
+
+std::uint64_t ScopedLogQueryId::current() { return tls_log_query_id; }
 
 std::optional<LogLevel> ParseLogLevel(const std::string& text) {
   std::string lower;
@@ -76,7 +87,9 @@ std::string FormatLogLine(LogLevel level, const std::string& message) {
 
   std::ostringstream line;
   line << '[' << stamp << ' ' << LevelName(level)
-       << " tid=" << std::this_thread::get_id() << "] " << message;
+       << " tid=" << std::this_thread::get_id();
+  if (tls_log_query_id != 0) line << " qid=" << tls_log_query_id;
+  line << "] " << message;
   return line.str();
 }
 

@@ -3,9 +3,10 @@
 // The runtime logs through a process-global Logger so that benchmarks can
 // silence output and tests can capture it. Logging is thread-safe. The
 // default sink prefixes every line with an ISO-8601 UTC timestamp, the
-// level tag, and the emitting thread id:
+// level tag, the emitting thread id, and — while a query is being
+// coordinated on the thread (ScopedLogQueryId) — the query id:
 //
-//   [2026-08-05T14:03:22.117Z WARN tid=140237493479168] query 'mean': ...
+//   [2026-08-05T14:03:22.117Z WARN tid=140237493479168 qid=42] query ...
 //
 // The initial severity threshold is kWarning; set the GUPT_LOG_LEVEL
 // environment variable (debug|info|warn|error) to override it before the
@@ -14,6 +15,7 @@
 #ifndef GUPT_COMMON_LOGGING_H_
 #define GUPT_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <optional>
@@ -27,6 +29,27 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Parses a GUPT_LOG_LEVEL value (case-insensitive: "debug", "info",
 /// "warn"/"warning", "error"). Unrecognised text yields nullopt.
 std::optional<LogLevel> ParseLogLevel(const std::string& text);
+
+/// RAII thread-local log correlation: while alive, every log line emitted
+/// by this thread carries ` qid=<id>` in its prefix. The runtime installs
+/// one around each query's pipeline walk, so the stages' log lines can be
+/// joined with the query's trace, audit record, and /tracez spans. Scopes
+/// nest (the previous id is restored on destruction); an id of 0 means "no
+/// query" and is not printed.
+class ScopedLogQueryId {
+ public:
+  explicit ScopedLogQueryId(std::uint64_t query_id);
+  ~ScopedLogQueryId();
+
+  ScopedLogQueryId(const ScopedLogQueryId&) = delete;
+  ScopedLogQueryId& operator=(const ScopedLogQueryId&) = delete;
+
+  /// The calling thread's current query id (0 = none).
+  static std::uint64_t current();
+
+ private:
+  std::uint64_t previous_;
+};
 
 namespace internal {
 

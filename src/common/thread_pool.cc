@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace gupt {
@@ -10,7 +11,15 @@ double Seconds(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double>(d).count();
 }
 
+/// Worker-id assignment: one process-global counter so ids never collide
+/// across pools (the runtime's block workers and the service's admission
+/// workers land on distinct trace lanes).
+std::atomic<int> g_next_worker_id{0};
+thread_local int tls_worker_id = 0;
+
 }  // namespace
+
+int ThreadPool::CurrentWorkerId() { return tls_worker_id; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
@@ -70,6 +79,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_worker_id = g_next_worker_id.fetch_add(1, std::memory_order_relaxed) + 1;
   for (;;) {
     QueuedTask task;
     {

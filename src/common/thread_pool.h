@@ -40,6 +40,13 @@ class ThreadPool {
 
   std::size_t num_threads() const { return workers_.size(); }
 
+  /// Stable, process-unique id of the calling pool worker (1-based; ids
+  /// are drawn from one global counter across all pools, so a worker id
+  /// identifies a thread for the process lifetime). Returns 0 when the
+  /// calling thread is not a ThreadPool worker. Used to attribute
+  /// per-block trace spans to the thread that ran them (obs::BlockSpan).
+  static int CurrentWorkerId();
+
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// The pool must be otherwise idle (Wait semantics are pool-wide).
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/logging.h"
 #include "core/budget_allocator.h"
 
 namespace gupt {
@@ -29,6 +30,10 @@ Result<QueryReport> GuptRuntime::Execute(const std::string& dataset_name,
                         manager_->Get(dataset_name));
   Rng rng = ForkRng();
   obs::QueryTrace trace;
+  trace.set_query_id(obs::NextQueryId());
+  // Log lines emitted on this (coordinator) thread during the pipeline
+  // walk carry the query id, joinable against the trace and audit record.
+  ScopedLogQueryId log_scope(trace.query_id());
   QueryContext ctx(*ds, spec, &rng, &trace);
   return pipeline_.Run(ctx);
 }
@@ -89,6 +94,8 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
   reports.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     obs::QueryTrace trace;
+    trace.set_query_id(obs::NextQueryId());
+    ScopedLogQueryId log_scope(trace.query_id());
     QueryContext ctx(*ds, specs[i], &rng, &trace);
     ctx.plan = plans[i];
     ctx.plan.epsilon_total = epsilons[i];

@@ -76,6 +76,7 @@ StageScope::~StageScope() {
   if (trace_ != nullptr) {
     obs::SpanRecord span;
     span.name = stage_;
+    span.start_ns = obs::NanosSinceTraceEpoch(start_);
     span.duration =
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
     span.ok = ok_;
@@ -374,6 +375,23 @@ Status ExecuteBlocksStage::Run(QueryContext& ctx) const {
     if (ctx.exec_report.fallback_count > 0) {
       stage.set_note("fallbacks=" +
                      std::to_string(ctx.exec_report.fallback_count));
+    }
+  }
+  // Fold the per-block scheduling facts into the trace (coordinator-side,
+  // after the fan-out joins — QueryTrace is single-writer).
+  if (ctx.trace != nullptr) {
+    for (std::size_t i = 0; i < ctx.exec_report.timings.size(); ++i) {
+      const BlockTiming& timing = ctx.exec_report.timings[i];
+      obs::BlockSpan span;
+      span.block_index = i;
+      span.worker_id = timing.worker_id;
+      span.start_ns = obs::NanosSinceTraceEpoch(timing.start);
+      span.duration_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             timing.end - timing.start)
+                             .count();
+      span.ok = i < ctx.exec_report.runs.size() &&
+                !ctx.exec_report.runs[i].used_fallback;
+      ctx.trace->AddBlockSpan(span);
     }
   }
   ctx.report.fallback_blocks = ctx.exec_report.fallback_count;

@@ -85,4 +85,24 @@ std::vector<std::string> DatasetManager::ListNames() const {
   return names;
 }
 
+std::vector<DatasetBudgetSnapshot> DatasetManager::BudgetSnapshots() const {
+  // Pin the registrations under the registry lock, then snapshot each
+  // accountant outside it: Snapshot() takes the accountant's own lock,
+  // which concurrent Charge() calls also contend on, and we must not hold
+  // mu_ across that. Map order already gives name-sorted output.
+  std::vector<std::shared_ptr<RegisteredDataset>> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned.reserve(datasets_.size());
+    for (const auto& [unused, dataset] : datasets_) pinned.push_back(dataset);
+  }
+  std::vector<DatasetBudgetSnapshot> snapshots;
+  snapshots.reserve(pinned.size());
+  for (const auto& dataset : pinned) {
+    snapshots.push_back(
+        DatasetBudgetSnapshot{dataset->name(), dataset->accountant().Snapshot()});
+  }
+  return snapshots;
+}
+
 }  // namespace gupt

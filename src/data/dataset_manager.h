@@ -67,6 +67,12 @@ class RegisteredDataset {
   dp::PrivacyAccountant accountant_;
 };
 
+/// One dataset's budget ledger, as published by introspection endpoints.
+struct DatasetBudgetSnapshot {
+  std::string dataset;
+  dp::AccountantSnapshot budget;
+};
+
 /// Thread-safe registry of datasets keyed by name. (Queries run
 /// concurrently in a hosted service, and registration may race with them;
 /// the returned shared_ptrs keep a dataset alive across an Unregister.)
@@ -88,6 +94,11 @@ class DatasetManager {
 
   /// Names of all registered datasets, sorted.
   std::vector<std::string> ListNames() const;
+
+  /// Per-dataset ledger snapshots, sorted by dataset name. Each snapshot
+  /// is internally consistent (one lock acquisition per accountant); the
+  /// set of datasets is the registry's state at call time.
+  std::vector<DatasetBudgetSnapshot> BudgetSnapshots() const;
 
  private:
   mutable std::mutex mu_;

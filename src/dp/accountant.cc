@@ -61,5 +61,14 @@ std::vector<BudgetCharge> PrivacyAccountant::charges() const {
   return charges_;
 }
 
+AccountantSnapshot PrivacyAccountant::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AccountantSnapshot snapshot;
+  snapshot.total_epsilon = total_epsilon_;
+  snapshot.spent_epsilon = spent_epsilon_;
+  snapshot.charges = charges_;
+  return snapshot;
+}
+
 }  // namespace dp
 }  // namespace gupt

@@ -26,6 +26,23 @@ struct BudgetCharge {
   double epsilon;
 };
 
+/// A mutually consistent copy of one accountant's state, taken under a
+/// single lock acquisition. Reading total/spent/charges through separate
+/// accessors can interleave with a concurrent Charge and show a spent
+/// total that does not equal the sum of the charge history; introspection
+/// endpoints (/budgetz) must never publish such a torn view.
+struct AccountantSnapshot {
+  double total_epsilon = 0.0;
+  double spent_epsilon = 0.0;
+  std::vector<BudgetCharge> charges;  // in charge order
+
+  /// Clamped at zero, matching PrivacyAccountant::remaining_epsilon().
+  double remaining_epsilon() const {
+    double rest = total_epsilon - spent_epsilon;
+    return rest > 0.0 ? rest : 0.0;
+  }
+};
+
 /// Thread-safe epsilon-DP budget ledger for one dataset.
 class PrivacyAccountant {
  public:
@@ -47,6 +64,9 @@ class PrivacyAccountant {
 
   /// Copy of the ledger, in charge order.
   std::vector<BudgetCharge> charges() const;
+
+  /// Atomic copy of the whole ledger state (totals + history agree).
+  AccountantSnapshot Snapshot() const;
 
  private:
   mutable std::mutex mu_;

@@ -53,14 +53,19 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
 
   BlockExecutionReport report;
   report.runs.resize(blocks.size());
+  report.timings.resize(blocks.size());
   std::vector<Status> statuses(blocks.size(), Status::OK());
 
   auto execute_one = [&](std::size_t i) {
+    BlockTiming& timing = report.timings[i];
+    timing.worker_id = ThreadPool::CurrentWorkerId();
+    timing.start = std::chrono::steady_clock::now();
     Result<ChamberRun> run =
         chamber_.policy().process_isolation
             ? ProcessChamber(chamber_.policy())
                   .Execute(factory, blocks[i], fallback)
             : chamber_.Execute(factory, blocks[i], fallback);
+    timing.end = std::chrono::steady_clock::now();
     if (run.ok()) {
       report.runs[i] = std::move(run).value();
     } else {

@@ -10,6 +10,7 @@
 #ifndef GUPT_EXEC_COMPUTATION_MANAGER_H_
 #define GUPT_EXEC_COMPUTATION_MANAGER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -23,10 +24,21 @@
 
 namespace gupt {
 
+/// Where and when one block ran, for cross-thread trace export. The
+/// worker id is ThreadPool::CurrentWorkerId() on the executing thread
+/// (0 = the fan-out ran sequentially on the coordinator).
+struct BlockTiming {
+  int worker_id = 0;
+  std::chrono::steady_clock::time_point start{};
+  std::chrono::steady_clock::time_point end{};
+};
+
 /// Aggregate of one fan-out over all blocks.
 struct BlockExecutionReport {
   /// Per-block outcomes, indexed like the BlockPlan's blocks.
   std::vector<ChamberRun> runs;
+  /// Per-block scheduling facts, indexed like `runs`.
+  std::vector<BlockTiming> timings;
   std::size_t fallback_count = 0;
   std::size_t deadline_exceeded_count = 0;
   std::size_t policy_violation_count = 0;

@@ -1,0 +1,141 @@
+#include "obs/introspect/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+namespace {
+
+/// Case-insensitive prefix match for header names.
+bool HeaderIs(const std::string& line, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (line.size() < n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    char a = line[i];
+    char b = name[i];
+    if (a >= 'A' && a <= 'Z') a = static_cast<char>(a - 'A' + 'a');
+    if (b >= 'A' && b <= 'Z') b = static_cast<char>(b - 'A' + 'a');
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::string Trim(const std::string& text) {
+  std::size_t begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  std::size_t end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+HttpGetResult HttpGet(const std::string& host, int port,
+                      const std::string& target, int timeout_ms) {
+  HttpGetResult result;
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.error = what + ": " + std::strerror(errno);
+    return result;
+  };
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket()");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    result.error = "invalid host address: " + host;
+    return result;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    HttpGetResult out = fail("connect(" + host + ":" + std::to_string(port) +
+                             ")");
+    ::close(fd);
+    return out;
+  }
+
+  std::string request = "GET " + target + " HTTP/1.0\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      HttpGetResult out = fail("send()");
+      ::close(fd);
+      return out;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      HttpGetResult out = fail("recv()");
+      ::close(fd);
+      return out;
+    }
+    if (n == 0) break;  // server closed: response complete
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t header_end = raw.find("\r\n\r\n");
+  std::size_t body_start;
+  if (header_end != std::string::npos) {
+    body_start = header_end + 4;
+  } else {
+    header_end = raw.find("\n\n");
+    if (header_end == std::string::npos) {
+      result.error = "truncated response (no header terminator)";
+      return result;
+    }
+    body_start = header_end + 2;
+  }
+
+  std::string head = raw.substr(0, header_end);
+  std::size_t status_sp = head.find(' ');
+  if (status_sp == std::string::npos) {
+    result.error = "malformed status line";
+    return result;
+  }
+  result.status = std::atoi(head.c_str() + status_sp + 1);
+
+  std::size_t line_start = 0;
+  while (line_start < head.size()) {
+    std::size_t line_end = head.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    std::string line = head.substr(line_start, line_end - line_start);
+    if (HeaderIs(line, "content-type:")) {
+      result.content_type = Trim(line.substr(std::strlen("content-type:")));
+    }
+    line_start = line_end + 1;
+  }
+
+  result.body = raw.substr(body_start);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,37 @@
+// Minimal blocking HTTP/1.0 GET client for the introspection server.
+//
+// The curl-equivalent used by tests, the ctest scrape smoke test, and any
+// embedded tooling that wants to read a sibling process's /metrics without
+// shelling out. Same layering rule as the server: obs-only, so errors are
+// strings, not Status.
+
+#ifndef GUPT_OBS_INTROSPECT_HTTP_CLIENT_H_
+#define GUPT_OBS_INTROSPECT_HTTP_CLIENT_H_
+
+#include <string>
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+
+struct HttpGetResult {
+  /// False when the request could not be completed at the transport level
+  /// (connect/send/recv failure or timeout); `error` then says why. A
+  /// non-2xx HTTP status still has ok = true — the request *was* answered.
+  bool ok = false;
+  std::string error;
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Performs one `GET target` (e.g. "/metrics" or "/budgetz?format=json")
+/// against host:port and reads until the server closes the connection.
+HttpGetResult HttpGet(const std::string& host, int port,
+                      const std::string& target, int timeout_ms = 5000);
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_INTROSPECT_HTTP_CLIENT_H_

@@ -1,0 +1,356 @@
+#include "obs/introspect/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+namespace {
+
+/// Per-connection socket timeout. Introspection clients are curl and
+/// Prometheus; anything slower than this is stuck and gets dropped.
+constexpr int kSocketTimeoutMs = 2000;
+
+/// Request-size cap: an introspection request is one line plus headers.
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void SetSocketTimeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = kSocketTimeoutMs / 1000;
+  tv.tv_usec = (kSocketTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Decodes %xx escapes and '+' in query components (enough for format=...
+/// style parameters; invalid escapes pass through verbatim).
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out += ' ';
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(text[i + 2]))) {
+      out += static_cast<char>(
+          std::stoi(text.substr(i + 1, 2), nullptr, 16));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+void ParseQueryParams(const std::string& query,
+                      std::map<std::string, std::string>* params) {
+  std::size_t start = 0;
+  while (start < query.size()) {
+    std::size_t amp = query.find('&', start);
+    if (amp == std::string::npos) amp = query.size();
+    std::string piece = query.substr(start, amp - start);
+    std::size_t eq = piece.find('=');
+    if (eq == std::string::npos) {
+      if (!piece.empty()) (*params)[UrlDecode(piece)] = "";
+    } else {
+      (*params)[UrlDecode(piece.substr(0, eq))] =
+          UrlDecode(piece.substr(eq + 1));
+    }
+    start = amp + 1;
+  }
+}
+
+/// Writes the whole buffer, tolerating short writes; false on error.
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (WriteAll(fd, head.data(), head.size())) {
+    WriteAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::Param(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = query_params.find(key);
+  return it == query_params.end() ? fallback : it->second;
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  if (options_.handler_threads < 1) options_.handler_threads = 1;
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  requests_unknown_ = registry.GetCounter(
+      "gupt_introspect_requests_total",
+      "Introspection HTTP requests served, by endpoint path.",
+      {{"path", "unknown"}});
+  request_duration_ = registry.GetHistogram(
+      "gupt_introspect_request_duration_seconds",
+      "Wall time spent serving one introspection request (parse through "
+      "last byte written).",
+      Histogram::DurationBuckets());
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path] = std::move(handler);
+  path_counters_[path] = MetricsRegistry::Get().GetCounter(
+      "gupt_introspect_requests_total",
+      "Introspection HTTP requests served, by endpoint path.",
+      {{"path", path}});
+}
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket()");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    if (error != nullptr) {
+      *error = "invalid bind address: " + options_.bind_address;
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind(" + options_.bind_address + ":" +
+                std::to_string(options_.port) + ")");
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen()");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serving_ = true;
+    stopping_ = false;
+  }
+  listener_ = std::thread([this] { ListenerLoop(); });
+  handler_pool_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    handler_pool_.emplace_back([this] { HandlerLoop(); });
+  }
+  return true;
+}
+
+void HttpServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!serving_) return;
+    stopping_ = true;
+  }
+  connection_ready_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& t : handler_pool_) {
+    if (t.joinable()) t.join();
+  }
+  handler_pool_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : pending_connections_) ::close(fd);
+    pending_connections_.clear();
+    serving_ = false;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool HttpServer::serving() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_ && !stopping_;
+}
+
+void HttpServer::ListenerLoop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    // A short poll keeps Stop() latency bounded without a wakeup pipe.
+    int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    SetSocketTimeouts(fd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_connections_.push_back(fd);
+    }
+    connection_ready_.notify_one();
+  }
+}
+
+void HttpServer::HandlerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      connection_ready_.wait(lock, [this] {
+        return stopping_ || !pending_connections_.empty();
+      });
+      if (pending_connections_.empty()) return;  // stopping, queue drained
+      fd = pending_connections_.front();
+      pending_connections_.pop_front();
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const auto started = std::chrono::steady_clock::now();
+
+  // Read until the end of the header block (introspection requests carry
+  // no body) or the size cap.
+  std::string raw;
+  char buf[2048];
+  while (raw.size() < kMaxRequestBytes &&
+         raw.find("\r\n\r\n") == std::string::npos &&
+         raw.find("\n\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpResponse response;
+  std::size_t line_end = raw.find_first_of("\r\n");
+  std::string request_line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+    WriteResponse(fd, response);
+    return;
+  }
+
+  HttpRequest request;
+  request.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    request.query_string = target.substr(qmark + 1);
+    ParseQueryParams(request.query_string, &request.query_params);
+  }
+
+  if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is supported\n";
+    WriteResponse(fd, response);
+    return;
+  }
+
+  HttpHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) {
+      handler = it->second;
+      path_counters_[request.path]->Increment();
+    }
+  }
+  if (handler) {
+    response = handler(request);
+  } else if (request.path == "/") {
+    // Generated index: one line per registered endpoint.
+    response.body = "gupt introspection server\n\nendpoints:\n";
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [path, unused] : handlers_) {
+      (void)unused;
+      response.body += "  " + path + "\n";
+    }
+  } else {
+    requests_unknown_->Increment();
+    response.status = 404;
+    response.body = "no handler for " + request.path + "\n";
+  }
+  if (request.method == "HEAD") response.body.clear();
+  WriteResponse(fd, response);
+  request_duration_->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
+}
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,137 @@
+// Live introspection server: a small blocking HTTP/1.0 endpoint embedded
+// in a running GUPT process.
+//
+// A hosted DP service must be observable *while queries are in flight*:
+// Prometheus scrapes /metrics, an operator inspects /budgetz mid-incident,
+// a load balancer polls /healthz. This server is deliberately tiny — one
+// listener thread plus a small handler pool, std + POSIX sockets only, no
+// third-party dependencies — because it sits in the lowest layer (obs) and
+// must never constrain what the rest of the runtime can link against.
+//
+// Design constraints:
+//   * Handlers are plain std::functions registered per path before Start();
+//     upper layers (the service) close over their own state, so this layer
+//     never learns about accountants, datasets, or admission queues.
+//   * Loopback by default. The server carries operator-grade data (budget
+//     ledgers, traces); exposing it beyond localhost is an explicit
+//     operator decision (bind_address).
+//   * Blocking I/O with short socket timeouts. Introspection traffic is a
+//     handful of requests per second; an event loop would be complexity
+//     without benefit, and a stuck client can only park one handler thread
+//     for the timeout, not the listener.
+//
+// This header is obs-layer (below common/), so it cannot use
+// common/status.h; errors are reported as strings.
+
+#ifndef GUPT_OBS_INTROSPECT_HTTP_SERVER_H_
+#define GUPT_OBS_INTROSPECT_HTTP_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+
+/// One parsed request. Only the request line is interpreted (method, path,
+/// `?key=value&...` query parameters); headers are read and discarded.
+struct HttpRequest {
+  std::string method;        // e.g. "GET"
+  std::string path;          // e.g. "/budgetz" (no query string)
+  std::string query_string;  // e.g. "format=json" ("" when absent)
+  std::map<std::string, std::string> query_params;
+
+  /// Query parameter lookup with a default.
+  std::string Param(const std::string& key, const std::string& fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// Port to bind; 0 asks the kernel for an ephemeral port (read it back
+  /// with port() after Start). Loopback-only by default.
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  /// Threads serving accepted connections. Introspection endpoints must
+  /// stay responsive while one scrape is slow, so at least 2.
+  std::size_t handler_threads = 2;
+};
+
+class HttpServer {
+ public:
+  explicit HttpServer(HttpServerOptions options);
+
+  /// Stops the server if still serving.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-match `path` (e.g. "/metrics"). Must be
+  /// called before Start(). "/" serves a generated index of registered
+  /// paths unless a handler claims it.
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Binds, listens, and spawns the listener + handler threads. Returns
+  /// false (with a description in *error, if non-null) when the socket
+  /// cannot be bound. Not restartable after Stop().
+  bool Start(std::string* error = nullptr);
+
+  /// Stops accepting, drains in-flight handlers, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (resolved even when options.port was 0); 0 before
+  /// Start().
+  int port() const { return port_; }
+
+  bool serving() const;
+
+ private:
+  void ListenerLoop();
+  void HandlerLoop();
+  /// Reads, parses, dispatches, and answers one connection, then closes it.
+  void ServeConnection(int fd);
+
+  HttpServerOptions options_;
+  std::map<std::string, HttpHandler> handlers_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread listener_;
+  std::vector<std::thread> handler_pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable connection_ready_;
+  std::deque<int> pending_connections_;
+  bool serving_ = false;
+  bool stopping_ = false;
+
+  // Observability for the observability server itself. One counter per
+  // registered path (label path=<path>), registered in Handle(), plus a
+  // catch-all for 404s.
+  std::map<std::string, Counter*> path_counters_;
+  Counter* requests_unknown_;
+  Histogram* request_duration_;
+};
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_INTROSPECT_HTTP_SERVER_H_

@@ -1,0 +1,40 @@
+// Chrome trace_event serialization for completed query traces.
+//
+// Emits the JSON object format understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev): complete events ("ph":"X") with microsecond
+// timestamps, one pid for the whole process, and tid = the stable
+// ThreadPool worker id, so a resampled query's block fan-out renders as
+// parallel spans on distinct thread lanes, correlated by the query_id
+// argument on every span.
+
+#ifndef GUPT_OBS_INTROSPECT_TRACE_EVENT_H_
+#define GUPT_OBS_INTROSPECT_TRACE_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/introspect/trace_ring.h"
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+
+/// Serialises `traces` (oldest first, as returned by TraceRing::Snapshot)
+/// into one self-contained Chrome trace_event JSON document:
+///
+///   * per query: an enclosing "query <id> <program>" span on the
+///     coordinator's lane, one span per pipeline stage (cat "stage"), and
+///     one span per block execution (cat "block") on its worker's lane;
+///   * thread_name metadata events labelling lane 0 "coordinator" and
+///     lane N "worker-N";
+///   * the trace's DP gauges as args on the enclosing query span.
+///
+/// Stage spans that predate start offsets (start_ns < 0) are laid
+/// end-to-end from the query's first known timestamp instead of dropped.
+std::string ExportChromeTrace(const std::vector<CompletedTrace>& traces);
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_INTROSPECT_TRACE_EVENT_H_

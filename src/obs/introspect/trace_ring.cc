@@ -1,0 +1,34 @@
+#include "obs/introspect/trace_ring.h"
+
+#include <utility>
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+
+void TraceRing::Push(CompletedTrace trace) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_pushed_;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<CompletedTrace> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,70 @@
+// Bounded ring of recently completed query traces.
+//
+// The metrics registry aggregates; the audit log narrates one line per
+// query; this ring keeps the *full* trace of the last N executions — stage
+// spans, per-block spans with worker-thread ids, DP gauges — so /tracez
+// can export a cross-thread timeline of what the service just did without
+// unbounded memory growth. Oldest traces rotate out; the total-pushed
+// counter makes rotation detectable.
+
+#ifndef GUPT_OBS_INTROSPECT_TRACE_RING_H_
+#define GUPT_OBS_INTROSPECT_TRACE_RING_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+
+/// One finished query execution with the context /tracez needs to label it.
+struct CompletedTrace {
+  std::uint64_t query_id = 0;
+  std::string dataset;
+  std::string program;
+  std::string analyst;
+  bool ok = true;
+  /// Stable ThreadPool worker id of the coordinating (admission) thread;
+  /// 0 when the query ran on a non-pool thread. Stage spans render on this
+  /// thread lane, block spans on their own workers' lanes.
+  int coordinator_tid = 0;
+  std::chrono::system_clock::time_point completed_at{};
+  QueryTrace trace;
+};
+
+/// Thread-safe bounded FIFO of CompletedTraces.
+class TraceRing {
+ public:
+  /// `capacity` of 0 disables retention entirely (Push becomes a no-op).
+  explicit TraceRing(std::size_t capacity) : capacity_(capacity) {}
+
+  void Push(CompletedTrace trace);
+
+  /// Copy of the retained traces, oldest first.
+  std::vector<CompletedTrace> Snapshot() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Traces ever pushed (kept + rotated out).
+  std::uint64_t total_pushed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<CompletedTrace> ring_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_INTROSPECT_TRACE_RING_H_

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -71,6 +72,22 @@ std::string JsonNumber(double value) {
 
 }  // namespace
 
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::int64_t NanosSinceTraceEpoch(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - TraceEpoch())
+      .count();
+}
+
+std::uint64_t NextQueryId() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 void QueryTrace::SetGauge(const std::string& name, double value) {
   for (auto& [k, v] : gauges_) {
     if (k == name) {
@@ -130,13 +147,17 @@ std::string QueryTrace::Summary() const {
 }
 
 std::string QueryTrace::ToJson() const {
-  std::string out = "{\"spans\":[";
+  std::string out = "{\"query_id\":";
+  out += std::to_string(query_id_);
+  out += ",\"spans\":[";
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     if (i > 0) out += ',';
     const SpanRecord& span = spans_[i];
     out += "{\"name\":\"";
     out += EscapeJson(span.name);
-    out += "\",\"duration_ns\":";
+    out += "\",\"start_ns\":";
+    out += std::to_string(span.start_ns);
+    out += ",\"duration_ns\":";
     out += std::to_string(span.duration.count());
     out += ",\"ok\":";
     out += span.ok ? "true" : "false";
@@ -145,6 +166,22 @@ std::string QueryTrace::ToJson() const {
       out += EscapeJson(span.note);
       out += '"';
     }
+    out += "}";
+  }
+  out += "],\"block_spans\":[";
+  for (std::size_t i = 0; i < block_spans_.size(); ++i) {
+    if (i > 0) out += ',';
+    const BlockSpan& span = block_spans_[i];
+    out += "{\"block\":";
+    out += std::to_string(span.block_index);
+    out += ",\"worker_id\":";
+    out += std::to_string(span.worker_id);
+    out += ",\"start_ns\":";
+    out += std::to_string(span.start_ns);
+    out += ",\"duration_ns\":";
+    out += std::to_string(span.duration_ns);
+    out += ",\"ok\":";
+    out += span.ok ? "true" : "false";
     out += "}";
   }
   out += "],\"gauges\":{";
@@ -167,6 +204,7 @@ void ScopedTimer::Stop() {
   stopped_ = true;
   SpanRecord span;
   span.name = std::move(name_);
+  span.start_ns = NanosSinceTraceEpoch(start_);
   span.duration = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - start_);
   span.ok = ok_;

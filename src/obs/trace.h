@@ -4,16 +4,24 @@
 // pipeline stage (span) with wall time and outcome, plus a small set of
 // named gauges for DP-specific facts (epsilon charged, noise scale, block
 // count, gamma). The runtime builds one trace per query and attaches it to
-// the QueryReport; the service layer summarises it into the audit log.
+// the QueryReport; the service layer summarises it into the audit log and
+// retains recent traces in an introspect::TraceRing for /tracez export.
 //
 // A trace is owned and written by the thread coordinating one query; it is
-// NOT thread-safe. Worker threads never touch it — per-block facts are
+// NOT thread-safe. Worker threads never touch it — per-block facts
+// (including the BlockSpans carrying each block's worker-thread id) are
 // folded in by the coordinator after the fan-out joins.
+//
+// All span start offsets are nanoseconds since the process-wide TraceEpoch,
+// so spans from concurrently executing queries share one timeline and can
+// be rendered together (e.g. as Chrome trace_event JSON).
 
 #ifndef GUPT_OBS_TRACE_H_
 #define GUPT_OBS_TRACE_H_
 
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -22,23 +30,59 @@
 namespace gupt {
 namespace obs {
 
+/// The process-wide monotonic zero point for span start offsets (fixed the
+/// first time anything asks for it).
+std::chrono::steady_clock::time_point TraceEpoch();
+
+/// Nanoseconds between TraceEpoch() and `tp`.
+std::int64_t NanosSinceTraceEpoch(std::chrono::steady_clock::time_point tp);
+
+/// Process-unique id for one query (monotone from 1). Assigned by the
+/// runtime when a query enters the pipeline; carried by its trace, its log
+/// lines (common/logging ScopedLogQueryId) and its /tracez spans.
+std::uint64_t NextQueryId();
+
 /// One completed pipeline stage.
 struct SpanRecord {
   std::string name;
   std::chrono::nanoseconds duration{0};
+  /// Start offset in nanoseconds since TraceEpoch(); negative = unknown
+  /// (a producer that only measured the duration).
+  std::int64_t start_ns = -1;
   /// False when the stage returned an error (the query then failed).
   bool ok = true;
   /// Free-form detail, e.g. "l=64 beta=418" for the partition stage.
   std::string note;
 };
 
+/// One per-block chamber execution inside the execute_blocks fan-out.
+/// Recorded separately from the stage spans so the stage vocabulary (and
+/// the audit log's one-line summary) stays compact while /tracez can still
+/// render the cross-thread fan-out.
+struct BlockSpan {
+  std::size_t block_index = 0;
+  /// Stable ThreadPool worker id of the executing thread; 0 when the block
+  /// ran sequentially on the coordinating thread.
+  int worker_id = 0;
+  std::int64_t start_ns = 0;  // nanoseconds since TraceEpoch()
+  std::int64_t duration_ns = 0;
+  /// False when the block's output is the fallback constant.
+  bool ok = true;
+};
+
 /// The trace of one query through the GUPT pipeline.
 class QueryTrace {
  public:
   void AddSpan(SpanRecord span) { spans_.push_back(std::move(span)); }
+  void AddBlockSpan(BlockSpan span) { block_spans_.push_back(span); }
   void SetGauge(const std::string& name, double value);
 
+  /// The process-unique query id (0 until the runtime assigns one).
+  std::uint64_t query_id() const { return query_id_; }
+  void set_query_id(std::uint64_t id) { query_id_ = id; }
+
   const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<BlockSpan>& block_spans() const { return block_spans_; }
   const std::vector<std::pair<std::string, double>>& gauges() const {
     return gauges_;
   }
@@ -54,11 +98,14 @@ class QueryTrace {
   ///   "plan=1.2ms charge=3us exec=45ms ... | epsilon_charged=0.5 ..."
   std::string Summary() const;
 
-  /// Full structured dump: {"spans":[...],"gauges":{...}}.
+  /// Full structured dump:
+  /// {"query_id":...,"spans":[...],"block_spans":[...],"gauges":{...}}.
   std::string ToJson() const;
 
  private:
+  std::uint64_t query_id_ = 0;
   std::vector<SpanRecord> spans_;
+  std::vector<BlockSpan> block_spans_;
   // Insertion-ordered so the summary reads in pipeline order; a query
   // records a handful of gauges, so linear lookup is fine.
   std::vector<std::pair<std::string, double>> gauges_;

@@ -1,14 +1,64 @@
 #include "service/gupt_service.h"
 
+#include <chrono>
 #include <sstream>
 #include <utility>
 
+#include "common/logging.h"
 #include "data/budget_store.h"
+#include "obs/introspect/trace_event.h"
 
 namespace gupt {
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// 17 significant digits: enough for a double to round-trip exactly, so
+/// /budgetz totals can be compared against the accountant bit-for-bit.
+std::string JsonDouble(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
 
 GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
-    : options_(std::move(options)), registry_(std::move(registry)) {
+    : options_(std::move(options)),
+      registry_(std::move(registry)),
+      trace_ring_(options_.trace_ring_capacity) {
   runtime_ = std::make_unique<GuptRuntime>(&manager_, options_.runtime);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
   metrics_.requests_accepted = metrics.GetCounter(
@@ -32,14 +82,177 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   metrics_.audit_records = metrics.GetCounter(
       "gupt_service_audit_records_total",
       "Audit records ever written (survives ring-buffer rotation).");
+  metrics_.traces_recorded = metrics.GetCounter(
+      "gupt_introspect_traces_total",
+      "Completed query traces pushed into the /tracez ring.");
+  metrics_.traces_retained = metrics.GetGauge(
+      "gupt_introspect_traces_retained_count",
+      "Completed query traces currently retained for /tracez.");
   admission_pool_ = std::make_unique<ThreadPool>(
       options_.admission_workers > 0 ? options_.admission_workers : 1);
+  if (options_.introspect_port >= 0) {
+    Result<int> started = StartIntrospection(options_.introspect_port);
+    if (!started.ok()) {
+      GUPT_LOG(kError) << "introspection server failed to start: "
+                       << started.status().ToString();
+    }
+  }
 }
 
 GuptService::~GuptService() {
+  // Stop serving scrapes before draining: a request that arrives during
+  // teardown must not observe a half-destroyed service.
+  StopIntrospection();
   // The pool's destructor drains the queue, so every future returned by
   // SubmitQueryAsync completes before the members it references go away.
   admission_pool_.reset();
+}
+
+Result<int> GuptService::StartIntrospection(int port) {
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  if (introspect_ != nullptr && introspect_->serving()) {
+    return Status::AlreadyExists("introspection server already on port " +
+                                 std::to_string(introspect_->port()));
+  }
+  obs::introspect::HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.handler_threads =
+      options_.introspect_handler_threads > 0
+          ? options_.introspect_handler_threads
+          : 1;
+  auto server = std::make_unique<obs::introspect::HttpServer>(server_options);
+  InstallIntrospectionHandlers(server.get());
+  std::string error;
+  if (!server->Start(&error)) {
+    return Status::Internal("introspection server failed to bind: " + error);
+  }
+  introspect_ = std::move(server);
+  GUPT_LOG(kInfo) << "introspection server serving on 127.0.0.1:"
+                  << introspect_->port();
+  return introspect_->port();
+}
+
+void GuptService::StopIntrospection() {
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  if (introspect_ != nullptr) introspect_->Stop();
+}
+
+int GuptService::introspect_port() const {
+  std::lock_guard<std::mutex> lock(introspect_mu_);
+  return introspect_ != nullptr && introspect_->serving() ? introspect_->port()
+                                                          : -1;
+}
+
+bool GuptService::Healthy(std::string* reason) const {
+  if (admission_pool_ == nullptr) {
+    if (reason != nullptr) *reason = "admission pool not running (draining)";
+    return false;
+  }
+  const std::size_t capacity = options_.admission_queue_capacity;
+  const std::size_t depth =
+      admission_in_flight_.load(std::memory_order_acquire);
+  if (capacity > 0 && depth >= capacity) {
+    if (reason != nullptr) {
+      *reason = "admission queue full (" + std::to_string(depth) + "/" +
+                std::to_string(capacity) + ")";
+    }
+    return false;
+  }
+  if (reason != nullptr) reason->clear();
+  return true;
+}
+
+void GuptService::InstallIntrospectionHandlers(
+    obs::introspect::HttpServer* server) {
+  using obs::introspect::HttpRequest;
+  using obs::introspect::HttpResponse;
+  server->Handle("/metrics", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = obs::MetricsRegistry::Get().ExportPrometheus();
+    return response;
+  });
+  server->Handle("/varz", [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = obs::MetricsRegistry::Get().ExportJson();
+    return response;
+  });
+  server->Handle("/healthz", [this](const HttpRequest&) {
+    HttpResponse response;
+    std::string reason;
+    if (Healthy(&reason)) {
+      response.body = "ok\n";
+    } else {
+      response.status = 503;
+      response.body = reason + "\n";
+    }
+    return response;
+  });
+  server->Handle("/budgetz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.Param("format", "text") == "json") {
+      response.content_type = "application/json";
+      response.body = BudgetzJson();
+    } else {
+      response.body = BudgetzText();
+    }
+    return response;
+  });
+  server->Handle("/tracez", [this](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body =
+        obs::introspect::ExportChromeTrace(trace_ring_.Snapshot());
+    return response;
+  });
+}
+
+std::string GuptService::BudgetzJson() const {
+  std::ostringstream out;
+  out << "{\"datasets\":[";
+  bool first_dataset = true;
+  for (const DatasetBudgetSnapshot& snapshot : manager_.BudgetSnapshots()) {
+    if (!first_dataset) out << ',';
+    first_dataset = false;
+    const dp::AccountantSnapshot& budget = snapshot.budget;
+    out << "{\"dataset\":\"" << JsonEscape(snapshot.dataset) << "\""
+        << ",\"total_epsilon\":" << JsonDouble(budget.total_epsilon)
+        << ",\"spent_epsilon\":" << JsonDouble(budget.spent_epsilon)
+        << ",\"remaining_epsilon\":" << JsonDouble(budget.remaining_epsilon())
+        << ",\"num_charges\":" << budget.charges.size() << ",\"charges\":[";
+    bool first_charge = true;
+    for (const dp::BudgetCharge& charge : budget.charges) {
+      if (!first_charge) out << ',';
+      first_charge = false;
+      out << "{\"label\":\"" << JsonEscape(charge.label)
+          << "\",\"epsilon\":" << JsonDouble(charge.epsilon) << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string GuptService::BudgetzText() const {
+  std::vector<DatasetBudgetSnapshot> snapshots = manager_.BudgetSnapshots();
+  std::ostringstream out;
+  out.precision(17);
+  out << "privacy-budget ledger: " << snapshots.size() << " dataset(s)\n";
+  for (const DatasetBudgetSnapshot& snapshot : snapshots) {
+    const dp::AccountantSnapshot& budget = snapshot.budget;
+    out << "\ndataset " << snapshot.dataset << "\n"
+        << "  epsilon total     " << budget.total_epsilon << "\n"
+        << "  epsilon spent     " << budget.spent_epsilon << "\n"
+        << "  epsilon remaining " << budget.remaining_epsilon() << "\n"
+        << "  charges (" << budget.charges.size() << "):\n";
+    std::size_t index = 0;
+    for (const dp::BudgetCharge& charge : budget.charges) {
+      out << "    [" << ++index << "] epsilon=" << charge.epsilon << "  "
+          << charge.label << "\n";
+    }
+  }
+  return out.str();
 }
 
 std::string GuptService::DumpMetrics(MetricsFormat format) {
@@ -262,6 +475,24 @@ Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
         ->Increment();
   }
   AppendAuditRecord(std::move(record));
+
+  if (outcome.ok() && !from_cache && trace_ring_.capacity() > 0) {
+    obs::introspect::CompletedTrace completed;
+    completed.query_id = outcome->trace.query_id();
+    completed.dataset = request.dataset;
+    completed.program = request.program.name;
+    completed.analyst =
+        request.analyst.empty() ? "<anonymous>" : request.analyst;
+    completed.ok = true;
+    // ProcessQuery runs on an admission worker, so this is the stable pool
+    // id of the coordinating thread — the lane stage spans render on.
+    completed.coordinator_tid = ThreadPool::CurrentWorkerId();
+    completed.completed_at = std::chrono::system_clock::now();
+    completed.trace = outcome->trace;
+    trace_ring_.Push(std::move(completed));
+    metrics_.traces_recorded->Increment();
+    metrics_.traces_retained->Set(static_cast<double>(trace_ring_.size()));
+  }
 
   if (outcome.ok() && !from_cache && !options_.ledger_path.empty()) {
     // The ledger write is part of accepting the query: failing to persist

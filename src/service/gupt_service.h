@@ -31,6 +31,8 @@
 #include "common/thread_pool.h"
 #include "core/gupt.h"
 #include "data/dataset_manager.h"
+#include "obs/introspect/http_server.h"
+#include "obs/introspect/trace_ring.h"
 #include "service/program_registry.h"
 
 namespace gupt {
@@ -62,6 +64,15 @@ struct ServiceOptions {
   /// Bound on queries admitted but not yet answered (queued + running).
   /// Submissions beyond it are refused with StatusCode::kUnavailable.
   std::size_t admission_queue_capacity = 256;
+  /// Port for the embedded introspection HTTP server (/metrics, /varz,
+  /// /healthz, /budgetz, /tracez). -1 disables it; 0 binds an ephemeral
+  /// port (read back with introspect_port()). Loopback-only.
+  int introspect_port = -1;
+  /// Handler threads for the introspection server.
+  std::size_t introspect_handler_threads = 2;
+  /// Completed query traces retained for /tracez (oldest rotate out).
+  /// 0 disables trace retention.
+  std::size_t trace_ring_capacity = 128;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -153,6 +164,33 @@ class GuptService {
   /// stay monotone so gaps at the front are evident.
   std::vector<AuditRecord> audit_log() const;
 
+  /// Starts the embedded introspection server on `port` (0 = ephemeral)
+  /// and returns the bound port. Called automatically at construction when
+  /// options.introspect_port >= 0. Errors if already serving or the port
+  /// cannot be bound.
+  Result<int> StartIntrospection(int port);
+
+  /// Stops the introspection server (idempotent; also runs at destruction
+  /// before the admission pool drains, so no scrape can observe a
+  /// half-destroyed service).
+  void StopIntrospection();
+
+  /// The introspection server's bound port, or -1 when not serving.
+  int introspect_port() const;
+
+  /// Readiness: true when the service can accept a query right now —
+  /// admission queue not full and the admission pool alive. On false,
+  /// *reason (if non-null) says which check failed. Served as /healthz.
+  bool Healthy(std::string* reason = nullptr) const;
+
+  /// The /tracez retention ring (exposed for tests and embedders).
+  const obs::introspect::TraceRing& trace_ring() const { return trace_ring_; }
+
+  /// Per-dataset budget ledgers, as served by /budgetz.
+  std::vector<DatasetBudgetSnapshot> BudgetSnapshots() const {
+    return manager_.BudgetSnapshots();
+  }
+
   /// Dump of the process-global metrics registry (counters, gauges, and
   /// histograms from every layer: runtime, chambers, thread pool, service).
   static std::string DumpMetrics(MetricsFormat format);
@@ -169,6 +207,13 @@ class GuptService {
 
  private:
   Result<QueryReport> Execute(const QueryRequest& request);
+
+  /// Registers the endpoint handlers on a not-yet-started server.
+  void InstallIntrospectionHandlers(obs::introspect::HttpServer* server);
+
+  /// /budgetz bodies.
+  std::string BudgetzJson() const;
+  std::string BudgetzText() const;
 
   /// The synchronous body an admission worker runs: cache lookup, pipeline
   /// execution, audit, ledger persist.
@@ -225,12 +270,24 @@ class GuptService {
     obs::Gauge* admission_queue_depth;
     obs::Counter* cache_evictions;
     obs::Counter* audit_records;
+    obs::Counter* traces_recorded;
+    obs::Gauge* traces_retained;
   };
   Metrics metrics_;
 
-  /// Declared last so it is destroyed first: draining admission workers
-  /// still touch every member above.
+  /// Completed traces retained for /tracez.
+  obs::introspect::TraceRing trace_ring_;
+
+  mutable std::mutex introspect_mu_;
+
+  /// Declared after everything its draining workers touch, so those
+  /// members are still alive while the queue empties.
   std::unique_ptr<ThreadPool> admission_pool_;
+
+  /// Declared last of all so the server is destroyed (stopped) first:
+  /// in-flight scrapes read every member above. The destructor stops it
+  /// explicitly before draining the admission pool anyway.
+  std::unique_ptr<obs::introspect::HttpServer> introspect_;
 };
 
 }  // namespace gupt

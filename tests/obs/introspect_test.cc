@@ -1,0 +1,265 @@
+// Unit tests for the introspection building blocks: the embedded HTTP
+// server (over real loopback sockets), the completed-trace ring, and the
+// Chrome trace_event exporter.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minijson.h"
+#include "obs/introspect/http_client.h"
+#include "obs/introspect/http_server.h"
+#include "obs/introspect/trace_event.h"
+#include "obs/introspect/trace_ring.h"
+#include "obs/trace.h"
+
+namespace gupt {
+namespace obs {
+namespace introspect {
+namespace {
+
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+HttpServerOptions EphemeralOptions() {
+  HttpServerOptions options;
+  options.port = 0;  // kernel-assigned; no collisions across parallel tests
+  return options;
+}
+
+TEST(HttpServerTest, ServesRegisteredHandlerOverARealSocket) {
+  HttpServer server(EphemeralOptions());
+  server.Handle("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong\n";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.serving());
+
+  HttpGetResult result = HttpGet("127.0.0.1", server.port(), "/ping");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.status, 200);
+  EXPECT_EQ(result.body, "pong\n");
+  server.Stop();
+  EXPECT_FALSE(server.serving());
+}
+
+TEST(HttpServerTest, UnknownPathIs404AndIndexListsRegisteredPaths) {
+  HttpServer server(EphemeralOptions());
+  server.Handle("/metrics", [](const HttpRequest&) { return HttpResponse{}; });
+  server.Handle("/budgetz", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start());
+
+  HttpGetResult missing = HttpGet("127.0.0.1", server.port(), "/nope");
+  ASSERT_TRUE(missing.ok) << missing.error;
+  EXPECT_EQ(missing.status, 404);
+
+  HttpGetResult index = HttpGet("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(index.ok) << index.error;
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.body.find("/budgetz"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, QueryParametersReachTheHandler) {
+  HttpServer server(EphemeralOptions());
+  server.Handle("/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.Param("format", "none") + "|" +
+                    request.Param("missing", "fallback");
+    return response;
+  });
+  ASSERT_TRUE(server.Start());
+  HttpGetResult result =
+      HttpGet("127.0.0.1", server.port(), "/echo?format=json&x=1");
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.body, "json|fallback");
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentScrapesAllSucceed) {
+  HttpServer server(EphemeralOptions());
+  std::atomic<int> served{0};
+  server.Handle("/busy", [&served](const HttpRequest&) {
+    served.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.body = "done";
+    return response;
+  });
+  ASSERT_TRUE(server.Start());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> successes{0};
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&server, &successes]() {
+      HttpGetResult result = HttpGet("127.0.0.1", server.port(), "/busy");
+      if (result.ok && result.status == 200 && result.body == "done") {
+        successes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(successes.load(), kClients);
+  EXPECT_EQ(served.load(), kClients);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndDestructorStops) {
+  auto server = std::make_unique<HttpServer>(EphemeralOptions());
+  server->Handle("/x", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server->Start());
+  server->Stop();
+  server->Stop();          // second stop: no-op
+  server.reset();          // destructor after Stop: no crash
+
+  HttpServer unstarted(EphemeralOptions());
+  unstarted.Stop();        // stop before start: no-op
+}
+
+TEST(TraceRingTest, BoundedRotationKeepsNewestAndCountsTotal) {
+  TraceRing ring(3);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    CompletedTrace completed;
+    completed.query_id = id;
+    ring.Push(std::move(completed));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+  std::vector<CompletedTrace> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept.front().query_id, 3u);  // oldest retained
+  EXPECT_EQ(kept.back().query_id, 5u);   // newest
+}
+
+TEST(TraceRingTest, ZeroCapacityDisablesRetention) {
+  TraceRing ring(0);
+  ring.Push(CompletedTrace{});
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+CompletedTrace MakeFanOutTrace(std::uint64_t query_id) {
+  CompletedTrace completed;
+  completed.query_id = query_id;
+  completed.dataset = "ages";
+  completed.program = "mean";
+  completed.analyst = "alice";
+  completed.coordinator_tid = 9;
+  completed.trace.set_query_id(query_id);
+  completed.trace.AddSpan(
+      {"partition", std::chrono::microseconds(50), 1000, true, "l=4"});
+  completed.trace.AddSpan(
+      {"execute_blocks", std::chrono::microseconds(400), 2000, true, ""});
+  // Four blocks fanned over two distinct pool workers.
+  completed.trace.AddBlockSpan({0, 1, 2100, 90000, true});
+  completed.trace.AddBlockSpan({1, 2, 2200, 80000, true});
+  completed.trace.AddBlockSpan({2, 1, 95000, 70000, true});
+  completed.trace.AddBlockSpan({3, 2, 85000, 60000, false});
+  completed.trace.SetGauge("epsilon_charged", 0.5);
+  return completed;
+}
+
+TEST(TraceEventTest, ExportsValidChromeTraceJson) {
+  std::string json = ExportChromeTrace({MakeFanOutTrace(42)});
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  EXPECT_NE(root.Find("displayTimeUnit"), nullptr);
+
+  std::set<double> block_tids;
+  int stage_spans = 0, block_spans = 0, query_spans = 0, metadata = 0;
+  for (const JsonValue& event : events->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      ++metadata;
+      continue;
+    }
+    EXPECT_EQ(ph->string, "X");
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("dur"), nullptr);
+    EXPECT_GT(event.Find("dur")->number, 0.0);
+    const std::string cat = event.Find("cat")->string;
+    if (cat == "stage") {
+      ++stage_spans;
+      EXPECT_DOUBLE_EQ(event.Find("tid")->number, 9.0);  // coordinator lane
+    } else if (cat == "block") {
+      ++block_spans;
+      block_tids.insert(event.Find("tid")->number);
+    } else if (cat == "query") {
+      ++query_spans;
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->Find("query_id")->number, 42.0);
+      EXPECT_EQ(args->Find("dataset")->string, "ages");
+      EXPECT_EQ(args->Find("program")->string, "mean");
+      ASSERT_NE(args->Find("epsilon_charged"), nullptr);
+      EXPECT_DOUBLE_EQ(args->Find("epsilon_charged")->number, 0.5);
+    }
+  }
+  EXPECT_EQ(query_spans, 1);
+  EXPECT_EQ(stage_spans, 2);
+  EXPECT_EQ(block_spans, 4);
+  EXPECT_EQ(block_tids, (std::set<double>{1.0, 2.0}));
+  EXPECT_GT(metadata, 0);  // thread_name lane labels
+}
+
+TEST(TraceEventTest, MultipleTracesShareOneTimeline) {
+  std::string json = ExportChromeTrace({MakeFanOutTrace(1), MakeFanOutTrace(2)});
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json;
+  int query_spans = 0;
+  for (const JsonValue& event : root.Find("traceEvents")->array) {
+    if (event.Find("cat") != nullptr && event.Find("cat")->string == "query") {
+      ++query_spans;
+    }
+  }
+  EXPECT_EQ(query_spans, 2);
+}
+
+TEST(TraceEventTest, EmptyRingProducesAValidEmptyDocument) {
+  std::string json = ExportChromeTrace({});
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json;
+  EXPECT_TRUE(root.Find("traceEvents")->array.empty());
+}
+
+TEST(TraceEventTest, SpansWithoutStartOffsetsAreStackedNotDropped) {
+  CompletedTrace completed;
+  completed.query_id = 7;
+  completed.program = "sum";
+  // start_ns = -1: a producer that only measured durations.
+  completed.trace.AddSpan(
+      {"block_plan", std::chrono::microseconds(10), -1, true, ""});
+  completed.trace.AddSpan(
+      {"noise", std::chrono::microseconds(5), -1, true, ""});
+  std::string json = ExportChromeTrace({completed});
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json, &root)) << json;
+  int stage_spans = 0;
+  for (const JsonValue& event : root.Find("traceEvents")->array) {
+    if (event.Find("cat") != nullptr && event.Find("cat")->string == "stage") {
+      ++stage_spans;
+    }
+  }
+  EXPECT_EQ(stage_spans, 2);
+}
+
+}  // namespace
+}  // namespace introspect
+}  // namespace obs
+}  // namespace gupt

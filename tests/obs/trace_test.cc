@@ -16,9 +16,9 @@ using ::gupt::testjson::ParseJson;
 
 TEST(QueryTraceTest, SpansRecordInExecutionOrder) {
   QueryTrace trace;
-  trace.AddSpan({"block_plan", std::chrono::microseconds(10), true, ""});
-  trace.AddSpan({"partition", std::chrono::microseconds(20), true, "l=4"});
-  trace.AddSpan({"noise", std::chrono::microseconds(5), false, ""});
+  trace.AddSpan({"block_plan", std::chrono::microseconds(10), -1, true, ""});
+  trace.AddSpan({"partition", std::chrono::microseconds(20), -1, true, "l=4"});
+  trace.AddSpan({"noise", std::chrono::microseconds(5), -1, false, ""});
   EXPECT_EQ(trace.StageNames(),
             (std::vector<std::string>{"block_plan", "partition", "noise"}));
   EXPECT_TRUE(trace.HasStage("partition"));
@@ -74,8 +74,8 @@ TEST(ScopedTimerTest, NullTraceIsSkipped) {
 
 TEST(QueryTraceTest, SummaryReadsInPipelineOrder) {
   QueryTrace trace;
-  trace.AddSpan({"block_plan", std::chrono::microseconds(12), true, ""});
-  trace.AddSpan({"noise", std::chrono::nanoseconds(1500), true, ""});
+  trace.AddSpan({"block_plan", std::chrono::microseconds(12), -1, true, ""});
+  trace.AddSpan({"noise", std::chrono::nanoseconds(1500), -1, true, ""});
   trace.SetGauge("epsilon_charged", 0.5);
   trace.SetGauge("block_count", 64.0);
   std::string summary = trace.Summary();
@@ -100,8 +100,8 @@ TEST(QueryTraceTest, SummaryReadsInPipelineOrder) {
 TEST(QueryTraceTest, ToJsonRoundTripsThroughParser) {
   QueryTrace trace;
   trace.AddSpan(
-      {"partition", std::chrono::microseconds(20), true, "l=4 beta=25"});
-  trace.AddSpan({"noise", std::chrono::microseconds(3), false, ""});
+      {"partition", std::chrono::microseconds(20), -1, true, "l=4 beta=25"});
+  trace.AddSpan({"noise", std::chrono::microseconds(3), -1, false, ""});
   trace.SetGauge("epsilon_charged", 0.25);
 
   JsonValue root;

@@ -11,7 +11,14 @@ convention enforced by obs::MetricsRegistry::IsValidMetricName:
 
 Keep ALLOWED_UNITS in sync with IsUnitWord() in src/obs/metrics.cc.
 
-Usage: check_metrics_names.py [repo_root]   (exit 0 = clean, 1 = violations)
+Usage:
+  check_metrics_names.py [repo_root]      lint registrations in the sources
+  check_metrics_names.py --payload FILE...  lint a scraped Prometheus
+      exposition payload instead: every sample name must follow the
+      convention, allowing the _bucket/_sum/_count suffixes histograms
+      append to their base name.
+
+Exit 0 = clean, 1 = violations (or an empty payload).
 """
 
 import pathlib
@@ -55,18 +62,76 @@ def metric_names(root: pathlib.Path):
                 yield path.relative_to(root), line, match.group(1)
 
 
+def valid_metric_name(name: str) -> bool:
+    words = name.split("_")
+    return bool(
+        NAME_RE.match(name)
+        and words[0] == "gupt"
+        and words[-1] in ALLOWED_UNITS
+    )
+
+
+def valid_sample_name(name: str) -> bool:
+    """A payload sample: the metric name itself, or a histogram series
+    (<base>_bucket / _sum / _count) whose base name passes."""
+    if valid_metric_name(name):
+        return True
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and valid_metric_name(name[: -len(suffix)]):
+            return True
+    return False
+
+
+def payload_sample_names(text: str):
+    """Sample names in a Prometheus text-exposition payload, with line
+    numbers. Comment (#) and blank lines are skipped."""
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = re.split(r"[{\s]", line, maxsplit=1)[0]
+        if name:
+            yield number, name
+
+
+def lint_payloads(paths) -> int:
+    violations = []
+    seen = 0
+    for path in paths:
+        text = pathlib.Path(path).read_text(encoding="utf-8", errors="replace")
+        for number, name in payload_sample_names(text):
+            seen += 1
+            if not valid_sample_name(name):
+                violations.append((path, number, name))
+    if not seen:
+        print("check_metrics_names: payload has no samples", file=sys.stderr)
+        return 1
+    for path, number, name in violations:
+        print(
+            f"{path}:{number}: sample name '{name}' violates "
+            "gupt_<subsystem>_<name>_<unit>[_bucket|_sum|_count] "
+            f"(units: {', '.join(sorted(ALLOWED_UNITS))})",
+            file=sys.stderr,
+        )
+    if violations:
+        return 1
+    print(f"check_metrics_names: {seen} payload samples ok")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--payload":
+        if len(sys.argv) < 3:
+            print("usage: check_metrics_names.py --payload FILE...",
+                  file=sys.stderr)
+            return 2
+        return lint_payloads(sys.argv[2:])
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     violations = []
     seen = 0
     for path, line, name in metric_names(root):
         seen += 1
-        words = name.split("_")
-        if (
-            not NAME_RE.match(name)
-            or words[0] != "gupt"
-            or words[-1] not in ALLOWED_UNITS
-        ):
+        if not valid_metric_name(name):
             violations.append((path, line, name))
     if not seen:
         print("check_metrics_names: found no metric registrations", file=sys.stderr)

@@ -153,12 +153,18 @@ int Usage() {
       "                    --budget TOTAL [--ledger FILE] [--block-size N]\n"
       "                    [--gamma G] [--mode tight|loose] [--workers N]\n"
       "                    [--seed S] [--analyst NAME] [--metrics[=prom|json]]\n"
+      "                    [--metrics-out FILE] [--serve PORT]\n"
       "                    [--async] [--queue-depth N]\n"
       "  gupt_cli selftest\n"
       "\n"
       "--async submits through the service's bounded admission queue\n"
       "(SubmitQueryAsync) and waits on the returned future; --queue-depth\n"
-      "bounds that queue (submissions beyond it are refused, not blocked).\n");
+      "bounds that queue (submissions beyond it are refused, not blocked).\n"
+      "--serve starts the introspection HTTP server (/metrics, /varz,\n"
+      "/healthz, /budgetz, /tracez) on 127.0.0.1:PORT (0 = ephemeral; the\n"
+      "bound port is printed) and keeps the process alive after the query\n"
+      "until stdin reaches EOF. --metrics-out writes the final metrics dump\n"
+      "(--metrics format, default prom) to FILE.\n");
   return 2;
 }
 
@@ -239,9 +245,24 @@ int RunQuery(const Args& args) {
     service_options.admission_queue_capacity = static_cast<std::size_t>(
         std::strtoul(queue_depth_text.c_str(), nullptr, 10));
   }
+  const std::string serve_text = Optional(args, "serve", "");
+  if (!serve_text.empty()) {
+    service_options.introspect_port =
+        static_cast<int>(std::strtol(serve_text.c_str(), nullptr, 10));
+  }
 
   GuptService service(service_options,
                       ProgramRegistry::WithStandardPrograms());
+  if (!serve_text.empty()) {
+    int port = service.introspect_port();
+    if (port < 0) {
+      std::fprintf(stderr, "introspection server failed to start\n");
+      return 1;
+    }
+    // Machine-readable so a driver script can discover an ephemeral port.
+    std::printf("introspection: serving on http://127.0.0.1:%d/\n", port);
+    std::fflush(stdout);
+  }
   DatasetOptions owner;
   owner.total_epsilon = std::strtod(budget_text->c_str(), nullptr);
   Status registered =
@@ -312,6 +333,31 @@ int RunQuery(const Args& args) {
               report->num_blocks, report->block_size, report->gamma);
   std::printf("trace           : %s\n", report->trace.Summary().c_str());
   if (!MaybeDumpMetrics(args)) return 2;
+
+  const std::string metrics_out = Optional(args, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    const std::string format = Optional(args, "metrics", "prom");
+    std::string dump = GuptService::DumpMetrics(
+        format == "json" ? MetricsFormat::kJson : MetricsFormat::kPrometheus);
+    std::FILE* out = std::fopen(metrics_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fwrite(dump.data(), 1, dump.size(), out);
+    std::fclose(out);
+    std::printf("metrics: written to %s\n", metrics_out.c_str());
+    std::fflush(stdout);
+  }
+
+  if (!serve_text.empty()) {
+    // Hold the service (and its introspection server) up for scraping
+    // until the driver closes our stdin.
+    std::printf("serving: close stdin (Ctrl-D) to exit\n");
+    std::fflush(stdout);
+    while (std::fgetc(stdin) != EOF) {
+    }
+  }
   return 0;
 }
 

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the live introspection server.
+
+Drives the built gupt_cli binary the way an operator would:
+
+  1. writes a small CSV dataset,
+  2. runs `gupt_cli query --serve=0 --gamma 3 --workers 4 --metrics-out=...`
+     (ephemeral introspection port, parsed from stdout),
+  3. while the process holds on stdin, scrapes /healthz, /metrics,
+     /budgetz?format=json, /varz, and /tracez over a real socket,
+  4. lints both the scraped /metrics payload and the --metrics-out file
+     with check_metrics_names.py --payload,
+  5. checks the /budgetz ledger arithmetic and that /tracez is valid
+     Chrome trace_event JSON with block spans,
+  6. closes stdin and expects a clean exit.
+
+Usage: introspect_smoke.py /path/to/gupt_cli /path/to/check_metrics_names.py
+"""
+
+import http.client
+import json
+import random
+import re
+import subprocess
+import sys
+import tempfile
+import pathlib
+import time
+
+
+def fail(message: str) -> None:
+    print(f"introspect_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(port: int, target: str, want_status: int = 200) -> tuple[str, str]:
+    """GET http://127.0.0.1:port/target -> (content_type, body)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        connection.request("GET", target)
+        response = connection.getresponse()
+        body = response.read().decode("utf-8", errors="replace")
+        if response.status != want_status:
+            fail(
+                f"GET {target}: status {response.status} "
+                f"(want {want_status}): {body[:200]}"
+            )
+        return response.getheader("Content-Type", ""), body
+    finally:
+        connection.close()
+
+
+def read_line(process: subprocess.Popen, pattern: str, deadline: float) -> str:
+    """Reads stdout lines until one matches `pattern` (regex)."""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            fail(f"gupt_cli exited before printing /{pattern}/")
+        sys.stdout.write("  cli| " + line)
+        match = re.search(pattern, line)
+        if match:
+            return line
+    fail(f"timed out waiting for /{pattern}/")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cli = sys.argv[1]
+    checker = sys.argv[2]
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="gupt_introspect_smoke_"))
+    csv_path = workdir / "ages.csv"
+    metrics_out = workdir / "metrics.prom"
+    scraped = workdir / "scraped_metrics.prom"
+
+    rng = random.Random(7)
+    rows = "\n".join(str(rng.randint(18, 90)) for _ in range(4000))
+    csv_path.write_text("age\n" + rows + "\n", encoding="utf-8")
+
+    budget, epsilon = 5.0, 0.5
+    process = subprocess.Popen(
+        [
+            cli, "query",
+            f"--data={csv_path}", "--header",
+            "--program=mean", "--params=dim=0",
+            f"--epsilon={epsilon}", "--range=0,150", f"--budget={budget}",
+            "--gamma=3", "--workers=4", "--seed=11",
+            "--serve=0", f"--metrics-out={metrics_out}",
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        serving = read_line(
+            process, r"serving on http://127\.0\.0\.1:(\d+)/", deadline
+        )
+        port = int(re.search(r":(\d+)/", serving).group(1))
+        # The query and the metrics file are done before the hold begins.
+        read_line(process, r"metrics: written to", deadline)
+
+        # --- /healthz -------------------------------------------------------
+        _, health = get(port, "/healthz")
+        if health.strip() != "ok":
+            fail(f"/healthz body: {health!r}")
+
+        # --- /metrics -------------------------------------------------------
+        content_type, payload = get(port, "/metrics")
+        if "text/plain" not in content_type:
+            fail(f"/metrics content type: {content_type}")
+        for needle in (
+            "gupt_runtime_queries_total",
+            "gupt_dp_epsilon_charged_total",
+            "gupt_introspect_requests_total",
+        ):
+            if needle not in payload:
+                fail(f"/metrics payload is missing {needle}")
+        scraped.write_text(payload, encoding="utf-8")
+        for target in (scraped, metrics_out):
+            lint = subprocess.run(
+                [sys.executable, checker, "--payload", str(target)],
+                capture_output=True, text=True,
+            )
+            if lint.returncode != 0:
+                fail(
+                    f"payload lint of {target.name} failed:\n"
+                    f"{lint.stdout}{lint.stderr}"
+                )
+
+        # --- /budgetz -------------------------------------------------------
+        content_type, body = get(port, "/budgetz?format=json")
+        if "application/json" not in content_type:
+            fail(f"/budgetz content type: {content_type}")
+        ledger = json.loads(body)
+        datasets = ledger["datasets"]
+        if len(datasets) != 1 or datasets[0]["dataset"] != "cli":
+            fail(f"/budgetz datasets: {datasets}")
+        entry = datasets[0]
+        if entry["total_epsilon"] != budget:
+            fail(f"total_epsilon {entry['total_epsilon']} != {budget}")
+        if entry["spent_epsilon"] != epsilon:
+            fail(f"spent_epsilon {entry['spent_epsilon']} != {epsilon}")
+        if entry["remaining_epsilon"] != budget - epsilon:
+            fail(f"remaining_epsilon {entry['remaining_epsilon']}")
+        if entry["num_charges"] != 1 or len(entry["charges"]) != 1:
+            fail(f"charges: {entry['charges']}")
+        if abs(sum(c["epsilon"] for c in entry["charges"]) - epsilon) > 0:
+            fail("charge history does not sum to the spent total")
+        _, text_table = get(port, "/budgetz")
+        if "epsilon remaining" not in text_table:
+            fail(f"/budgetz text table: {text_table[:200]!r}")
+
+        # --- /varz ----------------------------------------------------------
+        _, varz = get(port, "/varz")
+        json.loads(varz)
+
+        # --- /tracez --------------------------------------------------------
+        content_type, trace_body = get(port, "/tracez")
+        if "application/json" not in content_type:
+            fail(f"/tracez content type: {content_type}")
+        trace = json.loads(trace_body)
+        events = trace["traceEvents"]
+        blocks = [e for e in events if e.get("cat") == "block"]
+        stages = [e for e in events if e.get("cat") == "stage"]
+        if not blocks:
+            fail("/tracez has no block spans")
+        if not any(e.get("name") == "execute_blocks" for e in stages):
+            fail("/tracez has no execute_blocks stage span")
+        worker_lanes = {e["tid"] for e in blocks}
+        if len(worker_lanes) < 2:
+            fail(f"block spans all on one lane: {worker_lanes}")
+        for event in blocks + stages:
+            if event.get("ph") != "X":
+                fail(f"span without ph=X: {event}")
+
+        # --- index + 404 ----------------------------------------------------
+        _, index = get(port, "/")
+        if "/budgetz" not in index:
+            fail("index does not list /budgetz")
+        get(port, "/nonexistent", want_status=404)
+
+        # --- clean shutdown -------------------------------------------------
+        process.stdin.close()
+        code = process.wait(timeout=30)
+        if code != 0:
+            fail(f"gupt_cli exited with {code}")
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+    print("introspect_smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+// Failpoint overhead: the fig6-style query path through the hosted
+// service with the failpoint sites compiled in (GUPT_FAILPOINTS_ENABLED=ON,
+// the default), measured unarmed vs with a no-op failpoint armed on the
+// hottest site.
+//
+// Unarmed, every site is one relaxed atomic load of the global armed
+// count; the expectation is a median latency within noise of a build with
+// the sites compiled out (the PR-3 BENCH_obs_overhead.json numbers are
+// the comparable baseline for this query shape). Arming even a no-op
+// routes every evaluation through the registry mutex, which is the
+// documented test-only cost. Emits BENCH_failpoint_overhead.json so the
+// claim is machine-checkable.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "service/gupt_service.h"
+#include "testing/failpoints/failpoints.h"
+
+namespace gupt {
+namespace {
+
+constexpr int kWarmupQueries = 3;
+constexpr int kTimedQueries = 31;
+
+QueryRequest MeanRequest() {
+  QueryRequest request;
+  request.analyst = "bench";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = 0.1;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  request.gamma = 3;  // resampled fan-out: the scalability-path shape
+  return request;
+}
+
+/// Median per-query seconds over kTimedQueries runs (same shape and
+/// seed as bench/obs_overhead.cc so the numbers are comparable).
+double MedianQuerySeconds() {
+  ServiceOptions options;
+  options.introspect_port = -1;
+  options.runtime.num_workers = 4;
+  options.runtime.seed = 99;
+  GuptService service(std::move(options),
+                      ProgramRegistry::WithStandardPrograms());
+  synthetic::CensusAgeOptions gen;
+  gen.num_rows = 20000;
+  DatasetOptions ds;
+  ds.total_epsilon = 1e6;
+  if (!service.RegisterDataset("ages", synthetic::CensusAges(gen).value(), ds)
+           .ok()) {
+    std::exit(1);
+  }
+
+  auto one_query = [&service] {
+    auto report = service.SubmitQuery(MeanRequest());
+    if (!report.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  for (int i = 0; i < kWarmupQueries; ++i) one_query();
+  std::vector<double> seconds;
+  seconds.reserve(kTimedQueries);
+  for (int i = 0; i < kTimedQueries; ++i) {
+    seconds.push_back(bench::TimeSeconds(one_query));
+  }
+  std::nth_element(seconds.begin(), seconds.begin() + kTimedQueries / 2,
+                   seconds.end());
+  return seconds[kTimedQueries / 2];
+}
+
+int Run() {
+  bench::PrintHeader(
+      "failpoint_overhead",
+      "query latency with failpoint sites unarmed vs a no-op armed",
+      "unarmed sites are one relaxed load each: median within noise of a "
+      "build without the sites (compare BENCH_obs_overhead.json)");
+
+  failpoints::DisarmAll();
+  const double unarmed_median_s = MedianQuerySeconds();
+
+  // Arm a no-op on the per-block chamber site — the hottest failpoint on
+  // this query shape — so every block execution takes the locked slow
+  // path but injects nothing.
+  failpoints::Config noop;
+  noop.action = failpoints::Action::kNoop;
+  noop.every_nth = 1;
+  if (!failpoints::Arm("exec.chamber.program", noop).ok()) {
+    if (!failpoints::CompiledIn()) {
+      std::printf("# failpoints compiled out: armed run skipped\n");
+    } else {
+      std::fprintf(stderr, "cannot arm exec.chamber.program\n");
+      return 1;
+    }
+  }
+  const double armed_median_s = MedianQuerySeconds();
+  failpoints::DisarmAll();
+
+  const double ratio = armed_median_s / unarmed_median_s;
+  bench::PrintRow({"config", "median_query_s"});
+  bench::PrintRow({"unarmed", bench::Fmt(unarmed_median_s, 6)});
+  bench::PrintRow({"armed_noop", bench::Fmt(armed_median_s, 6)});
+  bench::PrintRow({"ratio", bench::Fmt(ratio, 4)});
+
+  std::FILE* out = std::fopen("BENCH_failpoint_overhead.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_failpoint_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"queries\": %d, \"compiled_in\": %s, "
+               "\"unarmed_median_s\": %.9f, \"armed_noop_median_s\": %.9f, "
+               "\"armed_over_unarmed\": %.6f}\n",
+               kTimedQueries, failpoints::CompiledIn() ? "true" : "false",
+               unarmed_median_s, armed_median_s, ratio);
+  std::fclose(out);
+  std::printf("# wrote BENCH_failpoint_overhead.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

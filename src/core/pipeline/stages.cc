@@ -11,6 +11,7 @@
 #include "core/sample_aggregate.h"
 #include "data/partitioner.h"
 #include "exec/computation_manager.h"
+#include "testing/failpoints/failpoints.h"
 
 namespace gupt {
 namespace {
@@ -128,6 +129,11 @@ PipelineMetrics PipelineMetrics::Register() {
 }
 
 Status PlanStage::Run(QueryContext& ctx) const {
+  // Each stage's fault site sits at Run() entry: an injected error there
+  // models the stage failing before any of its effects, which pins down
+  // the charge semantics (pre-admit fails charge nothing; post-admit fails
+  // keep the up-front charge — tests/core/pipeline_fault_test.cc).
+  GUPT_FAILPOINT_STATUS("core.pipeline.plan");
   if (ctx.plan_resolved) return Status::OK();  // decided by the driver
   const QuerySpec& spec = *ctx.spec;
   const RegisteredDataset& ds = *ctx.ds;
@@ -277,6 +283,7 @@ Status PlanStage::Run(QueryContext& ctx) const {
 }
 
 Status AdmitStage::Run(QueryContext& ctx) const {
+  GUPT_FAILPOINT_STATUS("core.pipeline.admit");
   const QuerySpec& spec = *ctx.spec;
   const QueryPlan& plan = ctx.plan;
   ctx.admitted_at = std::chrono::steady_clock::now();
@@ -342,6 +349,7 @@ Status AdmitStage::Run(QueryContext& ctx) const {
 }
 
 Status PartitionStage::Run(QueryContext& ctx) const {
+  GUPT_FAILPOINT_STATUS("core.pipeline.partition");
   const QueryPlan& plan = ctx.plan;
   const std::size_t n = ctx.ds->data().num_rows();
   StageScope stage(ctx.trace, "partition");
@@ -363,6 +371,7 @@ Status PartitionStage::Run(QueryContext& ctx) const {
 }
 
 Status ExecuteBlocksStage::Run(QueryContext& ctx) const {
+  GUPT_FAILPOINT_STATUS("core.pipeline.execute_blocks");
   {
     StageScope stage(ctx.trace, "execute_blocks");
     Result<BlockExecutionReport> executed = manager_->ExecuteOnBlocks(
@@ -410,6 +419,7 @@ Status ExecuteBlocksStage::Run(QueryContext& ctx) const {
 }
 
 Status AggregateStage::Run(QueryContext& ctx) const {
+  GUPT_FAILPOINT_STATUS("core.pipeline.aggregate");
   const QuerySpec& spec = *ctx.spec;
   const QueryPlan& plan = ctx.plan;
 
@@ -462,6 +472,7 @@ Status AggregateStage::Run(QueryContext& ctx) const {
 }
 
 Status ReleaseStage::Run(QueryContext& ctx) const {
+  GUPT_FAILPOINT_STATUS("core.pipeline.release");
   const QueryPlan& plan = ctx.plan;
   QueryReport& report = ctx.report;
 

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "testing/failpoints/failpoints.h"
+
 namespace gupt {
 namespace {
 
@@ -50,6 +52,9 @@ std::string SerializeBudgets(const DatasetManager& manager) {
 }
 
 Status SaveBudgets(const DatasetManager& manager, const std::string& path) {
+  // Fault site: a failed persist must never un-charge the in-memory
+  // accountant — callers report it but the ledger stays authoritative.
+  GUPT_FAILPOINT_STATUS("data.budget_store.save");
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     return Status::InvalidArgument("cannot open ledger file for writing: " +
@@ -127,6 +132,7 @@ Status RestoreBudgets(DatasetManager* manager, const std::string& text) {
 }
 
 Status LoadBudgets(DatasetManager* manager, const std::string& path) {
+  GUPT_FAILPOINT_STATUS("data.budget_store.load");
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open ledger file: " + path);

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "testing/failpoints/failpoints.h"
+
 namespace gupt {
 
 Status ChamberServices::WriteScratch(const std::string& key,
@@ -72,6 +74,18 @@ struct RunState {
 
 void RunProgram(const std::shared_ptr<RunState>& state) {
   {
+    // Fault site: simulates a misbehaving program without needing one.
+    // Fires in the worker thread, so an injected delay consumes the
+    // chamber deadline exactly as a hung program would; an in-thread
+    // chamber cannot crash safely, so kCrash degrades to the error path
+    // (the program-status → fallback route the paper prescribes).
+    if (failpoints::Eval("exec.chamber.program") !=
+        failpoints::FireAction::kNone) {
+      state->result = Status::PolicyViolation(
+          failpoints::InjectedMessage("exec.chamber.program"));
+      state->done.set_value();
+      return;
+    }
     ChamberServices services(state->policy);
     // Untrusted code must not bring the runtime down: an escaping
     // exception from a detached worker would std::terminate the process,
@@ -99,6 +113,7 @@ void RunProgram(const std::shared_ptr<RunState>& state) {
 Result<ChamberRun> ExecutionChamber::Execute(const ProgramFactory& factory,
                                              const Dataset& block,
                                              const Row& fallback) const {
+  GUPT_FAILPOINT_STATUS("exec.chamber.entry");
   if (!factory) {
     return Status::InvalidArgument("program factory is null");
   }
@@ -171,6 +186,7 @@ Result<ChamberRun> ExecutionChamber::Execute(const ProgramFactory& factory,
     std::this_thread::sleep_until(start + policy_.deadline);
   }
   run.elapsed = std::chrono::steady_clock::now() - start;
+  GUPT_FAILPOINT_STATUS("exec.chamber.exit");
   return run;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exec/process_chamber.h"
+#include "testing/failpoints/failpoints.h"
 
 namespace gupt {
 
@@ -60,6 +61,16 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
     BlockTiming& timing = report.timings[i];
     timing.worker_id = ThreadPool::CurrentWorkerId();
     timing.start = std::chrono::steady_clock::now();
+    // Fault site: an injected error here is an infrastructure failure of
+    // the manager itself (not the untrusted program), so it surfaces as an
+    // ExecuteOnBlocks error rather than a per-block fallback.
+    if (failpoints::Eval("exec.computation_manager.block") !=
+        failpoints::FireAction::kNone) {
+      timing.end = std::chrono::steady_clock::now();
+      statuses[i] = Status::Internal(
+          failpoints::InjectedMessage("exec.computation_manager.block"));
+      return;
+    }
     Result<ChamberRun> run =
         chamber_.policy().process_isolation
             ? ProcessChamber(chamber_.policy())

@@ -13,6 +13,8 @@
 #include <optional>
 #include <thread>
 
+#include "testing/failpoints/failpoints.h"
+
 namespace gupt {
 namespace {
 
@@ -85,7 +87,29 @@ bool ReadFullyWithDeadline(int fd, void* data, std::size_t len,
 /// _exit (never exit) so the parent's stdio/atexit state is untouched.
 [[noreturn]] void ChildMain(int fd, const ProgramFactory& factory,
                             const Dataset& block, std::size_t declared_dims,
-                            const ChamberPolicy& policy) {
+                            const ChamberPolicy& policy,
+                            const failpoints::Outcome& injected) {
+  // The verdict for exec.process_chamber.child was drawn by the PARENT
+  // before fork (counter updates made after fork would be lost with the
+  // child's address space, breaking every-Nth determinism); the child just
+  // enacts it. A crash _exits before any frame byte is written, so the
+  // parent observes EOF — indistinguishable from a real SIGSEGV.
+  if (injected.fired) {
+    if (injected.delay.count() > 0) {
+      std::this_thread::sleep_for(injected.delay);
+    }
+    if (injected.action == failpoints::FireAction::kCrash) {
+      ::_exit(9);
+    }
+    if (injected.action == failpoints::FireAction::kError) {
+      std::uint8_t status = kProgramError;
+      std::uint64_t violations = 0;
+      bool wrote = WriteFully(fd, &status, sizeof(status)) &&
+                   WriteFully(fd, &violations, sizeof(violations));
+      ::close(fd);
+      ::_exit(wrote ? 0 : 1);
+    }
+  }
   ChamberServices services(policy);
   Result<Row> result = Status::Internal("never ran");
   try {
@@ -118,6 +142,7 @@ bool ReadFullyWithDeadline(int fd, void* data, std::size_t len,
 Result<ChamberRun> ProcessChamber::Execute(const ProgramFactory& factory,
                                            const Dataset& block,
                                            const Row& fallback) const {
+  GUPT_FAILPOINT_STATUS("exec.process_chamber.entry");
   if (!factory) {
     return Status::InvalidArgument("program factory is null");
   }
@@ -146,6 +171,12 @@ Result<ChamberRun> ProcessChamber::Execute(const ProgramFactory& factory,
     deadline = start + policy_.deadline;
   }
 
+  // Draw the child's failpoint verdict pre-fork (see ChildMain). The
+  // no-sleep EvalDetailed keeps the parent prompt; the child applies the
+  // delay where it belongs — against its own deadline.
+  failpoints::Outcome injected_child =
+      failpoints::EvalDetailed("exec.process_chamber.child");
+
   pid_t pid = ::fork();
   if (pid < 0) {
     ::close(fds[0]);
@@ -155,7 +186,7 @@ Result<ChamberRun> ProcessChamber::Execute(const ProgramFactory& factory,
   }
   if (pid == 0) {
     ::close(fds[0]);
-    ChildMain(fds[1], factory, block, declared_dims, policy_);
+    ChildMain(fds[1], factory, block, declared_dims, policy_, injected_child);
   }
   ::close(fds[1]);
 

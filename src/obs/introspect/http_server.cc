@@ -247,6 +247,10 @@ void HttpServer::ListenerLoop() {
     if (ready <= 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.on_accept && !options_.on_accept()) {
+      ::close(fd);
+      continue;
+    }
     SetSocketTimeouts(fd);
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -70,6 +70,11 @@ struct HttpServerOptions {
   /// Threads serving accepted connections. Introspection endpoints must
   /// stay responsive while one scrape is slow, so at least 2.
   std::size_t handler_threads = 2;
+  /// Optional admission hook run after accept(): return false to drop the
+  /// connection unanswered. The obs layer knows nothing about callers;
+  /// upper layers use this to inject faults (GuptService wires the
+  /// service.introspect.accept failpoint through it) or to rate-limit.
+  std::function<bool()> on_accept;
 };
 
 class HttpServer {

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "data/budget_store.h"
 #include "obs/introspect/trace_event.h"
+#include "testing/failpoints/failpoints.h"
 
 namespace gupt {
 namespace {
@@ -59,6 +60,10 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
     : options_(std::move(options)),
       registry_(std::move(registry)),
       trace_ring_(options_.trace_ring_capacity) {
+  // The service is the process's long-lived entry point, so it owns env
+  // arming (once per process; a no-op for later instances and when the
+  // variable is unset).
+  failpoints::ArmFromEnvironment();
   runtime_ = std::make_unique<GuptRuntime>(&manager_, options_.runtime);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
   metrics_.requests_accepted = metrics.GetCounter(
@@ -120,6 +125,14 @@ Result<int> GuptService::StartIntrospection(int port) {
       options_.introspect_handler_threads > 0
           ? options_.introspect_handler_threads
           : 1;
+  // Fault site for the accept loop, wired through the obs-layer hook (the
+  // obs layer sits below testing/ and must stay failpoint-free). A fired
+  // failpoint drops the connection unanswered — the client sees a reset,
+  // as if the listener were wedged.
+  server_options.on_accept = [] {
+    return failpoints::Eval("service.introspect.accept") ==
+           failpoints::FireAction::kNone;
+  };
   auto server = std::make_unique<obs::introspect::HttpServer>(server_options);
   InstallIntrospectionHandlers(server.get());
   std::string error;
@@ -409,6 +422,19 @@ std::future<Result<QueryReport>> GuptService::SubmitQueryAsync(
   auto promise = std::make_shared<std::promise<Result<QueryReport>>>();
   std::future<Result<QueryReport>> future = promise->get_future();
 
+  // Fault site: an injected fire takes the same refusal path as a full
+  // queue — audited, counted, nothing charged — so retry-safety claims can
+  // be tested without actually saturating the queue.
+  if (failpoints::Eval("service.admission.submit") !=
+      failpoints::FireAction::kNone) {
+    metrics_.requests_refused->Increment();
+    Status refusal = Status::Unavailable(
+        failpoints::InjectedMessage("service.admission.submit"));
+    AuditAdmissionRefusal(request, refusal);
+    promise->set_value(refusal);
+    return future;
+  }
+
   const std::size_t capacity = options_.admission_queue_capacity;
   std::size_t depth =
       admission_in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -441,6 +467,24 @@ std::future<Result<QueryReport>> GuptService::SubmitQueryAsync(
 }
 
 Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
+  // Fault site: the query dies on the admission worker after its slot was
+  // taken but before any budget is touched. Still audited, so the audit
+  // trail stays complete under injected faults.
+  if (failpoints::Eval("service.process_query") !=
+      failpoints::FireAction::kNone) {
+    Status injected =
+        Status::Internal(failpoints::InjectedMessage("service.process_query"));
+    AuditRecord record;
+    record.analyst = request.analyst.empty() ? "<anonymous>" : request.analyst;
+    record.dataset = request.dataset;
+    record.program = request.program.name;
+    record.epsilon_requested = request.epsilon.value_or(0.0);
+    record.accepted = false;
+    record.status = injected.ToString();
+    metrics_.requests_refused->Increment();
+    AppendAuditRecord(std::move(record));
+    return injected;
+  }
   const std::string cache_key =
       options_.enable_query_cache ? CacheKey(request) : "";
   bool from_cache = false;

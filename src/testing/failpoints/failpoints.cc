@@ -1,0 +1,391 @@
+#include "testing/failpoints/failpoints.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace gupt {
+namespace failpoints {
+namespace {
+
+constexpr char kInjectedTag[] = "' injected fault";
+
+/// FNV-1a, used to give each failpoint name its own Rng stream for the
+/// probability trigger so that two armed failpoints with the same seed
+/// still draw independent, reproducible patterns.
+std::uint64_t HashName(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct State {
+  bool armed = false;
+  Config config;
+  Stats stats;
+  /// Probability stream; reset on every (re-)arming so a given (seed,
+  /// name) pair always yields the same fire pattern.
+  std::unique_ptr<Rng> rng;
+  obs::Counter* evaluations_counter = nullptr;
+  obs::Counter* fires_counter = nullptr;
+};
+
+struct RegistryImpl {
+  std::mutex mu;
+  std::map<std::string, State> states;
+  obs::Gauge* armed_gauge = obs::MetricsRegistry::Get().GetGauge(
+      "gupt_failpoint_armed_count",
+      "Failpoints currently armed (0 in production: armed failpoints "
+      "switch every site onto the slow path).");
+};
+
+RegistryImpl& Registry() {
+  static RegistryImpl* impl = new RegistryImpl();
+  return *impl;
+}
+
+State& StateFor(RegistryImpl& registry, const std::string& name) {
+  State& state = registry.states[name];
+  if (state.evaluations_counter == nullptr) {
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
+    state.evaluations_counter = metrics.GetCounter(
+        "gupt_failpoint_evaluations_total",
+        "Times an armed failpoint site was evaluated, by failpoint name.",
+        {{"name", name}});
+    state.fires_counter = metrics.GetCounter(
+        "gupt_failpoint_fires_total",
+        "Times a failpoint fired (performed its action), by failpoint name.",
+        {{"name", name}});
+  }
+  return state;
+}
+
+std::uint64_t CountArmed(const RegistryImpl& registry) {
+  std::uint64_t armed = 0;
+  for (const auto& [name, state] : registry.states) {
+    (void)name;
+    if (state.armed) ++armed;
+  }
+  return armed;
+}
+
+void PublishArmedCount(RegistryImpl& registry) {
+  std::uint64_t armed = CountArmed(registry);
+  internal::g_armed_count.store(armed, std::memory_order_relaxed);
+  registry.armed_gauge->Set(static_cast<double>(armed));
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<std::uint64_t> g_armed_count{0};
+
+Outcome EvalSlow(const char* name) {
+  RegistryImpl& registry = Registry();
+  std::unique_lock<std::mutex> lock(registry.mu);
+  auto it = registry.states.find(name);
+  if (it == registry.states.end() || !it->second.armed) return {};
+  State& state = it->second;
+  state.stats.evaluations += 1;
+  state.evaluations_counter->Increment();
+
+  bool fired;
+  if (state.config.every_nth > 0) {
+    fired = state.stats.evaluations % state.config.every_nth == 0;
+  } else {
+    fired = state.rng->Bernoulli(state.config.probability);
+  }
+  if (fired && state.config.max_fires > 0 &&
+      state.stats.fires >= state.config.max_fires) {
+    fired = false;
+  }
+  if (!fired) return {};
+
+  state.stats.fires += 1;
+  state.fires_counter->Increment();
+  Outcome outcome;
+  outcome.fired = true;
+  outcome.delay = state.config.delay;
+  switch (state.config.action) {
+    case Action::kNoop:
+      outcome.action = FireAction::kNone;
+      break;
+    case Action::kError:
+      outcome.action = FireAction::kError;
+      break;
+    case Action::kCrash:
+      outcome.action = FireAction::kCrash;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace internal
+
+FireAction Eval(const char* name) {
+  Outcome outcome = EvalDetailed(name);
+  if (outcome.delay.count() > 0) {
+    // Sleep outside the registry lock (EvalDetailed released it) so a
+    // delayed site never stalls other failpoints.
+    std::this_thread::sleep_for(outcome.delay);
+  }
+  return outcome.action;
+}
+
+Status Arm(const std::string& name, const Config& config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name is empty");
+  }
+  if (config.every_nth == 0 &&
+      !(config.probability >= 0.0 && config.probability <= 1.0)) {
+    return Status::InvalidArgument(
+        "failpoint '" + name + "': probability must be in [0, 1]");
+  }
+  if (config.delay.count() < 0) {
+    return Status::InvalidArgument("failpoint '" + name +
+                                   "': delay must be non-negative");
+  }
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  State& state = StateFor(registry, name);
+  state.armed = true;
+  state.config = config;
+  state.rng = std::make_unique<Rng>(config.seed, HashName(name));
+  PublishArmedCount(registry);
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.states.find(name);
+  if (it == registry.states.end()) return;
+  it->second.armed = false;
+  PublishArmedCount(registry);
+}
+
+void DisarmAll() {
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& [name, state] : registry.states) {
+    (void)name;
+    state.armed = false;
+  }
+  PublishArmedCount(registry);
+}
+
+bool IsArmed(const std::string& name) {
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.states.find(name);
+  return it != registry.states.end() && it->second.armed;
+}
+
+Stats GetStats(const std::string& name) {
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.states.find(name);
+  return it == registry.states.end() ? Stats{} : it->second.stats;
+}
+
+std::vector<std::string> KnownNames() {
+  RegistryImpl& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.states.size());
+  for (const auto& [name, state] : registry.states) {
+    (void)state;
+    names.push_back(name);
+  }
+  return names;  // std::map iteration order is already sorted
+}
+
+namespace {
+
+Status ParseUint(const std::string& text, const std::string& what,
+                 std::uint64_t* out) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::ParseError("failpoint spec: " + what +
+                              " wants a non-negative integer, got '" + text +
+                              "'");
+  }
+  *out = std::strtoull(text.c_str(), nullptr, 10);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ArmFromSpec(const std::string& spec) {
+  std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::ParseError(
+        "failpoint spec '" + spec + "' is not <name>=<action>[,<option>]...");
+  }
+  std::string name = spec.substr(0, eq);
+
+  // Split the remainder on commas: first token the action, rest options.
+  std::vector<std::string> tokens;
+  std::size_t start = eq + 1;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    tokens.push_back(spec.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (tokens.empty() || tokens[0].empty()) {
+    return Status::ParseError("failpoint spec '" + spec + "' has no action");
+  }
+
+  Config config;
+  bool delay_action = false;
+  const std::string& action = tokens[0];
+  if (action == "noop") {
+    config.action = Action::kNoop;
+  } else if (action == "error") {
+    config.action = Action::kError;
+  } else if (action == "crash") {
+    config.action = Action::kCrash;
+  } else if (action == "delay") {
+    config.action = Action::kNoop;
+    delay_action = true;
+  } else {
+    return Status::ParseError("failpoint spec '" + spec +
+                              "': unknown action '" + action +
+                              "' (want noop|error|crash|delay)");
+  }
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    std::size_t opt_eq = tokens[i].find('=');
+    if (opt_eq == std::string::npos) {
+      return Status::ParseError("failpoint spec '" + spec + "': option '" +
+                                tokens[i] + "' is not key=value");
+    }
+    std::string key = tokens[i].substr(0, opt_eq);
+    std::string value = tokens[i].substr(opt_eq + 1);
+    if (key == "every") {
+      GUPT_RETURN_IF_ERROR(ParseUint(value, "every", &config.every_nth));
+      if (config.every_nth == 0) {
+        return Status::ParseError("failpoint spec '" + spec +
+                                  "': every must be >= 1");
+      }
+    } else if (key == "p") {
+      char* end = nullptr;
+      config.probability = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || config.probability < 0.0 ||
+          config.probability > 1.0) {
+        return Status::ParseError("failpoint spec '" + spec +
+                                  "': p wants a probability in [0, 1]");
+      }
+      config.every_nth = 0;  // select the probability trigger
+    } else if (key == "seed") {
+      GUPT_RETURN_IF_ERROR(ParseUint(value, "seed", &config.seed));
+    } else if (key == "limit") {
+      GUPT_RETURN_IF_ERROR(ParseUint(value, "limit", &config.max_fires));
+    } else if (key == "delay_us") {
+      std::uint64_t us = 0;
+      GUPT_RETURN_IF_ERROR(ParseUint(value, "delay_us", &us));
+      config.delay = std::chrono::microseconds(us);
+    } else {
+      return Status::ParseError(
+          "failpoint spec '" + spec + "': unknown option '" + key +
+          "' (want every|p|seed|limit|delay_us)");
+    }
+  }
+  if (delay_action && config.delay.count() == 0) {
+    return Status::ParseError("failpoint spec '" + spec +
+                              "': action delay requires delay_us=<n>");
+  }
+  return Arm(name, config);
+}
+
+Status ArmFromList(const std::string& specs) {
+  std::size_t start = 0;
+  while (start < specs.size()) {
+    std::size_t semi = specs.find(';', start);
+    if (semi == std::string::npos) semi = specs.size();
+    std::string spec = specs.substr(start, semi - start);
+    if (!spec.empty()) {
+      GUPT_RETURN_IF_ERROR(ArmFromSpec(spec));
+    }
+    start = semi + 1;
+  }
+  return Status::OK();
+}
+
+void ArmFromEnvironment() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("GUPT_FAILPOINTS");
+    if (env == nullptr || env[0] == '\0') return;
+    if (!CompiledIn()) {
+      GUPT_LOG(kWarning)
+          << "GUPT_FAILPOINTS is set but this build compiled failpoints "
+             "out (GUPT_FAILPOINTS_ENABLED=OFF); ignoring";
+      return;
+    }
+    Status armed = ArmFromList(env);
+    if (!armed.ok()) {
+      GUPT_LOG(kWarning) << "GUPT_FAILPOINTS parse failure (specs before the "
+                            "malformed one stay armed): "
+                         << armed.ToString();
+    } else {
+      GUPT_LOG(kInfo) << "GUPT_FAILPOINTS armed: " << env;
+    }
+  });
+}
+
+std::string InjectedMessage(const char* name) {
+  return std::string("failpoint '") + name + kInjectedTag;
+}
+
+bool IsInjected(const Status& status) {
+  return status.message().find(kInjectedTag) != std::string::npos;
+}
+
+ScopedFailpoint::ScopedFailpoint(std::string name, Config config)
+    : name_(std::move(name)) {
+  {
+    RegistryImpl& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.states.find(name_);
+    if (it != registry.states.end() && it->second.armed) {
+      had_previous_ = true;
+      previous_ = it->second.config;
+    }
+  }
+  at_arm_ = GetStats(name_);
+  Status armed = Arm(name_, config);
+  if (!armed.ok()) {
+    GUPT_LOG(kError) << "ScopedFailpoint: " << armed.ToString();
+  }
+}
+
+ScopedFailpoint::~ScopedFailpoint() {
+  if (had_previous_) {
+    (void)Arm(name_, previous_);
+  } else {
+    Disarm(name_);
+  }
+}
+
+std::uint64_t ScopedFailpoint::fires() const {
+  return GetStats(name_).fires - at_arm_.fires;
+}
+
+std::uint64_t ScopedFailpoint::evaluations() const {
+  return GetStats(name_).evaluations - at_arm_.evaluations;
+}
+
+}  // namespace failpoints
+}  // namespace gupt

@@ -1,0 +1,239 @@
+// Deterministic failpoint injection for the GUPT hot paths.
+//
+// GUPT's privacy guarantee has to survive misbehaving analyst programs and
+// infrastructure faults: a block that crashes, hangs, or returns garbage is
+// replaced by a clamped fallback so the Laplace release stays differentially
+// private (paper §4.1, §6.2). Failpoints let tests exercise exactly those
+// paths, deterministically and under load: a named hook compiled into a hot
+// path (chamber entry/exit, per-block execution, every pipeline stage, the
+// admission queue, the introspection accept loop, ledger persistence) that
+// a test — or the GUPT_FAILPOINTS environment variable — can arm with a
+// trigger (always / every-Nth evaluation / probability-p from a seeded Rng
+// stream) and an action (forced error, crash-in-child, injected latency,
+// or counting noop).
+//
+// Naming scheme (linted by tools/check_metrics_names.py):
+// dot-separated lower-case path mirroring the source layout, e.g.
+//
+//   exec.chamber.entry            exec.process_chamber.child
+//   core.pipeline.aggregate       service.admission.submit
+//   data.budget_store.save        service.introspect.accept
+//
+// Cost model: when the GUPT_FAILPOINTS_ENABLED build option is OFF the
+// macros compile to nothing and Eval() constant-folds to kNone. When
+// compiled in but with no failpoint armed (the production default), every
+// site costs one relaxed atomic load and a predictable branch —
+// bench/failpoint_overhead.cc holds this within noise of the baseline
+// query latency. Arming any failpoint switches all sites onto a mutexed
+// slow path; that is a test-only regime.
+//
+// Hit counters are exported through the obs metrics registry as
+// gupt_failpoint_evaluations_total{name=...} / gupt_failpoint_fires_total
+// {name=...} plus the gupt_failpoint_armed_count gauge.
+
+#ifndef GUPT_TESTING_FAILPOINTS_FAILPOINTS_H_
+#define GUPT_TESTING_FAILPOINTS_FAILPOINTS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gupt {
+namespace failpoints {
+
+/// What an armed failpoint does to the site when it fires.
+enum class Action {
+  /// Count the fire and continue (useful with `delay` for pure latency
+  /// injection, or alone for hit accounting).
+  kNoop,
+  /// The site fails: GUPT_FAILPOINT_STATUS returns an Internal error,
+  /// value sites translate to their local failure convention.
+  kError,
+  /// The site dies: the process-chamber child _exits before writing its
+  /// frame (a real crash, observed by the parent as EOF); sites that
+  /// cannot crash safely treat this as kError.
+  kCrash,
+};
+
+/// What Eval() tells the site to do. kNone = not armed / did not trigger.
+enum class FireAction { kNone, kError, kCrash };
+
+/// Trigger + action for one armed failpoint.
+struct Config {
+  /// Fire on evaluations number n, 2n, 3n, ... (counted from 1, across all
+  /// threads — evaluation indices are allocated atomically, so the total
+  /// number of fires in N evaluations is exactly floor(N / every_nth)
+  /// regardless of interleaving). 0 = use `probability` instead.
+  std::uint64_t every_nth = 1;
+  /// When every_nth == 0: fire independently with this probability per
+  /// evaluation, drawn from a dedicated Rng(seed, hash(name)) stream so
+  /// the pattern is reproducible for a given seed.
+  double probability = 0.0;
+  /// Seed for the probability stream.
+  std::uint64_t seed = 1;
+  /// Stop firing after this many fires; 0 = unlimited.
+  std::uint64_t max_fires = 0;
+  /// Latency injected (in the evaluating thread) on every fire, before the
+  /// action is reported. Sites that forward the verdict elsewhere (the
+  /// process-chamber parent) use EvalDetailed and apply it there.
+  std::chrono::microseconds delay{0};
+  Action action = Action::kError;
+};
+
+/// Cumulative counters for one failpoint name (survive re-arming).
+struct Stats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+
+/// Eval outcome for sites that need to apply the delay themselves.
+struct Outcome {
+  FireAction action = FireAction::kNone;
+  std::chrono::microseconds delay{0};
+  bool fired = false;
+};
+
+/// True when the build compiled failpoint sites in (GUPT_FAILPOINTS_ENABLED).
+constexpr bool CompiledIn() {
+#if GUPT_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace internal {
+/// Number of currently armed failpoints; the fast-path gate every site
+/// checks. Exposed only for the inline Eval below.
+extern std::atomic<std::uint64_t> g_armed_count;
+Outcome EvalSlow(const char* name);
+}  // namespace internal
+
+/// Evaluates the named failpoint WITHOUT sleeping: the returned Outcome
+/// carries the configured delay for the site to apply where it matters
+/// (e.g. inside a forked child rather than the parent).
+inline Outcome EvalDetailed(const char* name) {
+#if GUPT_FAILPOINTS_ENABLED
+  if (internal::g_armed_count.load(std::memory_order_relaxed) == 0) return {};
+  return internal::EvalSlow(name);
+#else
+  (void)name;
+  return {};
+#endif
+}
+
+/// Evaluates the named failpoint, applying any configured delay in place
+/// (the common case), and returns the action the site must take.
+FireAction Eval(const char* name);
+
+/// Arms `name` with `config`, replacing any existing arming. Validates the
+/// config (probability in [0,1], a trigger selected, delay required for a
+/// pure-noop delay arming is NOT enforced — noop with zero delay is a
+/// legitimate hit counter).
+Status Arm(const std::string& name, const Config& config);
+
+/// Disarms `name`. Counters are retained. No-op when not armed.
+void Disarm(const std::string& name);
+
+/// Disarms everything (used by test fixtures).
+void DisarmAll();
+
+/// True when `name` is currently armed.
+bool IsArmed(const std::string& name);
+
+/// Cumulative evaluation/fire counters for `name` (zeroes if never seen).
+Stats GetStats(const std::string& name);
+
+/// Names ever armed in this process, in sorted order.
+std::vector<std::string> KnownNames();
+
+/// Parses one spec `name=action[,key=value]...` and arms it. Grammar (also
+/// docs/testing.md):
+///
+///   <spec>   := <name>=<action>[,<option>]...
+///   <action> := noop | error | crash | delay
+///   <option> := every=<n> | p=<x> | seed=<n> | limit=<n> | delay_us=<n>
+///
+/// `delay` is shorthand for action=noop with a mandatory delay_us. With
+/// neither `every` nor `p`, the failpoint fires on every evaluation.
+Status ArmFromSpec(const std::string& spec);
+
+/// Parses a semicolon-separated spec list (the GUPT_FAILPOINTS syntax).
+/// Stops at the first malformed spec and returns its parse error; specs
+/// before it stay armed.
+Status ArmFromList(const std::string& specs);
+
+/// Arms from the GUPT_FAILPOINTS environment variable, once per process
+/// (subsequent calls are no-ops). Called lazily by the first Eval that
+/// sees an armed count of zero... deliberately NOT: Eval stays a pure
+/// load. The runtime entry points that want env arming call this at
+/// startup (GuptService does; so does gupt_cli). Parse failures are
+/// logged and skipped, never fatal.
+void ArmFromEnvironment();
+
+/// Whether a Status carries an injected failpoint error (by message tag).
+bool IsInjected(const Status& status);
+
+/// Message used for injected errors: "failpoint '<name>' injected fault".
+std::string InjectedMessage(const char* name);
+
+/// RAII arming for tests: arms on construction, restores the previous
+/// state (previous config or disarmed) on destruction, and reports how
+/// often the failpoint fired while this guard was live.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, Config config);
+  ~ScopedFailpoint();
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+  /// Fires since this guard armed the failpoint.
+  std::uint64_t fires() const;
+  /// Evaluations since this guard armed the failpoint.
+  std::uint64_t evaluations() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  bool had_previous_ = false;
+  Config previous_;
+  Stats at_arm_;
+};
+
+}  // namespace failpoints
+}  // namespace gupt
+
+// Site macros. GUPT_FAILPOINT evaluates for side effects (delay, counting)
+// and ignores error verdicts — for sites with no failure channel.
+// GUPT_FAILPOINT_STATUS returns an Internal error from the enclosing
+// function when the failpoint fires with kError/kCrash (functions returning
+// Status or Result<T>; Result converts implicitly).
+#if GUPT_FAILPOINTS_ENABLED
+#define GUPT_FAILPOINT(name) \
+  do {                       \
+    (void)::gupt::failpoints::Eval(name); \
+  } while (0)
+#define GUPT_FAILPOINT_STATUS(name)                                       \
+  do {                                                                    \
+    if (::gupt::failpoints::Eval(name) !=                                 \
+        ::gupt::failpoints::FireAction::kNone) {                          \
+      return ::gupt::Status::Internal(                                    \
+          ::gupt::failpoints::InjectedMessage(name));                     \
+    }                                                                     \
+  } while (0)
+#else
+#define GUPT_FAILPOINT(name) \
+  do {                       \
+  } while (0)
+#define GUPT_FAILPOINT_STATUS(name) \
+  do {                              \
+  } while (0)
+#endif
+
+#endif  // GUPT_TESTING_FAILPOINTS_FAILPOINTS_H_

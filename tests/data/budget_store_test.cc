@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "testing/failpoints/failpoints.h"
+
 namespace gupt {
 namespace {
 
@@ -149,6 +151,76 @@ TEST(BudgetStoreTest, CommentsAndBlankLinesIgnored) {
   ASSERT_TRUE(RestoreBudgets(&manager, text).ok());
   EXPECT_DOUBLE_EQ(
       manager.Get("alpha").value()->accountant().spent_epsilon(), 1.0);
+}
+
+TEST(BudgetStoreTest, InjectedSaveFaultNeverUnchargesTheAccountant) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+  }
+  failpoints::DisarmAll();
+  // A failed persist is an operator problem, not a privacy refund: the
+  // in-memory accountant keeps every charge, and the on-disk file is
+  // either the previous consistent snapshot or absent — never a torn
+  // write that under-reports spending.
+  std::string path = ::testing::TempDir() + "/gupt_ledger_fault_test.txt";
+  std::remove(path.c_str());
+  DatasetManager manager;
+  FillManagerWithCharges(&manager);
+  {
+    failpoints::ScopedFailpoint fp("data.budget_store.save",
+                                   failpoints::Config{});
+    Status saved = SaveBudgets(manager, path);
+    ASSERT_FALSE(saved.ok());
+    EXPECT_TRUE(failpoints::IsInjected(saved));
+    EXPECT_EQ(fp.fires(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(
+      manager.Get("alpha").value()->accountant().spent_epsilon(), 2.0);
+  // The injected failure fired before the write: no file was created.
+  FILE* file = std::fopen(path.c_str(), "r");
+  EXPECT_EQ(file, nullptr);
+  if (file != nullptr) std::fclose(file);
+
+  // Disarmed, the same save lands and replays cleanly.
+  ASSERT_TRUE(SaveBudgets(manager, path).ok());
+  DatasetManager restored;
+  FillFreshManager(&restored);
+  ASSERT_TRUE(LoadBudgets(&restored, path).ok());
+  EXPECT_DOUBLE_EQ(
+      restored.Get("alpha").value()->accountant().spent_epsilon(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(BudgetStoreTest, InjectedLoadFaultLeavesTheManagerUntouched) {
+  if (!failpoints::CompiledIn()) {
+    GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+  }
+  failpoints::DisarmAll();
+  std::string path = ::testing::TempDir() + "/gupt_ledger_fault_test2.txt";
+  DatasetManager original;
+  FillManagerWithCharges(&original);
+  ASSERT_TRUE(SaveBudgets(original, path).ok());
+
+  DatasetManager restored;
+  FillFreshManager(&restored);
+  {
+    failpoints::ScopedFailpoint fp("data.budget_store.load",
+                                   failpoints::Config{});
+    Status loaded = LoadBudgets(&restored, path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_TRUE(failpoints::IsInjected(loaded));
+  }
+  // Fail closed: no partial replay reached the ledgers.
+  EXPECT_DOUBLE_EQ(
+      restored.Get("alpha").value()->accountant().spent_epsilon(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      restored.Get("beta").value()->accountant().spent_epsilon(), 0.0);
+
+  // Disarmed, the restore succeeds against the same (still fresh) manager.
+  ASSERT_TRUE(LoadBudgets(&restored, path).ok());
+  EXPECT_DOUBLE_EQ(
+      restored.Get("alpha").value()->accountant().spent_epsilon(), 2.0);
+  std::remove(path.c_str());
 }
 
 TEST(BudgetStoreTest, EmptyManagerSerializesHeaderOnly) {

@@ -4,11 +4,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "statutil.h"
 
 namespace gupt {
 namespace dp {
 namespace {
+
+// Pre-registered seeds for the statistical acceptance tests below (see
+// tests/statutil/statutil.h): deterministic sampling, with kAlpha the
+// a-priori probability that a checked-in seed is unlucky.
+constexpr std::uint64_t kCdfSeed = 0x9e7ce4711e01ULL;
+constexpr std::uint64_t kSkewedCdfSeed = 0x9e7ce4711e02ULL;
+constexpr std::uint64_t kMeanSeed = 0x9e7ce4711e03ULL;
+constexpr std::uint64_t kSweepSeed = 0x9e7ce4711e04ULL;
+constexpr double kAlpha = 1e-6;
 
 std::vector<double> Linspace(double lo, double hi, std::size_t n) {
   std::vector<double> xs(n);
@@ -18,6 +31,82 @@ std::vector<double> Linspace(double lo, double hi, std::size_t n) {
   }
   return xs;
 }
+
+/// The release distribution of PrivatePercentile, computed exactly: the
+/// mechanism picks interval i of [sorted_i, sorted_{i+1}] with probability
+/// proportional to width_i * exp(eps/2 * -(|i - p*n|)) and releases a
+/// uniform draw inside it, so the CDF is piecewise linear with exactly
+/// computable knots. Mirrors the arithmetic in dp/percentile.cc.
+class ExactPercentileDistribution {
+ public:
+  ExactPercentileDistribution(std::vector<double> values,
+                              const PercentileOptions& options) {
+    const std::size_t n = values.size();
+    boundaries_.resize(n + 2);
+    boundaries_[0] = options.lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      boundaries_[i + 1] =
+          std::min(std::max(values[i], options.lo), options.hi);
+    }
+    boundaries_[n + 1] = options.hi;
+    std::sort(boundaries_.begin() + 1, boundaries_.end() - 1);
+
+    const double target_rank = options.percentile * static_cast<double>(n);
+    std::vector<double> log_weights(n + 1);
+    double max_log_weight = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i <= n; ++i) {
+      const double width = boundaries_[i + 1] - boundaries_[i];
+      const double utility =
+          -std::fabs(static_cast<double>(i) - target_rank);
+      log_weights[i] =
+          width > 0.0 ? std::log(width) + 0.5 * options.epsilon * utility
+                      : -std::numeric_limits<double>::infinity();
+      max_log_weight = std::max(max_log_weight, log_weights[i]);
+    }
+    probabilities_.resize(n + 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i <= n; ++i) {
+      probabilities_[i] = std::exp(log_weights[i] - max_log_weight);
+      total += probabilities_[i];
+    }
+    for (double& p : probabilities_) p /= total;
+  }
+
+  double Cdf(double x) const {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < probabilities_.size(); ++i) {
+      const double lo = boundaries_[i], hi = boundaries_[i + 1];
+      if (x >= hi) {
+        mass += probabilities_[i];
+      } else if (x > lo) {
+        mass += probabilities_[i] * (x - lo) / (hi - lo);
+      }
+    }
+    return mass;
+  }
+
+  double Mean() const {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < probabilities_.size(); ++i) {
+      mean += probabilities_[i] * 0.5 * (boundaries_[i] + boundaries_[i + 1]);
+    }
+    return mean;
+  }
+
+  double Variance() const {
+    double second = 0.0;
+    for (std::size_t i = 0; i < probabilities_.size(); ++i) {
+      const double lo = boundaries_[i], hi = boundaries_[i + 1];
+      second += probabilities_[i] * (lo * lo + lo * hi + hi * hi) / 3.0;
+    }
+    const double mean = Mean();
+    return second - mean * mean;
+  }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<double> probabilities_;
+};
 
 TEST(PercentileTest, RejectsBadArguments) {
   Rng rng(1);
@@ -63,19 +152,79 @@ TEST(PercentileTest, OutputAlwaysInsidePublicRange) {
 }
 
 TEST(PercentileTest, MedianAccurateAtLargeEpsilon) {
-  Rng rng(4);
+  Rng rng(kMeanSeed);
   std::vector<double> values = Linspace(0.0, 100.0, 1001);
   PercentileOptions opts;
   opts.lo = 0.0;
   opts.hi = 100.0;
   opts.epsilon = 5.0;
   opts.percentile = 0.5;
+  // The release distribution is exactly computable, so assert against ITS
+  // mean (which must in turn sit near the true median at this epsilon)
+  // with a level-kAlpha standard-error tolerance, replacing the previous
+  // hand-tuned +/- 2.0 bound.
+  const ExactPercentileDistribution exact(values, opts);
+  EXPECT_NEAR(exact.Mean(), 50.0, 0.5);
   double sum = 0.0;
   const int trials = 200;
   for (int i = 0; i < trials; ++i) {
     sum += PrivatePercentile(values, opts, &rng).value();
   }
-  EXPECT_NEAR(sum / trials, 50.0, 2.0);
+  const double tolerance = statutil::NormalQuantile(1.0 - kAlpha / 2.0) *
+                           std::sqrt(exact.Variance() / trials);
+  EXPECT_NEAR(sum / trials, exact.Mean(), tolerance);
+}
+
+TEST(PercentileTest, SamplesMatchTheExactMechanismCdf) {
+  // Full distributional acceptance: the sampled releases follow the
+  // mechanism's exactly computed piecewise-linear CDF. This is the
+  // strongest implementation check available — a wrong utility, a wrong
+  // eps/2 factor, or a biased interval draw all shift the CDF.
+  Rng rng(kCdfSeed);
+  std::vector<double> values = Linspace(0.0, 1.0, 101);
+  PercentileOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 1.0;
+  opts.epsilon = 1.0;
+  opts.percentile = 0.5;
+  const ExactPercentileDistribution exact(values, opts);
+  std::vector<double> samples(20000);
+  for (double& s : samples) {
+    s = PrivatePercentile(values, opts, &rng).value();
+  }
+  statutil::GofResult fit = statutil::KsTest(
+      samples, [&exact](double x) { return exact.Cdf(x); }, kAlpha);
+  EXPECT_FALSE(fit.reject) << fit.Describe();
+
+  // Power: the same samples must NOT fit the CDF of a neighbouring
+  // configuration (twice the epsilon), so the acceptance is not vacuous.
+  PercentileOptions wrong = opts;
+  wrong.epsilon = 2.0;
+  const ExactPercentileDistribution misfit(values, wrong);
+  statutil::GofResult rejected = statutil::KsTest(
+      samples, [&misfit](double x) { return misfit.Cdf(x); }, kAlpha);
+  EXPECT_TRUE(rejected.reject) << rejected.Describe();
+}
+
+TEST(PercentileTest, SkewedSamplesMatchTheExactMechanismCdf) {
+  // Same acceptance on a skewed dataset with a far tail and an off-centre
+  // percentile, where the interval widths vary by orders of magnitude.
+  Rng rng(kSkewedCdfSeed);
+  std::vector<double> values = Linspace(0.0, 10.0, 400);
+  for (int i = 0; i < 10; ++i) values.push_back(100.0);
+  PercentileOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 100.0;
+  opts.epsilon = 2.0;
+  opts.percentile = 0.75;
+  const ExactPercentileDistribution exact(values, opts);
+  std::vector<double> samples(20000);
+  for (double& s : samples) {
+    s = PrivatePercentile(values, opts, &rng).value();
+  }
+  statutil::GofResult fit = statutil::KsTest(
+      samples, [&exact](double x) { return exact.Cdf(x); }, kAlpha);
+  EXPECT_FALSE(fit.reject) << fit.Describe();
 }
 
 TEST(PercentileTest, QuartilesBracketTheMedian) {
@@ -184,18 +333,24 @@ class PercentileSweep : public ::testing::TestWithParam<double> {};
 TEST_P(PercentileSweep, TracksTrueOrderStatistic) {
   const double p = GetParam();
   std::vector<double> values = Linspace(0.0, 1.0, 2001);
-  Rng rng(42);
+  Rng rng(kSweepSeed, static_cast<std::uint64_t>(p * 100.0));
   PercentileOptions opts;
   opts.lo = 0.0;
   opts.hi = 1.0;
   opts.epsilon = 5.0;
   opts.percentile = p;
+  // The exact release mean must track the true order statistic, and the
+  // sample mean must track the exact mean at a level-kAlpha tolerance.
+  const ExactPercentileDistribution exact(values, opts);
+  EXPECT_NEAR(exact.Mean(), p, 0.01);
   double sum = 0.0;
   const int trials = 200;
   for (int i = 0; i < trials; ++i) {
     sum += PrivatePercentile(values, opts, &rng).value();
   }
-  EXPECT_NEAR(sum / trials, p, 0.03);
+  const double tolerance = statutil::NormalQuantile(1.0 - kAlpha / 2.0) *
+                           std::sqrt(exact.Variance() / trials);
+  EXPECT_NEAR(sum / trials, exact.Mean(), tolerance);
 }
 
 INSTANTIATE_TEST_SUITE_P(Percentiles, PercentileSweep,

@@ -1,0 +1,177 @@
+#include "statutil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace gupt {
+namespace statutil {
+namespace {
+
+/// sqrt(-ln(alpha/2)/2): the Smirnov asymptotic constant c(alpha).
+double SmirnovConstant(double alpha) {
+  assert(alpha > 0.0 && alpha < 1.0);
+  return std::sqrt(-0.5 * std::log(alpha / 2.0));
+}
+
+}  // namespace
+
+std::string GofResult::Describe() const {
+  std::ostringstream out;
+  out.precision(6);
+  out << "statistic=" << statistic << " critical=" << critical_value
+      << (reject ? " REJECT" : " ok");
+  return out.str();
+}
+
+double KsStatistic(std::vector<double> samples, const Cdf& cdf) {
+  assert(!samples.empty());
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    // The empirical CDF jumps at each order statistic: compare F against
+    // both the pre-jump (i/n) and post-jump ((i+1)/n) levels.
+    sup = std::max(sup, std::fabs(f - static_cast<double>(i) / n));
+    sup = std::max(sup, std::fabs(f - static_cast<double>(i + 1) / n));
+  }
+  return sup;
+}
+
+double KsStatisticTwoSample(std::vector<double> a, std::vector<double> b) {
+  assert(!a.empty() && !b.empty());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double sup = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    sup = std::max(sup, std::fabs(static_cast<double>(i) / na -
+                                  static_cast<double>(j) / nb));
+  }
+  return sup;
+}
+
+double KsCriticalValue(std::size_t n, double alpha) {
+  assert(n > 0);
+  return SmirnovConstant(alpha) / std::sqrt(static_cast<double>(n));
+}
+
+double KsCriticalValueTwoSample(std::size_t n, std::size_t m, double alpha) {
+  assert(n > 0 && m > 0);
+  const double nn = static_cast<double>(n);
+  const double mm = static_cast<double>(m);
+  return SmirnovConstant(alpha) * std::sqrt((nn + mm) / (nn * mm));
+}
+
+GofResult KsTest(std::vector<double> samples, const Cdf& cdf, double alpha) {
+  GofResult result;
+  result.critical_value = KsCriticalValue(samples.size(), alpha);
+  result.statistic = KsStatistic(std::move(samples), cdf);
+  result.reject = result.statistic > result.critical_value;
+  return result;
+}
+
+GofResult KsTestTwoSample(std::vector<double> a, std::vector<double> b,
+                          double alpha) {
+  GofResult result;
+  result.critical_value = KsCriticalValueTwoSample(a.size(), b.size(), alpha);
+  result.statistic = KsStatisticTwoSample(std::move(a), std::move(b));
+  result.reject = result.statistic > result.critical_value;
+  return result;
+}
+
+double ChiSquaredStatistic(const std::vector<double>& observed,
+                           const std::vector<double>& expected) {
+  assert(observed.size() == expected.size() && !observed.empty());
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    assert(expected[i] > 0.0);
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  return stat;
+}
+
+double ChiSquaredCriticalValue(std::size_t dof, double alpha) {
+  assert(dof > 0);
+  const double k = static_cast<double>(dof);
+  const double z = NormalQuantile(1.0 - alpha);
+  const double c = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * c * c * c;
+}
+
+GofResult ChiSquaredTest(const std::vector<double>& observed,
+                         const std::vector<double>& expected, double alpha,
+                         std::size_t fitted_params) {
+  assert(observed.size() > fitted_params + 1);
+  GofResult result;
+  result.critical_value =
+      ChiSquaredCriticalValue(observed.size() - 1 - fitted_params, alpha);
+  result.statistic = ChiSquaredStatistic(observed, expected);
+  result.reject = result.statistic > result.critical_value;
+  return result;
+}
+
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam (2003): rational approximations on the central region and the
+  // two tails; max relative error ~1.15e-9, far below any alpha used here.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double LaplaceCdf(double x, double location, double scale) {
+  assert(scale > 0.0);
+  const double z = (x - location) / scale;
+  return z < 0.0 ? 0.5 * std::exp(z) : 1.0 - 0.5 * std::exp(-z);
+}
+
+double UniformCdf(double x, double lo, double hi) {
+  assert(lo < hi);
+  if (x <= lo) return 0.0;
+  if (x >= hi) return 1.0;
+  return (x - lo) / (hi - lo);
+}
+
+double NormalCdf(double x, double mean, double stddev) {
+  assert(stddev > 0.0);
+  return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+}
+
+}  // namespace statutil
+}  // namespace gupt

@@ -1,0 +1,102 @@
+// Statistical assertion helpers for GUPT's test suites.
+//
+// DP mechanisms cannot be validated by exact equality: the released value
+// is deliberately random. What CAN be asserted is distributional — the
+// noise matches Lap(|max-min|/(l*epsilon)), the percentile mechanism's
+// output follows its exactly computable CDF, a resampled partition's
+// variance is no worse than the disjoint one. This library packages the
+// two classical goodness-of-fit tests those assertions need:
+//
+//   * one-sample Kolmogorov-Smirnov against an arbitrary CDF, and the
+//     two-sample variant, with the asymptotic critical values
+//     c(alpha)/sqrt(n) (Smirnov 1948);
+//   * Pearson chi-squared against expected bin counts, with the
+//     Wilson-Hilferty quantile approximation for critical values.
+//
+// Tests are expected to PRE-REGISTER the pair (seed, alpha): sampling is
+// deterministic via common/rng, so a test either always passes or always
+// fails for a given seed — alpha is the a-priori probability that this
+// seed was unlucky, documented at the assertion site. Convention in this
+// repo: alpha <= 1e-6 for suites that run on every commit (roughly one
+// spurious failure per million seed choices), with the chosen seed
+// checked in after observing a pass.
+//
+// This is a TEST-SIDE library (tests/statutil/): production code must not
+// link it, and the layering lint does not see it.
+
+#ifndef GUPT_TESTS_STATUTIL_STATUTIL_H_
+#define GUPT_TESTS_STATUTIL_STATUTIL_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gupt {
+namespace statutil {
+
+/// Cumulative distribution function, must be monotone on the sample range.
+using Cdf = std::function<double(double)>;
+
+/// Outcome of a goodness-of-fit test. `reject` means the samples are
+/// inconsistent with the hypothesised distribution at level alpha.
+struct GofResult {
+  double statistic = 0.0;
+  double critical_value = 0.0;
+  bool reject = false;
+  /// Human-readable one-liner for EXPECT messages.
+  std::string Describe() const;
+};
+
+/// sup_x |F_n(x) - F(x)| for the empirical CDF of `samples` (copied and
+/// sorted internally) against `cdf`.
+double KsStatistic(std::vector<double> samples, const Cdf& cdf);
+
+/// Two-sample KS statistic sup_x |F_n(x) - G_m(x)|.
+double KsStatisticTwoSample(std::vector<double> a, std::vector<double> b);
+
+/// Smirnov asymptotic critical value for the one-sample statistic:
+/// sqrt(-ln(alpha/2)/2) / sqrt(n). Requires alpha in (0, 1), n >= 1.
+/// Accurate for n >= ~35; all suites here use n in the thousands.
+double KsCriticalValue(std::size_t n, double alpha);
+
+/// Two-sample critical value: sqrt(-ln(alpha/2)/2 * (n+m)/(n*m)).
+double KsCriticalValueTwoSample(std::size_t n, std::size_t m, double alpha);
+
+/// One-sample KS test at level alpha.
+GofResult KsTest(std::vector<double> samples, const Cdf& cdf, double alpha);
+
+/// Two-sample KS test at level alpha.
+GofResult KsTestTwoSample(std::vector<double> a, std::vector<double> b,
+                          double alpha);
+
+/// Pearson statistic sum (O_i - E_i)^2 / E_i. Expected counts must be
+/// positive; sizes must match.
+double ChiSquaredStatistic(const std::vector<double>& observed,
+                           const std::vector<double>& expected);
+
+/// Upper-alpha quantile of chi-squared with `dof` degrees of freedom via
+/// the Wilson-Hilferty cube approximation (relative error < 1% for
+/// dof >= 3 and the alphas used in tests).
+double ChiSquaredCriticalValue(std::size_t dof, double alpha);
+
+/// Chi-squared goodness-of-fit test at level alpha. Degrees of freedom
+/// default to bins-1; pass `fitted_params` > 0 when expected counts were
+/// estimated from the same data.
+GofResult ChiSquaredTest(const std::vector<double>& observed,
+                         const std::vector<double>& expected, double alpha,
+                         std::size_t fitted_params = 0);
+
+/// Standard normal quantile (inverse CDF) via Acklam's rational
+/// approximation; |relative error| < 1.2e-9 on (0, 1).
+double NormalQuantile(double p);
+
+/// CDFs of the distributions the suites assert against.
+double LaplaceCdf(double x, double location, double scale);
+double UniformCdf(double x, double lo, double hi);
+double NormalCdf(double x, double mean, double stddev);
+
+}  // namespace statutil
+}  // namespace gupt
+
+#endif  // GUPT_TESTS_STATUTIL_STATUTIL_H_

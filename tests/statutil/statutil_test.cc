@@ -1,0 +1,153 @@
+#include "statutil.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace statutil {
+namespace {
+
+// Seeds are pre-registered: each statistical check below is deterministic
+// given its seed, and alpha bounds the a-priori chance the checked-in seed
+// is unlucky (see statutil.h).
+constexpr std::uint64_t kUniformSeed = 0x5747a11d01ULL;
+constexpr std::uint64_t kLaplaceSeed = 0x5747a11d02ULL;
+constexpr std::uint64_t kTwoSampleSeed = 0x5747a11d03ULL;
+constexpr std::uint64_t kChiSquaredSeed = 0x5747a11d04ULL;
+constexpr double kAlpha = 1e-6;
+
+TEST(KsStatistic, ExactOnTinySample) {
+  // Samples {0.5}: empirical CDF jumps 0 -> 1 at 0.5; against Uniform[0,1]
+  // the sup distance is max(|0.5-0|, |0.5-1|) = 0.5.
+  double d = KsStatistic({0.5}, [](double x) { return UniformCdf(x, 0, 1); });
+  EXPECT_DOUBLE_EQ(d, 0.5);
+
+  // Samples {0.25, 0.75} against Uniform[0,1]: sup = 0.25 at either point.
+  d = KsStatistic({0.25, 0.75},
+                  [](double x) { return UniformCdf(x, 0, 1); });
+  EXPECT_DOUBLE_EQ(d, 0.25);
+}
+
+TEST(KsStatistic, PerfectFitIsSmall) {
+  // The i-th of n equally spaced quantiles has empirical-vs-true gap
+  // exactly 1/(2n) when placed at (i+0.5)/n.
+  const std::size_t n = 1000;
+  std::vector<double> samples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples[i] = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+  }
+  double d = KsStatistic(samples, [](double x) { return UniformCdf(x, 0, 1); });
+  EXPECT_NEAR(d, 0.5 / static_cast<double>(n), 1e-12);
+}
+
+TEST(KsTest, AcceptsMatchingUniform) {
+  Rng rng(kUniformSeed);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.UniformDouble();
+  GofResult r =
+      KsTest(samples, [](double x) { return UniformCdf(x, 0, 1); }, kAlpha);
+  EXPECT_FALSE(r.reject) << r.Describe();
+}
+
+TEST(KsTest, AcceptsMatchingLaplace) {
+  Rng rng(kLaplaceSeed);
+  const double scale = 2.5;
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.Laplace(scale);
+  GofResult r = KsTest(
+      samples, [scale](double x) { return LaplaceCdf(x, 0.0, scale); },
+      kAlpha);
+  EXPECT_FALSE(r.reject) << r.Describe();
+}
+
+TEST(KsTest, RejectsWrongScale) {
+  // Power check: Lap(2.5) samples against a Lap(3.0) hypothesis must be
+  // detected at n=20000 (the KS distance between the two CDFs is ~0.024,
+  // far above the ~0.0019 critical value at alpha=1e-6... statistic
+  // concentrates near the true distance for large n).
+  Rng rng(kLaplaceSeed);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = rng.Laplace(2.5);
+  GofResult r = KsTest(
+      samples, [](double x) { return LaplaceCdf(x, 0.0, 3.0); }, kAlpha);
+  EXPECT_TRUE(r.reject) << r.Describe();
+}
+
+TEST(KsTestTwoSample, AcceptsSameDistribution) {
+  Rng rng(kTwoSampleSeed);
+  std::vector<double> a(10000), b(10000);
+  for (double& s : a) s = rng.Gaussian();
+  for (double& s : b) s = rng.Gaussian();
+  GofResult r = KsTestTwoSample(a, b, kAlpha);
+  EXPECT_FALSE(r.reject) << r.Describe();
+}
+
+TEST(KsTestTwoSample, RejectsShiftedDistribution) {
+  Rng rng(kTwoSampleSeed);
+  std::vector<double> a(10000), b(10000);
+  for (double& s : a) s = rng.Gaussian();
+  for (double& s : b) s = rng.Gaussian() + 0.2;
+  GofResult r = KsTestTwoSample(a, b, kAlpha);
+  EXPECT_TRUE(r.reject) << r.Describe();
+}
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959963985, 1e-6);
+  EXPECT_NEAR(NormalQuantile(1.0 - 1e-6), 4.753424309, 1e-5);
+}
+
+TEST(ChiSquaredCriticalValue, MatchesTables) {
+  // chi^2 upper-0.05 quantiles: 10 dof -> 18.307, 30 dof -> 43.773.
+  // Wilson-Hilferty is good to <1% here.
+  EXPECT_NEAR(ChiSquaredCriticalValue(10, 0.05), 18.307, 0.15);
+  EXPECT_NEAR(ChiSquaredCriticalValue(30, 0.05), 43.773, 0.2);
+}
+
+TEST(ChiSquaredTest, AcceptsFairDie) {
+  Rng rng(kChiSquaredSeed);
+  const std::size_t bins = 6, n = 60000;
+  std::vector<double> observed(bins, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    observed[rng.UniformUint64(bins)] += 1.0;
+  }
+  std::vector<double> expected(bins, static_cast<double>(n) / bins);
+  GofResult r = ChiSquaredTest(observed, expected, kAlpha);
+  EXPECT_FALSE(r.reject) << r.Describe();
+}
+
+TEST(ChiSquaredTest, RejectsLoadedDie) {
+  Rng rng(kChiSquaredSeed);
+  const std::size_t bins = 6, n = 60000;
+  std::vector<double> observed(bins, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Face 0 at probability ~0.22 instead of 1/6.
+    std::size_t face = rng.Bernoulli(0.065) ? 0 : rng.UniformUint64(bins);
+    observed[face] += 1.0;
+  }
+  std::vector<double> expected(bins, static_cast<double>(n) / bins);
+  GofResult r = ChiSquaredTest(observed, expected, kAlpha);
+  EXPECT_TRUE(r.reject) << r.Describe();
+}
+
+TEST(Cdfs, LaplaceSymmetryAndTails) {
+  EXPECT_DOUBLE_EQ(LaplaceCdf(0.0, 0.0, 1.0), 0.5);
+  EXPECT_NEAR(LaplaceCdf(3.0, 0.0, 1.0) + LaplaceCdf(-3.0, 0.0, 1.0), 1.0,
+              1e-12);
+  EXPECT_LT(LaplaceCdf(-40.0, 0.0, 1.0), 1e-15);
+  EXPECT_GT(LaplaceCdf(40.0, 0.0, 1.0), 1.0 - 1e-15);
+}
+
+TEST(Cdfs, NormalMatchesErfc) {
+  EXPECT_DOUBLE_EQ(NormalCdf(0.0, 0.0, 1.0), 0.5);
+  EXPECT_NEAR(NormalCdf(1.959963985, 0.0, 1.0), 0.975, 1e-9);
+}
+
+}  // namespace
+}  // namespace statutil
+}  // namespace gupt

@@ -1,0 +1,282 @@
+#include "testing/failpoints/failpoints.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace gupt {
+namespace failpoints {
+namespace {
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompiledIn()) {
+      GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+    }
+    DisarmAll();
+  }
+  void TearDown() override { DisarmAll(); }
+};
+
+TEST_F(FailpointsTest, UnarmedSiteIsSilent) {
+  EXPECT_EQ(Eval("testing.never_armed.site"), FireAction::kNone);
+  EXPECT_FALSE(IsArmed("testing.never_armed.site"));
+  // Unarmed evaluations are not even counted: the fast path must not
+  // touch the registry.
+  EXPECT_EQ(GetStats("testing.never_armed.site").evaluations, 0u);
+}
+
+TEST_F(FailpointsTest, EveryNthFiresDeterministically) {
+  Config config;
+  config.every_nth = 3;
+  config.action = Action::kError;
+  ASSERT_TRUE(Arm("testing.unit.every3", config).ok());
+
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) {
+    fired.push_back(Eval("testing.unit.every3") != FireAction::kNone);
+  }
+  // Evaluations count from 1: fires at 3, 6, 9.
+  std::vector<bool> expected = {false, false, true, false, false,
+                                true,  false, false, true, false};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(GetStats("testing.unit.every3").fires, 3u);
+  EXPECT_EQ(GetStats("testing.unit.every3").evaluations, 10u);
+}
+
+TEST_F(FailpointsTest, EveryNthExactTotalAcrossThreads) {
+  Config config;
+  config.every_nth = 4;
+  ASSERT_TRUE(Arm("testing.unit.mt", config).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  std::atomic<std::uint64_t> fires{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fires] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (Eval("testing.unit.mt") != FireAction::kNone) {
+          fires.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Evaluation indices are allocated atomically, so 800 evaluations with
+  // every_nth=4 yield exactly 200 fires regardless of interleaving.
+  EXPECT_EQ(fires.load(), 200u);
+  EXPECT_EQ(GetStats("testing.unit.mt").evaluations, 800u);
+  EXPECT_EQ(GetStats("testing.unit.mt").fires, 200u);
+}
+
+TEST_F(FailpointsTest, ProbabilityPatternIsSeedReproducible) {
+  Config config;
+  config.every_nth = 0;
+  config.probability = 0.3;
+  config.seed = 42;
+
+  auto draw_pattern = [&config] {
+    EXPECT_TRUE(Arm("testing.unit.prob", config).ok());  // resets the stream
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(Eval("testing.unit.prob") != FireAction::kNone);
+    }
+    return pattern;
+  };
+
+  std::vector<bool> first = draw_pattern();
+  std::vector<bool> second = draw_pattern();
+  EXPECT_EQ(first, second);
+
+  // A different seed gives a different pattern (64 i.i.d. Bernoulli(0.3)
+  // draws collide with probability ~2^-56).
+  config.seed = 43;
+  EXPECT_NE(draw_pattern(), first);
+
+  // And the same seed on a different name draws from an independent
+  // stream (names are hashed into the stream selector).
+  config.seed = 42;
+  ASSERT_TRUE(Arm("testing.unit.prob_other", config).ok());
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) {
+    other.push_back(Eval("testing.unit.prob_other") != FireAction::kNone);
+  }
+  EXPECT_NE(other, first);
+}
+
+TEST_F(FailpointsTest, MaxFiresStopsFiring) {
+  Config config;
+  config.every_nth = 1;
+  config.max_fires = 2;
+  ASSERT_TRUE(Arm("testing.unit.limited", config).ok());
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (Eval("testing.unit.limited") != FireAction::kNone) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(FailpointsTest, DelayIsAppliedInEval) {
+  Config config;
+  config.action = Action::kNoop;
+  config.delay = std::chrono::milliseconds(50);
+  ASSERT_TRUE(Arm("testing.unit.delay", config).ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(Eval("testing.unit.delay"), FireAction::kNone);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(50));
+  // EvalDetailed must NOT sleep: it hands the delay to the caller.
+  const auto start2 = std::chrono::steady_clock::now();
+  Outcome outcome = EvalDetailed("testing.unit.delay");
+  const auto elapsed2 = std::chrono::steady_clock::now() - start2;
+  EXPECT_TRUE(outcome.fired);
+  EXPECT_EQ(outcome.delay, std::chrono::microseconds(50000));
+  EXPECT_LT(elapsed2, std::chrono::milliseconds(40));
+}
+
+TEST_F(FailpointsTest, ScopedGuardArmsAndRestores) {
+  {
+    ScopedFailpoint guard("testing.unit.scoped", Config{});
+    EXPECT_TRUE(IsArmed("testing.unit.scoped"));
+    EXPECT_NE(Eval("testing.unit.scoped"), FireAction::kNone);
+    EXPECT_EQ(guard.fires(), 1u);
+    EXPECT_EQ(guard.evaluations(), 1u);
+  }
+  EXPECT_FALSE(IsArmed("testing.unit.scoped"));
+  EXPECT_EQ(Eval("testing.unit.scoped"), FireAction::kNone);
+}
+
+TEST_F(FailpointsTest, ScopedGuardRestoresPreviousConfig) {
+  Config outer;
+  outer.every_nth = 2;
+  ASSERT_TRUE(Arm("testing.unit.nested", outer).ok());
+  {
+    Config inner;
+    inner.every_nth = 1;
+    ScopedFailpoint guard("testing.unit.nested", inner);
+    // Inner config: fires on every evaluation.
+    EXPECT_NE(Eval("testing.unit.nested"), FireAction::kNone);
+    EXPECT_NE(Eval("testing.unit.nested"), FireAction::kNone);
+  }
+  // Outer config restored: every-2nd, with the cumulative evaluation
+  // counter at 2, so the next (3rd) does not fire and the 4th does.
+  EXPECT_TRUE(IsArmed("testing.unit.nested"));
+  EXPECT_EQ(Eval("testing.unit.nested"), FireAction::kNone);
+  EXPECT_NE(Eval("testing.unit.nested"), FireAction::kNone);
+}
+
+TEST_F(FailpointsTest, ArmFromSpecParsesActionsAndOptions) {
+  ASSERT_TRUE(ArmFromSpec("testing.unit.spec1=error,every=5").ok());
+  EXPECT_TRUE(IsArmed("testing.unit.spec1"));
+
+  ASSERT_TRUE(
+      ArmFromSpec("testing.unit.spec2=crash,p=0.25,seed=7,limit=3").ok());
+  EXPECT_TRUE(IsArmed("testing.unit.spec2"));
+
+  ASSERT_TRUE(ArmFromSpec("testing.unit.spec3=delay,delay_us=1000").ok());
+  Outcome outcome = EvalDetailed("testing.unit.spec3");
+  EXPECT_TRUE(outcome.fired);
+  EXPECT_EQ(outcome.action, FireAction::kNone);  // delay = noop + latency
+  EXPECT_EQ(outcome.delay, std::chrono::microseconds(1000));
+
+  ASSERT_TRUE(ArmFromSpec("testing.unit.spec4=noop").ok());
+  EXPECT_EQ(Eval("testing.unit.spec4"), FireAction::kNone);
+  EXPECT_EQ(GetStats("testing.unit.spec4").fires, 1u);
+}
+
+TEST_F(FailpointsTest, ArmFromSpecRejectsMalformedInput) {
+  EXPECT_FALSE(ArmFromSpec("no_equals_sign").ok());
+  EXPECT_FALSE(ArmFromSpec("=error").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=explode").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=error,every=0").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=error,p=1.5").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=error,every=abc").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=error,bogus=1").ok());
+  EXPECT_FALSE(ArmFromSpec("testing.unit.bad=delay").ok());  // no delay_us
+  EXPECT_FALSE(IsArmed("testing.unit.bad"));
+}
+
+TEST_F(FailpointsTest, ArmFromListArmsAllUntilFirstError) {
+  Status status = ArmFromList(
+      "testing.unit.list1=error;testing.unit.list2=noop,every=2;;"
+      "testing.unit.list3=bogus_action;testing.unit.list4=error");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(IsArmed("testing.unit.list1"));
+  EXPECT_TRUE(IsArmed("testing.unit.list2"));
+  EXPECT_FALSE(IsArmed("testing.unit.list3"));
+  // Parsing stops at the malformed spec.
+  EXPECT_FALSE(IsArmed("testing.unit.list4"));
+
+  EXPECT_TRUE(ArmFromList("").ok());
+}
+
+TEST_F(FailpointsTest, CountersExportThroughMetricsRegistry) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
+  obs::Counter* evals = metrics.GetCounter(
+      "gupt_failpoint_evaluations_total", "",
+      {{"name", "testing.unit.metrics"}});
+  obs::Counter* fires = metrics.GetCounter(
+      "gupt_failpoint_fires_total", "", {{"name", "testing.unit.metrics"}});
+  obs::Gauge* armed = metrics.GetGauge("gupt_failpoint_armed_count", "");
+  const double evals_before = evals->Value();
+  const double fires_before = fires->Value();
+
+  Config config;
+  config.every_nth = 2;
+  ASSERT_TRUE(Arm("testing.unit.metrics", config).ok());
+  EXPECT_GE(armed->Value(), 1.0);
+  for (int i = 0; i < 4; ++i) (void)Eval("testing.unit.metrics");
+  EXPECT_DOUBLE_EQ(evals->Value() - evals_before, 4.0);
+  EXPECT_DOUBLE_EQ(fires->Value() - fires_before, 2.0);
+
+  DisarmAll();
+  EXPECT_DOUBLE_EQ(armed->Value(), 0.0);
+}
+
+TEST_F(FailpointsTest, KnownNamesListsEverSeenNames) {
+  ASSERT_TRUE(Arm("testing.unit.known_a", Config{}).ok());
+  ASSERT_TRUE(Arm("testing.unit.known_b", Config{}).ok());
+  Disarm("testing.unit.known_a");
+  std::vector<std::string> names = KnownNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "testing.unit.known_a"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "testing.unit.known_b"),
+            names.end());
+}
+
+TEST_F(FailpointsTest, InjectedStatusIsRecognizable) {
+  Status injected = Status::Internal(InjectedMessage("testing.unit.tag"));
+  EXPECT_TRUE(IsInjected(injected));
+  EXPECT_FALSE(IsInjected(Status::OK()));
+  EXPECT_FALSE(IsInjected(Status::Internal("ordinary failure")));
+}
+
+TEST_F(FailpointsTest, ArmValidatesConfig) {
+  Config bad_p;
+  bad_p.every_nth = 0;
+  bad_p.probability = 2.0;
+  EXPECT_FALSE(Arm("testing.unit.validate", bad_p).ok());
+  EXPECT_FALSE(Arm("", Config{}).ok());
+}
+
+TEST(FailpointsCompiledOut, MacrosAreNoOps) {
+  if (CompiledIn()) {
+    GTEST_SKIP() << "covered by FailpointsTest when compiled in";
+  }
+  // With GUPT_FAILPOINTS_ENABLED=OFF nothing can arm a site.
+  GUPT_FAILPOINT("testing.unit.disabled");
+  EXPECT_EQ(EvalDetailed("testing.unit.disabled").action, FireAction::kNone);
+}
+
+}  // namespace
+}  // namespace failpoints
+}  // namespace gupt

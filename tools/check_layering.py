@@ -3,13 +3,18 @@
 
 The source tree is a strict DAG (see docs/architecture.md):
 
-    obs < common < dp < data < exec < core < analytics, baselines < service
+    obs < common < testing < dp < data < exec < core
+        < analytics, baselines < service
 
 `obs` sits at the bottom because even the thread pool reports metrics.
-Each module may include its own headers and those of lower layers, never
-a higher or sibling layer (analytics and baselines are siblings). In
-particular this keeps the staged query pipeline (src/core/pipeline/)
-free of service-level concerns: core must never include service/.
+`testing` (the failpoint registry) sits just above common so every
+runtime layer can compile fault sites in, while obs and common stay
+failpoint-free (the introspection accept loop gets its fault hook
+injected from the service layer instead). Each module may include its
+own headers and those of lower layers, never a higher or sibling layer
+(analytics and baselines are siblings). In particular this keeps the
+staged query pipeline (src/core/pipeline/) free of service-level
+concerns: core must never include service/.
 
 Usage: check_layering.py <repo-root>
 Exits non-zero listing every violating include.
@@ -24,13 +29,14 @@ import sys
 LAYER = {
     "obs": 0,
     "common": 1,
-    "dp": 2,
-    "data": 3,
-    "exec": 4,
-    "core": 5,
-    "analytics": 6,
-    "baselines": 6,
-    "service": 7,
+    "testing": 2,
+    "dp": 3,
+    "data": 4,
+    "exec": 5,
+    "core": 6,
+    "analytics": 7,
+    "baselines": 7,
+    "service": 8,
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([a-z_]+)/')

@@ -11,6 +11,13 @@ convention enforced by obs::MetricsRegistry::IsValidMetricName:
 
 Keep ALLOWED_UNITS in sync with IsUnitWord() in src/obs/metrics.cc.
 
+Also lints failpoint site names (the gupt_failpoint_* metric family takes
+its `name` label from these literals): every string passed to
+GUPT_FAILPOINT / GUPT_FAILPOINT_STATUS / failpoints::Eval /
+failpoints::EvalDetailed must be a dot-separated lower-case path whose
+first segment is a registered src/ module, e.g. `exec.chamber.entry` or
+`service.introspect.accept` (see docs/testing.md).
+
 Usage:
   check_metrics_names.py [repo_root]      lint registrations in the sources
   check_metrics_names.py --payload FILE...  lint a scraped Prometheus
@@ -43,6 +50,20 @@ CALL_RE = re.compile(
 )
 NAME_RE = re.compile(r"^[a-z0-9]+(?:_[a-z0-9]+){3,}$")
 
+# A failpoint evaluation with a string-literal site name.
+FAILPOINT_CALL_RE = re.compile(
+    r"(?:GUPT_FAILPOINT(?:_STATUS)?|failpoints::Eval(?:Detailed)?)"
+    r"\s*\(\s*\"([^\"]+)\"",
+    re.MULTILINE,
+)
+FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
+# First segment of a failpoint name must be a src/ module (keep in sync
+# with tools/check_layering.py).
+FAILPOINT_MODULES = {
+    "obs", "common", "testing", "dp", "data", "exec", "core",
+    "analytics", "baselines", "service",
+}
+
 # Directories whose registrations must pass. Tests deliberately register
 # bad names to cover the validator, so they are not linted.
 LINTED_DIRS = ("src", "tools", "bench", "examples")
@@ -60,6 +81,28 @@ def metric_names(root: pathlib.Path):
             for match in CALL_RE.finditer(text):
                 line = text.count("\n", 0, match.start()) + 1
                 yield path.relative_to(root), line, match.group(1)
+
+
+def failpoint_names(root: pathlib.Path):
+    """Failpoint site literals in src/ (tests may use free-form names for
+    registry coverage, so only production sites are linted)."""
+    base = root / "src"
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in {".cc", ".cpp", ".h"}:
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for match in FAILPOINT_CALL_RE.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            yield path.relative_to(root), line, match.group(1)
+
+
+def valid_failpoint_name(name: str) -> bool:
+    return bool(
+        FAILPOINT_NAME_RE.match(name)
+        and name.split(".")[0] in FAILPOINT_MODULES
+    )
 
 
 def valid_metric_name(name: str) -> bool:
@@ -143,9 +186,25 @@ def main() -> int:
             f"(units: {', '.join(sorted(ALLOWED_UNITS))})",
             file=sys.stderr,
         )
-    if violations:
+    fp_violations = []
+    fp_seen = 0
+    for path, line, name in failpoint_names(root):
+        fp_seen += 1
+        if not valid_failpoint_name(name):
+            fp_violations.append((path, line, name))
+    for path, line, name in fp_violations:
+        print(
+            f"{path}:{line}: failpoint name '{name}' violates "
+            "<module>.<component>.<site> (lower-case dotted path, module "
+            f"one of: {', '.join(sorted(FAILPOINT_MODULES))})",
+            file=sys.stderr,
+        )
+    if violations or fp_violations:
         return 1
-    print(f"check_metrics_names: {seen} registrations ok")
+    print(
+        f"check_metrics_names: {seen} registrations ok, "
+        f"{fp_seen} failpoint sites ok"
+    )
     return 0
 
 

@@ -93,6 +93,14 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   metrics_.traces_retained = metrics.GetGauge(
       "gupt_introspect_traces_retained_count",
       "Completed query traces currently retained for /tracez.");
+  SvtRegistryOptions svt_options;
+  svt_options.capacity = options_.svt_session_capacity;
+  svt_options.idle_timeout =
+      std::chrono::milliseconds(options_.svt_idle_timeout_ms);
+  // SVT noise shares the master seed but forks a dedicated stream band, so
+  // session randomness is reproducible yet independent of the one-shot path.
+  svt_sessions_ = std::make_unique<SvtSessionRegistry>(
+      svt_options, &manager_, &trace_ring_, options_.runtime.seed);
   admission_pool_ = std::make_unique<ThreadPool>(
       options_.admission_workers > 0 ? options_.admission_workers : 1);
   if (options_.introspect_port >= 0) {
@@ -219,6 +227,65 @@ void GuptService::InstallIntrospectionHandlers(
         obs::introspect::ExportChromeTrace(trace_ring_.Snapshot());
     return response;
   });
+  server->Handle("/svtz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    if (request.Param("format", "text") == "json") {
+      response.content_type = "application/json";
+      response.body = SvtzJson();
+    } else {
+      response.body = SvtzText();
+    }
+    return response;
+  });
+}
+
+std::string GuptService::SvtzJson() const {
+  std::vector<SvtSessionInfo> sessions = SvtSessions();
+  std::ostringstream out;
+  out << "{\"sessions\":[";
+  bool first = true;
+  for (const SvtSessionInfo& info : sessions) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"session_id\":\"" << JsonEscape(info.session_id) << "\""
+        << ",\"analyst\":\"" << JsonEscape(info.analyst) << "\""
+        << ",\"dataset\":\"" << JsonEscape(info.dataset) << "\""
+        << ",\"threshold\":" << JsonDouble(info.threshold)
+        << ",\"epsilon\":" << JsonDouble(info.epsilon)
+        << ",\"max_positives\":" << info.max_positives
+        << ",\"positives_spent\":" << info.positives_spent
+        << ",\"remaining_positives\":" << info.remaining_positives
+        << ",\"queries_answered\":" << info.queries_answered
+        << ",\"below_answered\":" << info.below_answered
+        << ",\"exhausted\":" << (info.exhausted ? "true" : "false")
+        << ",\"idle_seconds\":"
+        << JsonDouble(std::chrono::duration<double>(info.idle).count())
+        << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string GuptService::SvtzText() const {
+  std::vector<SvtSessionInfo> sessions = SvtSessions();
+  std::ostringstream out;
+  out.precision(17);
+  out << "svt sessions: " << sessions.size() << " live\n";
+  for (const SvtSessionInfo& info : sessions) {
+    out << "\nsession " << info.session_id << "\n"
+        << "  analyst             " << info.analyst << "\n"
+        << "  dataset             " << info.dataset << "\n"
+        << "  threshold           " << info.threshold << "\n"
+        << "  epsilon (charged)   " << info.epsilon << "\n"
+        << "  positives           " << info.positives_spent << "/"
+        << info.max_positives << " spent ("
+        << info.remaining_positives << " remaining)\n"
+        << "  queries answered    " << info.queries_answered << " ("
+        << info.below_answered << " below)\n"
+        << "  idle                "
+        << std::chrono::duration<double>(info.idle).count() << "s\n";
+  }
+  return out.str();
 }
 
 std::string GuptService::BudgetzJson() const {
@@ -550,6 +617,82 @@ Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
     }
   }
   return outcome;
+}
+
+void GuptService::AuditSvtEvent(const std::string& analyst,
+                                const std::string& dataset,
+                                const std::string& event,
+                                double epsilon_requested,
+                                double epsilon_charged,
+                                const Status& outcome) {
+  AuditRecord record;
+  record.analyst = analyst.empty() ? "<anonymous>" : analyst;
+  record.dataset = dataset;
+  record.program = event;
+  record.epsilon_requested = epsilon_requested;
+  record.epsilon_charged = epsilon_charged;
+  record.accepted = outcome.ok();
+  record.status = outcome.ToString();
+  AppendAuditRecord(std::move(record));
+}
+
+Result<SvtSessionInfo> GuptService::OpenSvtSession(
+    const SvtSessionRequest& request) {
+  // Fault site: an injected fire refuses the open before anything is
+  // validated or charged, like a front-door outage.
+  if (failpoints::Eval("service.svt.open") != failpoints::FireAction::kNone) {
+    Status injected =
+        Status::Internal(failpoints::InjectedMessage("service.svt.open"));
+    AuditSvtEvent(request.analyst, request.dataset, "svt:open",
+                  request.epsilon, 0.0, injected);
+    return injected;
+  }
+  Result<SvtSessionInfo> opened = svt_sessions_->Open(request);
+  AuditSvtEvent(request.analyst, request.dataset, "svt:open", request.epsilon,
+                opened.ok() ? opened->epsilon : 0.0, opened.status());
+  if (!opened.ok()) return opened;
+  if (!options_.ledger_path.empty()) {
+    // Same contract as the one-shot path: the charge is only durable once
+    // the ledger write lands, and the charge was irrevocably taken.
+    Status persisted = PersistLedger();
+    if (!persisted.ok()) {
+      return Status::Internal(
+          "svt session opened but ledger persist failed: " +
+          persisted.message());
+    }
+  }
+  return opened;
+}
+
+Result<SvtQueryResult> GuptService::SvtQuery(
+    const std::string& session_id, const SvtCandidateQuery& candidate) {
+  // Per-query auditing is deliberately absent: a session answers
+  // unboundedly many queries, so the audit log records session lifecycle
+  // events and gupt_svt_* metrics count the stream.
+  return svt_sessions_->Query(session_id, candidate);
+}
+
+Result<SvtBatchResult> GuptService::SvtQueryBatch(
+    const std::string& session_id,
+    const std::vector<SvtCandidateQuery>& candidates) {
+  return svt_sessions_->QueryBatch(session_id, candidates);
+}
+
+Status GuptService::CloseSvtSession(const std::string& session_id) {
+  if (failpoints::Eval("service.svt.close") !=
+      failpoints::FireAction::kNone) {
+    // The session stays live: close is retryable and the charge already
+    // happened at open, so a failed close moves no budget.
+    return Status::Internal(
+        failpoints::InjectedMessage("service.svt.close"));
+  }
+  Status closed = svt_sessions_->Close(session_id);
+  AuditSvtEvent("<operator>", session_id, "svt:close", 0.0, 0.0, closed);
+  return closed;
+}
+
+std::vector<SvtSessionInfo> GuptService::SvtSessions() const {
+  return svt_sessions_->Sessions();
 }
 
 }  // namespace gupt

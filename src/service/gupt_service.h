@@ -34,6 +34,7 @@
 #include "obs/introspect/http_server.h"
 #include "obs/introspect/trace_ring.h"
 #include "service/program_registry.h"
+#include "service/svt_session.h"
 
 namespace gupt {
 
@@ -73,6 +74,12 @@ struct ServiceOptions {
   /// Completed query traces retained for /tracez (oldest rotate out).
   /// 0 disables trace retention.
   std::size_t trace_ring_capacity = 128;
+  /// Upper bound on concurrently live SVT sessions; opens beyond it are
+  /// refused with kUnavailable and nothing charged. 0 = unbounded.
+  std::size_t svt_session_capacity = 64;
+  /// SVT sessions idle longer than this are evicted (their session charge,
+  /// being irrevocable, is NOT refunded). 0 disables idle eviction.
+  std::size_t svt_idle_timeout_ms = 0;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -152,6 +159,30 @@ class GuptService {
   std::future<Result<QueryReport>> SubmitQueryAsync(
       const QueryRequest& request);
 
+  // --- interactive (SVT) analyst API ---------------------------------------
+  /// Opens a threshold-monitoring session: charges epsilon once to the
+  /// dataset's accountant (irrevocable), persists the ledger, audits the
+  /// open, and returns the session handle. Refusals charge nothing.
+  Result<SvtSessionInfo> OpenSvtSession(const SvtSessionRequest& request);
+
+  /// Answers one candidate query ("is count(dim in [lo,hi]) above tau?")
+  /// against a live session. Below-threshold answers cost no budget; the
+  /// session auto-closes after its last ABOVE answer.
+  Result<SvtQueryResult> SvtQuery(const std::string& session_id,
+                                  const SvtCandidateQuery& candidate);
+
+  /// Batch / top-k form: answers candidates in order until the list ends
+  /// or the session exhausts its positives. Rank ABOVE items by `gap`.
+  Result<SvtBatchResult> SvtQueryBatch(
+      const std::string& session_id,
+      const std::vector<SvtCandidateQuery>& candidates);
+
+  /// Closes a session explicitly (audited). The session charge stays.
+  Status CloseSvtSession(const std::string& session_id);
+
+  /// Live SVT sessions, as served by /svtz.
+  std::vector<SvtSessionInfo> SvtSessions() const;
+
   /// Names of programs analysts may request.
   std::vector<std::string> ListPrograms() const;
 
@@ -215,6 +246,15 @@ class GuptService {
   std::string BudgetzJson() const;
   std::string BudgetzText() const;
 
+  /// /svtz bodies.
+  std::string SvtzJson() const;
+  std::string SvtzText() const;
+
+  /// Appends an audit record for an SVT session event (open/close).
+  void AuditSvtEvent(const std::string& analyst, const std::string& dataset,
+                     const std::string& event, double epsilon_requested,
+                     double epsilon_charged, const Status& outcome);
+
   /// The synchronous body an admission worker runs: cache lookup, pipeline
   /// execution, audit, ledger persist.
   Result<QueryReport> ProcessQuery(const QueryRequest& request);
@@ -277,6 +317,10 @@ class GuptService {
 
   /// Completed traces retained for /tracez.
   obs::introspect::TraceRing trace_ring_;
+
+  /// Live SVT sessions. Declared after trace_ring_ (sessions push their
+  /// traces there on close) so the ring outlives the registry.
+  std::unique_ptr<SvtSessionRegistry> svt_sessions_;
 
   mutable std::mutex introspect_mu_;
 

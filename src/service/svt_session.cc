@@ -1,0 +1,426 @@
+#include "service/svt_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "testing/failpoints/failpoints.h"
+
+namespace gupt {
+namespace {
+
+/// SVT sessions fork their noise streams from a dedicated stream band so
+/// the one-shot query path (stream 0 and the per-block forks) and SVT
+/// sessions never share a stream for one seed.
+constexpr std::uint64_t kSvtRngStreamBase = 0x5774'0000;
+
+Status ValidateRequest(const SvtSessionRequest& request) {
+  if (request.analyst.empty()) {
+    return Status::InvalidArgument("svt open: analyst must be non-empty");
+  }
+  if (request.dataset.empty()) {
+    return Status::InvalidArgument("svt open: dataset must be non-empty");
+  }
+  if (!std::isfinite(request.threshold)) {
+    return Status::InvalidArgument("svt open: threshold must be finite");
+  }
+  if (!(request.epsilon > 0.0) || !std::isfinite(request.epsilon)) {
+    return Status::InvalidArgument("svt open: epsilon must be positive");
+  }
+  if (request.max_positives == 0) {
+    return Status::InvalidArgument("svt open: max_positives must be >= 1");
+  }
+  if (request.records_per_user == 0) {
+    return Status::InvalidArgument(
+        "svt open: records_per_user must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::int64_t NowNanos() {
+  return obs::NanosSinceTraceEpoch(std::chrono::steady_clock::now());
+}
+
+}  // namespace
+
+SvtSessionRegistry::SvtSessionRegistry(SvtRegistryOptions options,
+                                       DatasetManager* manager,
+                                       obs::introspect::TraceRing* trace_ring,
+                                       std::uint64_t seed)
+    : options_(options),
+      manager_(manager),
+      trace_ring_(trace_ring),
+      seed_(seed) {
+  auto& registry = obs::MetricsRegistry::Get();
+  metrics_.opened = registry.GetCounter("gupt_svt_sessions_opened_total",
+                                        "SVT sessions opened");
+  metrics_.open_refused =
+      registry.GetCounter("gupt_svt_sessions_refused_total",
+                          "SVT session opens refused (capacity, validation, "
+                          "budget); nothing was charged");
+  metrics_.closed_explicit = registry.GetCounter(
+      "gupt_svt_sessions_closed_total", "SVT sessions closed, by reason",
+      {{"reason", "explicit"}});
+  metrics_.closed_idle = registry.GetCounter(
+      "gupt_svt_sessions_closed_total", "SVT sessions closed, by reason",
+      {{"reason", "idle"}});
+  metrics_.closed_exhausted = registry.GetCounter(
+      "gupt_svt_sessions_closed_total", "SVT sessions closed, by reason",
+      {{"reason", "exhausted"}});
+  metrics_.active = registry.GetGauge("gupt_svt_sessions_active_count",
+                                      "Live SVT sessions");
+  metrics_.answered_above = registry.GetCounter(
+      "gupt_svt_queries_answered_total", "SVT candidate queries answered",
+      {{"verdict", "above"}});
+  metrics_.answered_below = registry.GetCounter(
+      "gupt_svt_queries_answered_total", "SVT candidate queries answered",
+      {{"verdict", "below"}});
+  metrics_.queries_refused =
+      registry.GetCounter("gupt_svt_queries_refused_total",
+                          "SVT candidate queries refused (unknown session, "
+                          "exhausted engine, invalid candidate, fault)");
+  metrics_.positives = registry.GetCounter("gupt_svt_positives_spent_total",
+                                           "ABOVE answers spent across all "
+                                           "SVT sessions");
+  metrics_.epsilon_charged =
+      registry.GetCounter("gupt_svt_epsilon_charged_total",
+                          "Total epsilon charged by SVT session opens");
+}
+
+Result<SvtSessionInfo> SvtSessionRegistry::Open(
+    const SvtSessionRequest& request) {
+  Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    metrics_.open_refused->Increment();
+    return valid;
+  }
+
+  auto lookup = manager_->Get(request.dataset);
+  if (!lookup.ok()) {
+    metrics_.open_refused->Increment();
+    return lookup.status();
+  }
+  std::shared_ptr<RegisteredDataset> dataset = std::move(lookup).value();
+
+  dp::SvtConfig config = dp::SvtConfig::EvenSplit(
+      request.epsilon, request.threshold, request.max_positives,
+      static_cast<double>(request.records_per_user));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepIdleLocked();
+
+  if (options_.capacity != 0 && sessions_.size() >= options_.capacity) {
+    metrics_.open_refused->Increment();
+    return Status::Unavailable("svt session registry at capacity (" +
+                               std::to_string(options_.capacity) +
+                               " live sessions); close one and retry");
+  }
+
+  const std::uint64_t number = next_session_number_;
+  const std::string session_id = "svt-" + std::to_string(number + 1);
+
+  // The charge failpoint sits BEFORE the accountant debit: a fault here
+  // refuses the open with nothing charged, so the ledger-invariance fault
+  // tests can pin "fired => no ledger movement".
+  Status charge_fault = [&]() -> Status {
+    GUPT_FAILPOINT_STATUS("service.svt.charge");
+    return Status::OK();
+  }();
+  if (!charge_fault.ok()) {
+    metrics_.open_refused->Increment();
+    return charge_fault;
+  }
+
+  // Irrevocable §6.2-style charge: once this debit lands, no session
+  // outcome — crash, idle eviction, zero queries — refunds it.
+  GUPT_RETURN_IF_ERROR(dataset->accountant().Charge(
+      config.total_epsilon(), "svt:" + session_id + ":" + request.analyst));
+  next_session_number_ = number + 1;
+  metrics_.epsilon_charged->Increment(config.total_epsilon());
+
+  auto engine =
+      dp::SvtEngine::Create(config, Rng(seed_, kSvtRngStreamBase + number));
+  if (!engine.ok()) {
+    // Unreachable after EvenSplit validation, but never lose the charge
+    // silently: surface the internal error.
+    return engine.status();
+  }
+
+  auto session = std::make_shared<Session>(std::move(engine).value());
+  session->id = session_id;
+  session->analyst = request.analyst;
+  session->dataset_name = request.dataset;
+  session->dataset = std::move(dataset);
+  session->opened_at = std::chrono::steady_clock::now();
+  session->last_touch_ns.store(NowNanos(), std::memory_order_relaxed);
+  session->trace.set_query_id(obs::NextQueryId());
+  {
+    obs::SpanRecord open_span;
+    open_span.name = "svt_open";
+    open_span.start_ns = NowNanos();
+    open_span.note = "epsilon=" + std::to_string(config.total_epsilon()) +
+                     " c=" + std::to_string(config.max_positives);
+    session->trace.AddSpan(std::move(open_span));
+  }
+  session->trace.SetGauge("epsilon_charged", config.total_epsilon());
+  session->trace.SetGauge("svt_threshold", config.threshold);
+  session->trace.SetGauge("svt_max_positives",
+                          static_cast<double>(config.max_positives));
+
+  SvtSessionInfo info = InfoLocked(*session);
+  sessions_.emplace(session_id, std::move(session));
+  metrics_.opened->Increment();
+  metrics_.active->Set(static_cast<double>(sessions_.size()));
+  return info;
+}
+
+Result<double> SvtSessionRegistry::EvaluateCount(
+    const RegisteredDataset& dataset, const SvtCandidateQuery& candidate) {
+  if (candidate.dim >= dataset.data().num_dims()) {
+    return Status::InvalidArgument(
+        "svt candidate dim " + std::to_string(candidate.dim) +
+        " out of range (dataset has " +
+        std::to_string(dataset.data().num_dims()) + " dims)");
+  }
+  if (std::isnan(candidate.lo) || std::isnan(candidate.hi)) {
+    return Status::InvalidArgument("svt candidate bounds must not be NaN");
+  }
+  if (candidate.lo > candidate.hi) {
+    return Status::InvalidArgument("svt candidate has lo > hi");
+  }
+  double count = 0.0;
+  for (const auto& row : dataset.data().rows()) {
+    const double x = row[candidate.dim];
+    if (x >= candidate.lo && x <= candidate.hi) count += 1.0;
+  }
+  return count;
+}
+
+Result<SvtQueryResult> SvtSessionRegistry::QueryOne(
+    Session& session, const SvtCandidateQuery& candidate) {
+  GUPT_FAILPOINT_STATUS("service.svt.query");
+  GUPT_ASSIGN_OR_RETURN(double count,
+                        EvaluateCount(*session.dataset, candidate));
+  GUPT_ASSIGN_OR_RETURN(dp::SvtAnswer answer, session.engine.Process(count));
+  session.last_touch_ns.store(NowNanos(), std::memory_order_relaxed);
+
+  SvtQueryResult result;
+  result.verdict = answer.verdict;
+  result.gap = answer.gap;
+  result.positives_spent = session.engine.positives_spent();
+  result.remaining_positives = session.engine.remaining_positives();
+  result.queries_answered = session.engine.queries_answered();
+  result.exhausted = session.engine.exhausted();
+  if (answer.verdict == dp::SvtVerdict::kAbove) {
+    metrics_.answered_above->Increment();
+    metrics_.positives->Increment();
+    // Positives are rare (at most c per session) so each one earns a span;
+    // the unbounded stream of negatives is summarised by gauges at close.
+    obs::SpanRecord span;
+    span.name = "svt_positive";
+    span.start_ns = NowNanos();
+    span.note = "gap=" + std::to_string(answer.gap) + " spent=" +
+                std::to_string(session.engine.positives_spent());
+    session.trace.AddSpan(std::move(span));
+  } else {
+    metrics_.answered_below->Increment();
+  }
+  return result;
+}
+
+Result<SvtQueryResult> SvtSessionRegistry::Query(
+    const std::string& session_id, const SvtCandidateQuery& candidate) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepIdleLocked();
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      metrics_.queries_refused->Increment();
+      return Status::NotFound("svt session '" + session_id +
+                              "' not found (closed, evicted, or never "
+                              "opened)");
+    }
+    session = it->second;
+  }
+
+  Result<SvtQueryResult> result = [&]() {
+    std::lock_guard<std::mutex> lock(session->mu);
+    return QueryOne(*session, candidate);
+  }();
+  if (!result.ok()) {
+    metrics_.queries_refused->Increment();
+    return result;
+  }
+  if (result->exhausted) CloseInternal(session_id, "exhausted");
+  return result;
+}
+
+Result<SvtBatchResult> SvtSessionRegistry::QueryBatch(
+    const std::string& session_id,
+    const std::vector<SvtCandidateQuery>& candidates) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("svt batch: no candidates supplied");
+  }
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SweepIdleLocked();
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      metrics_.queries_refused->Increment();
+      return Status::NotFound("svt session '" + session_id + "' not found");
+    }
+    session = it->second;
+  }
+
+  SvtBatchResult batch;
+  bool exhausted = false;
+  Status error = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      Result<SvtQueryResult> one = QueryOne(*session, candidates[i]);
+      if (!one.ok()) {
+        error = one.status();
+        break;
+      }
+      SvtBatchItem item;
+      item.index = i;
+      item.label = candidates[i].label;
+      item.verdict = one->verdict;
+      item.gap = one->gap;
+      batch.items.push_back(std::move(item));
+      if (one->exhausted) {
+        exhausted = true;
+        batch.exhausted_midway = i + 1 < candidates.size();
+        break;
+      }
+    }
+    batch.remaining_positives = session->engine.remaining_positives();
+  }
+  if (!error.ok()) {
+    metrics_.queries_refused->Increment();
+    return error;
+  }
+  if (exhausted) CloseInternal(session_id, "exhausted");
+  return batch;
+}
+
+Status SvtSessionRegistry::Close(const std::string& session_id) {
+  return CloseInternal(session_id, "explicit");
+}
+
+Status SvtSessionRegistry::CloseInternal(const std::string& session_id,
+                                         const std::string& reason) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("svt session '" + session_id + "' not found");
+    }
+    session = it->second;
+    sessions_.erase(it);
+    metrics_.active->Set(static_cast<double>(sessions_.size()));
+  }
+  if (reason == "explicit") {
+    metrics_.closed_explicit->Increment();
+  } else if (reason == "idle") {
+    metrics_.closed_idle->Increment();
+  } else {
+    metrics_.closed_exhausted->Increment();
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  PushTrace(*session, reason);
+  return Status::OK();
+}
+
+void SvtSessionRegistry::SweepIdleLocked() {
+  if (options_.idle_timeout.count() <= 0) return;
+  const std::int64_t now = NowNanos();
+  const std::int64_t limit =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.idle_timeout)
+          .count();
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const std::int64_t touched =
+        it->second->last_touch_ns.load(std::memory_order_relaxed);
+    if (now - touched > limit) {
+      std::shared_ptr<Session> session = it->second;
+      it = sessions_.erase(it);
+      metrics_.closed_idle->Increment();
+      std::lock_guard<std::mutex> session_lock(session->mu);
+      PushTrace(*session, "idle");
+    } else {
+      ++it;
+    }
+  }
+  metrics_.active->Set(static_cast<double>(sessions_.size()));
+}
+
+void SvtSessionRegistry::PushTrace(Session& session,
+                                   const std::string& reason) {
+  obs::SpanRecord span;
+  span.name = "svt_session";
+  span.start_ns = obs::NanosSinceTraceEpoch(session.opened_at);
+  span.duration = std::chrono::steady_clock::now() - session.opened_at;
+  span.note = "close=" + reason;
+  session.trace.AddSpan(std::move(span));
+  session.trace.SetGauge(
+      "svt_queries_answered",
+      static_cast<double>(session.engine.queries_answered()));
+  session.trace.SetGauge(
+      "svt_below_answered",
+      static_cast<double>(session.engine.below_answered()));
+  session.trace.SetGauge(
+      "svt_positives_spent",
+      static_cast<double>(session.engine.positives_spent()));
+
+  if (trace_ring_ == nullptr) return;
+  obs::introspect::CompletedTrace completed;
+  completed.query_id = session.trace.query_id();
+  completed.dataset = session.dataset_name;
+  completed.program = "svt:session";
+  completed.analyst = session.analyst;
+  completed.ok = true;
+  completed.completed_at = std::chrono::system_clock::now();
+  completed.trace = session.trace;
+  trace_ring_->Push(std::move(completed));
+}
+
+SvtSessionInfo SvtSessionRegistry::InfoLocked(const Session& session) {
+  SvtSessionInfo info;
+  info.session_id = session.id;
+  info.analyst = session.analyst;
+  info.dataset = session.dataset_name;
+  info.threshold = session.engine.config().threshold;
+  info.epsilon = session.engine.config().total_epsilon();
+  info.max_positives = session.engine.config().max_positives;
+  info.positives_spent = session.engine.positives_spent();
+  info.remaining_positives = session.engine.remaining_positives();
+  info.queries_answered = session.engine.queries_answered();
+  info.below_answered = session.engine.below_answered();
+  info.exhausted = session.engine.exhausted();
+  info.idle = std::chrono::nanoseconds(
+      NowNanos() - session.last_touch_ns.load(std::memory_order_relaxed));
+  return info;
+}
+
+std::vector<SvtSessionInfo> SvtSessionRegistry::Sessions() const {
+  std::vector<SvtSessionInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    std::lock_guard<std::mutex> session_lock(session->mu);
+    out.push_back(InfoLocked(*session));
+  }
+  return out;
+}
+
+std::size_t SvtSessionRegistry::active_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace gupt

@@ -1,0 +1,239 @@
+// Stateful SVT sessions over registered datasets.
+//
+// The one-shot query path charges its full epsilon per release, which
+// caps a dataset's lifetime at a few hundred queries. An SVT session
+// inverts the economics for interactive threshold workloads: opening a
+// session charges one constant epsilon_session to the dataset's
+// accountant — an irrevocable §6.2-style charge, taken before any query
+// is answered — and from then on the session streams above/below
+// verdicts for unboundedly many below-threshold candidate queries,
+// halting only after `max_positives` ABOVE answers (src/dp/svt.h has the
+// mechanism and its correctness story).
+//
+// Candidate queries are interval COUNTS — "how many rows have column
+// `dim` in [lo, hi]?" — evaluated exactly by the trusted runtime, never
+// by untrusted analyst code. Counting queries are the canonical SVT
+// workload precisely because their sensitivity is known a priori: one
+// user changes a count by at most records_per_user, which is the Delta
+// the session's noise scales are calibrated to. Running a black-box
+// program here would void the guarantee (its sensitivity is unknown), so
+// the session API deliberately does not accept one.
+//
+// The registry bounds live-session memory (capacity refusals, idle
+// eviction swept lazily on open/query) and narrates each session into
+// the shared observability surfaces: gupt_svt_* metrics, a per-session
+// trace pushed to /tracez on close, and the /svtz listing served by
+// GuptService.
+
+#ifndef GUPT_SERVICE_SVT_SESSION_H_
+#define GUPT_SERVICE_SVT_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset_manager.h"
+#include "dp/svt.h"
+#include "obs/introspect/trace_ring.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace gupt {
+
+/// Registry-level knobs (part of ServiceOptions).
+struct SvtRegistryOptions {
+  /// Upper bound on concurrently live sessions; opens beyond it are
+  /// refused with StatusCode::kUnavailable (nothing charged). 0 = unbounded.
+  std::size_t capacity = 64;
+  /// Sessions idle longer than this are evicted (closed with
+  /// reason="idle", their trace pushed) by the lazy sweep that runs on
+  /// every open and query. Zero disables idle eviction.
+  std::chrono::milliseconds idle_timeout{0};
+};
+
+/// What an analyst supplies to open a session.
+struct SvtSessionRequest {
+  std::string analyst;
+  std::string dataset;
+  /// Public threshold tau, in row-count units.
+  double threshold = 0.0;
+  /// Constant session budget epsilon_session, charged once at open and
+  /// split evenly between threshold and query noise (dp::SvtConfig::
+  /// EvenSplit).
+  double epsilon = 0.0;
+  /// Maximum ABOVE answers (c) before the session halts.
+  std::size_t max_positives = 1;
+  /// Per-user contribution bound: the count sensitivity Delta.
+  std::size_t records_per_user = 1;
+};
+
+/// One candidate query: count of rows with column `dim` in [lo, hi].
+struct SvtCandidateQuery {
+  std::size_t dim = 0;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  /// Echoed back in batch results (and the CLI table); not interpreted.
+  std::string label;
+};
+
+/// Answer to one candidate query.
+struct SvtQueryResult {
+  dp::SvtVerdict verdict = dp::SvtVerdict::kBelow;
+  /// Free-gap release, only meaningful when verdict == kAbove.
+  double gap = 0.0;
+  std::size_t positives_spent = 0;
+  std::size_t remaining_positives = 0;
+  std::uint64_t queries_answered = 0;
+  /// True when this answer spent the session's last positive.
+  bool exhausted = false;
+};
+
+/// One row of a batch ("which of these candidates exceeds tau") answer.
+struct SvtBatchItem {
+  std::size_t index = 0;  // position in the submitted candidate list
+  std::string label;
+  dp::SvtVerdict verdict = dp::SvtVerdict::kBelow;
+  double gap = 0.0;
+};
+
+/// Batch verdicts, in candidate order. When the session exhausts mid-list
+/// the remaining candidates are simply not answered (`exhausted_midway`),
+/// mirroring the engine's halting rule.
+struct SvtBatchResult {
+  std::vector<SvtBatchItem> items;
+  bool exhausted_midway = false;
+  std::size_t remaining_positives = 0;
+};
+
+/// Public view of one live session (/svtz, tests, CLI).
+struct SvtSessionInfo {
+  std::string session_id;
+  std::string analyst;
+  std::string dataset;
+  double threshold = 0.0;
+  double epsilon = 0.0;
+  std::size_t max_positives = 0;
+  std::size_t positives_spent = 0;
+  std::size_t remaining_positives = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t below_answered = 0;
+  bool exhausted = false;
+  /// Time since the session last answered (or was opened).
+  std::chrono::nanoseconds idle{0};
+};
+
+/// Thread-safe registry of live SVT sessions. Owned by GuptService, which
+/// layers auditing and ledger persistence on top of these primitives.
+class SvtSessionRegistry {
+ public:
+  /// `manager` and `trace_ring` must outlive the registry. `seed` roots
+  /// the per-session noise streams (each session forks stream
+  /// kSvtRngStreamBase + n so reruns with one seed are reproducible).
+  SvtSessionRegistry(SvtRegistryOptions options, DatasetManager* manager,
+                     obs::introspect::TraceRing* trace_ring,
+                     std::uint64_t seed);
+
+  SvtSessionRegistry(const SvtSessionRegistry&) = delete;
+  SvtSessionRegistry& operator=(const SvtSessionRegistry&) = delete;
+
+  /// Validates, sweeps idle sessions, checks capacity, charges
+  /// epsilon_session to the dataset's accountant (irrevocably — the
+  /// charge survives any later session outcome), and creates the
+  /// session. Refusals charge nothing.
+  Result<SvtSessionInfo> Open(const SvtSessionRequest& request);
+
+  /// Answers one candidate query against a live session.
+  Result<SvtQueryResult> Query(const std::string& session_id,
+                               const SvtCandidateQuery& candidate);
+
+  /// Answers candidates in order until the list ends or the session
+  /// exhausts its positives (the top-k / "which exceed tau" form).
+  Result<SvtBatchResult> QueryBatch(
+      const std::string& session_id,
+      const std::vector<SvtCandidateQuery>& candidates);
+
+  /// Closes a session, pushing its trace to the /tracez ring. Sessions
+  /// also close themselves when the last positive is spent (reason
+  /// "exhausted") and under idle eviction (reason "idle").
+  Status Close(const std::string& session_id);
+
+  /// Live sessions, sorted by id (the /svtz body).
+  std::vector<SvtSessionInfo> Sessions() const;
+
+  std::size_t active_count() const;
+
+ private:
+  struct Session {
+    std::mutex mu;
+    std::string id;
+    std::string analyst;
+    std::string dataset_name;
+    std::shared_ptr<RegisteredDataset> dataset;
+    dp::SvtEngine engine;
+    obs::QueryTrace trace;
+    std::chrono::steady_clock::time_point opened_at;
+    /// Last answer time, in nanoseconds since obs::TraceEpoch(). Atomic so
+    /// the idle sweep (registry lock only) can read it while a query
+    /// (session lock only) refreshes it.
+    std::atomic<std::int64_t> last_touch_ns{0};
+
+    explicit Session(dp::SvtEngine e) : engine(std::move(e)) {}
+  };
+
+  /// Exact interval count q(T) for one candidate.
+  static Result<double> EvaluateCount(const RegisteredDataset& dataset,
+                                      const SvtCandidateQuery& candidate);
+
+  /// One engine step + bookkeeping. Caller holds session.mu.
+  Result<SvtQueryResult> QueryOne(Session& session,
+                                  const SvtCandidateQuery& candidate);
+
+  /// Removes a session and pushes its trace with the given close reason.
+  Status CloseInternal(const std::string& session_id,
+                       const std::string& reason);
+
+  /// Removes sessions idle past the timeout. Caller holds mu_.
+  void SweepIdleLocked();
+
+  /// Finalises a session's trace and pushes it to the ring. Caller holds
+  /// session.mu (and may hold mu_; PushTrace takes neither).
+  void PushTrace(Session& session, const std::string& reason);
+
+  /// Snapshot of one session's counters. Caller holds session.mu.
+  static SvtSessionInfo InfoLocked(const Session& session);
+
+  SvtRegistryOptions options_;
+  DatasetManager* manager_;
+  obs::introspect::TraceRing* trace_ring_;
+  std::uint64_t seed_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_number_ = 0;
+
+  struct Metrics {
+    obs::Counter* opened;
+    obs::Counter* open_refused;
+    obs::Counter* closed_explicit;
+    obs::Counter* closed_idle;
+    obs::Counter* closed_exhausted;
+    obs::Gauge* active;
+    obs::Counter* answered_above;
+    obs::Counter* answered_below;
+    obs::Counter* queries_refused;
+    obs::Counter* positives;
+    obs::Counter* epsilon_charged;
+  };
+  Metrics metrics_;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_SERVICE_SVT_SESSION_H_

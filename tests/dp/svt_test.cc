@@ -1,0 +1,177 @@
+#include "dp/svt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace gupt {
+namespace dp {
+namespace {
+
+SvtConfig BigEpsilonConfig(double threshold, std::size_t c) {
+  // epsilon = 1000 makes both noise scales tiny (<= 2c/500), so verdicts
+  // on margins of +-100 are deterministic for all practical purposes.
+  return SvtConfig::EvenSplit(1000.0, threshold, c);
+}
+
+TEST(SvtConfigTest, EvenSplitMatchesThePaperScales) {
+  // The familiar presentation: rho ~ Lap(2 Delta / eps) and
+  // nu ~ Lap(4 c Delta / eps) are exactly the even split eps1 = eps2 = eps/2.
+  SvtConfig config = SvtConfig::EvenSplit(0.5, 10.0, 3, 2.0);
+  EXPECT_DOUBLE_EQ(config.epsilon1, 0.25);
+  EXPECT_DOUBLE_EQ(config.epsilon2, 0.25);
+  EXPECT_DOUBLE_EQ(config.total_epsilon(), 0.5);
+  EXPECT_DOUBLE_EQ(SvtThresholdScale(config).value(), 2.0 * 2.0 / 0.5);
+  EXPECT_DOUBLE_EQ(SvtQueryScale(config).value(), 4.0 * 3.0 * 2.0 / 0.5);
+}
+
+TEST(SvtConfigTest, ScalesRejectInvalidConfigs) {
+  SvtConfig config = SvtConfig::EvenSplit(1.0, 0.0, 1);
+  EXPECT_TRUE(SvtThresholdScale(config).ok());
+
+  SvtConfig bad = config;
+  bad.threshold = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(SvtThresholdScale(bad).ok());
+
+  bad = config;
+  bad.sensitivity = 0.0;
+  EXPECT_FALSE(SvtThresholdScale(bad).ok());
+
+  bad = config;
+  bad.epsilon1 = -1.0;
+  EXPECT_FALSE(SvtThresholdScale(bad).ok());
+
+  bad = config;
+  bad.epsilon2 = 0.0;
+  EXPECT_FALSE(SvtQueryScale(bad).ok());
+
+  bad = config;
+  bad.max_positives = 0;
+  EXPECT_FALSE(SvtQueryScale(bad).ok());
+  EXPECT_FALSE(SvtEngine::Create(bad, Rng(1)).ok());
+}
+
+TEST(SvtAboveProbabilityTest, ZeroMarginIsExactlyHalf) {
+  // nu - rho is symmetric around zero whatever the two scales are, so a
+  // query sitting exactly at the threshold is a coin flip.
+  EXPECT_DOUBLE_EQ(
+      SvtAboveProbability(0.0, SvtConfig::EvenSplit(1.0, 0.0, 1)).value(),
+      0.5);
+  EXPECT_DOUBLE_EQ(
+      SvtAboveProbability(0.0, SvtConfig::EvenSplit(0.3, 5.0, 4)).value(),
+      0.5);
+}
+
+TEST(SvtAboveProbabilityTest, IsAProperMonotoneTail) {
+  SvtConfig config = SvtConfig::EvenSplit(1.0, 0.0, 2);
+  double previous = 0.0;
+  for (double margin = -40.0; margin <= 40.0; margin += 0.5) {
+    double p = SvtAboveProbability(margin, config).value();
+    EXPECT_GE(p, previous) << "margin " << margin;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    // Symmetry of the difference distribution: p(m) + p(-m) = 1.
+    EXPECT_NEAR(p + SvtAboveProbability(-margin, config).value(), 1.0,
+                1e-12);
+    previous = p;
+  }
+  // At margin 40 the tail is dominated by the query-noise scale a = 8:
+  // roughly (a/(2(a+b))) e^{-40/a} ~= 4e-3.
+  EXPECT_LT(SvtAboveProbability(-40.0, config).value(), 1e-2);
+  EXPECT_GT(SvtAboveProbability(40.0, config).value(), 1.0 - 1e-2);
+}
+
+TEST(SvtAboveProbabilityTest, EqualScaleLimitIsContinuous) {
+  // The a == b closed form must agree with the a != b form as the scales
+  // approach each other (the implementation switches branches on relative
+  // closeness; both sides of the switch must meet).
+  SvtConfig near_equal;
+  near_equal.threshold = 0.0;
+  near_equal.sensitivity = 1.0;
+  near_equal.epsilon1 = 1.0;            // b = 1
+  near_equal.epsilon2 = 2.0 + 1e-6;    // a = 2c/eps2 ~= 1 (c = 1)
+  near_equal.max_positives = 1;
+  SvtConfig equal = near_equal;
+  equal.epsilon2 = 2.0;  // a = exactly 1 = b
+  for (double margin : {-3.0, -1.0, 0.0, 1.0, 3.0}) {
+    EXPECT_NEAR(SvtAboveProbability(margin, near_equal).value(),
+                SvtAboveProbability(margin, equal).value(), 1e-5)
+        << "margin " << margin;
+  }
+}
+
+TEST(SvtEngineTest, BelowAnswersAreUnlimitedAndFree) {
+  auto engine = SvtEngine::Create(BigEpsilonConfig(100.0, 1), Rng(7));
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 1000; ++i) {
+    auto answer = engine->Process(0.0);  // margin -100: certain below
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer->verdict, SvtVerdict::kBelow);
+    EXPECT_EQ(answer->gap, 0.0);
+  }
+  EXPECT_EQ(engine->queries_answered(), 1000u);
+  EXPECT_EQ(engine->below_answered(), 1000u);
+  EXPECT_EQ(engine->positives_spent(), 0u);
+  EXPECT_FALSE(engine->exhausted());
+}
+
+TEST(SvtEngineTest, HaltsAfterMaxPositivesWithNonNegativeGaps) {
+  auto engine = SvtEngine::Create(BigEpsilonConfig(100.0, 2), Rng(8));
+  ASSERT_TRUE(engine.ok());
+
+  auto first = engine->Process(200.0);  // margin +100: certain above
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->verdict, SvtVerdict::kAbove);
+  EXPECT_GT(first->gap, 0.0);
+  EXPECT_EQ(engine->positives_spent(), 1u);
+  EXPECT_EQ(engine->remaining_positives(), 1u);
+  EXPECT_FALSE(engine->exhausted());
+
+  // Negatives between positives stay free.
+  ASSERT_TRUE(engine->Process(0.0).ok());
+
+  auto second = engine->Process(200.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->verdict, SvtVerdict::kAbove);
+  EXPECT_TRUE(engine->exhausted());
+  EXPECT_EQ(engine->remaining_positives(), 0u);
+
+  auto refused = engine->Process(0.0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kBudgetExhausted);
+  // Refused calls are not answers: 3 answered (above, below, above).
+  EXPECT_EQ(engine->queries_answered(), 3u);
+}
+
+TEST(SvtEngineTest, RejectsNonFiniteQueryValues) {
+  auto engine = SvtEngine::Create(BigEpsilonConfig(0.0, 1), Rng(9));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->Process(std::nan("")).ok());
+  EXPECT_FALSE(
+      engine->Process(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_EQ(engine->queries_answered(), 0u);
+}
+
+TEST(SvtEngineTest, IsDeterministicForAFixedSeed) {
+  SvtConfig config = SvtConfig::EvenSplit(2.0, 5.0, 3);
+  auto a = SvtEngine::Create(config, Rng(0xabcdef, 17));
+  auto b = SvtEngine::Create(config, Rng(0xabcdef, 17));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 200 && !a->exhausted(); ++i) {
+    double q = 5.0 + ((i % 7) - 3);  // sweep margins -3..+3
+    auto answer_a = a->Process(q);
+    auto answer_b = b->Process(q);
+    ASSERT_TRUE(answer_a.ok());
+    ASSERT_TRUE(answer_b.ok());
+    EXPECT_EQ(answer_a->verdict, answer_b->verdict) << "query " << i;
+    EXPECT_EQ(answer_a->gap, answer_b->gap) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace gupt

@@ -1,0 +1,255 @@
+// The SVT accounting proof under fault injection. The property at stake
+// is the subsystem's whole reason to exist: a session charges its
+// constant epsilon ONCE at open, then answers unboundedly many
+// below-threshold queries for free — and that ledger invariant must
+// survive injected faults at every new site (service.svt.open / .charge /
+// .query / .close). Ledger equality is asserted through /budgetz JSON at
+// 17-digit precision, the same style as the PR-3/PR-4 ledger tests.
+
+#include "service/gupt_service.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/introspect/http_client.h"
+#include "testing/failpoints/failpoints.h"
+#include "../obs/minijson.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::obs::introspect::HttpGet;
+using ::gupt::obs::introspect::HttpGetResult;
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+using failpoints::Action;
+using failpoints::CompiledIn;
+using failpoints::Config;
+using failpoints::ScopedFailpoint;
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+std::unique_ptr<GuptService> MakeService(ServiceOptions options,
+                                         double budget) {
+  auto service = std::make_unique<GuptService>(
+      std::move(options), ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(512, 1), ds).ok());
+  return service;
+}
+
+/// A session whose below-threshold verdicts are certain: with
+/// epsilon = 0.5 the noise scales are Lap(4) and Lap(8), and every
+/// candidate below counts zero rows against a threshold of 1000 — a
+/// -1000 margin, P[ABOVE] < e^-100 per query.
+SvtSessionRequest Monitor() {
+  SvtSessionRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.threshold = 1000.0;
+  request.epsilon = 0.5;
+  request.max_positives = 1;
+  return request;
+}
+
+/// Counts rows in [1000, 2000]; ages are clamped to [0, 150], so zero.
+SvtCandidateQuery EmptyInterval() {
+  SvtCandidateQuery candidate;
+  candidate.dim = 0;
+  candidate.lo = 1000.0;
+  candidate.hi = 2000.0;
+  return candidate;
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+/// Scrapes /budgetz and returns the single dataset's ledger entry.
+JsonValue ScrapeBudget(const GuptService& service) {
+  HttpGetResult scrape =
+      HttpGet("127.0.0.1", service.introspect_port(), "/budgetz?format=json");
+  EXPECT_TRUE(scrape.ok) << scrape.error;
+  JsonValue root;
+  EXPECT_TRUE(ParseJson(scrape.body, &root)) << scrape.body;
+  const JsonValue* datasets = root.Find("datasets");
+  EXPECT_NE(datasets, nullptr);
+  EXPECT_EQ(datasets->array.size(), 1u);
+  return datasets->array[0];
+}
+
+class SvtFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompiledIn()) {
+      GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+    }
+    failpoints::DisarmAll();
+  }
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(SvtFaultTest, TenThousandBelowQueriesLeaveExactlyOneSessionCharge) {
+  // The acceptance-criteria proof: a one-shot query establishes a 0.25
+  // baseline spend, the session open adds exactly epsilon_session = 0.5,
+  // and 10,000 below-threshold answers add exactly NOTHING — /budgetz
+  // reads 0.75 to all 17 digits with exactly two ledger entries.
+  ServiceOptions options;
+  options.introspect_port = 0;
+  auto service = MakeService(options, /*budget=*/2.0);
+  ASSERT_GT(service->introspect_port(), 0);
+
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.25)).ok());
+  auto opened = service->OpenSvtSession(Monitor());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+
+  for (int i = 0; i < 10000; ++i) {
+    auto answer = service->SvtQuery(opened->session_id, EmptyInterval());
+    ASSERT_TRUE(answer.ok()) << "query " << i << ": " << answer.status();
+    ASSERT_EQ(answer->verdict, dp::SvtVerdict::kBelow) << "query " << i;
+  }
+
+  JsonValue entry = ScrapeBudget(*service);
+  EXPECT_EQ(entry.Find("total_epsilon")->number, 2.0);
+  EXPECT_EQ(entry.Find("spent_epsilon")->number, 0.75);
+  EXPECT_EQ(entry.Find("remaining_epsilon")->number, 1.25);
+  ASSERT_EQ(entry.Find("charges")->array.size(), 2u);
+  EXPECT_EQ(entry.Find("charges")->array[0].Find("epsilon")->number, 0.25);
+  EXPECT_EQ(entry.Find("charges")->array[1].Find("epsilon")->number, 0.5);
+  EXPECT_EQ(entry.Find("charges")->array[1].Find("label")->string,
+            "svt:" + opened->session_id + ":alice");
+
+  // The session is alive, positives untouched, 10k answers on the books.
+  auto live = service->SvtSessions();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].queries_answered, 10000u);
+  EXPECT_EQ(live[0].below_answered, 10000u);
+  EXPECT_EQ(live[0].remaining_positives, 1u);
+}
+
+TEST_F(SvtFaultTest, EveryFourthQueryCrashKeepsTheLedgerInvariant) {
+  // service.svt.query fires on evaluations 4, 8, 12, ... (allocated
+  // atomically, so the fire count is exact regardless of interleaving).
+  // kCrash degrades to kError at this non-chamber site: the analyst sees
+  // an injected error, the engine state does not advance, and — the
+  // invariant — the ledger never moves from the single open charge.
+  Config config;
+  config.every_nth = 4;
+  config.action = Action::kCrash;
+  ScopedFailpoint fp("service.svt.query", config);
+
+  ServiceOptions options;
+  options.introspect_port = 0;
+  auto service = MakeService(options, /*budget=*/2.0);
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.25)).ok());
+  auto opened = service->OpenSvtSession(Monitor());
+  ASSERT_TRUE(opened.ok()) << opened.status();
+
+  int injected = 0, answered = 0;
+  for (int i = 0; i < 10000; ++i) {
+    auto answer = service->SvtQuery(opened->session_id, EmptyInterval());
+    if (answer.ok()) {
+      ++answered;
+    } else {
+      ASSERT_TRUE(failpoints::IsInjected(answer.status()))
+          << answer.status();
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 2500);  // exactly every 4th of 10,000
+  EXPECT_EQ(answered, 7500);
+  EXPECT_EQ(fp.evaluations(), 10000u);
+  EXPECT_EQ(fp.fires(), 2500u);
+
+  // Refused queries never reached the engine.
+  auto live = service->SvtSessions();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].queries_answered, 7500u);
+
+  // The 17-digit ledger proof holds under the crash storm: still exactly
+  // baseline + epsilon_session, still exactly two entries.
+  JsonValue entry = ScrapeBudget(*service);
+  EXPECT_EQ(entry.Find("spent_epsilon")->number, 0.75);
+  ASSERT_EQ(entry.Find("charges")->array.size(), 2u);
+}
+
+TEST_F(SvtFaultTest, ChargeFaultRefusesTheOpenWithNothingCharged) {
+  // service.svt.charge sits immediately BEFORE the accountant debit, so a
+  // fire must leave the ledger untouched and create no session.
+  ServiceOptions options;
+  auto service = MakeService(options, /*budget=*/2.0);
+  {
+    ScopedFailpoint fp("service.svt.charge", Config{});
+    auto refused = service->OpenSvtSession(Monitor());
+    ASSERT_FALSE(refused.ok());
+    EXPECT_TRUE(failpoints::IsInjected(refused.status()));
+    EXPECT_EQ(fp.fires(), 1u);
+  }
+  EXPECT_EQ(service->RemainingBudget("ages").value(), 2.0);
+  EXPECT_TRUE(service->SvtSessions().empty());
+
+  // Disarmed, the same open sails through and charges exactly once.
+  auto opened = service->OpenSvtSession(Monitor());
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(service->RemainingBudget("ages").value(), 1.5);
+}
+
+TEST_F(SvtFaultTest, OpenFaultIsAuditedAndUncharged) {
+  ScopedFailpoint fp("service.svt.open", Config{});
+  ServiceOptions options;
+  auto service = MakeService(options, /*budget=*/2.0);
+  auto refused = service->OpenSvtSession(Monitor());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(failpoints::IsInjected(refused.status()));
+  EXPECT_EQ(service->RemainingBudget("ages").value(), 2.0);
+
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].program, "svt:open");
+  EXPECT_FALSE(log[0].accepted);
+  EXPECT_EQ(log[0].epsilon_charged, 0.0);
+  EXPECT_EQ(log[0].analyst, "alice");
+}
+
+TEST_F(SvtFaultTest, CloseFaultLeavesTheSessionLiveAndRetryable) {
+  ServiceOptions options;
+  auto service = MakeService(options, /*budget=*/2.0);
+  auto opened = service->OpenSvtSession(Monitor());
+  ASSERT_TRUE(opened.ok());
+  {
+    ScopedFailpoint fp("service.svt.close", Config{});
+    Status failed = service->CloseSvtSession(opened->session_id);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failpoints::IsInjected(failed));
+    // The close failed BEFORE touching the registry: still live,
+    // still answering.
+    ASSERT_EQ(service->SvtSessions().size(), 1u);
+    ASSERT_TRUE(
+        service->SvtQuery(opened->session_id, EmptyInterval()).ok());
+  }
+  // Retry after the fault clears: the close lands, the charge stays.
+  EXPECT_TRUE(service->CloseSvtSession(opened->session_id).ok());
+  EXPECT_TRUE(service->SvtSessions().empty());
+  EXPECT_EQ(service->RemainingBudget("ages").value(), 1.5);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,385 @@
+// Functional tests for the interactive SVT subsystem: session lifecycle
+// (open/charge-once/auto-close), the batch top-k form, capacity and idle
+// eviction, the /svtz introspection page, and the gupt_svt_* metrics.
+// Noise is made negligible (epsilon = 1000) wherever a test asserts
+// verdicts, so margins of +-100 rows behave deterministically.
+
+#include "service/gupt_service.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/introspect/http_client.h"
+#include "obs/metrics.h"
+#include "../obs/minijson.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::obs::introspect::HttpGet;
+using ::gupt::obs::introspect::HttpGetResult;
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+/// One column holding 0, 1, ..., n-1: interval counts are exact by
+/// construction (count of [lo, hi] = hi - lo + 1 for integer bounds).
+Dataset Ramp(std::size_t n) {
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) values.push_back(double(i));
+  return Dataset::FromColumn(values).value();
+}
+
+std::unique_ptr<GuptService> MakeService(ServiceOptions options,
+                                         double budget = 2000.0) {
+  auto service = std::make_unique<GuptService>(
+      std::move(options), ProgramRegistry::WithStandardPrograms());
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ramp", Ramp(1000), ds).ok());
+  return service;
+}
+
+/// A session request whose noise is negligible next to +-100-row margins.
+SvtSessionRequest BigEpsilonRequest(double threshold,
+                                    std::size_t max_positives) {
+  SvtSessionRequest request;
+  request.analyst = "alice";
+  request.dataset = "ramp";
+  request.threshold = threshold;
+  request.epsilon = 1000.0;
+  request.max_positives = max_positives;
+  return request;
+}
+
+/// Candidate counting the rows in [0, count-1], i.e. exact count `count`.
+SvtCandidateQuery CountOf(std::size_t count, std::string label = "") {
+  SvtCandidateQuery candidate;
+  candidate.dim = 0;
+  candidate.lo = -0.5;
+  candidate.hi = double(count) - 0.5;
+  candidate.label = std::move(label);
+  return candidate;
+}
+
+double SpentEpsilon(const GuptService& service) {
+  auto snapshots = service.BudgetSnapshots();
+  EXPECT_EQ(snapshots.size(), 1u);
+  return snapshots[0].budget.spent_epsilon;
+}
+
+TEST(SvtSessionTest, OpenValidatesRefusalsChargeNothing) {
+  auto service = MakeService(ServiceOptions{});
+
+  SvtSessionRequest bad = BigEpsilonRequest(500.0, 1);
+  bad.analyst = "";
+  EXPECT_EQ(service->OpenSvtSession(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = BigEpsilonRequest(500.0, 1);
+  bad.epsilon = 0.0;
+  EXPECT_EQ(service->OpenSvtSession(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = BigEpsilonRequest(500.0, 1);
+  bad.max_positives = 0;
+  EXPECT_EQ(service->OpenSvtSession(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  bad = BigEpsilonRequest(500.0, 1);
+  bad.dataset = "missing";
+  EXPECT_EQ(service->OpenSvtSession(bad).status().code(),
+            StatusCode::kNotFound);
+
+  EXPECT_EQ(SpentEpsilon(*service), 0.0);
+  EXPECT_TRUE(service->SvtSessions().empty());
+}
+
+TEST(SvtSessionTest, OpenChargesSessionEpsilonExactlyOnce) {
+  auto service = MakeService(ServiceOptions{});
+  auto opened = service->OpenSvtSession(BigEpsilonRequest(500.0, 3));
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened->session_id, "svt-1");
+  EXPECT_EQ(opened->analyst, "alice");
+  EXPECT_EQ(opened->dataset, "ramp");
+  EXPECT_EQ(opened->epsilon, 1000.0);
+  EXPECT_EQ(opened->max_positives, 3u);
+  EXPECT_EQ(opened->remaining_positives, 3u);
+
+  // Exactly one ledger entry for exactly the session epsilon.
+  auto snapshot = service->BudgetSnapshots()[0].budget;
+  EXPECT_EQ(snapshot.spent_epsilon, 1000.0);
+  ASSERT_EQ(snapshot.charges.size(), 1u);
+  EXPECT_EQ(snapshot.charges[0].epsilon, 1000.0);
+  EXPECT_EQ(snapshot.charges[0].label, "svt:svt-1:alice");
+
+  // The open is audited as a session lifecycle event.
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_TRUE(log[0].accepted);
+  EXPECT_EQ(log[0].program, "svt:open");
+  EXPECT_EQ(log[0].epsilon_charged, 1000.0);
+}
+
+TEST(SvtSessionTest, OpenBeyondDatasetBudgetIsRefusedUncharged) {
+  auto service = MakeService(ServiceOptions{}, /*budget=*/1.0);
+  SvtSessionRequest request = BigEpsilonRequest(500.0, 1);
+  request.epsilon = 2.0;
+  auto refused = service->OpenSvtSession(request);
+  EXPECT_EQ(refused.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(SpentEpsilon(*service), 0.0);
+  EXPECT_TRUE(service->SvtSessions().empty());
+}
+
+TEST(SvtSessionTest, BelowAnswersAreFreeAndSessionAutoClosesWhenSpent) {
+  auto service = MakeService(ServiceOptions{});
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 2))->session_id;
+
+  // 200 below-threshold answers: count 400 vs threshold 500.
+  for (int i = 0; i < 200; ++i) {
+    auto answer = service->SvtQuery(id, CountOf(400));
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    EXPECT_EQ(answer->verdict, dp::SvtVerdict::kBelow);
+  }
+  EXPECT_EQ(SpentEpsilon(*service), 1000.0);  // still only the open charge
+
+  auto first = service->SvtQuery(id, CountOf(900));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->verdict, dp::SvtVerdict::kAbove);
+  EXPECT_GT(first->gap, 0.0);
+  EXPECT_EQ(first->positives_spent, 1u);
+  EXPECT_FALSE(first->exhausted);
+
+  auto second = service->SvtQuery(id, CountOf(900));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->exhausted);
+
+  // Spending the last positive auto-closed the session.
+  EXPECT_TRUE(service->SvtSessions().empty());
+  EXPECT_EQ(service->SvtQuery(id, CountOf(400)).status().code(),
+            StatusCode::kNotFound);
+  // The irrevocable charge did not move.
+  EXPECT_EQ(SpentEpsilon(*service), 1000.0);
+
+  // The session's trace landed in the /tracez ring.
+  bool found = false;
+  for (const auto& trace : service->trace_ring().Snapshot()) {
+    if (trace.program != "svt:session") continue;
+    found = true;
+    EXPECT_EQ(trace.dataset, "ramp");
+    EXPECT_EQ(trace.analyst, "alice");
+    EXPECT_TRUE(trace.trace.HasStage("svt_open"));
+    EXPECT_TRUE(trace.trace.HasStage("svt_positive"));
+    EXPECT_TRUE(trace.trace.HasStage("svt_session"));
+    EXPECT_EQ(trace.trace.GaugeValue("svt_queries_answered").value(), 202.0);
+    EXPECT_EQ(trace.trace.GaugeValue("svt_positives_spent").value(), 2.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SvtSessionTest, BatchRanksPositivesByFreeGap) {
+  auto service = MakeService(ServiceOptions{});
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 3))->session_id;
+
+  std::vector<SvtCandidateQuery> candidates = {
+      CountOf(900, "big"), CountOf(100, "small"), CountOf(800, "medium"),
+      CountOf(50, "tiny"), CountOf(700, "least")};
+  auto batch = service->SvtQueryBatch(id, candidates);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->items.size(), 5u);
+  EXPECT_FALSE(batch->exhausted_midway);
+  EXPECT_EQ(batch->remaining_positives, 0u);
+
+  // With epsilon = 1000 the free gaps preserve the true margin order:
+  // 400 ("big") > 300 ("medium") > 200 ("least").
+  double gap_big = 0, gap_medium = 0, gap_least = 0;
+  for (const SvtBatchItem& item : batch->items) {
+    const bool expect_above =
+        item.label == "big" || item.label == "medium" || item.label == "least";
+    EXPECT_EQ(item.verdict == dp::SvtVerdict::kAbove, expect_above)
+        << item.label;
+    if (item.label == "big") gap_big = item.gap;
+    if (item.label == "medium") gap_medium = item.gap;
+    if (item.label == "least") gap_least = item.gap;
+  }
+  EXPECT_GT(gap_big, gap_medium);
+  EXPECT_GT(gap_medium, gap_least);
+}
+
+TEST(SvtSessionTest, BatchStopsMidListWhenPositivesRunOut) {
+  auto service = MakeService(ServiceOptions{});
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 1))->session_id;
+  std::vector<SvtCandidateQuery> candidates = {
+      CountOf(100, "below"), CountOf(900, "spends-the-one"),
+      CountOf(800, "never-answered")};
+  auto batch = service->SvtQueryBatch(id, candidates);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->items.size(), 2u);  // the tail is not answered
+  EXPECT_TRUE(batch->exhausted_midway);
+  EXPECT_EQ(batch->items[1].label, "spends-the-one");
+  // Exhaustion mid-batch auto-closes, same as the streaming form.
+  EXPECT_TRUE(service->SvtSessions().empty());
+}
+
+TEST(SvtSessionTest, CapacityRefusalChargesNothing) {
+  ServiceOptions options;
+  options.svt_session_capacity = 1;
+  auto service = MakeService(options);
+
+  auto first = service->OpenSvtSession(BigEpsilonRequest(500.0, 1));
+  ASSERT_TRUE(first.ok());
+  auto refused = service->OpenSvtSession(BigEpsilonRequest(500.0, 1));
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(SpentEpsilon(*service), 1000.0);  // only the first open
+
+  ASSERT_TRUE(service->CloseSvtSession(first->session_id).ok());
+  EXPECT_TRUE(service->OpenSvtSession(BigEpsilonRequest(500.0, 1)).ok());
+}
+
+TEST(SvtSessionTest, IdleSessionsAreSweptOnTheNextTouch) {
+  ServiceOptions options;
+  options.svt_idle_timeout_ms = 5;
+  auto service = MakeService(options);
+
+  const std::string idle_id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 1))->session_id;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The next open sweeps the idle session out.
+  auto fresh = service->OpenSvtSession(BigEpsilonRequest(500.0, 1));
+  ASSERT_TRUE(fresh.ok());
+  auto live = service->SvtSessions();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].session_id, fresh->session_id);
+  EXPECT_EQ(service->SvtQuery(idle_id, CountOf(1)).status().code(),
+            StatusCode::kNotFound);
+
+  // Eviction pushed the idle session's trace; its charge stays spent.
+  bool traced = false;
+  for (const auto& trace : service->trace_ring().Snapshot()) {
+    traced = traced || trace.program == "svt:session";
+  }
+  EXPECT_TRUE(traced);
+  EXPECT_EQ(SpentEpsilon(*service), 2000.0);
+}
+
+TEST(SvtSessionTest, InvalidCandidatesAreRefusedWithoutAdvancingState) {
+  auto service = MakeService(ServiceOptions{});
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 1))->session_id;
+
+  SvtCandidateQuery bad_dim;
+  bad_dim.dim = 7;
+  EXPECT_EQ(service->SvtQuery(id, bad_dim).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SvtCandidateQuery inverted = CountOf(10);
+  inverted.lo = 5.0;
+  inverted.hi = 1.0;
+  EXPECT_EQ(service->SvtQuery(id, inverted).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto live = service->SvtSessions();
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0].queries_answered, 0u);
+}
+
+TEST(SvtSessionTest, SvtzAndMetricsExposeLiveSessions) {
+  ServiceOptions options;
+  options.introspect_port = 0;  // ephemeral
+  auto service = MakeService(options);
+  ASSERT_GT(service->introspect_port(), 0);
+
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 2))->session_id;
+  ASSERT_TRUE(service->SvtQuery(id, CountOf(100)).ok());
+  ASSERT_TRUE(service->SvtQuery(id, CountOf(900)).ok());
+
+  HttpGetResult page = HttpGet("127.0.0.1", service->introspect_port(),
+                               "/svtz?format=json");
+  ASSERT_TRUE(page.ok) << page.error;
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(page.body, &root)) << page.body;
+  const JsonValue* sessions = root.Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  ASSERT_EQ(sessions->array.size(), 1u);
+  const JsonValue& entry = sessions->array[0];
+  EXPECT_EQ(entry.Find("session_id")->string, id);
+  EXPECT_EQ(entry.Find("analyst")->string, "alice");
+  EXPECT_EQ(entry.Find("dataset")->string, "ramp");
+  EXPECT_EQ(entry.Find("threshold")->number, 500.0);
+  EXPECT_EQ(entry.Find("epsilon")->number, 1000.0);
+  EXPECT_EQ(entry.Find("max_positives")->number, 2.0);
+  EXPECT_EQ(entry.Find("positives_spent")->number, 1.0);
+  EXPECT_EQ(entry.Find("remaining_positives")->number, 1.0);
+  EXPECT_EQ(entry.Find("queries_answered")->number, 2.0);
+  EXPECT_EQ(entry.Find("below_answered")->number, 1.0);
+
+  HttpGetResult text =
+      HttpGet("127.0.0.1", service->introspect_port(), "/svtz");
+  ASSERT_TRUE(text.ok) << text.error;
+  EXPECT_NE(text.body.find("svt sessions: 1 live"), std::string::npos);
+  EXPECT_NE(text.body.find(id), std::string::npos);
+
+  HttpGetResult metrics =
+      HttpGet("127.0.0.1", service->introspect_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  for (const char* name :
+       {"gupt_svt_sessions_opened_total", "gupt_svt_sessions_active_count",
+        "gupt_svt_queries_answered_total", "gupt_svt_positives_spent_total",
+        "gupt_svt_epsilon_charged_total"}) {
+    EXPECT_NE(metrics.body.find(name), std::string::npos) << name;
+  }
+  // All gupt_svt_* names satisfy the registry's naming lint.
+  EXPECT_TRUE(obs::MetricsRegistry::Get().invalid_names().empty());
+}
+
+TEST(SvtSessionTest, CloseIsAuditedAndIdempotent) {
+  auto service = MakeService(ServiceOptions{});
+  const std::string id =
+      service->OpenSvtSession(BigEpsilonRequest(500.0, 1))->session_id;
+  EXPECT_TRUE(service->CloseSvtSession(id).ok());
+  EXPECT_EQ(service->CloseSvtSession(id).code(), StatusCode::kNotFound);
+
+  auto log = service->audit_log();
+  ASSERT_EQ(log.size(), 3u);  // open + two close attempts
+  EXPECT_EQ(log[1].program, "svt:close");
+  EXPECT_TRUE(log[1].accepted);
+  EXPECT_FALSE(log[2].accepted);
+}
+
+TEST(SvtSessionTest, SessionsAreDeterministicForAFixedServiceSeed) {
+  // Two services with the same master seed replay identical SVT noise:
+  // the verdict/gap stream of session svt-1 matches bit for bit.
+  auto run = [](std::uint64_t seed) {
+    ServiceOptions options;
+    options.runtime.seed = seed;
+    auto service = MakeService(options);
+    SvtSessionRequest request;
+    request.analyst = "alice";
+    request.dataset = "ramp";
+    request.threshold = 500.0;
+    request.epsilon = 2.0;  // real noise, so determinism is non-trivial
+    request.max_positives = 5;
+    const std::string id = service->OpenSvtSession(request)->session_id;
+    std::vector<double> gaps;
+    for (int i = 0; i < 50; ++i) {
+      auto answer = service->SvtQuery(id, CountOf(100 + 160 * (i % 6)));
+      if (!answer.ok()) break;
+      gaps.push_back(answer->verdict == dp::SvtVerdict::kAbove ? answer->gap
+                                                               : -1.0);
+    }
+    return gaps;
+  };
+  EXPECT_EQ(run(0xfeed), run(0xfeed));
+  EXPECT_NE(run(0xfeed), run(0xbeef));
+}
+
+}  // namespace
+}  // namespace gupt

@@ -14,7 +14,10 @@ injected from the service layer instead). Each module may include its
 own headers and those of lower layers, never a higher or sibling layer
 (analytics and baselines are siblings). In particular this keeps the
 staged query pipeline (src/core/pipeline/) free of service-level
-concerns: core must never include service/.
+concerns: core must never include service/. The same split governs the
+interactive SVT subsystem: the mechanism (dp/svt.h) knows nothing of
+sessions; the stateful registry (service/svt_session.h) composes it
+with data/ and obs/ from the top layer.
 
 Usage: check_layering.py <repo-root>
 Exits non-zero listing every violating include.

@@ -18,6 +18,11 @@ failpoints::EvalDetailed must be a dot-separated lower-case path whose
 first segment is a registered src/ module, e.g. `exec.chamber.entry` or
 `service.introspect.accept` (see docs/testing.md).
 
+Subsystems added later are picked up by the same scan with no lint
+changes: the interactive SVT subsystem's `gupt_svt_*` family
+(src/service/svt_session.cc) and its `service.svt.*` failpoint sites
+(docs/svt.md) are linted here like every other registration.
+
 Usage:
   check_metrics_names.py [repo_root]      lint registrations in the sources
   check_metrics_names.py --payload FILE...  lint a scraped Prometheus

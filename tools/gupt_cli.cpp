@@ -11,6 +11,10 @@
 //                     --range 0,150 --budget 5 [--ledger table.ledger]
 //                     [--block-size N] [--gamma G] [--mode tight|loose]
 //                     [--workers N] [--seed S] [--analyst NAME]
+//   gupt_cli svt      --data table.csv [--header] --threshold T
+//                     --epsilon E --queries candidates.txt --budget 5
+//                     [--c K] [--records-per-user N] [--ledger FILE]
+//                     [--seed S] [--analyst NAME]
 //   gupt_cli selftest
 //
 // `query` registers the table under the given total budget, restores any
@@ -18,15 +22,26 @@
 // hosted GuptService (so the attempt is audit-logged), and persists the
 // updated ledger. Multi-output programs accept one --range reused for
 // every output dimension.
+//
+// `svt` opens one interactive Sparse Vector session (charged E once,
+// however many candidates follow), streams every candidate from the
+// queries file through it, and prints ABOVE/below verdicts with the
+// positives ranked by their free-gap release. Each line of the queries
+// file is `dim,lo,hi[,label]` — the count of rows whose column `dim`
+// falls in [lo, hi] is tested against the threshold. `inf`/`-inf` bounds
+// and `#` comment lines are accepted.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <random>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "data/synthetic.h"
@@ -155,7 +170,16 @@ int Usage() {
       "                    [--seed S] [--analyst NAME] [--metrics[=prom|json]]\n"
       "                    [--metrics-out FILE] [--serve PORT]\n"
       "                    [--async] [--queue-depth N]\n"
+      "  gupt_cli svt      --data FILE.csv [--header] --threshold T\n"
+      "                    --epsilon E --queries FILE --budget TOTAL\n"
+      "                    [--c K] [--records-per-user N] [--ledger FILE]\n"
+      "                    [--seed S] [--analyst NAME]\n"
       "  gupt_cli selftest\n"
+      "\n"
+      "svt answers every candidate in the queries file (lines of\n"
+      "`dim,lo,hi[,label]`) through ONE Sparse Vector session: epsilon E\n"
+      "is charged once at open, below-threshold verdicts are then free,\n"
+      "and the session halts after K ABOVE answers (default 1).\n"
       "\n"
       "--async submits through the service's bounded admission queue\n"
       "(SubmitQueryAsync) and waits on the returned future; --queue-depth\n"
@@ -361,6 +385,165 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+/// Parses one `dim,lo,hi[,label]` line. Blank lines and `#` comments
+/// yield an empty result (ok() but no candidate).
+Result<std::vector<SvtCandidateQuery>> ParseCandidateFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot read queries file: " + path);
+  }
+  std::vector<SvtCandidateQuery> candidates;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::stringstream ss(line);
+    std::string dim_text, lo_text, hi_text, label;
+    if (!std::getline(ss, dim_text, ',') || !std::getline(ss, lo_text, ',') ||
+        !std::getline(ss, hi_text, ',')) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": candidate must be dim,lo,hi[,label]: " + line);
+    }
+    std::getline(ss, label);  // optional; may contain commas
+    SvtCandidateQuery candidate;
+    char* end = nullptr;
+    candidate.dim = static_cast<std::size_t>(
+        std::strtoul(dim_text.c_str(), &end, 10));
+    candidate.lo = std::strtod(lo_text.c_str(), nullptr);
+    candidate.hi = std::strtod(hi_text.c_str(), nullptr);
+    candidate.label = label.empty()
+                          ? "line" + std::to_string(line_number)
+                          : label;
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("queries file has no candidates: " + path);
+  }
+  return candidates;
+}
+
+int RunSvt(const Args& args) {
+  auto path = Require(args, "data");
+  auto threshold_text = Require(args, "threshold");
+  auto epsilon_text = Require(args, "epsilon");
+  auto queries_path = Require(args, "queries");
+  auto budget_text = Require(args, "budget");
+  for (const auto* r :
+       {&path, &threshold_text, &epsilon_text, &queries_path, &budget_text}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "%s\n", r->status().ToString().c_str());
+      return 2;
+    }
+  }
+  auto data = Dataset::FromCsvFile(*path, args.has_header);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  auto candidates = ParseCandidateFile(*queries_path);
+  if (!candidates.ok()) {
+    std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
+    return 2;
+  }
+
+  ServiceOptions service_options;
+  service_options.introspect_port = -1;
+  service_options.ledger_path = Optional(args, "ledger", "");
+  std::string seed_text = Optional(args, "seed", "");
+  service_options.runtime.seed =
+      seed_text.empty() ? std::random_device{}()
+                        : std::strtoull(seed_text.c_str(), nullptr, 10);
+  GuptService service(service_options,
+                      ProgramRegistry::WithStandardPrograms());
+  DatasetOptions owner;
+  owner.total_epsilon = std::strtod(budget_text->c_str(), nullptr);
+  Status registered =
+      service.RegisterDataset("cli", std::move(data).value(), owner);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+    return 1;
+  }
+  if (!service_options.ledger_path.empty()) {
+    Status restored = service.RestoreLedger();
+    if (!restored.ok()) {
+      std::fprintf(stderr, "ledger restore failed: %s\n",
+                   restored.ToString().c_str());
+      return 1;
+    }
+  }
+
+  SvtSessionRequest session;
+  session.analyst = Optional(args, "analyst", "cli");
+  session.dataset = "cli";
+  session.threshold = std::strtod(threshold_text->c_str(), nullptr);
+  session.epsilon = std::strtod(epsilon_text->c_str(), nullptr);
+  session.max_positives = static_cast<std::size_t>(
+      std::strtoul(Optional(args, "c", "1").c_str(), nullptr, 10));
+  session.records_per_user = static_cast<std::size_t>(std::strtoul(
+      Optional(args, "records-per-user", "1").c_str(), nullptr, 10));
+  auto opened = service.OpenSvtSession(session);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("session         : %s (epsilon %.4f charged once, c=%zu, "
+              "threshold %g)\n",
+              opened->session_id.c_str(), session.epsilon,
+              session.max_positives, session.threshold);
+
+  auto batch = service.SvtQueryBatch(opened->session_id, *candidates);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n",
+                 batch.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-24s %-8s %s\n", "candidate", "verdict", "gap");
+  for (const SvtBatchItem& item : batch->items) {
+    if (item.verdict == dp::SvtVerdict::kAbove) {
+      std::printf("%-24s %-8s %.3f\n", item.label.c_str(), "ABOVE", item.gap);
+    } else {
+      std::printf("%-24s %-8s -\n", item.label.c_str(), "below");
+    }
+  }
+  if (batch->exhausted_midway) {
+    std::printf("(halted: all %zu positives spent; %zu candidate(s) "
+                "unanswered)\n",
+                session.max_positives,
+                candidates->size() - batch->items.size());
+  }
+
+  std::vector<SvtBatchItem> positives;
+  for (const SvtBatchItem& item : batch->items) {
+    if (item.verdict == dp::SvtVerdict::kAbove) positives.push_back(item);
+  }
+  std::sort(positives.begin(), positives.end(),
+            [](const SvtBatchItem& a, const SvtBatchItem& b) {
+              return a.gap > b.gap;
+            });
+  if (!positives.empty()) {
+    std::printf("top-%zu by free gap:\n", positives.size());
+    for (std::size_t rank = 0; rank < positives.size(); ++rank) {
+      std::printf("  %zu. %s (gap %.3f)\n", rank + 1,
+                  positives[rank].label.c_str(), positives[rank].gap);
+    }
+  }
+
+  // Exhausted sessions auto-close; an explicit close of one is NotFound,
+  // which is fine — the charge stays either way.
+  (void)service.CloseSvtSession(opened->session_id);
+  std::printf("epsilon charged : %.4f (for %zu candidate answers)\n",
+              session.epsilon, batch->items.size());
+  std::printf("budget remaining: %.4f\n",
+              service.RemainingBudget("cli").value_or(0.0));
+  return 0;
+}
+
 int RunSelfTest() {
   // End-to-end smoke: write a CSV, query it twice through a ledger, and
   // verify the third invocation is refused by the restored ledger.
@@ -417,6 +600,7 @@ int Main(int argc, char** argv) {
   if (args.command == "info") return RunInfo(args);
   if (args.command == "programs") return RunPrograms();
   if (args.command == "query") return RunQuery(args);
+  if (args.command == "svt") return RunSvt(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }

@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "analytics/kmeans.h"
 #include "common/rng.h"
 #include "data/dataset.h"
@@ -63,17 +66,28 @@ BENCHMARK(BM_KMeansInChamber)->Arg(200)->Arg(1000);
 
 // The fork-based backend: the upper bound on isolation (own address
 // space, real SIGKILL) and on overhead (~a fork + pipe per block) — the
-// closest analogue to the paper's AppArmor-confined processes.
+// closest analogue to the paper's AppArmor-confined processes. Wall time
+// alone flatters this backend on a loaded machine, so the per-block child
+// CPU captured from wait4() rusage is reported alongside: the gap between
+// block_cpu_s and the wall rate is the fork/pipe/schedule tax.
 void BM_KMeansInSubprocess(benchmark::State& state) {
   Dataset block = MakeBlock(static_cast<std::size_t>(state.range(0)));
   ProgramFactory factory = analytics::KMeansQuery(BlockKMeans());
   ProcessChamber chamber{ChamberPolicy{}};
   Row fallback(4, 0.0);
+  std::int64_t child_cpu_ns = 0;
+  std::int64_t child_max_rss_kb = 0;
   for (auto _ : state) {
     auto run = chamber.Execute(factory, block, fallback);
     if (!run.ok() || run->used_fallback) state.SkipWithError("chamber failed");
+    child_cpu_ns += run->child_user_cpu_ns + run->child_sys_cpu_ns;
+    child_max_rss_kb = std::max(child_max_rss_kb, run->child_max_rss_kb);
     benchmark::DoNotOptimize(run);
   }
+  state.counters["block_cpu_s"] = benchmark::Counter(
+      static_cast<double>(child_cpu_ns) / 1e9, benchmark::Counter::kAvgIterations);
+  state.counters["block_max_rss_kb"] =
+      benchmark::Counter(static_cast<double>(child_max_rss_kb));
 }
 BENCHMARK(BM_KMeansInSubprocess)->Arg(200)->Arg(1000);
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/prof/rusage.h"
+
 namespace gupt {
 
 QueryPipeline::QueryPipeline(const ComputationManager* manager)
@@ -20,6 +22,13 @@ Result<QueryPlan> QueryPipeline::Plan(QueryContext& ctx) const {
 }
 
 Result<QueryReport> QueryPipeline::Run(QueryContext& ctx) const {
+  // Resource ledger: coordinator-thread CPU and rusage deltas bracket the
+  // whole walk (planning included, so the per-stage cpu_ns spans sum to at
+  // most this total); child rusage is folded in from the execute stage's
+  // report after the walk.
+  const std::int64_t cpu_begin = obs::prof::ThreadCpuNanos();
+  const obs::prof::RusageSnapshot ru_begin = obs::prof::ThreadRusage();
+
   // Planning failures are refusals, not executions: they count as query
   // errors but do not enter the execution-duration histogram.
   Status planned = plan_stage_.Run(ctx);
@@ -36,6 +45,29 @@ Result<QueryReport> QueryPipeline::Run(QueryContext& ctx) const {
   metrics_.query_duration->Observe(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count());
+
+  obs::prof::ResourceLedger& res = ctx.report.resources;
+  res.cpu_ns = obs::prof::ThreadCpuNanos() - cpu_begin;
+  const obs::prof::RusageSnapshot ru_delta =
+      obs::prof::Delta(ru_begin, obs::prof::ThreadRusage());
+  res.minor_faults = ru_delta.minor_faults;
+  res.major_faults = ru_delta.major_faults;
+  res.voluntary_ctx_switches = ru_delta.voluntary_ctx_switches;
+  res.involuntary_ctx_switches = ru_delta.involuntary_ctx_switches;
+  res.max_rss_kb = obs::prof::ProcessRusage().max_rss_kb;
+  res.child_user_cpu_ns = ctx.exec_report.child_user_cpu_ns;
+  res.child_sys_cpu_ns = ctx.exec_report.child_sys_cpu_ns;
+  res.child_max_rss_kb = ctx.exec_report.child_max_rss_kb;
+
+  metrics_.query_cpu->Observe(static_cast<double>(res.cpu_ns) / 1e9);
+  metrics_.minor_faults->Increment(static_cast<double>(res.minor_faults));
+  metrics_.major_faults->Increment(static_cast<double>(res.major_faults));
+  metrics_.ctx_switches_voluntary->Increment(
+      static_cast<double>(res.voluntary_ctx_switches));
+  metrics_.ctx_switches_involuntary->Increment(
+      static_cast<double>(res.involuntary_ctx_switches));
+  metrics_.process_max_rss->Set(static_cast<double>(res.max_rss_kb) * 1024.0);
+
   (outcome.ok() ? metrics_.queries_ok : metrics_.queries_error)->Increment();
   if (!outcome.ok()) return outcome;
   if (ctx.trace != nullptr) {

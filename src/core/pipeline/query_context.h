@@ -27,6 +27,7 @@
 #include "data/partitioner.h"
 #include "exec/computation_manager.h"
 #include "exec/program.h"
+#include "obs/prof/rusage.h"
 #include "obs/trace.h"
 
 namespace gupt {
@@ -94,6 +95,10 @@ struct QueryReport {
   /// Per-stage timings and DP gauges for this query (operator-visible
   /// diagnostics; see docs/observability.md for the stage vocabulary).
   obs::QueryTrace trace;
+  /// Resource ledger for this query: coordinator-thread CPU and rusage
+  /// deltas over the stage walk, plus summed process-chamber child
+  /// rusage. Filled by the pipeline driver (see docs/observability.md).
+  obs::prof::ResourceLedger resources;
 };
 
 /// Everything decided about a query before any budget is charged.

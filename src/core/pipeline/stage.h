@@ -21,6 +21,8 @@
 #include "common/status.h"
 #include "core/pipeline/query_context.h"
 #include "obs/metrics.h"
+#include "obs/prof/profiler.h"
+#include "obs/prof/rusage.h"
 #include "obs/trace.h"
 
 namespace gupt {
@@ -42,7 +44,11 @@ class Stage {
 
 /// Times one traced pipeline step into both the query's trace (when
 /// present) and the global per-stage histogram
-/// `gupt_runtime_stage_duration_seconds{stage=<name>}`.
+/// `gupt_runtime_stage_duration_seconds{stage=<name>}`. Also measures the
+/// coordinator thread's CPU over the step (recorded on the span as
+/// `cpu_ns` and in `gupt_prof_stage_cpu_seconds{stage=<name>}`) and tags
+/// the thread for the sampling profiler, so /profilez samples taken
+/// inside the step attribute to `stage:<name>`.
 class StageScope {
  public:
   StageScope(obs::QueryTrace* trace, const char* stage);
@@ -59,6 +65,8 @@ class StageScope {
   obs::QueryTrace* trace_;
   const char* stage_;
   std::chrono::steady_clock::time_point start_;
+  std::int64_t cpu_start_;
+  obs::prof::ScopedStageTag stage_tag_;
   bool ok_ = true;
   std::string note_;
 };

@@ -24,6 +24,15 @@ obs::Histogram* StageHistogram(const char* stage) {
       obs::Histogram::DurationBuckets(), {{"stage", stage}});
 }
 
+/// Per-stage coordinator-thread CPU histogram, labelled by stage name.
+obs::Histogram* StageCpuHistogram(const char* stage) {
+  return obs::MetricsRegistry::Get().GetHistogram(
+      "gupt_prof_stage_cpu_seconds",
+      "Coordinator-thread CPU time of one GUPT pipeline stage "
+      "(CLOCK_THREAD_CPUTIME_ID delta; see docs/observability.md).",
+      obs::Histogram::DurationBuckets(), {{"stage", stage}});
+}
+
 Row RangeMidpoints(const std::vector<Range>& ranges) {
   Row mid(ranges.size());
   for (std::size_t i = 0; i < ranges.size(); ++i) {
@@ -70,9 +79,12 @@ Result<std::vector<Range>> ResolveLooseInputRanges(const RegisteredDataset& ds,
 StageScope::StageScope(obs::QueryTrace* trace, const char* stage)
     : trace_(trace),
       stage_(stage),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()),
+      cpu_start_(obs::prof::ThreadCpuNanos()),
+      stage_tag_(stage) {}
 
 StageScope::~StageScope() {
+  const std::int64_t cpu_ns = obs::prof::ThreadCpuNanos() - cpu_start_;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   if (trace_ != nullptr) {
     obs::SpanRecord span;
@@ -82,10 +94,13 @@ StageScope::~StageScope() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed);
     span.ok = ok_;
     span.note = std::move(note_);
+    span.cpu_ns = cpu_ns >= 0 ? cpu_ns : -1;
     trace_->AddSpan(std::move(span));
   }
   StageHistogram(stage_)->Observe(
       std::chrono::duration<double>(elapsed).count());
+  StageCpuHistogram(stage_)->Observe(
+      cpu_ns >= 0 ? static_cast<double>(cpu_ns) / 1e9 : 0.0);
 }
 
 double ModeMultiplier(RangeMode mode) {
@@ -125,6 +140,27 @@ PipelineMetrics PipelineMetrics::Register() {
   metrics.gamma = registry.GetGauge(
       "gupt_dp_gamma_ratio",
       "Resampling multiplicity (gamma) of the last query.");
+  metrics.query_cpu = registry.GetHistogram(
+      "gupt_prof_query_cpu_seconds",
+      "Coordinator-thread CPU time of one query (plan through release).",
+      obs::Histogram::DurationBuckets());
+  metrics.minor_faults = registry.GetCounter(
+      "gupt_rusage_minor_faults_total",
+      "Coordinator-thread minor page faults during query execution.");
+  metrics.major_faults = registry.GetCounter(
+      "gupt_rusage_major_faults_total",
+      "Coordinator-thread major page faults during query execution.");
+  metrics.ctx_switches_voluntary = registry.GetCounter(
+      "gupt_rusage_ctx_switches_total",
+      "Coordinator-thread context switches during query execution, by kind.",
+      {{"kind", "voluntary"}});
+  metrics.ctx_switches_involuntary = registry.GetCounter(
+      "gupt_rusage_ctx_switches_total",
+      "Coordinator-thread context switches during query execution, by kind.",
+      {{"kind", "involuntary"}});
+  metrics.process_max_rss = registry.GetGauge(
+      "gupt_rusage_process_max_rss_bytes",
+      "Process high-water RSS at the last query release.");
   return metrics;
 }
 

@@ -47,6 +47,12 @@ struct PipelineMetrics {
   obs::Gauge* block_count;
   obs::Gauge* block_size;
   obs::Gauge* gamma;
+  obs::Histogram* query_cpu;
+  obs::Counter* minor_faults;
+  obs::Counter* major_faults;
+  obs::Counter* ctx_switches_voluntary;
+  obs::Counter* ctx_switches_involuntary;
+  obs::Gauge* process_max_rss;
 
   /// Registers (or re-resolves) every handle.
   static PipelineMetrics Register();

@@ -120,6 +120,11 @@ struct ChamberRun {
   std::vector<std::string> forwarded_messages;
   /// Wall-clock duration observed by the *runtime* (includes padding).
   std::chrono::nanoseconds elapsed{0};
+  /// Exact rusage of the forked child, captured by wait4(2) when the run
+  /// used process isolation; all zero for in-thread chambers.
+  std::int64_t child_user_cpu_ns = 0;
+  std::int64_t child_sys_cpu_ns = 0;
+  std::int64_t child_max_rss_kb = 0;
 };
 
 /// Runs untrusted programs under a ChamberPolicy.

@@ -1,9 +1,11 @@
 #include "exec/computation_manager.h"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
 #include "exec/process_chamber.h"
+#include "obs/prof/profiler.h"
 #include "testing/failpoints/failpoints.h"
 
 namespace gupt {
@@ -34,6 +36,17 @@ ComputationManager::ComputationManager(ThreadPool* pool, ChamberPolicy policy)
   violation_counter_ = registry.GetCounter(
       "gupt_exec_policy_violations_total",
       "MAC policy denials incurred by untrusted programs.");
+  child_user_cpu_counter_ = registry.GetCounter(
+      "gupt_rusage_child_cpu_seconds_total",
+      "CPU consumed by process-chamber children, by mode (wait4 rusage).",
+      {{"mode", "user"}});
+  child_sys_cpu_counter_ = registry.GetCounter(
+      "gupt_rusage_child_cpu_seconds_total",
+      "CPU consumed by process-chamber children, by mode (wait4 rusage).",
+      {{"mode", "sys"}});
+  child_max_rss_gauge_ = registry.GetGauge(
+      "gupt_rusage_child_max_rss_bytes",
+      "Largest process-chamber child high-water RSS observed so far.");
 }
 
 Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
@@ -58,6 +71,10 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
   std::vector<Status> statuses(blocks.size(), Status::OK());
 
   auto execute_one = [&](std::size_t i) {
+    // Tag this thread for the sampling profiler: on a pool worker the
+    // coordinator's StageScope tag does not apply, so without this the
+    // fan-out's samples would fold under stage:untagged.
+    obs::prof::ScopedStageTag stage_tag("execute_blocks");
     BlockTiming& timing = report.timings[i];
     timing.worker_id = ThreadPool::CurrentWorkerId();
     timing.start = std::chrono::steady_clock::now();
@@ -102,6 +119,10 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
     if (run.used_fallback) ++report.fallback_count;
     if (run.deadline_exceeded) ++report.deadline_exceeded_count;
     report.policy_violation_count += run.policy_violations;
+    report.child_user_cpu_ns += run.child_user_cpu_ns;
+    report.child_sys_cpu_ns += run.child_sys_cpu_ns;
+    report.child_max_rss_kb =
+        std::max(report.child_max_rss_kb, run.child_max_rss_kb);
     block_duration_histogram_->Observe(
         std::chrono::duration<double>(run.elapsed).count());
     (run.used_fallback ? blocks_fallback_counter_ : blocks_ok_counter_)
@@ -111,6 +132,19 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
       static_cast<double>(report.deadline_exceeded_count));
   violation_counter_->Increment(
       static_cast<double>(report.policy_violation_count));
+  if (report.child_user_cpu_ns > 0) {
+    child_user_cpu_counter_->Increment(
+        static_cast<double>(report.child_user_cpu_ns) / 1e9);
+  }
+  if (report.child_sys_cpu_ns > 0) {
+    child_sys_cpu_counter_->Increment(
+        static_cast<double>(report.child_sys_cpu_ns) / 1e9);
+  }
+  const double child_rss_bytes =
+      static_cast<double>(report.child_max_rss_kb) * 1024.0;
+  if (child_rss_bytes > child_max_rss_gauge_->Value()) {
+    child_max_rss_gauge_->Set(child_rss_bytes);  // racy max: a watermark
+  }
   return report;
 }
 

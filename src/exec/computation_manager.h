@@ -42,6 +42,11 @@ struct BlockExecutionReport {
   std::size_t fallback_count = 0;
   std::size_t deadline_exceeded_count = 0;
   std::size_t policy_violation_count = 0;
+  /// Summed rusage of all process-chamber children in the fan-out (zero
+  /// for in-thread chambers); max_rss is the largest single child.
+  std::int64_t child_user_cpu_ns = 0;
+  std::int64_t child_sys_cpu_ns = 0;
+  std::int64_t child_max_rss_kb = 0;
 
   /// Just the per-block outputs, in block order.
   std::vector<Row> Outputs() const;
@@ -82,6 +87,9 @@ class ComputationManager {
   obs::Counter* blocks_fallback_counter_;
   obs::Counter* deadline_counter_;
   obs::Counter* violation_counter_;
+  obs::Counter* child_user_cpu_counter_;
+  obs::Counter* child_sys_cpu_counter_;
+  obs::Gauge* child_max_rss_gauge_;
 };
 
 }  // namespace gupt

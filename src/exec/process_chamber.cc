@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -217,8 +218,34 @@ Result<ChamberRun> ProcessChamber::Execute(const ProgramFactory& factory,
   if (timed_out) {
     ::kill(pid, SIGKILL);  // a real kill: the overrunning child is gone
   }
+  // wait4 instead of waitpid: the same reap, plus this child's exact
+  // rusage — per-block child CPU/RSS that RUSAGE_CHILDREN (cumulative over
+  // all reaped children, process-wide) cannot attribute. The exec.rusage
+  // failpoint models a failed capture: accounting degrades to zeros while
+  // the query result is untouched.
   int wait_status = 0;
-  while (::waitpid(pid, &wait_status, 0) < 0 && errno == EINTR) {
+  struct rusage child_usage;
+  std::memset(&child_usage, 0, sizeof(child_usage));
+  bool rusage_ok = true;
+  while (::wait4(pid, &wait_status, 0, &child_usage) < 0) {
+    if (errno != EINTR) {
+      rusage_ok = false;
+      break;
+    }
+  }
+  if (failpoints::Eval("exec.rusage") != failpoints::FireAction::kNone) {
+    rusage_ok = false;
+  }
+  if (rusage_ok) {
+    run.child_user_cpu_ns =
+        static_cast<std::int64_t>(child_usage.ru_utime.tv_sec) *
+            1'000'000'000 +
+        static_cast<std::int64_t>(child_usage.ru_utime.tv_usec) * 1'000;
+    run.child_sys_cpu_ns =
+        static_cast<std::int64_t>(child_usage.ru_stime.tv_sec) *
+            1'000'000'000 +
+        static_cast<std::int64_t>(child_usage.ru_stime.tv_usec) * 1'000;
+    run.child_max_rss_kb = child_usage.ru_maxrss;
   }
 
   run.policy_violations = static_cast<std::size_t>(violations);

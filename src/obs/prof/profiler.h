@@ -1,0 +1,128 @@
+// Signal-based sampling CPU profiler.
+//
+// Arms setitimer(ITIMER_PROF): the kernel delivers SIGPROF to the
+// process every 1/hz seconds of consumed CPU time, and the signal lands
+// on whichever thread is currently running — so sample density is
+// proportional to CPU use per thread, which is exactly the flame-graph
+// weighting. The handler is async-signal-safe: it claims a slot in a
+// pre-allocated sample buffer with one atomic fetch_add, fills it with
+// backtrace() (warmed up before the handler is installed, because the
+// first call lazily loads libgcc with malloc), tags it with the
+// caller's thread-local pipeline stage, and publishes the slot with a
+// release store. No locks, no allocation, errno preserved.
+//
+// Symbolization (backtrace_symbols + __cxa_demangle) happens at
+// collection time, off the signal path, into the folded-stack format
+// consumed by FlameGraph / speedscope:
+//
+//     stage:execute_blocks;gupt::exec::...;KMeansStep 42
+//
+// The root frame is always `stage:<tag>` from the thread-local set by
+// ScopedStageTag, so samples attribute to pipeline stages even when a
+// frame fails to symbolize.
+//
+// fork(2) children do not inherit interval timers, so process-chamber
+// children never receive SIGPROF; the inherited handler is harmless and
+// replaced by _exit() anyway.
+//
+// One profiler per process (SIGPROF and ITIMER_PROF are process-wide);
+// Profiler::Get() is the singleton. Start() fails if already running.
+
+#ifndef GUPT_OBS_PROF_PROFILER_H_
+#define GUPT_OBS_PROF_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gupt {
+namespace obs {
+namespace prof {
+
+/// RAII thread-local stage tag. The innermost tag on the current thread
+/// becomes the `stage:<tag>` root frame of every sample taken while it
+/// is alive. `tag` must be a string literal (or otherwise outlive the
+/// scope): the signal handler reads the pointer asynchronously.
+class ScopedStageTag {
+ public:
+  explicit ScopedStageTag(const char* tag);
+  ~ScopedStageTag();
+
+  ScopedStageTag(const ScopedStageTag&) = delete;
+  ScopedStageTag& operator=(const ScopedStageTag&) = delete;
+
+ private:
+  const char* previous_;
+};
+
+/// The innermost tag on this thread, or nullptr.
+const char* CurrentStageTag();
+
+struct ProfilerOptions {
+  /// Samples per second of consumed CPU time. 99 (not 100) avoids
+  /// lockstep with common 10 ms periodic work.
+  int hz = 99;
+  /// Sample buffer capacity; sampling stops silently when full.
+  /// 32768 samples × ~544 B ≈ 17 MiB, ~5.5 CPU-minutes at 99 Hz.
+  std::size_t max_samples = 32768;
+};
+
+/// One collected sample: the stage tag at sampling time plus the raw
+/// return addresses, innermost first.
+struct Sample {
+  const char* stage_tag;  // may be nullptr
+  std::vector<void*> frames;
+};
+
+struct Profile {
+  ProfilerOptions options;
+  std::vector<Sample> samples;
+  /// Samples not recorded because the buffer was full.
+  std::uint64_t dropped = 0;
+  double duration_seconds = 0;
+};
+
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  /// Installs the SIGPROF handler and arms ITIMER_PROF. Returns false
+  /// (and does nothing) if a profile is already running or the options
+  /// are invalid (hz < 1 or > 1000, max_samples == 0).
+  bool Start(const ProfilerOptions& options);
+
+  /// Disarms the timer, restores the previous SIGPROF disposition, and
+  /// returns everything sampled since Start(). Safe to call when not
+  /// running (returns an empty profile).
+  Profile Stop();
+
+  bool IsRunning() const;
+
+  /// Deterministic test hook: records one sample exactly as the signal
+  /// handler would (current thread's stack + stage tag), without any
+  /// timer. Requires Start() first. Returns false if the buffer is full
+  /// or the profiler is not running.
+  bool TickForTesting();
+
+ private:
+  Profiler() = default;
+};
+
+/// Renders a profile as folded stacks: one line per unique stack,
+/// `frame;frame;...;leaf count\n`, root-first, sorted by line. Frames
+/// are demangled where possible, `[0xADDR]` otherwise; the stage tag
+/// becomes the root `stage:<tag>` frame (or `stage:untagged`).
+std::string FoldedStacks(const Profile& profile);
+
+/// Total samples across a folded-stack string (sum of trailing counts).
+/// Returns -1 if any line fails to parse — the format validator used by
+/// tests and `gupt_cli profile`.
+std::int64_t FoldedSampleCount(const std::string& folded);
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_PROF_PROFILER_H_

@@ -1,0 +1,89 @@
+#include "obs/prof/rusage.h"
+
+#include <sys/resource.h>
+#include <time.h>
+
+#include <cstdio>
+
+namespace gupt {
+namespace obs {
+namespace prof {
+namespace {
+
+std::int64_t ClockNanos(clockid_t clock) {
+  timespec ts{};
+  if (clock_gettime(clock, &ts) != 0) return 0;
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+std::int64_t TimevalNanos(const timeval& tv) {
+  return static_cast<std::int64_t>(tv.tv_sec) * 1'000'000'000 +
+         static_cast<std::int64_t>(tv.tv_usec) * 1'000;
+}
+
+RusageSnapshot Snapshot(int who) {
+  rusage ru{};
+  RusageSnapshot snap;
+  if (getrusage(who, &ru) != 0) return snap;
+  snap.user_ns = TimevalNanos(ru.ru_utime);
+  snap.sys_ns = TimevalNanos(ru.ru_stime);
+  snap.max_rss_kb = ru.ru_maxrss;
+  snap.minor_faults = ru.ru_minflt;
+  snap.major_faults = ru.ru_majflt;
+  snap.voluntary_ctx_switches = ru.ru_nvcsw;
+  snap.involuntary_ctx_switches = ru.ru_nivcsw;
+  return snap;
+}
+
+}  // namespace
+
+std::int64_t ThreadCpuNanos() { return ClockNanos(CLOCK_THREAD_CPUTIME_ID); }
+
+std::int64_t ProcessCpuNanos() { return ClockNanos(CLOCK_PROCESS_CPUTIME_ID); }
+
+RusageSnapshot ThreadRusage() {
+#ifdef RUSAGE_THREAD
+  return Snapshot(RUSAGE_THREAD);
+#else
+  return Snapshot(RUSAGE_SELF);
+#endif
+}
+
+RusageSnapshot ProcessRusage() { return Snapshot(RUSAGE_SELF); }
+
+RusageSnapshot ChildrenRusage() { return Snapshot(RUSAGE_CHILDREN); }
+
+RusageSnapshot Delta(const RusageSnapshot& begin, const RusageSnapshot& end) {
+  RusageSnapshot d;
+  d.user_ns = end.user_ns - begin.user_ns;
+  d.sys_ns = end.sys_ns - begin.sys_ns;
+  d.max_rss_kb = end.max_rss_kb;
+  d.minor_faults = end.minor_faults - begin.minor_faults;
+  d.major_faults = end.major_faults - begin.major_faults;
+  d.voluntary_ctx_switches =
+      end.voluntary_ctx_switches - begin.voluntary_ctx_switches;
+  d.involuntary_ctx_switches =
+      end.involuntary_ctx_switches - begin.involuntary_ctx_switches;
+  return d;
+}
+
+std::string ResourceLedger::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cpu=%.1fms child_cpu=%.1fms maxrss=%lldkB child_maxrss=%lldkB"
+                " minflt=%lld majflt=%lld nvcsw=%lld/%lld",
+                static_cast<double>(cpu_ns) / 1e6,
+                static_cast<double>(child_user_cpu_ns + child_sys_cpu_ns) /
+                    1e6,
+                static_cast<long long>(max_rss_kb),
+                static_cast<long long>(child_max_rss_kb),
+                static_cast<long long>(minor_faults),
+                static_cast<long long>(major_faults),
+                static_cast<long long>(voluntary_ctx_switches),
+                static_cast<long long>(involuntary_ctx_switches));
+  return std::string(buf);
+}
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,99 @@
+// Resource accounting primitives: thread/process CPU clocks and rusage
+// snapshots, plus the per-query ResourceLedger the pipeline fills in.
+//
+// GUPT's performance story (paper §6, Fig. 6) is dominated by per-block
+// sandbox cost — fork + copy + IPC — which wall-clock spans alone cannot
+// attribute: overlapping workers hide CPU behind wall time, and forked
+// children burn cycles the coordinator never sees. This header provides
+// the exact counters: CLOCK_THREAD_CPUTIME_ID for per-stage coordinator
+// CPU, RUSAGE_THREAD deltas for faults/context switches, and per-child
+// rusage (captured by the process chamber via wait4) for what the
+// sandboxed subprocesses actually cost.
+//
+// Layering: obs-level (std + POSIX only), so every runtime layer above
+// can account resources without a cycle.
+
+#ifndef GUPT_OBS_PROF_RUSAGE_H_
+#define GUPT_OBS_PROF_RUSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gupt {
+namespace obs {
+namespace prof {
+
+/// CPU nanoseconds consumed by the calling thread
+/// (CLOCK_THREAD_CPUTIME_ID). Monotone per thread; differences between two
+/// reads on the same thread are exact to the clock's granularity.
+std::int64_t ThreadCpuNanos();
+
+/// CPU nanoseconds consumed by the whole process, all threads
+/// (CLOCK_PROCESS_CPUTIME_ID).
+std::int64_t ProcessCpuNanos();
+
+/// One getrusage() reading. `max_rss_kb` is a high-water mark, not a rate:
+/// Delta() keeps the end value rather than subtracting.
+struct RusageSnapshot {
+  std::int64_t user_ns = 0;
+  std::int64_t sys_ns = 0;
+  std::int64_t max_rss_kb = 0;
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
+};
+
+/// getrusage(RUSAGE_THREAD): the calling thread only (Linux).
+RusageSnapshot ThreadRusage();
+
+/// getrusage(RUSAGE_SELF): the whole process.
+RusageSnapshot ProcessRusage();
+
+/// getrusage(RUSAGE_CHILDREN): every waited-for child, cumulative.
+RusageSnapshot ChildrenRusage();
+
+/// Counter-wise end - begin; max_rss_kb takes the end (high-water) value.
+RusageSnapshot Delta(const RusageSnapshot& begin, const RusageSnapshot& end);
+
+/// The per-query resource ledger, filled by the pipeline driver
+/// (coordinator-thread CPU + RUSAGE_THREAD deltas over the stage walk)
+/// and the execute stage (per-child rusage summed over the block fan-out
+/// when process isolation is on). Attached to QueryReport, summarised
+/// onto AuditRecord, and served by /slowz.
+struct ResourceLedger {
+  /// Coordinator-thread CPU over the whole stage walk. With a sequential
+  /// computation manager this includes the block executions; with a pool
+  /// the workers' CPU shows up in gupt_threadpool_* instead.
+  std::int64_t cpu_ns = 0;
+  /// Summed rusage of the process-chamber children this query forked
+  /// (zero for in-thread chambers).
+  std::int64_t child_user_cpu_ns = 0;
+  std::int64_t child_sys_cpu_ns = 0;
+  /// Largest child high-water RSS observed (kB).
+  std::int64_t child_max_rss_kb = 0;
+  /// Coordinator RUSAGE_THREAD deltas over the walk.
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+  std::int64_t voluntary_ctx_switches = 0;
+  std::int64_t involuntary_ctx_switches = 0;
+  /// Process high-water RSS at release time (kB).
+  std::int64_t max_rss_kb = 0;
+
+  /// Coordinator + child CPU, in seconds.
+  double TotalCpuSeconds() const {
+    return static_cast<double>(cpu_ns + child_user_cpu_ns +
+                               child_sys_cpu_ns) /
+           1e9;
+  }
+
+  /// Compact single line for audit records:
+  ///   "cpu=3.2ms child_cpu=41.0ms maxrss=52108kB minflt=12 nvcsw=3/1".
+  std::string Summary() const;
+};
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_PROF_RUSAGE_H_

@@ -1,0 +1,63 @@
+#include "obs/prof/slow_query_log.h"
+
+#include <algorithm>
+
+namespace gupt {
+namespace obs {
+namespace prof {
+
+SlowQueryLog::SlowQueryLog(std::size_t capacity, double threshold_seconds)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      threshold_seconds_(threshold_seconds < 0 ? 0 : threshold_seconds) {}
+
+bool SlowQueryLog::Record(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++considered_;
+  if (entry.wall_seconds < threshold_seconds_) return false;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(entry));
+    ++retained_;
+    return true;
+  }
+  auto fastest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+        return a.wall_seconds < b.wall_seconds;
+      });
+  if (fastest->wall_seconds < entry.wall_seconds) {
+    *fastest = std::move(entry);
+    ++retained_;
+    return true;
+  }
+  return false;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::vector<SlowQueryEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+              if (a.wall_seconds != b.wall_seconds) {
+                return a.wall_seconds > b.wall_seconds;
+              }
+              return a.query_id < b.query_id;
+            });
+  return out;
+}
+
+std::uint64_t SlowQueryLog::total_considered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return considered_;
+}
+
+std::uint64_t SlowQueryLog::total_retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt

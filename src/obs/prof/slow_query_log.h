@@ -1,0 +1,80 @@
+// Bounded slow-query log: the K worst queries by wall time, each with
+// its full per-stage wall/CPU breakdown and resource ledger, joinable
+// against /tracez and the audit log on `query_id`. Served at /slowz.
+//
+// Keeps the worst K ever seen (not the most recent K): a latency
+// regression that happened an hour ago is exactly what the page is for.
+// An optional threshold filters the noise floor so a busy service does
+// not churn the ring with ordinary queries.
+
+#ifndef GUPT_OBS_PROF_SLOW_QUERY_LOG_H_
+#define GUPT_OBS_PROF_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/prof/rusage.h"
+
+namespace gupt {
+namespace obs {
+namespace prof {
+
+/// One pipeline stage of a slow query: wall span + coordinator
+/// thread-CPU, mirroring the SpanRecords of the query's trace.
+struct StageBreakdown {
+  std::string name;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  bool ok = true;
+};
+
+struct SlowQueryEntry {
+  std::uint64_t query_id = 0;
+  std::string analyst;
+  std::string dataset;
+  std::string program;
+  std::string status;  // "ok" or the error message
+  double wall_seconds = 0;
+  ResourceLedger resources;
+  std::vector<StageBreakdown> stages;
+  /// Wall-clock completion time (unix milliseconds) for display.
+  std::int64_t completed_unix_ms = 0;
+};
+
+class SlowQueryLog {
+ public:
+  /// Keeps at most `capacity` entries; queries faster than
+  /// `threshold_seconds` are counted but never retained (0 retains
+  /// everything until capacity pressure applies).
+  SlowQueryLog(std::size_t capacity, double threshold_seconds);
+
+  /// Considers one completed query for retention. Returns true when the
+  /// entry was retained (it may still rotate out later).
+  bool Record(SlowQueryEntry entry);
+
+  /// Current contents, worst (slowest) first.
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  double threshold_seconds() const { return threshold_seconds_; }
+  /// Queries offered to Record() since construction.
+  std::uint64_t total_considered() const;
+  /// Queries that were retained at least momentarily.
+  std::uint64_t total_retained() const;
+
+ private:
+  const std::size_t capacity_;
+  const double threshold_seconds_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;  // unordered; sorted on Snapshot
+  std::uint64_t considered_ = 0;
+  std::uint64_t retained_ = 0;
+};
+
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_PROF_SLOW_QUERY_LOG_H_

@@ -125,6 +125,14 @@ std::chrono::nanoseconds QueryTrace::TotalDuration() const {
   return total;
 }
 
+std::int64_t QueryTrace::TotalStageCpuNanos() const {
+  std::int64_t total = 0;
+  for (const SpanRecord& span : spans_) {
+    if (span.cpu_ns > 0) total += span.cpu_ns;
+  }
+  return total;
+}
+
 std::string QueryTrace::Summary() const {
   std::string out;
   for (const SpanRecord& span : spans_) {
@@ -159,6 +167,10 @@ std::string QueryTrace::ToJson() const {
     out += std::to_string(span.start_ns);
     out += ",\"duration_ns\":";
     out += std::to_string(span.duration.count());
+    if (span.cpu_ns >= 0) {
+      out += ",\"cpu_ns\":";
+      out += std::to_string(span.cpu_ns);
+    }
     out += ",\"ok\":";
     out += span.ok ? "true" : "false";
     if (!span.note.empty()) {

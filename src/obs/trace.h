@@ -53,6 +53,9 @@ struct SpanRecord {
   bool ok = true;
   /// Free-form detail, e.g. "l=64 beta=418" for the partition stage.
   std::string note;
+  /// Coordinator-thread CPU consumed inside the stage
+  /// (CLOCK_THREAD_CPUTIME_ID delta); negative = not measured.
+  std::int64_t cpu_ns = -1;
 };
 
 /// One per-block chamber execution inside the execute_blocks fan-out.
@@ -93,6 +96,8 @@ class QueryTrace {
   std::optional<double> GaugeValue(const std::string& name) const;
   /// Sum of all span durations.
   std::chrono::nanoseconds TotalDuration() const;
+  /// Sum of measured span CPU times (spans with cpu_ns < 0 contribute 0).
+  std::int64_t TotalStageCpuNanos() const;
 
   /// Compact single-line summary for audit logs:
   ///   "plan=1.2ms charge=3us exec=45ms ... | epsilon_charged=0.5 ..."

@@ -1,12 +1,16 @@
 #include "service/gupt_service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "data/budget_store.h"
 #include "obs/introspect/trace_event.h"
+#include "obs/prof/profiler.h"
 #include "testing/failpoints/failpoints.h"
 
 namespace gupt {
@@ -93,6 +97,29 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   metrics_.traces_retained = metrics.GetGauge(
       "gupt_introspect_traces_retained_count",
       "Completed query traces currently retained for /tracez.");
+  metrics_.profile_requests_ok = metrics.GetCounter(
+      "gupt_prof_profile_requests_total", "/profilez captures by outcome.",
+      {{"outcome", "ok"}});
+  metrics_.profile_requests_busy = metrics.GetCounter(
+      "gupt_prof_profile_requests_total", "/profilez captures by outcome.",
+      {{"outcome", "busy"}});
+  metrics_.profile_requests_error = metrics.GetCounter(
+      "gupt_prof_profile_requests_total", "/profilez captures by outcome.",
+      {{"outcome", "error"}});
+  metrics_.samples_recorded = metrics.GetCounter(
+      "gupt_prof_samples_recorded_total",
+      "Stack samples captured by completed /profilez requests.");
+  metrics_.samples_dropped = metrics.GetCounter(
+      "gupt_prof_samples_dropped_total",
+      "Stack samples lost to a full profiler buffer.");
+  metrics_.slow_queries = metrics.GetCounter(
+      "gupt_prof_slow_queries_total",
+      "Completed queries retained (at least momentarily) by /slowz.");
+  if (options_.slow_query_log_capacity > 0) {
+    slow_query_log_ = std::make_unique<obs::prof::SlowQueryLog>(
+        options_.slow_query_log_capacity,
+        options_.slow_query_threshold_seconds);
+  }
   SvtRegistryOptions svt_options;
   svt_options.capacity = options_.svt_session_capacity;
   svt_options.idle_timeout =
@@ -148,12 +175,16 @@ Result<int> GuptService::StartIntrospection(int port) {
     return Status::Internal("introspection server failed to bind: " + error);
   }
   introspect_ = std::move(server);
+  profilez_cancel_.store(false, std::memory_order_release);
   GUPT_LOG(kInfo) << "introspection server serving on 127.0.0.1:"
                   << introspect_->port();
   return introspect_->port();
 }
 
 void GuptService::StopIntrospection() {
+  // Cancel any in-flight /profilez capture first: Stop() joins the handler
+  // threads, and the capture sleeps in chunks checking this flag.
+  profilez_cancel_.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> lock(introspect_mu_);
   if (introspect_ != nullptr) introspect_->Stop();
 }
@@ -237,6 +268,197 @@ void GuptService::InstallIntrospectionHandlers(
     }
     return response;
   });
+  server->Handle("/slowz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    if (slow_query_log_ == nullptr) {
+      response.status = 404;
+      response.body = "slow-query log disabled (slow_query_log_capacity=0)\n";
+      return response;
+    }
+    if (request.Param("format", "text") == "json") {
+      response.content_type = "application/json";
+      response.body = SlowzJson();
+    } else {
+      response.body = SlowzText();
+    }
+    return response;
+  });
+  server->Handle("/profilez", [this](const HttpRequest& request) {
+    return HandleProfilez(request);
+  });
+}
+
+obs::introspect::HttpResponse GuptService::HandleProfilez(
+    const obs::introspect::HttpRequest& request) {
+  obs::introspect::HttpResponse response;
+  // Fault site: a fired /profilez failpoint models the capture machinery
+  // breaking mid-request. The handler answers 503 without arming the
+  // timer, so queries in flight and later captures are unaffected.
+  if (failpoints::Eval("service.introspect.profilez") !=
+      failpoints::FireAction::kNone) {
+    metrics_.profile_requests_error->Increment();
+    response.status = 503;
+    response.body =
+        failpoints::InjectedMessage("service.introspect.profilez") + "\n";
+    return response;
+  }
+
+  char* end = nullptr;
+  const std::string seconds_param = request.Param("seconds", "1");
+  double seconds = std::strtod(seconds_param.c_str(), &end);
+  if (end == seconds_param.c_str() || *end != '\0' || !(seconds > 0)) {
+    metrics_.profile_requests_error->Increment();
+    response.status = 400;
+    response.body = "bad ?seconds= (want a positive number)\n";
+    return response;
+  }
+  const std::string hz_param = request.Param("hz", "99");
+  long hz = std::strtol(hz_param.c_str(), &end, 10);
+  if (end == hz_param.c_str() || *end != '\0' || hz < 1 || hz > 1000) {
+    metrics_.profile_requests_error->Increment();
+    response.status = 400;
+    response.body = "bad ?hz= (want an integer in [1,1000])\n";
+    return response;
+  }
+  if (options_.profilez_max_seconds > 0 &&
+      seconds > options_.profilez_max_seconds) {
+    seconds = options_.profilez_max_seconds;
+  }
+
+  obs::prof::ProfilerOptions profiler_options;
+  profiler_options.hz = static_cast<int>(hz);
+  if (!obs::prof::Profiler::Get().Start(profiler_options)) {
+    metrics_.profile_requests_busy->Increment();
+    response.status = 503;
+    response.body = "profiler busy (another capture is running)\n";
+    return response;
+  }
+
+  // Sleep out the capture window in short chunks so StopIntrospection can
+  // cancel a long capture instead of waiting on this handler thread.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  while (!profilez_cancel_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(
+        std::min<std::chrono::steady_clock::duration>(
+            remaining, std::chrono::milliseconds(50)));
+  }
+
+  obs::prof::Profile profile = obs::prof::Profiler::Get().Stop();
+  metrics_.profile_requests_ok->Increment();
+  metrics_.samples_recorded->Increment(
+      static_cast<double>(profile.samples.size()));
+  metrics_.samples_dropped->Increment(static_cast<double>(profile.dropped));
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = obs::prof::FoldedStacks(profile);
+  return response;
+}
+
+std::string GuptService::SlowzJson() const {
+  std::ostringstream out;
+  out << "{\"capacity\":" << slow_query_log_->capacity()
+      << ",\"threshold_seconds\":"
+      << JsonDouble(slow_query_log_->threshold_seconds())
+      << ",\"queries_considered\":" << slow_query_log_->total_considered()
+      << ",\"queries\":[";
+  bool first = true;
+  for (const obs::prof::SlowQueryEntry& entry :
+       slow_query_log_->Snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    const obs::prof::ResourceLedger& res = entry.resources;
+    out << "{\"query_id\":" << entry.query_id << ",\"analyst\":\""
+        << JsonEscape(entry.analyst) << "\",\"dataset\":\""
+        << JsonEscape(entry.dataset) << "\",\"program\":\""
+        << JsonEscape(entry.program) << "\",\"status\":\""
+        << JsonEscape(entry.status) << "\",\"completed_unix_ms\":"
+        << entry.completed_unix_ms
+        << ",\"wall_seconds\":" << JsonDouble(entry.wall_seconds)
+        << ",\"cpu_seconds\":"
+        << JsonDouble(static_cast<double>(res.cpu_ns) / 1e9)
+        << ",\"child_cpu_seconds\":"
+        << JsonDouble(static_cast<double>(res.child_user_cpu_ns +
+                                          res.child_sys_cpu_ns) /
+                      1e9)
+        << ",\"max_rss_kb\":" << res.max_rss_kb
+        << ",\"child_max_rss_kb\":" << res.child_max_rss_kb
+        << ",\"minor_faults\":" << res.minor_faults
+        << ",\"major_faults\":" << res.major_faults
+        << ",\"ctx_switches\":{\"voluntary\":" << res.voluntary_ctx_switches
+        << ",\"involuntary\":" << res.involuntary_ctx_switches
+        << "},\"stages\":[";
+    bool first_stage = true;
+    for (const obs::prof::StageBreakdown& stage : entry.stages) {
+      if (!first_stage) out << ',';
+      first_stage = false;
+      out << "{\"name\":\"" << JsonEscape(stage.name)
+          << "\",\"wall_seconds\":" << JsonDouble(stage.wall_seconds)
+          << ",\"cpu_seconds\":" << JsonDouble(stage.cpu_seconds)
+          << ",\"ok\":" << (stage.ok ? "true" : "false") << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string GuptService::SlowzText() const {
+  std::vector<obs::prof::SlowQueryEntry> entries =
+      slow_query_log_->Snapshot();
+  std::ostringstream out;
+  out << "slow queries: " << entries.size() << " retained (capacity "
+      << slow_query_log_->capacity() << ", threshold "
+      << slow_query_log_->threshold_seconds() << "s, "
+      << slow_query_log_->total_considered() << " considered)\n";
+  for (const obs::prof::SlowQueryEntry& entry : entries) {
+    out << "\nqid=" << entry.query_id << " " << entry.program << " on "
+        << entry.dataset << " by " << entry.analyst << "\n"
+        << "  status   " << entry.status << "\n"
+        << "  wall     " << entry.wall_seconds * 1e3 << "ms\n"
+        << "  ledger   " << entry.resources.Summary() << "\n"
+        << "  stages:\n";
+    for (const obs::prof::StageBreakdown& stage : entry.stages) {
+      out << "    " << stage.name << "  wall=" << stage.wall_seconds * 1e3
+          << "ms cpu=" << stage.cpu_seconds * 1e3 << "ms"
+          << (stage.ok ? "" : " (err)") << "\n";
+    }
+  }
+  return out.str();
+}
+
+void GuptService::RecordSlowQuery(const QueryRequest& request,
+                                  const QueryReport& report) {
+  if (slow_query_log_ == nullptr) return;
+  obs::prof::SlowQueryEntry entry;
+  entry.query_id = report.trace.query_id();
+  entry.analyst = request.analyst.empty() ? "<anonymous>" : request.analyst;
+  entry.dataset = request.dataset;
+  entry.program = request.program.name;
+  entry.status = "ok";
+  entry.wall_seconds = std::chrono::duration<double>(report.elapsed).count();
+  entry.resources = report.resources;
+  entry.stages.reserve(report.trace.spans().size());
+  for (const obs::SpanRecord& span : report.trace.spans()) {
+    obs::prof::StageBreakdown stage;
+    stage.name = span.name;
+    stage.wall_seconds = std::chrono::duration<double>(span.duration).count();
+    stage.cpu_seconds =
+        span.cpu_ns >= 0 ? static_cast<double>(span.cpu_ns) / 1e9 : 0.0;
+    stage.ok = span.ok;
+    entry.stages.push_back(std::move(stage));
+  }
+  entry.completed_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  if (slow_query_log_->Record(std::move(entry))) {
+    metrics_.slow_queries->Increment();
+  }
 }
 
 std::string GuptService::SvtzJson() const {
@@ -578,6 +800,14 @@ Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
   if (outcome.ok() && !from_cache) {
     record.epsilon_charged = outcome->epsilon_spent;
     record.trace_summary = outcome->trace.Summary();
+    record.cpu_seconds =
+        static_cast<double>(outcome->resources.cpu_ns) / 1e9;
+    record.child_cpu_seconds =
+        static_cast<double>(outcome->resources.child_user_cpu_ns +
+                            outcome->resources.child_sys_cpu_ns) /
+        1e9;
+    record.resource_summary = outcome->resources.Summary();
+    RecordSlowQuery(request, outcome.value());
   }
   if (from_cache) {
     metrics_.requests_cached->Increment();

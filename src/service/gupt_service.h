@@ -33,6 +33,7 @@
 #include "data/dataset_manager.h"
 #include "obs/introspect/http_server.h"
 #include "obs/introspect/trace_ring.h"
+#include "obs/prof/slow_query_log.h"
 #include "service/program_registry.h"
 #include "service/svt_session.h"
 
@@ -80,6 +81,15 @@ struct ServiceOptions {
   /// SVT sessions idle longer than this are evicted (their session charge,
   /// being irrevocable, is NOT refunded). 0 disables idle eviction.
   std::size_t svt_idle_timeout_ms = 0;
+  /// The K worst-by-wall-time queries retained for /slowz (the worst ever
+  /// seen, not the most recent). 0 disables the slow-query log.
+  std::size_t slow_query_log_capacity = 16;
+  /// Queries faster than this never enter the slow-query log (0 = every
+  /// completed query competes for a slot).
+  double slow_query_threshold_seconds = 0.0;
+  /// Upper bound on one /profilez capture (`?seconds=` is clamped to it);
+  /// the handler thread is occupied for the whole capture.
+  double profilez_max_seconds = 30.0;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -122,6 +132,16 @@ struct AuditRecord {
   /// One-line pipeline trace (stage timings + DP gauges) of the execution
   /// that produced this answer; empty when refused or cache-served.
   std::string trace_summary;
+  /// Coordinator-thread CPU over the pipeline walk (0 when refused or
+  /// cache-served). Sums the per-stage cpu_ns of the trace within clock
+  /// granularity — the /tracez, /slowz and audit views agree by
+  /// construction, all three being copies of the same ledger.
+  double cpu_seconds = 0.0;
+  /// Summed process-chamber child CPU (0 for in-thread chambers).
+  double child_cpu_seconds = 0.0;
+  /// One-line resource ledger (obs::prof::ResourceLedger::Summary());
+  /// empty when refused or cache-served.
+  std::string resource_summary;
 };
 
 /// Export format for DumpMetrics.
@@ -217,6 +237,12 @@ class GuptService {
   /// The /tracez retention ring (exposed for tests and embedders).
   const obs::introspect::TraceRing& trace_ring() const { return trace_ring_; }
 
+  /// The /slowz slow-query log (exposed for tests and embedders); null
+  /// when slow_query_log_capacity is 0.
+  const obs::prof::SlowQueryLog* slow_query_log() const {
+    return slow_query_log_.get();
+  }
+
   /// Per-dataset budget ledgers, as served by /budgetz.
   std::vector<DatasetBudgetSnapshot> BudgetSnapshots() const {
     return manager_.BudgetSnapshots();
@@ -249,6 +275,18 @@ class GuptService {
   /// /svtz bodies.
   std::string SvtzJson() const;
   std::string SvtzText() const;
+
+  /// /slowz bodies.
+  std::string SlowzJson() const;
+  std::string SlowzText() const;
+
+  /// /profilez: arms the sampling profiler for the requested capture
+  /// window on the handler thread and returns the folded stacks.
+  obs::introspect::HttpResponse HandleProfilez(
+      const obs::introspect::HttpRequest& request);
+
+  /// Offers one completed query to the slow-query log.
+  void RecordSlowQuery(const QueryRequest& request, const QueryReport& report);
 
   /// Appends an audit record for an SVT session event (open/close).
   void AuditSvtEvent(const std::string& analyst, const std::string& dataset,
@@ -312,8 +350,23 @@ class GuptService {
     obs::Counter* audit_records;
     obs::Counter* traces_recorded;
     obs::Gauge* traces_retained;
+    obs::Counter* profile_requests_ok;
+    obs::Counter* profile_requests_busy;
+    obs::Counter* profile_requests_error;
+    obs::Counter* samples_recorded;
+    obs::Counter* samples_dropped;
+    obs::Counter* slow_queries;
   };
   Metrics metrics_;
+
+  /// The K worst queries by wall time, served at /slowz. Null when
+  /// disabled. Declared before admission_pool_: workers record into it.
+  std::unique_ptr<obs::prof::SlowQueryLog> slow_query_log_;
+
+  /// Cooperative cancel for an in-flight /profilez capture: the handler
+  /// sleeps in short chunks and re-checks, so StopIntrospection (which
+  /// joins handler threads) is never held for the full capture window.
+  std::atomic<bool> profilez_cancel_{false};
 
   /// Completed traces retained for /tracez.
   obs::introspect::TraceRing trace_ring_;

@@ -1,0 +1,118 @@
+// Exactness tests for the per-query resource ledger the pipeline driver
+// fills on every QueryReport: the per-stage thread-CPU spans must sum to
+// no more than the query's total CPU (the driver snapshots its clock
+// before the first stage and after the last, so stage spans nest inside
+// the query span by construction), and under process isolation the
+// summed child rusage from wait4() must be populated.
+
+#include "core/gupt.h"
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "common/rng.h"
+#include "obs/trace.h"
+
+namespace gupt {
+namespace {
+
+constexpr char kName[] = "ds";
+
+Dataset AgesLike(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(38.0, 12.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QuerySpec MeanSpec(double epsilon) {
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = epsilon;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  return spec;
+}
+
+Result<QueryReport> RunOne(GuptOptions options) {
+  DatasetManager manager;
+  DatasetOptions opts;
+  opts.total_epsilon = 10.0;
+  opts.input_ranges = std::vector<Range>{{0.0, 150.0}};
+  auto registered = manager.Register(kName, AgesLike(20000, 42), opts);
+  if (!registered.ok()) return registered;
+  GuptRuntime runtime(&manager, options);
+  return runtime.Execute(kName, MeanSpec(1.0));
+}
+
+TEST(ResourceLedgerTest, StageCpuSpansSumToAtMostTheQueryTotal) {
+  // num_workers = 0: the coordinator thread runs every block itself, so
+  // all pipeline CPU is on the one thread both clocks measure.
+  GuptOptions options;
+  options.num_workers = 0;
+  auto report = RunOne(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const std::int64_t total_ns = report->resources.cpu_ns;
+  const std::int64_t stage_sum_ns = report->trace.TotalStageCpuNanos();
+  EXPECT_GT(total_ns, 0);
+  EXPECT_GT(stage_sum_ns, 0);
+  // Every stage span must carry a measured CPU time.
+  for (const obs::SpanRecord& span : report->trace.spans()) {
+    EXPECT_GE(span.cpu_ns, 0) << span.name;
+  }
+  // The stage walk is bracketed by the query clock: the sum of the inner
+  // spans can fall below the total (inter-stage driver work) but never
+  // exceed it by more than clock granularity. CLOCK_THREAD_CPUTIME_ID is
+  // nanosecond-reported but tick-quantized; allow one tick per boundary.
+  const std::int64_t slack_ns =
+      static_cast<std::int64_t>(report->trace.spans().size() + 1) * 1000000;
+  EXPECT_LE(stage_sum_ns, total_ns + slack_ns)
+      << "stages " << stage_sum_ns << "ns vs query " << total_ns << "ns";
+}
+
+TEST(ResourceLedgerTest, WallAndCpuAgreeOnASingleThreadedQuery) {
+  GuptOptions options;
+  options.num_workers = 0;
+  auto report = RunOne(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // One thread, no blocking stages: CPU cannot exceed wall (plus
+  // granularity slack — the wall clock and the CPU clock tick apart).
+  EXPECT_LE(report->resources.cpu_ns, report->elapsed.count() + 2000000);
+  // In-thread chambers: no children, so no child rusage.
+  EXPECT_EQ(report->resources.child_user_cpu_ns, 0);
+  EXPECT_EQ(report->resources.child_sys_cpu_ns, 0);
+  EXPECT_EQ(report->resources.child_max_rss_kb, 0);
+}
+
+TEST(ResourceLedgerTest, ProcessIsolationPopulatesChildRusage) {
+  GuptOptions options;
+  // Process isolation requires the sequential computation manager
+  // (forking from a multi-threaded pool is unsafe).
+  options.num_workers = 0;
+  options.chamber_policy.process_isolation = true;
+  auto report = RunOne(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Every block ran in a forked child, so wait4() must have observed a
+  // resident set for at least one of them. Child CPU can legitimately
+  // quantize to zero for tiny blocks, so only non-negativity is asserted.
+  EXPECT_GT(report->resources.child_max_rss_kb, 0);
+  EXPECT_GE(report->resources.child_user_cpu_ns, 0);
+  EXPECT_GE(report->resources.child_sys_cpu_ns, 0);
+  EXPECT_GE(report->resources.TotalCpuSeconds(),
+            static_cast<double>(report->resources.cpu_ns) / 1e9);
+}
+
+TEST(ResourceLedgerTest, LedgerSummaryIsRenderable) {
+  GuptOptions options;
+  options.num_workers = 0;
+  auto report = RunOne(options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string summary = report->resources.Summary();
+  EXPECT_NE(summary.find("cpu="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("maxrss="), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace gupt

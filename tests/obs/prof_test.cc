@@ -1,0 +1,234 @@
+// Unit tests for the sampling profiler, the folded-stack renderer, the
+// rusage capture helpers, and the slow-query log — everything in
+// src/obs/prof/ that can be exercised deterministically: the timer path
+// is covered end-to-end by tests/service/prof_service_test.cc; here the
+// sampler is driven through TickForTesting so counts are exact.
+
+#include "obs/prof/profiler.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/prof/rusage.h"
+#include "obs/prof/slow_query_log.h"
+
+namespace gupt {
+namespace obs {
+namespace prof {
+namespace {
+
+// --- stage tags -----------------------------------------------------------
+
+TEST(ScopedStageTagTest, NestsAndRestoresInnermostTag) {
+  EXPECT_EQ(CurrentStageTag(), nullptr);
+  {
+    ScopedStageTag outer("aggregate");
+    EXPECT_STREQ(CurrentStageTag(), "aggregate");
+    {
+      ScopedStageTag inner("execute_blocks");
+      EXPECT_STREQ(CurrentStageTag(), "execute_blocks");
+    }
+    EXPECT_STREQ(CurrentStageTag(), "aggregate");
+  }
+  EXPECT_EQ(CurrentStageTag(), nullptr);
+}
+
+// --- deterministic sampling ----------------------------------------------
+
+// Keep this out-of-line and volatile-heavy so the tick is taken with a
+// real, distinct frame on the stack.
+[[gnu::noinline]] bool TickInsideWorkload() {
+  volatile double sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+  (void)sink;
+  return Profiler::Get().TickForTesting();
+}
+
+TEST(ProfilerTest, DeterministicTicksProduceExactlyThatManySamples) {
+  ProfilerOptions options;
+  options.hz = 1;  // the timer is irrelevant; ticks are manual
+  ASSERT_TRUE(Profiler::Get().Start(options));
+  ASSERT_TRUE(Profiler::Get().IsRunning());
+
+  constexpr int kTicks = 5;
+  {
+    ScopedStageTag tag("execute_blocks");
+    for (int i = 0; i < kTicks; ++i) {
+      ASSERT_TRUE(TickInsideWorkload());
+    }
+  }
+  Profile profile = Profiler::Get().Stop();
+  EXPECT_FALSE(Profiler::Get().IsRunning());
+
+  ASSERT_EQ(profile.samples.size(), static_cast<std::size_t>(kTicks));
+  EXPECT_EQ(profile.dropped, 0u);
+  for (const Sample& sample : profile.samples) {
+    ASSERT_NE(sample.stage_tag, nullptr);
+    EXPECT_STREQ(sample.stage_tag, "execute_blocks");
+    EXPECT_FALSE(sample.frames.empty());
+  }
+
+  const std::string folded = FoldedStacks(profile);
+  EXPECT_EQ(FoldedSampleCount(folded), kTicks);
+  EXPECT_EQ(folded.compare(0, 6, "stage:"), 0) << folded;
+  EXPECT_NE(folded.find("stage:execute_blocks;"), std::string::npos) << folded;
+  // The sampling machinery itself must be trimmed from every stack.
+  EXPECT_EQ(folded.find("TickForTesting"), std::string::npos) << folded;
+}
+
+TEST(ProfilerTest, UntaggedSamplesFoldUnderTheUntaggedRoot) {
+  ASSERT_TRUE(Profiler::Get().Start(ProfilerOptions{}));
+  ASSERT_EQ(CurrentStageTag(), nullptr);
+  ASSERT_TRUE(Profiler::Get().TickForTesting());
+  Profile profile = Profiler::Get().Stop();
+  const std::string folded = FoldedStacks(profile);
+  EXPECT_EQ(FoldedSampleCount(folded), 1);
+  EXPECT_EQ(folded.compare(0, 15, "stage:untagged;"), 0) << folded;
+}
+
+TEST(ProfilerTest, BufferFullDropsAndCountsInsteadOfGrowing) {
+  ProfilerOptions options;
+  options.max_samples = 2;
+  ASSERT_TRUE(Profiler::Get().Start(options));
+  EXPECT_TRUE(Profiler::Get().TickForTesting());
+  EXPECT_TRUE(Profiler::Get().TickForTesting());
+  EXPECT_FALSE(Profiler::Get().TickForTesting());  // buffer full
+  EXPECT_FALSE(Profiler::Get().TickForTesting());
+  Profile profile = Profiler::Get().Stop();
+  EXPECT_EQ(profile.samples.size(), 2u);
+  EXPECT_EQ(profile.dropped, 2u);
+}
+
+TEST(ProfilerTest, StartRejectsBadOptionsAndDoubleStart) {
+  ProfilerOptions bad_hz;
+  bad_hz.hz = 0;
+  EXPECT_FALSE(Profiler::Get().Start(bad_hz));
+  bad_hz.hz = 1001;
+  EXPECT_FALSE(Profiler::Get().Start(bad_hz));
+  ProfilerOptions no_buffer;
+  no_buffer.max_samples = 0;
+  EXPECT_FALSE(Profiler::Get().Start(no_buffer));
+
+  ASSERT_TRUE(Profiler::Get().Start(ProfilerOptions{}));
+  EXPECT_FALSE(Profiler::Get().Start(ProfilerOptions{}));  // already running
+  (void)Profiler::Get().Stop();
+}
+
+TEST(ProfilerTest, TickAndStopAreSafeWhenNotRunning) {
+  EXPECT_FALSE(Profiler::Get().IsRunning());
+  EXPECT_FALSE(Profiler::Get().TickForTesting());
+  Profile profile = Profiler::Get().Stop();
+  EXPECT_TRUE(profile.samples.empty());
+}
+
+// --- folded-stack validator ----------------------------------------------
+
+TEST(FoldedSampleCountTest, SumsValidPayloadsAndRejectsMalformedOnes) {
+  EXPECT_EQ(FoldedSampleCount(""), 0);
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a;b 3\nstage:release;c 2\n"), 5);
+  // Missing trailing newline.
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a 3"), -1);
+  // Root frame must be the stage tag.
+  EXPECT_EQ(FoldedSampleCount("plan;a 3\n"), -1);
+  // Count must be a positive integer.
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a 0\n"), -1);
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a -2\n"), -1);
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a x\n"), -1);
+  EXPECT_EQ(FoldedSampleCount("stage:plan;a\n"), -1);  // no count at all
+  EXPECT_EQ(FoldedSampleCount("an html error page\n"), -1);
+}
+
+// --- rusage helpers -------------------------------------------------------
+
+TEST(RusageTest, ThreadCpuIsMonotoneAndAdvancesUnderLoad) {
+  const std::int64_t before = ThreadCpuNanos();
+  ASSERT_GE(before, 0);
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink = sink + static_cast<double>(i) * 1e-9;
+  }
+  (void)sink;
+  const std::int64_t after = ThreadCpuNanos();
+  EXPECT_GT(after, before);
+  EXPECT_GE(ProcessCpuNanos(), after);  // process >= this one thread
+}
+
+TEST(RusageTest, DeltaSubtractsCountersAndKeepsPeakRss) {
+  RusageSnapshot begin;
+  begin.user_ns = 100;
+  begin.minor_faults = 7;
+  begin.max_rss_kb = 5000;
+  RusageSnapshot end;
+  end.user_ns = 350;
+  end.minor_faults = 10;
+  end.max_rss_kb = 6000;
+  RusageSnapshot delta = Delta(begin, end);
+  EXPECT_EQ(delta.user_ns, 250);
+  EXPECT_EQ(delta.minor_faults, 3);
+  // max_rss is a high-water mark, not a rate: the delta keeps the peak.
+  EXPECT_EQ(delta.max_rss_kb, 6000);
+}
+
+TEST(RusageTest, LedgerSummarizesAndTotalsChildCpu) {
+  ResourceLedger ledger;
+  ledger.cpu_ns = 1500000;            // 1.5 ms
+  ledger.child_user_cpu_ns = 2000000; // 2 ms
+  ledger.child_sys_cpu_ns = 500000;   // 0.5 ms
+  EXPECT_DOUBLE_EQ(ledger.TotalCpuSeconds(), 0.004);
+  const std::string summary = ledger.Summary();
+  EXPECT_NE(summary.find("cpu="), std::string::npos) << summary;
+  EXPECT_NE(summary.find("child_cpu="), std::string::npos) << summary;
+}
+
+// --- slow-query log -------------------------------------------------------
+
+SlowQueryEntry Entry(std::uint64_t id, double wall_seconds) {
+  SlowQueryEntry entry;
+  entry.query_id = id;
+  entry.wall_seconds = wall_seconds;
+  return entry;
+}
+
+TEST(SlowQueryLogTest, KeepsTheWorstKByWallTime) {
+  SlowQueryLog log(/*capacity=*/2, /*threshold_seconds=*/0.0);
+  EXPECT_TRUE(log.Record(Entry(1, 0.010)));
+  EXPECT_TRUE(log.Record(Entry(2, 0.030)));
+  // Faster than everything retained: rejected.
+  EXPECT_FALSE(log.Record(Entry(3, 0.005)));
+  // Slower than the fastest retained: evicts it.
+  EXPECT_TRUE(log.Record(Entry(4, 0.020)));
+
+  std::vector<SlowQueryEntry> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].query_id, 2u);  // worst first
+  EXPECT_EQ(snapshot[1].query_id, 4u);
+  EXPECT_EQ(log.total_considered(), 4u);
+  EXPECT_EQ(log.total_retained(), 3u);
+}
+
+TEST(SlowQueryLogTest, ThresholdFiltersTheNoiseFloor) {
+  SlowQueryLog log(/*capacity=*/4, /*threshold_seconds=*/0.1);
+  EXPECT_FALSE(log.Record(Entry(1, 0.05)));
+  EXPECT_TRUE(log.Record(Entry(2, 0.10)));  // at-threshold retained
+  EXPECT_TRUE(log.Record(Entry(3, 0.50)));
+  EXPECT_EQ(log.Snapshot().size(), 2u);
+  EXPECT_EQ(log.total_considered(), 3u);
+  EXPECT_EQ(log.total_retained(), 2u);
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityIsClampedToOne) {
+  SlowQueryLog log(/*capacity=*/0, /*threshold_seconds=*/0.0);
+  EXPECT_EQ(log.capacity(), 1u);
+  EXPECT_TRUE(log.Record(Entry(1, 0.010)));
+  EXPECT_TRUE(log.Record(Entry(2, 0.020)));
+  std::vector<SlowQueryEntry> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].query_id, 2u);
+}
+
+}  // namespace
+}  // namespace prof
+}  // namespace obs
+}  // namespace gupt

@@ -255,37 +255,47 @@ TEST(IntrospectServiceTest, TracezRendersFanOutAcrossDistinctWorkerLanes) {
   options.runtime.num_workers = 4;
   auto service = MakeServingService(options);
 
-  QueryRequest request = MeanRequest(0.5);
-  request.gamma = 2;  // resampled partition: plenty of blocks to fan out
-  ASSERT_TRUE(service->SubmitQuery(request).ok());
-
-  HttpGetResult scrape =
-      HttpGet("127.0.0.1", service->introspect_port(), "/tracez");
-  ASSERT_TRUE(scrape.ok) << scrape.error;
-  ASSERT_EQ(scrape.status, 200);
-  EXPECT_NE(scrape.content_type.find("application/json"), std::string::npos);
-
-  JsonValue root;
-  ASSERT_TRUE(ParseJson(scrape.body, &root)) << scrape.body;
-  const JsonValue* events = root.Find("traceEvents");
-  ASSERT_NE(events, nullptr);
-
+  // Whether a single query's blocks actually land on >= 2 pool workers is a
+  // scheduler outcome: on a loaded single-core host one worker can drain the
+  // whole queue before the others wake. Submit until the fan-out happens
+  // (overwhelmingly the first attempt), bounded so a rendering bug still
+  // fails fast; lanes accumulate across attempts, which is what /tracez
+  // renders anyway.
   std::set<double> block_lanes;
   bool saw_query_span = false;
   bool saw_execute_stage = false;
-  for (const JsonValue& event : events->array) {
-    const JsonValue* cat = event.Find("cat");
-    if (cat == nullptr) continue;
-    if (cat->string == "block") {
-      EXPECT_EQ(event.Find("ph")->string, "X");
-      block_lanes.insert(event.Find("tid")->number);
-    } else if (cat->string == "query") {
-      saw_query_span = true;
-      EXPECT_EQ(event.Find("args")->Find("dataset")->string, "ages");
-      EXPECT_GT(event.Find("args")->Find("query_id")->number, 0.0);
-    } else if (cat->string == "stage" &&
-               event.Find("name")->string == "execute_blocks") {
-      saw_execute_stage = true;
+  for (int attempt = 0; attempt < 10 && block_lanes.size() < 2; ++attempt) {
+    QueryRequest request = MeanRequest(0.5);
+    request.gamma = 2;  // resampled partition: plenty of blocks to fan out
+    ASSERT_TRUE(service->SubmitQuery(request).ok());
+
+    HttpGetResult scrape =
+        HttpGet("127.0.0.1", service->introspect_port(), "/tracez");
+    ASSERT_TRUE(scrape.ok) << scrape.error;
+    ASSERT_EQ(scrape.status, 200);
+    EXPECT_NE(scrape.content_type.find("application/json"),
+              std::string::npos);
+
+    JsonValue root;
+    ASSERT_TRUE(ParseJson(scrape.body, &root)) << scrape.body;
+    const JsonValue* events = root.Find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    block_lanes.clear();
+    for (const JsonValue& event : events->array) {
+      const JsonValue* cat = event.Find("cat");
+      if (cat == nullptr) continue;
+      if (cat->string == "block") {
+        EXPECT_EQ(event.Find("ph")->string, "X");
+        block_lanes.insert(event.Find("tid")->number);
+      } else if (cat->string == "query") {
+        saw_query_span = true;
+        EXPECT_EQ(event.Find("args")->Find("dataset")->string, "ages");
+        EXPECT_GT(event.Find("args")->Find("query_id")->number, 0.0);
+      } else if (cat->string == "stage" &&
+                 event.Find("name")->string == "execute_blocks") {
+        saw_execute_stage = true;
+      }
     }
   }
   EXPECT_TRUE(saw_query_span);

@@ -1,0 +1,145 @@
+// Fault injection against the profiling surface: a fired
+// service.introspect.profilez failpoint must degrade to a clean 503 with
+// no stuck handler and no armed profiler left behind, and a fired
+// exec.rusage failpoint must zero the child ledger without touching the
+// query's answer — accounting is diagnostics, never part of the result.
+
+#include "service/gupt_service.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/introspect/http_client.h"
+#include "obs/prof/profiler.h"
+#include "testing/failpoints/failpoints.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::obs::introspect::HttpGet;
+using ::gupt::obs::introspect::HttpGetResult;
+using failpoints::Action;
+using failpoints::CompiledIn;
+using failpoints::Config;
+using failpoints::ScopedFailpoint;
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  request.block_size = 64;
+  return request;
+}
+
+std::unique_ptr<GuptService> MakeService(ServiceOptions options,
+                                         double budget = 10.0) {
+  options.introspect_port = 0;
+  auto service = std::make_unique<GuptService>(
+      std::move(options), ProgramRegistry::WithStandardPrograms());
+  EXPECT_GT(service->introspect_port(), 0);
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(512, 1), ds).ok());
+  return service;
+}
+
+class ProfFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompiledIn()) {
+      GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+    }
+    failpoints::DisarmAll();
+  }
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(ProfFaultTest, ProfilezFaultDegradesTo503WithoutArmingTheProfiler) {
+  auto service = MakeService(ServiceOptions{});
+  const int port = service->introspect_port();
+  {
+    ScopedFailpoint fp("service.introspect.profilez", Config{});
+
+    HttpGetResult refused = HttpGet("127.0.0.1", port, "/profilez?seconds=1");
+    ASSERT_TRUE(refused.ok) << refused.error;
+    EXPECT_EQ(refused.status, 503);
+    EXPECT_NE(refused.body.find("service.introspect.profilez"),
+              std::string::npos)
+        << refused.body;
+    EXPECT_EQ(fp.fires(), 1u);
+    // The handler answered before arming anything: no timer left running,
+    // no capture in progress.
+    EXPECT_FALSE(obs::prof::Profiler::Get().IsRunning());
+
+    // Queries are unaffected while the failpoint is armed: the fault is
+    // confined to the endpoint.
+    ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.25)).ok());
+  }
+
+  // Disarmed: the very next capture succeeds end to end, proving the
+  // refused request left no stuck state behind.
+  HttpGetResult capture = HttpGet("127.0.0.1", port, "/profilez?seconds=0.1",
+                                  /*timeout_ms=*/10000);
+  ASSERT_TRUE(capture.ok) << capture.error;
+  EXPECT_EQ(capture.status, 200) << capture.body;
+  EXPECT_GE(obs::prof::FoldedSampleCount(capture.body), 0) << capture.body;
+  EXPECT_FALSE(obs::prof::Profiler::Get().IsRunning());
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.25)).ok());
+}
+
+TEST_F(ProfFaultTest, RusageFaultZeroesChildLedgerWithoutTouchingTheAnswer) {
+  ServiceOptions options;
+  // Process isolation requires the sequential computation manager.
+  options.runtime.num_workers = 0;
+  options.runtime.seed = 7;
+  options.runtime.chamber_policy.process_isolation = true;
+
+  // Control run: same seed, no fault — the answer the faulted run must
+  // reproduce exactly (rusage capture is off the result path).
+  Row control_output;
+  {
+    auto service = MakeService(options);
+    auto report = service->SubmitQuery(MeanRequest(0.5));
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_GT(report->resources.child_max_rss_kb, 0);
+    control_output = report->output;
+  }
+
+  Config config;
+  config.action = Action::kError;
+  ScopedFailpoint fp("exec.rusage", config);
+  auto service = MakeService(options);
+  auto report = service->SubmitQuery(MeanRequest(0.5));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(fp.fires(), 0u);
+  // Graceful degradation: the child columns read zero instead of garbage.
+  EXPECT_EQ(report->resources.child_user_cpu_ns, 0);
+  EXPECT_EQ(report->resources.child_sys_cpu_ns, 0);
+  EXPECT_EQ(report->resources.child_max_rss_kb, 0);
+  // The DP release is bit-identical to the control run.
+  ASSERT_EQ(report->output.size(), control_output.size());
+  for (std::size_t i = 0; i < control_output.size(); ++i) {
+    EXPECT_DOUBLE_EQ(report->output[i], control_output[i]);
+  }
+  // The coordinator's own ledger is still measured.
+  EXPECT_GT(report->resources.cpu_ns, 0);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Bench-regression harness: run JSON-emitting bench binaries, stamp the
+results with machine info + git sha, and compare runs for regressions.
+
+Each overhead-style bench in bench/ (obs_overhead, prof_overhead,
+failpoint_overhead, svt_throughput, ...) writes a flat BENCH_<name>.json
+into its working directory. This runner executes the requested benches in
+a scratch directory, wraps each payload as
+
+  {
+    "bench": "<name>",
+    "git_sha": "<rev-parse HEAD or 'unknown'>",
+    "unix_time": <seconds>,
+    "machine": {"platform": ..., "cpu_count": ..., "mem_total_kb": ...},
+    "results": { ...the bench's own flat JSON... }
+  }
+
+and writes it to BENCH_<name>.json at the repo root, where the perf
+trajectory is tracked run over run.
+
+Comparison treats any numeric field in "results" whose key ends in `_s`
+or `_ratio` as a latency-like metric (higher = worse): a new value more
+than --threshold percent above the old one is a regression and the exit
+code is nonzero. Other fields (counts, sample totals) are informational.
+
+Usage:
+  bench_runner.py --build-dir BUILD [--bench NAME ...] [--repo-root DIR]
+  bench_runner.py --compare OLD.json NEW.json [--threshold PCT]
+  bench_runner.py --self-test
+
+`--bench` defaults to every known JSON-emitting bench. `--compare` takes
+two wrapped artifacts (or raw bench payloads) and only compares; no
+benches run. `--self-test` exercises the wrap + compare paths on
+synthetic data — this is what ctest runs, so CI stays fast and
+deterministic while real bench runs remain a manual/periodic act.
+
+Exit 0 = ok, 1 = regression or bench failure, 2 = usage error.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+# Benches that emit a flat BENCH_<name>.json of scalar results. fig6's
+# BENCH_obs.json (a full metrics-registry dump) is deliberately excluded:
+# it is a trajectory artifact, not a flat scalar payload.
+KNOWN_BENCHES = {
+    "obs_overhead": "BENCH_obs_overhead.json",
+    "prof_overhead": "BENCH_prof_overhead.json",
+    "failpoint_overhead": "BENCH_failpoint_overhead.json",
+    "svt_throughput": "BENCH_svt.json",
+}
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+
+def machine_info() -> dict:
+    info = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+    try:
+        with open("/proc/meminfo", encoding="utf-8") as f:
+            for line in f:
+                if line.startswith("MemTotal:"):
+                    info["mem_total_kb"] = int(line.split()[1])
+                    break
+    except OSError:
+        pass
+    return info
+
+
+def git_sha(repo_root: pathlib.Path) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return "unknown"
+
+
+def wrap(name: str, results: dict, repo_root: pathlib.Path) -> dict:
+    return {
+        "bench": name,
+        "git_sha": git_sha(repo_root),
+        "unix_time": int(time.time()),
+        "machine": machine_info(),
+        "results": results,
+    }
+
+
+def run_bench(name: str, build_dir: pathlib.Path,
+              repo_root: pathlib.Path) -> bool:
+    binary = build_dir / "bench" / name
+    if not binary.is_file():
+        print(f"bench_runner: no such binary {binary}", file=sys.stderr)
+        return False
+    artifact = KNOWN_BENCHES[name]
+    with tempfile.TemporaryDirectory(prefix="gupt_bench_") as scratch:
+        print(f"bench_runner: running {name} ...")
+        proc = subprocess.run([str(binary)], cwd=scratch)
+        if proc.returncode != 0:
+            print(f"bench_runner: {name} exited {proc.returncode}",
+                  file=sys.stderr)
+            return False
+        payload_path = pathlib.Path(scratch) / artifact
+        if not payload_path.is_file():
+            print(f"bench_runner: {name} did not write {artifact}",
+                  file=sys.stderr)
+            return False
+        results = json.loads(payload_path.read_text(encoding="utf-8"))
+    out_path = repo_root / f"BENCH_{name}.json"
+    out_path.write_text(
+        json.dumps(wrap(name, results, repo_root), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    print(f"bench_runner: wrote {out_path}")
+    return True
+
+
+def flat_results(payload: dict) -> dict:
+    """Accepts either a wrapped artifact or a bench's raw flat JSON."""
+    return payload.get("results", payload)
+
+
+def compare(old_path: pathlib.Path, new_path: pathlib.Path,
+            threshold_pct: float) -> int:
+    old = flat_results(json.loads(old_path.read_text(encoding="utf-8")))
+    new = flat_results(json.loads(new_path.read_text(encoding="utf-8")))
+    regressions = []
+    compared = 0
+    for key, old_value in sorted(old.items()):
+        if not isinstance(old_value, (int, float)) or isinstance(old_value, bool):
+            continue
+        if not (key.endswith("_s") or key.endswith("_ratio")):
+            continue
+        new_value = new.get(key)
+        if not isinstance(new_value, (int, float)):
+            print(f"  {key}: missing from new run (skipped)")
+            continue
+        compared += 1
+        if old_value > 0:
+            delta_pct = 100.0 * (new_value - old_value) / old_value
+        else:
+            delta_pct = 0.0 if new_value <= old_value else float("inf")
+        marker = ""
+        if delta_pct > threshold_pct:
+            marker = "  <-- REGRESSION"
+            regressions.append((key, old_value, new_value, delta_pct))
+        print(f"  {key}: {old_value:.9g} -> {new_value:.9g} "
+              f"({delta_pct:+.2f}%){marker}")
+    if compared == 0:
+        print("bench_runner: no comparable fields", file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"bench_runner: {len(regressions)} regression(s) beyond "
+            f"{threshold_pct:.1f}%", file=sys.stderr,
+        )
+        return 1
+    print(f"bench_runner: {compared} fields within {threshold_pct:.1f}%")
+    return 0
+
+
+def self_test() -> int:
+    """Wrap + compare smoke on synthetic payloads (what ctest runs)."""
+    info = machine_info()
+    if info["cpu_count"] <= 0 or not info["platform"]:
+        print("bench_runner: self-test: bad machine info", file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(prefix="gupt_bench_selftest_") as scratch:
+        root = pathlib.Path(scratch)
+        base = {"queries": 31, "off_median_s": 0.100, "armed_median_s": 0.103,
+                "armed_ratio": 1.03}
+        same = dict(base)
+        worse = dict(base, armed_median_s=0.150, armed_ratio=1.50)
+        old_path = root / "old.json"
+        old_path.write_text(
+            json.dumps(wrap("selftest", base, root)), encoding="utf-8")
+        ok_path = root / "ok.json"
+        ok_path.write_text(json.dumps(same), encoding="utf-8")
+        bad_path = root / "bad.json"
+        bad_path.write_text(
+            json.dumps(wrap("selftest", worse, root)), encoding="utf-8")
+        if compare(old_path, ok_path, DEFAULT_THRESHOLD_PCT) != 0:
+            print("bench_runner: self-test: clean pair flagged",
+                  file=sys.stderr)
+            return 1
+        if compare(old_path, bad_path, DEFAULT_THRESHOLD_PCT) == 0:
+            print("bench_runner: self-test: planted regression missed",
+                  file=sys.stderr)
+            return 1
+    print("bench_runner: self-test ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", type=pathlib.Path)
+    parser.add_argument("--repo-root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--bench", action="append", choices=sorted(KNOWN_BENCHES),
+                        help="bench to run (repeatable; default: all)")
+    parser.add_argument("--compare", nargs=2, type=pathlib.Path,
+                        metavar=("OLD", "NEW"))
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD_PCT,
+                        metavar="PCT", help="regression threshold percent")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.compare:
+        return compare(args.compare[0], args.compare[1], args.threshold)
+    if args.build_dir is None:
+        parser.error("--build-dir is required to run benches")
+    benches = args.bench or sorted(KNOWN_BENCHES)
+    failed = [b for b in benches
+              if not run_bench(b, args.build_dir, args.repo_root)]
+    if failed:
+        print(f"bench_runner: failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,13 @@ staged query pipeline (src/core/pipeline/) free of service-level
 concerns: core must never include service/. The same split governs the
 interactive SVT subsystem: the mechanism (dp/svt.h) knows nothing of
 sessions; the stateful registry (service/svt_session.h) composes it
-with data/ and obs/ from the top layer.
+with data/ and obs/ from the top layer. The profiling subsystem
+(obs/prof/) follows the same doctrine: the sampler, rusage capture, and
+slow-query log are plain bottom-layer mechanisms every layer may use
+(core tags pipeline stages, exec sums child rusage), while their fault
+hooks (`exec.rusage`, `service.introspect.profilez`) and the /profilez
+and /slowz endpoints live in exec/ and service/ — obs stays
+failpoint-free and serves no policy.
 
 Usage: check_layering.py <repo-root>
 Exits non-zero listing every violating include.

@@ -21,7 +21,12 @@ first segment is a registered src/ module, e.g. `exec.chamber.entry` or
 Subsystems added later are picked up by the same scan with no lint
 changes: the interactive SVT subsystem's `gupt_svt_*` family
 (src/service/svt_session.cc) and its `service.svt.*` failpoint sites
-(docs/svt.md) are linted here like every other registration.
+(docs/svt.md) are linted here like every other registration, as are the
+profiling & resource-accounting families `gupt_prof_*` (stage/query CPU,
+/profilez capture outcomes, sample and slow-query counters) and
+`gupt_rusage_*` (child CPU/RSS from wait4, fault and context-switch
+deltas) with their `exec.rusage` and `service.introspect.profilez`
+failpoint sites (docs/observability.md).
 
 Usage:
   check_metrics_names.py [repo_root]      lint registrations in the sources

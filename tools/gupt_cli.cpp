@@ -45,6 +45,8 @@
 
 #include "common/csv.h"
 #include "data/synthetic.h"
+#include "obs/introspect/http_client.h"
+#include "obs/prof/profiler.h"
 #include "service/gupt_service.h"
 
 namespace gupt {
@@ -174,7 +176,14 @@ int Usage() {
       "                    --epsilon E --queries FILE --budget TOTAL\n"
       "                    [--c K] [--records-per-user N] [--ledger FILE]\n"
       "                    [--seed S] [--analyst NAME]\n"
+      "  gupt_cli profile  --port PORT [--seconds N] [--hz H]\n"
+      "                    [--out FILE.folded]\n"
       "  gupt_cli selftest\n"
+      "\n"
+      "profile captures N seconds (default 1) of CPU samples at H Hz\n"
+      "(default 99) from a serving gupt process's /profilez endpoint and\n"
+      "writes folded stacks to FILE (default gupt.folded) — feed it to\n"
+      "FlameGraph's flamegraph.pl or https://speedscope.app.\n"
       "\n"
       "svt answers every candidate in the queries file (lines of\n"
       "`dim,lo,hi[,label]`) through ONE Sparse Vector session: epsilon E\n"
@@ -544,6 +553,56 @@ int RunSvt(const Args& args) {
   return 0;
 }
 
+int RunProfile(const Args& args) {
+  auto port_text = Require(args, "port");
+  if (!port_text.ok()) {
+    std::fprintf(stderr, "%s\n", port_text.status().ToString().c_str());
+    return 2;
+  }
+  const int port = std::atoi(port_text->c_str());
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bad --port: %s\n", port_text->c_str());
+    return 2;
+  }
+  const std::string seconds = Optional(args, "seconds", "1");
+  const std::string hz = Optional(args, "hz", "99");
+  const std::string out_path = Optional(args, "out", "gupt.folded");
+
+  const double wait_s = std::strtod(seconds.c_str(), nullptr);
+  const int timeout_ms =
+      static_cast<int>((wait_s > 0 ? wait_s : 1) * 1000.0) + 10000;
+  obs::introspect::HttpGetResult result = obs::introspect::HttpGet(
+      "127.0.0.1", port, "/profilez?seconds=" + seconds + "&hz=" + hz,
+      timeout_ms);
+  if (!result.ok) {
+    std::fprintf(stderr, "profile fetch failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (result.status != 200) {
+    std::fprintf(stderr, "profile refused (HTTP %d): %s", result.status,
+                 result.body.c_str());
+    return 1;
+  }
+  const std::int64_t samples = obs::prof::FoldedSampleCount(result.body);
+  if (samples < 0) {
+    std::fprintf(stderr, "profile payload is not valid folded stacks\n");
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << result.body;
+  out.close();
+  std::printf("wrote %s: %lld samples over %ss at %s Hz\n", out_path.c_str(),
+              static_cast<long long>(samples), seconds.c_str(), hz.c_str());
+  std::printf("render: flamegraph.pl %s > flame.svg, or load it in "
+              "https://speedscope.app\n",
+              out_path.c_str());
+  return 0;
+}
+
 int RunSelfTest() {
   // End-to-end smoke: write a CSV, query it twice through a ledger, and
   // verify the third invocation is refused by the restored ledger.
@@ -601,6 +660,7 @@ int Main(int argc, char** argv) {
   if (args.command == "programs") return RunPrograms();
   if (args.command == "query") return RunQuery(args);
   if (args.command == "svt") return RunSvt(args);
+  if (args.command == "profile") return RunProfile(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }

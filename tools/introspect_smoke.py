@@ -7,7 +7,8 @@ Drives the built gupt_cli binary the way an operator would:
   2. runs `gupt_cli query --serve=0 --gamma 3 --workers 4 --metrics-out=...`
      (ephemeral introspection port, parsed from stdout),
   3. while the process holds on stdin, scrapes /healthz, /metrics,
-     /budgetz?format=json, /varz, and /tracez over a real socket,
+     /budgetz?format=json, /varz, /tracez, /slowz, and a short /profilez
+     capture over a real socket,
   4. lints both the scraped /metrics payload and the --metrics-out file
      with check_metrics_names.py --payload,
   5. checks the /budgetz ledger arithmetic and that /tracez is valid
@@ -176,6 +177,47 @@ def main() -> int:
         for event in blocks + stages:
             if event.get("ph") != "X":
                 fail(f"span without ph=X: {event}")
+
+        # --- /slowz ---------------------------------------------------------
+        content_type, slow_body = get(port, "/slowz?format=json")
+        if "application/json" not in content_type:
+            fail(f"/slowz content type: {content_type}")
+        slowz = json.loads(slow_body)
+        if slowz["queries_considered"] < 1:
+            fail(f"/slowz considered no queries: {slow_body[:200]}")
+        entries = slowz["queries"]
+        if not entries:
+            fail("/slowz retained no queries")
+        entry = entries[0]
+        if entry["program"] != "mean" or entry["query_id"] <= 0:
+            fail(f"/slowz entry: {entry}")
+        stage_names = {s["name"] for s in entry["stages"]}
+        if "execute_blocks" not in stage_names:
+            fail(f"/slowz entry has no execute_blocks stage: {stage_names}")
+        # The slow query's per-stage CPU must sum to no more than the
+        # query CPU plus clock granularity.
+        stage_cpu = sum(s["cpu_seconds"] for s in entry["stages"])
+        if stage_cpu > entry["cpu_seconds"] + 1e-3 * (len(entry["stages"]) + 1):
+            fail(
+                f"/slowz stage CPU {stage_cpu} exceeds query CPU "
+                f"{entry['cpu_seconds']}"
+            )
+        _, slow_text = get(port, "/slowz")
+        if f"qid={entry['query_id']}" not in slow_text:
+            fail(f"/slowz text is missing qid={entry['query_id']}")
+
+        # --- /profilez ------------------------------------------------------
+        # A short capture: the process is idle, so zero samples is a valid
+        # (and likely) outcome — the payload must still be valid folded
+        # stacks, i.e. every line is "stage:<frames...> <count>".
+        content_type, folded = get(port, "/profilez?seconds=0.2&hz=97")
+        if "text/plain" not in content_type:
+            fail(f"/profilez content type: {content_type}")
+        for line in folded.splitlines():
+            if not re.fullmatch(r"stage:\S+ \d+", line):
+                fail(f"/profilez line is not a folded stack: {line!r}")
+        get(port, "/profilez?seconds=nope", want_status=400)
+        get(port, "/profilez?hz=9999", want_status=400)
 
         # --- index + 404 ----------------------------------------------------
         _, index = get(port, "/")

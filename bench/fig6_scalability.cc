@@ -115,6 +115,22 @@ int Run() {
                      bench::Fmt(loose.wall_s), bench::Fmt(loose.cpu_s),
                      bench::Fmt(helper.wall_s), bench::Fmt(helper.cpu_s)});
   }
+
+  // Data-movement footnote: total bytes the partitioner gathered across
+  // all the private runs above (each cell is copied once into the
+  // block-shuffled store; the per-block views are zero-copy), plus the
+  // chamber-pool lease/reset counters — zero here, since this figure runs
+  // in-thread chambers, but reported so a future pool-backed run of the
+  // same figure is directly comparable.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  std::printf("# partition_copied_mb %.2f  pool_leases %.0f  pool_resets "
+              "%.0f\n",
+              registry.GetCounter("gupt_data_partition_copied_bytes_total",
+                                  "")->Value() / 1048576.0,
+              registry.GetCounter("gupt_chamber_pool_leases_total", "")
+                  ->Value(),
+              registry.GetCounter("gupt_chamber_pool_resets_total", "")
+                  ->Value());
   return WriteObsJson("BENCH_obs.json");
 }
 

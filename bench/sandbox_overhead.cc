@@ -10,12 +10,16 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "analytics/kmeans.h"
 #include "common/rng.h"
 #include "data/dataset.h"
+#include "data/partitioner.h"
 #include "exec/chamber.h"
+#include "exec/chamber_pool.h"
 #include "exec/process_chamber.h"
+#include "obs/metrics.h"
 
 namespace gupt {
 namespace {
@@ -90,6 +94,66 @@ void BM_KMeansInSubprocess(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(child_max_rss_kb));
 }
 BENCHMARK(BM_KMeansInSubprocess)->Arg(200)->Arg(1000);
+
+// The pre-warmed pool backend: same OS-level isolation as the subprocess
+// path but the fork is paid once, not per block — each iteration is one
+// lease (ship columns, run, reset). The lease/reset counters confirm every
+// iteration reused a warm worker (respawns stay 0 on a healthy run).
+void BM_KMeansInPooledChamber(benchmark::State& state) {
+  Dataset block = MakeBlock(static_cast<std::size_t>(state.range(0)));
+  ChamberPool pool{ChamberPolicy{}, 1};
+  pool.SetProgramResolver(
+      [](const std::string& token) -> Result<ProgramFactory> {
+        if (token != "kmeans") {
+          return Status::InvalidArgument("unknown token: " + token);
+        }
+        return analytics::KMeansQuery(BlockKMeans());
+      });
+  if (!pool.Start().ok()) {
+    state.SkipWithError("pool failed to start");
+    return;
+  }
+  Row fallback(4, 0.0);
+  ChamberPoolStats before = pool.Stats();
+  for (auto _ : state) {
+    auto run = pool.Execute("kmeans", block.view(), fallback);
+    if (!run.ok() || run->used_fallback) state.SkipWithError("lease failed");
+    benchmark::DoNotOptimize(run);
+  }
+  ChamberPoolStats after = pool.Stats();
+  state.counters["pool_leases"] =
+      benchmark::Counter(static_cast<double>(after.leases - before.leases));
+  state.counters["pool_resets"] =
+      benchmark::Counter(static_cast<double>(after.resets - before.resets));
+  state.counters["pool_respawns"] = benchmark::Counter(
+      static_cast<double>(after.respawns - before.respawns));
+  state.counters["shipped_kb_per_lease"] = benchmark::Counter(
+      static_cast<double>(after.shipped_bytes - before.shipped_bytes) /
+      1024.0 / static_cast<double>(after.leases - before.leases));
+}
+BENCHMARK(BM_KMeansInPooledChamber)->Arg(200)->Arg(1000);
+
+// Cost of standing up executable blocks: one block-shuffled columnar
+// gather per query, after which every block view is zero-copy. The
+// copied_mb_per_iter counter is the partitioner's own
+// gupt_data_partition_copied_bytes_total delta — each cell moves exactly
+// once.
+void BM_PartitionColumnarGather(benchmark::State& state) {
+  Dataset data = MakeBlock(static_cast<std::size_t>(state.range(0)));
+  obs::Counter* copied = obs::MetricsRegistry::Get().GetCounter(
+      "gupt_data_partition_copied_bytes_total", "");
+  const double before = copied->Value();
+  Rng rng(1234);
+  for (auto _ : state) {
+    auto set = PartitionDisjointView(data, /*num_blocks=*/16, &rng);
+    if (!set.ok()) state.SkipWithError("partition failed");
+    benchmark::DoNotOptimize(set);
+  }
+  state.counters["copied_mb_per_iter"] = benchmark::Counter(
+      (copied->Value() - before) / 1048576.0,
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PartitionColumnarGather)->Arg(4096)->Arg(65536);
 
 }  // namespace
 }  // namespace gupt

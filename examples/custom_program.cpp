@@ -37,14 +37,16 @@ class TheilSenTrend final : public AnalysisProgram {
     // Instance state is fine: every chamber constructs a fresh instance,
     // so nothing carries over between blocks.
     slopes_.clear();
-    const auto& rows = block.rows();
+    const double* times = block.col(0);
+    const double* values = block.col(1);
+    const std::size_t n = block.num_rows();
     // Cap the pair count for large blocks (Theil-Sen is O(n^2)).
-    std::size_t step = rows.size() > 200 ? rows.size() / 200 : 1;
-    for (std::size_t i = 0; i < rows.size(); i += step) {
-      for (std::size_t j = i + step; j < rows.size(); j += step) {
-        double dt = rows[j][0] - rows[i][0];
+    std::size_t step = n > 200 ? n / 200 : 1;
+    for (std::size_t i = 0; i < n; i += step) {
+      for (std::size_t j = i + step; j < n; j += step) {
+        double dt = times[j] - times[i];
         if (dt == 0.0) continue;
-        slopes_.push_back((rows[j][1] - rows[i][1]) / dt);
+        slopes_.push_back((values[j] - values[i]) / dt);
       }
     }
     if (slopes_.empty()) {

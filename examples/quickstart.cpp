@@ -28,7 +28,7 @@ int main() {
   const std::string path = "/tmp/gupt_quickstart_ages.csv";
   csv::Table table;
   table.column_names = {"age"};
-  table.rows = ages.rows();
+  table.rows = ages.MaterializeRows();
   if (!csv::WriteFile(path, table).ok()) return 1;
 
   Result<Dataset> loaded = Dataset::FromCsvFile(path, /*has_header=*/true);

@@ -25,12 +25,11 @@ Result<std::vector<Row>> ExtractFeatures(
       return Status::InvalidArgument("feature dim out of range");
     }
   }
-  std::vector<Row> points;
-  points.reserve(data.num_rows());
-  for (const Row& row : data.rows()) {
-    Row p(dims.size());
-    for (std::size_t i = 0; i < dims.size(); ++i) p[i] = row[dims[i]];
-    points.push_back(std::move(p));
+  std::vector<const double*> cols(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) cols[i] = data.col(dims[i]);
+  std::vector<Row> points(data.num_rows(), Row(dims.size()));
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t i = 0; i < dims.size(); ++i) points[r][i] = cols[i][r];
   }
   return points;
 }

@@ -71,13 +71,18 @@ Result<LinearModel> FitLinearRegression(
   // Design matrix with a trailing constant column; accumulate X^T X and
   // X^T y directly (d+1 x d+1, cheap for the small d used here).
   const std::size_t d = options.feature_dims.size() + 1;
+  std::vector<const double*> cols(d - 1);
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    cols[i] = data.col(options.feature_dims[i]);
+  }
+  const double* target = data.col(options.target_dim);
   std::vector<Row> xtx(d, Row(d, 0.0));
   Row xty(d, 0.0);
   Row x(d);
-  for (const Row& row : data.rows()) {
-    for (std::size_t i = 0; i + 1 < d; ++i) x[i] = row[options.feature_dims[i]];
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    for (std::size_t i = 0; i + 1 < d; ++i) x[i] = cols[i][r];
     x[d - 1] = 1.0;
-    double y = row[options.target_dim];
+    double y = target[r];
     for (std::size_t i = 0; i < d; ++i) {
       for (std::size_t j = 0; j < d; ++j) xtx[i][j] += x[i] * x[j];
       xty[i] += x[i] * y;
@@ -106,10 +111,19 @@ Result<double> MeanSquaredError(const Dataset& data, const LinearModel& model,
   if (options.target_dim >= data.num_dims()) {
     return Status::InvalidArgument("target dim out of range");
   }
+  std::vector<const double*> cols(options.feature_dims.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    cols[i] = data.col(options.feature_dims[i]);
+  }
+  const double* target = data.col(options.target_dim);
   double sum = 0.0;
-  for (const Row& row : data.rows()) {
-    double err = model.Predict(row, options.feature_dims) -
-                 row[options.target_dim];
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    // Same accumulation order as LinearModel::Predict on a row.
+    double predicted = model.coefficients.back();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      predicted += model.coefficients[i] * cols[i][r];
+    }
+    double err = predicted - target[r];
     sum += err * err;
   }
   return sum / static_cast<double>(data.num_rows());

@@ -42,15 +42,31 @@ double Margin(const Row& row, const Row& weights,
   return z;
 }
 
+// All margins z_r = bias + sum_i w_i * x_{r,i}, accumulated per row in
+// feature order over contiguous columns — the same FP sequence per margin
+// as the old per-row Margin, so every downstream decision is bit-identical.
+std::vector<double> Margins(const Dataset& data, const Row& weights,
+                            const std::vector<std::size_t>& feature_dims) {
+  const std::size_t n = data.num_rows();
+  std::vector<double> z(n, weights.back());
+  for (std::size_t i = 0; i < feature_dims.size(); ++i) {
+    const double* column = data.col(feature_dims[i]);
+    const double w = weights[i];
+    for (std::size_t r = 0; r < n; ++r) z[r] += w * column[r];
+  }
+  return z;
+}
+
 // Regularised negative log-likelihood (averaged over rows).
 double Loss(const Dataset& data, const Row& weights,
             const LogisticRegressionOptions& options) {
+  const double* labels = data.col(options.label_dim);
+  std::vector<double> z = Margins(data, weights, options.feature_dims);
   double loss = 0.0;
-  for (const Row& row : data.rows()) {
-    double z = Margin(row, weights, options.feature_dims);
-    double y = row[options.label_dim];
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    double y = labels[r];
     // log(1 + exp(-m)) with m = z for y=1 and m = -z for y=0, stably.
-    double m = (y > 0.5) ? z : -z;
+    double m = (y > 0.5) ? z[r] : -z[r];
     loss += (m > 0.0) ? std::log1p(std::exp(-m)) : -m + std::log1p(std::exp(m));
   }
   loss /= static_cast<double>(data.num_rows());
@@ -71,10 +87,12 @@ double LogisticModel::PredictProbability(
 Result<LogisticModel> TrainLogisticRegression(
     const Dataset& data, const LogisticRegressionOptions& options) {
   GUPT_RETURN_IF_ERROR(ValidateDims(data, options));
-  for (const Row& row : data.rows()) {
-    double y = row[options.label_dim];
-    if (y != 0.0 && y != 1.0) {
-      return Status::InvalidArgument("labels must be 0 or 1");
+  {
+    const double* labels = data.col(options.label_dim);
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+      if (labels[r] != 0.0 && labels[r] != 1.0) {
+        return Status::InvalidArgument("labels must be 0 or 1");
+      }
     }
   }
 
@@ -85,15 +103,28 @@ Result<LogisticModel> TrainLogisticRegression(
   double step = 1.0;
   double current_loss = Loss(data, weights, options);
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // Gradient of the averaged loss + L2 term (bias unregularised).
+    // Gradient of the averaged loss + L2 term (bias unregularised). Each
+    // grad component accumulates over rows in row order (as the old
+    // row-major loop did), one contiguous column sweep per feature.
     Row grad(dims + 1, 0.0);
-    for (const Row& row : data.rows()) {
-      double p = Sigmoid(Margin(row, weights, options.feature_dims));
-      double err = p - row[options.label_dim];
-      for (std::size_t i = 0; i < dims; ++i) {
-        grad[i] += err * row[options.feature_dims[i]];
+    {
+      const double* labels = data.col(options.label_dim);
+      std::vector<double> z = Margins(data, weights, options.feature_dims);
+      std::vector<double> err(data.num_rows());
+      for (std::size_t r = 0; r < data.num_rows(); ++r) {
+        err[r] = Sigmoid(z[r]) - labels[r];
       }
-      grad[dims] += err;
+      for (std::size_t i = 0; i < dims; ++i) {
+        const double* column = data.col(options.feature_dims[i]);
+        double acc = 0.0;
+        for (std::size_t r = 0; r < data.num_rows(); ++r) {
+          acc += err[r] * column[r];
+        }
+        grad[i] = acc;
+      }
+      double acc = 0.0;
+      for (std::size_t r = 0; r < data.num_rows(); ++r) acc += err[r];
+      grad[dims] = acc;
     }
     vec::ScaleInPlace(&grad, 1.0 / n);
     for (std::size_t i = 0; i < dims; ++i) {
@@ -134,10 +165,11 @@ Result<double> ClassificationAccuracy(
     return Status::InvalidArgument("model arity mismatch");
   }
   std::size_t correct = 0;
-  for (const Row& row : data.rows()) {
-    double p = model.PredictProbability(row, options.feature_dims);
-    bool predicted = p > 0.5;
-    bool actual = row[options.label_dim] > 0.5;
+  const double* labels = data.col(options.label_dim);
+  std::vector<double> z = Margins(data, model.weights, options.feature_dims);
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    bool predicted = Sigmoid(z[r]) > 0.5;
+    bool actual = labels[r] > 0.5;
     if (predicted == actual) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(data.num_rows());

@@ -21,8 +21,10 @@ Result<Row> ComputePageRank(const Dataset& edges,
 
   // Adjacency as out-edge lists; ids must be integral and in range.
   std::vector<std::vector<std::size_t>> out_edges(n);
-  for (const Row& row : edges.rows()) {
-    double src_d = row[0], dst_d = row[1];
+  const double* src_col = edges.col(0);
+  const double* dst_col = edges.col(1);
+  for (std::size_t r = 0; r < edges.num_rows(); ++r) {
+    double src_d = src_col[r], dst_d = dst_col[r];
     if (src_d < 0 || dst_d < 0 ||
         src_d != std::floor(src_d) || dst_d != std::floor(dst_d) ||
         src_d >= static_cast<double>(n) || dst_d >= static_cast<double>(n)) {

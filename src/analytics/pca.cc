@@ -14,24 +14,32 @@ Result<std::vector<Row>> CovarianceMatrix(
     }
   }
   const std::size_t k = dims.size();
+  const std::size_t n = data.num_rows();
+  // Column-major sums: each accumulator sees the rows in the same order
+  // as the old row-major loops, so the matrix is bit-identical.
   Row mean(k, 0.0);
-  for (const Row& row : data.rows()) {
-    for (std::size_t i = 0; i < k; ++i) mean[i] += row[dims[i]];
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* ci = data.col(dims[i]);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) acc += ci[r];
+    mean[i] = acc;
   }
-  vec::ScaleInPlace(&mean, 1.0 / static_cast<double>(data.num_rows()));
+  vec::ScaleInPlace(&mean, 1.0 / static_cast<double>(n));
 
   std::vector<Row> cov(k, Row(k, 0.0));
-  Row centered(k);
-  for (const Row& row : data.rows()) {
-    for (std::size_t i = 0; i < k; ++i) centered[i] = row[dims[i]] - mean[i];
-    for (std::size_t i = 0; i < k; ++i) {
-      for (std::size_t j = 0; j < k; ++j) {
-        cov[i][j] += centered[i] * centered[j];
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* ci = data.col(dims[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double* cj = data.col(dims[j]);
+      double acc = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        acc += (ci[r] - mean[i]) * (cj[r] - mean[j]);
       }
+      cov[i][j] = acc;
     }
   }
   for (Row& row : cov) {
-    vec::ScaleInPlace(&row, 1.0 / static_cast<double>(data.num_rows()));
+    vec::ScaleInPlace(&row, 1.0 / static_cast<double>(n));
   }
   return cov;
 }

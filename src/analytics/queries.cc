@@ -56,7 +56,20 @@ ProgramFactory MeanAllDimsQuery(std::size_t num_dims) {
         if (block.num_dims() != num_dims) {
           return Status::InvalidArgument("block dimension mismatch");
         }
-        GUPT_ASSIGN_OR_RETURN(Row mean, stats::MeanRows(block.rows()));
+        if (block.num_rows() == 0) {
+          return Status::InvalidArgument("mean of an empty row set");
+        }
+        // Per-dimension sums over the contiguous column: the same addend
+        // sequence per accumulator as the old row-major MeanRows, so the
+        // result is bit-identical — just cache-friendly now.
+        const std::size_t n = block.num_rows();
+        Row mean(num_dims, 0.0);
+        for (std::size_t d = 0; d < num_dims; ++d) {
+          const double* column = block.col(d);
+          double acc = 0.0;
+          for (std::size_t r = 0; r < n; ++r) acc += column[r];
+          mean[d] = acc * (1.0 / static_cast<double>(n));
+        }
         return mean;
       });
 }
@@ -156,21 +169,30 @@ ProgramFactory CovarianceMatrixQuery(const std::vector<std::size_t>& dims) {
           }
         }
         const std::size_t k = dims.size();
+        const std::size_t n = block.num_rows();
+        // Column-major accumulation; every accumulator still sees the rows
+        // in row order, so the sums match the old row loops bit for bit.
         Row mean(k, 0.0);
-        for (const Row& row : block.rows()) {
-          for (std::size_t i = 0; i < k; ++i) mean[i] += row[dims[i]];
+        for (std::size_t i = 0; i < k; ++i) {
+          const double* ci = block.col(dims[i]);
+          double acc = 0.0;
+          for (std::size_t r = 0; r < n; ++r) acc += ci[r];
+          mean[i] = acc;
         }
-        vec::ScaleInPlace(&mean, 1.0 / static_cast<double>(block.num_rows()));
+        vec::ScaleInPlace(&mean, 1.0 / static_cast<double>(n));
         Row flat(k * k, 0.0);
-        for (const Row& row : block.rows()) {
-          for (std::size_t i = 0; i < k; ++i) {
-            double di = row[dims[i]] - mean[i];
-            for (std::size_t j = 0; j < k; ++j) {
-              flat[i * k + j] += di * (row[dims[j]] - mean[j]);
+        for (std::size_t i = 0; i < k; ++i) {
+          const double* ci = block.col(dims[i]);
+          for (std::size_t j = 0; j < k; ++j) {
+            const double* cj = block.col(dims[j]);
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+              acc += (ci[r] - mean[i]) * (cj[r] - mean[j]);
             }
+            flat[i * k + j] = acc;
           }
         }
-        vec::ScaleInPlace(&flat, 1.0 / static_cast<double>(block.num_rows()));
+        vec::ScaleInPlace(&flat, 1.0 / static_cast<double>(n));
         return flat;
       });
 }

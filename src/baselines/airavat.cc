@@ -33,7 +33,9 @@ Result<AiravatResult> RunAiravatJob(const Dataset& data, const AiravatJob& job,
   std::vector<double> sums(job.num_keys, 0.0);
   std::vector<double> counts(job.num_keys, 0.0);
 
-  for (const Row& row : data.rows()) {
+  Row row;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    data.CopyRowInto(r, &row);
     // The mapper runs record-at-a-time; sandbox enforcement clamps values
     // into the declared range and drops emissions beyond the declaration.
     std::vector<std::pair<std::size_t, double>> emissions = job.mapper(row);

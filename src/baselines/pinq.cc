@@ -34,8 +34,9 @@ std::vector<double> PinqQueryable::ColumnClamped(std::size_t dim,
                                                  const Range& range) const {
   std::vector<double> column;
   column.reserve(indices_.size());
+  const double* values = data_->col(dim);
   for (std::size_t i : indices_) {
-    column.push_back(vec::ClampScalar(data_->row(i)[dim], range.lo, range.hi));
+    column.push_back(vec::ClampScalar(values[i], range.lo, range.hi));
   }
   return column;
 }
@@ -273,19 +274,22 @@ Result<Row> PinqLogisticRegression(
   Row weights(d + 1, 0.0);
   for (std::size_t iter = 0; iter < options.iterations; ++iter) {
     Row gradient(d + 1, 0.0);
-    for (const Row& row : data.rows()) {
+    std::vector<const double*> fcols(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      fcols[i] = data.col(options.feature_dims[i]);
+    }
+    const double* labels = data.col(options.label_dim);
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
       double z = weights[d];
       for (std::size_t i = 0; i < d; ++i) {
-        double x = vec::ClampScalar(row[options.feature_dims[i]],
-                                    -options.feature_bound,
+        double x = vec::ClampScalar(fcols[i][r], -options.feature_bound,
                                     options.feature_bound);
         z += weights[i] * x;
       }
       double p = 1.0 / (1.0 + std::exp(-z));
-      double err = p - (row[options.label_dim] > 0.5 ? 1.0 : 0.0);
+      double err = p - (labels[r] > 0.5 ? 1.0 : 0.0);
       for (std::size_t i = 0; i < d; ++i) {
-        double x = vec::ClampScalar(row[options.feature_dims[i]],
-                                    -options.feature_bound,
+        double x = vec::ClampScalar(fcols[i][r], -options.feature_bound,
                                     options.feature_bound);
         gradient[i] += err * x;
       }

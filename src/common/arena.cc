@@ -1,0 +1,71 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace gupt {
+namespace {
+
+std::size_t AlignUp(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_chunk_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(initial_chunk_bytes, 64)) {}
+
+Arena::Chunk& Arena::GrowFor(std::size_t bytes) {
+  // Later chunks may already exist from before a Reset; reuse the first
+  // one large enough before allocating new capacity.
+  while (active_ < chunks_.size()) {
+    if (chunks_[active_].capacity - chunks_[active_].used >= bytes) {
+      return chunks_[active_];
+    }
+    ++active_;
+  }
+  std::size_t capacity = std::max(next_chunk_bytes_, bytes);
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(capacity);
+  chunk.capacity = capacity;
+  bytes_reserved_ += capacity;
+  chunks_.push_back(std::move(chunk));
+  active_ = chunks_.size() - 1;
+  return chunks_.back();
+}
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  Chunk* chunk = nullptr;
+  std::size_t aligned_used = 0;
+  if (active_ < chunks_.size()) {
+    chunk = &chunks_[active_];
+    aligned_used = AlignUp(chunk->used, align);
+    if (aligned_used + bytes > chunk->capacity) chunk = nullptr;
+  }
+  if (chunk == nullptr) {
+    // New chunks come from make_unique and are maximally aligned at
+    // offset 0; request headroom for the worst-case padding.
+    chunk = &GrowFor(bytes + align);
+    aligned_used = AlignUp(chunk->used, align);
+  }
+  void* out = chunk->data.get() + aligned_used;
+  bytes_allocated_ += (aligned_used - chunk->used) + bytes;
+  chunk->used = aligned_used + bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  bytes_allocated_ = 0;
+}
+
+void Arena::Release() {
+  chunks_.clear();
+  active_ = 0;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = 0;
+}
+
+}  // namespace gupt

@@ -1,0 +1,84 @@
+// Bump-pointer arena for per-query pipeline scratch.
+//
+// The query pipeline allocates short-lived buffers on every query —
+// permutation scratch in the partition stage, frame encode buffers in the
+// chamber pool's lease protocol. Allocating each from the global heap
+// costs a malloc/free pair per buffer per query; at service rates that is
+// measurable churn and lock traffic. An Arena instead carves allocations
+// out of geometrically growing chunks with a bump pointer, and Reset()
+// recycles every byte at once: the steady state of a query loop is zero
+// heap traffic.
+//
+// Not thread-safe: one arena belongs to one query on one coordinator
+// thread (or to one pool worker slot), mirroring QueryContext ownership.
+// Allocations are trivially-destructible storage only — the arena never
+// runs destructors.
+
+#ifndef GUPT_COMMON_ARENA_H_
+#define GUPT_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace gupt {
+
+class Arena {
+ public:
+  /// `initial_chunk_bytes` sizes the first chunk; later chunks double up
+  /// to kMaxChunkBytes. Nothing is allocated until the first Allocate.
+  explicit Arena(std::size_t initial_chunk_bytes = 1 << 16);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage, aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Never returns null; size 0 yields a
+  /// valid unique pointer.
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(double));
+
+  /// Typed convenience: `count` default-initialized (i.e. uninitialized
+  /// for arithmetic types) elements of a trivially-destructible T.
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage never runs destructors");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Recycles every allocation at once: retains the chunks, rewinds the
+  /// bump pointers. Previously returned pointers become dangling.
+  void Reset();
+
+  /// Releases all chunks back to the heap (Reset plus dealloc).
+  void Release();
+
+  /// Bytes handed out since the last Reset (alignment padding included).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Bytes of chunk capacity currently held (survives Reset).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMaxChunkBytes = 8u << 20;
+
+  Chunk& GrowFor(std::size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // chunks_[active_..] have free space after Reset
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace gupt
+
+#endif  // GUPT_COMMON_ARENA_H_

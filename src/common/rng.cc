@@ -117,9 +117,18 @@ std::size_t Rng::Categorical(const std::vector<double>& weights) {
 
 std::vector<std::size_t> Rng::Permutation(std::size_t n) {
   std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-  Shuffle(&perm);
+  PermutationInto(n, perm.data());
   return perm;
+}
+
+void Rng::PermutationInto(std::size_t n, std::size_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  if (n == 0) return;
+  // Identical Fisher-Yates loop (and therefore draw sequence) to Shuffle.
+  for (std::size_t i = n - 1; i > 0; --i) {
+    std::size_t j = static_cast<std::size_t>(UniformUint64(i + 1));
+    std::swap(out[i], out[j]);
+  }
 }
 
 Rng Rng::Fork() {

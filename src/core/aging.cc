@@ -31,10 +31,10 @@ Result<AgedRunStats> ComputeAgedRunStats(const Dataset& aged,
 
   const std::size_t num_blocks =
       std::max<std::size_t>(1, aged.num_rows() / block_size);
-  GUPT_ASSIGN_OR_RETURN(BlockPlan plan,
-                        PartitionDisjoint(aged.num_rows(), num_blocks, rng));
-  for (const auto& indices : plan.blocks) {
-    GUPT_ASSIGN_OR_RETURN(Dataset block, aged.Subset(indices));
+  GUPT_ASSIGN_OR_RETURN(BlockSet blocks,
+                        PartitionDisjointView(aged, num_blocks, rng));
+  for (std::size_t b = 0; b < blocks.num_blocks(); ++b) {
+    Dataset block = blocks.block(b);
     std::unique_ptr<AnalysisProgram> program = factory();
     Result<Row> out = program->Run(block);
     if (!out.ok() || out.value().size() != dims) continue;  // training signal only

@@ -15,7 +15,8 @@ GuptRuntime::GuptRuntime(DatasetManager* manager, GuptOptions options)
       pool_(options.num_workers > 0
                 ? std::make_unique<ThreadPool>(options.num_workers)
                 : nullptr),
-      computation_manager_(pool_.get(), options.chamber_policy),
+      computation_manager_(pool_.get(), options.chamber_policy,
+                           options.chamber_pool),
       pipeline_(&computation_manager_),
       rng_(options.seed) {}
 

@@ -52,6 +52,10 @@ struct GuptOptions {
   /// correlates releases, and if the data changes between runs the
   /// difference of two same-noise releases is disclosed exactly.
   std::uint64_t seed = 0x6775707421ULL;  // "gupt!"
+  /// Pre-warmed chamber pool (exec/chamber_pool.h); not owned, may be
+  /// null. Queries whose spec carries a pool_program token run their
+  /// blocks on pool workers instead of forking per block.
+  ChamberPool* chamber_pool = nullptr;
 };
 
 ///// The GUPT service: wraps a DatasetManager and executes queries privately.

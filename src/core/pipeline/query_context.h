@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/budget_estimator.h"
@@ -49,6 +50,10 @@ enum class BudgetAccounting {
 struct QuerySpec {
   /// Fresh-instance factory for the untrusted program.
   ProgramFactory program;
+  /// Opaque token resolvable by pre-warmed chamber-pool workers (see
+  /// exec/chamber_pool.h). Empty = this program cannot be shipped to the
+  /// pool and runs on the in-process or fork-per-block chamber instead.
+  std::string pool_program;
   /// Output-range declaration (tight / loose / helper).
   OutputRangeSpec range;
 
@@ -151,7 +156,13 @@ struct QueryContext {
   std::chrono::steady_clock::time_point admitted_at;
 
   // --- written by PartitionStage -----------------------------------------
-  BlockPlan partition;
+  /// Block-shuffled materialization: one gather, zero-copy block views.
+  BlockSet blocks;
+
+  /// Per-query scratch (partition permutations and gather indices); reset
+  /// between pipeline walks of the same context, never shared across
+  /// coordinator threads.
+  Arena arena;
 
   // --- written by ExecuteBlocksStage -------------------------------------
   BlockExecutionReport exec_report;

@@ -389,20 +389,26 @@ Status PartitionStage::Run(QueryContext& ctx) const {
   const QueryPlan& plan = ctx.plan;
   const std::size_t n = ctx.ds->data().num_rows();
   StageScope stage(ctx.trace, "partition");
-  Result<BlockPlan> partitioned =
+  // Fused partition+gather: the RNG stream is identical to the old
+  // index-plan path, and each block view holds the same rows in the same
+  // order the per-block Subset copies used to produce.
+  ctx.arena.Reset();
+  Result<BlockSet> partitioned =
       plan.gamma > 1
-          ? PartitionResampled(n, plan.block_size, plan.gamma, ctx.rng)
-          : PartitionDisjoint(
-                n, std::max<std::size_t>(1, std::min(plan.num_blocks, n)),
-                ctx.rng);
+          ? PartitionResampledView(ctx.ds->data(), plan.block_size, plan.gamma,
+                                   ctx.rng, &ctx.arena)
+          : PartitionDisjointView(
+                ctx.ds->data(),
+                std::max<std::size_t>(1, std::min(plan.num_blocks, n)),
+                ctx.rng, &ctx.arena);
   if (!partitioned.ok()) {
     stage.set_ok(false);
     return partitioned.status();
   }
-  ctx.partition = std::move(partitioned).value();
-  stage.set_note("l=" + std::to_string(ctx.partition.num_blocks()) +
+  ctx.blocks = std::move(partitioned).value();
+  stage.set_note("l=" + std::to_string(ctx.blocks.num_blocks()) +
                  " beta=" + std::to_string(plan.block_size));
-  ctx.report.num_blocks = ctx.partition.num_blocks();
+  ctx.report.num_blocks = ctx.blocks.num_blocks();
   return Status::OK();
 }
 
@@ -411,7 +417,7 @@ Status ExecuteBlocksStage::Run(QueryContext& ctx) const {
   {
     StageScope stage(ctx.trace, "execute_blocks");
     Result<BlockExecutionReport> executed = manager_->ExecuteOnBlocks(
-        ctx.spec->program, ctx.ds->data(), ctx.partition, ctx.fallback);
+        ctx.spec->program, ctx.blocks, ctx.fallback, ctx.spec->pool_program);
     if (!executed.ok()) {
       stage.set_ok(false);
       return executed.status();

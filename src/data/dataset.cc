@@ -23,18 +23,45 @@ Result<Dataset> Dataset::Create(std::vector<Row> rows,
   if (!column_names.empty() && column_names.size() != dims) {
     return Status::InvalidArgument("column_names arity does not match rows");
   }
-  Dataset ds;
-  ds.rows_ = std::move(rows);
-  ds.column_names_ = std::move(column_names);
-  return ds;
+  auto store = std::make_shared<ColumnStore>();
+  store->num_rows = rows.size();
+  store->column_names = std::move(column_names);
+  store->columns.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    std::vector<double>& column = store->columns[d];
+    column.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) column[i] = rows[i][d];
+  }
+  return Dataset(std::move(store), 0, rows.size());
+}
+
+Result<Dataset> Dataset::FromColumns(std::vector<std::vector<double>> columns,
+                                     std::vector<std::string> column_names) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("dataset must have at least one column");
+  }
+  const std::size_t n = columns[0].size();
+  if (n == 0) {
+    return Status::InvalidArgument("dataset must contain at least one row");
+  }
+  for (const auto& column : columns) {
+    if (column.size() != n) {
+      return Status::InvalidArgument("dataset columns have mixed lengths");
+    }
+  }
+  if (!column_names.empty() && column_names.size() != columns.size()) {
+    return Status::InvalidArgument("column_names arity does not match columns");
+  }
+  auto store = std::make_shared<ColumnStore>();
+  store->num_rows = n;
+  store->columns = std::move(columns);
+  store->column_names = std::move(column_names);
+  return Dataset(std::move(store), 0, n);
 }
 
 Result<Dataset> Dataset::FromColumn(const std::vector<double>& values,
                                     const std::string& name) {
-  std::vector<Row> rows;
-  rows.reserve(values.size());
-  for (double v : values) rows.push_back(Row{v});
-  return Create(std::move(rows), {name});
+  return FromColumns({values}, {name});
 }
 
 Result<Dataset> Dataset::FromCsvFile(const std::string& path,
@@ -43,29 +70,69 @@ Result<Dataset> Dataset::FromCsvFile(const std::string& path,
   return Create(std::move(table.rows), std::move(table.column_names));
 }
 
+Dataset Dataset::FromStore(std::shared_ptr<const ColumnStore> store,
+                           std::size_t offset, std::size_t length) {
+  return Dataset(std::move(store), offset, length);
+}
+
+Row Dataset::row(std::size_t i) const {
+  Row out;
+  CopyRowInto(i, &out);
+  return out;
+}
+
+void Dataset::CopyRowInto(std::size_t i, Row* out) const {
+  const std::size_t dims = num_dims();
+  out->resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    (*out)[d] = store_->columns[d][offset_ + i];
+  }
+}
+
+std::vector<Row> Dataset::MaterializeRows() const {
+  std::vector<Row> rows(length_);
+  for (std::size_t i = 0; i < length_; ++i) CopyRowInto(i, &rows[i]);
+  return rows;
+}
+
 Result<std::vector<double>> Dataset::Column(std::size_t dim) const {
   if (dim >= num_dims()) {
     return Status::InvalidArgument("column index out of range");
   }
-  std::vector<double> out;
-  out.reserve(rows_.size());
-  for (const Row& r : rows_) out.push_back(r[dim]);
-  return out;
+  const double* src = col(dim);
+  return std::vector<double>(src, src + length_);
 }
 
 Result<Dataset> Dataset::Subset(const std::vector<std::size_t>& indices) const {
   if (indices.empty()) {
     return Status::InvalidArgument("subset must select at least one row");
   }
-  std::vector<Row> rows;
-  rows.reserve(indices.size());
   for (std::size_t i : indices) {
-    if (i >= rows_.size()) {
+    if (i >= length_) {
       return Status::InvalidArgument("subset index out of range");
     }
-    rows.push_back(rows_[i]);
   }
-  return Create(std::move(rows), column_names_);
+  const std::size_t dims = num_dims();
+  auto gathered = std::make_shared<ColumnStore>();
+  gathered->num_rows = indices.size();
+  gathered->column_names = store_->column_names;
+  gathered->columns.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double* src = col(d);
+    std::vector<double>& column = gathered->columns[d];
+    column.resize(indices.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      column[i] = src[indices[i]];
+    }
+  }
+  return Dataset(std::move(gathered), 0, indices.size());
+}
+
+Result<Dataset> Dataset::Slice(std::size_t offset, std::size_t length) const {
+  if (length == 0 || offset + length > length_) {
+    return Status::InvalidArgument("slice window out of range");
+  }
+  return Dataset(store_, offset_ + offset, length);
 }
 
 Result<std::pair<Dataset, Dataset>> Dataset::SplitAt(std::size_t count) const {
@@ -73,25 +140,20 @@ Result<std::pair<Dataset, Dataset>> Dataset::SplitAt(std::size_t count) const {
     return Status::InvalidArgument(
         "split point must leave both sides non-empty");
   }
-  std::vector<Row> head(rows_.begin(),
-                        rows_.begin() + static_cast<std::ptrdiff_t>(count));
-  std::vector<Row> tail(rows_.begin() + static_cast<std::ptrdiff_t>(count),
-                        rows_.end());
-  GUPT_ASSIGN_OR_RETURN(Dataset head_ds, Create(std::move(head), column_names_));
-  GUPT_ASSIGN_OR_RETURN(Dataset tail_ds, Create(std::move(tail), column_names_));
-  return std::make_pair(std::move(head_ds), std::move(tail_ds));
+  return std::make_pair(Dataset(store_, offset_, count),
+                        Dataset(store_, offset_ + count, length_ - count));
 }
 
 std::vector<Range> Dataset::EmpiricalRanges() const {
-  std::vector<Range> ranges(num_dims());
-  for (std::size_t d = 0; d < num_dims(); ++d) {
+  const std::size_t dims = num_dims();
+  std::vector<Range> ranges(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
     ranges[d].lo = std::numeric_limits<double>::infinity();
     ranges[d].hi = -std::numeric_limits<double>::infinity();
-  }
-  for (const Row& r : rows_) {
-    for (std::size_t d = 0; d < r.size(); ++d) {
-      ranges[d].lo = std::min(ranges[d].lo, r[d]);
-      ranges[d].hi = std::max(ranges[d].hi, r[d]);
+    const double* column = col(d);
+    for (std::size_t i = 0; i < length_; ++i) {
+      ranges[d].lo = std::min(ranges[d].lo, column[i]);
+      ranges[d].hi = std::max(ranges[d].hi, column[i]);
     }
   }
   return ranges;

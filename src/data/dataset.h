@@ -1,15 +1,32 @@
-// In-memory multi-dimensional dataset.
+// In-memory multi-dimensional dataset, stored columnar.
 //
 // GUPT's data model (paper §3.1) is a table of real-valued vectors with
-// optional per-dimension input ranges supplied by the data owner. Datasets
-// are immutable once built; the runtime hands *copies of row subsets* to
-// untrusted programs so a malicious program can never mutate shared data.
+// optional per-dimension input ranges supplied by the data owner. Storage
+// is an immutable, shared *column store*: one contiguous double array per
+// dimension, owned by a refcounted ColumnStore. A Dataset is a cheap
+// {store, offset, length} handle over such a store, so contiguous slicing
+// (SplitAt, Slice, per-block views after a block-shuffled materialization)
+// is zero-copy and O(num_dims), while arbitrary-index Subset gathers into
+// a fresh store. Untrusted programs still can never mutate shared data:
+// every accessor is const and the arrays live behind a shared_ptr<const>.
+//
+// Aliasing rules (see docs/architecture.md "Memory layout"):
+//   * A ColumnStore is immutable from the moment a Dataset is built over
+//     it; views never invalidate.
+//   * Dataset and DatasetView handles keep the whole store alive; a view
+//     over 1% of the rows pins 100% of the store (gather a Subset when
+//     that matters).
+//   * col(d) pointers are valid exactly as long as some handle to the
+//     store exists.
 
 #ifndef GUPT_DATA_DATASET_H_
 #define GUPT_DATA_DATASET_H_
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/csv.h"
@@ -27,16 +44,71 @@ struct Range {
   double width() const { return hi - lo; }
 };
 
-/// Immutable rectangular table of doubles.
+/// Immutable contiguous per-dimension storage shared by every view over
+/// it. Never mutated after construction (the columns' sizes and values are
+/// fixed); always held behind shared_ptr<const ColumnStore>.
+struct ColumnStore {
+  /// columns[d] has num_rows values; all columns have equal length.
+  std::vector<std::vector<double>> columns;
+  std::vector<std::string> column_names;
+  std::size_t num_rows = 0;
+
+  std::size_t num_dims() const { return columns.size(); }
+};
+
+/// A non-owning offset+length window over a ColumnStore: the handle the
+/// partitioner and execution layers pass around for zero-copy blocks. The
+/// underlying store must be kept alive by the owner of the blocks (a
+/// Dataset or a BlockSet); a view itself is two pointers and two sizes.
+class DatasetView {
+ public:
+  DatasetView() = default;
+  DatasetView(const ColumnStore* store, std::size_t offset, std::size_t length)
+      : store_(store), offset_(offset), length_(length) {}
+
+  std::size_t num_rows() const { return length_; }
+  std::size_t num_dims() const {
+    return store_ == nullptr ? 0 : store_->num_dims();
+  }
+  std::size_t offset() const { return offset_; }
+  const ColumnStore* store() const { return store_; }
+
+  /// Contiguous column slice of length num_rows(); dim must be in range.
+  const double* col(std::size_t dim) const {
+    return store_->columns[dim].data() + offset_;
+  }
+
+  /// Element access (row-local index within this view).
+  double at(std::size_t row, std::size_t dim) const {
+    return store_->columns[dim][offset_ + row];
+  }
+
+  const std::vector<std::string>& column_names() const {
+    return store_->column_names;
+  }
+
+ private:
+  const ColumnStore* store_ = nullptr;
+  std::size_t offset_ = 0;
+  std::size_t length_ = 0;
+};
+
+/// Immutable rectangular table of doubles: a shared-ownership window over
+/// a ColumnStore. Copying a Dataset copies three words, never the data.
 class Dataset {
  public:
   Dataset() = default;
 
-  /// Builds a dataset from rows; all rows must share one dimension and the
-  /// dataset must be non-empty. `column_names`, when given, must match the
-  /// dimension.
+  /// Builds a dataset from rows (transposed into columns); all rows must
+  /// share one dimension and the dataset must be non-empty. `column_names`,
+  /// when given, must match the dimension.
   static Result<Dataset> Create(std::vector<Row> rows,
                                 std::vector<std::string> column_names = {});
+
+  /// Builds a dataset directly from columnar data (no transpose). All
+  /// columns must be non-empty and equally sized.
+  static Result<Dataset> FromColumns(std::vector<std::vector<double>> columns,
+                                     std::vector<std::string> column_names = {});
 
   /// Builds a single-column dataset.
   static Result<Dataset> FromColumn(const std::vector<double>& values,
@@ -45,21 +117,64 @@ class Dataset {
   /// Loads a numeric CSV file.
   static Result<Dataset> FromCsvFile(const std::string& path, bool has_header);
 
-  std::size_t num_rows() const { return rows_.size(); }
-  std::size_t num_dims() const { return rows_.empty() ? 0 : rows_[0].size(); }
-  const std::vector<Row>& rows() const { return rows_; }
-  const Row& row(std::size_t i) const { return rows_[i]; }
-  const std::vector<std::string>& column_names() const { return column_names_; }
+  /// Wraps an existing store (offset+length window). Internal-ish: used by
+  /// the partitioner's block materialization.
+  static Dataset FromStore(std::shared_ptr<const ColumnStore> store,
+                           std::size_t offset, std::size_t length);
 
-  /// Copy of one column.
+  std::size_t num_rows() const { return length_; }
+  std::size_t num_dims() const {
+    return store_ == nullptr ? 0 : store_->num_dims();
+  }
+  const std::vector<std::string>& column_names() const {
+    static const std::vector<std::string> kEmpty;
+    return store_ == nullptr ? kEmpty : store_->column_names;
+  }
+
+  /// Zero-copy contiguous column slice of length num_rows(). `dim` must be
+  /// in range (use Column for checked access).
+  const double* col(std::size_t dim) const {
+    return store_->columns[dim].data() + offset_;
+  }
+
+  /// Element access without materializing a row.
+  double at(std::size_t row, std::size_t dim) const {
+    return store_->columns[dim][offset_ + row];
+  }
+
+  /// Materialized copy of row `i` (gathers across columns). Prefer
+  /// col()/at() on hot paths.
+  Row row(std::size_t i) const;
+
+  /// Gathers row `i` into `*out` (resized to num_dims) without allocating
+  /// when out already has the right capacity.
+  void CopyRowInto(std::size_t i, Row* out) const;
+
+  /// Materialized row-major copy of the whole table (tests, exports).
+  std::vector<Row> MaterializeRows() const;
+
+  /// Non-owning view of this dataset's window (caller keeps the Dataset
+  /// alive while the view is in use).
+  DatasetView view() const { return DatasetView(store_.get(), offset_, length_); }
+
+  /// The shared store handle (for aliasing checks and block owners).
+  const std::shared_ptr<const ColumnStore>& store() const { return store_; }
+  std::size_t offset() const { return offset_; }
+
+  /// Checked copy of one column.
   Result<std::vector<double>> Column(std::size_t dim) const;
 
-  /// New dataset holding copies of the rows at `indices` (in order).
-  /// Out-of-range indices are an error.
+  /// New dataset holding copies of the rows at `indices` (in order),
+  /// gathered into a fresh store. Out-of-range indices are an error.
   Result<Dataset> Subset(const std::vector<std::size_t>& indices) const;
 
+  /// Zero-copy window [offset, offset+length) sharing this store.
+  /// Errors when the window is empty or exceeds num_rows().
+  Result<Dataset> Slice(std::size_t offset, std::size_t length) const;
+
   /// Splits into ([0, count), [count, n)) — used by the aging model to peel
-  /// off the oldest records. count must be <= num_rows().
+  /// off the oldest records. Both halves share this store (zero-copy).
+  /// count must leave both sides non-empty.
   Result<std::pair<Dataset, Dataset>> SplitAt(std::size_t count) const;
 
   /// Exact per-dimension [min, max] of the data. Note: these bounds are
@@ -69,8 +184,13 @@ class Dataset {
   std::vector<Range> EmpiricalRanges() const;
 
  private:
-  std::vector<Row> rows_;
-  std::vector<std::string> column_names_;
+  Dataset(std::shared_ptr<const ColumnStore> store, std::size_t offset,
+          std::size_t length)
+      : store_(std::move(store)), offset_(offset), length_(length) {}
+
+  std::shared_ptr<const ColumnStore> store_;
+  std::size_t offset_ = 0;
+  std::size_t length_ = 0;
 };
 
 }  // namespace gupt

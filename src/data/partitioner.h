@@ -7,15 +7,28 @@
 // in exactly gamma blocks and (b) no block holds two copies of one record.
 // One record change therefore touches exactly gamma blocks, matching the
 // sensitivity argument of Claim 1.
+//
+// Two representations are provided. BlockPlan is the index-level plan
+// (blocks of row indices) that the aging model and tests inspect. BlockSet
+// is the execution-layer product: the selected rows gathered ONCE into a
+// block-shuffled columnar store, so that every block is a zero-copy
+// offset+length view. The fused Partition*View entry points draw exactly
+// the same RNG stream as their BlockPlan counterparts and lay rows out in
+// exactly the block order ExecuteOnBlocks used to obtain via per-block
+// Dataset::Subset copies, which is what keeps query outputs bit-identical
+// across the columnar refactor.
 
 #ifndef GUPT_DATA_PARTITIONER_H_
 #define GUPT_DATA_PARTITIONER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "data/dataset.h"
 
 namespace gupt {
 
@@ -40,6 +53,60 @@ Result<BlockPlan> PartitionDisjoint(std::size_t n, std::size_t num_blocks,
 /// or exceeds n, or gamma is 0.
 Result<BlockPlan> PartitionResampled(std::size_t n, std::size_t block_size,
                                      std::size_t gamma, Rng* rng);
+
+/// One block's window into a BlockSet's gathered store.
+struct BlockSlice {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// A block-shuffled materialization of a dataset: the partitioned rows,
+/// gathered once into a single contiguous columnar store in block order.
+/// Each block is then an offset+length view — handing a block to a chamber
+/// copies nothing (in-process) or ships contiguous column slices (pooled
+/// workers). Exactly one gather of the selected rows happens per query,
+/// independent of the number of blocks.
+struct BlockSet {
+  std::shared_ptr<const ColumnStore> store;
+  std::vector<BlockSlice> slices;
+  /// How many blocks each record appears in (1 without resampling).
+  std::size_t gamma = 1;
+
+  std::size_t num_blocks() const { return slices.size(); }
+  bool empty() const { return slices.empty(); }
+
+  /// Non-owning zero-copy view of block b; caller keeps *this alive.
+  DatasetView view(std::size_t b) const {
+    return DatasetView(store.get(), slices[b].offset, slices[b].length);
+  }
+
+  /// Owning zero-copy handle to block b (shares the gathered store).
+  Dataset block(std::size_t b) const {
+    return Dataset::FromStore(store, slices[b].offset, slices[b].length);
+  }
+};
+
+/// Gathers `plan`'s blocks out of `data` into a BlockSet. Block b's rows
+/// have the same values in the same order as data.Subset(plan.blocks[b])
+/// would produce. Errors on an empty plan, an empty block, or an
+/// out-of-range index. Bytes copied are counted in the
+/// gupt_data_partition_copied_bytes_total metric.
+Result<BlockSet> MaterializeBlocks(const Dataset& data, const BlockPlan& plan);
+
+/// Fused partition+gather: PartitionDisjoint followed by MaterializeBlocks
+/// in one pass, without materializing index vectors. Draws the identical
+/// RNG stream as PartitionDisjoint. `scratch`, when given, supplies the
+/// permutation/gather scratch (recycled across queries by Reset()).
+Result<BlockSet> PartitionDisjointView(const Dataset& data,
+                                       std::size_t num_blocks, Rng* rng,
+                                       Arena* scratch = nullptr);
+
+/// Fused resampled partition+gather; see PartitionResampled for the block
+/// structure and error contract. Draws the identical RNG stream.
+Result<BlockSet> PartitionResampledView(const Dataset& data,
+                                        std::size_t block_size,
+                                        std::size_t gamma, Rng* rng,
+                                        Arena* scratch = nullptr);
 
 /// The paper's default block count: l = n^0.4 (Algorithm 1, line 1),
 /// i.e. blocks of size ~n^0.6. Always at least 1 and at most n.

@@ -17,8 +17,9 @@ std::vector<Row> BlockExecutionReport::Outputs() const {
   return outputs;
 }
 
-ComputationManager::ComputationManager(ThreadPool* pool, ChamberPolicy policy)
-    : pool_(pool), chamber_(std::move(policy)) {
+ComputationManager::ComputationManager(ThreadPool* pool, ChamberPolicy policy,
+                                       ChamberPool* chamber_pool)
+    : pool_(pool), chamber_pool_(chamber_pool), chamber_(std::move(policy)) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
   block_duration_histogram_ = registry.GetHistogram(
       "gupt_exec_block_duration_seconds",
@@ -55,20 +56,22 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
   if (plan.blocks.empty()) {
     return Status::InvalidArgument("block plan has no blocks");
   }
+  GUPT_ASSIGN_OR_RETURN(BlockSet blocks, MaterializeBlocks(dataset, plan));
+  return ExecuteOnBlocks(factory, blocks, fallback);
+}
 
-  // Materialise the blocks up front; any bad index is a caller bug and is
-  // reported before any untrusted code runs.
-  std::vector<Dataset> blocks;
-  blocks.reserve(plan.blocks.size());
-  for (const auto& indices : plan.blocks) {
-    GUPT_ASSIGN_OR_RETURN(Dataset block, dataset.Subset(indices));
-    blocks.push_back(std::move(block));
+Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
+    const ProgramFactory& factory, const BlockSet& blocks, const Row& fallback,
+    const std::string& pool_token) const {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("block set has no blocks");
   }
+  const bool use_pool = chamber_pool_ != nullptr && !pool_token.empty();
 
   BlockExecutionReport report;
-  report.runs.resize(blocks.size());
-  report.timings.resize(blocks.size());
-  std::vector<Status> statuses(blocks.size(), Status::OK());
+  report.runs.resize(blocks.num_blocks());
+  report.timings.resize(blocks.num_blocks());
+  std::vector<Status> statuses(blocks.num_blocks(), Status::OK());
 
   auto execute_one = [&](std::size_t i) {
     // Tag this thread for the sampling profiler: on a pool worker the
@@ -88,11 +91,17 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
           failpoints::InjectedMessage("exec.computation_manager.block"));
       return;
     }
-    Result<ChamberRun> run =
-        chamber_.policy().process_isolation
-            ? ProcessChamber(chamber_.policy())
-                  .Execute(factory, blocks[i], fallback)
-            : chamber_.Execute(factory, blocks[i], fallback);
+    Result<ChamberRun> run = Status::Internal("never ran");
+    if (use_pool) {
+      // Pre-warmed worker lease: zero-copy view in, contiguous column
+      // slices over the pipe, no fork on this path.
+      run = chamber_pool_->Execute(pool_token, blocks.view(i), fallback);
+    } else if (chamber_.policy().process_isolation) {
+      run = ProcessChamber(chamber_.policy())
+                .Execute(factory, blocks.block(i), fallback);
+    } else {
+      run = chamber_.Execute(factory, blocks.block(i), fallback);
+    }
     timing.end = std::chrono::steady_clock::now();
     if (run.ok()) {
       report.runs[i] = std::move(run).value();
@@ -101,15 +110,15 @@ Result<BlockExecutionReport> ComputationManager::ExecuteOnBlocks(
     }
   };
 
-  if (pool_ != nullptr && chamber_.policy().process_isolation) {
+  if (!use_pool && pool_ != nullptr && chamber_.policy().process_isolation) {
     return Status::InvalidArgument(
         "process isolation requires the sequential computation manager "
         "(forking from a multi-threaded pool is unsafe)");
   }
   if (pool_ != nullptr) {
-    pool_->ParallelFor(blocks.size(), execute_one);
+    pool_->ParallelFor(blocks.num_blocks(), execute_one);
   } else {
-    for (std::size_t i = 0; i < blocks.size(); ++i) execute_one(i);
+    for (std::size_t i = 0; i < blocks.num_blocks(); ++i) execute_one(i);
   }
 
   for (const Status& s : statuses) {

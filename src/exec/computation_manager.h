@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -19,6 +20,7 @@
 #include "data/dataset.h"
 #include "data/partitioner.h"
 #include "exec/chamber.h"
+#include "exec/chamber_pool.h"
 #include "exec/program.h"
 #include "obs/metrics.h"
 
@@ -56,12 +58,27 @@ class ComputationManager {
  public:
   /// `pool` may be null, in which case blocks run sequentially on the
   /// calling thread (useful for deterministic tests and micro-benchmarks).
-  ComputationManager(ThreadPool* pool, ChamberPolicy policy);
+  /// `chamber_pool` (not owned, may be null) enables pre-warmed pooled
+  /// execution for programs that carry a pool token.
+  ComputationManager(ThreadPool* pool, ChamberPolicy policy,
+                     ChamberPool* chamber_pool = nullptr);
 
-  /// Materialises each block of `plan` as a private row-copy of `dataset`
-  /// and executes a fresh instance of the program on it inside a chamber.
-  /// `fallback` is the constant substituted for failed/overrun blocks and
-  /// must match the program's output dimension.
+  /// Executes a fresh instance of the program on every block of `blocks`
+  /// inside a chamber. Blocks are zero-copy views into the BlockSet's
+  /// gathered store. `fallback` is the constant substituted for
+  /// failed/overrun blocks and must match the program's output dimension.
+  /// When this manager has a chamber pool and `pool_token` is non-empty,
+  /// blocks run on pre-warmed pool workers (the token is resolved inside
+  /// the worker); otherwise the in-process or fork-per-block chamber runs
+  /// `factory` directly.
+  Result<BlockExecutionReport> ExecuteOnBlocks(const ProgramFactory& factory,
+                                               const BlockSet& blocks,
+                                               const Row& fallback,
+                                               const std::string& pool_token =
+                                                   std::string()) const;
+
+  /// Compatibility shim: gathers `plan`'s blocks out of `dataset` (one
+  /// copy total) and runs them as above.
   Result<BlockExecutionReport> ExecuteOnBlocks(const ProgramFactory& factory,
                                                const Dataset& dataset,
                                                const BlockPlan& plan,
@@ -77,6 +94,7 @@ class ComputationManager {
 
  private:
   ThreadPool* pool_;  // not owned; null => sequential
+  ChamberPool* chamber_pool_;  // not owned; null => no pooled execution
   ExecutionChamber chamber_;
 
   // Observability handles (process-global registry). Per-block chamber

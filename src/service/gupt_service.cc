@@ -58,6 +58,41 @@ std::string JsonDouble(double value) {
   return out.str();
 }
 
+/// Serialises a ProgramSpec into the opaque token a pool worker resolves
+/// back through its captured registry. Newline-delimited: program names
+/// and parameter keys/values never contain newlines (they come from
+/// textual request fields), and params is an ordered map so equal specs
+/// produce equal tokens.
+std::string ProgramToken(const ProgramSpec& spec) {
+  std::string token = spec.name;
+  for (const auto& [key, value] : spec.params) {
+    token += '\n';
+    token += key;
+    token += '=';
+    token += value;
+  }
+  return token;
+}
+
+/// Inverse of ProgramToken, evaluated inside the pool worker.
+Result<ProgramSpec> ParseProgramToken(const std::string& token) {
+  ProgramSpec spec;
+  std::stringstream stream(token);
+  if (!std::getline(stream, spec.name) || spec.name.empty()) {
+    return Status::InvalidArgument("pool program token has no program name");
+  }
+  std::string line;
+  while (std::getline(stream, line)) {
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("pool program token param is not k=v: " +
+                                     line);
+    }
+    spec.params[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return spec;
+}
+
 }  // namespace
 
 GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
@@ -68,6 +103,33 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   // arming (once per process; a no-op for later instances and when the
   // variable is unset).
   failpoints::ArmFromEnvironment();
+  if (options_.chamber_pool_workers > 0) {
+    // Forked HERE, before the admission pool, SVT registry, or the
+    // introspection server create any thread: the pool's fork safety
+    // contract ("from a single-threaded point") holds by construction.
+    chamber_pool_ = std::make_unique<ChamberPool>(
+        options_.runtime.chamber_policy, options_.chamber_pool_workers);
+    chamber_pool_->SetProgramResolver(
+        // Captures a copy of the vetted registry by value: the worker
+        // resolves tokens against the same program set the parent
+        // validated at admission, with no shared mutable state.
+        [registry = registry_](const std::string& token)
+            -> Result<ProgramFactory> {
+          GUPT_ASSIGN_OR_RETURN(ProgramSpec spec, ParseProgramToken(token));
+          return registry.Build(spec);
+        });
+    Status started = chamber_pool_->Start();
+    if (started.ok()) {
+      options_.runtime.chamber_pool = chamber_pool_.get();
+    } else {
+      // Degraded but correct: queries fall back to the fork/in-thread
+      // chamber paths with identical DP semantics.
+      GUPT_LOG(kError) << "chamber pool failed to start ("
+                       << started.ToString()
+                       << "); falling back to per-block chambers";
+      chamber_pool_.reset();
+    }
+  }
   runtime_ = std::make_unique<GuptRuntime>(&manager_, options_.runtime);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Get();
   metrics_.requests_accepted = metrics.GetCounter(
@@ -627,6 +689,12 @@ Result<QueryReport> GuptService::Execute(const QueryRequest& request) {
   spec.optimize_block_size = request.optimize_block_size;
   spec.gamma = request.gamma;
   spec.records_per_user = request.records_per_user;
+  if (chamber_pool_ != nullptr) {
+    // Every registry program is resolvable inside the workers (they
+    // captured a copy of the same registry), so pooled execution applies
+    // to all service queries.
+    spec.pool_program = ProgramToken(request.program);
+  }
   return runtime_->Execute(request.dataset, spec);
 }
 

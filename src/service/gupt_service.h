@@ -31,6 +31,7 @@
 #include "common/thread_pool.h"
 #include "core/gupt.h"
 #include "data/dataset_manager.h"
+#include "exec/chamber_pool.h"
 #include "obs/introspect/http_server.h"
 #include "obs/introspect/trace_ring.h"
 #include "obs/prof/slow_query_log.h"
@@ -59,6 +60,14 @@ struct ServiceOptions {
   /// increasing record ids and gupt_service_audit_records_total reveal
   /// how many records ever existed, so rotation is detectable.
   std::size_t audit_log_capacity = 0;
+  /// Pre-warmed chamber-pool workers for per-block program execution.
+  /// When > 0 the service forks that many worker processes ONCE at
+  /// construction (before any service thread exists) and every registry
+  /// program runs on a leased worker instead of paying a fork per block;
+  /// crashed workers fall back exactly like crashed ProcessChamber
+  /// children and are respawned. 0 keeps the fork-per-block /
+  /// in-thread chamber paths.
+  std::size_t chamber_pool_workers = 0;
   /// Worker threads serving the admission queue. These are distinct from
   /// the runtime's block-execution workers: an admission worker *waits*
   /// on block fan-outs, so sharing one pool would deadlock.
@@ -320,6 +329,10 @@ class GuptService {
   ServiceOptions options_;
   ProgramRegistry registry_;
   DatasetManager manager_;
+
+  /// Pre-warmed chamber pool (null when chamber_pool_workers == 0).
+  /// Declared before runtime_, which holds a non-owning pointer to it.
+  std::unique_ptr<ChamberPool> chamber_pool_;
   std::unique_ptr<GuptRuntime> runtime_;
 
   mutable std::mutex audit_mu_;

@@ -189,8 +189,10 @@ Result<double> SvtSessionRegistry::EvaluateCount(
     return Status::InvalidArgument("svt candidate has lo > hi");
   }
   double count = 0.0;
-  for (const auto& row : dataset.data().rows()) {
-    const double x = row[candidate.dim];
+  const double* column = dataset.data().col(candidate.dim);
+  const std::size_t n = dataset.data().num_rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    const double x = column[r];
     if (x >= candidate.lo && x <= candidate.hi) count += 1.0;
   }
   return count;

@@ -1,0 +1,109 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace gupt {
+namespace {
+
+TEST(ArenaTest, AllocationsAreDisjointAndWritable) {
+  Arena arena;
+  double* a = arena.AllocateArray<double>(100);
+  double* b = arena.AllocateArray<double>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    a[i] = 1.0 + i;
+    b[i] = -1.0 - i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i], 1.0 + i);
+    EXPECT_EQ(b[i], -1.0 - i);
+  }
+}
+
+TEST(ArenaTest, RespectsAlignment) {
+  Arena arena;
+  // Interleave odd-sized byte allocations with aligned ones.
+  for (int i = 0; i < 50; ++i) {
+    void* raw = arena.Allocate(3, 1);
+    ASSERT_NE(raw, nullptr);
+    auto* d = arena.AllocateArray<double>(1);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+    auto* u = static_cast<std::uint64_t*>(
+        arena.Allocate(sizeof(std::uint64_t), alignof(std::uint64_t)));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u) % alignof(std::uint64_t),
+              0u);
+  }
+}
+
+TEST(ArenaTest, ZeroByteAllocationIsValid) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+}
+
+TEST(ArenaTest, GrowsBeyondInitialChunk) {
+  Arena arena(/*initial_chunk_bytes=*/128);
+  // Far more than one 128-byte chunk can hold.
+  std::vector<std::uint32_t*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t* p = arena.AllocateArray<std::uint32_t>(64);  // 256 bytes
+    ASSERT_NE(p, nullptr);
+    for (int j = 0; j < 64; ++j) p[j] = static_cast<std::uint32_t>(i);
+    blocks.push_back(p);
+  }
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      EXPECT_EQ(blocks[i][j], static_cast<std::uint32_t>(i));
+    }
+  }
+  EXPECT_GE(arena.bytes_allocated(), 64u * 256u);
+}
+
+TEST(ArenaTest, ResetRecyclesWithoutNewReservation) {
+  Arena arena(/*initial_chunk_bytes=*/256);
+  for (int i = 0; i < 16; ++i) arena.AllocateArray<double>(100);
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+
+  // Steady state: the same allocation pattern after Reset must be served
+  // entirely from the retained chunks.
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    EXPECT_EQ(arena.bytes_allocated(), 0u);
+    for (int i = 0; i < 16; ++i) arena.AllocateArray<double>(100);
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+}
+
+TEST(ArenaTest, ReleaseDropsReservation) {
+  Arena arena;
+  arena.AllocateArray<double>(1000);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  arena.Release();
+  EXPECT_EQ(arena.bytes_reserved(), 0u);
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  // Still usable after Release.
+  double* p = arena.AllocateArray<double>(10);
+  ASSERT_NE(p, nullptr);
+  p[9] = 42.0;
+  EXPECT_EQ(p[9], 42.0);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedChunk) {
+  Arena arena(/*initial_chunk_bytes=*/64);
+  // Larger than kMaxChunkBytes-doubling would ever reach in one step.
+  const std::size_t big = (16u << 20) / sizeof(double);  // 16 MB
+  double* p = arena.AllocateArray<double>(big);
+  ASSERT_NE(p, nullptr);
+  p[0] = 1.0;
+  p[big - 1] = 2.0;
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[big - 1], 2.0);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -12,6 +12,7 @@
 // test execution order.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +21,7 @@
 #include "common/rng.h"
 #include "common/vec.h"
 #include "core/gupt.h"
+#include "exec/chamber_pool.h"
 
 namespace gupt {
 namespace {
@@ -109,6 +111,68 @@ TEST(PipelineGoldenTest, HelperMode) {
   ASSERT_EQ(report->effective_ranges.size(), 1u);
   EXPECT_EQ(report->effective_ranges[0].lo, 29.839808348713699);
   EXPECT_EQ(report->effective_ranges[0].hi, 46.135843840460346);
+}
+
+TEST(PipelineGoldenTest, ColumnarRefactorPreservesLedgerCharges) {
+  // The goldens above pin the released values; this pins the *ledger* to
+  // the same precision. The columnar partitioner and zero-copy block views
+  // must not move a single bit of the accountant state.
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  ASSERT_TRUE(runtime.Execute("ds", spec).ok());
+
+  auto snapshots = manager.BudgetSnapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].dataset, "ds");
+  EXPECT_EQ(snapshots[0].budget.total_epsilon, 10.0);
+  EXPECT_EQ(snapshots[0].budget.spent_epsilon, 2.0);
+  EXPECT_EQ(snapshots[0].budget.remaining_epsilon(), 8.0);
+  ASSERT_EQ(snapshots[0].budget.charges.size(), 1u);
+  EXPECT_EQ(snapshots[0].budget.charges[0].epsilon, 2.0);
+}
+
+TEST(PipelineGoldenTest, PooledChambersAreBitIdenticalToInThread) {
+  // Shipping blocks to pre-warmed pool workers over the pipe protocol must
+  // be invisible in the release: same seed, same query, same golden value
+  // as TightMode above — byte-for-byte, because the worker computes on the
+  // identical column bytes and only the trusted parent draws noise.
+  ChamberPool pool(ChamberPolicy{}, 2);
+  pool.SetProgramResolver(
+      [](const std::string& token) -> Result<ProgramFactory> {
+        if (token != "mean0") {
+          return Status::InvalidArgument("unknown token: " + token);
+        }
+        return analytics::MeanQuery(0);
+      });
+  ASSERT_TRUE(pool.Start().ok());
+
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptOptions options;
+  options.chamber_pool = &pool;
+  GuptRuntime runtime(&manager, options);
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.pool_program = "mean0";
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->block_size, 377u);
+  EXPECT_EQ(report->num_blocks, 54u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 37.782203079929658);  // == TightMode golden
+  EXPECT_EQ(report->fallback_blocks, 0u);
+
+  // Every block really went through the pool.
+  ChamberPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.leases, 54u);
+  EXPECT_EQ(stats.respawns, 0u);
 }
 
 TEST(PipelineGoldenTest, GammaResamplingWithExplicitBlockSize) {

@@ -4,9 +4,21 @@
 
 #include <map>
 #include <set>
+#include <vector>
 
 namespace gupt {
 namespace {
+
+// Two-column dataset whose values encode their row index, so gather order
+// is directly checkable: row i = {i, 1000 + i}.
+Dataset IndexedDataset(std::size_t n) {
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i);
+    b[i] = 1000.0 + static_cast<double>(i);
+  }
+  return Dataset::FromColumns({a, b}).value();
+}
 
 TEST(PartitionDisjointTest, CoversEveryIndexExactlyOnce) {
   Rng rng(1);
@@ -129,6 +141,123 @@ TEST(DefaultNumBlocksTest, EdgeCases) {
   EXPECT_EQ(DefaultNumBlocks(1), 1u);
   EXPECT_GE(DefaultNumBlocks(2), 1u);
   EXPECT_LE(DefaultNumBlocks(2), 2u);
+}
+
+TEST(MaterializeBlocksTest, BlocksMatchSubsetGatherOrder) {
+  Dataset data = IndexedDataset(40);
+  Rng rng(21);
+  BlockPlan plan = PartitionResampled(40, 7, 2, &rng).value();
+  BlockSet set = MaterializeBlocks(data, plan).value();
+  ASSERT_EQ(set.num_blocks(), plan.num_blocks());
+  EXPECT_EQ(set.gamma, plan.gamma);
+  for (std::size_t b = 0; b < plan.num_blocks(); ++b) {
+    Dataset expected = data.Subset(plan.blocks[b]).value();
+    DatasetView view = set.view(b);
+    ASSERT_EQ(view.num_rows(), expected.num_rows());
+    ASSERT_EQ(view.num_dims(), expected.num_dims());
+    for (std::size_t d = 0; d < view.num_dims(); ++d) {
+      for (std::size_t r = 0; r < view.num_rows(); ++r) {
+        EXPECT_EQ(view.at(r, d), expected.at(r, d))
+            << "block " << b << " row " << r << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(MaterializeBlocksTest, ViewsAliasOneSharedStore) {
+  Dataset data = IndexedDataset(30);
+  Rng rng(22);
+  BlockPlan plan = PartitionDisjoint(30, 5, &rng).value();
+  BlockSet set = MaterializeBlocks(data, plan).value();
+  // Every block's column pointer lies inside the one gathered store, at
+  // its slice offset — no per-block copies.
+  for (std::size_t b = 0; b < set.num_blocks(); ++b) {
+    EXPECT_EQ(set.view(b).col(0),
+              set.store->columns[0].data() + set.slices[b].offset);
+    EXPECT_EQ(set.block(b).col(0),
+              set.store->columns[0].data() + set.slices[b].offset);
+  }
+}
+
+TEST(MaterializeBlocksTest, RejectsBadPlans) {
+  Dataset data = IndexedDataset(10);
+  EXPECT_FALSE(MaterializeBlocks(data, BlockPlan{}).ok());
+  BlockPlan empty_block;
+  empty_block.blocks = {{1, 2}, {}};
+  EXPECT_FALSE(MaterializeBlocks(data, empty_block).ok());
+  BlockPlan out_of_range;
+  out_of_range.blocks = {{1, 2, 10}};
+  EXPECT_FALSE(MaterializeBlocks(data, out_of_range).ok());
+}
+
+TEST(PartitionViewTest, DisjointViewMatchesPlanPathExactly) {
+  Dataset data = IndexedDataset(53);
+  // Same seed on both sides: the fused path must draw the identical RNG
+  // stream and gather rows in the identical order.
+  Rng plan_rng(33), view_rng(33);
+  BlockPlan plan = PartitionDisjoint(53, 7, &plan_rng).value();
+  BlockSet from_plan = MaterializeBlocks(data, plan).value();
+  BlockSet fused = PartitionDisjointView(data, 7, &view_rng).value();
+  ASSERT_EQ(fused.num_blocks(), from_plan.num_blocks());
+  EXPECT_EQ(fused.gamma, from_plan.gamma);
+  EXPECT_EQ(plan_rng.UniformUint64(1u << 30), view_rng.UniformUint64(1u << 30))
+      << "the fused path consumed a different number of RNG draws";
+  for (std::size_t b = 0; b < fused.num_blocks(); ++b) {
+    ASSERT_EQ(fused.slices[b].length, from_plan.slices[b].length);
+    for (std::size_t d = 0; d < data.num_dims(); ++d) {
+      for (std::size_t r = 0; r < fused.slices[b].length; ++r) {
+        ASSERT_EQ(fused.view(b).at(r, d), from_plan.view(b).at(r, d));
+      }
+    }
+  }
+}
+
+TEST(PartitionViewTest, ResampledViewMatchesPlanPathExactly) {
+  Dataset data = IndexedDataset(53);
+  Rng plan_rng(34), view_rng(34);
+  Arena scratch;
+  BlockPlan plan = PartitionResampled(53, 10, 3, &plan_rng).value();
+  BlockSet from_plan = MaterializeBlocks(data, plan).value();
+  BlockSet fused = PartitionResampledView(data, 10, 3, &view_rng,
+                                          &scratch).value();
+  ASSERT_EQ(fused.num_blocks(), from_plan.num_blocks());
+  EXPECT_EQ(fused.gamma, 3u);
+  EXPECT_EQ(plan_rng.UniformUint64(1u << 30), view_rng.UniformUint64(1u << 30))
+      << "the fused path consumed a different number of RNG draws";
+  for (std::size_t b = 0; b < fused.num_blocks(); ++b) {
+    ASSERT_EQ(fused.slices[b].length, from_plan.slices[b].length);
+    for (std::size_t d = 0; d < data.num_dims(); ++d) {
+      for (std::size_t r = 0; r < fused.slices[b].length; ++r) {
+        ASSERT_EQ(fused.view(b).at(r, d), from_plan.view(b).at(r, d));
+      }
+    }
+  }
+}
+
+TEST(PartitionViewTest, ArenaScratchIsReusableAcrossQueries) {
+  Dataset data = IndexedDataset(100);
+  Arena scratch;
+  Rng rng(35);
+  BlockSet first = PartitionDisjointView(data, 9, &rng, &scratch).value();
+  // The BlockSet's store owns its rows — resetting the scratch arena (as
+  // PartitionStage does at the start of the next query) must not disturb
+  // the previous result.
+  std::vector<double> before(first.store->columns[0]);
+  scratch.Reset();
+  BlockSet second =
+      PartitionResampledView(data, 10, 2, &rng, &scratch).value();
+  EXPECT_EQ(first.store->columns[0], before);
+  EXPECT_EQ(second.num_blocks(), 2u * 10u);
+}
+
+TEST(PartitionViewTest, RejectsBadArguments) {
+  Dataset data = IndexedDataset(10);
+  Rng rng(36);
+  EXPECT_FALSE(PartitionDisjointView(data, 0, &rng).ok());
+  EXPECT_FALSE(PartitionDisjointView(data, 11, &rng).ok());
+  EXPECT_FALSE(PartitionResampledView(data, 0, 1, &rng).ok());
+  EXPECT_FALSE(PartitionResampledView(data, 11, 1, &rng).ok());
+  EXPECT_FALSE(PartitionResampledView(data, 2, 0, &rng).ok());
 }
 
 // Property sweep: the resampled plan invariants hold across shapes.

@@ -32,8 +32,9 @@ TEST(LifeSciencesTest, DefaultRowCountMatchesDs110) {
 TEST(LifeSciencesTest, LabelsAreBinaryAndRoughlyBalanced) {
   Dataset ds = LifeSciences(SmallLifeSciences()).value();
   std::size_t ones = 0;
-  for (const Row& row : ds.rows()) {
-    double label = row.back();
+  const double* labels = ds.col(ds.num_dims() - 1);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    double label = labels[r];
     ASSERT_TRUE(label == 0.0 || label == 1.0);
     if (label == 1.0) ++ones;
   }
@@ -45,7 +46,7 @@ TEST(LifeSciencesTest, LabelsAreBinaryAndRoughlyBalanced) {
 TEST(LifeSciencesTest, DeterministicForSameSeed) {
   Dataset a = LifeSciences(SmallLifeSciences()).value();
   Dataset b = LifeSciences(SmallLifeSciences()).value();
-  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.MaterializeRows(), b.MaterializeRows());
 }
 
 TEST(LifeSciencesTest, DifferentSeedsDiffer) {
@@ -53,7 +54,7 @@ TEST(LifeSciencesTest, DifferentSeedsDiffer) {
   Dataset a = LifeSciences(opts).value();
   opts.seed += 1;
   Dataset b = LifeSciences(opts).value();
-  EXPECT_NE(a.rows(), b.rows());
+  EXPECT_NE(a.MaterializeRows(), b.MaterializeRows());
 }
 
 TEST(LifeSciencesTest, TrueCentersMatchDataClusters) {
@@ -65,7 +66,9 @@ TEST(LifeSciencesTest, TrueCentersMatchDataClusters) {
   // Every row's features should lie near (within a few stddevs of) at
   // least one true centre.
   std::size_t near = 0;
-  for (const Row& row : ds.rows()) {
+  Row row;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    ds.CopyRowInto(r, &row);
     Row features(row.begin(), row.begin() + 10);
     for (const Row& c : centers) {
       if (vec::SquaredDistance(features, c) < 10.0 * 10.0) {
@@ -102,9 +105,10 @@ TEST(CensusAgesTest, ShapeAndBounds) {
   Dataset ds = CensusAges(opts).value();
   EXPECT_EQ(ds.num_rows(), 5000u);
   EXPECT_EQ(ds.num_dims(), 1u);
-  for (const Row& row : ds.rows()) {
-    EXPECT_GE(row[0], opts.min_age);
-    EXPECT_LE(row[0], opts.max_age);
+  const double* ages = ds.col(0);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_GE(ages[r], opts.min_age);
+    EXPECT_LE(ages[r], opts.max_age);
   }
 }
 
@@ -125,7 +129,8 @@ TEST(CensusAgesTest, MeanNearPaperTruth) {
 TEST(CensusAgesTest, Deterministic) {
   CensusAgeOptions opts;
   opts.num_rows = 1000;
-  EXPECT_EQ(CensusAges(opts).value().rows(), CensusAges(opts).value().rows());
+  EXPECT_EQ(CensusAges(opts).value().MaterializeRows(),
+            CensusAges(opts).value().MaterializeRows());
 }
 
 TEST(CensusAgesTest, RejectsInvalidOptions) {
@@ -144,9 +149,10 @@ TEST(InternetAdsTest, ShapeAndPositivity) {
   Dataset ds = InternetAdAspectRatios(opts).value();
   EXPECT_EQ(ds.num_rows(), 3000u);
   EXPECT_EQ(ds.num_dims(), 1u);
-  for (const Row& row : ds.rows()) {
-    EXPECT_GT(row[0], 0.0);
-    EXPECT_LE(row[0], opts.max_ratio);
+  const double* ratios = ds.col(0);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_GT(ratios[r], 0.0);
+    EXPECT_LE(ratios[r], opts.max_ratio);
   }
 }
 
@@ -165,8 +171,8 @@ TEST(InternetAdsTest, DistributionIsRightSkewed) {
 TEST(InternetAdsTest, Deterministic) {
   InternetAdsOptions opts;
   opts.num_rows = 500;
-  EXPECT_EQ(InternetAdAspectRatios(opts).value().rows(),
-            InternetAdAspectRatios(opts).value().rows());
+  EXPECT_EQ(InternetAdAspectRatios(opts).value().MaterializeRows(),
+            InternetAdAspectRatios(opts).value().MaterializeRows());
 }
 
 TEST(InternetAdsTest, RejectsInvalidOptions) {

@@ -140,8 +140,10 @@ TEST(ChamberTest, PaddingMakesRuntimeDataIndependent) {
   auto timing_attack = [](double target) {
     return MakeProgramFactory("timing", 1,
                               [target](const Dataset& block) -> Result<Row> {
-                                for (const Row& row : block.rows()) {
-                                  if (row[0] == target) {
+                                const double* col = block.col(0);
+                                for (std::size_t r = 0; r < block.num_rows();
+                                     ++r) {
+                                  if (col[r] == target) {
                                     std::this_thread::sleep_for(
                                         milliseconds(30));
                                   }
@@ -186,8 +188,9 @@ TEST(ChamberTest, StateAttackDefeatedByFreshInstances) {
   class StatefulSpy final : public AnalysisProgram {
    public:
     Result<Row> Run(const Dataset& block) override {
-      for (const Row& row : block.rows()) {
-        if (row[0] == 7.0) ++hits_;
+      const double* col = block.col(0);
+      for (std::size_t r = 0; r < block.num_rows(); ++r) {
+        if (col[r] == 7.0) ++hits_;
       }
       return Row{static_cast<double>(hits_)};
     }

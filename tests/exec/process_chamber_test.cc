@@ -19,7 +19,8 @@ TEST(ProcessChamberTest, RunsProgramAndReturnsOutput) {
   auto program = MakeProgramFactory(
       "sum", 1, [](const Dataset& block) -> Result<Row> {
         double sum = 0.0;
-        for (const Row& row : block.rows()) sum += row[0];
+        const double* col = block.col(0);
+        for (std::size_t r = 0; r < block.num_rows(); ++r) sum += col[r];
         return Row{sum};
       });
   auto run = chamber.Execute(program, OneColumn({1, 2, 3}), Row{0.0});

@@ -128,8 +128,9 @@ TEST_F(NewProgramsTest, CanonicalizedKMeansViaWrapper) {
   auto unordered = MakeProgramFactory(
       "two_means_unordered", 2, [](const Dataset& block) -> Result<Row> {
         std::vector<double> low, high;
-        for (const Row& r : block.rows()) {
-          (r[0] < 15.0 ? low : high).push_back(r[0]);
+        const double* col = block.col(0);
+        for (std::size_t r = 0; r < block.num_rows(); ++r) {
+          (col[r] < 15.0 ? low : high).push_back(col[r]);
         }
         if (low.empty() || high.empty()) {
           return Status::NumericalError("degenerate block");

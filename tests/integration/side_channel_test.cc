@@ -48,8 +48,9 @@ TEST_F(SideChannelTest, BudgetAttackImpossibleByConstruction) {
   spec.program = MakeProgramFactory(
       "budget_attacker", 1, [](const Dataset& block) -> Result<Row> {
         bool saw_target = false;
-        for (const Row& row : block.rows()) {
-          if (row[0] == 7.0) saw_target = true;
+        const double* col = block.col(0);
+        for (std::size_t r = 0; r < block.num_rows(); ++r) {
+          if (col[r] == 7.0) saw_target = true;
         }
         return Row{saw_target ? 1.0 : 0.0};
       });
@@ -104,8 +105,9 @@ TEST_F(SideChannelTest, StateAttackSeesNoCrossBlockState) {
 TEST_F(SideChannelTest, TimingAttackNeutralisedByCycleBudget) {
   auto timing_attacker = MakeProgramFactory(
       "timing_attacker", 1, [](const Dataset& block) -> Result<Row> {
-        for (const Row& row : block.rows()) {
-          if (row[0] == 13.0) {
+        const double* col = block.col(0);
+        for (std::size_t r = 0; r < block.num_rows(); ++r) {
+          if (col[r] == 13.0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
           }
         }
@@ -192,7 +194,8 @@ TEST_F(SideChannelTest, ProcessIsolationEndToEnd) {
       "global_attacker", 1, [](const Dataset& block) -> Result<Row> {
         ++global_state;  // visible only inside this block's child process
         double sum = 0.0;
-        for (const Row& row : block.rows()) sum += row[0];
+        const double* col = block.col(0);
+        for (std::size_t r = 0; r < block.num_rows(); ++r) sum += col[r];
         return Row{sum / static_cast<double>(block.num_rows()) +
                    static_cast<double>(global_state - 1) * 100.0};
       });

@@ -51,6 +51,7 @@ import time
 # BENCH_obs.json (a full metrics-registry dump) is deliberately excluded:
 # it is a trajectory artifact, not a flat scalar payload.
 KNOWN_BENCHES = {
+    "chamber_pool": "BENCH_chamber_pool.json",
     "obs_overhead": "BENCH_obs_overhead.json",
     "prof_overhead": "BENCH_prof_overhead.json",
     "failpoint_overhead": "BENCH_failpoint_overhead.json",

@@ -26,7 +26,13 @@ profiling & resource-accounting families `gupt_prof_*` (stage/query CPU,
 /profilez capture outcomes, sample and slow-query counters) and
 `gupt_rusage_*` (child CPU/RSS from wait4, fault and context-switch
 deltas) with their `exec.rusage` and `service.introspect.profilez`
-failpoint sites (docs/observability.md).
+failpoint sites (docs/observability.md). The pre-warmed chamber pool's
+`gupt_chamber_pool_*` family (workers gauge; spawned/leases/resets/
+respawns/shipped-bytes counters; lease-wait histogram — see
+src/exec/chamber_pool.cc) and the columnar partitioner's
+`gupt_data_partition_copied_bytes_total` likewise lint with no special
+cases, as do the pool's `exec.pool.{spawn,lease,reset}` failpoint
+sites.
 
 Usage:
   check_metrics_names.py [repo_root]      lint registrations in the sources

@@ -32,6 +32,7 @@
 // and `#` comment lines are accepted.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -171,7 +172,8 @@ int Usage() {
       "                    [--gamma G] [--mode tight|loose] [--workers N]\n"
       "                    [--seed S] [--analyst NAME] [--metrics[=prom|json]]\n"
       "                    [--metrics-out FILE] [--serve PORT]\n"
-      "                    [--async] [--queue-depth N]\n"
+      "                    [--async] [--queue-depth N] [--pad-deadline-us N]\n"
+      "                    [--chamber-pool N]\n"
       "  gupt_cli svt      --data FILE.csv [--header] --threshold T\n"
       "                    --epsilon E --queries FILE --budget TOTAL\n"
       "                    [--c K] [--records-per-user N] [--ledger FILE]\n"
@@ -266,6 +268,10 @@ int RunQuery(const Args& args) {
   service_options.ledger_path = Optional(args, "ledger", "");
   service_options.runtime.num_workers = static_cast<std::size_t>(
       std::strtoul(Optional(args, "workers", "0").c_str(), nullptr, 10));
+  // --chamber-pool N pre-forks N pooled chamber workers at service start;
+  // blocks are then leased to warm workers instead of forking per block.
+  service_options.chamber_pool_workers = static_cast<std::size_t>(
+      std::strtoul(Optional(args, "chamber-pool", "0").c_str(), nullptr, 10));
   // Default to fresh entropy: reusing one noise stream across process
   // invocations would correlate releases (and, if the data changed between
   // runs, leak the difference). --seed exists for reproducible debugging.
@@ -273,6 +279,21 @@ int RunQuery(const Args& args) {
   service_options.runtime.seed =
       seed_text.empty() ? std::random_device{}()
                         : std::strtoull(seed_text.c_str(), nullptr, 10);
+  // --pad-deadline-us N pads every block execution to a fixed N-microsecond
+  // cycle budget (paper §6.2 timing defence). Besides the side-channel
+  // rationale, a driver script can use it to make per-block wall time
+  // deterministic regardless of how fast the chambers actually run.
+  std::string pad_text = Optional(args, "pad-deadline-us", "");
+  if (!pad_text.empty()) {
+    long long micros = std::strtoll(pad_text.c_str(), nullptr, 10);
+    if (micros <= 0) {
+      std::fprintf(stderr, "--pad-deadline-us must be positive\n");
+      return 2;
+    }
+    service_options.runtime.chamber_policy.deadline =
+        std::chrono::microseconds(micros);
+    service_options.runtime.chamber_policy.pad_to_deadline = true;
+  }
   std::string queue_depth_text = Optional(args, "queue-depth", "");
   if (!queue_depth_text.empty()) {
     service_options.admission_queue_capacity = static_cast<std::size_t>(
@@ -615,7 +636,7 @@ int RunSelfTest() {
   Dataset ages = synthetic::CensusAges(gen).value();
   csv::Table table;
   table.column_names = {"age"};
-  table.rows = ages.rows();
+  table.rows = ages.MaterializeRows();
   if (!csv::WriteFile(csv_path, table).ok()) return 1;
 
   auto run_query = [&](const char* epsilon) {

@@ -89,6 +89,12 @@ def main() -> int:
             "--program=mean", "--params=dim=0",
             f"--epsilon={epsilon}", "--range=0,150", f"--budget={budget}",
             "--gamma=3", "--workers=4", "--seed=11",
+            # Pad each block to a fixed 1.5ms cycle budget: with columnar
+            # zero-copy blocks the raw per-block work is sub-microsecond and
+            # a single pool worker can drain the whole queue before the
+            # others wake, leaving every span on one lane. Padding makes the
+            # multi-lane assertion below deterministic.
+            "--pad-deadline-us=1500",
             "--serve=0", f"--metrics-out={metrics_out}",
         ],
         stdin=subprocess.PIPE,

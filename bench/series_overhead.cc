@@ -1,0 +1,172 @@
+// Time-series collector overhead: the padded ~5ms query path through the
+// hosted service with the series subsystem (a) disabled outright
+// (series_capacity=0: no store, no collector thread, no alert engine)
+// and (b) armed the way an operator would run it — the 1 Hz background
+// collector plus ten custom alert rules on top of the built-ins, so
+// every collector tick sweeps the full registry and evaluates the whole
+// rule table while queries are in flight.
+//
+// Expectation: the collector wakes once a second, sweeps a few dozen
+// metric families and evaluates ~14 rules in well under a millisecond,
+// so the armed median query latency stays within 5% of collector-off.
+// Emits BENCH_series_overhead.json so the claim is machine-checkable.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "obs/series/alerts.h"
+#include "obs/series/collector.h"
+#include "service/gupt_service.h"
+
+namespace gupt {
+namespace {
+
+constexpr int kWarmupQueries = 5;
+// Long enough that the 1 Hz collector ticks several times inside the
+// timed region (~3s at ~5ms per query), yet the median stays a per-query
+// statistic.
+constexpr int kTimedQueries = 601;
+constexpr int kCustomRules = 10;
+
+QueryRequest MeanRequest() {
+  QueryRequest request;
+  request.analyst = "bench";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = 0.1;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  request.gamma = 3;
+  // 4000 rows x gamma 3 / 1000-row blocks = 12 padded blocks; on 4
+  // workers that is 3 cycles of the 1.5ms deadline, a ~5ms query.
+  request.block_size = 1000;
+  return request;
+}
+
+/// Ten synthetic threshold rules over real, always-written series. The
+/// thresholds are unreachable so no rule ever leaves `inactive` — the
+/// bench measures evaluation cost, not alert churn.
+void InstallCustomRules(obs::series::AlertRuleEngine* engine) {
+  using obs::series::AlertAgg;
+  using obs::series::AlertRule;
+  const AlertAgg aggs[] = {AlertAgg::kLatest, AlertAgg::kMean,
+                           AlertAgg::kMax, AlertAgg::kMin, AlertAgg::kDelta};
+  const char* series[] = {"gupt_runtime_queries_total:rate",
+                          "gupt_runtime_query_duration_seconds:p95"};
+  int added = 0;
+  for (const char* name : series) {
+    for (AlertAgg agg : aggs) {
+      AlertRule rule;
+      rule.name = "bench_custom_rule_" + std::to_string(added++);
+      rule.description = "synthetic bench rule (never fires)";
+      rule.series = name;
+      rule.agg = agg;
+      rule.threshold = 1e18;
+      rule.window_ms = 60000;
+      engine->AddRule(rule);
+    }
+  }
+  if (added != kCustomRules) std::exit(1);
+}
+
+/// Median per-query seconds over kTimedQueries runs. `armed` switches the
+/// whole series subsystem on with its production 1 Hz cadence (the
+/// dataset carries an effectively unbounded budget so accounting never
+/// interferes with timing).
+double MedianQuerySeconds(bool armed, std::uint64_t* ticks_seen) {
+  ServiceOptions options;
+  options.introspect_port = -1;  // isolate the collector's own cost
+  options.runtime.num_workers = 4;
+  options.runtime.seed = 99;
+  // Pad every block to a fixed 1.5ms cycle budget (§6.2 timing defence):
+  // query latency becomes deterministic, so the off/armed ratio measures
+  // the collector, not scheduler noise.
+  options.runtime.chamber_policy.deadline = std::chrono::microseconds(1500);
+  options.runtime.chamber_policy.pad_to_deadline = true;
+  options.series_capacity = armed ? 512 : 0;
+  options.collector_period_ms = 1000;
+  GuptService service(std::move(options),
+                      ProgramRegistry::WithStandardPrograms());
+  synthetic::CensusAgeOptions gen;
+  gen.num_rows = 4000;
+  DatasetOptions ds;
+  ds.total_epsilon = 1e6;
+  if (!service.RegisterDataset("ages", synthetic::CensusAges(gen).value(), ds)
+           .ok()) {
+    std::exit(1);
+  }
+  if (armed) InstallCustomRules(service.mutable_alert_engine());
+
+  auto one_query = [&service] {
+    auto report = service.SubmitQuery(MeanRequest());
+    if (!report.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+  for (int i = 0; i < kWarmupQueries; ++i) one_query();
+  std::vector<double> seconds;
+  seconds.reserve(kTimedQueries);
+  for (int i = 0; i < kTimedQueries; ++i) {
+    seconds.push_back(bench::TimeSeconds(one_query));
+  }
+  if (armed) {
+    *ticks_seen = service.series_collector()->Ticks();
+    std::printf("# armed run: %llu collector ticks, %zu rules\n",
+                static_cast<unsigned long long>(*ticks_seen),
+                service.alert_engine()->NumRules());
+  }
+  std::nth_element(seconds.begin(), seconds.begin() + kTimedQueries / 2,
+                   seconds.end());
+  return seconds[kTimedQueries / 2];
+}
+
+int Run() {
+  bench::PrintHeader(
+      "series_overhead",
+      "query latency with the time-series collector off vs armed at 1 Hz "
+      "with ten custom alert rules",
+      "an armed collector + full rule table adds <= 5% to the median "
+      "query latency on the padded ~5ms path");
+
+  std::uint64_t ticks = 0;
+  double off_median_s = MedianQuerySeconds(/*armed=*/false, nullptr);
+  double armed_median_s = MedianQuerySeconds(/*armed=*/true, &ticks);
+  if (ticks == 0) {
+    // A timed region the collector never visited proves nothing.
+    std::fprintf(stderr, "armed run saw no collector ticks\n");
+    return 1;
+  }
+
+  double armed_ratio = armed_median_s / off_median_s;
+  bench::PrintRow({"config", "median_query_s"});
+  bench::PrintRow({"collector_off", bench::Fmt(off_median_s, 6)});
+  bench::PrintRow({"collector_1hz_10rules", bench::Fmt(armed_median_s, 6)});
+  bench::PrintRow({"armed_ratio", bench::Fmt(armed_ratio, 4)});
+
+  std::FILE* out = std::fopen("BENCH_series_overhead.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_series_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"queries\": %d, \"custom_rules\": %d, "
+               "\"collector_ticks\": %llu, \"off_median_s\": %.9f, "
+               "\"armed_median_s\": %.9f, \"armed_ratio\": %.6f}\n",
+               kTimedQueries, kCustomRules,
+               static_cast<unsigned long long>(ticks), off_median_s,
+               armed_median_s, armed_ratio);
+  std::fclose(out);
+  std::printf("# wrote BENCH_series_overhead.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gupt
+
+int main() { return gupt::Run(); }

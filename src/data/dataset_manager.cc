@@ -105,4 +105,21 @@ std::vector<DatasetBudgetSnapshot> DatasetManager::BudgetSnapshots() const {
   return snapshots;
 }
 
+std::vector<DatasetBudgetTotals> DatasetManager::BudgetTotalsSnapshot() const {
+  // Same two-phase locking discipline as BudgetSnapshots().
+  std::vector<std::shared_ptr<RegisteredDataset>> pinned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned.reserve(datasets_.size());
+    for (const auto& [unused, dataset] : datasets_) pinned.push_back(dataset);
+  }
+  std::vector<DatasetBudgetTotals> totals;
+  totals.reserve(pinned.size());
+  for (const auto& dataset : pinned) {
+    totals.push_back(
+        DatasetBudgetTotals{dataset->name(), dataset->accountant().Totals()});
+  }
+  return totals;
+}
+
 }  // namespace gupt

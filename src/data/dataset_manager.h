@@ -73,6 +73,13 @@ struct DatasetBudgetSnapshot {
   dp::AccountantSnapshot budget;
 };
 
+/// One dataset's ledger totals (no charge history) — the time-series
+/// collector samples these once per tick.
+struct DatasetBudgetTotals {
+  std::string dataset;
+  dp::BudgetTotals totals;
+};
+
 /// Thread-safe registry of datasets keyed by name. (Queries run
 /// concurrently in a hosted service, and registration may race with them;
 /// the returned shared_ptrs keep a dataset alive across an Unregister.)
@@ -99,6 +106,10 @@ class DatasetManager {
   /// is internally consistent (one lock acquisition per accountant); the
   /// set of datasets is the registry's state at call time.
   std::vector<DatasetBudgetSnapshot> BudgetSnapshots() const;
+
+  /// Per-dataset ledger totals, sorted by dataset name — BudgetSnapshots
+  /// minus the charge-history copy (cheap enough for a 1 Hz sampler).
+  std::vector<DatasetBudgetTotals> BudgetTotalsSnapshot() const;
 
  private:
   mutable std::mutex mu_;

@@ -70,5 +70,14 @@ AccountantSnapshot PrivacyAccountant::Snapshot() const {
   return snapshot;
 }
 
+BudgetTotals PrivacyAccountant::Totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BudgetTotals totals;
+  totals.total_epsilon = total_epsilon_;
+  totals.spent_epsilon = spent_epsilon_;
+  totals.num_charges = charges_.size();
+  return totals;
+}
+
 }  // namespace dp
 }  // namespace gupt

@@ -43,6 +43,21 @@ struct AccountantSnapshot {
   }
 };
 
+/// The ledger's totals without the charge history — what a once-a-second
+/// sampler (the obs time-series collector) needs. Copying the full
+/// AccountantSnapshot would clone an unbounded charge vector per tick.
+struct BudgetTotals {
+  double total_epsilon = 0.0;
+  double spent_epsilon = 0.0;
+  std::size_t num_charges = 0;
+
+  /// Clamped at zero, matching PrivacyAccountant::remaining_epsilon().
+  double remaining_epsilon() const {
+    double rest = total_epsilon - spent_epsilon;
+    return rest > 0.0 ? rest : 0.0;
+  }
+};
+
 /// Thread-safe epsilon-DP budget ledger for one dataset.
 class PrivacyAccountant {
  public:
@@ -67,6 +82,10 @@ class PrivacyAccountant {
 
   /// Atomic copy of the whole ledger state (totals + history agree).
   AccountantSnapshot Snapshot() const;
+
+  /// Atomic copy of the totals alone — one lock acquisition, no history
+  /// copy. Same consistency guarantee as Snapshot().
+  BudgetTotals Totals() const;
 
  private:
   mutable std::mutex mu_;

@@ -442,6 +442,12 @@ std::string MetricsRegistry::ExportJson() const {
           out += std::to_string(h.Count());
           out += ",\"sum\":";
           out += FormatJsonNumber(h.Sum());
+          out += ",\"p50\":";
+          out += FormatJsonNumber(h.Quantile(0.50));
+          out += ",\"p95\":";
+          out += FormatJsonNumber(h.Quantile(0.95));
+          out += ",\"p99\":";
+          out += FormatJsonNumber(h.Quantile(0.99));
           out += ",\"buckets\":[";
           std::vector<std::uint64_t> counts = h.BucketCounts();
           for (std::size_t i = 0; i < counts.size(); ++i) {
@@ -462,6 +468,40 @@ std::string MetricsRegistry::ExportJson() const {
     out += "]}";
   }
   out += "]}";
+  return out;
+}
+
+std::vector<MetricSample> MetricsRegistry::CollectSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, instrument] : family.series) {
+      MetricSample sample;
+      sample.name = name;
+      sample.labels = family.series_labels.at(key);
+      switch (family.kind) {
+        case Kind::kCounter:
+          sample.kind = MetricSample::Kind::kCounter;
+          sample.value = instrument.counter->Value();
+          break;
+        case Kind::kGauge:
+          sample.kind = MetricSample::Kind::kGauge;
+          sample.value = instrument.gauge->Value();
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *instrument.histogram;
+          sample.kind = MetricSample::Kind::kHistogram;
+          sample.count = h.Count();
+          sample.sum = h.Sum();
+          sample.p50 = h.Quantile(0.50);
+          sample.p95 = h.Quantile(0.95);
+          sample.p99 = h.Quantile(0.99);
+          break;
+        }
+      }
+      out.push_back(std::move(sample));
+    }
+  }
   return out;
 }
 

@@ -100,6 +100,22 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// One instrument's value at a sampling instant, as enumerated by
+/// MetricsRegistry::CollectSamples() for the time-series collector.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;  // canonical (sorted) order
+  double value = 0.0;  // counter / gauge
+  // Histogram-only fields:
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Registry of named instrument families. `Get()` is the process-global
 /// instance that all runtime components use; separate instances can be
 /// constructed for tests. Handles returned by the getters are stable for
@@ -133,7 +149,14 @@ class MetricsRegistry {
   std::string ExportPrometheus() const;
 
   /// JSON dump: {"metrics": [{"name", "type", "help", "series": [...]}]}.
+  /// Histogram series additionally carry interpolated "p50"/"p95"/"p99"
+  /// alongside count/sum/buckets.
   std::string ExportJson() const;
+
+  /// Every instrument's current value, families in name order and label
+  /// sets in canonical order — the SeriesCollector's sampling surface.
+  /// Histogram samples carry interpolated p50/p95/p99.
+  std::vector<MetricSample> CollectSamples() const;
 
   /// Zeroes every value while keeping registrations and handles valid.
   void Reset();

@@ -1,0 +1,410 @@
+#include "obs/series/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+namespace {
+
+constexpr char kInstanceSep = '\x1f';
+
+double Aggregate(AlertAgg agg, const std::vector<SeriesPoint>& points) {
+  switch (agg) {
+    case AlertAgg::kLatest:
+      return points.back().value;
+    case AlertAgg::kMean: {
+      double sum = 0.0;
+      for (const SeriesPoint& p : points) sum += p.value;
+      return sum / static_cast<double>(points.size());
+    }
+    case AlertAgg::kMax: {
+      double best = points.front().value;
+      for (const SeriesPoint& p : points) best = std::max(best, p.value);
+      return best;
+    }
+    case AlertAgg::kMin: {
+      double best = points.front().value;
+      for (const SeriesPoint& p : points) best = std::min(best, p.value);
+      return best;
+    }
+    case AlertAgg::kDelta:
+      return points.back().value - points.front().value;
+  }
+  return 0.0;
+}
+
+std::string FormatValue(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+const char* ToString(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo:
+      return "info";
+    case AlertSeverity::kWarning:
+      return "warning";
+    case AlertSeverity::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+const char* ToString(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive:
+      return "inactive";
+    case AlertState::kPending:
+      return "pending";
+    case AlertState::kFiring:
+      return "firing";
+    case AlertState::kResolved:
+      return "resolved";
+  }
+  return "unknown";
+}
+
+const char* ToString(AlertAgg agg) {
+  switch (agg) {
+    case AlertAgg::kLatest:
+      return "latest";
+    case AlertAgg::kMean:
+      return "mean";
+    case AlertAgg::kMax:
+      return "max";
+    case AlertAgg::kMin:
+      return "min";
+    case AlertAgg::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+AlertRuleEngine::AlertRuleEngine(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  rules_gauge_ = registry->GetGauge("gupt_alert_rules_count",
+                                    "Alert rules loaded into the engine.");
+  evaluations_counter_ =
+      registry->GetCounter("gupt_alert_evaluations_total",
+                           "Alert evaluation passes completed.");
+  const char* transitions_help = "Alert instance state transitions.";
+  transitions_pending_ = registry->GetCounter(
+      "gupt_alert_transitions_total", transitions_help, {{"to", "pending"}});
+  transitions_firing_ = registry->GetCounter(
+      "gupt_alert_transitions_total", transitions_help, {{"to", "firing"}});
+  transitions_resolved_ = registry->GetCounter(
+      "gupt_alert_transitions_total", transitions_help, {{"to", "resolved"}});
+  transitions_inactive_ = registry->GetCounter(
+      "gupt_alert_transitions_total", transitions_help, {{"to", "inactive"}});
+  const char* firing_help = "Alert instances currently firing, by severity.";
+  firing_info_ = registry->GetGauge("gupt_alert_firing_count", firing_help,
+                                    {{"severity", "info"}});
+  firing_warning_ = registry->GetGauge("gupt_alert_firing_count", firing_help,
+                                       {{"severity", "warning"}});
+  firing_critical_ = registry->GetGauge("gupt_alert_firing_count", firing_help,
+                                        {{"severity", "critical"}});
+}
+
+void AlertRuleEngine::AddRule(AlertRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+  if (rules_gauge_ != nullptr) {
+    rules_gauge_->Set(static_cast<double>(rules_.size()));
+  }
+}
+
+std::size_t AlertRuleEngine::NumRules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_.size();
+}
+
+std::vector<AlertRule> AlertRuleEngine::Rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_;
+}
+
+std::uint64_t AlertRuleEngine::Evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+void AlertRuleEngine::Transition(Instance* instance, AlertState next,
+                                 std::int64_t unix_ms, std::uint64_t qid) {
+  AlertInstanceStatus& status = instance->status;
+  status.state = next;
+  status.last_transition_unix_ms = unix_ms;
+  status.last_transition_qid = qid;
+  ++status.transitions;
+  Counter* counter = nullptr;
+  switch (next) {
+    case AlertState::kPending:
+      counter = transitions_pending_;
+      break;
+    case AlertState::kFiring:
+      counter = transitions_firing_;
+      break;
+    case AlertState::kResolved:
+      counter = transitions_resolved_;
+      break;
+    case AlertState::kInactive:
+      counter = transitions_inactive_;
+      break;
+  }
+  if (counter != nullptr) counter->Increment();
+}
+
+bool AlertRuleEngine::ThresholdValue(const AlertRule& rule,
+                                     const SeriesStore& store,
+                                     std::int64_t t_ns, double* value,
+                                     std::string* detail) const {
+  const std::int64_t min_t_ns = t_ns - rule.window_ms * 1000000;
+  std::vector<SeriesPoint> points = store.Points(rule.series, min_t_ns);
+  if (points.empty()) {
+    *detail = "no data for " + rule.series;
+    return false;
+  }
+  const double numerator = Aggregate(rule.agg, points);
+  if (rule.denominator.empty()) {
+    *value = numerator;
+    *detail = rule.series + " " + ToString(rule.agg) + "=" +
+              FormatValue(numerator);
+    return true;
+  }
+  std::vector<SeriesPoint> den_points = store.Points(rule.denominator, min_t_ns);
+  if (den_points.empty()) {
+    *detail = "no data for " + rule.denominator;
+    return false;
+  }
+  const double denominator = Aggregate(rule.agg, den_points);
+  if (denominator != 0.0) {
+    *value = numerator / denominator;
+  } else {
+    *value = numerator > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  *detail = rule.series + " / " + rule.denominator + " " + ToString(rule.agg) +
+            "=" + FormatValue(numerator) + "/" + FormatValue(denominator);
+  return true;
+}
+
+void AlertRuleEngine::Evaluate(const SeriesStore& store,
+                               const std::vector<BudgetForecast>& forecasts,
+                               std::int64_t t_ns, std::int64_t unix_ms,
+                               std::uint64_t qid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  if (evaluations_counter_ != nullptr) evaluations_counter_->Increment();
+
+  // (condition, value, has_data, detail) per live instance this pass.
+  struct Evaluation {
+    const AlertRule* rule;
+    std::string instance;
+    bool condition = false;
+    bool has_data = false;
+    double value = 0.0;
+    std::string detail;
+  };
+  std::vector<Evaluation> evaluations;
+  for (const AlertRule& rule : rules_) {
+    if (rule.burn_rate) {
+      for (const BudgetForecast& f : forecasts) {
+        if (!rule.dataset.empty() && rule.dataset != f.dataset) continue;
+        Evaluation ev;
+        ev.rule = &rule;
+        ev.instance = f.dataset;
+        ev.has_data = true;
+        // -1 encodes "not burning" so the published value stays finite.
+        ev.value = f.burning ? f.seconds_to_exhaustion : -1.0;
+        ev.condition = f.burning && f.seconds_to_exhaustion <= rule.threshold;
+        ev.detail = f.burning
+                        ? "exhaustion in " +
+                              FormatValue(f.seconds_to_exhaustion) +
+                              "s (burn " +
+                              FormatValue(f.window_rate_eps_per_s) + " eps/s)"
+                        : "not burning";
+        evaluations.push_back(std::move(ev));
+      }
+    } else {
+      Evaluation ev;
+      ev.rule = &rule;
+      ev.has_data = ThresholdValue(rule, store, t_ns, &ev.value, &ev.detail);
+      if (ev.has_data) {
+        ev.condition = rule.fire_below ? ev.value <= rule.threshold
+                                       : ev.value >= rule.threshold;
+      }
+      evaluations.push_back(std::move(ev));
+    }
+  }
+
+  for (Evaluation& ev : evaluations) {
+    const std::string key = ev.rule->name + kInstanceSep + ev.instance;
+    auto it = instances_.find(key);
+    if (it == instances_.end()) {
+      Instance fresh;
+      fresh.status.rule = ev.rule->name;
+      fresh.status.instance = ev.instance;
+      fresh.status.description = ev.rule->description;
+      fresh.status.severity = ev.rule->severity;
+      fresh.status.threshold = ev.rule->threshold;
+      it = instances_.emplace(key, std::move(fresh)).first;
+    }
+    Instance& instance = it->second;
+    AlertInstanceStatus& status = instance.status;
+    status.value = ev.value;
+    status.has_data = ev.has_data;
+    status.detail = ev.detail;
+    status.last_evaluated_unix_ms = unix_ms;
+    if (ev.condition) {
+      if (status.state != AlertState::kFiring) {
+        if (status.state != AlertState::kPending) {
+          Transition(&instance, AlertState::kPending, unix_ms, qid);
+          instance.pending_since_ns = t_ns;
+          status.pending_since_unix_ms = unix_ms;
+        }
+        if (t_ns - instance.pending_since_ns >= ev.rule->for_ms * 1000000) {
+          Transition(&instance, AlertState::kFiring, unix_ms, qid);
+          status.firing_since_unix_ms = unix_ms;
+          ++status.fire_count;
+        }
+      }
+    } else {
+      if (status.state == AlertState::kFiring) {
+        Transition(&instance, AlertState::kResolved, unix_ms, qid);
+        status.resolved_unix_ms = unix_ms;
+        status.firing_since_unix_ms = 0;
+      } else if (status.state == AlertState::kPending) {
+        Transition(&instance, AlertState::kInactive, unix_ms, qid);
+      }
+      // kInactive and kResolved are stable under a false condition.
+    }
+  }
+
+  std::size_t firing_info = 0, firing_warning = 0, firing_critical = 0;
+  for (const auto& [key, instance] : instances_) {
+    if (instance.status.state != AlertState::kFiring) continue;
+    switch (instance.status.severity) {
+      case AlertSeverity::kInfo:
+        ++firing_info;
+        break;
+      case AlertSeverity::kWarning:
+        ++firing_warning;
+        break;
+      case AlertSeverity::kCritical:
+        ++firing_critical;
+        break;
+    }
+  }
+  if (firing_info_ != nullptr) {
+    firing_info_->Set(static_cast<double>(firing_info));
+    firing_warning_->Set(static_cast<double>(firing_warning));
+    firing_critical_->Set(static_cast<double>(firing_critical));
+  }
+}
+
+std::vector<AlertInstanceStatus> AlertRuleEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertInstanceStatus> out;
+  out.reserve(instances_.size());
+  for (const auto& [key, instance] : instances_) {
+    out.push_back(instance.status);
+  }
+  return out;
+}
+
+std::vector<std::string> AlertRuleEngine::FiringNames(
+    AlertSeverity min_severity) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [key, instance] : instances_) {
+    const AlertInstanceStatus& status = instance.status;
+    if (status.state != AlertState::kFiring) continue;
+    if (static_cast<int>(status.severity) < static_cast<int>(min_severity)) {
+      continue;
+    }
+    out.push_back(status.instance.empty()
+                      ? status.rule
+                      : status.rule + "[" + status.instance + "]");
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AlertRule> BuiltinAlertRules(const BuiltinRuleOptions& options) {
+  std::vector<AlertRule> rules;
+
+  AlertRule budget;
+  budget.name = "budget_exhaustion_imminent";
+  budget.description =
+      "A dataset's forecasted time-to-epsilon-exhaustion dropped below the "
+      "configured horizon; charges are irrevocable, so act before the cap.";
+  budget.severity = AlertSeverity::kCritical;
+  budget.burn_rate = true;
+  budget.threshold = options.budget_horizon_seconds;
+  budget.window_ms = options.window_ms;
+  budget.for_ms = options.collector_period_ms;
+  rules.push_back(std::move(budget));
+
+  if (options.admission_queue_capacity > 0) {
+    AlertRule queue;
+    queue.name = "admission_queue_saturation";
+    queue.description =
+        "Admission queue depth at or above 80% of capacity; submissions "
+        "will start refusing with kUnavailable at the cap.";
+    queue.severity = AlertSeverity::kWarning;
+    queue.series = "gupt_service_admission_queue_depth:value";
+    queue.agg = AlertAgg::kLatest;
+    queue.threshold =
+        0.8 * static_cast<double>(options.admission_queue_capacity);
+    queue.window_ms = options.window_ms;
+    queue.for_ms = options.collector_period_ms;
+    rules.push_back(std::move(queue));
+  }
+
+  if (options.chamber_pool_enabled) {
+    AlertRule pool;
+    pool.name = "chamber_pool_respawn_storm";
+    pool.description =
+        "Chamber-pool workers are crashing and being respawned on at "
+        "least half of all leases; those blocks fall back to "
+        "fork-per-block. (A steady crash-every-lease storm tops out just "
+        "below a 1.0 ratio — the initial workers never respawn — so the "
+        "threshold sits at 0.5, far above any healthy pool.)";
+    pool.severity = AlertSeverity::kWarning;
+    pool.series = "gupt_chamber_pool_respawns_total:rate";
+    pool.denominator = "gupt_chamber_pool_leases_total:rate";
+    pool.agg = AlertAgg::kMean;
+    pool.threshold = 0.5;
+    pool.window_ms = options.window_ms;
+    pool.for_ms = options.collector_period_ms;
+    rules.push_back(std::move(pool));
+  }
+
+  if (options.svt_session_capacity > 0) {
+    AlertRule svt;
+    svt.name = "svt_session_capacity_pressure";
+    svt.description =
+        "Live SVT sessions at or above 90% of capacity; further opens will "
+        "refuse with kUnavailable.";
+    svt.severity = AlertSeverity::kWarning;
+    svt.series = "gupt_svt_sessions_active_count:value";
+    svt.agg = AlertAgg::kLatest;
+    svt.threshold = 0.9 * static_cast<double>(options.svt_session_capacity);
+    svt.window_ms = options.window_ms;
+    svt.for_ms = options.collector_period_ms;
+    rules.push_back(std::move(svt));
+  }
+
+  return rules;
+}
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt

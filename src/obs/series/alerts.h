@@ -1,0 +1,182 @@
+// Declarative alert rules over collected time series.
+//
+// A rule watches either (a) one series — aggregated over a sliding
+// window, optionally divided by a denominator series for ratio rules —
+// against a threshold, or (b) the budget forecaster's time-to-exhaustion
+// per dataset ("burn-rate rule"). Each rule instance walks the classic
+// pending -> firing -> resolved state machine with for-duration
+// hysteresis: the condition must hold for `for_ms` before a pending
+// instance fires, a single good evaluation resolves it, and `resolved`
+// is sticky until the condition next returns (so an operator can see
+// that an alert fired even after it cleared).
+//
+// Built-in rules cover the failure modes this service has already grown
+// detectors for: budget exhaustion (the one unrollbackable outage),
+// admission-queue saturation, chamber-pool respawn storms, and SVT
+// session-capacity pressure. BuiltinAlertRules() assembles them from the
+// service's configured capacities; tools/check_metrics_names.py verifies
+// every series literal in this subsystem names a registered metric.
+//
+// Layering: obs bottom layer, std only.
+
+#ifndef GUPT_OBS_SERIES_ALERTS_H_
+#define GUPT_OBS_SERIES_ALERTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/series/forecaster.h"
+#include "obs/series/time_series.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+enum class AlertSeverity { kInfo, kWarning, kCritical };
+enum class AlertState { kInactive, kPending, kFiring, kResolved };
+
+/// Window aggregation for threshold rules.
+enum class AlertAgg { kLatest, kMean, kMax, kMin, kDelta };
+
+const char* ToString(AlertSeverity severity);
+const char* ToString(AlertState state);
+const char* ToString(AlertAgg agg);
+
+struct AlertRule {
+  std::string name;  // snake_case identifier, unique per engine
+  std::string description;
+  AlertSeverity severity = AlertSeverity::kWarning;
+
+  /// Threshold rule (burn_rate == false): aggregate `series` over
+  /// `window_ms`; when `denominator` is non-empty the value is the ratio
+  /// of the two aggregates (denominator 0 -> +inf if the numerator is
+  /// positive, else 0). Fires when value >= threshold (<= with
+  /// fire_below).
+  std::string series;
+  std::string denominator;
+  AlertAgg agg = AlertAgg::kLatest;
+  bool fire_below = false;
+  double threshold = 0.0;
+
+  /// Burn-rate rule: ignores series/agg and fires per dataset when the
+  /// forecast is burning and seconds_to_exhaustion <= threshold (the
+  /// horizon, in seconds). `dataset` restricts to one dataset; empty
+  /// watches all.
+  bool burn_rate = false;
+  std::string dataset;
+
+  std::int64_t window_ms = 60000;
+  std::int64_t for_ms = 0;
+};
+
+/// Published state of one rule instance (a burn-rate rule has one
+/// instance per dataset; threshold rules one with an empty instance).
+struct AlertInstanceStatus {
+  std::string rule;
+  std::string instance;
+  std::string description;
+  AlertSeverity severity = AlertSeverity::kWarning;
+  AlertState state = AlertState::kInactive;
+  double value = 0.0;      // last evaluated value (or seconds-to-exhaustion)
+  double threshold = 0.0;
+  bool has_data = false;   // false while the watched series is empty
+  std::string detail;      // human-readable condition summary
+
+  std::int64_t pending_since_unix_ms = 0;   // 0 = never pending
+  std::int64_t firing_since_unix_ms = 0;    // 0 = not firing
+  std::int64_t resolved_unix_ms = 0;        // 0 = never resolved
+  std::int64_t last_transition_unix_ms = 0;
+  /// Newest query id the service had issued at the last transition —
+  /// joins an alert flip to /tracez, /slowz and the audit log.
+  std::uint64_t last_transition_qid = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t fire_count = 0;  // times this instance entered firing
+  std::int64_t last_evaluated_unix_ms = 0;
+};
+
+class AlertRuleEngine {
+ public:
+  /// `registry` (usually MetricsRegistry::Get()) receives the
+  /// gupt_alert_* instrumentation; pass nullptr to skip it in unit tests.
+  explicit AlertRuleEngine(MetricsRegistry* registry = nullptr);
+
+  void AddRule(AlertRule rule);
+  std::size_t NumRules() const;
+  std::vector<AlertRule> Rules() const;
+
+  /// One evaluation pass at (t_ns, unix_ms). `qid` is the newest query id
+  /// issued so far, recorded on every state transition.
+  void Evaluate(const SeriesStore& store,
+                const std::vector<BudgetForecast>& forecasts,
+                std::int64_t t_ns, std::int64_t unix_ms, std::uint64_t qid);
+
+  std::vector<AlertInstanceStatus> Snapshot() const;
+
+  std::uint64_t Evaluations() const;
+
+  /// Names ("rule" or "rule[instance]") of firing instances at or above
+  /// `min_severity`, sorted.
+  std::vector<std::string> FiringNames(
+      AlertSeverity min_severity = AlertSeverity::kInfo) const;
+
+ private:
+  struct Instance {
+    AlertInstanceStatus status;
+    std::int64_t pending_since_ns = 0;  // steady time the condition began
+  };
+
+  void Transition(Instance* instance, AlertState next, std::int64_t unix_ms,
+                  std::uint64_t qid);
+
+  /// Threshold-rule value over the window ending at t_ns. Returns false
+  /// when the watched series has no points in the window.
+  bool ThresholdValue(const AlertRule& rule, const SeriesStore& store,
+                      std::int64_t t_ns, double* value,
+                      std::string* detail) const;
+
+  mutable std::mutex mu_;
+  std::vector<AlertRule> rules_;
+  // Keyed "rule\x1f<instance>"; std::map keeps snapshots sorted.
+  std::map<std::string, Instance> instances_;
+
+  Gauge* rules_gauge_ = nullptr;
+  Counter* evaluations_counter_ = nullptr;
+  Counter* transitions_pending_ = nullptr;
+  Counter* transitions_firing_ = nullptr;
+  Counter* transitions_resolved_ = nullptr;
+  Counter* transitions_inactive_ = nullptr;
+  Gauge* firing_info_ = nullptr;
+  Gauge* firing_warning_ = nullptr;
+  Gauge* firing_critical_ = nullptr;
+  std::uint64_t evaluations_ = 0;
+};
+
+/// Capacities the built-in rules are parameterised by (0 skips the
+/// corresponding rule where a threshold would be meaningless).
+struct BuiltinRuleOptions {
+  /// budget_exhaustion_imminent fires when forecasted time-to-exhaustion
+  /// drops to or below this many seconds.
+  double budget_horizon_seconds = 600.0;
+  /// Collector cadence; used as the for-duration so a rule is pending for
+  /// at least one tick before firing (observable hysteresis).
+  std::int64_t collector_period_ms = 1000;
+  std::int64_t window_ms = 60000;
+  std::size_t admission_queue_capacity = 0;
+  std::size_t svt_session_capacity = 0;
+  bool chamber_pool_enabled = false;
+};
+
+/// The built-in rule set. Series names here are validated against the
+/// registered metric families by tools/check_metrics_names.py.
+std::vector<AlertRule> BuiltinAlertRules(const BuiltinRuleOptions& options);
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_SERIES_ALERTS_H_

@@ -1,0 +1,282 @@
+#include "obs/series/collector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/trace.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+namespace {
+
+std::int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Non-finite forecast values (no burn in window) publish as -1 so the
+/// exported gauges stay finite.
+double FiniteOr(double value, double fallback) {
+  return std::isfinite(value) ? value : fallback;
+}
+
+}  // namespace
+
+std::string SeriesName(const std::string& metric, const Labels& labels,
+                       const char* agg) {
+  std::string out = metric;
+  if (!labels.empty()) {
+    // Registry samples arrive pre-sorted; sort here too so ad-hoc
+    // callers produce the same canonical name for the same label set.
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    out += '{';
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) out += ',';
+      out += sorted[i].first;
+      out += '=';
+      out += sorted[i].second;
+    }
+    out += '}';
+  }
+  out += ':';
+  out += agg;
+  return out;
+}
+
+SeriesCollector::SeriesCollector(SeriesCollectorOptions options,
+                                 SeriesStore* store, AlertRuleEngine* engine)
+    : options_(std::move(options)),
+      store_(store),
+      engine_(engine),
+      forecaster_(options_.forecast_window_ms * 1000000) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Get();
+  }
+  MetricsRegistry& registry = *options_.registry;
+  tracked_gauge_ = registry.GetGauge(
+      "gupt_series_tracked_count",
+      "Distinct time series currently retained by the collector.");
+  points_counter_ = registry.GetCounter(
+      "gupt_series_points_total",
+      "Samples accepted into the time-series store.");
+  dropped_counter_ = registry.GetCounter(
+      "gupt_series_points_dropped_total",
+      "Samples dropped for non-monotone timestamps.");
+  const char* collections_help = "Collector ticks by outcome.";
+  collections_ok_ = registry.GetCounter("gupt_series_collections_total",
+                                        collections_help, {{"outcome", "ok"}});
+  collections_skipped_ =
+      registry.GetCounter("gupt_series_collections_total", collections_help,
+                          {{"outcome", "skipped"}});
+  evaluations_skipped_ = registry.GetCounter(
+      "gupt_alert_evaluations_skipped_total",
+      "Alert evaluation passes skipped by the evaluate gate.");
+  collect_duration_ = registry.GetHistogram(
+      "gupt_series_collect_duration_seconds",
+      "Wall time of one collector sampling pass.",
+      Histogram::DurationBuckets());
+}
+
+SeriesCollector::~SeriesCollector() { Stop(); }
+
+void SeriesCollector::Start() {
+  if (options_.period_ms <= 0) return;
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (thread_running_) return;
+  stop_requested_ = false;
+  thread_running_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void SeriesCollector::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!thread_running_) return;
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(run_mu_);
+  thread_running_ = false;
+}
+
+bool SeriesCollector::running() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return thread_running_;
+}
+
+void SeriesCollector::Run() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_requested_) {
+    run_cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                     [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void SeriesCollector::TickNow() { Tick(); }
+
+void SeriesCollector::Tick() {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  ++ticks_;
+  std::int64_t t_ns = NanosSinceTraceEpoch(std::chrono::steady_clock::now());
+  // One shared timestamp per tick, strictly monotone even if two ticks
+  // land within clock resolution.
+  if (t_ns <= last_tick_t_ns_) t_ns = last_tick_t_ns_ + 1;
+  last_tick_t_ns_ = t_ns;
+  const std::int64_t unix_ms = NowUnixMs();
+
+  const bool collect = !options_.on_collect || options_.on_collect();
+  if (collect) {
+    const auto started = std::chrono::steady_clock::now();
+    const std::uint64_t appended_before = store_->AppendedPoints();
+    const std::uint64_t dropped_before = store_->DroppedPoints();
+
+    std::vector<BudgetStat> stats;
+    if (options_.budget_source) {
+      stats = options_.budget_source();
+      for (const BudgetStat& stat : stats) {
+        BudgetGauges& gauges = budget_gauges_[stat.dataset];
+        if (gauges.total == nullptr) {
+          MetricsRegistry& registry = *options_.registry;
+          const Labels labels = {{"dataset", stat.dataset}};
+          gauges.total = registry.GetGauge(
+              "gupt_budget_total_epsilon",
+              "Dataset's total privacy budget.", labels);
+          gauges.spent = registry.GetGauge(
+              "gupt_budget_spent_epsilon",
+              "Epsilon irrevocably charged so far.", labels);
+          gauges.remaining = registry.GetGauge(
+              "gupt_budget_remaining_epsilon",
+              "Epsilon still available (clamped at zero).", labels);
+          gauges.charges = registry.GetGauge(
+              "gupt_budget_charges_count",
+              "Accepted ledger charges so far.", labels);
+          gauges.burn_rate = registry.GetGauge(
+              "gupt_budget_burn_rate_epsilon",
+              "Instantaneous epsilon burn rate (eps per second, "
+              "backward difference over the last collector interval).",
+              labels);
+          gauges.exhaustion_seconds = registry.GetGauge(
+              "gupt_budget_burn_exhaustion_seconds",
+              "Forecasted seconds until budget exhaustion at the "
+              "window-average burn rate; -1 when not burning.",
+              labels);
+          gauges.exhaustion_queries = registry.GetGauge(
+              "gupt_budget_burn_queries_count",
+              "Forecasted queries until budget exhaustion at the "
+              "window-average per-query cost; -1 when unknown.",
+              labels);
+        }
+        const double remaining =
+            stat.total_epsilon > stat.spent_epsilon
+                ? stat.total_epsilon - stat.spent_epsilon
+                : 0.0;
+        gauges.total->Set(stat.total_epsilon);
+        gauges.spent->Set(stat.spent_epsilon);
+        gauges.remaining->Set(remaining);
+        gauges.charges->Set(static_cast<double>(stat.num_charges));
+      }
+    }
+
+    for (const MetricSample& sample : options_.registry->CollectSamples()) {
+      bool derived = false;
+      for (const std::string& prefix : options_.derived_prefixes) {
+        if (sample.name.compare(0, prefix.size(), prefix) == 0) {
+          derived = true;
+          break;
+        }
+      }
+      if (derived) continue;
+      SeriesPoint point;
+      point.t_ns = t_ns;
+      point.unix_ms = unix_ms;
+      switch (sample.kind) {
+        case MetricSample::Kind::kCounter: {
+          const std::string base = SeriesName(sample.name, sample.labels, "rate");
+          CounterPrev& prev = counter_prev_[base];
+          // Primed on first sight; a rate needs two observations. A value
+          // below the previous one means the registry was reset — re-prime.
+          if (prev.t_ns > 0 && t_ns > prev.t_ns && sample.value >= prev.value) {
+            point.value = (sample.value - prev.value) /
+                          (static_cast<double>(t_ns - prev.t_ns) * 1e-9);
+            store_->Append(base, point);
+          }
+          prev.value = sample.value;
+          prev.t_ns = t_ns;
+          break;
+        }
+        case MetricSample::Kind::kGauge:
+          point.value = sample.value;
+          store_->Append(SeriesName(sample.name, sample.labels, "value"),
+                         point);
+          break;
+        case MetricSample::Kind::kHistogram:
+          if (sample.count == 0) break;  // no all-zero quantile noise
+          point.value = sample.p50;
+          store_->Append(SeriesName(sample.name, sample.labels, "p50"), point);
+          point.value = sample.p95;
+          store_->Append(SeriesName(sample.name, sample.labels, "p95"), point);
+          point.value = sample.p99;
+          store_->Append(SeriesName(sample.name, sample.labels, "p99"), point);
+          break;
+      }
+    }
+
+    latest_forecasts_ = forecaster_.Tick(stats, store_, t_ns, unix_ms);
+    for (const BudgetForecast& f : latest_forecasts_) {
+      auto it = budget_gauges_.find(f.dataset);
+      if (it == budget_gauges_.end()) continue;
+      it->second.burn_rate->Set(f.instant_rate_eps_per_s);
+      it->second.exhaustion_seconds->Set(
+          f.burning ? FiniteOr(f.seconds_to_exhaustion, -1.0) : -1.0);
+      it->second.exhaustion_queries->Set(
+          f.burning ? FiniteOr(f.queries_to_exhaustion, -1.0) : -1.0);
+    }
+
+    collections_ok_->Increment();
+    points_counter_->Increment(
+        static_cast<double>(store_->AppendedPoints() - appended_before));
+    dropped_counter_->Increment(
+        static_cast<double>(store_->DroppedPoints() - dropped_before));
+    tracked_gauge_->Set(static_cast<double>(store_->NumSeries()));
+    collect_duration_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+  } else {
+    collections_skipped_->Increment();
+  }
+
+  if (engine_ != nullptr) {
+    const bool evaluate = !options_.on_evaluate || options_.on_evaluate();
+    if (evaluate) {
+      engine_->Evaluate(*store_, latest_forecasts_, t_ns, unix_ms,
+                        options_.qid_source ? options_.qid_source() : 0);
+    } else {
+      evaluations_skipped_->Increment();
+    }
+  }
+}
+
+std::vector<BudgetForecast> SeriesCollector::LatestForecasts() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return latest_forecasts_;
+}
+
+std::uint64_t SeriesCollector::Ticks() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return ticks_;
+}
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt

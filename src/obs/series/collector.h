@@ -1,0 +1,170 @@
+// Background sampler: MetricsRegistry + budget ledgers -> SeriesStore.
+//
+// One tick, in order:
+//   1. on_collect gate (the service wires service.series.collect here; a
+//      fired failpoint skips the sampling half of the tick — history
+//      stalls, nothing else happens).
+//   2. Budget gauges: budget_source() ledger totals are published as
+//      gupt_budget_{total,spent,remaining}_epsilon / charges_count gauges
+//      (labelled by dataset) so the next step samples them like any
+//      other metric.
+//   3. Registry sweep: every instrument becomes one or more series —
+//      counters a backward-difference `:rate` (primed on first sight,
+//      so rates appear from the second tick), gauges a `:value`, and
+//      histograms `:p50`/`:p95`/`:p99` interpolated from buckets. All
+//      points of a tick share one (t_ns, unix_ms) pair; t_ns is bumped
+//      to stay strictly monotone.
+//   4. BudgetForecaster::Tick — burn rates, time/queries-to-exhaustion,
+//      derived gupt_budget_burn_* series (skipped by the sweep above via
+//      the derived prefix, so they are never double-written).
+//   5. on_evaluate gate, then AlertRuleEngine::Evaluate over the fresh
+//      window.
+//
+// Series naming: `<metric>{k=v,...}:<agg>` with labels in canonical
+// order and the label block omitted when empty, e.g.
+//   gupt_service_admission_queue_depth:value
+//   gupt_runtime_queries_total{outcome=ok}:rate
+//   gupt_runtime_stage_duration_seconds{stage=partition}:p99
+//
+// The collector only ever *reads* the ledgers (budget_source returns
+// totals by value); no code path here can touch charged epsilon — the
+// fault suite pins /budgetz byte-equality with the collector on, off,
+// and crashing.
+//
+// Layering: obs bottom layer, std only. Failpoints and the accountant
+// arrive as injected std::function hooks from the service layer.
+
+#ifndef GUPT_OBS_SERIES_COLLECTOR_H_
+#define GUPT_OBS_SERIES_COLLECTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/series/alerts.h"
+#include "obs/series/forecaster.h"
+#include "obs/series/time_series.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+struct SeriesCollectorOptions {
+  /// Sampling cadence for the background thread started by Start().
+  /// <= 0 means no thread: ticks happen only via TickNow() (tests drive
+  /// the collector deterministically this way).
+  std::int64_t period_ms = 1000;
+  /// Sliding window for burn-rate forecasts.
+  std::int64_t forecast_window_ms = 60000;
+  /// Registry to sample AND to publish gupt_series_* instrumentation
+  /// into; defaults to MetricsRegistry::Get().
+  MetricsRegistry* registry = nullptr;
+  /// Per-dataset ledger totals; empty function disables budget series +
+  /// forecasts.
+  std::function<std::vector<BudgetStat>()> budget_source;
+  /// Newest query id issued so far (stamped on alert transitions).
+  std::function<std::uint64_t()> qid_source;
+  /// Gates, wired to failpoints by the service layer. Returning false
+  /// skips that half of the tick. Never invoked concurrently.
+  std::function<bool()> on_collect;
+  std::function<bool()> on_evaluate;
+  /// Series name prefixes the registry sweep skips because a later tick
+  /// stage derives them itself.
+  std::vector<std::string> derived_prefixes = {kBurnRateSeriesPrefix};
+};
+
+/// Builds the canonical series name `<metric>{k=v,...}:<agg>`.
+std::string SeriesName(const std::string& metric, const Labels& labels,
+                       const char* agg);
+
+class SeriesCollector {
+ public:
+  /// `store` must outlive the collector; `engine` may be null (no alert
+  /// evaluation).
+  SeriesCollector(SeriesCollectorOptions options, SeriesStore* store,
+                  AlertRuleEngine* engine);
+  ~SeriesCollector();
+
+  SeriesCollector(const SeriesCollector&) = delete;
+  SeriesCollector& operator=(const SeriesCollector&) = delete;
+
+  /// Starts the background thread (no-op when period_ms <= 0 or already
+  /// running).
+  void Start();
+
+  /// Stops and joins the background thread; idempotent, safe without
+  /// Start(). A tick in progress completes first — Stop() never aborts
+  /// one mid-write, so series stay well-ordered.
+  void Stop();
+
+  /// One synchronous tick on the caller's thread. Serialised with the
+  /// background thread's ticks.
+  void TickNow();
+
+  /// Forecasts produced by the most recent tick.
+  std::vector<BudgetForecast> LatestForecasts() const;
+
+  std::uint64_t Ticks() const;
+  bool running() const;
+  const SeriesCollectorOptions& options() const { return options_; }
+
+ private:
+  void Run();
+  void Tick();
+
+  SeriesCollectorOptions options_;
+  SeriesStore* const store_;
+  AlertRuleEngine* const engine_;
+  BudgetForecaster forecaster_;
+
+  // Serialises Tick() between TickNow() callers and the thread.
+  mutable std::mutex tick_mu_;
+  std::int64_t last_tick_t_ns_ = 0;
+  // Counter priming state: series base name -> last (value, t_ns).
+  struct CounterPrev {
+    double value = 0.0;
+    std::int64_t t_ns = 0;
+  };
+  std::map<std::string, CounterPrev> counter_prev_;
+  std::vector<BudgetForecast> latest_forecasts_;  // guarded by tick_mu_
+  std::uint64_t ticks_ = 0;                       // guarded by tick_mu_
+
+  // Budget gauge handles, created lazily per dataset (guarded by tick_mu_).
+  struct BudgetGauges {
+    Gauge* total = nullptr;
+    Gauge* spent = nullptr;
+    Gauge* remaining = nullptr;
+    Gauge* charges = nullptr;
+    Gauge* burn_rate = nullptr;
+    Gauge* exhaustion_seconds = nullptr;
+    Gauge* exhaustion_queries = nullptr;
+  };
+  std::map<std::string, BudgetGauges> budget_gauges_;
+
+  // gupt_series_* instrumentation.
+  Gauge* tracked_gauge_ = nullptr;
+  Counter* points_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Counter* collections_ok_ = nullptr;
+  Counter* collections_skipped_ = nullptr;
+  Counter* evaluations_skipped_ = nullptr;
+  Histogram* collect_duration_ = nullptr;
+
+  mutable std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  bool thread_running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_SERIES_COLLECTOR_H_

@@ -1,0 +1,114 @@
+#include "obs/series/forecaster.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+const char kBurnRateSeriesPrefix[] = "gupt_budget_burn_";
+
+namespace {
+
+std::string DatasetSeries(const char* metric, const std::string& dataset) {
+  std::string out = metric;
+  out += "{dataset=";
+  out += dataset;
+  out += "}:value";
+  return out;
+}
+
+}  // namespace
+
+BudgetForecaster::BudgetForecaster(std::int64_t window_ns)
+    : window_ns_(window_ns > 0 ? window_ns : 1) {}
+
+std::vector<BudgetForecast> BudgetForecaster::Tick(
+    const std::vector<BudgetStat>& stats, SeriesStore* store,
+    std::int64_t t_ns, std::int64_t unix_ms) {
+  std::vector<BudgetForecast> out;
+  out.reserve(stats.size());
+  for (const BudgetStat& stat : stats) {
+    BudgetForecast f;
+    f.dataset = stat.dataset;
+    f.total_epsilon = stat.total_epsilon;
+    f.spent_epsilon = stat.spent_epsilon;
+    f.remaining_epsilon = stat.total_epsilon - stat.spent_epsilon;
+    if (f.remaining_epsilon < 0.0) f.remaining_epsilon = 0.0;
+
+    // Instant (last-interval) backward difference. The division below and
+    // the test-side integration recompute dt identically from the series
+    // timestamps, so the integral telescopes exactly; see the header.
+    PrevSample& prev = prev_[stat.dataset];
+    if (prev.valid && t_ns > prev.t_ns) {
+      const double dt_s = static_cast<double>(t_ns - prev.t_ns) * 1e-9;
+      const double delta = stat.spent_epsilon - prev.spent_epsilon;
+      if (delta > 0.0) f.instant_rate_eps_per_s = delta / dt_s;
+    }
+
+    // Window-average rate and per-query cost from the sampled spent /
+    // charges series (written earlier this tick by the collector's
+    // registry pass, so the window includes the current instant).
+    const std::string spent_name =
+        DatasetSeries("gupt_budget_spent_epsilon", stat.dataset);
+    const std::string charges_name =
+        DatasetSeries("gupt_budget_charges_count", stat.dataset);
+    std::vector<SeriesPoint> spent =
+        store->Points(spent_name, t_ns - window_ns_);
+    if (spent.size() >= 2) {
+      const SeriesPoint& first = spent.front();
+      const SeriesPoint& last = spent.back();
+      f.window_span_ns = last.t_ns - first.t_ns;
+      const double span_s = static_cast<double>(f.window_span_ns) * 1e-9;
+      const double delta = last.value - first.value;
+      if (span_s > 0.0 && delta > 0.0) {
+        f.window_rate_eps_per_s = delta / span_s;
+        f.burning = true;
+        std::vector<SeriesPoint> charges =
+            store->Points(charges_name, t_ns - window_ns_);
+        if (charges.size() >= 2) {
+          const double charge_delta = charges.back().value - charges.front().value;
+          if (charge_delta > 0.0) f.eps_per_query = delta / charge_delta;
+        }
+        if (f.remaining_epsilon <= 0.0) {
+          f.seconds_to_exhaustion = 0.0;
+          f.queries_to_exhaustion = 0.0;
+        } else {
+          f.seconds_to_exhaustion = f.remaining_epsilon / f.window_rate_eps_per_s;
+          if (f.eps_per_query > 0.0) {
+            f.queries_to_exhaustion = f.remaining_epsilon / f.eps_per_query;
+          }
+        }
+      }
+    } else if (prev.valid && f.instant_rate_eps_per_s > 0.0) {
+      // Warm-up fallback: one interval of history, no sampled window yet.
+      f.window_rate_eps_per_s = f.instant_rate_eps_per_s;
+      f.window_span_ns = t_ns - prev.t_ns;
+      f.burning = true;
+      f.seconds_to_exhaustion =
+          f.remaining_epsilon > 0.0
+              ? f.remaining_epsilon / f.window_rate_eps_per_s
+              : 0.0;
+    }
+    if (f.remaining_epsilon <= 0.0 && stat.spent_epsilon > 0.0) {
+      // Already exhausted: time-to-exhaustion is zero regardless of rate.
+      f.seconds_to_exhaustion = 0.0;
+      f.queries_to_exhaustion = 0.0;
+    }
+
+    SeriesPoint burn;
+    burn.t_ns = t_ns;
+    burn.unix_ms = unix_ms;
+    burn.value = f.instant_rate_eps_per_s;
+    store->Append(DatasetSeries("gupt_budget_burn_rate_epsilon", stat.dataset),
+                  burn);
+
+    prev.t_ns = t_ns;
+    prev.spent_epsilon = stat.spent_epsilon;
+    prev.valid = true;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,109 @@
+// Per-dataset epsilon burn-rate forecasting.
+//
+// GUPT's budget charges are irrevocable (paper §6.2): once a dataset's
+// ledger hits its cap, the outage cannot be rolled back. The forecaster
+// turns ledger snapshots into the two numbers an operator needs *before*
+// that happens — how fast epsilon is burning, and how long until
+// exhaustion — in both wall-time and query-count terms.
+//
+// Exactness contract (pinned by tests): the per-tick burn-rate sample is
+// the backward-difference interval average
+//
+//     r_i = (spent_i - spent_{i-1}) / ((t_ns_i - t_ns_{i-1}) * 1e-9)
+//
+// so integrating the series trapezoid-style over its own timestamps
+// (sum of r_i * dt_i with dt_i recomputed the same way) telescopes to
+// spent_N - spent_0 up to one rounding per term — well inside 1e-9 for
+// any realistic window. The first sample of a dataset is 0 (no previous
+// tick) and contributes nothing to the integral.
+//
+// Layering: obs bottom layer, std only. BudgetStat mirrors the dp
+// accountant's totals without depending on dp/.
+
+#ifndef GUPT_OBS_SERIES_FORECASTER_H_
+#define GUPT_OBS_SERIES_FORECASTER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/series/time_series.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+/// One dataset's ledger totals at a sampling instant (mirrors the dp
+/// accountant snapshot minus the charge history — the collector ticks
+/// once a second and must not copy an unbounded ledger each time).
+struct BudgetStat {
+  std::string dataset;
+  double total_epsilon = 0.0;
+  double spent_epsilon = 0.0;
+  std::uint64_t num_charges = 0;
+};
+
+/// Forecast for one dataset, recomputed every collector tick.
+struct BudgetForecast {
+  std::string dataset;
+  double total_epsilon = 0.0;
+  double spent_epsilon = 0.0;
+  double remaining_epsilon = 0.0;
+
+  /// Backward-difference rate over the last tick interval (the value
+  /// appended to the gupt_budget_burn_rate_epsilon series).
+  double instant_rate_eps_per_s = 0.0;
+  /// Window-average rate: (spent_last - spent_first) / window span.
+  double window_rate_eps_per_s = 0.0;
+  /// Window-average cost per accepted charge; 0 when no charge landed in
+  /// the window.
+  double eps_per_query = 0.0;
+
+  /// remaining / window_rate; +inf when nothing burned in the window.
+  double seconds_to_exhaustion = std::numeric_limits<double>::infinity();
+  /// remaining / eps_per_query; +inf when no charge landed in the window.
+  double queries_to_exhaustion = std::numeric_limits<double>::infinity();
+
+  /// True when spent_epsilon increased within the window.
+  bool burning = false;
+  /// Actual span of the window used, ns (may be shorter than configured
+  /// while the series warms up).
+  std::int64_t window_span_ns = 0;
+};
+
+/// Derived-series names the forecaster appends (the collector skips these
+/// prefixes when sampling the registry, so they are never double-written).
+extern const char kBurnRateSeriesPrefix[];  // "gupt_budget_burn_"
+
+/// Computes forecasts and appends the derived burn series. Not thread
+/// safe; owned and driven by the SeriesCollector, one Tick per collect.
+class BudgetForecaster {
+ public:
+  explicit BudgetForecaster(std::int64_t window_ns);
+
+  /// One sampling instant: appends per-dataset spent/remaining/burn
+  /// series to `store` at (t_ns, unix_ms) and returns the new forecasts.
+  std::vector<BudgetForecast> Tick(const std::vector<BudgetStat>& stats,
+                                   SeriesStore* store, std::int64_t t_ns,
+                                   std::int64_t unix_ms);
+
+  std::int64_t window_ns() const { return window_ns_; }
+
+ private:
+  struct PrevSample {
+    std::int64_t t_ns = 0;
+    double spent_epsilon = 0.0;
+    bool valid = false;
+  };
+
+  const std::int64_t window_ns_;
+  std::map<std::string, PrevSample> prev_;  // per dataset
+};
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_SERIES_FORECASTER_H_

@@ -1,0 +1,49 @@
+// Text and JSON bodies for /timeseriesz and /alertz.
+//
+// Free functions so the service layer's endpoint handlers stay thin and
+// the formats are unit-testable without sockets. JSON doubles print with
+// 17 significant digits (round-trip exact — the burn-rate integration
+// test reconstructs ledger deltas from these bodies to 1e-9).
+
+#ifndef GUPT_OBS_SERIES_RENDER_H_
+#define GUPT_OBS_SERIES_RENDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/series/alerts.h"
+#include "obs/series/collector.h"
+#include "obs/series/time_series.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+/// Collector configuration echoed into the rendered bodies.
+struct RenderInfo {
+  std::int64_t period_ms = 0;   // 0 = manual ticks only
+  std::size_t capacity = 0;     // ring points per series
+  std::uint64_t ticks = 0;
+};
+
+/// `name_filter`: substring match over series names ("" = all).
+/// `window_seconds`: <= 0 renders everything retained; otherwise points
+/// newer than (newest timestamp in the store) - window. The text body
+/// lists per-series summaries, plus full point dumps when the filter
+/// matches at most 4 series; the JSON body includes full samples exactly
+/// when a non-empty filter is given.
+std::string TimeserieszText(const SeriesStore& store,
+                            const std::string& name_filter,
+                            double window_seconds, const RenderInfo& info);
+std::string TimeserieszJson(const SeriesStore& store,
+                            const std::string& name_filter,
+                            double window_seconds, const RenderInfo& info);
+
+std::string AlertzText(const AlertRuleEngine& engine);
+std::string AlertzJson(const AlertRuleEngine& engine);
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_SERIES_RENDER_H_

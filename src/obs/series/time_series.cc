@@ -1,0 +1,142 @@
+#include "obs/series/time_series.h"
+
+#include <algorithm>
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : points_(capacity > 0 ? capacity : 1) {}
+
+bool TimeSeries::Append(const SeriesPoint& point) {
+  if (size_ > 0 && point.t_ns <= At(size_ - 1).t_ns) return false;
+  if (size_ == points_.size()) {
+    points_[head_] = point;
+    head_ = (head_ + 1) % points_.size();
+  } else {
+    points_[(head_ + size_) % points_.size()] = point;
+    ++size_;
+  }
+  return true;
+}
+
+SeriesPoint TimeSeries::Latest() const {
+  if (size_ == 0) return SeriesPoint{};
+  return At(size_ - 1);
+}
+
+std::vector<SeriesPoint> TimeSeries::Window(std::int64_t min_t_ns) const {
+  std::vector<SeriesPoint> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const SeriesPoint& p = At(i);
+    if (p.t_ns >= min_t_ns) out.push_back(p);
+  }
+  return out;
+}
+
+SeriesStore::SeriesStore(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+bool SeriesStore::Append(const std::string& name, const SeriesPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(capacity_)).first;
+  }
+  const bool accepted = it->second.Append(point);
+  if (accepted) {
+    ++appended_;
+  } else {
+    ++dropped_;
+  }
+  return accepted;
+}
+
+std::vector<std::string> SeriesStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, unused] : series_) out.push_back(name);
+  return out;
+}
+
+std::size_t SeriesStore::NumSeries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::uint64_t SeriesStore::AppendedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+std::uint64_t SeriesStore::DroppedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool SeriesStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.count(name) > 0;
+}
+
+std::vector<SeriesPoint> SeriesStore::Points(const std::string& name,
+                                             std::int64_t min_t_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return it->second.Window(min_t_ns);
+}
+
+SeriesPoint SeriesStore::Latest(const std::string& name, bool* ok) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (ok != nullptr) *ok = it != series_.end() && !it->second.empty();
+  if (it == series_.end()) return SeriesPoint{};
+  return it->second.Latest();
+}
+
+std::int64_t SeriesStore::LatestTimestampNs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t latest = 0;
+  for (const auto& [name, ts] : series_) {
+    if (!ts.empty()) latest = std::max(latest, ts.Latest().t_ns);
+  }
+  return latest;
+}
+
+std::vector<SeriesSummary> SeriesStore::Summaries(
+    const std::string& name_filter, std::int64_t min_t_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SeriesSummary> out;
+  for (const auto& [name, ts] : series_) {
+    if (!name_filter.empty() && name.find(name_filter) == std::string::npos) {
+      continue;
+    }
+    SeriesSummary summary;
+    summary.name = name;
+    std::vector<SeriesPoint> points = ts.Window(min_t_ns);
+    summary.points = points.size();
+    if (!points.empty()) {
+      summary.first = points.front();
+      summary.last = points.back();
+      summary.min = points.front().value;
+      summary.max = points.front().value;
+      double sum = 0.0;
+      for (const SeriesPoint& p : points) {
+        summary.min = std::min(summary.min, p.value);
+        summary.max = std::max(summary.max, p.value);
+        sum += p.value;
+      }
+      summary.mean = sum / static_cast<double>(points.size());
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt

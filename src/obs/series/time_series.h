@@ -1,0 +1,144 @@
+// Fixed-capacity in-process time series for the GUPT runtime.
+//
+// Every introspection surface before this one (/metrics, /varz, /budgetz)
+// is a point-in-time snapshot; answering "how fast is dataset X burning
+// epsilon?" needs history. A TimeSeries is a ring buffer of timestamped
+// samples — bounded memory, oldest points rotate out — and a SeriesStore
+// is a named registry of them, populated once per collector tick and read
+// by /timeseriesz and the alert engine.
+//
+// Two clocks per point, deliberately:
+//   * t_ns   — steady-clock nanoseconds since obs::TraceEpoch(). The
+//              canonical axis: strictly monotone, immune to wall-clock
+//              steps, and the base for every rate/window computation (a
+//              burn-rate integral must telescope exactly; see
+//              forecaster.h).
+//   * unix_ms — wall-clock milliseconds, for human display only.
+//
+// Append enforces strictly increasing t_ns per series and *drops* (never
+// reorders) violating points, so a delayed collector tick can stall the
+// series but can never skew its ordering.
+//
+// Layering: obs is the bottom layer — std only, no common/, no testing/.
+
+#ifndef GUPT_OBS_SERIES_TIME_SERIES_H_
+#define GUPT_OBS_SERIES_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gupt {
+namespace obs {
+namespace series {
+
+/// One sample. See the header comment for the two-clock scheme.
+struct SeriesPoint {
+  std::int64_t t_ns = 0;
+  std::int64_t unix_ms = 0;
+  double value = 0.0;
+};
+
+/// Ring buffer of SeriesPoints with strictly increasing t_ns. Not
+/// internally synchronised — SeriesStore guards access with its mutex.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity);
+
+  /// Appends when point.t_ns is strictly greater than the newest retained
+  /// timestamp; returns false (and keeps the series untouched) otherwise.
+  /// At capacity the oldest point rotates out.
+  bool Append(const SeriesPoint& point);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return points_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Newest point; zero-initialised when empty.
+  SeriesPoint Latest() const;
+
+  /// Points with t_ns >= min_t_ns, oldest first. Pass
+  /// std::numeric_limits<std::int64_t>::min() for everything retained.
+  std::vector<SeriesPoint> Window(std::int64_t min_t_ns) const;
+
+ private:
+  const SeriesPoint& At(std::size_t logical) const {
+    return points_[(head_ + logical) % points_.size()];
+  }
+
+  std::vector<SeriesPoint> points_;  // ring storage, length == capacity
+  std::size_t head_ = 0;             // index of the oldest point
+  std::size_t size_ = 0;
+};
+
+/// Per-series summary over a window, as rendered by /timeseriesz.
+struct SeriesSummary {
+  std::string name;
+  std::size_t points = 0;
+  SeriesPoint first;
+  SeriesPoint last;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Thread-safe registry of named TimeSeries sharing one capacity. Series
+/// are created on first Append and never removed (the name set is bounded
+/// by the metric families the process registers).
+class SeriesStore {
+ public:
+  explicit SeriesStore(std::size_t capacity);
+
+  /// Appends to `name`, creating the series on first use. Returns false
+  /// when the point was dropped for non-monotone t_ns.
+  bool Append(const std::string& name, const SeriesPoint& point);
+
+  /// Sorted names of all series.
+  std::vector<std::string> Names() const;
+
+  std::size_t NumSeries() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Points ever accepted / dropped across all series.
+  std::uint64_t AppendedPoints() const;
+  std::uint64_t DroppedPoints() const;
+
+  bool Has(const std::string& name) const;
+
+  /// Points of `name` with t_ns >= min_t_ns, oldest first; empty when the
+  /// series does not exist.
+  std::vector<SeriesPoint> Points(
+      const std::string& name,
+      std::int64_t min_t_ns = std::numeric_limits<std::int64_t>::min()) const;
+
+  /// Newest point of `name`; *ok (if non-null) reports existence.
+  SeriesPoint Latest(const std::string& name, bool* ok = nullptr) const;
+
+  /// Newest t_ns across every series (0 when the store is empty) — the
+  /// store's "now", used to anchor ?window= queries deterministically.
+  std::int64_t LatestTimestampNs() const;
+
+  /// Summaries over [min_t_ns, ...] for every series whose name contains
+  /// `name_filter` (empty filter matches all), sorted by name. Series with
+  /// no points in the window report points == 0.
+  std::vector<SeriesSummary> Summaries(
+      const std::string& name_filter,
+      std::int64_t min_t_ns = std::numeric_limits<std::int64_t>::min()) const;
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::map<std::string, TimeSeries> series_;  // sorted => deterministic render
+  std::uint64_t appended_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt
+
+#endif  // GUPT_OBS_SERIES_TIME_SERIES_H_

@@ -83,9 +83,19 @@ std::int64_t NanosSinceTraceEpoch(std::chrono::steady_clock::time_point tp) {
       .count();
 }
 
-std::uint64_t NextQueryId() {
+namespace {
+std::atomic<std::uint64_t>& QueryIdCounter() {
   static std::atomic<std::uint64_t> next{0};
-  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return next;
+}
+}  // namespace
+
+std::uint64_t NextQueryId() {
+  return QueryIdCounter().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t LastQueryId() {
+  return QueryIdCounter().load(std::memory_order_relaxed);
 }
 
 void QueryTrace::SetGauge(const std::string& name, double value) {

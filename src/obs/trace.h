@@ -42,6 +42,11 @@ std::int64_t NanosSinceTraceEpoch(std::chrono::steady_clock::time_point tp);
 /// lines (common/logging ScopedLogQueryId) and its /tracez spans.
 std::uint64_t NextQueryId();
 
+/// The newest query id issued so far (0 before the first query). Read-only
+/// peek used by observers (the alert engine stamps state transitions with
+/// it) — never allocates an id.
+std::uint64_t LastQueryId();
+
 /// One completed pipeline stage.
 struct SpanRecord {
   std::string name;

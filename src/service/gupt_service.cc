@@ -11,6 +11,8 @@
 #include "data/budget_store.h"
 #include "obs/introspect/trace_event.h"
 #include "obs/prof/profiler.h"
+#include "obs/series/render.h"
+#include "obs/trace.h"
 #include "testing/failpoints/failpoints.h"
 
 namespace gupt {
@@ -190,6 +192,45 @@ GuptService::GuptService(ServiceOptions options, ProgramRegistry registry)
   // session randomness is reproducible yet independent of the one-shot path.
   svt_sessions_ = std::make_unique<SvtSessionRegistry>(
       svt_options, &manager_, &trace_ring_, options_.runtime.seed);
+  if (options_.series_capacity > 0) {
+    series_store_ =
+        std::make_unique<obs::series::SeriesStore>(options_.series_capacity);
+    alert_engine_ = std::make_unique<obs::series::AlertRuleEngine>(&metrics);
+    obs::series::BuiltinRuleOptions rule_options;
+    rule_options.budget_horizon_seconds = options_.budget_alert_horizon_seconds;
+    rule_options.collector_period_ms = options_.collector_period_ms;
+    rule_options.window_ms = options_.series_window_ms;
+    rule_options.admission_queue_capacity = options_.admission_queue_capacity;
+    rule_options.svt_session_capacity = options_.svt_session_capacity;
+    rule_options.chamber_pool_enabled = chamber_pool_ != nullptr;
+    for (obs::series::AlertRule& rule :
+         obs::series::BuiltinAlertRules(rule_options)) {
+      alert_engine_->AddRule(std::move(rule));
+    }
+    obs::series::SeriesCollectorOptions collector_options;
+    collector_options.period_ms = options_.collector_period_ms;
+    collector_options.forecast_window_ms = options_.series_window_ms;
+    collector_options.registry = &metrics;
+    collector_options.budget_source = [this] { return BudgetStatsForSeries(); };
+    collector_options.qid_source = [] { return obs::LastQueryId(); };
+    // Fault sites, wired through obs-layer hooks (obs sits below testing/
+    // and must stay failpoint-free). The collector only reads the ledgers,
+    // so a fired gate skips a tick and nothing else — crash is treated as
+    // error here because aborting the process from an observer thread is
+    // the one thing a sampler must never do.
+    collector_options.on_collect = [] {
+      return failpoints::Eval("service.series.collect") ==
+             failpoints::FireAction::kNone;
+    };
+    collector_options.on_evaluate = [] {
+      return failpoints::Eval("service.series.evaluate") ==
+             failpoints::FireAction::kNone;
+    };
+    collector_ = std::make_unique<obs::series::SeriesCollector>(
+        std::move(collector_options), series_store_.get(),
+        alert_engine_.get());
+    collector_->Start();
+  }
   admission_pool_ = std::make_unique<ThreadPool>(
       options_.admission_workers > 0 ? options_.admission_workers : 1);
   if (options_.introspect_port >= 0) {
@@ -205,6 +246,10 @@ GuptService::~GuptService() {
   // Stop serving scrapes before draining: a request that arrives during
   // teardown must not observe a half-destroyed service.
   StopIntrospection();
+  // Stop the sampler before the admission drain: a tick in progress
+  // completes (Stop joins), and no tick can start while queued queries
+  // finish against a service that is shutting down.
+  if (collector_ != nullptr) collector_->Stop();
   // The pool's destructor drains the queue, so every future returned by
   // SubmitQueryAsync completes before the members it references go away.
   admission_pool_.reset();
@@ -276,6 +321,120 @@ bool GuptService::Healthy(std::string* reason) const {
   return true;
 }
 
+bool GuptService::Degraded(std::string* reason) const {
+  std::vector<std::string> reasons;
+  std::string storm;
+  if (PoolRespawnStorm(&storm)) reasons.push_back(storm);
+  if (alert_engine_ != nullptr) {
+    for (const std::string& name :
+         alert_engine_->FiringNames(obs::series::AlertSeverity::kCritical)) {
+      reasons.push_back("critical alert firing: " + name);
+    }
+  }
+  if (reasons.empty()) {
+    if (reason != nullptr) reason->clear();
+    return false;
+  }
+  if (reason != nullptr) {
+    reason->clear();
+    for (std::size_t i = 0; i < reasons.size(); ++i) {
+      if (i > 0) *reason += "; ";
+      *reason += reasons[i];
+    }
+  }
+  return true;
+}
+
+bool GuptService::PoolRespawnStorm(std::string* detail) const {
+  if (chamber_pool_ == nullptr || series_store_ == nullptr) return false;
+  const std::int64_t latest = series_store_->LatestTimestampNs();
+  if (latest == 0) return false;
+  const std::int64_t min_t_ns = latest - options_.series_window_ms * 1000000;
+  std::vector<obs::series::SeriesPoint> respawns = series_store_->Points(
+      "gupt_chamber_pool_respawns_total:rate", min_t_ns);
+  std::vector<obs::series::SeriesPoint> leases = series_store_->Points(
+      "gupt_chamber_pool_leases_total:rate", min_t_ns);
+  if (respawns.empty() || leases.empty()) return false;
+  double respawn_mean = 0.0;
+  for (const auto& p : respawns) respawn_mean += p.value;
+  respawn_mean /= static_cast<double>(respawns.size());
+  double lease_mean = 0.0;
+  for (const auto& p : leases) lease_mean += p.value;
+  lease_mean /= static_cast<double>(leases.size());
+  // A steady crash-every-lease storm has respawns = leases - workers
+  // (the initial workers never respawned), so the ratio approaches 1
+  // from below; half of all leases needing a respawn is already a storm.
+  if (respawn_mean <= 0.0 || respawn_mean < 0.5 * lease_mean) return false;
+  if (detail != nullptr) {
+    std::ostringstream out;
+    out.precision(3);
+    out << "chamber pool respawn storm (" << respawn_mean
+        << " respawns/s vs " << lease_mean
+        << " leases/s over last " << (options_.series_window_ms / 1000)
+        << "s; crashed leases are falling back to fork)";
+    *detail = out.str();
+  }
+  return true;
+}
+
+std::vector<obs::series::BudgetStat> GuptService::BudgetStatsForSeries()
+    const {
+  std::vector<obs::series::BudgetStat> out;
+  for (const DatasetBudgetTotals& entry : manager_.BudgetTotalsSnapshot()) {
+    obs::series::BudgetStat stat;
+    stat.dataset = entry.dataset;
+    stat.total_epsilon = entry.totals.total_epsilon;
+    stat.spent_epsilon = entry.totals.spent_epsilon;
+    stat.num_charges = entry.totals.num_charges;
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+std::string GuptService::HealthzBody(bool healthy, const std::string& reason,
+                                     bool verbose) const {
+  std::ostringstream out;
+  std::string degraded_reason;
+  const bool degraded = healthy && Degraded(&degraded_reason);
+  if (!healthy) {
+    out << reason << "\n";
+  } else if (degraded) {
+    out << "degraded: " << degraded_reason << "\n";
+  } else {
+    out << "ok\n";
+  }
+  if (!verbose) return out.str();
+  out << "admission: depth="
+      << admission_in_flight_.load(std::memory_order_acquire)
+      << " capacity=" << options_.admission_queue_capacity << "\n";
+  if (chamber_pool_ != nullptr) {
+    const ChamberPoolStats stats = chamber_pool_->Stats();
+    std::string storm;
+    out << "chamber_pool: workers_alive=" << stats.workers_alive
+        << " leases=" << stats.leases << " resets=" << stats.resets
+        << " respawns=" << stats.respawns << " respawn_storm="
+        << (PoolRespawnStorm(&storm) ? "yes" : "no") << "\n";
+  } else {
+    out << "chamber_pool: disabled\n";
+  }
+  if (alert_engine_ != nullptr) {
+    std::vector<std::string> firing =
+        alert_engine_->FiringNames(obs::series::AlertSeverity::kInfo);
+    std::vector<std::string> critical =
+        alert_engine_->FiringNames(obs::series::AlertSeverity::kCritical);
+    out << "alerts: firing=" << firing.size() << " critical="
+        << critical.size();
+    for (const std::string& name : firing) out << " " << name;
+    out << "\n";
+    out << "collector: ticks=" << (collector_ != nullptr ? collector_->Ticks() : 0)
+        << " period_ms=" << options_.collector_period_ms << " series="
+        << series_store_->NumSeries() << "\n";
+  } else {
+    out << "alerts: disabled\n";
+  }
+  return out.str();
+}
+
 void GuptService::InstallIntrospectionHandlers(
     obs::introspect::HttpServer* server) {
   using obs::introspect::HttpRequest;
@@ -292,14 +451,50 @@ void GuptService::InstallIntrospectionHandlers(
     response.body = obs::MetricsRegistry::Get().ExportJson();
     return response;
   });
-  server->Handle("/healthz", [this](const HttpRequest&) {
+  server->Handle("/healthz", [this](const HttpRequest& request) {
     HttpResponse response;
+    const bool verbose = request.Param("verbose", "0") == "1";
     std::string reason;
-    if (Healthy(&reason)) {
-      response.body = "ok\n";
+    const bool healthy = Healthy(&reason);
+    if (!healthy) response.status = 503;
+    response.body = HealthzBody(healthy, reason, verbose);
+    return response;
+  });
+  server->Handle("/timeseriesz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    if (series_store_ == nullptr) {
+      response.status = 404;
+      response.body = "time-series collector disabled (series_capacity=0)\n";
+      return response;
+    }
+    obs::series::RenderInfo info;
+    info.period_ms = options_.collector_period_ms;
+    info.capacity = options_.series_capacity;
+    info.ticks = collector_ != nullptr ? collector_->Ticks() : 0;
+    const std::string name = request.Param("name", "");
+    const double window = std::atof(request.Param("window", "0").c_str());
+    if (request.Param("format", "text") == "json") {
+      response.content_type = "application/json";
+      response.body =
+          obs::series::TimeserieszJson(*series_store_, name, window, info);
     } else {
-      response.status = 503;
-      response.body = reason + "\n";
+      response.body =
+          obs::series::TimeserieszText(*series_store_, name, window, info);
+    }
+    return response;
+  });
+  server->Handle("/alertz", [this](const HttpRequest& request) {
+    HttpResponse response;
+    if (alert_engine_ == nullptr) {
+      response.status = 404;
+      response.body = "alert engine disabled (series_capacity=0)\n";
+      return response;
+    }
+    if (request.Param("format", "text") == "json") {
+      response.content_type = "application/json";
+      response.body = obs::series::AlertzJson(*alert_engine_);
+    } else {
+      response.body = obs::series::AlertzText(*alert_engine_);
     }
     return response;
   });

@@ -35,6 +35,9 @@
 #include "obs/introspect/http_server.h"
 #include "obs/introspect/trace_ring.h"
 #include "obs/prof/slow_query_log.h"
+#include "obs/series/alerts.h"
+#include "obs/series/collector.h"
+#include "obs/series/time_series.h"
 #include "service/program_registry.h"
 #include "service/svt_session.h"
 
@@ -99,6 +102,21 @@ struct ServiceOptions {
   /// Upper bound on one /profilez capture (`?seconds=` is clamped to it);
   /// the handler thread is occupied for the whole capture.
   double profilez_max_seconds = 30.0;
+  /// Ring capacity (points per series) for the /timeseriesz history. 0
+  /// disables the whole series subsystem: no collector, no forecasts, no
+  /// alert engine.
+  std::size_t series_capacity = 512;
+  /// Sampling cadence of the background SeriesCollector. > 0 starts the
+  /// collector thread at construction (stopped before the admission queue
+  /// drains at destruction); 0 keeps the subsystem armed but tick-on-
+  /// demand only (tests drive series_collector()->TickNow()).
+  std::int64_t collector_period_ms = 1000;
+  /// Sliding window for burn-rate forecasts, alert aggregation, and the
+  /// /healthz chamber-pool degradation check.
+  std::int64_t series_window_ms = 60000;
+  /// The built-in budget_exhaustion_imminent alert fires when any
+  /// dataset's forecasted time-to-exhaustion is at or below this horizon.
+  double budget_alert_horizon_seconds = 600.0;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -243,6 +261,36 @@ class GuptService {
   /// *reason (if non-null) says which check failed. Served as /healthz.
   bool Healthy(std::string* reason = nullptr) const;
 
+  /// Soft-failure check: true while the service still answers queries but
+  /// something an operator must look at is wrong — the chamber pool stuck
+  /// in a respawn storm (every lease falling back to fork) or a critical
+  /// alert firing. /healthz stays 200 but reports "degraded: ..." so
+  /// load-balancers keep routing while pagers fire.
+  bool Degraded(std::string* reason = nullptr) const;
+
+  /// The /timeseriesz backing store; null when series_capacity == 0.
+  const obs::series::SeriesStore* series_store() const {
+    return series_store_.get();
+  }
+
+  /// The sampling collector; null when series_capacity == 0. Non-const so
+  /// tests can drive deterministic ticks via TickNow().
+  obs::series::SeriesCollector* series_collector() {
+    return collector_.get();
+  }
+
+  /// The alert engine behind /alertz; null when series_capacity == 0.
+  const obs::series::AlertRuleEngine* alert_engine() const {
+    return alert_engine_.get();
+  }
+
+  /// Mutable engine for installing custom rules on top of the built-ins
+  /// (embedders, bench harnesses); null when series_capacity == 0.
+  /// AddRule is safe against concurrent collector evaluation passes.
+  obs::series::AlertRuleEngine* mutable_alert_engine() {
+    return alert_engine_.get();
+  }
+
   /// The /tracez retention ring (exposed for tests and embedders).
   const obs::introspect::TraceRing& trace_ring() const { return trace_ring_; }
 
@@ -288,6 +336,17 @@ class GuptService {
   /// /slowz bodies.
   std::string SlowzJson() const;
   std::string SlowzText() const;
+
+  /// /healthz body (status line, then diagnostics when verbose).
+  std::string HealthzBody(bool healthy, const std::string& reason,
+                          bool verbose) const;
+
+  /// True when chamber-pool respawns kept pace with leases over the last
+  /// series window (every lease is falling back to fork-per-block).
+  bool PoolRespawnStorm(std::string* detail) const;
+
+  /// Ledger totals for the series collector's budget_source hook.
+  std::vector<obs::series::BudgetStat> BudgetStatsForSeries() const;
 
   /// /profilez: arms the sampling profiler for the requested capture
   /// window on the handler thread and returns the folded stacks.
@@ -387,6 +446,15 @@ class GuptService {
   /// Live SVT sessions. Declared after trace_ring_ (sessions push their
   /// traces there on close) so the ring outlives the registry.
   std::unique_ptr<SvtSessionRegistry> svt_sessions_;
+
+  /// Time-series subsystem (all null when series_capacity == 0). The
+  /// collector references the store, the engine and the dataset manager,
+  /// so it is declared after them (destroyed first) and its thread is
+  /// additionally stopped explicitly in the destructor before the
+  /// admission queue drains.
+  std::unique_ptr<obs::series::SeriesStore> series_store_;
+  std::unique_ptr<obs::series::AlertRuleEngine> alert_engine_;
+  std::unique_ptr<obs::series::SeriesCollector> collector_;
 
   mutable std::mutex introspect_mu_;
 

@@ -1,0 +1,765 @@
+// Unit tests for the time-series subsystem: ring-buffer ordering and
+// rotation, the store's windowed summaries, the collector's sampling of
+// a local registry under manual ticks, the forecaster's burn-rate
+// exactness contract (the telescoping integral), the alert state
+// machine with for-duration hysteresis, and the /timeseriesz + /alertz
+// renderers. Everything here is deterministic: no background thread, no
+// sleeps — ticks are driven by hand with synthetic timestamps.
+
+#include "obs/series/alerts.h"
+#include "obs/series/collector.h"
+#include "obs/series/forecaster.h"
+#include "obs/series/render.h"
+#include "obs/series/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minijson.h"
+#include "obs/metrics.h"
+
+namespace gupt {
+namespace obs {
+namespace series {
+namespace {
+
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+SeriesPoint Point(std::int64_t t_ns, double value) {
+  SeriesPoint point;
+  point.t_ns = t_ns;
+  point.unix_ms = t_ns / 1000000;
+  point.value = value;
+  return point;
+}
+
+// --- TimeSeries ------------------------------------------------------------
+
+TEST(TimeSeriesTest, AppendsInOrderAndRotatesAtCapacity) {
+  TimeSeries series(3);
+  EXPECT_TRUE(series.empty());
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(series.Append(Point(i * 100, i * 1.0)));
+  }
+  EXPECT_EQ(series.size(), 3u);
+  std::vector<SeriesPoint> all =
+      series.Window(std::numeric_limits<std::int64_t>::min());
+  ASSERT_EQ(all.size(), 3u);
+  // Oldest first; points 1 and 2 rotated out.
+  EXPECT_EQ(all[0].t_ns, 300);
+  EXPECT_EQ(all[1].t_ns, 400);
+  EXPECT_EQ(all[2].t_ns, 500);
+  EXPECT_EQ(series.Latest().t_ns, 500);
+  EXPECT_DOUBLE_EQ(series.Latest().value, 5.0);
+}
+
+TEST(TimeSeriesTest, DropsNonMonotonePointsWithoutReordering) {
+  TimeSeries series(8);
+  EXPECT_TRUE(series.Append(Point(100, 1.0)));
+  EXPECT_FALSE(series.Append(Point(100, 2.0)));  // equal timestamp
+  EXPECT_FALSE(series.Append(Point(50, 3.0)));   // going backwards
+  EXPECT_TRUE(series.Append(Point(101, 4.0)));
+  std::vector<SeriesPoint> all =
+      series.Window(std::numeric_limits<std::int64_t>::min());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].t_ns, 100);
+  EXPECT_EQ(all[1].t_ns, 101);
+}
+
+TEST(TimeSeriesTest, WindowFiltersByMinTimestamp) {
+  TimeSeries series(10);
+  for (int i = 1; i <= 6; ++i) ASSERT_TRUE(series.Append(Point(i * 10, i)));
+  std::vector<SeriesPoint> window = series.Window(35);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0].t_ns, 40);
+  EXPECT_EQ(window[2].t_ns, 60);
+  EXPECT_TRUE(series.Window(1000).empty());
+}
+
+// --- SeriesStore -----------------------------------------------------------
+
+TEST(SeriesStoreTest, TracksNamedSeriesAndCounts) {
+  SeriesStore store(4);
+  EXPECT_TRUE(store.Append("b_series", Point(10, 1.0)));
+  EXPECT_TRUE(store.Append("a_series", Point(10, 2.0)));
+  EXPECT_TRUE(store.Append("b_series", Point(20, 3.0)));
+  EXPECT_FALSE(store.Append("b_series", Point(20, 4.0)));  // dropped
+
+  EXPECT_EQ(store.NumSeries(), 2u);
+  EXPECT_EQ(store.AppendedPoints(), 3u);
+  EXPECT_EQ(store.DroppedPoints(), 1u);
+  EXPECT_TRUE(store.Has("a_series"));
+  EXPECT_FALSE(store.Has("missing"));
+
+  std::vector<std::string> names = store.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a_series");  // sorted
+  EXPECT_EQ(names[1], "b_series");
+
+  bool ok = false;
+  SeriesPoint latest = store.Latest("b_series", &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_DOUBLE_EQ(latest.value, 3.0);
+  store.Latest("missing", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(store.LatestTimestampNs(), 20);
+}
+
+TEST(SeriesStoreTest, SummariesFilterByNameAndWindow) {
+  SeriesStore store(16);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store.Append("gupt_x_total:rate", Point(i * 100, i * 1.0)));
+    ASSERT_TRUE(store.Append("gupt_y_count:value", Point(i * 100, 10.0 - i)));
+  }
+  std::vector<SeriesSummary> all = store.Summaries("");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].name, "gupt_x_total:rate");
+  EXPECT_EQ(all[0].points, 4u);
+  EXPECT_DOUBLE_EQ(all[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(all[0].max, 4.0);
+  EXPECT_DOUBLE_EQ(all[0].mean, 2.5);
+  EXPECT_EQ(all[0].first.t_ns, 100);
+  EXPECT_EQ(all[0].last.t_ns, 400);
+
+  std::vector<SeriesSummary> filtered = store.Summaries("y_count");
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].name, "gupt_y_count:value");
+
+  // A window past every point still lists the series, with zero points.
+  std::vector<SeriesSummary> late = store.Summaries("y_count", 1000);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late[0].points, 0u);
+}
+
+// --- SeriesName ------------------------------------------------------------
+
+TEST(SeriesNameTest, FormatsLabelsCanonically) {
+  EXPECT_EQ(SeriesName("gupt_service_admission_queue_depth", {}, "value"),
+            "gupt_service_admission_queue_depth:value");
+  EXPECT_EQ(SeriesName("gupt_runtime_queries_total", {{"outcome", "ok"}},
+                       "rate"),
+            "gupt_runtime_queries_total{outcome=ok}:rate");
+  EXPECT_EQ(SeriesName("gupt_x_seconds",
+                       {{"stage", "partition"}, {"mode", "tight"}}, "p99"),
+            "gupt_x_seconds{mode=tight,stage=partition}:p99");
+}
+
+// --- BudgetForecaster ------------------------------------------------------
+
+std::vector<BudgetStat> OneDataset(double total, double spent,
+                                   std::uint64_t charges) {
+  BudgetStat stat;
+  stat.dataset = "ages";
+  stat.total_epsilon = total;
+  stat.spent_epsilon = spent;
+  stat.num_charges = charges;
+  return {stat};
+}
+
+TEST(BudgetForecasterTest, ComputesRatesAndExhaustionEstimates) {
+  SeriesStore store(64);
+  BudgetForecaster forecaster(/*window_ns=*/60LL * 1000000000LL);
+
+  // The spent/charges series the window math reads must exist in the
+  // store first, exactly as the collector writes them each tick.
+  auto tick = [&](std::int64_t t_ns, double spent, std::uint64_t charges) {
+    std::int64_t unix_ms = t_ns / 1000000;
+    store.Append(SeriesName("gupt_budget_spent_epsilon",
+                            {{"dataset", "ages"}}, "value"),
+                 Point(t_ns, spent));
+    store.Append(SeriesName("gupt_budget_charges_count",
+                            {{"dataset", "ages"}}, "value"),
+                 Point(t_ns, static_cast<double>(charges)));
+    return forecaster.Tick(OneDataset(10.0, spent, charges), &store, t_ns,
+                           unix_ms);
+  };
+
+  std::vector<BudgetForecast> first = tick(1000000000LL, 1.0, 10);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_DOUBLE_EQ(first[0].instant_rate_eps_per_s, 0.0);  // unprimed
+  EXPECT_FALSE(first[0].burning);
+
+  // +1s, +0.5 eps over 5 charges.
+  std::vector<BudgetForecast> second = tick(2000000000LL, 1.5, 15);
+  ASSERT_EQ(second.size(), 1u);
+  const BudgetForecast& f = second[0];
+  EXPECT_DOUBLE_EQ(f.instant_rate_eps_per_s, 0.5);
+  EXPECT_TRUE(f.burning);
+  EXPECT_DOUBLE_EQ(f.remaining_epsilon, 8.5);
+  // Window rate over the 1s span is also 0.5 eps/s.
+  EXPECT_DOUBLE_EQ(f.window_rate_eps_per_s, 0.5);
+  EXPECT_DOUBLE_EQ(f.eps_per_query, 0.1);
+  EXPECT_DOUBLE_EQ(f.seconds_to_exhaustion, 8.5 / 0.5);
+  EXPECT_DOUBLE_EQ(f.queries_to_exhaustion, 85.0);
+
+  // Burn series: one point per tick, first is 0.
+  std::vector<SeriesPoint> burn = store.Points(SeriesName(
+      "gupt_budget_burn_rate_epsilon", {{"dataset", "ages"}}, "value"));
+  ASSERT_EQ(burn.size(), 2u);
+  EXPECT_DOUBLE_EQ(burn[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(burn[1].value, 0.5);
+}
+
+TEST(BudgetForecasterTest, IdleDatasetReportsInfiniteHorizon) {
+  SeriesStore store(64);
+  BudgetForecaster forecaster(60LL * 1000000000LL);
+  for (int i = 1; i <= 3; ++i) {
+    std::int64_t t_ns = i * 1000000000LL;
+    store.Append("gupt_budget_spent_epsilon{dataset=ages}:value",
+                 Point(t_ns, 2.0));
+    store.Append("gupt_budget_charges_count{dataset=ages}:value",
+                 Point(t_ns, 7.0));
+    std::vector<BudgetForecast> forecasts =
+        forecaster.Tick(OneDataset(10.0, 2.0, 7), &store, t_ns, t_ns / 1000000);
+    ASSERT_EQ(forecasts.size(), 1u);
+    EXPECT_FALSE(forecasts[0].burning);
+    EXPECT_TRUE(std::isinf(forecasts[0].seconds_to_exhaustion));
+    EXPECT_TRUE(std::isinf(forecasts[0].queries_to_exhaustion));
+  }
+}
+
+TEST(BudgetForecasterTest, ExhaustedDatasetForecastsZeroHorizon) {
+  SeriesStore store(64);
+  BudgetForecaster forecaster(60LL * 1000000000LL);
+  store.Append("gupt_budget_spent_epsilon{dataset=ages}:value",
+               Point(1000000000LL, 10.0));
+  store.Append("gupt_budget_charges_count{dataset=ages}:value",
+               Point(1000000000LL, 100.0));
+  std::vector<BudgetForecast> forecasts =
+      forecaster.Tick(OneDataset(10.0, 10.0, 100), &store, 1000000000LL, 1000);
+  ASSERT_EQ(forecasts.size(), 1u);
+  EXPECT_DOUBLE_EQ(forecasts[0].remaining_epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(forecasts[0].seconds_to_exhaustion, 0.0);
+  EXPECT_DOUBLE_EQ(forecasts[0].queries_to_exhaustion, 0.0);
+}
+
+// The exactness contract: integrating the burn-rate series over its own
+// timestamps telescopes back to the spent delta, far inside 1e-9.
+TEST(BudgetForecasterTest, BurnRateIntegralTelescopesToSpentDelta) {
+  SeriesStore store(256);
+  BudgetForecaster forecaster(3600LL * 1000000000LL);
+
+  // Irregular timestamps and awkward epsilon increments on purpose.
+  double spent = 0.0;
+  std::int64_t t_ns = 500000000LL;
+  std::uint64_t charges = 0;
+  double first_spent = 0.0, last_spent = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    if (i > 0) {
+      t_ns += 100000000LL + (i * 37) % 900000000LL;  // 0.1s .. 1s, irregular
+      spent += 0.001 * ((i % 7) + 1) / 3.0;          // non-representable
+      charges += (i % 3);
+    }
+    store.Append("gupt_budget_spent_epsilon{dataset=ages}:value",
+                 Point(t_ns, spent));
+    store.Append("gupt_budget_charges_count{dataset=ages}:value",
+                 Point(t_ns, static_cast<double>(charges)));
+    forecaster.Tick(OneDataset(100.0, spent, charges), &store, t_ns,
+                    t_ns / 1000000);
+    if (i == 0) first_spent = spent;
+    last_spent = spent;
+  }
+
+  std::vector<SeriesPoint> burn = store.Points(
+      "gupt_budget_burn_rate_epsilon{dataset=ages}:value");
+  ASSERT_EQ(burn.size(), 100u);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < burn.size(); ++i) {
+    double dt = static_cast<double>(burn[i].t_ns - burn[i - 1].t_ns) * 1e-9;
+    integral += burn[i].value * dt;
+  }
+  EXPECT_NEAR(integral, last_spent - first_spent, 1e-12);
+}
+
+// --- AlertRuleEngine -------------------------------------------------------
+
+AlertRule ThresholdRule(const std::string& series, double threshold,
+                        AlertAgg agg = AlertAgg::kLatest,
+                        std::int64_t for_ms = 0) {
+  AlertRule rule;
+  rule.name = "test_rule";
+  rule.description = "test threshold rule";
+  rule.series = series;
+  rule.threshold = threshold;
+  rule.agg = agg;
+  rule.for_ms = for_ms;
+  rule.window_ms = 60000;
+  return rule;
+}
+
+TEST(AlertRuleEngineTest, ThresholdRuleWalksPendingFiringResolved) {
+  SeriesStore store(32);
+  AlertRuleEngine engine(nullptr);
+  engine.AddRule(ThresholdRule("gupt_q_depth_count:value", 5.0,
+                               AlertAgg::kLatest, /*for_ms=*/2000));
+
+  auto eval = [&](std::int64_t t_ns, double value) {
+    store.Append("gupt_q_depth_count:value", Point(t_ns, value));
+    engine.Evaluate(store, {}, t_ns, t_ns / 1000000, /*qid=*/t_ns);
+    std::vector<AlertInstanceStatus> snapshot = engine.Snapshot();
+    EXPECT_EQ(snapshot.size(), 1u);
+    return snapshot.empty() ? AlertInstanceStatus{} : snapshot[0];
+  };
+
+  // Below threshold: inactive.
+  AlertInstanceStatus s = eval(1000000000LL, 2.0);
+  EXPECT_EQ(s.state, AlertState::kInactive);
+  EXPECT_TRUE(s.has_data);
+
+  // Above threshold: pending (for_ms hysteresis holds the fire).
+  s = eval(2000000000LL, 9.0);
+  EXPECT_EQ(s.state, AlertState::kPending);
+  EXPECT_GT(s.pending_since_unix_ms, 0);
+  EXPECT_EQ(s.firing_since_unix_ms, 0);
+
+  // Still above 1s later: pending (needs 2s).
+  s = eval(3000000000LL, 9.0);
+  EXPECT_EQ(s.state, AlertState::kPending);
+
+  // Condition has now held 2s: firing.
+  s = eval(4000000000LL, 9.0);
+  EXPECT_EQ(s.state, AlertState::kFiring);
+  EXPECT_GT(s.firing_since_unix_ms, 0);
+  EXPECT_EQ(s.fire_count, 1u);
+  EXPECT_EQ(s.last_transition_qid, 4000000000u);
+
+  std::vector<std::string> firing = engine.FiringNames();
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(firing[0], "test_rule");
+
+  // One good evaluation resolves, and resolved is sticky.
+  s = eval(5000000000LL, 1.0);
+  EXPECT_EQ(s.state, AlertState::kResolved);
+  EXPECT_GT(s.resolved_unix_ms, 0);
+  s = eval(6000000000LL, 1.0);
+  EXPECT_EQ(s.state, AlertState::kResolved);
+  EXPECT_TRUE(engine.FiringNames().empty());
+
+  // The condition returning re-enters pending, not straight to firing.
+  s = eval(7000000000LL, 9.0);
+  EXPECT_EQ(s.state, AlertState::kPending);
+}
+
+TEST(AlertRuleEngineTest, ZeroForDurationFiresInOneEvaluation) {
+  SeriesStore store(32);
+  AlertRuleEngine engine(nullptr);
+  engine.AddRule(ThresholdRule("gupt_x_count:value", 1.0));
+  store.Append("gupt_x_count:value", Point(1000000000LL, 3.0));
+  engine.Evaluate(store, {}, 1000000000LL, 1000, 42);
+  std::vector<AlertInstanceStatus> snapshot = engine.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].state, AlertState::kFiring);
+  // Both transitions (to pending, then firing) were recorded.
+  EXPECT_EQ(snapshot[0].transitions, 2u);
+  EXPECT_GT(snapshot[0].pending_since_unix_ms, 0);
+}
+
+TEST(AlertRuleEngineTest, PendingClearsWithoutEverFiring) {
+  SeriesStore store(32);
+  AlertRuleEngine engine(nullptr);
+  engine.AddRule(ThresholdRule("gupt_x_count:value", 5.0, AlertAgg::kLatest,
+                               /*for_ms=*/10000));
+  store.Append("gupt_x_count:value", Point(1000000000LL, 9.0));
+  engine.Evaluate(store, {}, 1000000000LL, 1000, 1);
+  ASSERT_EQ(engine.Snapshot()[0].state, AlertState::kPending);
+  store.Append("gupt_x_count:value", Point(2000000000LL, 1.0));
+  engine.Evaluate(store, {}, 2000000000LL, 2000, 2);
+  // Never fired, so back to inactive (not resolved).
+  EXPECT_EQ(engine.Snapshot()[0].state, AlertState::kInactive);
+  EXPECT_EQ(engine.Snapshot()[0].fire_count, 0u);
+}
+
+TEST(AlertRuleEngineTest, AggregationsAndFireBelow) {
+  SeriesStore store(32);
+  for (int i = 1; i <= 4; ++i) {
+    store.Append("gupt_x_count:value", Point(i * 1000000000LL, i * 1.0));
+  }
+  const std::int64_t now = 4000000000LL;
+
+  auto value_of = [&](AlertAgg agg) {
+    AlertRuleEngine engine(nullptr);
+    engine.AddRule(ThresholdRule("gupt_x_count:value", 1e9, agg));
+    engine.Evaluate(store, {}, now, 4000, 1);
+    return engine.Snapshot()[0].value;
+  };
+  EXPECT_DOUBLE_EQ(value_of(AlertAgg::kLatest), 4.0);
+  EXPECT_DOUBLE_EQ(value_of(AlertAgg::kMean), 2.5);
+  EXPECT_DOUBLE_EQ(value_of(AlertAgg::kMax), 4.0);
+  EXPECT_DOUBLE_EQ(value_of(AlertAgg::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(value_of(AlertAgg::kDelta), 3.0);
+
+  AlertRuleEngine below(nullptr);
+  AlertRule rule = ThresholdRule("gupt_x_count:value", 10.0);
+  rule.fire_below = true;  // fire when value <= threshold
+  below.AddRule(rule);
+  below.Evaluate(store, {}, now, 4000, 1);
+  EXPECT_EQ(below.Snapshot()[0].state, AlertState::kFiring);
+}
+
+TEST(AlertRuleEngineTest, RatioRuleDividesAggregatesAndHandlesZero) {
+  SeriesStore store(32);
+  for (int i = 1; i <= 3; ++i) {
+    store.Append("gupt_a_total:rate", Point(i * 1000000000LL, 4.0));
+    store.Append("gupt_b_total:rate", Point(i * 1000000000LL, 8.0));
+  }
+  AlertRuleEngine engine(nullptr);
+  AlertRule rule = ThresholdRule("gupt_a_total:rate", 0.4, AlertAgg::kMean);
+  rule.name = "ratio_rule";
+  rule.denominator = "gupt_b_total:rate";
+  engine.AddRule(rule);
+  engine.Evaluate(store, {}, 3000000000LL, 3000, 1);
+  AlertInstanceStatus s = engine.Snapshot()[0];
+  EXPECT_DOUBLE_EQ(s.value, 0.5);
+  EXPECT_EQ(s.state, AlertState::kFiring);
+
+  // Zero denominator with a positive numerator -> +inf (still fires).
+  SeriesStore zero(32);
+  zero.Append("gupt_a_total:rate", Point(1000000000LL, 4.0));
+  zero.Append("gupt_b_total:rate", Point(1000000000LL, 0.0));
+  AlertRuleEngine engine2(nullptr);
+  engine2.AddRule(rule);
+  engine2.Evaluate(zero, {}, 1000000000LL, 1000, 1);
+  EXPECT_TRUE(std::isinf(engine2.Snapshot()[0].value));
+  EXPECT_EQ(engine2.Snapshot()[0].state, AlertState::kFiring);
+}
+
+TEST(AlertRuleEngineTest, MissingSeriesReportsNoDataAndStaysInactive) {
+  SeriesStore store(32);
+  AlertRuleEngine engine(nullptr);
+  engine.AddRule(ThresholdRule("gupt_never_written_count:value", 1.0));
+  engine.Evaluate(store, {}, 1000000000LL, 1000, 1);
+  AlertInstanceStatus s = engine.Snapshot()[0];
+  EXPECT_FALSE(s.has_data);
+  EXPECT_EQ(s.state, AlertState::kInactive);
+}
+
+TEST(AlertRuleEngineTest, BurnRateRuleTracksPerDatasetInstances) {
+  SeriesStore store(32);
+  AlertRuleEngine engine(nullptr);
+  AlertRule rule;
+  rule.name = "budget_exhaustion_imminent";
+  rule.severity = AlertSeverity::kCritical;
+  rule.burn_rate = true;
+  rule.threshold = 600.0;  // horizon seconds
+  engine.AddRule(rule);
+
+  BudgetForecast burning;
+  burning.dataset = "hot";
+  burning.burning = true;
+  burning.seconds_to_exhaustion = 120.0;
+  BudgetForecast calm;
+  calm.dataset = "cold";
+  calm.burning = true;
+  calm.seconds_to_exhaustion = 4e6;
+  engine.Evaluate(store, {burning, calm}, 1000000000LL, 1000, 7);
+
+  std::vector<AlertInstanceStatus> snapshot = engine.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  // Sorted by instance key: cold before hot.
+  EXPECT_EQ(snapshot[0].instance, "cold");
+  EXPECT_EQ(snapshot[0].state, AlertState::kInactive);
+  EXPECT_EQ(snapshot[1].instance, "hot");
+  EXPECT_EQ(snapshot[1].state, AlertState::kFiring);
+  std::vector<std::string> firing =
+      engine.FiringNames(AlertSeverity::kCritical);
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(firing[0], "budget_exhaustion_imminent[hot]");
+}
+
+TEST(AlertRuleEngineTest, PublishesInstrumentationToTheRegistry) {
+  MetricsRegistry registry;
+  SeriesStore store(32);
+  AlertRuleEngine engine(&registry);
+  engine.AddRule(ThresholdRule("gupt_x_count:value", 1.0));
+  store.Append("gupt_x_count:value", Point(1000000000LL, 5.0));
+  engine.Evaluate(store, {}, 1000000000LL, 1000, 1);
+
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(prom.find("gupt_alert_rules_count 1"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("gupt_alert_evaluations_total"), std::string::npos);
+  EXPECT_NE(prom.find("gupt_alert_transitions_total{to=\"firing\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("gupt_alert_firing_count{severity=\"warning\"} 1"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(BuiltinAlertRulesTest, SkipsRulesWithoutConfiguredCapacity) {
+  BuiltinRuleOptions options;
+  options.admission_queue_capacity = 0;
+  options.svt_session_capacity = 0;
+  options.chamber_pool_enabled = false;
+  std::vector<AlertRule> rules = BuiltinAlertRules(options);
+  ASSERT_EQ(rules.size(), 1u);  // only the budget rule survives
+  EXPECT_EQ(rules[0].name, "budget_exhaustion_imminent");
+  EXPECT_TRUE(rules[0].burn_rate);
+  EXPECT_EQ(rules[0].severity, AlertSeverity::kCritical);
+
+  options.admission_queue_capacity = 10;
+  options.svt_session_capacity = 4;
+  options.chamber_pool_enabled = true;
+  rules = BuiltinAlertRules(options);
+  ASSERT_EQ(rules.size(), 4u);
+  std::vector<std::string> names;
+  for (const AlertRule& rule : rules) names.push_back(rule.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "admission_queue_saturation"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "chamber_pool_respawn_storm"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "svt_session_capacity_pressure"),
+            names.end());
+}
+
+// --- SeriesCollector (manual ticks, local registry) ------------------------
+
+TEST(SeriesCollectorTest, SamplesCountersGaugesAndHistograms) {
+  MetricsRegistry registry;
+  Counter* requests = registry.GetCounter("gupt_t_requests_total", "help");
+  Gauge* depth = registry.GetGauge("gupt_t_queue_depth_count", "help");
+  Histogram* latency = registry.GetHistogram(
+      "gupt_t_latency_seconds", "help", Histogram::DurationBuckets());
+
+  SeriesStore store(64);
+  SeriesCollectorOptions options;
+  options.period_ms = 0;  // manual ticks only
+  options.registry = &registry;
+  SeriesCollector collector(options, &store, nullptr);
+
+  requests->Increment(10);
+  depth->Set(3.0);
+  latency->Observe(0.002);
+  collector.TickNow();
+
+  // First tick: gauges and histogram quantiles appear; counters only
+  // prime their rate baseline.
+  EXPECT_TRUE(store.Has("gupt_t_queue_depth_count:value"));
+  EXPECT_TRUE(store.Has("gupt_t_latency_seconds:p50"));
+  EXPECT_TRUE(store.Has("gupt_t_latency_seconds:p95"));
+  EXPECT_TRUE(store.Has("gupt_t_latency_seconds:p99"));
+  EXPECT_FALSE(store.Has("gupt_t_requests_total:rate"));
+
+  requests->Increment(20);
+  depth->Set(5.0);
+  collector.TickNow();
+  EXPECT_EQ(collector.Ticks(), 2u);
+
+  ASSERT_TRUE(store.Has("gupt_t_requests_total:rate"));
+  std::vector<SeriesPoint> rate = store.Points("gupt_t_requests_total:rate");
+  ASSERT_EQ(rate.size(), 1u);
+  // 20 increments over the inter-tick interval: rate = 20 / dt.
+  std::vector<SeriesPoint> depths =
+      store.Points("gupt_t_queue_depth_count:value");
+  ASSERT_EQ(depths.size(), 2u);
+  double dt =
+      static_cast<double>(depths[1].t_ns - depths[0].t_ns) * 1e-9;
+  ASSERT_GT(dt, 0.0);
+  EXPECT_NEAR(rate[0].value, 20.0 / dt, 1e-6 * (20.0 / dt));
+  EXPECT_DOUBLE_EQ(depths[1].value, 5.0);
+
+  // Collector self-instrumentation landed in the same registry.
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(prom.find("gupt_series_tracked_count"), std::string::npos);
+  EXPECT_NE(prom.find("gupt_series_collections_total{outcome=\"ok\"} 2"),
+            std::string::npos)
+      << prom;
+}
+
+TEST(SeriesCollectorTest, CounterResetReprimesInsteadOfNegativeRate) {
+  MetricsRegistry registry;
+  Counter* requests = registry.GetCounter("gupt_t_requests_total", "help");
+  SeriesStore store(64);
+  SeriesCollectorOptions options;
+  options.period_ms = 0;
+  options.registry = &registry;
+  SeriesCollector collector(options, &store, nullptr);
+
+  requests->Increment(100);
+  collector.TickNow();
+  registry.Reset();  // counter goes backwards
+  requests->Increment(1);
+  collector.TickNow();
+  // The reset tick re-primes rather than emitting a negative rate.
+  EXPECT_FALSE(store.Has("gupt_t_requests_total:rate"));
+  requests->Increment(5);
+  collector.TickNow();
+  std::vector<SeriesPoint> rate = store.Points("gupt_t_requests_total:rate");
+  ASSERT_EQ(rate.size(), 1u);
+  EXPECT_GT(rate[0].value, 0.0);
+}
+
+TEST(SeriesCollectorTest, OnCollectGateSkipsSamplingButNotEvaluation) {
+  MetricsRegistry registry;
+  Gauge* depth = registry.GetGauge("gupt_t_queue_depth_count", "help");
+  depth->Set(1.0);
+
+  SeriesStore store(64);
+  AlertRuleEngine engine(&registry);
+  bool allow_collect = true;
+  SeriesCollectorOptions options;
+  options.period_ms = 0;
+  options.registry = &registry;
+  options.on_collect = [&] { return allow_collect; };
+  SeriesCollector collector(options, &store, &engine);
+
+  collector.TickNow();
+  std::uint64_t points_after_first = store.AppendedPoints();
+  EXPECT_GT(points_after_first, 0u);
+  EXPECT_EQ(engine.Evaluations(), 1u);
+
+  allow_collect = false;
+  collector.TickNow();
+  // No new samples, but the alert engine still evaluated.
+  EXPECT_EQ(store.AppendedPoints(), points_after_first);
+  EXPECT_EQ(engine.Evaluations(), 2u);
+  std::string prom = registry.ExportPrometheus();
+  EXPECT_NE(
+      prom.find("gupt_series_collections_total{outcome=\"skipped\"} 1"),
+      std::string::npos)
+      << prom;
+}
+
+TEST(SeriesCollectorTest, BudgetSourceProducesBudgetAndBurnSeries) {
+  MetricsRegistry registry;
+  SeriesStore store(64);
+  double spent = 1.0;
+  SeriesCollectorOptions options;
+  options.period_ms = 0;
+  options.registry = &registry;
+  options.budget_source = [&] { return OneDataset(10.0, spent, 3); };
+  SeriesCollector collector(options, &store, nullptr);
+
+  collector.TickNow();
+  spent = 2.0;
+  collector.TickNow();
+
+  for (const char* name :
+       {"gupt_budget_total_epsilon{dataset=ages}:value",
+        "gupt_budget_spent_epsilon{dataset=ages}:value",
+        "gupt_budget_remaining_epsilon{dataset=ages}:value",
+        "gupt_budget_charges_count{dataset=ages}:value",
+        "gupt_budget_burn_rate_epsilon{dataset=ages}:value"}) {
+    EXPECT_TRUE(store.Has(name)) << name;
+  }
+  // Burn series has exactly one point per tick (not double-written by
+  // the registry sweep even though the burn gauges live in the registry).
+  EXPECT_EQ(
+      store.Points("gupt_budget_burn_rate_epsilon{dataset=ages}:value").size(),
+      2u);
+  std::vector<BudgetForecast> forecasts = collector.LatestForecasts();
+  ASSERT_EQ(forecasts.size(), 1u);
+  EXPECT_TRUE(forecasts[0].burning);
+  EXPECT_GT(forecasts[0].instant_rate_eps_per_s, 0.0);
+}
+
+TEST(SeriesCollectorTest, StartStopIsIdempotentAndJoins) {
+  MetricsRegistry registry;
+  SeriesStore store(64);
+  SeriesCollectorOptions options;
+  options.period_ms = 5;
+  options.registry = &registry;
+  SeriesCollector collector(options, &store, nullptr);
+  EXPECT_FALSE(collector.running());
+  collector.Start();
+  collector.Start();  // no-op
+  EXPECT_TRUE(collector.running());
+  collector.Stop();
+  EXPECT_FALSE(collector.running());
+  collector.Stop();  // idempotent
+  std::uint64_t ticks = collector.Ticks();
+  // The thread is gone: the tick count no longer moves.
+  EXPECT_EQ(collector.Ticks(), ticks);
+}
+
+// --- Renderers -------------------------------------------------------------
+
+TEST(RenderTest, TimeserieszJsonRoundTripsThroughTheParser) {
+  SeriesStore store(16);
+  for (int i = 1; i <= 3; ++i) {
+    store.Append("gupt_x_count:value", Point(i * 1000000000LL, i * 1.5));
+  }
+  RenderInfo info;
+  info.period_ms = 1000;
+  info.capacity = 16;
+  info.ticks = 3;
+
+  std::string body = TimeserieszJson(store, "", 0.0, info);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(body, &root)) << body;
+  EXPECT_DOUBLE_EQ(root.Find("tracked")->number, 1.0);
+  EXPECT_DOUBLE_EQ(root.Find("period_ms")->number, 1000.0);
+  const JsonValue* series = root.Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 1u);
+  EXPECT_EQ(series->array[0].Find("name")->string, "gupt_x_count:value");
+  EXPECT_DOUBLE_EQ(series->array[0].Find("points")->number, 3.0);
+  EXPECT_DOUBLE_EQ(series->array[0].Find("latest")->number, 4.5);
+  // No filter: summaries only, no raw samples.
+  EXPECT_EQ(series->array[0].Find("samples"), nullptr);
+
+  // A non-empty filter includes the raw samples with 17-digit doubles.
+  // (Fresh JsonValue per parse: the test parser appends into `object`.)
+  std::string filtered = TimeserieszJson(store, "gupt_x", 0.0, info);
+  JsonValue filtered_root;
+  ASSERT_TRUE(ParseJson(filtered, &filtered_root)) << filtered;
+  const JsonValue* samples =
+      filtered_root.Find("series")->array[0].Find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples->array[2].Find("value")->number, 4.5);
+
+  // Windowing anchors at the newest point: a 1.5-second window keeps
+  // points newer than t=3s - 1.5s.
+  std::string windowed = TimeserieszJson(store, "gupt_x", 1.5, info);
+  JsonValue windowed_root;
+  ASSERT_TRUE(ParseJson(windowed, &windowed_root)) << windowed;
+  EXPECT_EQ(
+      windowed_root.Find("series")->array[0].Find("samples")->array.size(),
+      2u);
+
+  std::string text = TimeserieszText(store, "", 0.0, info);
+  EXPECT_NE(text.find("gupt_x_count:value"), std::string::npos);
+  EXPECT_NE(text.find("tracked"), std::string::npos);
+}
+
+TEST(RenderTest, AlertzBodiesCarryRuleAndInstanceState) {
+  SeriesStore store(16);
+  AlertRuleEngine engine(nullptr);
+  AlertRule rule = ThresholdRule("gupt_x_count:value", 1.0);
+  rule.name = "demo_rule";
+  rule.description = "demo \"quoted\" description";
+  engine.AddRule(rule);
+  store.Append("gupt_x_count:value", Point(1000000000LL, 5.0));
+  engine.Evaluate(store, {}, 1000000000LL, 1000, 9);
+
+  std::string body = AlertzJson(engine);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(body, &root)) << body;
+  const JsonValue* rules = root.Find("rules");
+  ASSERT_NE(rules, nullptr);
+  ASSERT_EQ(rules->array.size(), 1u);
+  EXPECT_EQ(rules->array[0].Find("name")->string, "demo_rule");
+  const JsonValue* instances = root.Find("instances");
+  ASSERT_NE(instances, nullptr);
+  ASSERT_EQ(instances->array.size(), 1u);
+  EXPECT_EQ(instances->array[0].Find("state")->string, "firing");
+  EXPECT_DOUBLE_EQ(instances->array[0].Find("value")->number, 5.0);
+  EXPECT_DOUBLE_EQ(instances->array[0].Find("last_transition_qid")->number,
+                   9.0);
+
+  std::string text = AlertzText(engine);
+  EXPECT_NE(text.find("demo_rule"), std::string::npos);
+  EXPECT_NE(text.find("firing"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace series
+}  // namespace obs
+}  // namespace gupt

@@ -1,0 +1,321 @@
+// Fault injection against the time-series collector and alert engine.
+// The collector is a pure observer of the privacy ledger, and these
+// tests pin that down under failure: a crashing or delayed
+// service.series.collect failpoint must never wedge shutdown, never
+// skew a series' timestamp ordering, and never change a single bit of
+// charged epsilon (17-significant-digit /budgetz equality against a
+// collector-off run). The respawn-storm detector (satellite of the
+// /healthz degradation fix) is driven here too, by really crashing
+// pooled workers.
+
+#include "service/gupt_service.h"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/introspect/http_client.h"
+#include "testing/failpoints/failpoints.h"
+#include "../obs/minijson.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::obs::introspect::HttpGet;
+using ::gupt::obs::introspect::HttpGetResult;
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+using failpoints::Action;
+using failpoints::CompiledIn;
+using failpoints::Config;
+using failpoints::ScopedFailpoint;
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  request.block_size = 64;  // 512 rows => exactly 8 blocks per query
+  return request;
+}
+
+std::unique_ptr<GuptService> MakeService(ServiceOptions options,
+                                         double budget) {
+  options.introspect_port = 0;  // ephemeral
+  auto service = std::make_unique<GuptService>(
+      std::move(options), ProgramRegistry::WithStandardPrograms());
+  EXPECT_GT(service->introspect_port(), 0);
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(512, 1), ds).ok());
+  return service;
+}
+
+/// The raw (17-significant-digit) text of one numeric field in a JSON
+/// body — extracted as a string so equality is textual, not post-parse.
+std::string RawJsonNumber(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = body.find(needle);
+  if (at == std::string::npos) return "<missing " + key + ">";
+  at += needle.size();
+  std::size_t end = body.find_first_of(",}", at);
+  return body.substr(at, end - at);
+}
+
+class SeriesFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CompiledIn()) {
+      GTEST_SKIP() << "built with GUPT_FAILPOINTS_ENABLED=OFF";
+    }
+    failpoints::DisarmAll();
+  }
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+/// Runs the reference workload and returns the /budgetz JSON body.
+/// `series_on` arms a manually-ticked collector around every query;
+/// `series_capacity = 0` is the collector-off control.
+std::string RunWorkload(bool series_on) {
+  ServiceOptions options;
+  options.collector_period_ms = 0;
+  options.series_capacity = series_on ? 1024 : 0;
+  auto service = MakeService(std::move(options), /*budget=*/4.0);
+  if (series_on) {
+    EXPECT_NE(service->series_collector(), nullptr);
+    service->series_collector()->TickNow();
+  }
+  for (int q = 0; q < 6; ++q) {
+    auto report = service->SubmitQuery(MeanRequest(0.375));
+    EXPECT_TRUE(report.ok()) << report.status();
+    if (series_on) service->series_collector()->TickNow();
+  }
+  HttpGetResult scrape = HttpGet("127.0.0.1", service->introspect_port(),
+                                 "/budgetz?format=json");
+  EXPECT_TRUE(scrape.ok) << scrape.error;
+  EXPECT_EQ(scrape.status, 200);
+  return scrape.body;
+}
+
+TEST_F(SeriesFaultTest, CrashingCollectorNeverTouchesTheLedger) {
+  // Every collect gate fires kCrash: the site cannot crash safely, so
+  // the sampling half of every tick is skipped — and nothing else.
+  std::string faulty;
+  {
+    Config config;
+    config.action = Action::kCrash;
+    ScopedFailpoint fp("service.series.collect", config);
+    faulty = RunWorkload(/*series_on=*/true);
+    EXPECT_EQ(fp.evaluations(), 7u);  // baseline tick + one per query
+    EXPECT_EQ(fp.fires(), 7u);
+  }
+  const std::string clean_off = RunWorkload(/*series_on=*/false);
+  const std::string clean_on = RunWorkload(/*series_on=*/true);
+
+  // 17-significant-digit equality of every ledger total, collector
+  // crashing vs collector off vs collector healthy.
+  for (const char* key : {"total_epsilon", "spent_epsilon",
+                          "remaining_epsilon", "num_charges"}) {
+    const std::string expected = RawJsonNumber(clean_off, key);
+    EXPECT_EQ(RawJsonNumber(faulty, key), expected) << key;
+    EXPECT_EQ(RawJsonNumber(clean_on, key), expected) << key;
+  }
+  EXPECT_EQ(RawJsonNumber(clean_off, "spent_epsilon"), "2.25");
+}
+
+TEST_F(SeriesFaultTest, CrashingCollectSkipsSamplingButServiceKeepsServing) {
+  Config config;
+  config.action = Action::kCrash;
+  config.every_nth = 2;  // every other tick loses its samples
+  ScopedFailpoint fp("service.series.collect", config);
+
+  ServiceOptions options;
+  options.collector_period_ms = 0;
+  options.series_capacity = 1024;
+  auto service = MakeService(std::move(options), 4.0);
+  obs::series::SeriesCollector* collector = service->series_collector();
+
+  for (int q = 0; q < 4; ++q) {
+    ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.25)).ok());
+    collector->TickNow();
+  }
+  EXPECT_EQ(collector->Ticks(), 4u);
+  EXPECT_EQ(fp.fires(), 2u);
+
+  // The surviving ticks still produced well-ordered history...
+  const obs::series::SeriesStore* store = service->series_store();
+  std::vector<obs::series::SeriesPoint> spent =
+      store->Points("gupt_budget_spent_epsilon{dataset=ages}:value");
+  ASSERT_EQ(spent.size(), 2u);  // ticks 1 and 3 sampled; 2 and 4 skipped
+  EXPECT_LT(spent[0].t_ns, spent[1].t_ns);
+  EXPECT_EQ(store->DroppedPoints(), 0u);
+
+  // ...the skip was accounted...
+  HttpGetResult metrics =
+      HttpGet("127.0.0.1", service->introspect_port(), "/metrics");
+  EXPECT_NE(metrics.body.find(
+                "gupt_series_collections_total{outcome=\"skipped\"}"),
+            std::string::npos)
+      << metrics.body.substr(0, 400);
+
+  // ...and the endpoints keep answering.
+  EXPECT_EQ(
+      HttpGet("127.0.0.1", service->introspect_port(), "/timeseriesz").status,
+      200);
+  EXPECT_EQ(HttpGet("127.0.0.1", service->introspect_port(), "/alertz").status,
+            200);
+}
+
+TEST_F(SeriesFaultTest, DelayedCollectorNeverSkewsTimestampOrdering) {
+  // A background collector at a 2 ms cadence with 10 ms stalls injected
+  // into every other tick: ticks pile up against tick_mu_, but every
+  // series must stay strictly monotone and lossless.
+  Config config;
+  config.action = Action::kNoop;
+  config.every_nth = 2;
+  config.delay = std::chrono::microseconds(10000);
+  ScopedFailpoint fp("service.series.collect", config);
+
+  ServiceOptions options;
+  options.collector_period_ms = 2;
+  options.series_capacity = 1024;
+  auto service = MakeService(std::move(options), 8.0);
+  obs::series::SeriesCollector* collector = service->series_collector();
+  ASSERT_NE(collector, nullptr);
+  EXPECT_TRUE(collector->running());
+
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  for (int i = 0; i < 400 && collector->Ticks() < 8; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(collector->Ticks(), 8u);
+
+  const obs::series::SeriesStore* store = service->series_store();
+  for (const std::string& name : store->Names()) {
+    std::vector<obs::series::SeriesPoint> points = store->Points(name);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      ASSERT_LT(points[i - 1].t_ns, points[i].t_ns)
+          << name << " point " << i << " out of order";
+    }
+  }
+  EXPECT_EQ(store->DroppedPoints(), 0u);
+
+  // Shutdown with the delay still armed: Stop() waits out the tick in
+  // progress and joins — if this wedged, the test would time out.
+  service.reset();
+}
+
+TEST_F(SeriesFaultTest, CrashingEvaluateSkipsAlertsButNotSampling) {
+  Config config;
+  config.action = Action::kCrash;
+  ScopedFailpoint fp("service.series.evaluate", config);
+
+  ServiceOptions options;
+  options.collector_period_ms = 0;
+  options.series_capacity = 1024;
+  auto service = MakeService(std::move(options), 4.0);
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  service->series_collector()->TickNow();
+  service->series_collector()->TickNow();
+
+  // Samples landed; no alert evaluation ran.
+  EXPECT_GT(service->series_store()->AppendedPoints(), 0u);
+  EXPECT_EQ(service->alert_engine()->Evaluations(), 0u);
+  EXPECT_EQ(fp.fires(), 2u);
+
+  HttpGetResult metrics =
+      HttpGet("127.0.0.1", service->introspect_port(), "/metrics");
+  EXPECT_NE(metrics.body.find("gupt_alert_evaluations_skipped_total 2"),
+            std::string::npos);
+
+  // /alertz still answers with the (never-evaluated) rule set.
+  HttpGetResult alertz =
+      HttpGet("127.0.0.1", service->introspect_port(), "/alertz?format=json");
+  ASSERT_EQ(alertz.status, 200);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(alertz.body, &root)) << alertz.body;
+  EXPECT_FALSE(root.Find("rules")->array.empty());
+}
+
+TEST_F(SeriesFaultTest, RespawnStormDegradesHealthzAndFiresTheAlert) {
+  // Every pooled lease crashes its worker: respawns track leases (minus
+  // the initial spawn), every block falls back to fork, and the
+  // detector + built-in alert must both notice — while /healthz stays
+  // 200, because the service still answers queries.
+  Config config;
+  config.action = Action::kCrash;
+  ScopedFailpoint fp("exec.pool.lease", config);
+
+  ServiceOptions options;
+  options.chamber_pool_workers = 2;
+  options.collector_period_ms = 0;
+  options.series_capacity = 1024;
+  auto service = MakeService(std::move(options), 8.0);
+  obs::series::SeriesCollector* collector = service->series_collector();
+  ASSERT_NE(collector, nullptr);
+
+  collector->TickNow();  // prime the counter rates
+  for (int q = 0; q < 4; ++q) {
+    auto report = service->SubmitQuery(MeanRequest(0.5));
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->fallback_blocks, 8u);  // every block crashed
+  }
+  collector->TickNow();  // rates materialise on the second tick
+
+  std::string reason;
+  ASSERT_TRUE(service->Degraded(&reason));
+  EXPECT_NE(reason.find("respawn storm"), std::string::npos) << reason;
+
+  HttpGetResult health = HttpGet("127.0.0.1", service->introspect_port(),
+                                 "/healthz?verbose=1");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("degraded: chamber pool respawn storm"),
+            std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("respawn_storm=yes"), std::string::npos)
+      << health.body;
+
+  HttpGetResult alertz =
+      HttpGet("127.0.0.1", service->introspect_port(), "/alertz?format=json");
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(alertz.body, &root)) << alertz.body;
+  const JsonValue* instances = root.Find("instances");
+  ASSERT_NE(instances, nullptr);
+  bool storm_firing = false;
+  for (const JsonValue& entry : instances->array) {
+    if (entry.Find("rule")->string == "chamber_pool_respawn_storm" &&
+        entry.Find("state")->string == "firing") {
+      storm_firing = true;
+    }
+  }
+  EXPECT_TRUE(storm_firing) << alertz.body;
+
+  // Disarm, lease fresh workers, and the condition clears: the detector
+  // reads a sliding window, so recovery needs respawn-free leases.
+  failpoints::DisarmAll();
+  for (int q = 0; q < 4; ++q) {
+    auto report = service->SubmitQuery(MeanRequest(0.5));
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->fallback_blocks, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gupt

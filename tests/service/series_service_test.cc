@@ -1,0 +1,383 @@
+// Integration tests for the time-series / burn-rate / alerting surface
+// of GuptService over a real socket. The centrepiece is the acceptance
+// drive: real queries exhaust a dataset's budget while a manually-ticked
+// collector watches, and the test proves (a) budget_exhaustion_imminent
+// walks pending -> firing strictly before the ledger hits its cap,
+// (b) the forecasted queries-to-exhaustion at mid-drive is within 20%
+// of the actual count, and (c) integrating the /timeseriesz burn-rate
+// series over its own timestamps reproduces the /budgetz epsilon delta
+// to 1e-9.
+
+#include "service/gupt_service.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/introspect/http_client.h"
+#include "../obs/minijson.h"
+
+namespace gupt {
+namespace {
+
+using ::gupt::obs::introspect::HttpGet;
+using ::gupt::obs::introspect::HttpGetResult;
+using ::gupt::testjson::JsonValue;
+using ::gupt::testjson::ParseJson;
+
+Dataset Ages(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(vec::ClampScalar(rng.Gaussian(40.0, 10.0), 0.0, 150.0));
+  }
+  return Dataset::FromColumn(values).value();
+}
+
+QueryRequest MeanRequest(double epsilon) {
+  QueryRequest request;
+  request.analyst = "alice";
+  request.dataset = "ages";
+  request.program.name = "mean";
+  request.epsilon = epsilon;
+  request.range_mode = RangeMode::kTight;
+  request.output_ranges = {Range{0.0, 150.0}};
+  return request;
+}
+
+/// A service with the collector in manual-tick mode: deterministic
+/// series, no background thread, every tick driven by the test.
+std::unique_ptr<GuptService> MakeManualTickService(double budget,
+                                                   ServiceOptions options = {}) {
+  options.introspect_port = 0;  // ephemeral
+  options.collector_period_ms = 0;
+  options.series_capacity = 4096;
+  options.series_window_ms = 1000 * 1000;  // cover the whole drive
+  auto service = std::make_unique<GuptService>(
+      options, ProgramRegistry::WithStandardPrograms());
+  EXPECT_GT(service->introspect_port(), 0);
+  DatasetOptions ds;
+  ds.total_epsilon = budget;
+  EXPECT_TRUE(service->RegisterDataset("ages", Ages(2000, 1), ds).ok());
+  return service;
+}
+
+/// The instance entry for rule[instance] in an /alertz?format=json body.
+const JsonValue* FindInstance(const JsonValue& root, const std::string& rule,
+                              const std::string& instance) {
+  const JsonValue* instances = root.Find("instances");
+  if (instances == nullptr) return nullptr;
+  for (const JsonValue& entry : instances->array) {
+    if (entry.Find("rule")->string == rule &&
+        entry.Find("instance")->string == instance) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+double ScrapeSpentEpsilon(int port) {
+  HttpGetResult scrape = HttpGet("127.0.0.1", port, "/budgetz?format=json");
+  EXPECT_TRUE(scrape.ok) << scrape.error;
+  JsonValue root;
+  EXPECT_TRUE(ParseJson(scrape.body, &root)) << scrape.body;
+  const JsonValue* datasets = root.Find("datasets");
+  if (datasets == nullptr || datasets->array.empty()) return -1.0;
+  return datasets->array[0].Find("spent_epsilon")->number;
+}
+
+TEST(SeriesServiceTest, EndpointsAnswer404WhenSeriesDisabled) {
+  ServiceOptions options;
+  options.introspect_port = 0;
+  options.series_capacity = 0;
+  GuptService service(options, ProgramRegistry::WithStandardPrograms());
+  ASSERT_GT(service.introspect_port(), 0);
+  EXPECT_EQ(service.series_store(), nullptr);
+  EXPECT_EQ(service.series_collector(), nullptr);
+  EXPECT_EQ(service.alert_engine(), nullptr);
+  EXPECT_EQ(
+      HttpGet("127.0.0.1", service.introspect_port(), "/timeseriesz").status,
+      404);
+  EXPECT_EQ(HttpGet("127.0.0.1", service.introspect_port(), "/alertz").status,
+            404);
+  // /healthz still answers, without the collector diagnostics.
+  HttpGetResult health = HttpGet("127.0.0.1", service.introspect_port(),
+                                 "/healthz?verbose=1");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("alerts: disabled"), std::string::npos)
+      << health.body;
+}
+
+TEST(SeriesServiceTest, TimeserieszRendersCollectedHistory) {
+  auto service = MakeManualTickService(50.0);
+  const int port = service->introspect_port();
+
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  service->series_collector()->TickNow();
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  service->series_collector()->TickNow();
+
+  HttpGetResult text = HttpGet("127.0.0.1", port, "/timeseriesz");
+  ASSERT_TRUE(text.ok) << text.error;
+  ASSERT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("series tracked"), std::string::npos);
+  EXPECT_NE(text.body.find("gupt_budget_spent_epsilon{dataset=ages}:value"),
+            std::string::npos)
+      << text.body;
+
+  HttpGetResult json = HttpGet(
+      "127.0.0.1", port,
+      "/timeseriesz?format=json&name=gupt_budget_spent_epsilon");
+  ASSERT_EQ(json.status, 200);
+  EXPECT_NE(json.content_type.find("application/json"), std::string::npos);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(json.body, &root)) << json.body;
+  EXPECT_DOUBLE_EQ(root.Find("matched")->number, 1.0);
+  EXPECT_DOUBLE_EQ(root.Find("period_ms")->number, 0.0);
+  const JsonValue* series = root.Find("series");
+  ASSERT_EQ(series->array.size(), 1u);
+  const JsonValue* samples = series->array[0].Find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->array.size(), 2u);
+  // The sampled ledger matches the accountant bit-for-bit (17-digit
+  // doubles both ways).
+  EXPECT_DOUBLE_EQ(samples->array[1].Find("value")->number,
+                   ScrapeSpentEpsilon(port));
+}
+
+TEST(SeriesServiceTest, SeriesAndAlertMetricFamiliesAppearInTheScrape) {
+  auto service = MakeManualTickService(50.0);
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  service->series_collector()->TickNow();
+  service->series_collector()->TickNow();
+
+  HttpGetResult metrics =
+      HttpGet("127.0.0.1", service->introspect_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok) << metrics.error;
+  for (const char* needle :
+       {"gupt_series_tracked_count", "gupt_series_points_total",
+        "gupt_series_collections_total", "gupt_series_collect_duration_seconds",
+        "gupt_alert_rules_count", "gupt_alert_evaluations_total",
+        "gupt_budget_burn_rate_epsilon", "gupt_budget_spent_epsilon"}) {
+    EXPECT_NE(metrics.body.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
+}
+
+TEST(SeriesServiceTest, HealthzVerboseReportsCollectorAndAlertState) {
+  auto service = MakeManualTickService(50.0);
+  service->series_collector()->TickNow();
+  HttpGetResult health = HttpGet("127.0.0.1", service->introspect_port(),
+                                 "/healthz?verbose=1");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("ok\n"), std::string::npos) << health.body;
+  EXPECT_NE(health.body.find("admission: depth="), std::string::npos);
+  EXPECT_NE(health.body.find("alerts: firing=0"), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("collector: ticks=1 period_ms=0"),
+            std::string::npos)
+      << health.body;
+
+  // Terse /healthz is unchanged: just the status line.
+  HttpGetResult terse =
+      HttpGet("127.0.0.1", service->introspect_port(), "/healthz");
+  EXPECT_EQ(terse.body, "ok\n");
+}
+
+// The acceptance drive (see file comment).
+TEST(SeriesServiceTest, ExhaustionDriveForecastsAndAlertsBeforeTheCap) {
+  const double kBudget = 2.0;
+  const double kPerQuery = 0.05;
+  auto service = MakeManualTickService(kBudget);
+  const int port = service->introspect_port();
+  obs::series::SeriesCollector* collector = service->series_collector();
+  ASSERT_NE(collector, nullptr);
+
+  // Baseline tick before any query: anchors the burn integral at
+  // spent == 0 and primes the counter rates.
+  collector->TickNow();
+
+  int completed = 0;
+  int firing_at_query = -1;
+  double remaining_when_firing = -1.0;
+  bool pending_recorded = false;
+  double forecast_at_10 = -1.0;
+
+  while (true) {
+    auto report = service->SubmitQuery(MeanRequest(kPerQuery));
+    if (!report.ok()) {
+      EXPECT_EQ(report.status().code(), StatusCode::kBudgetExhausted)
+          << report.status();
+      break;
+    }
+    ++completed;
+    collector->TickNow();
+    ASSERT_LT(completed, 200) << "budget never exhausted";
+
+    if (firing_at_query < 0) {
+      HttpGetResult alertz =
+          HttpGet("127.0.0.1", port, "/alertz?format=json");
+      ASSERT_TRUE(alertz.ok) << alertz.error;
+      JsonValue root;
+      ASSERT_TRUE(ParseJson(alertz.body, &root)) << alertz.body;
+      const JsonValue* instance =
+          FindInstance(root, "budget_exhaustion_imminent", "ages");
+      if (instance != nullptr &&
+          instance->Find("state")->string == "firing") {
+        firing_at_query = completed;
+        // (a) the transition passed through pending (both transitions
+        // recorded even when they happen in one evaluation)...
+        pending_recorded =
+            instance->Find("pending_since_unix_ms")->number > 0 &&
+            instance->Find("transitions")->number >= 2;
+        // ...and the ledger still has budget left when the alert fires.
+        remaining_when_firing = kBudget - ScrapeSpentEpsilon(port);
+      }
+    }
+    if (completed == 10) {
+      std::vector<obs::series::BudgetForecast> forecasts =
+          collector->LatestForecasts();
+      ASSERT_EQ(forecasts.size(), 1u);
+      EXPECT_TRUE(forecasts[0].burning);
+      forecast_at_10 = forecasts[0].queries_to_exhaustion;
+    }
+  }
+  // Final tick after the last accepted charge so the series reaches the
+  // final ledger state.
+  collector->TickNow();
+
+  // A 2.0 budget at 0.05/query admits 40 queries (the accountant's
+  // 1e-9 slack makes the division exact).
+  EXPECT_EQ(completed, 40);
+
+  // (a) The alert fired strictly before exhaustion.
+  ASSERT_GT(firing_at_query, 0) << "budget_exhaustion_imminent never fired";
+  EXPECT_LT(firing_at_query, completed);
+  EXPECT_TRUE(pending_recorded);
+  EXPECT_GT(remaining_when_firing, 0.0);
+
+  // (b) Mid-drive forecast: 30 queries actually remained after the 10th;
+  // the forecast must land within +/-20%.
+  const double actual_remaining = completed - 10;
+  ASSERT_GT(forecast_at_10, 0.0);
+  EXPECT_TRUE(std::isfinite(forecast_at_10));
+  EXPECT_NEAR(forecast_at_10, actual_remaining, 0.2 * actual_remaining)
+      << "forecast " << forecast_at_10 << " vs actual " << actual_remaining;
+
+  // (c) The burn-rate series integrates to the /budgetz delta to 1e-9.
+  HttpGetResult series = HttpGet(
+      "127.0.0.1", port,
+      "/timeseriesz?format=json&name=gupt_budget_burn_rate_epsilon");
+  ASSERT_EQ(series.status, 200);
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(series.body, &root)) << series.body;
+  ASSERT_EQ(root.Find("series")->array.size(), 1u);
+  const JsonValue* samples = root.Find("series")->array[0].Find("samples");
+  ASSERT_NE(samples, nullptr);
+  // One burn point per tick: baseline + one per query + final.
+  ASSERT_EQ(samples->array.size(), static_cast<std::size_t>(completed + 2));
+  double integral = 0.0;
+  for (std::size_t i = 1; i < samples->array.size(); ++i) {
+    const double dt =
+        (samples->array[i].Find("t_ns")->number -
+         samples->array[i - 1].Find("t_ns")->number) *
+        1e-9;
+    integral += samples->array[i].Find("value")->number * dt;
+  }
+  const double spent = ScrapeSpentEpsilon(port);
+  EXPECT_NEAR(integral, spent, 1e-9)
+      << "integral " << integral << " vs ledger " << spent;
+  EXPECT_NEAR(spent, kBudget, 1e-9);
+
+  // The exhausted dataset forecasts a zero horizon...
+  std::vector<obs::series::BudgetForecast> final_forecasts =
+      collector->LatestForecasts();
+  ASSERT_EQ(final_forecasts.size(), 1u);
+  EXPECT_DOUBLE_EQ(final_forecasts[0].seconds_to_exhaustion, 0.0);
+  EXPECT_DOUBLE_EQ(final_forecasts[0].queries_to_exhaustion, 0.0);
+
+  // ...the critical alert keeps firing, and /healthz reports degraded
+  // while staying 200 (load balancers keep routing; pagers fire).
+  HttpGetResult health = HttpGet("127.0.0.1", port, "/healthz?verbose=1");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("degraded: "), std::string::npos) << health.body;
+  EXPECT_NE(
+      health.body.find("critical alert firing: budget_exhaustion_imminent"),
+      std::string::npos)
+      << health.body;
+
+  // The alert transition carries a query id that joins to the audit log.
+  HttpGetResult alertz = HttpGet("127.0.0.1", port, "/alertz?format=json");
+  JsonValue alert_root;
+  ASSERT_TRUE(ParseJson(alertz.body, &alert_root)) << alertz.body;
+  const JsonValue* instance =
+      FindInstance(alert_root, "budget_exhaustion_imminent", "ages");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(instance->Find("state")->string, "firing");
+  EXPECT_GT(instance->Find("last_transition_qid")->number, 0.0);
+
+  // And the text rendering agrees on the firing state.
+  HttpGetResult text = HttpGet("127.0.0.1", port, "/alertz");
+  EXPECT_NE(text.body.find("budget_exhaustion_imminent[ages]"),
+            std::string::npos)
+      << text.body;
+  EXPECT_NE(text.body.find("state=firing"), std::string::npos);
+}
+
+TEST(SeriesServiceTest, VarzHistogramsCarryInterpolatedQuantiles) {
+  auto service = MakeManualTickService(50.0);
+  ASSERT_TRUE(service->SubmitQuery(MeanRequest(0.5)).ok());
+  HttpGetResult varz =
+      HttpGet("127.0.0.1", service->introspect_port(), "/varz");
+  ASSERT_TRUE(varz.ok) << varz.error;
+  JsonValue root;
+  ASSERT_TRUE(ParseJson(varz.body, &root)) << varz.body;
+  const JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool checked = false;
+  for (const JsonValue& family : metrics->array) {
+    if (family.Find("type")->string != "histogram") continue;
+    for (const JsonValue& entry : family.Find("series")->array) {
+      if (entry.Find("count")->number == 0) continue;
+      const JsonValue* p50 = entry.Find("p50");
+      const JsonValue* p95 = entry.Find("p95");
+      const JsonValue* p99 = entry.Find("p99");
+      ASSERT_NE(p50, nullptr) << family.Find("name")->string;
+      ASSERT_NE(p95, nullptr);
+      ASSERT_NE(p99, nullptr);
+      EXPECT_LE(p50->number, p95->number);
+      EXPECT_LE(p95->number, p99->number);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked) << "no populated histogram in /varz";
+}
+
+TEST(SeriesServiceTest, BackgroundCollectorTicksOnItsOwn) {
+  ServiceOptions options;
+  options.introspect_port = 0;
+  options.collector_period_ms = 20;
+  options.series_capacity = 256;
+  auto service = std::make_unique<GuptService>(
+      options, ProgramRegistry::WithStandardPrograms());
+  obs::series::SeriesCollector* collector = service->series_collector();
+  ASSERT_NE(collector, nullptr);
+  EXPECT_TRUE(collector->running());
+  // A few periods elapse: ticks accumulate without any manual drive.
+  for (int i = 0; i < 200 && collector->Ticks() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(collector->Ticks(), 2u);
+  // Destruction stops the thread cleanly (no wedge, no crash).
+  service.reset();
+}
+
+}  // namespace
+}  // namespace gupt

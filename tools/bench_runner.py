@@ -54,6 +54,7 @@ KNOWN_BENCHES = {
     "chamber_pool": "BENCH_chamber_pool.json",
     "obs_overhead": "BENCH_obs_overhead.json",
     "prof_overhead": "BENCH_prof_overhead.json",
+    "series_overhead": "BENCH_series_overhead.json",
     "failpoint_overhead": "BENCH_failpoint_overhead.json",
     "svt_throughput": "BENCH_svt.json",
 }

@@ -34,6 +34,15 @@ src/exec/chamber_pool.cc) and the columnar partitioner's
 cases, as do the pool's `exec.pool.{spawn,lease,reset}` failpoint
 sites.
 
+The time-series subsystem adds a third check: every series-reference
+literal `<metric>[{labels}]:<agg>` in src/ — the built-in alert rules'
+`series`/`denominator` fields (src/obs/series/alerts.cc) and the
+respawn-storm detector's store lookups (src/service/gupt_service.cc) —
+must name a registered metric family, with the aggregation suffix
+matching the family's kind (counters -> :rate, gauges -> :value,
+histograms -> :p50/:p95/:p99). A rule watching a never-written series
+would otherwise sit silently inactive forever.
+
 Usage:
   check_metrics_names.py [repo_root]      lint registrations in the sources
   check_metrics_names.py --payload FILE...  lint a scraped Prometheus
@@ -60,9 +69,10 @@ ALLOWED_UNITS = {
 }
 
 # A Get* call with its first string-literal argument (the metric name),
-# which may sit on the following line after a line break.
+# which may sit on the following line after a line break. The kind is
+# captured so time-series references can be checked against it.
 CALL_RE = re.compile(
-    r"Get(?:Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)\"", re.MULTILINE
+    r"Get(Counter|Gauge|Histogram)\s*\(\s*\"([^\"]+)\"", re.MULTILINE
 )
 NAME_RE = re.compile(r"^[a-z0-9]+(?:_[a-z0-9]+){3,}$")
 
@@ -73,6 +83,21 @@ FAILPOINT_CALL_RE = re.compile(
     re.MULTILINE,
 )
 FAILPOINT_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
+
+# A time-series reference literal, `<metric>{labels}:<agg>`, as used by
+# the alert rules in src/obs/series/alerts.cc and the respawn-storm
+# detector in src/service/gupt_service.cc. The base metric must be a
+# registered family and the aggregation must match its kind: counters
+# produce :rate, gauges :value, histograms :p50/:p95/:p99 (see the
+# SeriesCollector sweep in src/obs/series/collector.cc).
+SERIES_REF_RE = re.compile(
+    r"\"(gupt_[a-z0-9_]+)(\{[^\"]*\})?:(rate|value|p50|p95|p99)\""
+)
+AGG_FOR_KIND = {
+    "Counter": {"rate"},
+    "Gauge": {"value"},
+    "Histogram": {"p50", "p95", "p99"},
+}
 # First segment of a failpoint name must be a src/ module (keep in sync
 # with tools/check_layering.py).
 FAILPOINT_MODULES = {
@@ -86,6 +111,7 @@ LINTED_DIRS = ("src", "tools", "bench", "examples")
 
 
 def metric_names(root: pathlib.Path):
+    """Yields (path, line, kind, name) for every registration literal."""
     for directory in LINTED_DIRS:
         base = root / directory
         if not base.is_dir():
@@ -96,7 +122,22 @@ def metric_names(root: pathlib.Path):
             text = path.read_text(encoding="utf-8", errors="replace")
             for match in CALL_RE.finditer(text):
                 line = text.count("\n", 0, match.start()) + 1
-                yield path.relative_to(root), line, match.group(1)
+                yield path.relative_to(root), line, match.group(1), match.group(2)
+
+
+def series_references(root: pathlib.Path):
+    """`<metric>[{labels}]:<agg>` literals in src/ — alert-rule series,
+    ratio denominators, and the service's storm-detector lookups."""
+    base = root / "src"
+    if not base.is_dir():
+        return
+    for path in sorted(base.rglob("*")):
+        if path.suffix not in {".cc", ".cpp", ".h"}:
+            continue
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for match in SERIES_REF_RE.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            yield path.relative_to(root), line, match.group(1), match.group(3)
 
 
 def failpoint_names(root: pathlib.Path):
@@ -188,8 +229,10 @@ def main() -> int:
     root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
     violations = []
     seen = 0
-    for path, line, name in metric_names(root):
+    registered = {}  # name -> set of kinds (misuse aside, one per name)
+    for path, line, kind, name in metric_names(root):
         seen += 1
+        registered.setdefault(name, set()).add(kind)
         if not valid_metric_name(name):
             violations.append((path, line, name))
     if not seen:
@@ -215,11 +258,29 @@ def main() -> int:
             f"one of: {', '.join(sorted(FAILPOINT_MODULES))})",
             file=sys.stderr,
         )
-    if violations or fp_violations:
+    series_violations = []
+    series_seen = 0
+    for path, line, name, agg in series_references(root):
+        series_seen += 1
+        kinds = registered.get(name)
+        if kinds is None:
+            series_violations.append(
+                (path, line, f"'{name}:{agg}' references an unregistered "
+                             "metric family")
+            )
+        elif not any(agg in AGG_FOR_KIND[kind] for kind in kinds):
+            series_violations.append(
+                (path, line, f"':{agg}' does not match the registered kind "
+                             f"of '{name}' ({', '.join(sorted(kinds))})")
+            )
+    for path, line, message in series_violations:
+        print(f"{path}:{line}: series reference {message}", file=sys.stderr)
+    if violations or fp_violations or series_violations:
         return 1
     print(
         f"check_metrics_names: {seen} registrations ok, "
-        f"{fp_seen} failpoint sites ok"
+        f"{fp_seen} failpoint sites ok, "
+        f"{series_seen} series references ok"
     )
     return 0
 

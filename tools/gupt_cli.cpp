@@ -71,6 +71,10 @@ Args ParseArgs(int argc, char** argv) {
       args.options.emplace("async", "1");
     } else if (arg == "--metrics") {
       args.options["metrics"] = "prom";
+    } else if (arg == "--json") {
+      args.options.emplace("json", "1");
+    } else if (arg == "--fail-on-firing") {
+      args.options.emplace("fail-on-firing", "1");
     } else if (arg.rfind("--", 0) == 0 &&
                (eq = arg.find('=')) != std::string::npos) {
       args.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
@@ -180,6 +184,8 @@ int Usage() {
       "                    [--seed S] [--analyst NAME]\n"
       "  gupt_cli profile  --port PORT [--seconds N] [--hz H]\n"
       "                    [--out FILE.folded]\n"
+      "  gupt_cli alerts   --port PORT [--json] [--fail-on-firing]\n"
+      "  gupt_cli top      --port PORT [--window SECONDS]\n"
       "  gupt_cli selftest\n"
       "\n"
       "profile captures N seconds (default 1) of CPU samples at H Hz\n"
@@ -196,10 +202,17 @@ int Usage() {
       "(SubmitQueryAsync) and waits on the returned future; --queue-depth\n"
       "bounds that queue (submissions beyond it are refused, not blocked).\n"
       "--serve starts the introspection HTTP server (/metrics, /varz,\n"
-      "/healthz, /budgetz, /tracez) on 127.0.0.1:PORT (0 = ephemeral; the\n"
-      "bound port is printed) and keeps the process alive after the query\n"
-      "until stdin reaches EOF. --metrics-out writes the final metrics dump\n"
-      "(--metrics format, default prom) to FILE.\n");
+      "/healthz, /budgetz, /tracez, /timeseriesz, /alertz) on\n"
+      "127.0.0.1:PORT (0 = ephemeral; the bound port is printed) and keeps\n"
+      "the process alive after the query until stdin reaches EOF.\n"
+      "--collector-period-ms sets the time-series sampling cadence\n"
+      "(default 1000). --metrics-out writes the final metrics dump\n"
+      "(--metrics format, default prom) to FILE.\n"
+      "\n"
+      "alerts prints /alertz from a serving process (--fail-on-firing\n"
+      "exits 3 when any rule instance is firing); top is a one-shot text\n"
+      "dashboard joining /healthz, /budgetz, /alertz and /timeseriesz\n"
+      "(--window bounds the series summaries, default 300 s).\n");
   return 2;
 }
 
@@ -303,6 +316,14 @@ int RunQuery(const Args& args) {
   if (!serve_text.empty()) {
     service_options.introspect_port =
         static_cast<int>(std::strtol(serve_text.c_str(), nullptr, 10));
+  }
+  // --collector-period-ms N samples metrics + budget ledgers into the
+  // /timeseriesz history every N ms (default 1000; smoke tests use ~100
+  // so history accumulates fast).
+  std::string collector_text = Optional(args, "collector-period-ms", "");
+  if (!collector_text.empty()) {
+    service_options.collector_period_ms =
+        std::strtoll(collector_text.c_str(), nullptr, 10);
   }
 
   GuptService service(service_options,
@@ -624,6 +645,77 @@ int RunProfile(const Args& args) {
   return 0;
 }
 
+/// Fetches one introspection path from a serving gupt process.
+Result<std::string> FetchIntrospection(const Args& args,
+                                       const std::string& path) {
+  auto port_text = Require(args, "port");
+  if (!port_text.ok()) return port_text.status();
+  const int port = std::atoi(port_text->c_str());
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad --port: " + *port_text);
+  }
+  obs::introspect::HttpGetResult result =
+      obs::introspect::HttpGet("127.0.0.1", port, path, 10000);
+  if (!result.ok) {
+    return Status::Internal("fetch " + path + " failed: " + result.error);
+  }
+  if (result.status != 200) {
+    return Status::Internal("fetch " + path + " refused (HTTP " +
+                            std::to_string(result.status) + "): " +
+                            result.body);
+  }
+  return result.body;
+}
+
+int RunAlerts(const Args& args) {
+  const bool json = args.options.count("json") > 0;
+  auto body = FetchIntrospection(
+      args, json ? "/alertz?format=json" : "/alertz");
+  if (!body.ok()) {
+    std::fprintf(stderr, "%s\n", body.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(body->c_str(), stdout);
+  if (args.options.count("fail-on-firing") > 0) {
+    // The JSON body spells instance state unambiguously.
+    auto status_body =
+        json ? body : FetchIntrospection(args, "/alertz?format=json");
+    if (status_body.ok() &&
+        status_body->find("\"state\":\"firing\"") != std::string::npos) {
+      std::fprintf(stderr, "alerts firing\n");
+      return 3;
+    }
+  }
+  return 0;
+}
+
+int RunTop(const Args& args) {
+  // One-shot text dashboard: health, budgets + burn, alerts, series.
+  const std::string window = Optional(args, "window", "300");
+  struct Section {
+    const char* title;
+    std::string path;
+  };
+  const Section sections[] = {
+      {"health", "/healthz?verbose=1"},
+      {"budgets", "/budgetz"},
+      {"alerts", "/alertz"},
+      {"series", "/timeseriesz?window=" + window},
+  };
+  for (const Section& section : sections) {
+    auto body = FetchIntrospection(args, section.path);
+    std::printf("== %s (%s) ==\n", section.title, section.path.c_str());
+    if (!body.ok()) {
+      // /healthz answers 503 when unhealthy — still worth printing.
+      std::printf("%s\n\n", body.status().ToString().c_str());
+      continue;
+    }
+    std::fputs(body->c_str(), stdout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int RunSelfTest() {
   // End-to-end smoke: write a CSV, query it twice through a ledger, and
   // verify the third invocation is refused by the restored ledger.
@@ -682,6 +774,8 @@ int Main(int argc, char** argv) {
   if (args.command == "query") return RunQuery(args);
   if (args.command == "svt") return RunSvt(args);
   if (args.command == "profile") return RunProfile(args);
+  if (args.command == "alerts") return RunAlerts(args);
+  if (args.command == "top") return RunTop(args);
   if (args.command == "selftest") return RunSelfTest();
   return Usage();
 }

@@ -7,13 +7,18 @@ Drives the built gupt_cli binary the way an operator would:
   2. runs `gupt_cli query --serve=0 --gamma 3 --workers 4 --metrics-out=...`
      (ephemeral introspection port, parsed from stdout),
   3. while the process holds on stdin, scrapes /healthz, /metrics,
-     /budgetz?format=json, /varz, /tracez, /slowz, and a short /profilez
-     capture over a real socket,
+     /budgetz?format=json, /varz, /tracez, /slowz, /timeseriesz,
+     /alertz, and a short /profilez capture over a real socket,
   4. lints both the scraped /metrics payload and the --metrics-out file
      with check_metrics_names.py --payload,
   5. checks the /budgetz ledger arithmetic and that /tracez is valid
      Chrome trace_event JSON with block spans,
-  6. closes stdin and expects a clean exit.
+  6. waits for the 100ms time-series collector to tick, then checks
+     that /timeseriesz carries the budget series (spent == the /budgetz
+     ledger) and /alertz the built-in rules, in both text and JSON,
+     and that `gupt_cli alerts` / `gupt_cli top` render against the
+     same live port,
+  7. closes stdin and expects a clean exit.
 
 Usage: introspect_smoke.py /path/to/gupt_cli /path/to/check_metrics_names.py
 """
@@ -95,6 +100,9 @@ def main() -> int:
             # others wake, leaving every span on one lane. Padding makes the
             # multi-lane assertion below deterministic.
             "--pad-deadline-us=1500",
+            # A fast collector cadence so /timeseriesz history and alert
+            # evaluations accumulate within the smoke-test window.
+            "--collector-period-ms=100",
             "--serve=0", f"--metrics-out={metrics_out}",
         ],
         stdin=subprocess.PIPE,
@@ -225,10 +233,126 @@ def main() -> int:
         get(port, "/profilez?seconds=nope", want_status=400)
         get(port, "/profilez?hz=9999", want_status=400)
 
+        # --- /timeseriesz ---------------------------------------------------
+        # The collector runs at 100ms; poll until it has ticked at least
+        # twice (counters need a prior sample before rates appear) and
+        # the budget sweep has published the spent-epsilon gauge.
+        spent_name = "gupt_budget_spent_epsilon{dataset=cli}:value"
+        series_index = {}
+        poll_deadline = time.monotonic() + 30
+        while time.monotonic() < poll_deadline:
+            content_type, ts_body = get(port, "/timeseriesz?format=json")
+            if "application/json" not in content_type:
+                fail(f"/timeseriesz content type: {content_type}")
+            timeseries = json.loads(ts_body)
+            series_index = {s["name"]: s for s in timeseries["series"]}
+            if timeseries["ticks"] >= 2 and spent_name in series_index:
+                break
+            time.sleep(0.1)
+        else:
+            fail(
+                f"collector never published {spent_name} "
+                f"(ticks={timeseries.get('ticks')}, "
+                f"series={sorted(series_index)[:10]})"
+            )
+        if timeseries["period_ms"] != 100:
+            fail(f"/timeseriesz period_ms: {timeseries['period_ms']}")
+        if timeseries["capacity"] < 1:
+            fail(f"/timeseriesz capacity: {timeseries['capacity']}")
+        if timeseries["matched"] != len(timeseries["series"]):
+            fail(
+                f"matched {timeseries['matched']} != "
+                f"{len(timeseries['series'])} series entries"
+            )
+        if timeseries["tracked"] < timeseries["matched"]:
+            fail("tracked series < matched series")
+        for summary in timeseries["series"]:
+            if summary["points"] < 1:
+                fail(f"series {summary['name']} has no points")
+            # The running mean accumulates ulp-scale rounding, so a flat
+            # series can report mean a hair outside [min, max].
+            slack = 1e-9 * max(abs(summary["min"]), abs(summary["max"]), 1.0)
+            if not (summary["min"] - slack
+                    <= summary["mean"]
+                    <= summary["max"] + slack):
+                fail(f"series {summary['name']} min/mean/max out of order")
+        # The spent-epsilon series must agree with the /budgetz ledger.
+        if series_index[spent_name]["latest"] != epsilon:
+            fail(
+                f"{spent_name} latest {series_index[spent_name]['latest']} "
+                f"!= ledger spent {epsilon}"
+            )
+        # A name filter switches on the raw point dumps; timestamps must
+        # be strictly monotone and end at the summary's latest value.
+        _, filtered_body = get(
+            port, "/timeseriesz?format=json&name=gupt_budget_spent_epsilon"
+        )
+        filtered = json.loads(filtered_body)
+        if not filtered["series"]:
+            fail("name filter matched no budget series")
+        for summary in filtered["series"]:
+            samples = summary.get("samples")
+            if not samples:
+                fail(f"filtered series {summary['name']} has no samples")
+            stamps = [s["t_ns"] for s in samples]
+            if stamps != sorted(set(stamps)):
+                fail(f"series {summary['name']} timestamps not monotone")
+            if samples[-1]["value"] != summary["latest"]:
+                fail(f"series {summary['name']} last sample != latest")
+        _, ts_text = get(port, "/timeseriesz")
+        if "gupt_budget_spent_epsilon" not in ts_text:
+            fail("/timeseriesz text is missing the budget series")
+
+        # --- /alertz --------------------------------------------------------
+        content_type, alert_body = get(port, "/alertz?format=json")
+        if "application/json" not in content_type:
+            fail(f"/alertz content type: {content_type}")
+        alertz = json.loads(alert_body)
+        rules = {r["name"]: r for r in alertz["rules"]}
+        if "budget_exhaustion_imminent" not in rules:
+            fail(f"built-in burn-rate rule missing: {sorted(rules)}")
+        if rules["budget_exhaustion_imminent"]["severity"] != "critical":
+            fail("budget_exhaustion_imminent is not critical")
+        valid_states = {"inactive", "pending", "firing", "resolved"}
+        instances = alertz["instances"]
+        for instance in instances:
+            if instance["state"] not in valid_states:
+                fail(f"alert instance in unknown state: {instance}")
+        budget_instances = [
+            i for i in instances
+            if i["rule"] == "budget_exhaustion_imminent"
+            and i["instance"] == "cli"
+        ]
+        if not budget_instances:
+            fail("no budget_exhaustion_imminent instance for dataset cli")
+        _, alert_text = get(port, "/alertz")
+        if "budget_exhaustion_imminent" not in alert_text:
+            fail("/alertz text is missing the built-in burn-rate rule")
+
+        # --- gupt_cli alerts / top against the live port --------------------
+        alerts_cli = subprocess.run(
+            [cli, "alerts", f"--port={port}", "--json"],
+            capture_output=True, text=True, timeout=30,
+        )
+        if alerts_cli.returncode != 0:
+            fail(f"gupt_cli alerts failed: {alerts_cli.stderr[:200]}")
+        if "rules" not in json.loads(alerts_cli.stdout):
+            fail("gupt_cli alerts --json did not print the rule table")
+        top_cli = subprocess.run(
+            [cli, "top", f"--port={port}"],
+            capture_output=True, text=True, timeout=30,
+        )
+        if top_cli.returncode != 0:
+            fail(f"gupt_cli top failed: {top_cli.stderr[:200]}")
+        for needle in ("== health", "== budgets", "== alerts", "== series"):
+            if needle not in top_cli.stdout:
+                fail(f"gupt_cli top output is missing {needle!r}")
+
         # --- index + 404 ----------------------------------------------------
         _, index = get(port, "/")
-        if "/budgetz" not in index:
-            fail("index does not list /budgetz")
+        for endpoint in ("/budgetz", "/timeseriesz", "/alertz"):
+            if endpoint not in index:
+                fail(f"index does not list {endpoint}")
         get(port, "/nonexistent", want_status=404)
 
         # --- clean shutdown -------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "core/budget_allocator.h"
+#include "dp/amplification.h"
 
 namespace gupt {
 
@@ -103,6 +104,16 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
     ctx.plan.epsilon_saf_per_dim =
         epsilons[i] / (ModeMultiplier(specs[i].range.mode) *
                        EffectiveOutputDims(specs[i], plans[i].output_dims));
+    // The allocator splits the *raw* noise budget; under amplification the
+    // ledger debit for each slice is its amplified value (target-charge
+    // mode degenerates to raw mode here, since the analyst declared a
+    // shared total rather than per-query charges).
+    ctx.plan.epsilon_charged = ctx.plan.epsilon_total;
+    if (ctx.plan.amplification != dp::AmplificationMode::kOff) {
+      GUPT_ASSIGN_OR_RETURN(ctx.plan.epsilon_charged,
+                            dp::AmplifiedEpsilon(ctx.plan.epsilon_total,
+                                                 ctx.plan.sampling_rate));
+    }
     ctx.plan_resolved = true;
     GUPT_ASSIGN_OR_RETURN(QueryReport report, pipeline_.Run(ctx));
     reports.push_back(std::move(report));

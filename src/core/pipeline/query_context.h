@@ -26,6 +26,7 @@
 #include "core/sample_aggregate.h"
 #include "data/dataset_manager.h"
 #include "data/partitioner.h"
+#include "dp/amplification.h"
 #include "exec/computation_manager.h"
 #include "exec/program.h"
 #include "obs/prof/rusage.h"
@@ -73,6 +74,12 @@ struct QuerySpec {
   std::size_t gamma = 1;
   /// Epsilon interpretation for multi-dimensional outputs.
   BudgetAccounting accounting = BudgetAccounting::kTheorem1;
+  /// Amplification-by-sampling charging mode (dp/amplification.h). kOff
+  /// reproduces the historical pipeline bit-for-bit; kRawEpsilon keeps the
+  /// noise calibration and discounts the ledger charge; kChargedEpsilon
+  /// treats the declared epsilon as the target charge and raises the raw
+  /// in-chamber epsilon accordingly.
+  dp::AmplificationMode amplification = dp::AmplificationMode::kOff;
   /// User-level privacy (paper §8.1): when one user may own up to this
   /// many records, all sensitivities are scaled by it (group privacy), so
   /// the release is epsilon-DP at the *user* level. 1 = record-level DP.
@@ -90,6 +97,13 @@ struct QueryReport {
   std::size_t block_size = 0;
   std::size_t num_blocks = 0;
   std::size_t gamma = 1;
+  /// Amplification-by-sampling diagnostics: the charging mode, the
+  /// effective sampling rate of the partition, and the raw in-chamber
+  /// epsilon the noise was calibrated at. Under kOff, epsilon_raw ==
+  /// epsilon_spent and sampling_rate is reported but unused for charging.
+  dp::AmplificationMode amplification = dp::AmplificationMode::kOff;
+  double sampling_rate = 1.0;
+  double epsilon_raw = 0.0;
   /// The clamp ranges actually used for aggregation.
   std::vector<Range> effective_ranges;
   /// Chamber diagnostics (visible to the trusted operator only).
@@ -114,6 +128,13 @@ struct QueryPlan {
   std::size_t gamma = 1;
   double epsilon_saf_per_dim = 0.0;
   double epsilon_total = 0.0;
+  /// Amplification-by-sampling calibration (PlanStage): the charging mode
+  /// copied from the spec, the partition's effective sampling rate, and
+  /// the amplified ledger charge. Under kOff, epsilon_charged ==
+  /// epsilon_total, so AdmitStage's debit is unchanged bit-for-bit.
+  dp::AmplificationMode amplification = dp::AmplificationMode::kOff;
+  double sampling_rate = 1.0;
+  double epsilon_charged = 0.0;
   /// Ranges known before execution (declared, or helper-translated from
   /// *loose* inputs for width estimation); loose mode refines after.
   std::vector<Range> planning_ranges;

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "core/block_planner.h"
+#include "dp/amplification.h"
 #include "core/sample_aggregate.h"
 #include "data/partitioner.h"
 #include "exec/computation_manager.h"
@@ -161,6 +162,17 @@ PipelineMetrics PipelineMetrics::Register() {
   metrics.process_max_rss = registry.GetGauge(
       "gupt_rusage_process_max_rss_bytes",
       "Process high-water RSS at the last query release.");
+  metrics.amplification_queries = registry.GetCounter(
+      "gupt_amplification_queries_total",
+      "Queries admitted with amplification-by-sampling charging enabled.");
+  metrics.amplification_sampling_rate = registry.GetGauge(
+      "gupt_amplification_sampling_rate_ratio",
+      "Effective sampling rate (block_size / n) of the last amplified "
+      "query.");
+  metrics.amplification_epsilon_saved = registry.GetCounter(
+      "gupt_amplification_epsilon_saved_total",
+      "Budget saved by amplification: sum of raw epsilon minus amplified "
+      "charge over all amplified queries.");
   return metrics;
 }
 
@@ -315,6 +327,38 @@ Status PlanStage::Run(QueryContext& ctx) const {
       stage.set_note("accuracy_goal");
     }
   }
+
+  // Amplification by sampling (dp/amplification.h): every chamber sees at
+  // most a block_size/n fraction of the records — disjoint partitions show
+  // each record to exactly one block, resampled partitions give each block
+  // an independent block_size/n sample — so the ledger charge can be the
+  // amplified epsilon' while the noise stays calibrated at the raw epsilon.
+  plan.amplification = spec.amplification;
+  plan.sampling_rate = std::min(
+      1.0, static_cast<double>(plan.block_size) / static_cast<double>(n));
+  plan.epsilon_charged = plan.epsilon_total;
+  if (plan.amplification != dp::AmplificationMode::kOff) {
+    // Pre-admission fault site: an injected failure here aborts the query
+    // before AdmitStage, so nothing may be charged.
+    GUPT_FAILPOINT_STATUS("core.amplify.calibrate");
+    if (plan.amplification == dp::AmplificationMode::kChargedEpsilon &&
+        spec.epsilon.has_value()) {
+      // The declared epsilon is the target *charge*: chambers run at the
+      // larger raw epsilon whose amplified cost equals it.
+      GUPT_ASSIGN_OR_RETURN(
+          plan.epsilon_total,
+          dp::RawEpsilonForAmplified(plan.epsilon_charged,
+                                     plan.sampling_rate));
+      plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
+    } else {
+      // Raw-epsilon mode (and accuracy-goal queries, whose solved epsilon
+      // is by construction the raw noise calibration): the mechanism is
+      // unchanged and the ledger debit shrinks.
+      GUPT_ASSIGN_OR_RETURN(
+          plan.epsilon_charged,
+          dp::AmplifiedEpsilon(plan.epsilon_total, plan.sampling_rate));
+    }
+  }
   return Status::OK();
 }
 
@@ -330,18 +374,38 @@ Status AdmitStage::Run(QueryContext& ctx) const {
     std::unique_ptr<AnalysisProgram> probe = spec.program();
     ctx.label = probe->name() + " [" + RangeModeToString(spec.range.mode) + "]";
   }
+  // Under amplification the ledger is debited the amplified epsilon'
+  // (plan.epsilon_charged) while the noise downstream stays calibrated at
+  // the raw plan.epsilon_total. kOff charges epsilon_total directly — the
+  // historical code path, which also covers hand-resolved plans whose
+  // epsilon_total was edited after planning.
+  const bool amplified = plan.amplification != dp::AmplificationMode::kOff;
+  const double charge = amplified ? plan.epsilon_charged : plan.epsilon_total;
+  if (amplified) {
+    // Fault site immediately before the debit: fire => ledger untouched.
+    GUPT_FAILPOINT_STATUS("core.amplify.charge");
+  }
   {
     StageScope stage(ctx.trace, "budget_charge");
-    Status charged = ctx.ds->accountant().Charge(plan.epsilon_total, ctx.label);
+    Status charged = ctx.ds->accountant().Charge(charge, ctx.label);
     if (!charged.ok()) {
       stage.set_ok(false);
       return charged;
     }
   }
-  metrics_->epsilon_charged->Increment(plan.epsilon_total);
+  metrics_->epsilon_charged->Increment(charge);
+  if (amplified) {
+    metrics_->amplification_queries->Increment(1.0);
+    metrics_->amplification_sampling_rate->Set(plan.sampling_rate);
+    metrics_->amplification_epsilon_saved->Increment(plan.epsilon_total -
+                                                     charge);
+  }
 
-  ctx.report.epsilon_spent = plan.epsilon_total;
+  ctx.report.epsilon_spent = charge;
   ctx.report.epsilon_saf_per_dim = plan.epsilon_saf_per_dim;
+  ctx.report.amplification = plan.amplification;
+  ctx.report.sampling_rate = plan.sampling_rate;
+  ctx.report.epsilon_raw = plan.epsilon_total;
   ctx.report.block_size = plan.block_size;
   ctx.report.gamma = plan.gamma;
 
@@ -526,9 +590,15 @@ Status ReleaseStage::Run(QueryContext& ctx) const {
   metrics_->block_count->Set(static_cast<double>(report.num_blocks));
   metrics_->block_size->Set(static_cast<double>(report.block_size));
   metrics_->gamma->Set(static_cast<double>(report.gamma));
+  const bool amplified = plan.amplification != dp::AmplificationMode::kOff;
   if (ctx.trace != nullptr) {
-    ctx.trace->SetGauge("epsilon_charged", plan.epsilon_total);
+    ctx.trace->SetGauge("epsilon_charged",
+                        amplified ? plan.epsilon_charged : plan.epsilon_total);
     ctx.trace->SetGauge("epsilon_saf_per_dim", plan.epsilon_saf_per_dim);
+    if (amplified) {
+      ctx.trace->SetGauge("epsilon_raw", plan.epsilon_total);
+      ctx.trace->SetGauge("sampling_rate", plan.sampling_rate);
+    }
     ctx.trace->SetGauge("noise_scale", max_noise_scale);
     ctx.trace->SetGauge("block_count", static_cast<double>(report.num_blocks));
     ctx.trace->SetGauge("block_size", static_cast<double>(report.block_size));

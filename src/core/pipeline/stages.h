@@ -53,6 +53,9 @@ struct PipelineMetrics {
   obs::Counter* ctx_switches_voluntary;
   obs::Counter* ctx_switches_involuntary;
   obs::Gauge* process_max_rss;
+  obs::Counter* amplification_queries;
+  obs::Gauge* amplification_sampling_rate;
+  obs::Counter* amplification_epsilon_saved;
 
   /// Registers (or re-resolves) every handle.
   static PipelineMetrics Register();

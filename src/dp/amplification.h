@@ -1,0 +1,78 @@
+// Privacy amplification by sampling (paper §4 + ROADMAP item).
+//
+// GUPT's sample-and-aggregate framework never shows the analyst's program
+// more than a sample of the dataset: a resampled block holds
+// block_size/n of the records, and a disjoint partition shows each
+// *record* to exactly one chamber. The amplification-by-sampling lemma
+// (Li/Qardaji "k-Anonymization Meets Differential Privacy"; Lin/Wang/Rane
+// "Sampling in Privacy Preserving Statistical Analysis") turns that
+// sampling into budget savings: a mechanism that is epsilon-DP on a
+// gamma-fraction sample of the data is
+//
+//     epsilon' = ln(1 + gamma * (e^epsilon - 1))
+//
+// DP with respect to the full dataset, with epsilon' <= epsilon and
+// epsilon' ~= gamma * epsilon for small epsilon. The runtime can therefore
+// calibrate noise at the raw in-chamber epsilon while debiting only the
+// amplified epsilon' from the dataset ledger.
+//
+// This module is pure math: the closed form, its inverse (so an analyst
+// target epsilon' can be mapped back to the raw epsilon the chambers must
+// run at), and the mode enum threaded from QuerySpec to the ledger. The
+// charging policy itself lives in core/pipeline (AdmitStage charges,
+// AggregateStage calibrates) — see docs/amplification.md.
+
+#ifndef GUPT_DP_AMPLIFICATION_H_
+#define GUPT_DP_AMPLIFICATION_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace gupt {
+namespace dp {
+
+/// How a query's declared epsilon relates to the ledger charge.
+enum class AmplificationMode {
+  /// Pre-amplification behaviour: the declared epsilon is both the noise
+  /// calibration and the ledger charge. Bit-identical to the historical
+  /// pipeline (golden-pinned).
+  kOff = 0,
+  /// The declared epsilon is the *raw* in-chamber epsilon: noise is
+  /// calibrated exactly as under kOff, but the ledger is charged the
+  /// amplified epsilon' = AmplifiedEpsilon(epsilon, sampling_rate).
+  kRawEpsilon,
+  /// The declared epsilon is the *target charge* epsilon': the ledger is
+  /// debited exactly the declared value, and the chambers run at the
+  /// larger raw epsilon = RawEpsilonForAmplified(epsilon', sampling_rate),
+  /// so the released answer is less noisy for the same ledger cost.
+  kChargedEpsilon,
+};
+
+/// Short stable name ("off", "raw_epsilon", "charged_epsilon") used in
+/// /budgetz, audit records, CLI output, and trace annotations.
+const char* AmplificationModeToString(AmplificationMode mode);
+
+/// Parses the names produced by AmplificationModeToString (plus the CLI
+/// shorthands "raw" and "charged"). Returns kInvalidArgument otherwise.
+Result<AmplificationMode> ParseAmplificationMode(const std::string& name);
+
+/// The amplified charge epsilon' = ln(1 + rate * (e^epsilon - 1)) for a
+/// mechanism that is `epsilon`-DP on a `rate`-fraction sample. Computed as
+/// log1p(rate * expm1(epsilon)) so the small-epsilon regime keeps full
+/// relative precision; rate == 1 returns `epsilon` exactly (bit-for-bit),
+/// so a gamma = 1 query charges precisely what it would uncharged.
+/// Requires epsilon finite and > 0, and rate in (0, 1].
+Result<double> AmplifiedEpsilon(double epsilon, double rate);
+
+/// The inverse map: the raw epsilon a chamber must run at so that the
+/// amplified charge equals `epsilon_prime` under sampling rate `rate`,
+/// i.e. epsilon = ln(1 + (e^epsilon' - 1) / rate). rate == 1 returns
+/// `epsilon_prime` exactly. Requires epsilon_prime finite and > 0, and
+/// rate in (0, 1].
+Result<double> RawEpsilonForAmplified(double epsilon_prime, double rate);
+
+}  // namespace dp
+}  // namespace gupt
+
+#endif  // GUPT_DP_AMPLIFICATION_H_

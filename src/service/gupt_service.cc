@@ -775,10 +775,17 @@ std::string GuptService::BudgetzJson() const {
     if (!first_dataset) out << ',';
     first_dataset = false;
     const dp::AccountantSnapshot& budget = snapshot.budget;
+    const AmplificationStats amplification =
+        AmplificationTotals(snapshot.dataset);
     out << "{\"dataset\":\"" << JsonEscape(snapshot.dataset) << "\""
         << ",\"total_epsilon\":" << JsonDouble(budget.total_epsilon)
         << ",\"spent_epsilon\":" << JsonDouble(budget.spent_epsilon)
         << ",\"remaining_epsilon\":" << JsonDouble(budget.remaining_epsilon())
+        << ",\"amplification\":{\"queries\":" << amplification.queries
+        << ",\"epsilon_raw\":" << JsonDouble(amplification.epsilon_raw)
+        << ",\"epsilon_charged\":" << JsonDouble(amplification.epsilon_charged)
+        << ",\"epsilon_saved\":" << JsonDouble(amplification.epsilon_saved())
+        << '}'
         << ",\"num_charges\":" << budget.charges.size() << ",\"charges\":[";
     bool first_charge = true;
     for (const dp::BudgetCharge& charge : budget.charges) {
@@ -803,8 +810,16 @@ std::string GuptService::BudgetzText() const {
     out << "\ndataset " << snapshot.dataset << "\n"
         << "  epsilon total     " << budget.total_epsilon << "\n"
         << "  epsilon spent     " << budget.spent_epsilon << "\n"
-        << "  epsilon remaining " << budget.remaining_epsilon() << "\n"
-        << "  charges (" << budget.charges.size() << "):\n";
+        << "  epsilon remaining " << budget.remaining_epsilon() << "\n";
+    const AmplificationStats amplification =
+        AmplificationTotals(snapshot.dataset);
+    if (amplification.queries > 0) {
+      out << "  amplified queries " << amplification.queries
+          << " (epsilon raw " << amplification.epsilon_raw << ", charged "
+          << amplification.epsilon_charged << ", saved "
+          << amplification.epsilon_saved() << ")\n";
+    }
+    out << "  charges (" << budget.charges.size() << "):\n";
     std::size_t index = 0;
     for (const dp::BudgetCharge& charge : budget.charges) {
       out << "    [" << ++index << "] epsilon=" << charge.epsilon << "  "
@@ -841,6 +856,13 @@ std::vector<std::string> GuptService::ListDatasets() const {
 std::vector<AuditRecord> GuptService::audit_log() const {
   std::lock_guard<std::mutex> lock(audit_mu_);
   return {audit_log_.begin(), audit_log_.end()};
+}
+
+GuptService::AmplificationStats GuptService::AmplificationTotals(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(amplification_mu_);
+  auto it = amplification_stats_.find(dataset);
+  return it == amplification_stats_.end() ? AmplificationStats{} : it->second;
 }
 
 Status GuptService::RestoreLedger() {
@@ -884,6 +906,7 @@ Result<QueryReport> GuptService::Execute(const QueryRequest& request) {
   spec.optimize_block_size = request.optimize_block_size;
   spec.gamma = request.gamma;
   spec.records_per_user = request.records_per_user;
+  spec.amplification = request.amplification.value_or(options_.amplification);
   if (chamber_pool_ != nullptr) {
     // Every registry program is resolvable inside the workers (they
     // captured a copy of the same registry), so pooled execution applies
@@ -893,7 +916,7 @@ Result<QueryReport> GuptService::Execute(const QueryRequest& request) {
   return runtime_->Execute(request.dataset, spec);
 }
 
-std::string GuptService::CacheKey(const QueryRequest& request) {
+std::string GuptService::CacheKey(const QueryRequest& request) const {
   if (!request.epsilon.has_value()) return "";  // goal-driven: not cacheable
   std::ostringstream key;
   key.precision(17);
@@ -908,7 +931,9 @@ std::string GuptService::CacheKey(const QueryRequest& request) {
   }
   key << '\x1f' << (request.block_size ? *request.block_size : 0) << '\x1f'
       << request.optimize_block_size << '\x1f' << request.gamma << '\x1f'
-      << request.records_per_user;
+      << request.records_per_user << '\x1f'
+      << static_cast<int>(
+             request.amplification.value_or(options_.amplification));
   return key.str();
 }
 
@@ -1062,6 +1087,17 @@ Result<QueryReport> GuptService::ProcessQuery(const QueryRequest& request) {
   record.status = outcome.status().ToString();
   if (outcome.ok() && !from_cache) {
     record.epsilon_charged = outcome->epsilon_spent;
+    record.amplification =
+        dp::AmplificationModeToString(outcome->amplification);
+    record.sampling_rate = outcome->sampling_rate;
+    record.epsilon_raw = outcome->epsilon_raw;
+    if (outcome->amplification != dp::AmplificationMode::kOff) {
+      std::lock_guard<std::mutex> lock(amplification_mu_);
+      AmplificationStats& stats = amplification_stats_[request.dataset];
+      stats.queries += 1;
+      stats.epsilon_raw += outcome->epsilon_raw;
+      stats.epsilon_charged += outcome->epsilon_spent;
+    }
     record.trace_summary = outcome->trace.Summary();
     record.cpu_seconds =
         static_cast<double>(outcome->resources.cpu_ns) / 1e9;

@@ -31,6 +31,7 @@
 #include "common/thread_pool.h"
 #include "core/gupt.h"
 #include "data/dataset_manager.h"
+#include "dp/amplification.h"
 #include "exec/chamber_pool.h"
 #include "obs/introspect/http_server.h"
 #include "obs/introspect/trace_ring.h"
@@ -117,6 +118,10 @@ struct ServiceOptions {
   /// The built-in budget_exhaustion_imminent alert fires when any
   /// dataset's forecasted time-to-exhaustion is at or below this horizon.
   double budget_alert_horizon_seconds = 600.0;
+  /// Default amplification-by-sampling charging mode for analyst queries
+  /// (dp/amplification.h); a request may override it. kOff keeps the
+  /// historical ledger behaviour bit-for-bit.
+  dp::AmplificationMode amplification = dp::AmplificationMode::kOff;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -143,6 +148,9 @@ struct QueryRequest {
   bool optimize_block_size = false;
   std::size_t gamma = 1;
   std::size_t records_per_user = 1;
+  /// Per-request amplification mode; unset inherits the service default
+  /// (ServiceOptions::amplification).
+  std::optional<dp::AmplificationMode> amplification;
 };
 
 /// Audit-log entry for one query attempt.
@@ -153,6 +161,12 @@ struct AuditRecord {
   std::string program;
   double epsilon_requested = 0.0;  // 0 when goal-driven
   double epsilon_charged = 0.0;    // 0 when refused or cache-served
+  /// Amplification-by-sampling facts of the execution ("off" when the
+  /// historical charging path ran; rate/raw are 0 when refused or
+  /// cache-served).
+  std::string amplification = "off";
+  double sampling_rate = 0.0;
+  double epsilon_raw = 0.0;
   bool accepted = false;
   bool from_cache = false;
   std::string status;  // Status::ToString() of the outcome
@@ -305,6 +319,21 @@ class GuptService {
     return manager_.BudgetSnapshots();
   }
 
+  /// Running amplification aggregates for one dataset, as served inside
+  /// /budgetz: how many queries were charged under amplification, the raw
+  /// epsilon their noise was calibrated at, and the amplified epsilon'
+  /// actually debited. epsilon_saved() is the ledger's gain.
+  struct AmplificationStats {
+    std::size_t queries = 0;
+    double epsilon_raw = 0.0;
+    double epsilon_charged = 0.0;
+    double epsilon_saved() const { return epsilon_raw - epsilon_charged; }
+  };
+
+  /// Snapshot of the amplification aggregates for `dataset` (zeroes when
+  /// no amplified query has run against it).
+  AmplificationStats AmplificationTotals(const std::string& dataset) const;
+
   /// Dump of the process-global metrics registry (counters, gauges, and
   /// histograms from every layer: runtime, chambers, thread pool, service).
   static std::string DumpMetrics(MetricsFormat format);
@@ -375,8 +404,9 @@ class GuptService {
 
   /// Canonical cache key for a request; empty when the request is not
   /// cacheable (goal-driven queries re-solve epsilon from aged data, so
-  /// they are executed fresh each time).
-  static std::string CacheKey(const QueryRequest& request);
+  /// they are executed fresh each time). Non-static: the key folds in the
+  /// resolved amplification mode, whose default is a service option.
+  std::string CacheKey(const QueryRequest& request) const;
 
   /// Cache lookup; refreshes the entry's LRU position on a hit.
   std::optional<QueryReport> CacheLookup(const std::string& key);
@@ -397,6 +427,10 @@ class GuptService {
   mutable std::mutex audit_mu_;
   std::deque<AuditRecord> audit_log_;
   std::size_t audit_next_id_ = 0;
+
+  /// Per-dataset amplification aggregates (see AmplificationTotals).
+  mutable std::mutex amplification_mu_;
+  std::map<std::string, AmplificationStats> amplification_stats_;
 
   /// LRU cache: `cache_lru_` is ordered most- to least-recently used and
   /// each map entry holds its own position in that list.

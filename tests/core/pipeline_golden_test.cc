@@ -21,6 +21,7 @@
 #include "common/rng.h"
 #include "common/vec.h"
 #include "core/gupt.h"
+#include "dp/amplification.h"
 #include "exec/chamber_pool.h"
 
 namespace gupt {
@@ -193,6 +194,88 @@ TEST(PipelineGoldenTest, GammaResamplingWithExplicitBlockSize) {
   EXPECT_EQ(report->num_blocks, 400u);
   ASSERT_EQ(report->output.size(), 1u);
   EXPECT_EQ(report->output[0], 37.545740047147525);
+}
+
+TEST(PipelineGoldenTest, AmplificationOffIsTheHistoricalPathBitForBit) {
+  // Amplification lands as strictly opt-in: a spec that says kOff (the
+  // default) must release the exact TightMode golden AND charge the exact
+  // historical ledger — same RNG consumption, same arithmetic, same bits.
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.amplification = dp::AmplificationMode::kOff;
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->epsilon_spent, 2.0);
+  EXPECT_EQ(report->output[0], 37.782203079929658);  // == TightMode golden
+  auto snapshots = manager.BudgetSnapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].budget.spent_epsilon, 2.0);
+}
+
+TEST(PipelineGoldenTest, AmplificationOnKeepsTheGoldenAndDiscountsTheLedger) {
+  // Raw-epsilon amplification changes ONLY the ledger debit: noise stays
+  // calibrated at the declared epsilon, so the released value is the
+  // TightMode golden bit-for-bit, while the charge drops to
+  // ln(1 + (377/20000) * (e^2 - 1)).
+  DatasetManager manager;
+  RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime runtime(&manager, GuptOptions{});
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.amplification = dp::AmplificationMode::kRawEpsilon;
+  auto report = runtime.Execute("ds", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->block_size, 377u);
+  EXPECT_EQ(report->num_blocks, 54u);
+  ASSERT_EQ(report->output.size(), 1u);
+  EXPECT_EQ(report->output[0], 37.782203079929658);  // == TightMode golden
+  EXPECT_EQ(report->sampling_rate, 377.0 / 20000.0);
+  EXPECT_EQ(report->epsilon_raw, 2.0);
+  EXPECT_EQ(report->epsilon_spent, 0.11371584915730168);
+  EXPECT_EQ(report->epsilon_spent,
+            dp::AmplifiedEpsilon(2.0, 377.0 / 20000.0).value());
+  auto snapshots = manager.BudgetSnapshots();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].budget.spent_epsilon, 0.11371584915730168);
+}
+
+TEST(PipelineGoldenTest, AmplificationAtFullRateChargesExactlyEpsilon) {
+  // A block covering the whole dataset has sampling rate 1: the amplified
+  // charge degenerates to the declared epsilon EXACTLY (the identity is a
+  // bit-exact early return, not a computed log), and the release matches
+  // the off-mode run of the identical query.
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = 2.0;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
+  spec.block_size = 20000;  // == n, one block, rate 1.0
+
+  DatasetManager off_manager;
+  RegisterAges(off_manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime off_runtime(&off_manager, GuptOptions{});
+  spec.amplification = dp::AmplificationMode::kOff;
+  auto off = off_runtime.Execute("ds", spec);
+  ASSERT_TRUE(off.ok()) << off.status();
+
+  DatasetManager on_manager;
+  RegisterAges(on_manager, 10.0, /*with_input_ranges=*/true);
+  GuptRuntime on_runtime(&on_manager, GuptOptions{});
+  spec.amplification = dp::AmplificationMode::kRawEpsilon;
+  auto on = on_runtime.Execute("ds", spec);
+  ASSERT_TRUE(on.ok()) << on.status();
+
+  EXPECT_EQ(on->sampling_rate, 1.0);
+  EXPECT_EQ(on->epsilon_spent, 2.0);
+  EXPECT_EQ(on->epsilon_spent, off->epsilon_spent);
+  ASSERT_EQ(on->output.size(), off->output.size());
+  EXPECT_EQ(on->output[0], off->output[0]);
 }
 
 TEST(PipelineGoldenTest, MultiDimensionalOutput) {

@@ -1,0 +1,300 @@
+// Pre-registered statistical acceptance suite for amplification by
+// sampling (dp/amplification.h, docs/amplification.md).
+//
+// Three layers of evidence, per the tests/statutil/ conventions
+// (pre-registered named seeds, alpha = 1e-6, accept/power twins):
+//
+//  1. A closed-form unit grid: epsilon'(rate, epsilon) agrees with
+//     ln(1 + rate * (e^eps - 1)) to 1e-12 relative error across eleven
+//     decades of epsilon, including the rate -> 1 limit (bit-exact
+//     identity) and the epsilon -> 0 limit (epsilon' -> rate * epsilon),
+//     and the inverse map round-trips.
+//  2. A KS acceptance test on the real pipeline: with amplification in
+//     raw-epsilon mode, the released noise is distributed exactly as the
+//     raw-epsilon Laplace calibration predicts — amplification changes
+//     only the ledger debit, never the mechanism.
+//  3. A power twin: a deliberately mis-calibrated variant that noises at
+//     the *amplified* epsilon' (the bug this suite exists to catch —
+//     charging less AND noising less would break the DP guarantee) is
+//     rejected by the same KS test at alpha = 1e-6.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analytics/queries.h"
+#include "core/gupt.h"
+#include "core/sample_aggregate.h"
+#include "dp/amplification.h"
+#include "statutil.h"
+
+namespace gupt {
+namespace {
+
+// Pre-registered: seed and alpha were fixed before observing any outcome
+// (tests/statutil/ convention). alpha = 1e-6 per assertion.
+constexpr double kAlpha = 1e-6;
+constexpr std::uint64_t kNoiseSeed = 0x9a3f17c2u;  // "amplify-noise-1"
+
+// ---------------------------------------------------------------------------
+// 1. Closed-form unit grid, 1e-12.
+// ---------------------------------------------------------------------------
+
+TEST(AmplificationGridTest, MatchesClosedFormTo1e12) {
+  const double rates[] = {1e-6, 1e-4, 0.003, 0.01, 0.1,
+                          0.25, 0.5,  0.9,   0.999};
+  const double epsilons[] = {1e-9, 1e-6, 1e-3, 0.01, 0.1,
+                             0.5,  1.0,  2.0,  5.0,  10.0};
+  for (double rate : rates) {
+    for (double eps : epsilons) {
+      auto amplified = dp::AmplifiedEpsilon(eps, rate);
+      ASSERT_TRUE(amplified.ok()) << amplified.status();
+      // Long-double reference keeps ~18 significant digits, so the 1e-12
+      // relative bound genuinely tests the double-precision formula.
+      const long double exact =
+          logl(1.0L + static_cast<long double>(rate) *
+                          (expl(static_cast<long double>(eps)) - 1.0L));
+      const double tolerance =
+          1e-12 * std::max(1.0, static_cast<double>(exact));
+      EXPECT_NEAR(amplified.value(), static_cast<double>(exact), tolerance)
+          << "rate=" << rate << " eps=" << eps;
+      // Amplification never increases the charge.
+      EXPECT_LE(amplified.value(), eps);
+      EXPECT_GT(amplified.value(), 0.0);
+    }
+  }
+}
+
+TEST(AmplificationGridTest, RateOneIsBitExactIdentity) {
+  for (double eps : {1e-12, 1e-3, 0.1, 0.5, 1.0, 2.0, 7.5}) {
+    auto amplified = dp::AmplifiedEpsilon(eps, 1.0);
+    ASSERT_TRUE(amplified.ok());
+    EXPECT_EQ(amplified.value(), eps);  // exact, not just close
+    auto raw = dp::RawEpsilonForAmplified(eps, 1.0);
+    ASSERT_TRUE(raw.ok());
+    EXPECT_EQ(raw.value(), eps);
+  }
+}
+
+TEST(AmplificationGridTest, SmallEpsilonLimitIsRateTimesEpsilon) {
+  // d/deps ln(1 + rate*(e^eps - 1)) at eps = 0 is exactly rate, so for
+  // eps -> 0 the charge must approach rate * eps with vanishing relative
+  // error. log1p/expm1 keep this exact to first order even at eps = 1e-12.
+  for (double rate : {1e-4, 0.003, 0.1, 0.5}) {
+    for (double eps : {1e-12, 1e-9, 1e-6}) {
+      auto amplified = dp::AmplifiedEpsilon(eps, rate);
+      ASSERT_TRUE(amplified.ok());
+      EXPECT_NEAR(amplified.value() / (rate * eps), 1.0, 1e-5)
+          << "rate=" << rate << " eps=" << eps;
+    }
+  }
+}
+
+TEST(AmplificationGridTest, InverseRoundTripsTo1e12) {
+  const double rates[] = {1e-4, 0.003, 0.01, 0.1, 0.5, 0.999, 1.0};
+  const double epsilons[] = {1e-6, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0};
+  for (double rate : rates) {
+    for (double eps : epsilons) {
+      auto amplified = dp::AmplifiedEpsilon(eps, rate);
+      ASSERT_TRUE(amplified.ok());
+      auto back = dp::RawEpsilonForAmplified(amplified.value(), rate);
+      ASSERT_TRUE(back.ok());
+      EXPECT_NEAR(back.value(), eps, 1e-12 * std::max(1.0, eps))
+          << "rate=" << rate << " eps=" << eps;
+    }
+  }
+}
+
+TEST(AmplificationGridTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(dp::AmplifiedEpsilon(0.0, 0.5).ok());
+  EXPECT_FALSE(dp::AmplifiedEpsilon(-1.0, 0.5).ok());
+  EXPECT_FALSE(dp::AmplifiedEpsilon(1.0, 0.0).ok());
+  EXPECT_FALSE(dp::AmplifiedEpsilon(1.0, 1.5).ok());
+  EXPECT_FALSE(dp::AmplifiedEpsilon(1.0, -0.1).ok());
+  EXPECT_FALSE(dp::RawEpsilonForAmplified(0.0, 0.5).ok());
+  EXPECT_FALSE(dp::RawEpsilonForAmplified(1.0, 0.0).ok());
+}
+
+TEST(AmplificationGridTest, ModeNamesRoundTrip) {
+  for (dp::AmplificationMode mode :
+       {dp::AmplificationMode::kOff, dp::AmplificationMode::kRawEpsilon,
+        dp::AmplificationMode::kChargedEpsilon}) {
+    auto parsed =
+        dp::ParseAmplificationMode(dp::AmplificationModeToString(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), mode);
+  }
+  EXPECT_FALSE(dp::ParseAmplificationMode("boosted").ok());
+}
+
+// ---------------------------------------------------------------------------
+// 2 + 3. KS acceptance on the real pipeline, and the mis-calibrated twin.
+// ---------------------------------------------------------------------------
+
+// Fixture: a constant-valued dataset makes the release's noise exactly
+// observable. Every record is 40.0, so each block mean is 40.0 and the
+// clamped average is 40.0; released - 40.0 is then precisely the Laplace
+// noise added by AggregateStage, with scale width / (l * eps_saf).
+constexpr double kValue = 40.0;
+constexpr double kWidth = 100.0;       // declared range [0, 100]
+constexpr std::size_t kRows = 500;
+constexpr std::size_t kBlockSize = 50;  // l = 10 blocks, rate = 0.1
+constexpr std::size_t kNumBlocks = kRows / kBlockSize;
+constexpr double kEpsilon = 0.5;        // raw per-query epsilon
+constexpr int kSamples = 2000;
+
+// The raw-epsilon Laplace scale the mechanism must keep using.
+double RawScale() {
+  return kWidth / (static_cast<double>(kNumBlocks) * kEpsilon);
+}
+
+QuerySpec ConstantMeanSpec(dp::AmplificationMode mode) {
+  QuerySpec spec;
+  spec.program = analytics::MeanQuery(0);
+  spec.epsilon = kEpsilon;
+  spec.block_size = kBlockSize;
+  spec.range = OutputRangeSpec::Tight({Range{0.0, kWidth}});
+  spec.amplification = mode;
+  return spec;
+}
+
+std::vector<double> ReleasedNoise(dp::AmplificationMode mode) {
+  DatasetManager manager;
+  DatasetOptions options;
+  // Amplified, each query charges ~0.063; 2000 queries need ~126. The
+  // budget is sized so the off-mode control (0.5 each) also fits.
+  options.total_epsilon = 2000.0;
+  std::vector<double> constant(kRows, kValue);
+  EXPECT_TRUE(
+      manager.Register("const", Dataset::FromColumn(constant).value(), options)
+          .ok());
+  GuptOptions runtime_options;
+  runtime_options.seed = kNoiseSeed;
+  GuptRuntime runtime(&manager, runtime_options);
+  std::vector<double> noise;
+  noise.reserve(kSamples);
+  QuerySpec spec = ConstantMeanSpec(mode);
+  for (int i = 0; i < kSamples; ++i) {
+    auto report = runtime.Execute("const", spec);
+    EXPECT_TRUE(report.ok()) << report.status();
+    if (!report.ok()) break;
+    noise.push_back(report->output[0] - kValue);
+  }
+  return noise;
+}
+
+TEST(AmplificationStatisticalTest, ReleasedNoiseMatchesRawCalibration) {
+  std::vector<double> noise = ReleasedNoise(dp::AmplificationMode::kRawEpsilon);
+  ASSERT_EQ(noise.size(), static_cast<std::size_t>(kSamples));
+  const double scale = RawScale();
+  statutil::GofResult fit = statutil::KsTest(
+      noise, [scale](double x) { return statutil::LaplaceCdf(x, 0.0, scale); },
+      kAlpha);
+  EXPECT_FALSE(fit.reject) << fit.Describe();
+}
+
+TEST(AmplificationStatisticalTest, AmplifiedReleaseIsBitIdenticalToOff) {
+  // Stronger than distributional agreement: with the same seed, turning
+  // amplification on must not perturb the released values at all — the
+  // mode only changes what the ledger is debited.
+  std::vector<double> off = ReleasedNoise(dp::AmplificationMode::kOff);
+  std::vector<double> on = ReleasedNoise(dp::AmplificationMode::kRawEpsilon);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << "sample " << i;
+  }
+}
+
+TEST(AmplificationStatisticalTest, MisCalibratedVariantIsRejected) {
+  // The broken implementation this suite guards against: noising at the
+  // amplified epsilon' while also charging epsilon'. Its Laplace scale is
+  // width / (l * eps') — far wider than the correct raw calibration — so
+  // the KS test against the raw-scale CDF must reject at alpha = 1e-6.
+  auto amplified = dp::AmplifiedEpsilon(
+      kEpsilon, static_cast<double>(kBlockSize) / static_cast<double>(kRows));
+  ASSERT_TRUE(amplified.ok());
+  AggregateOptions agg;
+  agg.epsilon_per_dim = amplified.value();  // the mis-calibration
+  agg.output_ranges = {Range{0.0, kWidth}};
+  agg.gamma = 1;
+  Rng rng(kNoiseSeed);
+  Row averages{kValue};
+  std::vector<double> noise;
+  noise.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    auto noised = AddAggregationNoise(averages, agg, kNumBlocks, &rng);
+    ASSERT_TRUE(noised.ok()) << noised.status();
+    noise.push_back(noised->output[0] - kValue);
+  }
+  const double scale = RawScale();
+  statutil::GofResult fit = statutil::KsTest(
+      noise, [scale](double x) { return statutil::LaplaceCdf(x, 0.0, scale); },
+      kAlpha);
+  EXPECT_TRUE(fit.reject)
+      << "epsilon'-noised variant passed the raw-epsilon KS test: "
+      << fit.Describe();
+}
+
+TEST(AmplificationStatisticalTest, AmplifiedChargeIsExactOnTheLedger) {
+  // The charge side of the same runs: each amplified query debits exactly
+  // ln(1 + rate * (e^eps - 1)), summed over queries with no drift.
+  DatasetManager manager;
+  DatasetOptions options;
+  options.total_epsilon = 100.0;
+  std::vector<double> constant(kRows, kValue);
+  ASSERT_TRUE(
+      manager.Register("const", Dataset::FromColumn(constant).value(), options)
+          .ok());
+  GuptOptions runtime_options;
+  runtime_options.seed = kNoiseSeed;
+  GuptRuntime runtime(&manager, runtime_options);
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+  const double rate =
+      static_cast<double>(kBlockSize) / static_cast<double>(kRows);
+  const double per_query = dp::AmplifiedEpsilon(kEpsilon, rate).value();
+  double expected_spent = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    auto report = runtime.Execute("const", spec);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(report->epsilon_spent, per_query);
+    EXPECT_EQ(report->epsilon_raw, kEpsilon);
+    EXPECT_EQ(report->sampling_rate, rate);
+    EXPECT_EQ(report->amplification, dp::AmplificationMode::kRawEpsilon);
+    expected_spent += per_query;
+  }
+  auto ds = manager.Get("const");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->accountant().Totals().spent_epsilon, expected_spent);
+}
+
+TEST(AmplificationStatisticalTest, ChargedModeRunsAtTheInverseRawEpsilon) {
+  // Target-charge mode: the ledger sees exactly the declared epsilon and
+  // the noise runs at the (larger) inverse-mapped raw epsilon.
+  DatasetManager manager;
+  DatasetOptions options;
+  options.total_epsilon = 100.0;
+  std::vector<double> constant(kRows, kValue);
+  ASSERT_TRUE(
+      manager.Register("const", Dataset::FromColumn(constant).value(), options)
+          .ok());
+  GuptOptions runtime_options;
+  runtime_options.seed = kNoiseSeed;
+  GuptRuntime runtime(&manager, runtime_options);
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kChargedEpsilon);
+  auto report = runtime.Execute("const", spec);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const double rate =
+      static_cast<double>(kBlockSize) / static_cast<double>(kRows);
+  const double raw = dp::RawEpsilonForAmplified(kEpsilon, rate).value();
+  EXPECT_EQ(report->epsilon_spent, kEpsilon);
+  EXPECT_EQ(report->epsilon_raw, raw);
+  EXPECT_GT(report->epsilon_raw, kEpsilon);
+  auto ds = manager.Get("const");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->accountant().Totals().spent_epsilon, kEpsilon);
+}
+
+}  // namespace
+}  // namespace gupt

@@ -47,16 +47,32 @@ import sys
 import tempfile
 import time
 
-# Benches that emit a flat BENCH_<name>.json of scalar results. fig6's
+# Benches that emit a flat BENCH_<name>.json of scalar results, keyed by
+# logical bench name: `binary` is the executable under <build>/bench/ and
+# `artifact` the flat JSON it writes into its working directory (several
+# benches share a binary or use a short artifact name). fig6's
 # BENCH_obs.json (a full metrics-registry dump) is deliberately excluded:
 # it is a trajectory artifact, not a flat scalar payload.
 KNOWN_BENCHES = {
-    "chamber_pool": "BENCH_chamber_pool.json",
-    "obs_overhead": "BENCH_obs_overhead.json",
-    "prof_overhead": "BENCH_prof_overhead.json",
-    "series_overhead": "BENCH_series_overhead.json",
-    "failpoint_overhead": "BENCH_failpoint_overhead.json",
-    "svt_throughput": "BENCH_svt.json",
+    "chamber_pool": {
+        "binary": "chamber_pool", "artifact": "BENCH_chamber_pool.json"},
+    "obs_overhead": {
+        "binary": "obs_overhead", "artifact": "BENCH_obs_overhead.json"},
+    "prof_overhead": {
+        "binary": "prof_overhead", "artifact": "BENCH_prof_overhead.json"},
+    "series_overhead": {
+        "binary": "series_overhead", "artifact": "BENCH_series_overhead.json"},
+    "failpoint_overhead": {
+        "binary": "failpoint_overhead",
+        "artifact": "BENCH_failpoint_overhead.json"},
+    "svt_throughput": {
+        "binary": "svt_throughput", "artifact": "BENCH_svt.json"},
+    # The amplification lifetime pair rides on the fig8 budget bench; the
+    # binary itself enforces the >=5x queries-before-exhaustion bar by
+    # exiting nonzero below it.
+    "amplification": {
+        "binary": "fig8_budget_lifetime",
+        "artifact": "BENCH_amplification.json"},
 }
 
 DEFAULT_THRESHOLD_PCT = 10.0
@@ -104,11 +120,12 @@ def wrap(name: str, results: dict, repo_root: pathlib.Path) -> dict:
 
 def run_bench(name: str, build_dir: pathlib.Path,
               repo_root: pathlib.Path) -> bool:
-    binary = build_dir / "bench" / name
+    spec = KNOWN_BENCHES[name]
+    binary = build_dir / "bench" / spec["binary"]
     if not binary.is_file():
         print(f"bench_runner: no such binary {binary}", file=sys.stderr)
         return False
-    artifact = KNOWN_BENCHES[name]
+    artifact = spec["artifact"]
     with tempfile.TemporaryDirectory(prefix="gupt_bench_") as scratch:
         print(f"bench_runner: running {name} ...")
         proc = subprocess.run([str(binary)], cwd=scratch)

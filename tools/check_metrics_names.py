@@ -32,7 +32,11 @@ respawns/shipped-bytes counters; lease-wait histogram — see
 src/exec/chamber_pool.cc) and the columnar partitioner's
 `gupt_data_partition_copied_bytes_total` likewise lint with no special
 cases, as do the pool's `exec.pool.{spawn,lease,reset}` failpoint
-sites.
+sites. The amplification-by-sampling charging path contributes the
+`gupt_amplification_*` family (amplified-query counter, sampling-rate
+gauge, epsilon-saved counter — see src/core/pipeline/stages.cc) and the
+`core.amplify.{calibrate,charge}` failpoint sites guarding the ledger
+debit (docs/amplification.md); both are covered by the same scan.
 
 The time-series subsystem adds a third check: every series-reference
 literal `<metric>[{labels}]:<agg>` in src/ — the built-in alert rules'

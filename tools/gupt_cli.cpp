@@ -46,6 +46,7 @@
 
 #include "common/csv.h"
 #include "data/synthetic.h"
+#include "dp/amplification.h"
 #include "obs/introspect/http_client.h"
 #include "obs/prof/profiler.h"
 #include "service/gupt_service.h"
@@ -69,6 +70,8 @@ Args ParseArgs(int argc, char** argv) {
       args.has_header = true;
     } else if (arg == "--async") {
       args.options.emplace("async", "1");
+    } else if (arg == "--amplification") {
+      args.options.emplace("amplification", "raw_epsilon");
     } else if (arg == "--metrics") {
       args.options["metrics"] = "prom";
     } else if (arg == "--json") {
@@ -178,6 +181,7 @@ int Usage() {
       "                    [--metrics-out FILE] [--serve PORT]\n"
       "                    [--async] [--queue-depth N] [--pad-deadline-us N]\n"
       "                    [--chamber-pool N]\n"
+      "                    [--amplification[=off|raw_epsilon|charged_epsilon]]\n"
       "  gupt_cli svt      --data FILE.csv [--header] --threshold T\n"
       "                    --epsilon E --queries FILE --budget TOTAL\n"
       "                    [--c K] [--records-per-user N] [--ledger FILE]\n"
@@ -208,6 +212,12 @@ int Usage() {
       "--collector-period-ms sets the time-series sampling cadence\n"
       "(default 1000). --metrics-out writes the final metrics dump\n"
       "(--metrics format, default prom) to FILE.\n"
+      "--amplification enables amplification-by-sampling charging\n"
+      "(docs/amplification.md): the ledger is debited the amplified\n"
+      "epsilon' = ln(1 + (beta/n)(e^eps - 1)) while the noise stays\n"
+      "calibrated at the raw epsilon (raw_epsilon, the bare-flag default);\n"
+      "charged_epsilon instead treats --epsilon as the target charge and\n"
+      "runs the chambers at the larger raw epsilon.\n"
       "\n"
       "alerts prints /alertz from a serving process (--fail-on-firing\n"
       "exits 3 when any rule instance is firing); top is a one-shot text\n"
@@ -325,6 +335,18 @@ int RunQuery(const Args& args) {
     service_options.collector_period_ms =
         std::strtoll(collector_text.c_str(), nullptr, 10);
   }
+  // --amplification[=off|raw_epsilon|charged_epsilon] charges the ledger
+  // the amplified epsilon' = ln(1 + rate * (e^eps - 1)) instead of the raw
+  // epsilon (dp/amplification.h). Bare --amplification means raw_epsilon.
+  std::string amplification_text = Optional(args, "amplification", "");
+  if (!amplification_text.empty()) {
+    auto mode = dp::ParseAmplificationMode(amplification_text);
+    if (!mode.ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+      return 2;
+    }
+    service_options.amplification = *mode;
+  }
 
   GuptService service(service_options,
                       ProgramRegistry::WithStandardPrograms());
@@ -402,6 +424,13 @@ int RunQuery(const Args& args) {
   for (double v : report->output) std::printf(" %.6f", v);
   std::printf("\n");
   std::printf("epsilon spent   : %.4f\n", report->epsilon_spent);
+  if (report->amplification != dp::AmplificationMode::kOff) {
+    std::printf("amplification   : %s (rate=%.6f, epsilon raw %.4f -> "
+                "charged %.4f)\n",
+                dp::AmplificationModeToString(report->amplification),
+                report->sampling_rate, report->epsilon_raw,
+                report->epsilon_spent);
+  }
   std::printf("budget remaining: %.4f\n",
               service.RemainingBudget("cli").value_or(0.0));
   std::printf("blocks          : %zu x %zu rows (gamma=%zu)\n",

@@ -5,14 +5,17 @@ Drives the built gupt_cli binary the way an operator would:
 
   1. writes a small CSV dataset,
   2. runs `gupt_cli query --serve=0 --gamma 3 --workers 4 --metrics-out=...`
-     (ephemeral introspection port, parsed from stdout),
+     with `--amplification=raw` (ephemeral introspection port, parsed
+     from stdout),
   3. while the process holds on stdin, scrapes /healthz, /metrics,
      /budgetz?format=json, /varz, /tracez, /slowz, /timeseriesz,
      /alertz, and a short /profilez capture over a real socket,
   4. lints both the scraped /metrics payload and the --metrics-out file
      with check_metrics_names.py --payload,
-  5. checks the /budgetz ledger arithmetic and that /tracez is valid
-     Chrome trace_event JSON with block spans,
+  5. checks the /budgetz ledger arithmetic — the run is amplified, so
+     the spend must be the discounted epsilon' and the per-dataset
+     amplification aggregates must reconcile with it exactly — and that
+     /tracez is valid Chrome trace_event JSON with block spans,
   6. waits for the 100ms time-series collector to tick, then checks
      that /timeseriesz carries the budget series (spent == the /budgetz
      ledger) and /alertz the built-in rules, in both text and JSON,
@@ -103,6 +106,9 @@ def main() -> int:
             # A fast collector cadence so /timeseriesz history and alert
             # evaluations accumulate within the smoke-test window.
             "--collector-period-ms=100",
+            # Amplified charging: noise stays at --epsilon, the ledger is
+            # debited epsilon' = ln(1 + rate*(e^eps - 1)) < eps.
+            "--amplification=raw",
             "--serve=0", f"--metrics-out={metrics_out}",
         ],
         stdin=subprocess.PIPE,
@@ -115,7 +121,9 @@ def main() -> int:
             process, r"serving on http://127\.0\.0\.1:(\d+)/", deadline
         )
         port = int(re.search(r":(\d+)/", serving).group(1))
-        # The query and the metrics file are done before the hold begins.
+        # The query and the metrics file are done before the hold begins;
+        # the amplified run must announce its discounted charge.
+        read_line(process, r"amplification\s*:\s*raw_epsilon", deadline)
         read_line(process, r"metrics: written to", deadline)
 
         # --- /healthz -------------------------------------------------------
@@ -157,14 +165,31 @@ def main() -> int:
         entry = datasets[0]
         if entry["total_epsilon"] != budget:
             fail(f"total_epsilon {entry['total_epsilon']} != {budget}")
-        if entry["spent_epsilon"] != epsilon:
-            fail(f"spent_epsilon {entry['spent_epsilon']} != {epsilon}")
-        if entry["remaining_epsilon"] != budget - epsilon:
+        # The run is amplified: the ledger holds epsilon' strictly below
+        # the raw epsilon the noise was calibrated at.
+        spent = entry["spent_epsilon"]
+        if not 0.0 < spent < epsilon:
+            fail(f"amplified spent_epsilon {spent} not in (0, {epsilon})")
+        if entry["remaining_epsilon"] != budget - spent:
             fail(f"remaining_epsilon {entry['remaining_epsilon']}")
         if entry["num_charges"] != 1 or len(entry["charges"]) != 1:
             fail(f"charges: {entry['charges']}")
-        if abs(sum(c["epsilon"] for c in entry["charges"]) - epsilon) > 0:
+        if abs(sum(c["epsilon"] for c in entry["charges"]) - spent) > 0:
             fail("charge history does not sum to the spent total")
+        amplification = entry.get("amplification")
+        if amplification is None:
+            fail("/budgetz entry has no amplification aggregates")
+        if amplification["queries"] != 1:
+            fail(f"amplification queries: {amplification['queries']}")
+        if amplification["epsilon_raw"] != epsilon:
+            fail(f"amplification epsilon_raw: {amplification['epsilon_raw']}")
+        if amplification["epsilon_charged"] != spent:
+            fail(
+                f"amplification epsilon_charged "
+                f"{amplification['epsilon_charged']} != ledger spent {spent}"
+            )
+        if amplification["epsilon_saved"] != epsilon - spent:
+            fail(f"amplification epsilon_saved: {amplification['epsilon_saved']}")
         _, text_table = get(port, "/budgetz")
         if "epsilon remaining" not in text_table:
             fail(f"/budgetz text table: {text_table[:200]!r}")
@@ -276,11 +301,12 @@ def main() -> int:
                     <= summary["mean"]
                     <= summary["max"] + slack):
                 fail(f"series {summary['name']} min/mean/max out of order")
-        # The spent-epsilon series must agree with the /budgetz ledger.
-        if series_index[spent_name]["latest"] != epsilon:
+        # The spent-epsilon series must agree with the /budgetz ledger
+        # (the amplified epsilon', not the raw query epsilon).
+        if series_index[spent_name]["latest"] != spent:
             fail(
                 f"{spent_name} latest {series_index[spent_name]['latest']} "
-                f"!= ledger spent {epsilon}"
+                f"!= ledger spent {spent}"
             )
         # A name filter switches on the raw point dumps; timestamps must
         # be strictly monotone and end at the summary's latest value.

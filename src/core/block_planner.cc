@@ -116,8 +116,6 @@ Result<BlockPlanChoice> PlanBlockSize(const Dataset& aged,
   choice.block_size = std::clamp<std::size_t>(block_size, 1, private_n);
   choice.num_blocks =
       std::max<std::size_t>(1, private_n / choice.block_size);
-  choice.sampling_rate =
-      std::min(1.0, static_cast<double>(choice.block_size) / n);
   return choice;
 }
 

@@ -47,10 +47,6 @@ struct BlockPlanChoice {
   std::size_t num_blocks = 0;
   /// Empirical Eq. 2 error at the chosen alpha (summed over output dims).
   double predicted_error = 0.0;
-  /// Effective sampling rate of the chosen partition: the fraction of the
-  /// private dataset any one chamber sees (block_size / n, clamped to 1).
-  /// Feeds the amplification-by-sampling charge (dp/amplification.h).
-  double sampling_rate = 1.0;
 };
 
 /// Chooses the block size for a private dataset of `private_n` rows using

@@ -61,6 +61,15 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
       return Status::InvalidArgument(
           "shared-budget queries must leave epsilon and accuracy_goal unset");
     }
+    if (spec.amplification != dp::AmplificationMode::kOff) {
+      // The allocator owns every slice's epsilon, so neither amplification
+      // mode has a well-defined meaning here: the analyst controls neither
+      // the raw calibration nor the charge. Reject rather than silently
+      // degrade to different semantics than a standalone query would get.
+      return Status::InvalidArgument(
+          "shared-budget queries do not support amplification; run the "
+          "query standalone with an explicit epsilon");
+    }
     QuerySpec provisional = spec;
     provisional.epsilon = 1.0;
     // Provisional planning carries no trace: only the real execution's
@@ -104,16 +113,9 @@ Result<std::vector<QueryReport>> GuptRuntime::ExecuteWithSharedBudget(
     ctx.plan.epsilon_saf_per_dim =
         epsilons[i] / (ModeMultiplier(specs[i].range.mode) *
                        EffectiveOutputDims(specs[i], plans[i].output_dims));
-    // The allocator splits the *raw* noise budget; under amplification the
-    // ledger debit for each slice is its amplified value (target-charge
-    // mode degenerates to raw mode here, since the analyst declared a
-    // shared total rather than per-query charges).
+    // Amplification is rejected above, so each slice's ledger debit is
+    // exactly its allocation.
     ctx.plan.epsilon_charged = ctx.plan.epsilon_total;
-    if (ctx.plan.amplification != dp::AmplificationMode::kOff) {
-      GUPT_ASSIGN_OR_RETURN(ctx.plan.epsilon_charged,
-                            dp::AmplifiedEpsilon(ctx.plan.epsilon_total,
-                                                 ctx.plan.sampling_rate));
-    }
     ctx.plan_resolved = true;
     GUPT_ASSIGN_OR_RETURN(QueryReport report, pipeline_.Run(ctx));
     reports.push_back(std::move(report));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -167,8 +168,8 @@ PipelineMetrics PipelineMetrics::Register() {
       "Queries admitted with amplification-by-sampling charging enabled.");
   metrics.amplification_sampling_rate = registry.GetGauge(
       "gupt_amplification_sampling_rate_ratio",
-      "Effective sampling rate (block_size / n) of the last amplified "
-      "query.");
+      "Bernoulli rate of the last amplified query's pre-partition "
+      "subsample.");
   metrics.amplification_epsilon_saved = registry.GetCounter(
       "gupt_amplification_epsilon_saved_total",
       "Budget saved by amplification: sum of raw epsilon minus amplified "
@@ -215,6 +216,74 @@ Status PlanStage::Run(QueryContext& ctx) const {
   const double p = EffectiveOutputDims(spec, plan.output_dims);
   const double multiplier = ModeMultiplier(spec.range.mode);
 
+  // Amplification by sampling (dp/amplification.h). The amplified charge
+  // is sound only when the release depends on a single random
+  // gamma-subsample — averaging all blocks of a full partition is
+  // parallel composition, already priced into the raw epsilon. So any
+  // non-off mode commits PartitionStage to drawing a Bernoulli(rate)
+  // subsample and the whole plan (block geometry included) is laid out
+  // against the subsample's expected size. The block count is fixed HERE,
+  // from public quantities only, so the noise scale never depends on the
+  // realised sample size.
+  plan.amplification = spec.amplification;
+  plan.sampling_rate = 1.0;
+  // Rows the mechanism will see: n, or the expected subsample size.
+  std::size_t n_mech = n;
+  // kChargedEpsilon: the raw epsilon derived from the declared charge,
+  // known before block planning because the rate is spec-supplied.
+  std::optional<double> charged_raw_epsilon;
+  if (plan.amplification != dp::AmplificationMode::kOff) {
+    // Pre-admission fault site: an injected failure here aborts the query
+    // before AdmitStage, so nothing may be charged.
+    GUPT_FAILPOINT_STATUS("core.amplify.calibrate");
+    if (!spec.amplification_rate.has_value()) {
+      return Status::InvalidArgument(
+          "amplification requires an explicit sampling rate in (0, 1] "
+          "(QuerySpec::amplification_rate)");
+    }
+    const double rate = *spec.amplification_rate;
+    if (!std::isfinite(rate) || rate <= 0.0 || rate > 1.0) {
+      return Status::InvalidArgument(
+          "amplification_rate must be in (0, 1]");
+    }
+    if (spec.gamma != 1) {
+      return Status::InvalidArgument(
+          "amplification requires gamma == 1: a resampled partition's "
+          "block count depends on the realised subsample size, which "
+          "breaks the fixed-geometry sensitivity argument");
+    }
+    if (spec.range.mode == RangeMode::kHelper) {
+      return Status::InvalidArgument(
+          "amplification does not support helper mode: input-range "
+          "estimation reads records outside the subsample, so the release "
+          "would no longer depend on the subsample alone");
+    }
+    plan.sampling_rate = rate;
+    if (rate < 1.0) {
+      n_mech = static_cast<std::size_t>(std::llround(rate * static_cast<double>(n)));
+      n_mech = std::max<std::size_t>(1, std::min(n_mech, n));
+    }
+    if (plan.amplification == dp::AmplificationMode::kChargedEpsilon) {
+      if (!spec.epsilon.has_value()) {
+        return Status::InvalidArgument(
+            "charged_epsilon amplification requires an explicit epsilon: "
+            "an accuracy goal solves the raw epsilon, so the analyst does "
+            "not own the charge (use raw_epsilon)");
+      }
+      GUPT_ASSIGN_OR_RETURN(
+          double raw, dp::RawEpsilonForAmplified(*spec.epsilon, rate));
+      if (raw > spec.amplification_raw_epsilon_cap) {
+        return Status::InvalidArgument(
+            "charged_epsilon at rate " + std::to_string(rate) +
+            " derives raw epsilon " + std::to_string(raw) +
+            " above the cap " +
+            std::to_string(spec.amplification_raw_epsilon_cap) +
+            " (QuerySpec::amplification_raw_epsilon_cap)");
+      }
+      charged_raw_epsilon = raw;
+    }
+  }
+
   // Planning-time output ranges: declared for tight/loose; for helper,
   // translated from the *loose* (public) input ranges — no privacy cost,
   // and only used for widths and fallback values, never to clamp real
@@ -247,27 +316,36 @@ Status PlanStage::Run(QueryContext& ctx) const {
     widths[d] = plan.planning_ranges[d].width();
   }
 
-  // Block size: explicit > aged-data planner > paper default n^0.6.
+  // Block size: explicit > aged-data planner > paper default n^0.6 — all
+  // laid out against n_mech, the rows the mechanism will actually see
+  // (the expected subsample size under amplification, n otherwise).
   {
     StageScope stage(ctx.trace, "block_plan");
     if (spec.block_size.has_value()) {
-      if (*spec.block_size == 0 || *spec.block_size > n) {
+      if (*spec.block_size == 0 || *spec.block_size > n_mech) {
         stage.set_ok(false);
-        return Status::InvalidArgument("block_size must be in [1, n]");
+        return Status::InvalidArgument(
+            n_mech == n ? "block_size must be in [1, n]"
+                        : "block_size must be in [1, rate * n] under "
+                          "amplification (blocks partition the subsample)");
       }
       plan.block_size = *spec.block_size;
       stage.set_note("explicit");
     } else if (spec.optimize_block_size && ds.aged() != nullptr) {
       BlockPlannerOptions planner_options;
-      // When the budget is known, plan against the SAF share; with an
-      // accuracy goal the budget is solved *after* the block size, so plan
-      // with a provisional unit budget (the paper sequences it the same
-      // way).
+      // When the budget is known, plan against the SAF share of the raw
+      // (noise-calibration) epsilon — under charged_epsilon that is the
+      // inverse-mapped value computed above, not the declared charge.
+      // With an accuracy goal the budget is solved *after* the block
+      // size, so plan with a provisional unit budget (the paper sequences
+      // it the same way).
       planner_options.epsilon_per_dim =
-          spec.epsilon ? *spec.epsilon / (multiplier * p) : 1.0;
+          charged_raw_epsilon ? *charged_raw_epsilon / (multiplier * p)
+          : spec.epsilon      ? *spec.epsilon / (multiplier * p)
+                              : 1.0;
       planner_options.range_widths = widths;
-      Result<BlockPlanChoice> choice =
-          PlanBlockSize(*ds.aged(), n, spec.program, planner_options, ctx.rng);
+      Result<BlockPlanChoice> choice = PlanBlockSize(
+          *ds.aged(), n_mech, spec.program, planner_options, ctx.rng);
       if (!choice.ok()) {
         stage.set_ok(false);
         return choice.status();
@@ -278,21 +356,27 @@ Status PlanStage::Run(QueryContext& ctx) const {
                       << " (alpha=" << choice->alpha << ", predicted error "
                       << choice->predicted_error << ")";
     } else {
-      std::size_t num_blocks = DefaultNumBlocks(n);
-      plan.block_size = std::max<std::size_t>(1, n / num_blocks);
+      std::size_t num_blocks = DefaultNumBlocks(n_mech);
+      plan.block_size = std::max<std::size_t>(1, n_mech / num_blocks);
       stage.set_note("default_n06");
     }
-    plan.block_size = std::min(plan.block_size, n);
+    plan.block_size = std::min(plan.block_size, n_mech);
   }
 
   const std::size_t blocks_per_group =
-      (n + plan.block_size - 1) / plan.block_size;
+      (n_mech + plan.block_size - 1) / plan.block_size;
   plan.num_blocks = plan.gamma * blocks_per_group;
 
   // Privacy budget: explicit, or solved from the accuracy goal (§5.1).
   {
     StageScope stage(ctx.trace, "budget_derive");
-    if (spec.epsilon.has_value()) {
+    if (charged_raw_epsilon.has_value()) {
+      // kChargedEpsilon: the declared epsilon is the target charge; the
+      // subsampled mechanism runs at the (capped) inverse raw epsilon.
+      plan.epsilon_total = *charged_raw_epsilon;
+      plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
+      stage.set_note("charged_epsilon");
+    } else if (spec.epsilon.has_value()) {
       if (!(*spec.epsilon > 0.0)) {
         stage.set_ok(false);
         return Status::InvalidArgument("epsilon must be positive");
@@ -316,8 +400,8 @@ Status PlanStage::Run(QueryContext& ctx) const {
       est.goal = *spec.accuracy_goal;
       est.block_size = plan.block_size;
       est.range_width = widths[0];
-      Result<BudgetEstimate> estimate =
-          EstimateBudgetForAccuracy(*ds.aged(), n, spec.program, est, ctx.rng);
+      Result<BudgetEstimate> estimate = EstimateBudgetForAccuracy(
+          *ds.aged(), n_mech, spec.program, est, ctx.rng);
       if (!estimate.ok()) {
         stage.set_ok(false);
         return estimate.status();
@@ -328,32 +412,15 @@ Status PlanStage::Run(QueryContext& ctx) const {
     }
   }
 
-  // Amplification by sampling (dp/amplification.h): every chamber sees at
-  // most a block_size/n fraction of the records — disjoint partitions show
-  // each record to exactly one block, resampled partitions give each block
-  // an independent block_size/n sample — so the ledger charge can be the
-  // amplified epsilon' while the noise stays calibrated at the raw epsilon.
-  plan.amplification = spec.amplification;
-  plan.sampling_rate = std::min(
-      1.0, static_cast<double>(plan.block_size) / static_cast<double>(n));
+  // The ledger charge: epsilon_total under kOff; the declared target
+  // under kChargedEpsilon; the amplified epsilon' of the raw calibration
+  // under kRawEpsilon (explicit or accuracy-solved epsilon alike — both
+  // are raw noise calibrations of the subsampled mechanism).
   plan.epsilon_charged = plan.epsilon_total;
   if (plan.amplification != dp::AmplificationMode::kOff) {
-    // Pre-admission fault site: an injected failure here aborts the query
-    // before AdmitStage, so nothing may be charged.
-    GUPT_FAILPOINT_STATUS("core.amplify.calibrate");
-    if (plan.amplification == dp::AmplificationMode::kChargedEpsilon &&
-        spec.epsilon.has_value()) {
-      // The declared epsilon is the target *charge*: chambers run at the
-      // larger raw epsilon whose amplified cost equals it.
-      GUPT_ASSIGN_OR_RETURN(
-          plan.epsilon_total,
-          dp::RawEpsilonForAmplified(plan.epsilon_charged,
-                                     plan.sampling_rate));
-      plan.epsilon_saf_per_dim = plan.epsilon_total / (multiplier * p);
+    if (charged_raw_epsilon.has_value()) {
+      plan.epsilon_charged = *spec.epsilon;
     } else {
-      // Raw-epsilon mode (and accuracy-goal queries, whose solved epsilon
-      // is by construction the raw noise calibration): the mechanism is
-      // unchanged and the ledger debit shrinks.
       GUPT_ASSIGN_OR_RETURN(
           plan.epsilon_charged,
           dp::AmplifiedEpsilon(plan.epsilon_total, plan.sampling_rate));
@@ -453,17 +520,59 @@ Status PartitionStage::Run(QueryContext& ctx) const {
   const QueryPlan& plan = ctx.plan;
   const std::size_t n = ctx.ds->data().num_rows();
   StageScope stage(ctx.trace, "partition");
+  ctx.arena.Reset();
+
+  // Amplification subsample: the release may depend only on a single
+  // Bernoulli(rate) subsample (dp/amplification.h), so the subsample is
+  // drawn HERE, before partitioning, and only its rows are ever gathered
+  // into blocks. rate == 1.0 skips the draw entirely, so a full-rate
+  // amplified query consumes the exact RNG stream of an unamplified one.
+  const bool subsampled = plan.amplification != dp::AmplificationMode::kOff &&
+                          plan.sampling_rate < 1.0;
+  std::optional<Dataset> subsample;
+  if (subsampled) {
+    std::vector<std::size_t> keep;
+    keep.reserve(static_cast<std::size_t>(
+        plan.sampling_rate * static_cast<double>(n) * 1.1) + 16);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ctx.rng->Bernoulli(plan.sampling_rate)) {
+        keep.push_back(i);
+      }
+    }
+    if (keep.size() < plan.num_blocks) {
+      // The block count was fixed at plan time from the *expected*
+      // subsample size; repartitioning to the realised size would make the
+      // noise scale data-dependent. Refuse instead — an astronomically
+      // unlikely tail at any realistic n. The admitted charge stands
+      // (conservative direction); retrying draws a fresh subsample.
+      stage.set_ok(false);
+      return Status::Unavailable(
+          "amplification subsample too small for the planned block count "
+          "(drew " + std::to_string(keep.size()) + " rows, need " +
+          std::to_string(plan.num_blocks) + "); the admitted charge stands, "
+          "re-running the query draws a fresh subsample");
+    }
+    Result<Dataset> gathered = ctx.ds->data().Subset(keep);
+    if (!gathered.ok()) {
+      stage.set_ok(false);
+      return gathered.status();
+    }
+    subsample.emplace(std::move(gathered).value());
+  }
+  const Dataset& rows = subsampled ? *subsample : ctx.ds->data();
+  const std::size_t n_rows = rows.num_rows();
+
   // Fused partition+gather: the RNG stream is identical to the old
   // index-plan path, and each block view holds the same rows in the same
-  // order the per-block Subset copies used to produce.
-  ctx.arena.Reset();
+  // order the per-block Subset copies used to produce. The BlockSet owns
+  // its gathered store, so a temporary subsample dataset is safe.
   Result<BlockSet> partitioned =
       plan.gamma > 1
-          ? PartitionResampledView(ctx.ds->data(), plan.block_size, plan.gamma,
+          ? PartitionResampledView(rows, plan.block_size, plan.gamma,
                                    ctx.rng, &ctx.arena)
           : PartitionDisjointView(
-                ctx.ds->data(),
-                std::max<std::size_t>(1, std::min(plan.num_blocks, n)),
+                rows,
+                std::max<std::size_t>(1, std::min(plan.num_blocks, n_rows)),
                 ctx.rng, &ctx.arena);
   if (!partitioned.ok()) {
     stage.set_ok(false);
@@ -471,7 +580,8 @@ Status PartitionStage::Run(QueryContext& ctx) const {
   }
   ctx.blocks = std::move(partitioned).value();
   stage.set_note("l=" + std::to_string(ctx.blocks.num_blocks()) +
-                 " beta=" + std::to_string(plan.block_size));
+                 " beta=" + std::to_string(plan.block_size) +
+                 (subsampled ? " m=" + std::to_string(n_rows) : ""));
   ctx.report.num_blocks = ctx.blocks.num_blocks();
   return Status::OK();
 }

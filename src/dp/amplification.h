@@ -1,26 +1,38 @@
 // Privacy amplification by sampling (paper §4 + ROADMAP item).
 //
-// GUPT's sample-and-aggregate framework never shows the analyst's program
-// more than a sample of the dataset: a resampled block holds
-// block_size/n of the records, and a disjoint partition shows each
-// *record* to exactly one chamber. The amplification-by-sampling lemma
-// (Li/Qardaji "k-Anonymization Meets Differential Privacy"; Lin/Wang/Rane
-// "Sampling in Privacy Preserving Statistical Analysis") turns that
-// sampling into budget savings: a mechanism that is epsilon-DP on a
-// gamma-fraction sample of the data is
+// The amplification-by-sampling lemma (Li/Qardaji "k-Anonymization Meets
+// Differential Privacy"; Lin/Wang/Rane "Sampling in Privacy Preserving
+// Statistical Analysis"): if the *released output* depends only on a
+// random subsample that includes each record independently with
+// probability gamma, and the mechanism applied to that subsample is
+// epsilon-DP, then with respect to the full dataset the release is
 //
 //     epsilon' = ln(1 + gamma * (e^epsilon - 1))
 //
-// DP with respect to the full dataset, with epsilon' <= epsilon and
-// epsilon' ~= gamma * epsilon for small epsilon. The runtime can therefore
-// calibrate noise at the raw in-chamber epsilon while debiting only the
-// amplified epsilon' from the dataset ledger.
+// DP, with epsilon' <= epsilon and epsilon' ~= gamma * epsilon for small
+// epsilon.
+//
+// SOUNDNESS — what does and does not qualify. The lemma's hypothesis is
+// that the release depends on ONE random gamma-subsample. GUPT's ordinary
+// sample-and-aggregate release does NOT qualify: it averages the outputs
+// of ALL blocks of a partition, so every record influences the released
+// value (a disjoint partition includes each record with probability 1 in
+// exactly one block). That setting is parallel composition, which is
+// exactly what already justifies calibrating noise at the raw epsilon —
+// charging the amplified epsilon' for it would undercharge the real
+// privacy loss by ~1/gamma. The runtime therefore only enables
+// amplification by *changing the mechanism*: under any non-off mode the
+// pipeline draws a Bernoulli(gamma) subsample of the dataset first,
+// partitions only the subsample, and aggregates only over it
+// (PartitionStage in core/pipeline/stages.cc). Nothing outside the
+// subsample is ever read, so the lemma applies to the whole release.
 //
 // This module is pure math: the closed form, its inverse (so an analyst
 // target epsilon' can be mapped back to the raw epsilon the chambers must
 // run at), and the mode enum threaded from QuerySpec to the ledger. The
-// charging policy itself lives in core/pipeline (AdmitStage charges,
-// AggregateStage calibrates) — see docs/amplification.md.
+// charging policy itself lives in core/pipeline (PlanStage converts,
+// AdmitStage charges, PartitionStage subsamples) — see
+// docs/amplification.md.
 
 #ifndef GUPT_DP_AMPLIFICATION_H_
 #define GUPT_DP_AMPLIFICATION_H_
@@ -34,20 +46,31 @@ namespace dp {
 
 /// How a query's declared epsilon relates to the ledger charge.
 enum class AmplificationMode {
-  /// Pre-amplification behaviour: the declared epsilon is both the noise
-  /// calibration and the ledger charge. Bit-identical to the historical
-  /// pipeline (golden-pinned).
+  /// Pre-amplification behaviour: no subsampling; the declared epsilon is
+  /// both the noise calibration and the ledger charge. Bit-identical to
+  /// the historical pipeline (golden-pinned).
   kOff = 0,
-  /// The declared epsilon is the *raw* in-chamber epsilon: noise is
-  /// calibrated exactly as under kOff, but the ledger is charged the
-  /// amplified epsilon' = AmplifiedEpsilon(epsilon, sampling_rate).
+  /// The declared epsilon is the *raw* epsilon of the mechanism run on a
+  /// Bernoulli(rate) subsample of the data: noise is calibrated at the
+  /// declared value, and the ledger is charged the amplified
+  /// epsilon' = AmplifiedEpsilon(epsilon, rate).
   kRawEpsilon,
   /// The declared epsilon is the *target charge* epsilon': the ledger is
-  /// debited exactly the declared value, and the chambers run at the
-  /// larger raw epsilon = RawEpsilonForAmplified(epsilon', sampling_rate),
-  /// so the released answer is less noisy for the same ledger cost.
+  /// debited exactly the declared value, and the subsampled mechanism
+  /// runs at the larger raw epsilon = RawEpsilonForAmplified(epsilon',
+  /// rate). The derived raw epsilon is unbounded as rate -> 0, so
+  /// PlanStage rejects conversions above
+  /// QuerySpec::amplification_raw_epsilon_cap.
   kChargedEpsilon,
 };
+
+/// Default ceiling on the raw epsilon kChargedEpsilon may derive
+/// (QuerySpec::amplification_raw_epsilon_cap). Without a cap, a small
+/// sampling rate converts a modest declared charge into an arbitrarily
+/// large per-query raw epsilon (rate 0.005 at epsilon' = 1 gives raw
+/// epsilon ~5.8); the cap keeps any single release's worst-case leak on
+/// the subsample bounded.
+inline constexpr double kDefaultRawEpsilonCap = 4.0;
 
 /// Short stable name ("off", "raw_epsilon", "charged_epsilon") used in
 /// /budgetz, audit records, CLI output, and trace annotations.
@@ -58,18 +81,21 @@ const char* AmplificationModeToString(AmplificationMode mode);
 Result<AmplificationMode> ParseAmplificationMode(const std::string& name);
 
 /// The amplified charge epsilon' = ln(1 + rate * (e^epsilon - 1)) for a
-/// mechanism that is `epsilon`-DP on a `rate`-fraction sample. Computed as
-/// log1p(rate * expm1(epsilon)) so the small-epsilon regime keeps full
-/// relative precision; rate == 1 returns `epsilon` exactly (bit-for-bit),
-/// so a gamma = 1 query charges precisely what it would uncharged.
-/// Requires epsilon finite and > 0, and rate in (0, 1].
+/// mechanism whose release depends only on a Bernoulli(rate) subsample
+/// and is `epsilon`-DP on it. Computed as log1p(rate * expm1(epsilon)) so
+/// the small-epsilon regime keeps full relative precision; rate == 1
+/// returns `epsilon` exactly (bit-for-bit), so a rate-1 query charges
+/// precisely what it would uncharged. Requires epsilon finite and > 0,
+/// and rate in (0, 1].
 Result<double> AmplifiedEpsilon(double epsilon, double rate);
 
-/// The inverse map: the raw epsilon a chamber must run at so that the
-/// amplified charge equals `epsilon_prime` under sampling rate `rate`,
-/// i.e. epsilon = ln(1 + (e^epsilon' - 1) / rate). rate == 1 returns
-/// `epsilon_prime` exactly. Requires epsilon_prime finite and > 0, and
-/// rate in (0, 1].
+/// The inverse map: the raw epsilon the subsampled mechanism must run at
+/// so that the amplified charge equals `epsilon_prime` under sampling
+/// rate `rate`, i.e. epsilon = ln(1 + (e^epsilon' - 1) / rate). rate == 1
+/// returns `epsilon_prime` exactly. Requires epsilon_prime finite and
+/// > 0, and rate in (0, 1]. Pure math — callers converting a charge into
+/// a calibration (PlanStage) must additionally enforce a raw-epsilon cap,
+/// because the result grows without bound as rate -> 0.
 Result<double> RawEpsilonForAmplified(double epsilon_prime, double rate);
 
 }  // namespace dp

@@ -907,6 +907,9 @@ Result<QueryReport> GuptService::Execute(const QueryRequest& request) {
   spec.gamma = request.gamma;
   spec.records_per_user = request.records_per_user;
   spec.amplification = request.amplification.value_or(options_.amplification);
+  spec.amplification_rate = request.amplification_rate.has_value()
+                                ? request.amplification_rate
+                                : options_.amplification_rate;
   if (chamber_pool_ != nullptr) {
     // Every registry program is resolvable inside the workers (they
     // captured a copy of the same registry), so pooled execution applies
@@ -934,6 +937,10 @@ std::string GuptService::CacheKey(const QueryRequest& request) const {
       << request.records_per_user << '\x1f'
       << static_cast<int>(
              request.amplification.value_or(options_.amplification));
+  const std::optional<double> rate = request.amplification_rate.has_value()
+                                         ? request.amplification_rate
+                                         : options_.amplification_rate;
+  key << '\x1f' << (rate ? *rate : -1.0);
   return key.str();
 }
 

@@ -120,8 +120,14 @@ struct ServiceOptions {
   double budget_alert_horizon_seconds = 600.0;
   /// Default amplification-by-sampling charging mode for analyst queries
   /// (dp/amplification.h); a request may override it. kOff keeps the
-  /// historical ledger behaviour bit-for-bit.
+  /// historical ledger behaviour bit-for-bit. Any non-off mode changes
+  /// the mechanism: queries run on a Bernoulli subsample, so a default
+  /// amplification_rate (or per-request override) is required too.
   dp::AmplificationMode amplification = dp::AmplificationMode::kOff;
+  /// Default Bernoulli rate of the amplification subsample, in (0, 1];
+  /// forwarded to QuerySpec::amplification_rate when a query resolves to
+  /// a non-off mode and the request carries no rate of its own.
+  std::optional<double> amplification_rate;
 };
 
 /// One analyst query, expressed entirely in data (no code crosses the
@@ -151,6 +157,10 @@ struct QueryRequest {
   /// Per-request amplification mode; unset inherits the service default
   /// (ServiceOptions::amplification).
   std::optional<dp::AmplificationMode> amplification;
+  /// Per-request Bernoulli subsample rate; unset inherits the service
+  /// default (ServiceOptions::amplification_rate). Required (here or as
+  /// the service default) whenever the resolved mode is not off.
+  std::optional<double> amplification_rate;
 };
 
 /// Audit-log entry for one query attempt.

@@ -217,11 +217,13 @@ TEST(PipelineGoldenTest, AmplificationOffIsTheHistoricalPathBitForBit) {
   EXPECT_EQ(snapshots[0].budget.spent_epsilon, 2.0);
 }
 
-TEST(PipelineGoldenTest, AmplificationOnKeepsTheGoldenAndDiscountsTheLedger) {
-  // Raw-epsilon amplification changes ONLY the ledger debit: noise stays
-  // calibrated at the declared epsilon, so the released value is the
-  // TightMode golden bit-for-bit, while the charge drops to
-  // ln(1 + (377/20000) * (e^2 - 1)).
+TEST(PipelineGoldenTest, AmplificationOnSubsamplesAndDiscountsTheLedger) {
+  // Raw-epsilon amplification CHANGES THE MECHANISM: the query runs on a
+  // Bernoulli(0.25) subsample (so the released value differs from the
+  // full-data TightMode golden — it is pinned to its own golden below),
+  // the block geometry is laid out against the expected subsample size
+  // rate * n = 5000, noise stays calibrated at the declared epsilon, and
+  // the ledger debit drops to ln(1 + 0.25 * (e^2 - 1)).
   DatasetManager manager;
   RegisterAges(manager, 10.0, /*with_input_ranges=*/true);
   GuptRuntime runtime(&manager, GuptOptions{});
@@ -230,32 +232,33 @@ TEST(PipelineGoldenTest, AmplificationOnKeepsTheGoldenAndDiscountsTheLedger) {
   spec.epsilon = 2.0;
   spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
   spec.amplification = dp::AmplificationMode::kRawEpsilon;
+  spec.amplification_rate = 0.25;
   auto report = runtime.Execute("ds", spec);
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_EQ(report->block_size, 377u);
-  EXPECT_EQ(report->num_blocks, 54u);
+  // Default geometry of the expected subsample: beta = 5000 / 5000^0.4 =
+  // 166, l = ceil(5000 / 166) = 31, fixed at plan time (data-independent).
+  EXPECT_EQ(report->block_size, 166u);
+  EXPECT_EQ(report->num_blocks, 31u);
   ASSERT_EQ(report->output.size(), 1u);
-  EXPECT_EQ(report->output[0], 37.782203079929658);  // == TightMode golden
-  EXPECT_EQ(report->sampling_rate, 377.0 / 20000.0);
+  EXPECT_EQ(report->output[0], 36.559663982947015);  // amplified golden
+  EXPECT_EQ(report->sampling_rate, 0.25);
   EXPECT_EQ(report->epsilon_raw, 2.0);
-  EXPECT_EQ(report->epsilon_spent, 0.11371584915730168);
-  EXPECT_EQ(report->epsilon_spent,
-            dp::AmplifiedEpsilon(2.0, 377.0 / 20000.0).value());
+  EXPECT_EQ(report->epsilon_spent, 0.95445859279324052);
+  EXPECT_EQ(report->epsilon_spent, dp::AmplifiedEpsilon(2.0, 0.25).value());
   auto snapshots = manager.BudgetSnapshots();
   ASSERT_EQ(snapshots.size(), 1u);
-  EXPECT_EQ(snapshots[0].budget.spent_epsilon, 0.11371584915730168);
+  EXPECT_EQ(snapshots[0].budget.spent_epsilon, 0.95445859279324052);
 }
 
 TEST(PipelineGoldenTest, AmplificationAtFullRateChargesExactlyEpsilon) {
-  // A block covering the whole dataset has sampling rate 1: the amplified
-  // charge degenerates to the declared epsilon EXACTLY (the identity is a
-  // bit-exact early return, not a computed log), and the release matches
-  // the off-mode run of the identical query.
+  // rate == 1.0 skips the subsample draw (no extra RNG consumption), so
+  // the amplified charge degenerates to the declared epsilon EXACTLY (the
+  // identity is a bit-exact early return, not a computed log), and the
+  // release matches the off-mode run of the identical query bit-for-bit.
   QuerySpec spec;
   spec.program = analytics::MeanQuery(0);
   spec.epsilon = 2.0;
   spec.range = OutputRangeSpec::Tight({Range{0.0, 150.0}});
-  spec.block_size = 20000;  // == n, one block, rate 1.0
 
   DatasetManager off_manager;
   RegisterAges(off_manager, 10.0, /*with_input_ranges=*/true);
@@ -268,6 +271,7 @@ TEST(PipelineGoldenTest, AmplificationAtFullRateChargesExactlyEpsilon) {
   RegisterAges(on_manager, 10.0, /*with_input_ranges=*/true);
   GuptRuntime on_runtime(&on_manager, GuptOptions{});
   spec.amplification = dp::AmplificationMode::kRawEpsilon;
+  spec.amplification_rate = 1.0;
   auto on = on_runtime.Execute("ds", spec);
   ASSERT_TRUE(on.ok()) << on.status();
 

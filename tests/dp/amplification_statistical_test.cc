@@ -10,16 +10,23 @@
 //     identity) and the epsilon -> 0 limit (epsilon' -> rate * epsilon),
 //     and the inverse map round-trips.
 //  2. A KS acceptance test on the real pipeline: with amplification in
-//     raw-epsilon mode, the released noise is distributed exactly as the
-//     raw-epsilon Laplace calibration predicts — amplification changes
-//     only the ledger debit, never the mechanism.
+//     raw-epsilon mode, the release runs on a Bernoulli(rate) subsample
+//     partitioned into a plan-time-fixed block count, and its noise is
+//     distributed exactly as the raw-epsilon Laplace calibration
+//     predicts — the ledger debit shrinks, the noise does not.
 //  3. A power twin: a deliberately mis-calibrated variant that noises at
 //     the *amplified* epsilon' (the bug this suite exists to catch —
 //     charging less AND noising less would break the DP guarantee) is
 //     rejected by the same KS test at alpha = 1e-6.
+//
+// Plus the soundness guard rails from the review of the original design:
+// amplification without an explicit rate, with resampling (gamma > 1),
+// in shared-budget batches, or with a charged-mode raw epsilon above the
+// cap are all refused before any budget is charged.
 
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -134,14 +141,19 @@ TEST(AmplificationGridTest, ModeNamesRoundTrip) {
 // ---------------------------------------------------------------------------
 
 // Fixture: a constant-valued dataset makes the release's noise exactly
-// observable. Every record is 40.0, so each block mean is 40.0 and the
-// clamped average is 40.0; released - 40.0 is then precisely the Laplace
-// noise added by AggregateStage, with scale width / (l * eps_saf).
+// observable. Every record is 40.0, so each block mean is 40.0 whatever
+// subset of rows a block holds, and the clamped average is 40.0;
+// released - 40.0 is then precisely the Laplace noise added by
+// AggregateStage, with scale width / (l * eps_saf). The block count l is
+// fixed at plan time from the expected subsample size rate * n, so the
+// scale is a known constant even though the realised subsample varies.
 constexpr double kValue = 40.0;
-constexpr double kWidth = 100.0;       // declared range [0, 100]
+constexpr double kWidth = 100.0;        // declared range [0, 100]
 constexpr std::size_t kRows = 500;
-constexpr std::size_t kBlockSize = 50;  // l = 10 blocks, rate = 0.1
-constexpr std::size_t kNumBlocks = kRows / kBlockSize;
+constexpr double kRate = 0.5;           // Bernoulli subsample rate
+constexpr std::size_t kBlockSize = 50;  // n_mech = 250 -> l = 5 blocks
+constexpr std::size_t kNumBlocks =
+    static_cast<std::size_t>(kRows * kRate) / kBlockSize;
 constexpr double kEpsilon = 0.5;        // raw per-query epsilon
 constexpr int kSamples = 2000;
 
@@ -157,14 +169,17 @@ QuerySpec ConstantMeanSpec(dp::AmplificationMode mode) {
   spec.block_size = kBlockSize;
   spec.range = OutputRangeSpec::Tight({Range{0.0, kWidth}});
   spec.amplification = mode;
+  if (mode != dp::AmplificationMode::kOff) {
+    spec.amplification_rate = kRate;
+  }
   return spec;
 }
 
 std::vector<double> ReleasedNoise(dp::AmplificationMode mode) {
   DatasetManager manager;
   DatasetOptions options;
-  // Amplified, each query charges ~0.063; 2000 queries need ~126. The
-  // budget is sized so the off-mode control (0.5 each) also fits.
+  // Amplified, each query charges ~0.28; 2000 queries need ~562. The
+  // budget is sized so an off-mode run (0.5 each) would also fit.
   options.total_epsilon = 2000.0;
   std::vector<double> constant(kRows, kValue);
   EXPECT_TRUE(
@@ -195,15 +210,31 @@ TEST(AmplificationStatisticalTest, ReleasedNoiseMatchesRawCalibration) {
   EXPECT_FALSE(fit.reject) << fit.Describe();
 }
 
-TEST(AmplificationStatisticalTest, AmplifiedReleaseIsBitIdenticalToOff) {
-  // Stronger than distributional agreement: with the same seed, turning
-  // amplification on must not perturb the released values at all — the
-  // mode only changes what the ledger is debited.
-  std::vector<double> off = ReleasedNoise(dp::AmplificationMode::kOff);
-  std::vector<double> on = ReleasedNoise(dp::AmplificationMode::kRawEpsilon);
-  ASSERT_EQ(off.size(), on.size());
-  for (std::size_t i = 0; i < off.size(); ++i) {
-    EXPECT_EQ(off[i], on[i]) << "sample " << i;
+TEST(AmplificationStatisticalTest, FullRateReleaseIsBitIdenticalToOff) {
+  // rate == 1.0 skips the subsample draw entirely, so with the same seed
+  // a full-rate amplified query must release exactly the off-mode values
+  // (and AmplifiedEpsilon(eps, 1) == eps makes the charge identical too).
+  DatasetManager manager;
+  DatasetOptions options;
+  options.total_epsilon = 100.0;
+  std::vector<double> constant(kRows, kValue);
+  ASSERT_TRUE(
+      manager.Register("const", Dataset::FromColumn(constant).value(), options)
+          .ok());
+  QuerySpec off = ConstantMeanSpec(dp::AmplificationMode::kOff);
+  QuerySpec on = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+  on.amplification_rate = 1.0;
+  for (int i = 0; i < 16; ++i) {
+    GuptOptions runtime_options;
+    runtime_options.seed = kNoiseSeed + static_cast<std::uint64_t>(i);
+    GuptRuntime off_runtime(&manager, runtime_options);
+    GuptRuntime on_runtime(&manager, runtime_options);
+    auto off_report = off_runtime.Execute("const", off);
+    auto on_report = on_runtime.Execute("const", on);
+    ASSERT_TRUE(off_report.ok()) << off_report.status();
+    ASSERT_TRUE(on_report.ok()) << on_report.status();
+    EXPECT_EQ(off_report->output[0], on_report->output[0]) << "seed " << i;
+    EXPECT_EQ(off_report->epsilon_spent, on_report->epsilon_spent);
   }
 }
 
@@ -212,8 +243,7 @@ TEST(AmplificationStatisticalTest, MisCalibratedVariantIsRejected) {
   // amplified epsilon' while also charging epsilon'. Its Laplace scale is
   // width / (l * eps') — far wider than the correct raw calibration — so
   // the KS test against the raw-scale CDF must reject at alpha = 1e-6.
-  auto amplified = dp::AmplifiedEpsilon(
-      kEpsilon, static_cast<double>(kBlockSize) / static_cast<double>(kRows));
+  auto amplified = dp::AmplifiedEpsilon(kEpsilon, kRate);
   ASSERT_TRUE(amplified.ok());
   AggregateOptions agg;
   agg.epsilon_per_dim = amplified.value();  // the mis-calibration
@@ -251,16 +281,14 @@ TEST(AmplificationStatisticalTest, AmplifiedChargeIsExactOnTheLedger) {
   runtime_options.seed = kNoiseSeed;
   GuptRuntime runtime(&manager, runtime_options);
   QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
-  const double rate =
-      static_cast<double>(kBlockSize) / static_cast<double>(kRows);
-  const double per_query = dp::AmplifiedEpsilon(kEpsilon, rate).value();
+  const double per_query = dp::AmplifiedEpsilon(kEpsilon, kRate).value();
   double expected_spent = 0.0;
   for (int i = 0; i < 32; ++i) {
     auto report = runtime.Execute("const", spec);
     ASSERT_TRUE(report.ok()) << report.status();
     EXPECT_EQ(report->epsilon_spent, per_query);
     EXPECT_EQ(report->epsilon_raw, kEpsilon);
-    EXPECT_EQ(report->sampling_rate, rate);
+    EXPECT_EQ(report->sampling_rate, kRate);
     EXPECT_EQ(report->amplification, dp::AmplificationMode::kRawEpsilon);
     expected_spent += per_query;
   }
@@ -285,15 +313,107 @@ TEST(AmplificationStatisticalTest, ChargedModeRunsAtTheInverseRawEpsilon) {
   QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kChargedEpsilon);
   auto report = runtime.Execute("const", spec);
   ASSERT_TRUE(report.ok()) << report.status();
-  const double rate =
-      static_cast<double>(kBlockSize) / static_cast<double>(kRows);
-  const double raw = dp::RawEpsilonForAmplified(kEpsilon, rate).value();
+  const double raw = dp::RawEpsilonForAmplified(kEpsilon, kRate).value();
   EXPECT_EQ(report->epsilon_spent, kEpsilon);
   EXPECT_EQ(report->epsilon_raw, raw);
   EXPECT_GT(report->epsilon_raw, kEpsilon);
+  EXPECT_LE(report->epsilon_raw, dp::kDefaultRawEpsilonCap);
   auto ds = manager.Get("const");
   ASSERT_TRUE(ds.ok());
   EXPECT_EQ((*ds)->accountant().Totals().spent_epsilon, kEpsilon);
+}
+
+// ---------------------------------------------------------------------------
+// Soundness guard rails: contexts in which amplification must be refused
+// before any budget is charged.
+// ---------------------------------------------------------------------------
+
+class AmplificationRejectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetOptions options;
+    options.total_epsilon = 100.0;
+    std::vector<double> constant(kRows, kValue);
+    ASSERT_TRUE(manager_
+                    .Register("const", Dataset::FromColumn(constant).value(),
+                              options)
+                    .ok());
+    GuptOptions runtime_options;
+    runtime_options.seed = kNoiseSeed;
+    runtime_ = std::make_unique<GuptRuntime>(&manager_, runtime_options);
+  }
+
+  /// Runs `spec`, expects InvalidArgument, and asserts the ledger was
+  /// never touched.
+  void ExpectRefusedUncharged(const QuerySpec& spec) {
+    auto report = runtime_->Execute("const", spec);
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument)
+        << report.status();
+    auto ds = manager_.Get("const");
+    ASSERT_TRUE(ds.ok());
+    EXPECT_EQ((*ds)->accountant().Totals().spent_epsilon, 0.0);
+  }
+
+  DatasetManager manager_;
+  std::unique_ptr<GuptRuntime> runtime_;
+};
+
+TEST_F(AmplificationRejectionTest, RequiresAnExplicitRate) {
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+  spec.amplification_rate.reset();  // the rate is never inferred
+  ExpectRefusedUncharged(spec);
+}
+
+TEST_F(AmplificationRejectionTest, RejectsOutOfRangeRates) {
+  for (double bad : {0.0, -0.25, 1.5}) {
+    QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+    spec.amplification_rate = bad;
+    ExpectRefusedUncharged(spec);
+  }
+}
+
+TEST_F(AmplificationRejectionTest, RejectsResampling) {
+  // gamma > 1 would tie the block count to the realised subsample size,
+  // breaking the fixed-geometry sensitivity argument.
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+  spec.gamma = 3;
+  ExpectRefusedUncharged(spec);
+}
+
+TEST_F(AmplificationRejectionTest, CapsTheChargedModeRawEpsilon) {
+  // rate 0.005 at a declared charge of 1 inverts to raw epsilon ~5.84,
+  // above the default cap of 4 — the query must be refused rather than
+  // silently released with far-less-noisy output.
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kChargedEpsilon);
+  spec.epsilon = 1.0;
+  spec.block_size.reset();
+  spec.amplification_rate = 0.005;
+  const double raw = dp::RawEpsilonForAmplified(1.0, 0.005).value();
+  ASSERT_GT(raw, dp::kDefaultRawEpsilonCap);
+  ExpectRefusedUncharged(spec);
+}
+
+TEST_F(AmplificationRejectionTest, ChargedModeRequiresAnExplicitEpsilon) {
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kChargedEpsilon);
+  spec.epsilon.reset();
+  AccuracyGoal goal;
+  goal.rho = 0.9;
+  goal.delta = 0.1;
+  spec.accuracy_goal = goal;
+  ExpectRefusedUncharged(spec);
+}
+
+TEST_F(AmplificationRejectionTest, SharedBudgetBatchesRejectAmplification) {
+  QuerySpec spec = ConstantMeanSpec(dp::AmplificationMode::kRawEpsilon);
+  spec.epsilon.reset();  // shared-budget queries leave epsilon unset
+  auto reports = runtime_->ExecuteWithSharedBudget("const", {spec}, 1.0);
+  ASSERT_FALSE(reports.ok());
+  EXPECT_EQ(reports.status().code(), StatusCode::kInvalidArgument)
+      << reports.status();
+  auto ds = manager_.Get("const");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ((*ds)->accountant().Totals().spent_epsilon, 0.0);
 }
 
 }  // namespace

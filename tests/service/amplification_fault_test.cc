@@ -47,10 +47,9 @@ using failpoints::Config;
 using failpoints::ScopedFailpoint;
 
 constexpr std::size_t kRows = 512;
-constexpr std::size_t kBlockSize = 128;  // 4 blocks, sampling rate 0.25
+constexpr double kRate = 0.25;  // Bernoulli subsample: n_mech = 128 rows
+constexpr std::size_t kBlockSize = 32;  // 4 blocks over the subsample
 constexpr double kEpsilon = 0.5;
-constexpr double kRate =
-    static_cast<double>(kBlockSize) / static_cast<double>(kRows);
 
 Dataset Ages(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -71,6 +70,7 @@ QueryRequest AmplifiedMeanRequest() {
   request.output_ranges = {Range{0.0, 150.0}};
   request.block_size = kBlockSize;
   request.amplification = dp::AmplificationMode::kRawEpsilon;
+  request.amplification_rate = kRate;
   return request;
 }
 
@@ -131,7 +131,11 @@ TEST_F(AmplificationFaultTest,
   constexpr int kChargeRefused = kQueries / 10;      // every-10th admission
   constexpr int kCharged = kQueries - kChargeRefused;
   constexpr int kPersistFailed = kCharged / 9;       // every-9th save
-  constexpr std::size_t kBlocksPerQuery = kRows / kBlockSize;
+  // The planned block count is fixed from the expected subsample size
+  // rate * n, so it is the same for every query whatever subsample each
+  // one draws.
+  constexpr std::size_t kBlocksPerQuery =
+      static_cast<std::size_t>(kRows * kRate) / kBlockSize;
 
   std::vector<std::future<Result<QueryReport>>> futures;
   futures.reserve(kQueries);

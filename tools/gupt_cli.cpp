@@ -181,7 +181,8 @@ int Usage() {
       "                    [--metrics-out FILE] [--serve PORT]\n"
       "                    [--async] [--queue-depth N] [--pad-deadline-us N]\n"
       "                    [--chamber-pool N]\n"
-      "                    [--amplification[=off|raw_epsilon|charged_epsilon]]\n"
+      "                    [--amplification[=off|raw_epsilon|charged_epsilon]\n"
+      "                     --amplification-rate=GAMMA]\n"
       "  gupt_cli svt      --data FILE.csv [--header] --threshold T\n"
       "                    --epsilon E --queries FILE --budget TOTAL\n"
       "                    [--c K] [--records-per-user N] [--ledger FILE]\n"
@@ -212,12 +213,15 @@ int Usage() {
       "--collector-period-ms sets the time-series sampling cadence\n"
       "(default 1000). --metrics-out writes the final metrics dump\n"
       "(--metrics format, default prom) to FILE.\n"
-      "--amplification enables amplification-by-sampling charging\n"
-      "(docs/amplification.md): the ledger is debited the amplified\n"
-      "epsilon' = ln(1 + (beta/n)(e^eps - 1)) while the noise stays\n"
-      "calibrated at the raw epsilon (raw_epsilon, the bare-flag default);\n"
-      "charged_epsilon instead treats --epsilon as the target charge and\n"
-      "runs the chambers at the larger raw epsilon.\n"
+      "--amplification enables amplification by sampling\n"
+      "(docs/amplification.md): the query runs on a Bernoulli(GAMMA)\n"
+      "subsample of the data (GAMMA from the required\n"
+      "--amplification-rate, in (0, 1]) and the ledger is debited the\n"
+      "amplified epsilon' = ln(1 + GAMMA (e^eps - 1)) while the noise\n"
+      "stays calibrated at the raw epsilon (raw_epsilon, the bare-flag\n"
+      "default); charged_epsilon instead treats --epsilon as the target\n"
+      "charge and runs the subsampled chambers at the larger raw epsilon\n"
+      "(capped; see docs/amplification.md).\n"
       "\n"
       "alerts prints /alertz from a serving process (--fail-on-firing\n"
       "exits 3 when any rule instance is firing); top is a one-shot text\n"
@@ -335,9 +339,11 @@ int RunQuery(const Args& args) {
     service_options.collector_period_ms =
         std::strtoll(collector_text.c_str(), nullptr, 10);
   }
-  // --amplification[=off|raw_epsilon|charged_epsilon] charges the ledger
-  // the amplified epsilon' = ln(1 + rate * (e^eps - 1)) instead of the raw
-  // epsilon (dp/amplification.h). Bare --amplification means raw_epsilon.
+  // --amplification[=off|raw_epsilon|charged_epsilon] runs queries on a
+  // Bernoulli(--amplification-rate) subsample and charges the ledger the
+  // amplified epsilon' = ln(1 + rate * (e^eps - 1)) instead of the raw
+  // epsilon (dp/amplification.h). Bare --amplification means raw_epsilon;
+  // any non-off mode requires an explicit rate.
   std::string amplification_text = Optional(args, "amplification", "");
   if (!amplification_text.empty()) {
     auto mode = dp::ParseAmplificationMode(amplification_text);
@@ -346,6 +352,26 @@ int RunQuery(const Args& args) {
       return 2;
     }
     service_options.amplification = *mode;
+  }
+  std::string amplification_rate_text =
+      Optional(args, "amplification-rate", "");
+  if (!amplification_rate_text.empty()) {
+    char* end = nullptr;
+    double rate = std::strtod(amplification_rate_text.c_str(), &end);
+    if (end == amplification_rate_text.c_str() || *end != '\0' ||
+        !(rate > 0.0) || rate > 1.0) {
+      std::fprintf(stderr,
+                   "--amplification-rate must be a number in (0, 1]\n");
+      return 2;
+    }
+    service_options.amplification_rate = rate;
+  }
+  if (service_options.amplification != dp::AmplificationMode::kOff &&
+      !service_options.amplification_rate.has_value()) {
+    std::fprintf(stderr,
+                 "--amplification requires --amplification-rate=GAMMA (the "
+                 "Bernoulli subsample rate, in (0, 1])\n");
+    return 2;
   }
 
   GuptService service(service_options,

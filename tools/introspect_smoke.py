@@ -4,9 +4,11 @@
 Drives the built gupt_cli binary the way an operator would:
 
   1. writes a small CSV dataset,
-  2. runs `gupt_cli query --serve=0 --gamma 3 --workers 4 --metrics-out=...`
-     with `--amplification=raw` (ephemeral introspection port, parsed
-     from stdout),
+  2. runs `gupt_cli query --serve=0 --workers 4 --metrics-out=...` with
+     `--amplification=raw --amplification-rate=0.25` (ephemeral
+     introspection port, parsed from stdout); resampling (--gamma) is
+     mutually exclusive with amplification and stays covered by the unit
+     suites,
   3. while the process holds on stdin, scrapes /healthz, /metrics,
      /budgetz?format=json, /varz, /tracez, /slowz, /timeseriesz,
      /alertz, and a short /profilez capture over a real socket,
@@ -96,7 +98,7 @@ def main() -> int:
             f"--data={csv_path}", "--header",
             "--program=mean", "--params=dim=0",
             f"--epsilon={epsilon}", "--range=0,150", f"--budget={budget}",
-            "--gamma=3", "--workers=4", "--seed=11",
+            "--workers=4", "--seed=11",
             # Pad each block to a fixed 1.5ms cycle budget: with columnar
             # zero-copy blocks the raw per-block work is sub-microsecond and
             # a single pool worker can drain the whole queue before the
@@ -106,9 +108,11 @@ def main() -> int:
             # A fast collector cadence so /timeseriesz history and alert
             # evaluations accumulate within the smoke-test window.
             "--collector-period-ms=100",
-            # Amplified charging: noise stays at --epsilon, the ledger is
-            # debited epsilon' = ln(1 + rate*(e^eps - 1)) < eps.
-            "--amplification=raw",
+            # Amplification: the query runs on a Bernoulli(0.25) subsample
+            # (n_mech = 1000 rows -> ~16 default blocks, plenty for the
+            # multi-lane assertion below), noise stays at --epsilon, and
+            # the ledger is debited epsilon' = ln(1 + rate*(e^eps - 1)).
+            "--amplification=raw", "--amplification-rate=0.25",
             "--serve=0", f"--metrics-out={metrics_out}",
         ],
         stdin=subprocess.PIPE,
